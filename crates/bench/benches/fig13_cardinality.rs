@@ -1,0 +1,17 @@
+//! Figure 13: CPU time per timestamp vs object cardinality N (a) and query
+//! cardinality Q (b).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig13a(c: &mut Criterion) {
+    common::bench_figure(c, "fig13a", 0.01);
+}
+
+fn fig13b(c: &mut Criterion) {
+    common::bench_figure(c, "fig13b", 0.01);
+}
+
+criterion_group!(benches, fig13a, fig13b);
+criterion_main!(benches);

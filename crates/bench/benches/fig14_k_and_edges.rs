@@ -1,0 +1,16 @@
+//! Figure 14: CPU time vs number of NNs k (a) and edge agility f_edg (b).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig14a(c: &mut Criterion) {
+    common::bench_figure(c, "fig14a", 0.01);
+}
+
+fn fig14b(c: &mut Criterion) {
+    common::bench_figure(c, "fig14b", 0.01);
+}
+
+criterion_group!(benches, fig14a, fig14b);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Figure 15: CPU time vs object agility f_obj (a) and object speed v_obj (b).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig15a(c: &mut Criterion) {
+    common::bench_figure(c, "fig15a", 0.01);
+}
+
+fn fig15b(c: &mut Criterion) {
+    common::bench_figure(c, "fig15b", 0.01);
+}
+
+criterion_group!(benches, fig15a, fig15b);
+criterion_main!(benches);

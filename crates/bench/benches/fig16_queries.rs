@@ -1,0 +1,16 @@
+//! Figure 16: CPU time vs query agility f_qry (a) and query speed v_qry (b).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig16a(c: &mut Criterion) {
+    common::bench_figure(c, "fig16a", 0.01);
+}
+
+fn fig16b(c: &mut Criterion) {
+    common::bench_figure(c, "fig16b", 0.01);
+}
+
+criterion_group!(benches, fig16a, fig16b);
+criterion_main!(benches);

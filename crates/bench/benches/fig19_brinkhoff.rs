@@ -1,0 +1,21 @@
+//! Figure 19: the Brinkhoff-substitute generator on the Oldenburg-like map
+//! — CPU time vs Q (a) and vs k (b). Also runs the influence-list ablation.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig19a(c: &mut Criterion) {
+    common::bench_figure(c, "fig19a", 0.01);
+}
+
+fn fig19b(c: &mut Criterion) {
+    common::bench_figure(c, "fig19b", 0.01);
+}
+
+fn ablation(c: &mut Criterion) {
+    common::bench_figure(c, "ablation-il", 0.01);
+}
+
+criterion_group!(benches, fig19a, fig19b, ablation);
+criterion_main!(benches);

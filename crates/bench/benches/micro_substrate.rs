@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the substrate primitives that dominate the
+//! monitoring algorithms: Dijkstra expansion, PMR-quadtree construction and
+//! lookup, sequence decomposition, and the Figure-2 initial k-NN search.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rnn_core::counters::OpCounters;
+use rnn_core::search::{knn_search, SearchContext};
+use rnn_core::state::ObjectIndex;
+use rnn_core::types::RootPos;
+use rnn_roadnet::{
+    generators, DijkstraEngine, EdgeId, EdgeWeights, NetPoint, NodeId, ObjectId, PmrQuadtree,
+    SequenceTable,
+};
+
+fn substrate(c: &mut Criterion) {
+    let net = generators::san_francisco_like(2_000, 7);
+    let weights = EdgeWeights::from_base(&net);
+    let mut group = c.benchmark_group("substrate");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+
+    group.bench_function("dijkstra_sssp_full", |b| {
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        b.iter(|| eng.sssp(&net, &weights, NodeId(0), None).len())
+    });
+
+    group.bench_function("dijkstra_sssp_radius", |b| {
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        let r = 10.0 * net.avg_base_weight();
+        b.iter(|| eng.sssp(&net, &weights, NodeId(0), Some(r)).len())
+    });
+
+    group.bench_function("quadtree_build", |b| {
+        b.iter(|| PmrQuadtree::build(&net).num_quads())
+    });
+
+    let qt = PmrQuadtree::build(&net);
+    group.bench_function("quadtree_locate", |b| {
+        let probe = NetPoint::new(EdgeId(37), 0.42).coordinates(&net);
+        b.iter(|| qt.locate(&net, probe))
+    });
+
+    group.bench_function("sequence_decomposition", |b| {
+        b.iter(|| SequenceTable::build(&net).len())
+    });
+
+    // Figure-2 initial k-NN search at the default density (10 objects/edge).
+    let mut objects = ObjectIndex::new(net.num_edges());
+    let mut oid = 0u32;
+    for e in net.edge_ids() {
+        for j in 0..10 {
+            objects.insert(ObjectId(oid), NetPoint::new(e, (j as f64 + 0.5) / 10.0));
+            oid += 1;
+        }
+    }
+    for k in [1usize, 50, 200] {
+        group.bench_function(format!("initial_knn_search_k{k}"), |b| {
+            let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+            let mut eng = DijkstraEngine::new(net.num_nodes());
+            b.iter_batched(
+                || (),
+                |_| {
+                    let mut c = OpCounters::default();
+                    knn_search(
+                        &ctx,
+                        &mut eng,
+                        RootPos::Point(NetPoint::new(EdgeId(11), 0.3)),
+                        k,
+                        None,
+                        &[],
+                        &mut c,
+                    )
+                    .result
+                    .len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, substrate);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Command-line experiment runner: regenerates every table and figure of
+//! the paper's §6 evaluation.
+//!
+//! ```text
+//! experiments all                          # every figure (reduced scale)
+//! experiments fig13a fig14b                # selected figures
+//! experiments table2                       # print Table 2
+//! experiments all --scale 0.05 --ts 8      # cheaper
+//! experiments fig13b --paper-scale         # full Table 2 cardinalities
+//! experiments all --parallel               # faster, noisier timings
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use rnn_bench::runner::format_series;
+use rnn_bench::{all_figures, figure_by_name, run_series, Params};
+
+struct Options {
+    figures: Vec<String>,
+    scale: f64,
+    timestamps: usize,
+    warmup: usize,
+    seed: u64,
+    parallel: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        figures: Vec::new(),
+        scale: 0.05,
+        timestamps: 10,
+        warmup: 2,
+        seed: 42,
+        parallel: false,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--paper-scale" => opts.scale = 1.0,
+            "--ts" => {
+                opts.timestamps = args
+                    .next()
+                    .ok_or("--ts needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --ts: {e}"))?;
+            }
+            "--warmup" => {
+                opts.warmup = args
+                    .next()
+                    .ok_or("--warmup needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --warmup: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--parallel" => opts.parallel = true,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{}", usage()))
+            }
+            other => opts.figures.push(other.to_string()),
+        }
+    }
+    if opts.figures.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    let mut u = String::from(
+        "usage: experiments <figure...|all|table2> [--scale F] [--paper-scale] \
+         [--ts N] [--warmup N] [--seed S] [--parallel]\n\nknown figures:\n",
+    );
+    for f in all_figures() {
+        u.push_str(&format!("  {:<12} {}\n", f.name, f.title));
+    }
+    u
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut names: Vec<String> = Vec::new();
+    for f in &opts.figures {
+        match f.as_str() {
+            "all" => {
+                names.push("table2".into());
+                names.extend(all_figures().iter().map(|f| f.name.to_string()));
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+
+    println!(
+        "# Continuous NN monitoring in road networks — experiment run\n\
+         # scale={}, timestamps={}, warmup={}, seed={}\n",
+        opts.scale, opts.timestamps, opts.warmup, opts.seed
+    );
+
+    for name in names {
+        if name == "table2" {
+            println!("{}", Params::table2());
+            continue;
+        }
+        let Some(fig) = figure_by_name(&name) else {
+            eprintln!("unknown figure: {name}\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let points = (fig.points)(opts.scale, opts.seed);
+        let series = run_series(&points, fig.algos, opts.timestamps, opts.warmup, opts.parallel);
+        println!("{}", format_series(fig.title, &series, fig.memory));
+        // GMA's active-node count, where applicable.
+        for p in &series {
+            for r in &p.results {
+                if let Some(a) = r.active_nodes {
+                    println!("#   {}: {} active nodes", p.label, a);
+                }
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

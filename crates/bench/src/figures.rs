@@ -1,0 +1,364 @@
+//! One entry per experiment of the paper's evaluation (§6).
+//!
+//! Each [`Figure`] sweeps exactly the parameter the paper sweeps, holding
+//! everything else at the Table 2 defaults. `scale` uniformly shrinks the
+//! cardinalities (see [`Params::scaled`]); `scale = 1.0` reproduces the
+//! paper's setup verbatim.
+
+use rnn_workload::{Distribution, MovementModel};
+
+use crate::params::Params;
+use crate::runner::Algo;
+
+/// A reproducible experiment: a labelled parameter sweep.
+pub struct Figure {
+    /// Short id (`fig13a`, …) used on the command line.
+    pub name: &'static str,
+    /// Human title, as in the paper.
+    pub title: &'static str,
+    /// Algorithms plotted.
+    pub algos: &'static [Algo],
+    /// Whether the y-axis is memory (Fig. 18) rather than CPU time.
+    pub memory: bool,
+    /// Builds the sweep at the given scale and seed.
+    pub points: fn(scale: f64, seed: u64) -> Vec<(String, Params)>,
+}
+
+fn base(scale: f64, seed: u64) -> Params {
+    Params { seed, ..Params::default() }.scaled(scale)
+}
+
+fn fig13a(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [10_000, 50_000, 100_000, 150_000, 200_000]
+        .into_iter()
+        .map(|n| {
+            let p = base(scale, seed);
+            let n_scaled = ((n as f64) * scale).round() as usize;
+            (format!("N={}K", n / 1000), Params { n_objects: n_scaled.max(8), ..p })
+        })
+        .collect()
+}
+
+fn fig13b(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [1_000, 3_000, 5_000, 7_000, 10_000]
+        .into_iter()
+        .map(|q| {
+            let p = base(scale, seed);
+            let q_scaled = (((q as f64) * scale).round() as usize).max(1);
+            (format!("Q={}K", q / 1000), Params { n_queries: q_scaled, ..p })
+        })
+        .collect()
+}
+
+fn sweep_k(scale: f64, seed: u64, oldenburg: bool) -> Vec<(String, Params)> {
+    [1usize, 25, 50, 100, 200]
+        .into_iter()
+        .map(|k| {
+            let mut p = base(scale, seed);
+            if oldenburg {
+                p = oldenburg_base(scale, seed);
+            }
+            // k is *not* scaled: tree sizes relative to the network shrink
+            // with scale already; scaling k too would square the effect.
+            // At small scales cap k by the object count.
+            let k = k.min(p.n_objects / 2).max(1);
+            (format!("k={k}"), Params { k, ..p })
+        })
+        .collect()
+}
+
+fn fig14a(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    sweep_k(scale, seed, false)
+}
+
+fn fig14b(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [0.01, 0.02, 0.04, 0.08, 0.16]
+        .into_iter()
+        .map(|f| {
+            (format!("f_edg={}%", (f * 100.0) as u32), Params { edge_agility: f, ..base(scale, seed) })
+        })
+        .collect()
+}
+
+fn fig15a(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [0.0, 0.05, 0.10, 0.15, 0.20]
+        .into_iter()
+        .map(|f| {
+            (format!("f_obj={}%", (f * 100.0) as u32), Params { object_agility: f, ..base(scale, seed) })
+        })
+        .collect()
+}
+
+fn fig15b(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [0.25, 0.5, 1.0, 2.0, 4.0]
+        .into_iter()
+        .map(|v| (format!("v_obj={v}"), Params { object_speed: v, ..base(scale, seed) }))
+        .collect()
+}
+
+fn fig16a(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [0.0, 0.05, 0.10, 0.15, 0.20]
+        .into_iter()
+        .map(|f| {
+            (format!("f_qry={}%", (f * 100.0) as u32), Params { query_agility: f, ..base(scale, seed) })
+        })
+        .collect()
+}
+
+fn fig16b(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [0.25, 0.5, 1.0, 2.0, 4.0]
+        .into_iter()
+        .map(|v| (format!("v_qry={v}"), Params { query_speed: v, ..base(scale, seed) }))
+        .collect()
+}
+
+fn fig17a(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    let combos: [(&str, Distribution, Distribution); 4] = [
+        ("U-obj/U-qry", Distribution::Uniform, Distribution::Uniform),
+        ("U-obj/G-qry", Distribution::Uniform, Distribution::gaussian_queries()),
+        ("G-obj/U-qry", Distribution::gaussian_objects(), Distribution::Uniform),
+        ("G-obj/G-qry", Distribution::gaussian_objects(), Distribution::gaussian_queries()),
+    ];
+    combos
+        .into_iter()
+        .map(|(label, od, qd)| {
+            (
+                label.to_string(),
+                Params {
+                    object_distribution: od,
+                    query_distribution: qd,
+                    ..base(scale, seed)
+                },
+            )
+        })
+        .collect()
+}
+
+fn fig17b(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    // Densities fixed: 10 objects and 0.5 queries per edge.
+    [1_000usize, 5_000, 10_000, 50_000, 100_000]
+        .into_iter()
+        .map(|edges| {
+            let e = (((edges as f64) * scale).round() as usize).max(64);
+            (
+                format!("E={}K", edges / 1000),
+                Params {
+                    edges: e,
+                    n_objects: e * 10,
+                    n_queries: (e / 2).max(1),
+                    ..Params { seed, ..Params::default() }
+                },
+            )
+        })
+        .collect()
+}
+
+fn fig18a(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    fig13b(scale, seed)
+}
+
+fn fig18b(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    sweep_k(scale, seed, false)
+}
+
+fn oldenburg_base(scale: f64, seed: u64) -> Params {
+    // Fig. 19: Oldenburg map (7035 edges), N = 64K, Brinkhoff movement.
+    Params {
+        edges: 7_035,
+        n_objects: 64_000,
+        n_queries: 8_000,
+        oldenburg: true,
+        movement: MovementModel::Brinkhoff,
+        seed,
+        ..Params::default()
+    }
+    .scaled(scale)
+}
+
+fn fig19a(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [1_000usize, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000]
+        .into_iter()
+        .map(|q| {
+            let p = oldenburg_base(scale, seed);
+            let q_scaled = (((q as f64) * scale).round() as usize).max(1);
+            (format!("Q={}K", q / 1000), Params { n_queries: q_scaled, ..p })
+        })
+        .collect()
+}
+
+fn fig19b(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    sweep_k(scale, seed, true)
+}
+
+/// Ablation (not in the paper): IMA with vs without influence lists.
+fn ablation_influence(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [0.05, 0.10, 0.20]
+        .into_iter()
+        .map(|f| {
+            (format!("f_obj={}%", (f * 100.0) as u32), Params { object_agility: f, ..base(scale, seed) })
+        })
+        .collect()
+}
+
+/// All experiments, in paper order.
+pub fn all_figures() -> Vec<Figure> {
+    vec![
+        Figure {
+            name: "fig13a",
+            title: "Figure 13(a): CPU time vs object cardinality N",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig13a,
+        },
+        Figure {
+            name: "fig13b",
+            title: "Figure 13(b): CPU time vs query cardinality Q",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig13b,
+        },
+        Figure {
+            name: "fig14a",
+            title: "Figure 14(a): CPU time vs number of NNs k (log scale in the paper)",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig14a,
+        },
+        Figure {
+            name: "fig14b",
+            title: "Figure 14(b): CPU time vs edge agility f_edg",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig14b,
+        },
+        Figure {
+            name: "fig15a",
+            title: "Figure 15(a): CPU time vs object agility f_obj",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig15a,
+        },
+        Figure {
+            name: "fig15b",
+            title: "Figure 15(b): CPU time vs object speed v_obj",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig15b,
+        },
+        Figure {
+            name: "fig16a",
+            title: "Figure 16(a): CPU time vs query agility f_qry",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig16a,
+        },
+        Figure {
+            name: "fig16b",
+            title: "Figure 16(b): CPU time vs query speed v_qry",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig16b,
+        },
+        Figure {
+            name: "fig17a",
+            title: "Figure 17(a): CPU time vs object/query distributions",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig17a,
+        },
+        Figure {
+            name: "fig17b",
+            title: "Figure 17(b): CPU time vs network size (fixed densities)",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig17b,
+        },
+        Figure {
+            name: "fig18a",
+            title: "Figure 18(a): memory (KBytes) vs query cardinality Q",
+            algos: Algo::memory_set(),
+            memory: true,
+            points: fig18a,
+        },
+        Figure {
+            name: "fig18b",
+            title: "Figure 18(b): memory (KBytes) vs number of NNs k",
+            algos: Algo::memory_set(),
+            memory: true,
+            points: fig18b,
+        },
+        Figure {
+            name: "fig19a",
+            title: "Figure 19(a): Brinkhoff generator, Oldenburg map — CPU time vs Q",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig19a,
+        },
+        Figure {
+            name: "fig19b",
+            title: "Figure 19(b): Brinkhoff generator, Oldenburg map — CPU time vs k",
+            algos: Algo::paper_set(),
+            memory: false,
+            points: fig19b,
+        },
+        Figure {
+            name: "ablation-il",
+            title: "Ablation: IMA with vs without influence lists",
+            algos: &[Algo::Ima, Algo::ImaNoInfluence],
+            memory: false,
+            points: ablation_influence,
+        },
+    ]
+}
+
+/// Finds a figure by its short name.
+pub fn figure_by_name(name: &str) -> Option<Figure> {
+    all_figures().into_iter().find(|f| f.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_figures_present() {
+        let names: Vec<&str> = all_figures().iter().map(|f| f.name).collect();
+        for expected in [
+            "fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b", "fig16a", "fig16b",
+            "fig17a", "fig17b", "fig18a", "fig18b", "fig19a", "fig19b",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn sweeps_have_paper_point_counts() {
+        let f = figure_by_name("fig13a").unwrap();
+        assert_eq!((f.points)(0.01, 1).len(), 5);
+        let f = figure_by_name("fig17a").unwrap();
+        assert_eq!((f.points)(0.01, 1).len(), 4);
+        let f = figure_by_name("fig19a").unwrap();
+        assert_eq!((f.points)(0.01, 1).len(), 7);
+    }
+
+    #[test]
+    fn sweep_varies_only_target_parameter() {
+        let f = figure_by_name("fig14b").unwrap();
+        let pts = (f.points)(0.02, 3);
+        let agilities: Vec<f64> = pts.iter().map(|(_, p)| p.edge_agility).collect();
+        assert_eq!(agilities, vec![0.01, 0.02, 0.04, 0.08, 0.16]);
+        for (_, p) in &pts {
+            assert_eq!(p.k, Params::default().k);
+            assert_eq!(p.n_queries, pts[0].1.n_queries);
+        }
+    }
+
+    #[test]
+    fn fig19_uses_brinkhoff_and_oldenburg() {
+        let f = figure_by_name("fig19a").unwrap();
+        for (_, p) in (f.points)(0.05, 1) {
+            assert!(p.oldenburg);
+            assert_eq!(p.movement, rnn_workload::MovementModel::Brinkhoff);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # rnn-bench
+//!
+//! Experiment harness reproducing **every table and figure** of the VLDB
+//! 2006 evaluation (§6). The `experiments` binary prints the same series
+//! the paper plots; the Criterion benches under `benches/` regenerate them
+//! at a reduced, CI-friendly scale.
+//!
+//! Layout:
+//! * [`params`] — the Table 2 parameter space, with paper defaults and a
+//!   uniform scaling knob,
+//! * [`runner`] — drives OVH/IMA/GMA (and the influence-list ablation) over
+//!   identical update streams, collecting CPU time, operation counters and
+//!   memory,
+//! * [`figures`] — one entry per experiment (Fig. 13a … Fig. 19b), each
+//!   mapping a swept parameter to a list of runs.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod params;
+pub mod runner;
+
+pub use figures::{all_figures, figure_by_name, Figure};
+pub use params::Params;
+pub use runner::{run_series, Algo, RunResult, SeriesPoint};

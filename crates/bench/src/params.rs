@@ -1,0 +1,188 @@
+//! The Table 2 parameter space.
+//!
+//! | Parameter | Default | Range |
+//! |---|---|---|
+//! | Number of objects (N) | 100K | 10, 50, 100, 150, 200 (K) |
+//! | Number of queries (Q) | 5K | 1, 3, 5, 7, 10 (K) |
+//! | Object distribution | Uniform | Gaussian, Uniform |
+//! | Query distribution | Gaussian | Gaussian, Uniform |
+//! | Number of NNs (k) | 50 | 1, 25, 50, 100, 200 |
+//! | Edge agility (f_edg) | 4% | 1, 2, 4, 8, 16 (%) |
+//! | Object speed (v_obj) | 1 edge/ts | 0.25, 0.5, 1, 2, 4 |
+//! | Object agility (f_obj) | 10% | 0, 5, 10, 15, 20 (%) |
+//! | Query speed (v_qry) | 1 edge/ts | 0.25, 0.5, 1, 2, 4 |
+//! | Query agility (f_qry) | 10% | 0, 5, 10, 15, 20 (%) |
+//!
+//! Plus the network itself: sub-networks of 1K–100K edges (10K default).
+//! [`Params::scaled`] shrinks N, Q and the edge count uniformly so the full
+//! figure grid completes in CI time while preserving the densities that
+//! drive every reported effect (objects per edge, queries per sequence).
+
+use std::sync::Arc;
+
+use rnn_roadnet::{generators, RoadNetwork};
+use rnn_workload::{Distribution, MovementModel, ScenarioConfig};
+
+/// One experiment configuration (Table 2 + the network).
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Approximate network size in edges.
+    pub edges: usize,
+    /// Object cardinality N.
+    pub n_objects: usize,
+    /// Query cardinality Q.
+    pub n_queries: usize,
+    /// NNs per query.
+    pub k: usize,
+    /// Object placement.
+    pub object_distribution: Distribution,
+    /// Query placement.
+    pub query_distribution: Distribution,
+    /// Edge agility (fraction per timestamp).
+    pub edge_agility: f64,
+    /// Object agility.
+    pub object_agility: f64,
+    /// Query agility.
+    pub query_agility: f64,
+    /// Object speed (× average edge length).
+    pub object_speed: f64,
+    /// Query speed.
+    pub query_speed: f64,
+    /// Movement model.
+    pub movement: MovementModel,
+    /// Use the Oldenburg-like map (Fig. 19) instead of the SF-like one.
+    pub oldenburg: bool,
+    /// RNG seed (drives both map generation and the update stream).
+    pub seed: u64,
+}
+
+impl Default for Params {
+    /// The paper's defaults (Table 2).
+    fn default() -> Self {
+        Self {
+            edges: 10_000,
+            n_objects: 100_000,
+            n_queries: 5_000,
+            k: 50,
+            object_distribution: Distribution::Uniform,
+            query_distribution: Distribution::gaussian_queries(),
+            edge_agility: 0.04,
+            object_agility: 0.10,
+            query_agility: 0.10,
+            object_speed: 1.0,
+            query_speed: 1.0,
+            movement: MovementModel::RandomWalk,
+            oldenburg: false,
+            seed: 42,
+        }
+    }
+}
+
+impl Params {
+    /// Uniformly scales the cardinalities (N, Q, edges) by `scale`,
+    /// preserving densities. `scale = 1.0` is the paper's setup.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        let s = |x: usize| ((x as f64 * scale).round() as usize).max(8);
+        self.edges = s(self.edges);
+        self.n_objects = s(self.n_objects);
+        self.n_queries = s(self.n_queries).max(1);
+        self
+    }
+
+    /// Builds the network for these parameters.
+    pub fn build_network(&self) -> Arc<RoadNetwork> {
+        if self.oldenburg {
+            // Fig. 19 uses the fixed Oldenburg map; honour `edges` anyway so
+            // scaled runs stay cheap.
+            if self.edges >= 7_035 {
+                Arc::new(generators::oldenburg_like(self.seed))
+            } else {
+                Arc::new(generators::san_francisco_like(self.edges, self.seed))
+            }
+        } else {
+            Arc::new(generators::san_francisco_like(self.edges, self.seed))
+        }
+    }
+
+    /// The scenario configuration for these parameters.
+    pub fn scenario_config(&self) -> ScenarioConfig {
+        ScenarioConfig {
+            num_objects: self.n_objects,
+            num_queries: self.n_queries,
+            k: self.k,
+            object_distribution: self.object_distribution,
+            query_distribution: self.query_distribution,
+            edge_agility: self.edge_agility,
+            object_agility: self.object_agility,
+            query_agility: self.query_agility,
+            object_speed: self.object_speed,
+            query_speed: self.query_speed,
+            movement: self.movement,
+            seed: self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1),
+        }
+    }
+
+    /// Renders Table 2 (defaults and ranges) as plain text.
+    pub fn table2() -> String {
+        let rows = [
+            ("Number of objects (N)", "100K", "10, 50, 100, 150, 200 (K)"),
+            ("Number of queries (Q)", "5K", "1, 3, 5, 7, 10 (K)"),
+            ("Object distribution", "Uniform", "Gaussian, Uniform"),
+            ("Query distribution", "Gaussian", "Gaussian, Uniform"),
+            ("Number of NNs (k)", "50", "1, 25, 50, 100, 200"),
+            ("Edge agility (f_edg)", "4%", "1, 2, 4, 8, 16 (%)"),
+            ("Object speed (v_obj)", "1 edge/ts", "0.25, 0.5, 1, 2, 4"),
+            ("Object agility (f_obj)", "10%", "0, 5, 10, 15, 20 (%)"),
+            ("Query speed (v_qry)", "1 edge/ts", "0.25, 0.5, 1, 2, 4"),
+            ("Query agility (f_qry)", "10%", "0, 5, 10, 15, 20 (%)"),
+        ];
+        let mut out = String::from("Table 2: System parameters\n");
+        out.push_str(&format!("{:<26} {:<11} {}\n", "Parameter", "Default", "Range"));
+        for (p, d, r) in rows {
+            out.push_str(&format!("{p:<26} {d:<11} {r}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let p = Params::default();
+        assert_eq!(p.edges, 10_000);
+        assert_eq!(p.n_objects, 100_000);
+        assert_eq!(p.n_queries, 5_000);
+        assert_eq!(p.k, 50);
+        assert_eq!(p.edge_agility, 0.04);
+        assert_eq!(p.object_agility, 0.10);
+    }
+
+    #[test]
+    fn scaling_preserves_density() {
+        let p = Params::default().scaled(0.1);
+        assert_eq!(p.edges, 1_000);
+        assert_eq!(p.n_objects, 10_000);
+        assert_eq!(p.n_queries, 500);
+        // Densities: 10 objects and 0.5 queries per edge.
+        assert!((p.n_objects as f64 / p.edges as f64 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_size_tracks_edges() {
+        let p = Params { edges: 500, ..Params::default() };
+        let net = p.build_network();
+        let ratio = net.num_edges() as f64 / 500.0;
+        assert!((0.8..1.2).contains(&ratio), "got {} edges", net.num_edges());
+    }
+
+    #[test]
+    fn table2_renders() {
+        let t = Params::table2();
+        assert!(t.contains("Edge agility"));
+        assert!(t.contains("100K"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Drives the monitors over identical update streams and collects the
+//! measurements the paper reports: CPU time per timestamp (the y-axis of
+//! Figs. 13–17 and 19), memory in KBytes (Fig. 18), plus deterministic
+//! operation counters (machine-independent shape validation; DESIGN.md
+//! substitution #3).
+
+use std::time::Duration;
+
+use rnn_core::{ContinuousMonitor, Gma, Ima, MemoryUsage, OpCounters, Ovh};
+use rnn_workload::Scenario;
+
+use crate::params::Params;
+
+/// Which algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// The from-scratch baseline (§6).
+    Ovh,
+    /// Incremental monitoring (§4).
+    Ima,
+    /// Group monitoring (§5).
+    Gma,
+    /// Ablation: IMA with influence lists disabled (every update hits
+    /// every query). Quantifies the paper's "ignore irrelevant updates"
+    /// claim.
+    ImaNoInfluence,
+}
+
+impl Algo {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Ovh => "OVH",
+            Algo::Ima => "IMA",
+            Algo::Gma => "GMA",
+            Algo::ImaNoInfluence => "IMA-noIL",
+        }
+    }
+
+    /// The three paper algorithms.
+    pub fn paper_set() -> &'static [Algo] {
+        &[Algo::Ovh, Algo::Ima, Algo::Gma]
+    }
+
+    /// IMA and GMA only (the memory experiments of Fig. 18).
+    pub fn memory_set() -> &'static [Algo] {
+        &[Algo::Ima, Algo::Gma]
+    }
+}
+
+/// Measurements for one `(parameter value, algorithm)` cell.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Algorithm.
+    pub algo: Algo,
+    /// Mean wall-clock processing time per timestamp (seconds).
+    pub cpu_per_ts: f64,
+    /// Mean deterministic work units per timestamp (see
+    /// [`OpCounters::work`]).
+    pub work_per_ts: f64,
+    /// Resident memory at the end of the run (KBytes, Fig. 18's unit) —
+    /// per-algorithm state only (trees, influence lists, tables).
+    pub memory_kb: f64,
+    /// Active node count (GMA only; the paper reports e.g. "844 active
+    /// nodes on average").
+    pub active_nodes: Option<usize>,
+    /// Mean updates ignored per timestamp.
+    pub ignored_per_ts: f64,
+}
+
+/// A labelled point of a figure series.
+#[derive(Clone, Debug)]
+pub struct SeriesPoint {
+    /// X-axis label (e.g. `"N=10K"` or `"k=25"`).
+    pub label: String,
+    /// One result per requested algorithm.
+    pub results: Vec<RunResult>,
+}
+
+fn algo_memory(m: &MemoryUsage) -> f64 {
+    // Fig. 18 compares *algorithm state*: query table, expansion trees and
+    // influence lists. The shared edge table and scratch space are common
+    // to all methods and excluded, as in the paper's discussion.
+    (m.query_table + m.expansion_trees + m.influence_lists) as f64 / 1024.0
+}
+
+/// Instantiates a monitor for `algo` over `net`.
+pub fn make_monitor(
+    algo: Algo,
+    net: std::sync::Arc<rnn_roadnet::RoadNetwork>,
+) -> Box<dyn ContinuousMonitor> {
+    match algo {
+        Algo::Ovh => Box::new(Ovh::new(net)),
+        Algo::Ima => Box::new(Ima::new(net)),
+        Algo::Gma => Box::new(Gma::new(net)),
+        Algo::ImaNoInfluence => {
+            let mut ima = Ima::new(net);
+            ima.set_use_influence_lists(false);
+            Box::new(ima)
+        }
+    }
+}
+
+/// Runs one parameter point for the given algorithms.
+///
+/// All monitors consume the **same** update stream. Each is timed on its
+/// own `tick` calls only; `warmup` leading timestamps are excluded from the
+/// averages (the first ticks pay one-off allocation costs).
+pub fn run_point(params: &Params, algos: &[Algo], timestamps: usize, warmup: usize) -> Vec<RunResult> {
+    let net = params.build_network();
+    let mut scenario = Scenario::new(net.clone(), params.scenario_config());
+
+    let mut monitors: Vec<(Algo, Box<dyn ContinuousMonitor>)> =
+        algos.iter().map(|&a| (a, make_monitor(a, net.clone()))).collect();
+    for (_, m) in &mut monitors {
+        scenario.install_into(m.as_mut());
+    }
+
+    let mut elapsed = vec![Duration::ZERO; monitors.len()];
+    let mut counters = vec![OpCounters::default(); monitors.len()];
+    let measured = timestamps.saturating_sub(warmup).max(1);
+    for t in 0..timestamps {
+        let batch = scenario.tick();
+        for (i, (_, m)) in monitors.iter_mut().enumerate() {
+            let rep = m.tick(&batch);
+            if t >= warmup {
+                elapsed[i] += rep.elapsed;
+                counters[i].merge(&rep.counters);
+            }
+        }
+    }
+
+    monitors
+        .iter()
+        .enumerate()
+        .map(|(i, (a, m))| {
+            let mem = m.memory();
+            let active = m.active_groups();
+            RunResult {
+                algo: *a,
+                cpu_per_ts: elapsed[i].as_secs_f64() / measured as f64,
+                work_per_ts: counters[i].work() as f64 / measured as f64,
+                memory_kb: algo_memory(&mem),
+                active_nodes: active,
+                ignored_per_ts: counters[i].updates_ignored as f64 / measured as f64,
+            }
+        })
+        .collect()
+}
+
+/// Runs a whole series (one figure): `points` are `(label, Params)` pairs.
+/// With `parallel`, independent points run on worker threads (faster, but
+/// wall-clock timings become noisier — intended for shape checks, not for
+/// reporting).
+pub fn run_series(
+    points: &[(String, Params)],
+    algos: &[Algo],
+    timestamps: usize,
+    warmup: usize,
+    parallel: bool,
+) -> Vec<SeriesPoint> {
+    if parallel {
+        let mut out: Vec<Option<SeriesPoint>> = vec![None; points.len()];
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, (label, p)) in points.iter().enumerate() {
+                handles.push((i, scope.spawn(move |_| SeriesPoint {
+                    label: label.clone(),
+                    results: run_point(p, algos, timestamps, warmup),
+                })));
+            }
+            for (i, h) in handles {
+                out[i] = Some(h.join().expect("experiment thread panicked"));
+            }
+        })
+        .expect("scope");
+        out.into_iter().map(|o| o.expect("all points filled")).collect()
+    } else {
+        points
+            .iter()
+            .map(|(label, p)| SeriesPoint {
+                label: label.clone(),
+                results: run_point(p, algos, timestamps, warmup),
+            })
+            .collect()
+    }
+}
+
+/// Formats a series as an aligned text table (one row per point, one column
+/// group per algorithm).
+pub fn format_series(title: &str, series: &[SeriesPoint], show_memory: bool) -> String {
+    let mut out = format!("## {title}\n");
+    if series.is_empty() {
+        return out;
+    }
+    let algos: Vec<Algo> = series[0].results.iter().map(|r| r.algo).collect();
+    out.push_str(&format!("{:<16}", "param"));
+    for a in &algos {
+        if show_memory {
+            out.push_str(&format!("{:>14}", format!("{} KB", a.name())));
+        } else {
+            out.push_str(&format!("{:>14}", format!("{} s/ts", a.name())));
+            out.push_str(&format!("{:>14}", format!("{} work", a.name())));
+        }
+    }
+    out.push('\n');
+    for p in series {
+        out.push_str(&format!("{:<16}", p.label));
+        for r in &p.results {
+            if show_memory {
+                out.push_str(&format!("{:>14.1}", r.memory_kb));
+            } else {
+                out.push_str(&format!("{:>14.6}", r.cpu_per_ts));
+                out.push_str(&format!("{:>14.0}", r.work_per_ts));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params { edges: 150, n_objects: 300, n_queries: 15, k: 4, ..Params::default() }
+    }
+
+    #[test]
+    fn run_point_produces_results_for_all_algos() {
+        let rs = run_point(&tiny(), Algo::paper_set(), 4, 1);
+        assert_eq!(rs.len(), 3);
+        for r in &rs {
+            assert!(r.cpu_per_ts >= 0.0);
+            assert!(r.work_per_ts > 0.0, "{:?} did no work", r.algo);
+            assert!(r.memory_kb > 0.0);
+        }
+    }
+
+    #[test]
+    fn incremental_beats_overhaul_on_work() {
+        // The headline claim: IMA and GMA do less deterministic work per
+        // timestamp than recomputing everything from scratch.
+        let rs = run_point(&tiny(), Algo::paper_set(), 6, 2);
+        let by = |a: Algo| rs.iter().find(|r| r.algo == a).unwrap().work_per_ts;
+        assert!(by(Algo::Ima) < by(Algo::Ovh), "IMA {} !< OVH {}", by(Algo::Ima), by(Algo::Ovh));
+        assert!(by(Algo::Gma) < by(Algo::Ovh), "GMA {} !< OVH {}", by(Algo::Gma), by(Algo::Ovh));
+    }
+
+    #[test]
+    fn influence_list_ablation_ignores_nothing() {
+        let rs = run_point(&tiny(), &[Algo::Ima, Algo::ImaNoInfluence], 4, 1);
+        let ima = &rs[0];
+        let abl = &rs[1];
+        assert!(ima.ignored_per_ts > 0.0, "IMA should ignore some updates");
+        assert_eq!(abl.ignored_per_ts, 0.0, "the ablation processes everything");
+        assert!(abl.work_per_ts >= ima.work_per_ts);
+    }
+
+    #[test]
+    fn series_runs_and_formats() {
+        let pts = vec![
+            ("a".to_string(), tiny()),
+            ("b".to_string(), Params { n_objects: 600, ..tiny() }),
+        ];
+        let series = run_series(&pts, &[Algo::Ima], 3, 1, false);
+        let txt = format_series("Test", &series, false);
+        assert!(txt.contains("IMA s/ts"));
+        assert!(txt.lines().count() >= 4);
+    }
+
+    #[test]
+    fn parallel_series_matches_labels() {
+        let pts = vec![("x".to_string(), tiny()), ("y".to_string(), tiny())];
+        let series = run_series(&pts, &[Algo::Gma], 2, 0, true);
+        assert_eq!(series[0].label, "x");
+        assert_eq!(series[1].label, "y");
+    }
+}

@@ -1,0 +1,126 @@
+//! Operation counters, per-timestamp reports, and memory accounting.
+//!
+//! The paper reports CPU seconds per timestamp and memory KBytes (Figs.
+//! 13–19). Wall-clock time on a different machine cannot match absolute
+//! numbers, so in addition to timing we expose deterministic operation
+//! counters — they make the *shape* of every curve reproducible and
+//! machine-independent (see DESIGN.md, substitution #3).
+
+use std::time::Duration;
+
+/// Deterministic work counters accumulated while processing a timestamp.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Network nodes settled by expansions (Dijkstra pops).
+    pub nodes_settled: u64,
+    /// Edges scanned for objects during expansions.
+    pub edges_scanned: u64,
+    /// Object entries considered as result candidates.
+    pub objects_considered: u64,
+    /// Heap relaxations performed.
+    pub relaxations: u64,
+    /// Updates discarded without touching any query (the influence-list
+    /// fast path, §4.2: "irrelevant updates are simply ignored").
+    pub updates_ignored: u64,
+    /// Queries (or active nodes) whose result was re-derived this tick.
+    pub reevaluations: u64,
+    /// Expansion-tree nodes pruned while invalidating tree parts.
+    pub tree_nodes_pruned: u64,
+}
+
+impl OpCounters {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.nodes_settled += other.nodes_settled;
+        self.edges_scanned += other.edges_scanned;
+        self.objects_considered += other.objects_considered;
+        self.relaxations += other.relaxations;
+        self.updates_ignored += other.updates_ignored;
+        self.reevaluations += other.reevaluations;
+        self.tree_nodes_pruned += other.tree_nodes_pruned;
+    }
+
+    /// A single scalar proxy for CPU work (used by tests that assert one
+    /// strategy does less work than another).
+    pub fn work(&self) -> u64 {
+        self.nodes_settled + self.edges_scanned + self.objects_considered + self.relaxations
+    }
+}
+
+/// What happened while processing one timestamp.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TickReport {
+    /// Wall-clock processing time for the tick.
+    pub elapsed: Duration,
+    /// Number of queries whose *reported result* changed this tick.
+    pub results_changed: usize,
+    /// Deterministic work counters.
+    pub counters: OpCounters,
+}
+
+/// Breakdown of a monitor's resident memory (Fig. 18 reports KBytes).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryUsage {
+    /// Edge table: per-edge object lists and weights.
+    pub edge_table: usize,
+    /// Query/anchor table: positions, results.
+    pub query_table: usize,
+    /// Expansion trees.
+    pub expansion_trees: usize,
+    /// Influence lists.
+    pub influence_lists: usize,
+    /// Auxiliary structures (sequence table, active-node bookkeeping,
+    /// scratch Dijkstra state).
+    pub auxiliary: usize,
+}
+
+impl MemoryUsage {
+    /// Total bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.edge_table
+            + self.query_table
+            + self.expansion_trees
+            + self.influence_lists
+            + self.auxiliary
+    }
+
+    /// Total in KBytes (the paper's unit in Fig. 18).
+    pub fn total_kbytes(&self) -> f64 {
+        self.total_bytes() as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge() {
+        let mut a = OpCounters { nodes_settled: 1, edges_scanned: 2, ..Default::default() };
+        let b = OpCounters {
+            nodes_settled: 10,
+            objects_considered: 5,
+            updates_ignored: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes_settled, 11);
+        assert_eq!(a.edges_scanned, 2);
+        assert_eq!(a.objects_considered, 5);
+        assert_eq!(a.updates_ignored, 3);
+        assert_eq!(a.work(), 11 + 2 + 5);
+    }
+
+    #[test]
+    fn memory_totals() {
+        let m = MemoryUsage {
+            edge_table: 1024,
+            query_table: 1024,
+            expansion_trees: 2048,
+            influence_lists: 0,
+            auxiliary: 0,
+        };
+        assert_eq!(m.total_bytes(), 4096);
+        assert!((m.total_kbytes() - 4.0).abs() < 1e-12);
+    }
+}

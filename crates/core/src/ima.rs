@@ -1,0 +1,272 @@
+//! **IMA** — the incremental monitoring algorithm (§4).
+//!
+//! Each user query is an anchor of an [`AnchorSet`]: it carries an
+//! expansion tree and registers influencing intervals on the edges it can
+//! see. A timestamp is processed by the complete IMA schedule of Figure 10
+//! (implemented in [`AnchorSet::tick`]): updates that fall outside every
+//! influence region are discarded unprocessed, and affected queries are
+//! refreshed by re-expanding from the surviving part of their trees.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rnn_roadnet::{FxHashMap, NetPoint, ObjectId, QueryId, RoadNetwork};
+
+use crate::anchor::{AnchorKey, AnchorSet};
+use crate::counters::{MemoryUsage, OpCounters, TickReport};
+use crate::monitor::ContinuousMonitor;
+use crate::state::NetworkState;
+use crate::types::{Neighbor, RootPos, UpdateBatch};
+
+/// The incremental monitoring algorithm.
+pub struct Ima {
+    state: NetworkState,
+    anchors: AnchorSet,
+    by_query: FxHashMap<QueryId, AnchorKey>,
+}
+
+impl Ima {
+    /// Creates an IMA server over `net` with base weights and no objects.
+    pub fn new(net: Arc<RoadNetwork>) -> Self {
+        let state = NetworkState::new(&net);
+        Self { state, anchors: AnchorSet::new(net), by_query: FxHashMap::default() }
+    }
+
+    /// Disables influence lists (ablation): every update is delivered to
+    /// every query. Results are unchanged; only the work differs.
+    pub fn set_use_influence_lists(&mut self, on: bool) {
+        self.anchors.use_influence_lists = on;
+    }
+
+    /// The dynamic network state (for inspection in tests/examples).
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    /// Validates all internal invariants (expansion trees, result
+    /// distances) against independent shortest-path computations.
+    /// Intended for tests; cost is one bounded Dijkstra per query.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant.
+    pub fn validate_invariants(&mut self) {
+        self.anchors.validate(&self.state);
+    }
+
+    /// The queries whose influencing intervals cover `(edge, frac)`
+    /// (tests/debugging).
+    pub fn covering_queries(&self, edge: rnn_roadnet::EdgeId, frac: f64) -> Vec<QueryId> {
+        let keys = self.anchors.covering(edge, frac);
+        self.by_query
+            .iter()
+            .filter(|(_, k)| keys.contains(k))
+            .map(|(&q, _)| q)
+            .collect()
+    }
+
+    /// Direct access to a query's anchor record (tests/debugging).
+    pub fn anchor_of(&self, id: QueryId) -> Option<&crate::anchor::AnchorRec> {
+        self.anchors.get(*self.by_query.get(&id)?)
+    }
+}
+
+impl ContinuousMonitor for Ima {
+    fn name(&self) -> &'static str {
+        "IMA"
+    }
+
+    fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
+        self.state.objects.insert(id, at);
+    }
+
+    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
+        assert!(!self.by_query.contains_key(&id), "query {id:?} already installed");
+        self.state.queries.insert(id, (k, at));
+        let mut c = OpCounters::default();
+        let key = self.anchors.add(&self.state, RootPos::Point(at), k, &mut c);
+        self.by_query.insert(id, key);
+    }
+
+    fn remove_query(&mut self, id: QueryId) {
+        if let Some(key) = self.by_query.remove(&id) {
+            self.anchors.remove(key);
+            self.state.queries.remove(&id);
+        }
+    }
+
+    fn tick(&mut self, batch: &UpdateBatch) -> TickReport {
+        let start = Instant::now();
+        let mut counters = OpCounters::default();
+        let deltas = self.state.apply_batch(batch);
+
+        // Terminated queries leave before any other processing (§4.5: "we
+        // perform these tasks before processing any update, to avoid
+        // redundant computations for terminated queries").
+        let mut root_moves = Vec::new();
+        let mut installs = Vec::new();
+        for d in &deltas.queries {
+            match (d.old, d.new) {
+                (Some(_), None) => {
+                    if let Some(key) = self.by_query.remove(&d.id) {
+                        self.anchors.remove(key);
+                    }
+                }
+                (Some((k_old, _)), Some((k_new, at))) => {
+                    let key = self.by_query[&d.id];
+                    if k_old != k_new {
+                        self.anchors.set_k(&self.state, key, k_new, &mut counters);
+                    }
+                    root_moves.push((key, RootPos::Point(at)));
+                }
+                (None, Some((k, at))) => installs.push((d.id, k, at)),
+                (None, None) => {}
+            }
+        }
+
+        let out = self.anchors.tick(&self.state, &deltas.objects, &deltas.edges, &root_moves);
+        counters.merge(&out.counters);
+        let mut results_changed = out.changed.len();
+
+        // Newly installed queries compute their initial result after all
+        // updates took place (§4.5: "after line 19 in Figure 10").
+        for (id, k, at) in installs {
+            let key = self.anchors.add(&self.state, RootPos::Point(at), k, &mut counters);
+            self.by_query.insert(id, key);
+            results_changed += 1;
+        }
+
+        TickReport { elapsed: start.elapsed(), results_changed, counters }
+    }
+
+    fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        let key = self.by_query.get(&id)?;
+        Some(&self.anchors.get(*key)?.result)
+    }
+
+    fn knn_dist(&self, id: QueryId) -> Option<f64> {
+        let key = self.by_query.get(&id)?;
+        Some(self.anchors.get(*key)?.knn_dist)
+    }
+
+    fn query_ids(&self) -> Vec<QueryId> {
+        self.by_query.keys().copied().collect()
+    }
+
+    fn memory(&self) -> MemoryUsage {
+        let (query_table, expansion_trees, influence_lists) = self.anchors.memory_breakdown();
+        MemoryUsage {
+            edge_table: self.state.memory_bytes(),
+            query_table: query_table
+                + self.by_query.capacity()
+                    * (std::mem::size_of::<QueryId>() + std::mem::size_of::<AnchorKey>()),
+            expansion_trees,
+            influence_lists,
+            auxiliary: self.anchors.scratch_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{EdgeWeightUpdate, ObjectEvent, QueryEvent};
+    use rnn_roadnet::{generators, EdgeId};
+
+    fn setup() -> Ima {
+        let net = Arc::new(generators::line_network(6, 1.0));
+        let mut ima = Ima::new(net.clone());
+        for e in net.edge_ids() {
+            ima.insert_object(ObjectId(e.0), NetPoint::new(e, 0.5));
+        }
+        ima
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut ima = setup();
+        ima.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
+        assert_eq!(ima.result(QueryId(1)).unwrap().len(), 2);
+        assert_eq!(ima.query_ids(), vec![QueryId(1)]);
+        ima.remove_query(QueryId(1));
+        assert!(ima.result(QueryId(1)).is_none());
+        assert!(ima.query_ids().is_empty());
+    }
+
+    #[test]
+    fn empty_tick_is_cheap_and_stable() {
+        let mut ima = setup();
+        ima.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
+        let before = ima.result(QueryId(1)).unwrap().to_vec();
+        let rep = ima.tick(&UpdateBatch::default());
+        assert_eq!(rep.results_changed, 0);
+        assert_eq!(rep.counters.reevaluations, 0, "nothing should be recomputed");
+        assert_eq!(ima.result(QueryId(1)).unwrap(), before.as_slice());
+    }
+
+    #[test]
+    fn query_install_and_move_via_batch() {
+        let mut ima = setup();
+        ima.tick(&UpdateBatch {
+            queries: vec![QueryEvent::Install { id: QueryId(3), k: 1, at: NetPoint::new(EdgeId(0), 0.5) }],
+            ..Default::default()
+        });
+        assert_eq!(ima.result(QueryId(3)).unwrap()[0].object, ObjectId(0));
+        ima.tick(&UpdateBatch {
+            queries: vec![QueryEvent::Move { id: QueryId(3), to: NetPoint::new(EdgeId(4), 0.5) }],
+            ..Default::default()
+        });
+        assert_eq!(ima.result(QueryId(3)).unwrap()[0].object, ObjectId(4));
+        ima.tick(&UpdateBatch {
+            queries: vec![QueryEvent::Remove { id: QueryId(3) }],
+            ..Default::default()
+        });
+        assert!(ima.result(QueryId(3)).is_none());
+    }
+
+    #[test]
+    fn mixed_updates_in_one_tick() {
+        let mut ima = setup();
+        ima.install_query(QueryId(1), 2, NetPoint::new(EdgeId(1), 0.5));
+        // Simultaneously: weight change near the query, an object leaves,
+        // another arrives.
+        let rep = ima.tick(&UpdateBatch {
+            objects: vec![
+                ObjectEvent::Delete { id: ObjectId(1) },
+                ObjectEvent::Move { id: ObjectId(4), to: NetPoint::new(EdgeId(1), 0.75) },
+            ],
+            edges: vec![EdgeWeightUpdate { edge: EdgeId(0), new_weight: 1.5 }],
+            ..Default::default()
+        });
+        assert_eq!(rep.results_changed, 1);
+        let r = ima.result(QueryId(1)).unwrap();
+        // From x=1.5: o4 now at 0.25, o0 at 0.5 + ... edge0 weight 1.5 ->
+        // o0 at frac 0.5 of edge0: dist = 0.5 (to node1) + 0.75 = 1.25;
+        // o2 at 1.0.
+        assert_eq!(r[0].object, ObjectId(4));
+        assert!((r[0].dist - 0.25).abs() < 1e-12);
+        assert_eq!(r[1].object, ObjectId(2));
+        assert!((r[1].dist - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_reports_trees_and_influence() {
+        let mut ima = setup();
+        ima.install_query(QueryId(1), 3, NetPoint::new(EdgeId(2), 0.5));
+        let m = ima.memory();
+        assert!(m.expansion_trees > 0, "IMA stores expansion trees");
+        assert!(m.influence_lists > 0, "IMA stores influence lists");
+    }
+
+    #[test]
+    fn k_change_via_reinstall() {
+        let mut ima = setup();
+        ima.install_query(QueryId(1), 1, NetPoint::new(EdgeId(2), 0.5));
+        // Install event for an existing query with different k acts as a
+        // k-change.
+        ima.tick(&UpdateBatch {
+            queries: vec![QueryEvent::Install { id: QueryId(1), k: 4, at: NetPoint::new(EdgeId(2), 0.5) }],
+            ..Default::default()
+        });
+        assert_eq!(ima.result(QueryId(1)).unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,72 @@
+//! # rnn-core
+//!
+//! Continuous k-nearest-neighbor monitoring in road networks — a faithful
+//! implementation of Mouratidis, Yiu, Papadias, Mamoulis, *"Continuous
+//! Nearest Neighbor Monitoring in Road Networks"*, VLDB 2006.
+//!
+//! A central server tracks a set of moving data objects, a set of moving
+//! continuous k-NN queries, and fluctuating edge weights, and must keep
+//! every query's k-NN set (by network distance) up to date at every
+//! timestamp. Three monitors implement the common [`ContinuousMonitor`]
+//! trait:
+//!
+//! * [`Ovh`] — the *overhaul* baseline (§6): recompute every query from
+//!   scratch each timestamp with the Figure-2 network expansion.
+//! * [`Ima`] — the *incremental monitoring algorithm* (§4): per-query
+//!   expansion trees plus per-edge influence lists; only updates that can
+//!   invalidate a result are processed, and the valid part of each tree is
+//!   reused when re-expanding.
+//! * [`Gma`] — the *group monitoring algorithm* (§5): the network is
+//!   decomposed into sequences (paths between intersections); the k-NN sets
+//!   of *active* intersection nodes are monitored with the IMA machinery
+//!   and shared by every query inside the adjacent sequences (Lemma 1).
+//!
+//! As an extension (§7, future work) the crate also provides [`crnn::Crnn`],
+//! continuous *reverse* nearest-neighbor monitoring built on the same
+//! primitives.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rnn_core::{ContinuousMonitor, Ima, UpdateBatch};
+//! use rnn_roadnet::{generators, EdgeId, NetPoint, ObjectId, QueryId};
+//! use std::sync::Arc;
+//!
+//! let net = Arc::new(generators::grid_city(&generators::GridCityConfig {
+//!     nx: 6, ny: 6, seed: 1, ..Default::default()
+//! }));
+//! let mut ima = Ima::new(net.clone());
+//! // Populate: one object per fifth edge.
+//! for (i, e) in net.edge_ids().enumerate().step_by(5) {
+//!     ima.insert_object(ObjectId(i as u32), NetPoint::new(e, 0.5));
+//! }
+//! // Install a 3-NN query and read its result.
+//! ima.install_query(QueryId(0), 3, NetPoint::new(EdgeId(0), 0.25));
+//! let result = ima.result(QueryId(0)).unwrap();
+//! assert_eq!(result.len(), 3);
+//! // Advance one (empty) timestamp.
+//! ima.tick(&UpdateBatch::default());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod anchor;
+pub mod counters;
+pub mod crnn;
+pub mod gma;
+pub mod ima;
+pub mod influence;
+pub mod monitor;
+pub mod ovh;
+pub mod search;
+pub mod state;
+pub mod tree;
+pub mod types;
+
+pub use counters::{MemoryUsage, OpCounters, TickReport};
+pub use gma::Gma;
+pub use ima::Ima;
+pub use monitor::ContinuousMonitor;
+pub use ovh::Ovh;
+pub use types::{EdgeWeightUpdate, Neighbor, ObjectEvent, QueryEvent, RootPos, UpdateBatch};

@@ -1,0 +1,52 @@
+//! The common interface of all continuous-monitoring algorithms.
+
+use rnn_roadnet::{NetPoint, ObjectId, QueryId};
+
+use crate::counters::{MemoryUsage, TickReport};
+use crate::types::{Neighbor, UpdateBatch};
+
+/// A continuous k-NN monitoring server (§1: "a central server that monitors
+/// the positions of CkNN queries and objects, as well as the current edge
+/// weights [...] The task of the server is to continuously compute and
+/// update the result of each query").
+///
+/// Implementations: [`crate::Ovh`] (baseline), [`crate::Ima`] (§4),
+/// [`crate::Gma`] (§5).
+pub trait ContinuousMonitor {
+    /// Algorithm name (for experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Registers a data object at its initial position.
+    fn insert_object(&mut self, id: ObjectId, at: NetPoint);
+
+    /// Installs a continuous `k`-NN query and computes its initial result.
+    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint);
+
+    /// Terminates a query.
+    fn remove_query(&mut self, id: QueryId);
+
+    /// Processes one timestamp of updates and refreshes all affected
+    /// results.
+    fn tick(&mut self, batch: &UpdateBatch) -> TickReport;
+
+    /// The current k-NN set of a query, sorted by `(dist, id)`.
+    fn result(&self, id: QueryId) -> Option<&[Neighbor]>;
+
+    /// The current `kNN_dist` of a query (distance of its k-th neighbor;
+    /// `∞` while fewer than k objects are reachable).
+    fn knn_dist(&self, id: QueryId) -> Option<f64>;
+
+    /// Ids of all registered queries (arbitrary order).
+    fn query_ids(&self) -> Vec<QueryId>;
+
+    /// Resident-memory breakdown (Fig. 18).
+    fn memory(&self) -> MemoryUsage;
+
+    /// For shared-execution monitors, the number of grouping units
+    /// currently maintained (GMA's active nodes; the paper reports these
+    /// counts, e.g. "GMA monitors only 844 active nodes on the average").
+    /// `None` for per-query monitors.
+    fn active_groups(&self) -> Option<usize> {
+        None
+    }
+}

@@ -1,0 +1,242 @@
+//! **OVH** — the overhaul baseline (§6).
+//!
+//! > "As a benchmark against IMA and GMA, we use an overhaul method (OVH)
+//! > that computes each query from scratch at every timestamp, using the
+//! > algorithm of Figure 2."
+//!
+//! OVH maintains no expansion trees and no influence lists between
+//! timestamps; it simply re-runs the initial-result computation for every
+//! registered query whenever anything (or nothing) happens.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rnn_roadnet::{DijkstraEngine, FxHashMap, NetPoint, ObjectId, QueryId, RoadNetwork};
+
+use crate::counters::{MemoryUsage, OpCounters, TickReport};
+use crate::monitor::ContinuousMonitor;
+use crate::search::{knn_search, SearchContext};
+use crate::state::NetworkState;
+use crate::types::{Neighbor, QueryEvent, RootPos, UpdateBatch};
+
+struct OvhQuery {
+    k: usize,
+    pos: NetPoint,
+    result: Vec<Neighbor>,
+    knn_dist: f64,
+}
+
+/// The from-scratch baseline monitor.
+pub struct Ovh {
+    net: Arc<RoadNetwork>,
+    state: NetworkState,
+    queries: FxHashMap<QueryId, OvhQuery>,
+    engine: DijkstraEngine,
+}
+
+impl Ovh {
+    /// Creates an OVH server over `net` with base weights and no objects.
+    pub fn new(net: Arc<RoadNetwork>) -> Self {
+        let state = NetworkState::new(&net);
+        let engine = DijkstraEngine::new(net.num_nodes());
+        Self { net, state, queries: FxHashMap::default(), engine }
+    }
+
+    fn recompute(&mut self, id: QueryId, counters: &mut OpCounters) -> bool {
+        let q = self.queries.get_mut(&id).expect("query registered");
+        let ctx = SearchContext {
+            net: &self.net,
+            weights: &self.state.weights,
+            objects: &self.state.objects,
+        };
+        counters.reevaluations += 1;
+        let out = knn_search(
+            &ctx,
+            &mut self.engine,
+            RootPos::Point(q.pos),
+            q.k,
+            None,
+            &[],
+            counters,
+        );
+        let changed = out.result != q.result;
+        q.result = out.result;
+        q.knn_dist = out.knn_dist;
+        changed
+    }
+}
+
+impl ContinuousMonitor for Ovh {
+    fn name(&self) -> &'static str {
+        "OVH"
+    }
+
+    fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
+        self.state.objects.insert(id, at);
+    }
+
+    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
+        self.state.queries.insert(id, (k, at));
+        self.queries.insert(
+            id,
+            OvhQuery { k, pos: at, result: Vec::new(), knn_dist: f64::INFINITY },
+        );
+        let mut c = OpCounters::default();
+        self.recompute(id, &mut c);
+    }
+
+    fn remove_query(&mut self, id: QueryId) {
+        self.state.queries.remove(&id);
+        self.queries.remove(&id);
+    }
+
+    fn tick(&mut self, batch: &UpdateBatch) -> TickReport {
+        let start = Instant::now();
+        let mut counters = OpCounters::default();
+        let deltas = self.state.apply_batch(batch);
+        // Track query membership/position changes.
+        for d in &deltas.queries {
+            match (d.old, d.new) {
+                (_, Some((k, at))) => {
+                    let entry = self.queries.entry(d.id).or_insert(OvhQuery {
+                        k,
+                        pos: at,
+                        result: Vec::new(),
+                        knn_dist: f64::INFINITY,
+                    });
+                    entry.k = k;
+                    entry.pos = at;
+                }
+                (Some(_), None) => {
+                    self.queries.remove(&d.id);
+                }
+                (None, None) => {}
+            }
+        }
+        // Recompute everything from scratch.
+        let ids: Vec<QueryId> = {
+            let mut v: Vec<QueryId> = self.queries.keys().copied().collect();
+            v.sort();
+            v
+        };
+        let mut results_changed = 0;
+        for id in ids {
+            if self.recompute(id, &mut counters) {
+                results_changed += 1;
+            }
+        }
+        TickReport { elapsed: start.elapsed(), results_changed, counters }
+    }
+
+    fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.queries.get(&id).map(|q| q.result.as_slice())
+    }
+
+    fn knn_dist(&self, id: QueryId) -> Option<f64> {
+        self.queries.get(&id).map(|q| q.knn_dist)
+    }
+
+    fn query_ids(&self) -> Vec<QueryId> {
+        self.queries.keys().copied().collect()
+    }
+
+    fn memory(&self) -> MemoryUsage {
+        let query_table: usize = self
+            .queries
+            .values()
+            .map(|q| {
+                std::mem::size_of::<OvhQuery>() + q.result.capacity() * std::mem::size_of::<Neighbor>()
+            })
+            .sum();
+        MemoryUsage {
+            edge_table: self.state.memory_bytes(),
+            query_table,
+            expansion_trees: 0,
+            influence_lists: 0,
+            auxiliary: self.engine.memory_bytes(),
+        }
+    }
+}
+
+/// Convenience: batches often install queries mid-stream; OVH accepts them
+/// through [`UpdateBatch::queries`] as well.
+impl Ovh {
+    /// Applies a single query event outside a tick (used in tests).
+    pub fn apply_query_event(&mut self, ev: QueryEvent) {
+        let batch = UpdateBatch { queries: vec![ev], ..Default::default() };
+        self.tick(&batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{EdgeWeightUpdate, ObjectEvent};
+    use rnn_roadnet::{generators, EdgeId};
+
+    fn setup() -> Ovh {
+        let net = Arc::new(generators::line_network(6, 1.0));
+        let mut ovh = Ovh::new(net.clone());
+        for e in net.edge_ids() {
+            ovh.insert_object(ObjectId(e.0), NetPoint::new(e, 0.5));
+        }
+        ovh
+    }
+
+    #[test]
+    fn initial_result_and_queries() {
+        let mut ovh = setup();
+        ovh.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
+        let r = ovh.result(QueryId(1)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].object, ObjectId(2));
+        assert_eq!(ovh.query_ids(), vec![QueryId(1)]);
+        assert!((ovh.knn_dist(QueryId(1)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recomputes_every_tick() {
+        let mut ovh = setup();
+        ovh.install_query(QueryId(1), 1, NetPoint::new(EdgeId(0), 0.5));
+        let rep = ovh.tick(&UpdateBatch::default());
+        // Even an empty tick recomputes (that is the point of the baseline).
+        assert_eq!(rep.counters.reevaluations, 1);
+        assert_eq!(rep.results_changed, 0);
+    }
+
+    #[test]
+    fn reflects_object_and_edge_updates() {
+        let mut ovh = setup();
+        ovh.install_query(QueryId(1), 1, NetPoint::new(EdgeId(0), 0.25));
+        assert_eq!(ovh.result(QueryId(1)).unwrap()[0].object, ObjectId(0));
+        let rep = ovh.tick(&UpdateBatch {
+            objects: vec![ObjectEvent::Delete { id: ObjectId(0) }],
+            edges: vec![EdgeWeightUpdate { edge: EdgeId(1), new_weight: 0.1 }],
+            ..Default::default()
+        });
+        assert_eq!(rep.results_changed, 1);
+        let r = ovh.result(QueryId(1)).unwrap();
+        assert_eq!(r[0].object, ObjectId(1));
+        assert!((r[0].dist - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_install_and_remove_via_batch() {
+        let mut ovh = setup();
+        ovh.apply_query_event(QueryEvent::Install {
+            id: QueryId(5),
+            k: 1,
+            at: NetPoint::new(EdgeId(4), 0.5),
+        });
+        assert!(ovh.result(QueryId(5)).is_some());
+        ovh.apply_query_event(QueryEvent::Remove { id: QueryId(5) });
+        assert!(ovh.result(QueryId(5)).is_none());
+    }
+
+    #[test]
+    fn memory_reports_nonzero() {
+        let ovh = setup();
+        assert!(ovh.memory().total_bytes() > 0);
+        assert_eq!(ovh.memory().expansion_trees, 0, "OVH stores no trees");
+    }
+}

@@ -1,0 +1,492 @@
+//! The k-NN network expansion — Figure 2 of the paper, generalised.
+//!
+//! [`knn_search`] retrieves the k nearest objects of a root position by
+//! expanding the network around it (Dijkstra), interleaving object scanning
+//! with node settlement, and building the expansion tree as it goes.
+//!
+//! The same routine implements every (re-)computation in the system:
+//!
+//! * **initial result computation** (§4.1): `kept = None`;
+//! * **IMA re-expansion after updates** (§4.2–4.5): `kept` carries the
+//!   still-valid part of the expansion tree; its nodes are pre-settled (the
+//!   paper's "consider all nodes in the current q.tree as verified") and
+//!   expansion resumes from the frontier marks;
+//! * **OVH** (§6): `kept = None` every timestamp;
+//! * **GMA active-node monitoring** (§5): a [`RootPos::Node`] root.
+//!
+//! Termination follows the paper (line 7): expansion stops when the next
+//! heap key is no smaller than the distance of the current k-th candidate.
+
+use rnn_roadnet::{
+    DijkstraEngine, EdgeWeights, FxHashMap, FxHashSet, NodeId, ObjectId, RoadNetwork,
+};
+
+use crate::counters::OpCounters;
+use crate::state::ObjectIndex;
+use crate::tree::ExpansionTree;
+use crate::types::{sort_neighbors, Neighbor, RootPos};
+
+/// Immutable context for a search.
+pub struct SearchContext<'a> {
+    /// Network topology.
+    pub net: &'a RoadNetwork,
+    /// Current edge weights.
+    pub weights: &'a EdgeWeights,
+    /// Current object placement.
+    pub objects: &'a ObjectIndex,
+}
+
+/// The still-valid part of an expansion tree handed to a re-expansion.
+pub struct KeptTree<'a> {
+    /// The surviving tree (distances must be valid under the *current*
+    /// weights). Consumed and extended into the outcome tree.
+    pub tree: ExpansionTree,
+    /// When set to `(old_knn, changed_edges)`, kept-region edges that are
+    /// *strictly fully covered* within `old_knn` from one of their kept
+    /// endpoints — and whose weight is not in `changed_edges` — are **not**
+    /// re-scanned for objects. Every object on such an edge had distance
+    /// strictly below `old_knn`, hence was in the previous result, so the
+    /// caller must pass the previous result (with re-derived distances) via
+    /// `extra_candidates`. This turns the kept-region re-scan from
+    /// O(region) into O(frontier ring + changed edges).
+    pub selective: Option<(f64, &'a FxHashSet<rnn_roadnet::EdgeId>)>,
+}
+
+impl KeptTree<'_> {
+    /// Full re-scan of the kept region (always correct, no preconditions).
+    pub fn full(tree: ExpansionTree) -> Self {
+        KeptTree { tree, selective: None }
+    }
+}
+
+/// Result of a [`knn_search`].
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// The k best objects, sorted by `(dist, id)`. May contain fewer than
+    /// `k` entries when the network holds fewer reachable objects.
+    pub result: Vec<Neighbor>,
+    /// Distance of the k-th neighbor (`q.kNN_dist`), or `∞` when fewer than
+    /// `k` objects were found.
+    pub knn_dist: f64,
+    /// The expansion tree, pruned to `knn_dist`.
+    pub tree: ExpansionTree,
+}
+
+/// Bounded best-k candidate accumulator with object de-duplication.
+///
+/// Objects may be offered several times with different distances (an edge is
+/// scanned from both endpoints; Figure 3(b)) — the minimum wins, exactly as
+/// the paper's "keep only the instance with the smallest distance".
+///
+/// Public because GMA's within-sequence evaluation (§5) accumulates
+/// candidates the same way.
+pub struct BestK {
+    k: usize,
+    /// Best known distance per object (deduplication).
+    best_dist: FxHashMap<ObjectId, f64>,
+    /// The current k smallest, sorted ascending by `(dist, id)`.
+    top: Vec<Neighbor>,
+}
+
+impl BestK {
+    /// An empty accumulator for the `k` best candidates.
+    pub fn new(k: usize) -> Self {
+        Self { k, best_dist: FxHashMap::default(), top: Vec::with_capacity(k + 1) }
+    }
+
+    /// Distance of the k-th candidate, `∞` while fewer than k are known.
+    #[inline]
+    pub fn kth(&self) -> f64 {
+        if self.top.len() == self.k {
+            self.top[self.k - 1].dist
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Offers a candidate; keeps the minimum distance per object.
+    pub fn offer(&mut self, object: ObjectId, dist: f64) {
+        match self.best_dist.get_mut(&object) {
+            Some(d) if *d <= dist => return,
+            Some(d) => *d = dist,
+            None => {
+                self.best_dist.insert(object, dist);
+            }
+        }
+        // Remove a previous (worse) entry of the same object from the top
+        // list, then insert in order.
+        if let Some(i) = self.top.iter().position(|n| n.object == object) {
+            self.top.remove(i);
+        } else if self.top.len() == self.k && dist >= self.kth() {
+            return; // not better than the current k-th: top list unchanged
+        }
+        let key = (dist, object);
+        let at = self
+            .top
+            .partition_point(|n| (n.dist, n.object) < key);
+        self.top.insert(at, Neighbor { object, dist });
+        self.top.truncate(self.k);
+    }
+
+    /// The accumulated k best, sorted ascending by `(dist, id)`.
+    pub fn into_result(self) -> Vec<Neighbor> {
+        self.top
+    }
+}
+
+/// Scans the objects of edge `e` as seen from endpoint `n` settled at
+/// distance `d`, offering each to the candidate set.
+#[inline]
+fn scan_edge_from(
+    ctx: &SearchContext<'_>,
+    best: &mut BestK,
+    counters: &mut OpCounters,
+    e: rnn_roadnet::EdgeId,
+    n: NodeId,
+    d: f64,
+) {
+    counters.edges_scanned += 1;
+    let objs = ctx.objects.on_edge(e);
+    if objs.is_empty() {
+        return;
+    }
+    let w = ctx.weights.get(e);
+    let from_start = ctx.net.edge(e).start == n;
+    for &(obj, frac) in objs {
+        let along = if from_start { frac * w } else { (1.0 - frac) * w };
+        counters.objects_considered += 1;
+        best.offer(obj, d + along);
+    }
+}
+
+/// The k-NN expansion (Figure 2; see the module docs for the generalised
+/// modes). `kept` is consumed and extended into the outcome tree.
+///
+/// `extra_candidates` lets callers pre-load known-valid neighbors (the
+/// surviving NNs of §4.2) without a region rescan; with `rescan_kept` the
+/// whole kept region is re-scanned for objects (used whenever tree surgery
+/// may have invalidated stored NN distances).
+pub fn knn_search(
+    ctx: &SearchContext<'_>,
+    engine: &mut DijkstraEngine,
+    root: RootPos,
+    k: usize,
+    kept: Option<KeptTree<'_>>,
+    extra_candidates: &[Neighbor],
+    counters: &mut OpCounters,
+) -> SearchOutcome {
+    assert!(k >= 1, "k must be at least 1");
+    let mut best = BestK::new(k);
+    for n in extra_candidates {
+        counters.objects_considered += 1;
+        best.offer(n.object, n.dist);
+    }
+
+    engine.begin();
+    let (mut tree, selective) = match kept {
+        Some(kt) => (kt.tree, kt.selective),
+        None => (ExpansionTree::new(), None),
+    };
+
+    // Pre-settle the valid tree and seed the frontier from it.
+    if !tree.is_empty() {
+        for (n, rec) in tree.iter() {
+            engine.presettle(n, rec.dist);
+        }
+        for (n, rec) in tree.iter() {
+            // Re-scan the kept region for result candidates (selectively,
+            // see [`KeptTree::selective`]) and push the frontier (edges
+            // leading out of the kept set).
+            for &(e, m) in ctx.net.adjacent(n) {
+                let scan = match selective {
+                    None => true,
+                    Some((old_knn, changed)) => {
+                        let w = ctx.weights.get(e);
+                        let slack = crate::anchor::interval_slack(old_knn);
+                        // Strictly fully covered from this side → every
+                        // object on `e` was strictly inside the old result
+                        // region → already among `extra_candidates`.
+                        old_knn - rec.dist <= w + slack || changed.contains(&e)
+                    }
+                };
+                if scan {
+                    scan_edge_from(ctx, &mut best, counters, e, n, rec.dist);
+                }
+                if !tree.contains(m) {
+                    counters.relaxations += 1;
+                    engine.seed_via(m, rec.dist + ctx.weights.get(e), Some(n), Some(e));
+                }
+            }
+        }
+    }
+
+    // Root contributions.
+    match root {
+        RootPos::Point(p) => {
+            // Objects on the root edge at their direct along-edge distance
+            // (around-the-network paths are found via the endpoints later).
+            let w = ctx.weights.get(p.edge);
+            counters.edges_scanned += 1;
+            for &(obj, frac) in ctx.objects.on_edge(p.edge) {
+                counters.objects_considered += 1;
+                best.offer(obj, (frac - p.frac).abs() * w);
+            }
+            let rec = ctx.net.edge(p.edge);
+            if !tree.contains(rec.start) {
+                engine.seed(rec.start, p.frac * w, None);
+            }
+            if !tree.contains(rec.end) {
+                engine.seed(rec.end, (1.0 - p.frac) * w, None);
+            }
+        }
+        RootPos::Node(n) => {
+            if !tree.contains(n) {
+                engine.seed(n, 0.0, None);
+            }
+        }
+    }
+
+    // Main expansion loop (Figure 2, lines 7–23).
+    while let Some(next_d) = engine.peek_dist() {
+        if next_d >= best.kth() {
+            break;
+        }
+        let (n, d) = engine.pop_settle().expect("peek guaranteed an entry");
+        counters.nodes_settled += 1;
+        tree.insert(n, d, engine.parent_link_of(n));
+        for &(e, m) in ctx.net.adjacent(n) {
+            scan_edge_from(ctx, &mut best, counters, e, n, d);
+            counters.relaxations += 1;
+            engine.relax_via(m, n, Some(e), d + ctx.weights.get(e));
+        }
+    }
+
+    let mut result = best.into_result();
+    sort_neighbors(&mut result);
+    let knn_dist = if result.len() == k { result[k - 1].dist } else { f64::INFINITY };
+    // Figure 2 line 24 / §4.5 line 26: drop tree parts beyond kNN_dist.
+    counters.tree_nodes_pruned += tree.retain_within(knn_dist) as u64;
+    SearchOutcome { result, knn_dist, tree }
+}
+
+/// Exact network distance from a root to a point, *given* that the point is
+/// within the root's expansion tree region (i.e. at distance ≤ kNN_dist):
+/// the minimum over the point's edge endpoints in the tree, plus the direct
+/// along-edge path when the point shares the root's edge.
+///
+/// For points outside the region the returned value is an upper bound that
+/// is guaranteed to exceed `kNN_dist`, which is exactly what update
+/// classification needs (§4.2).
+pub fn dist_via_tree(
+    net: &RoadNetwork,
+    weights: &EdgeWeights,
+    tree: &ExpansionTree,
+    root: RootPos,
+    p: rnn_roadnet::NetPoint,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    if let RootPos::Point(rp) = root {
+        if rp.edge == p.edge {
+            best = (rp.frac - p.frac).abs() * weights.get(p.edge);
+        }
+    }
+    let rec = net.edge(p.edge);
+    let w = weights.get(p.edge);
+    if let Some(d) = tree.dist(rec.start) {
+        best = best.min(d + p.frac * w);
+    }
+    if let Some(d) = tree.dist(rec.end) {
+        best = best.min(d + (1.0 - p.frac) * w);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_roadnet::{generators, EdgeId, NetPoint};
+
+    /// Line 0-1-2-3-4, spacing 1; objects at the midpoints of edges 0..4.
+    fn line_ctx() -> (RoadNetwork, EdgeWeights, ObjectIndex) {
+        let net = generators::line_network(5, 1.0);
+        let w = EdgeWeights::from_base(&net);
+        let mut obj = ObjectIndex::new(net.num_edges());
+        for e in net.edge_ids() {
+            obj.insert(ObjectId(e.0), NetPoint::new(e, 0.5));
+        }
+        (net, w, obj)
+    }
+
+    #[test]
+    fn initial_search_on_line() {
+        let (net, weights, objects) = line_ctx();
+        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut c = OpCounters::default();
+        // Query at frac 0.5 of edge 1 (x = 1.5). Object distances:
+        // o1: 0, o0: 1, o2: 1, o3: 2, o4: 3.
+        let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
+        let out = knn_search(&ctx, &mut eng, root, 3, None, &[], &mut c);
+        assert_eq!(out.result.len(), 3);
+        assert_eq!(out.result[0], Neighbor { object: ObjectId(1), dist: 0.0 });
+        // Objects 0 and 2 tie at distance 1; id ascending.
+        assert_eq!(out.result[1], Neighbor { object: ObjectId(0), dist: 1.0 });
+        assert_eq!(out.result[2], Neighbor { object: ObjectId(2), dist: 1.0 });
+        assert_eq!(out.knn_dist, 1.0);
+        // Tree: all nodes within distance 1 of x=1.5 -> nodes 1 (x=1) and
+        // 2 (x=2), at distance 0.5 each.
+        assert_eq!(out.tree.len(), 2);
+        assert_eq!(out.tree.dist(NodeId(1)), Some(0.5));
+        assert_eq!(out.tree.dist(NodeId(2)), Some(0.5));
+        out.tree.check_invariants(&net, &weights);
+        assert!(c.nodes_settled >= 2);
+    }
+
+    #[test]
+    fn node_root_search() {
+        let (net, weights, objects) = line_ctx();
+        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut c = OpCounters::default();
+        let out = knn_search(&ctx, &mut eng, RootPos::Node(NodeId(0)), 2, None, &[], &mut c);
+        // From node 0: o0 at 0.5, o1 at 1.5.
+        assert_eq!(out.result[0], Neighbor { object: ObjectId(0), dist: 0.5 });
+        assert_eq!(out.result[1], Neighbor { object: ObjectId(1), dist: 1.5 });
+        assert_eq!(out.knn_dist, 1.5);
+        // Root node itself is in the tree at distance 0.
+        assert_eq!(out.tree.dist(NodeId(0)), Some(0.0));
+    }
+
+    #[test]
+    fn underflow_returns_fewer_than_k() {
+        let (net, weights, _) = line_ctx();
+        let mut objects = ObjectIndex::new(net.num_edges());
+        objects.insert(ObjectId(0), NetPoint::new(EdgeId(0), 0.5));
+        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut c = OpCounters::default();
+        let out =
+            knn_search(&ctx, &mut eng, RootPos::Point(NetPoint::new(EdgeId(2), 0.5)), 5, None, &[], &mut c);
+        assert_eq!(out.result.len(), 1);
+        assert_eq!(out.knn_dist, f64::INFINITY);
+        // The tree covers the whole (reachable) network.
+        assert_eq!(out.tree.len(), net.num_nodes());
+    }
+
+    #[test]
+    fn kept_tree_resumes_identically() {
+        // Run a fresh search; then re-run with the pruned tree of a smaller
+        // search as the kept part — results must match the fresh search.
+        let (net, weights, objects) = line_ctx();
+        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut c = OpCounters::default();
+        let root = RootPos::Point(NetPoint::new(EdgeId(0), 0.1));
+
+        let small = knn_search(&ctx, &mut eng, root, 2, None, &[], &mut c);
+        let fresh = knn_search(&ctx, &mut eng, root, 4, None, &[], &mut c);
+        let resumed =
+            knn_search(&ctx, &mut eng, root, 4, Some(KeptTree::full(small.tree)), &[], &mut c);
+        assert_eq!(fresh.result, resumed.result);
+        assert_eq!(fresh.knn_dist, resumed.knn_dist);
+        assert_eq!(fresh.tree.len(), resumed.tree.len());
+        resumed.tree.check_invariants(&net, &weights);
+    }
+
+    #[test]
+    fn extra_candidates_seed_result() {
+        let (net, weights, objects) = line_ctx();
+        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut c = OpCounters::default();
+        let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
+        // Claim a fake very-near candidate; it must appear in the result.
+        let out = knn_search(
+            &ctx,
+            &mut eng,
+            root,
+            2,
+            None,
+            &[Neighbor { object: ObjectId(99), dist: 0.25 }],
+            &mut c,
+        );
+        assert!(out.result.iter().any(|n| n.object == ObjectId(99)));
+    }
+
+    #[test]
+    fn best_k_dedups_and_keeps_minimum() {
+        let mut b = BestK::new(2);
+        b.offer(ObjectId(1), 5.0);
+        b.offer(ObjectId(2), 3.0);
+        b.offer(ObjectId(1), 2.0); // improves
+        b.offer(ObjectId(3), 10.0); // too far
+        assert_eq!(b.kth(), 3.0);
+        let r = b.into_result();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], Neighbor { object: ObjectId(1), dist: 2.0 });
+        assert_eq!(r[1], Neighbor { object: ObjectId(2), dist: 3.0 });
+    }
+
+    #[test]
+    fn best_k_worse_offer_ignored() {
+        let mut b = BestK::new(1);
+        b.offer(ObjectId(1), 1.0);
+        b.offer(ObjectId(1), 2.0);
+        assert_eq!(b.kth(), 1.0);
+    }
+
+    #[test]
+    fn dist_via_tree_matches_search_distances() {
+        let (net, weights, objects) = line_ctx();
+        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut c = OpCounters::default();
+        let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
+        let out = knn_search(&ctx, &mut eng, root, 3, None, &[], &mut c);
+        for n in &out.result {
+            let pos = objects.position(n.object).unwrap();
+            let d = dist_via_tree(&net, &weights, &out.tree, root, pos);
+            assert!((d - n.dist).abs() < 1e-12, "object {:?}", n.object);
+        }
+        // A far object is reported beyond knn_dist.
+        let far = objects.position(ObjectId(3)).unwrap();
+        assert!(dist_via_tree(&net, &weights, &out.tree, root, far) > out.knn_dist);
+    }
+
+    #[test]
+    fn search_on_generated_network_matches_oracle() {
+        // Brute-force oracle: distance from the query to every object via
+        // the engine's point-to-point distance.
+        let net = generators::grid_city(&generators::GridCityConfig {
+            nx: 5,
+            ny: 5,
+            seed: 11,
+            ..Default::default()
+        });
+        let weights = EdgeWeights::from_base(&net);
+        let mut objects = ObjectIndex::new(net.num_edges());
+        for (i, e) in net.edge_ids().enumerate() {
+            if i % 2 == 0 {
+                objects.insert(ObjectId(i as u32), NetPoint::new(e, 0.3));
+            }
+        }
+        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut c = OpCounters::default();
+        let q = NetPoint::new(EdgeId(7), 0.6);
+        let out = knn_search(&ctx, &mut eng, RootPos::Point(q), 5, None, &[], &mut c);
+
+        let mut oracle: Vec<Neighbor> = objects
+            .iter()
+            .map(|(id, pos)| Neighbor {
+                object: id,
+                dist: eng.dist_between_points(&net, &weights, q, pos),
+            })
+            .collect();
+        sort_neighbors(&mut oracle);
+        oracle.truncate(5);
+        for (a, b) in out.result.iter().zip(&oracle) {
+            assert!((a.dist - b.dist).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Expansion trees (§3, §4).
+//!
+//! > "The expansion tree of q is a tree rooted at q that contains the
+//! > shortest path between q and every node in the network with distance
+//! > less than or equal to q.kNN_dist."
+//!
+//! The tree is the incremental-maintenance workhorse of IMA: update
+//! handling prunes the invalidated part and re-expands from what remains.
+//! Nodes store their network distance from the root, the tree link to their
+//! parent (predecessor node *and* the edge used — required to disambiguate
+//! parallel edges), and their children. The root itself (a query point or
+//! an active node) is implicit; nodes whose `parent` is `None` hang
+//! directly off the root.
+
+use rnn_roadnet::{EdgeId, FxHashMap, NodeId, RoadNetwork};
+
+/// One verified node of an expansion tree.
+#[derive(Clone, Debug)]
+pub struct TreeNode {
+    /// Network distance from the root (the key under which the node was
+    /// settled).
+    pub dist: f64,
+    /// Tree link to the predecessor: `(parent node, connecting edge)`.
+    /// `None` when the node is attached directly to the root.
+    pub parent: Option<(NodeId, EdgeId)>,
+    /// Tree links to successors.
+    pub children: Vec<(NodeId, EdgeId)>,
+}
+
+/// An expansion tree: the set of verified nodes with their shortest-path
+/// links. Distances are monotonically non-decreasing from parent to child
+/// (edge weights are positive), which several pruning operations rely on.
+#[derive(Clone, Debug, Default)]
+pub struct ExpansionTree {
+    nodes: FxHashMap<NodeId, TreeNode>,
+}
+
+impl ExpansionTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of verified nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no verified nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `n` is verified.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.nodes.contains_key(&n)
+    }
+
+    /// The distance of `n` if verified.
+    #[inline]
+    pub fn dist(&self, n: NodeId) -> Option<f64> {
+        self.nodes.get(&n).map(|t| t.dist)
+    }
+
+    /// The node record of `n`.
+    #[inline]
+    pub fn node(&self, n: NodeId) -> Option<&TreeNode> {
+        self.nodes.get(&n)
+    }
+
+    /// Iterates over `(node, record)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &TreeNode)> {
+        self.nodes.iter().map(|(&n, t)| (n, t))
+    }
+
+    /// Inserts a verified node. The parent (if any) must already be in the
+    /// tree; its children list is updated.
+    ///
+    /// # Panics
+    /// Panics if the node already exists or the parent is missing.
+    pub fn insert(&mut self, n: NodeId, dist: f64, parent: Option<(NodeId, EdgeId)>) {
+        let prev = self.nodes.insert(n, TreeNode { dist, parent, children: Vec::new() });
+        assert!(prev.is_none(), "node {n:?} inserted twice");
+        if let Some((p, e)) = parent {
+            self.nodes
+                .get_mut(&p)
+                .expect("parent must be verified before its children")
+                .children
+                .push((n, e));
+        }
+    }
+
+    /// Removes the subtree rooted at `n` (inclusive). Returns the number of
+    /// nodes removed (0 if `n` is not in the tree).
+    pub fn remove_subtree(&mut self, n: NodeId) -> usize {
+        let Some(rec) = self.nodes.get(&n) else { return 0 };
+        // Detach from parent first.
+        if let Some((p, _)) = rec.parent {
+            if let Some(prec) = self.nodes.get_mut(&p) {
+                prec.children.retain(|&(c, _)| c != n);
+            }
+        }
+        let mut stack = vec![n];
+        let mut removed = 0;
+        while let Some(cur) = stack.pop() {
+            if let Some(rec) = self.nodes.remove(&cur) {
+                removed += 1;
+                stack.extend(rec.children.iter().map(|&(c, _)| c));
+            }
+        }
+        removed
+    }
+
+    /// Keeps only nodes with `dist <= theta`. Because distances grow along
+    /// tree paths, the kept set is automatically connected to the root;
+    /// children lists of survivors are fixed up. Returns the number pruned.
+    pub fn retain_within(&mut self, theta: f64) -> usize {
+        let before = self.nodes.len();
+        self.nodes.retain(|_, t| t.dist <= theta);
+        if self.nodes.len() != before {
+            // A surviving node's parent also survives (monotonicity); only
+            // children may have been dropped.
+            let alive: rnn_roadnet::FxHashSet<NodeId> = self.nodes.keys().copied().collect();
+            for t in self.nodes.values_mut() {
+                t.children.retain(|&(c, _)| alive.contains(&c));
+            }
+        }
+        before - self.nodes.len()
+    }
+
+    /// If edge `e` is a tree link, returns the child-side node of that link.
+    pub fn link_child_of_edge(&self, net: &RoadNetwork, e: EdgeId) -> Option<NodeId> {
+        let rec = net.edge(e);
+        for n in [rec.start, rec.end] {
+            if let Some(t) = self.nodes.get(&n) {
+                if let Some((_, pe)) = t.parent {
+                    if pe == e {
+                        return Some(n);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Re-roots the tree at the subtree of `new_sub_root`: every node
+    /// outside that subtree is dropped, and the distances of the kept nodes
+    /// are reduced by `shift` (`= old distance of the new root position`).
+    /// The kept subtree root becomes attached directly to the (implicit)
+    /// new root. Returns the number of nodes pruned.
+    pub fn reroot_at_subtree(&mut self, new_sub_root: NodeId, shift: f64) -> usize {
+        if !self.nodes.contains_key(&new_sub_root) {
+            let n = self.nodes.len();
+            self.nodes.clear();
+            return n;
+        }
+        // Collect the subtree.
+        let mut keep: FxHashMap<NodeId, TreeNode> = FxHashMap::default();
+        let mut stack = vec![new_sub_root];
+        while let Some(cur) = stack.pop() {
+            let mut rec = self.nodes.remove(&cur).expect("subtree link invariant");
+            stack.extend(rec.children.iter().map(|&(c, _)| c));
+            rec.dist -= shift;
+            if cur == new_sub_root {
+                rec.parent = None;
+            }
+            keep.insert(cur, rec);
+        }
+        let pruned = self.nodes.len();
+        self.nodes = keep;
+        pruned
+    }
+
+    /// Drops all nodes. Returns how many were removed.
+    pub fn clear(&mut self) -> usize {
+        let n = self.nodes.len();
+        self.nodes.clear();
+        n
+    }
+
+    /// Validates structural invariants (tests/debugging): parent links
+    /// exist, children lists are consistent, distances are monotone, and
+    /// parent + edge weight reproduces the child distance.
+    pub fn check_invariants(&self, net: &RoadNetwork, weights: &rnn_roadnet::EdgeWeights) {
+        for (&n, t) in &self.nodes {
+            if let Some((p, e)) = t.parent {
+                let prec = self.nodes.get(&p).expect("dangling parent");
+                assert!(
+                    prec.children.iter().any(|&(c, ce)| c == n && ce == e),
+                    "child link missing for {n:?}"
+                );
+                assert!(net.edge(e).touches(n) && net.edge(e).touches(p), "link edge mismatch");
+                let expect = prec.dist + weights.get(e);
+                assert!(
+                    (t.dist - expect).abs() <= 1e-9 * expect.max(1.0),
+                    "distance of {n:?} inconsistent: {} vs parent+w {}",
+                    t.dist,
+                    expect
+                );
+            }
+            for &(c, _) in &t.children {
+                let crec = self.nodes.get(&c).expect("dangling child");
+                assert!(crec.dist >= t.dist - 1e-12, "distance not monotone");
+                assert_eq!(crec.parent.map(|(p, _)| p), Some(n), "child parent mismatch");
+            }
+        }
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<NodeId>() + std::mem::size_of::<TreeNode>();
+        let children: usize = self
+            .nodes
+            .values()
+            .map(|t| t.children.capacity() * std::mem::size_of::<(NodeId, EdgeId)>())
+            .sum();
+        self.nodes.capacity() * entry + children
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_roadnet::{EdgeWeights, RoadNetworkBuilder};
+
+    /// Path 0-1-2-3 with a side branch 1-4; unit weights.
+    ///
+    /// Builds the tree of an (implicit) root sitting on node 0.
+    fn net_and_tree() -> (RoadNetwork, EdgeWeights, ExpansionTree) {
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(0.0, 0.0);
+        let n1 = b.add_node(1.0, 0.0);
+        let n2 = b.add_node(2.0, 0.0);
+        let n3 = b.add_node(3.0, 0.0);
+        let n4 = b.add_node(1.0, 1.0);
+        b.add_edge_euclidean(n0, n1); // e0
+        b.add_edge_euclidean(n1, n2); // e1
+        b.add_edge_euclidean(n2, n3); // e2
+        b.add_edge_euclidean(n1, n4); // e3
+        let net = b.build().unwrap();
+        let w = EdgeWeights::from_base(&net);
+        let mut t = ExpansionTree::new();
+        t.insert(NodeId(0), 0.0, None);
+        t.insert(NodeId(1), 1.0, Some((NodeId(0), EdgeId(0))));
+        t.insert(NodeId(2), 2.0, Some((NodeId(1), EdgeId(1))));
+        t.insert(NodeId(3), 3.0, Some((NodeId(2), EdgeId(2))));
+        t.insert(NodeId(4), 2.0, Some((NodeId(1), EdgeId(3))));
+        t.check_invariants(&net, &w);
+        (net, w, t)
+    }
+
+    #[test]
+    fn basic_structure() {
+        let (_, _, t) = net_and_tree();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.dist(NodeId(3)), Some(3.0));
+        assert!(t.contains(NodeId(4)));
+        assert_eq!(t.node(NodeId(1)).unwrap().children.len(), 2);
+    }
+
+    #[test]
+    fn remove_subtree_detaches_and_counts() {
+        let (net, w, mut t) = net_and_tree();
+        let removed = t.remove_subtree(NodeId(2));
+        assert_eq!(removed, 2); // nodes 2 and 3
+        assert!(!t.contains(NodeId(2)));
+        assert!(!t.contains(NodeId(3)));
+        assert!(t.contains(NodeId(4)));
+        assert_eq!(t.node(NodeId(1)).unwrap().children.len(), 1);
+        t.check_invariants(&net, &w);
+        assert_eq!(t.remove_subtree(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn retain_within_prunes_far_nodes() {
+        let (net, w, mut t) = net_and_tree();
+        let pruned = t.retain_within(2.0);
+        assert_eq!(pruned, 1); // node 3 at dist 3
+        assert!(t.contains(NodeId(2)));
+        assert!(t.node(NodeId(2)).unwrap().children.is_empty());
+        t.check_invariants(&net, &w);
+    }
+
+    #[test]
+    fn link_child_detection() {
+        let (net, _, t) = net_and_tree();
+        assert_eq!(t.link_child_of_edge(&net, EdgeId(1)), Some(NodeId(2)));
+        assert_eq!(t.link_child_of_edge(&net, EdgeId(3)), Some(NodeId(4)));
+        // Remove the subtree; the link disappears.
+        let mut t2 = t.clone();
+        t2.remove_subtree(NodeId(2));
+        assert_eq!(t2.link_child_of_edge(&net, EdgeId(1)), None);
+    }
+
+    #[test]
+    fn reroot_keeps_subtree_with_shifted_distances() {
+        let (net, w, mut t) = net_and_tree();
+        // New root position at distance 1.0 (i.e. exactly node 1): keep the
+        // subtree of node 1.
+        let pruned = t.reroot_at_subtree(NodeId(1), 1.0);
+        assert_eq!(pruned, 1); // node 0
+        assert_eq!(t.dist(NodeId(1)), Some(0.0));
+        assert_eq!(t.dist(NodeId(2)), Some(1.0));
+        assert_eq!(t.dist(NodeId(3)), Some(2.0));
+        assert_eq!(t.dist(NodeId(4)), Some(1.0));
+        assert!(t.node(NodeId(1)).unwrap().parent.is_none());
+        t.check_invariants(&net, &w);
+    }
+
+    #[test]
+    fn reroot_at_missing_node_clears() {
+        let (_, _, mut t) = net_and_tree();
+        let pruned = t.reroot_at_subtree(NodeId(9), 0.0);
+        assert_eq!(pruned, 5);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let (_, _, mut t) = net_and_tree();
+        assert_eq!(t.clear(), 5);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let (_, _, mut t) = net_and_tree();
+        t.insert(NodeId(0), 0.0, None);
+    }
+
+    #[test]
+    fn memory_accounting_nonzero() {
+        let (_, _, t) = net_and_tree();
+        assert!(t.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Public value types: query results, anchor roots, and the per-timestamp
+//! update batch that drives every monitor.
+
+use rnn_roadnet::{EdgeId, NetPoint, NodeId, ObjectId, QueryId, RoadNetwork};
+use serde::{Deserialize, Serialize};
+
+/// One entry of a k-NN result: a data object and its network distance from
+/// the query.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The data object.
+    pub object: ObjectId,
+    /// Network distance from the query (sum of edge weights along the
+    /// shortest path, §3).
+    pub dist: f64,
+}
+
+impl Neighbor {
+    /// Deterministic ordering: by distance, ties by object id.
+    #[inline]
+    pub fn sort_key(&self) -> (f64, ObjectId) {
+        (self.dist, self.object)
+    }
+}
+
+/// Sorts neighbors by `(dist, object)` — the canonical result order.
+pub fn sort_neighbors(v: &mut [Neighbor]) {
+    v.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .expect("distances must not be NaN")
+            .then_with(|| a.object.cmp(&b.object))
+    });
+}
+
+/// Where a monitored expansion is rooted: a user query sits at an arbitrary
+/// point on an edge, while GMA's active nodes sit exactly on network nodes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RootPos {
+    /// Rooted at a network node (GMA active nodes).
+    Node(NodeId),
+    /// Rooted at a point on an edge (user queries).
+    Point(NetPoint),
+}
+
+impl RootPos {
+    /// The edge the root lies on, if it is a point root.
+    #[inline]
+    pub fn edge(&self) -> Option<EdgeId> {
+        match self {
+            RootPos::Point(p) => Some(p.edge),
+            RootPos::Node(_) => None,
+        }
+    }
+
+    /// Interprets the root as a node if it is one (or a point pinned to an
+    /// edge endpoint).
+    pub fn as_node(&self, net: &RoadNetwork) -> Option<NodeId> {
+        match self {
+            RootPos::Node(n) => Some(*n),
+            RootPos::Point(p) => p.as_node(net, 0.0),
+        }
+    }
+}
+
+/// A data-object event, as delivered to the server (§3: objects issue
+/// updates containing their id, old and new location; we also model
+/// appearance and disappearance, §4.2: "objects that appear in (disappear
+/// from) the system are handled as incoming (outgoing) ones").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ObjectEvent {
+    /// Object moved to a new network position.
+    Move {
+        /// Object id.
+        id: ObjectId,
+        /// New position.
+        to: NetPoint,
+    },
+    /// A new object appeared.
+    Insert {
+        /// Object id.
+        id: ObjectId,
+        /// Initial position.
+        at: NetPoint,
+    },
+    /// An existing object disappeared.
+    Delete {
+        /// Object id.
+        id: ObjectId,
+    },
+}
+
+/// A query event: movement of a registered continuous query. Installation
+/// and termination of queries go through
+/// [`crate::monitor::ContinuousMonitor::install_query`] /
+/// [`remove_query`](crate::monitor::ContinuousMonitor::remove_query), or may
+/// be batched here.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum QueryEvent {
+    /// Query moved to a new network position.
+    Move {
+        /// Query id.
+        id: QueryId,
+        /// New position.
+        to: NetPoint,
+    },
+    /// A new continuous query is installed.
+    Install {
+        /// Query id.
+        id: QueryId,
+        /// Number of neighbors to monitor.
+        k: usize,
+        /// Initial position.
+        at: NetPoint,
+    },
+    /// An existing query terminates.
+    Remove {
+        /// Query id.
+        id: QueryId,
+    },
+}
+
+/// An edge-weight update (e.g. issued by congestion sensors, §3).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EdgeWeightUpdate {
+    /// The edge whose weight changed.
+    pub edge: EdgeId,
+    /// The new weight (absolute, not a delta).
+    pub new_weight: f64,
+}
+
+/// Everything that happens in one timestamp.
+///
+/// §4.5: if an entity issues several updates in one timestamp they are
+/// coalesced (first old value, last new value) before processing; the
+/// monitors perform that preprocessing internally, so batches may contain
+/// multiple events per entity.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct UpdateBatch {
+    /// Object movements / appearances / disappearances.
+    pub objects: Vec<ObjectEvent>,
+    /// Query movements / installations / terminations.
+    pub queries: Vec<QueryEvent>,
+    /// Edge weight changes.
+    pub edges: Vec<EdgeWeightUpdate>,
+}
+
+impl UpdateBatch {
+    /// Whether the batch carries no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty() && self.queries.is_empty() && self.edges.is_empty()
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.objects.len() + self.queries.len() + self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_sorting_is_deterministic() {
+        let mut v = vec![
+            Neighbor { object: ObjectId(5), dist: 2.0 },
+            Neighbor { object: ObjectId(1), dist: 2.0 },
+            Neighbor { object: ObjectId(9), dist: 1.0 },
+        ];
+        sort_neighbors(&mut v);
+        assert_eq!(v[0].object, ObjectId(9));
+        assert_eq!(v[1].object, ObjectId(1));
+        assert_eq!(v[2].object, ObjectId(5));
+    }
+
+    #[test]
+    fn batch_len_and_emptiness() {
+        let mut b = UpdateBatch::default();
+        assert!(b.is_empty());
+        b.objects.push(ObjectEvent::Delete { id: ObjectId(1) });
+        b.edges.push(EdgeWeightUpdate { edge: EdgeId(0), new_weight: 2.0 });
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn rootpos_edge_accessor() {
+        let p = RootPos::Point(NetPoint::new(EdgeId(3), 0.5));
+        assert_eq!(p.edge(), Some(EdgeId(3)));
+        assert_eq!(RootPos::Node(NodeId(1)).edge(), None);
+    }
+}

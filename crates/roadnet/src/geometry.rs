@@ -1,0 +1,282 @@
+//! Planar geometry primitives used by the spatial index and the generators.
+//!
+//! The paper's workspace is a city map: nodes carry `(x, y)` coordinates and
+//! edges are straight segments between their endpoints (edge weights are
+//! *initialised* from the Euclidean endpoint distance, §6, but fluctuate
+//! afterwards — geometry and weights are deliberately separate concepts).
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point2) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the sqrt when only
+    /// comparisons are needed).
+    #[inline]
+    pub fn dist_sq(self, other: Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+}
+
+/// An axis-aligned rectangle, `lo` inclusive / `hi` inclusive.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub lo: Point2,
+    /// Upper-right corner.
+    pub hi: Point2,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners (re-ordered if necessary).
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Self {
+            lo: Point2::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The smallest rectangle covering all `points`. Returns `None` for an
+    /// empty iterator.
+    pub fn bounding(points: impl IntoIterator<Item = Point2>) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::new(first, first);
+        for p in it {
+            r.lo.x = r.lo.x.min(p.x);
+            r.lo.y = r.lo.y.min(p.y);
+            r.hi.x = r.hi.x.max(p.x);
+            r.hi.y = r.hi.y.max(p.y);
+        }
+        Some(r)
+    }
+
+    /// Whether the rectangle contains `p` (boundary inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Width of the rectangle.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height of the rectangle.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        Point2::new((self.lo.x + self.hi.x) * 0.5, (self.lo.y + self.hi.y) * 0.5)
+    }
+
+    /// The four equal quadrants of this rectangle, in the order
+    /// `[SW, SE, NW, NE]`.
+    pub fn quadrants(&self) -> [Rect; 4] {
+        let c = self.center();
+        [
+            Rect::new(self.lo, c),
+            Rect::new(Point2::new(c.x, self.lo.y), Point2::new(self.hi.x, c.y)),
+            Rect::new(Point2::new(self.lo.x, c.y), Point2::new(c.x, self.hi.y)),
+            Rect::new(c, self.hi),
+        ]
+    }
+
+    /// Minimum distance from `p` to this rectangle (0 if inside).
+    #[inline]
+    pub fn dist_to_point(&self, p: Point2) -> f64 {
+        let dx = (self.lo.x - p.x).max(0.0).max(p.x - self.hi.x);
+        let dy = (self.lo.y - p.y).max(0.0).max(p.y - self.hi.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Whether the segment `a`–`b` intersects this rectangle.
+    ///
+    /// Uses a separating-axis test specialised for an AABB vs a segment.
+    pub fn intersects_segment(&self, a: Point2, b: Point2) -> bool {
+        // Quick accept: either endpoint inside.
+        if self.contains(a) || self.contains(b) {
+            return true;
+        }
+        // Quick reject: segment bounding box disjoint from rect.
+        if a.x.max(b.x) < self.lo.x
+            || a.x.min(b.x) > self.hi.x
+            || a.y.max(b.y) < self.lo.y
+            || a.y.min(b.y) > self.hi.y
+        {
+            return false;
+        }
+        // Separating axis: the segment's normal.
+        let d = Point2::new(b.x - a.x, b.y - a.y);
+        let corners = [
+            self.lo,
+            Point2::new(self.hi.x, self.lo.y),
+            Point2::new(self.lo.x, self.hi.y),
+            self.hi,
+        ];
+        let side = |p: Point2| d.x * (p.y - a.y) - d.y * (p.x - a.x);
+        let mut pos = false;
+        let mut neg = false;
+        for c in corners {
+            let s = side(c);
+            pos |= s >= 0.0;
+            neg |= s <= 0.0;
+        }
+        pos && neg
+    }
+}
+
+/// Distance from point `p` to the segment `a`–`b`.
+pub fn point_segment_dist(p: Point2, a: Point2, b: Point2) -> f64 {
+    project_onto_segment(p, a, b).1
+}
+
+/// Projects `p` onto the segment `a`–`b`.
+///
+/// Returns `(t, dist)` where `t ∈ [0, 1]` is the normalised position of the
+/// closest point along the segment and `dist` the Euclidean distance to it.
+pub fn project_onto_segment(p: Point2, a: Point2, b: Point2) -> (f64, f64) {
+    let ab = Point2::new(b.x - a.x, b.y - a.y);
+    let len_sq = ab.x * ab.x + ab.y * ab.y;
+    if len_sq <= f64::EPSILON {
+        return (0.0, p.dist(a));
+    }
+    let t = (((p.x - a.x) * ab.x + (p.y - a.y) * ab.y) / len_sq).clamp(0.0, 1.0);
+    let proj = a.lerp(b, t);
+    (t, p.dist(proj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn point_distance() {
+        assert!((Point2::new(0.0, 0.0).dist(Point2::new(3.0, 4.0)) - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn rect_contains_boundary() {
+        let r = Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        assert!(r.contains(Point2::new(0.0, 0.0)));
+        assert!(r.contains(Point2::new(1.0, 1.0)));
+        assert!(r.contains(Point2::new(0.5, 0.5)));
+        assert!(!r.contains(Point2::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let r = Rect::bounding([
+            Point2::new(1.0, 5.0),
+            Point2::new(-2.0, 3.0),
+            Point2::new(4.0, -1.0),
+        ])
+        .unwrap();
+        assert_eq!(r.lo, Point2::new(-2.0, -1.0));
+        assert_eq!(r.hi, Point2::new(4.0, 5.0));
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn quadrants_cover_and_tile() {
+        let r = Rect::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
+        let qs = r.quadrants();
+        assert_eq!(qs[0], Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)));
+        assert_eq!(qs[3], Rect::new(Point2::new(1.0, 1.0), Point2::new(2.0, 2.0)));
+        // Every quadrant is inside the parent.
+        for q in qs {
+            assert!(r.contains(q.lo) && r.contains(q.hi));
+        }
+    }
+
+    #[test]
+    fn rect_point_distance() {
+        let r = Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        assert_eq!(r.dist_to_point(Point2::new(0.5, 0.5)), 0.0);
+        assert!((r.dist_to_point(Point2::new(2.0, 1.0)) - 1.0).abs() < EPS);
+        assert!((r.dist_to_point(Point2::new(4.0, 5.0)) - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn segment_rect_intersection() {
+        let r = Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        // Crosses through.
+        assert!(r.intersects_segment(Point2::new(-1.0, 0.5), Point2::new(2.0, 0.5)));
+        // Endpoint inside.
+        assert!(r.intersects_segment(Point2::new(0.5, 0.5), Point2::new(5.0, 5.0)));
+        // Diagonal that clips the corner region (e.g. passes through
+        // (0.75, 0.75)) counts as intersecting.
+        assert!(r.intersects_segment(Point2::new(1.5, 0.0), Point2::new(0.0, 1.5)));
+        // A clear miss beyond the corner:
+        assert!(!r.intersects_segment(Point2::new(3.0, 0.0), Point2::new(0.0, 3.0)));
+        // Fully to one side.
+        assert!(!r.intersects_segment(Point2::new(2.0, 2.0), Point2::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn projection_onto_segment() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(10.0, 0.0);
+        let (t, d) = project_onto_segment(Point2::new(3.0, 4.0), a, b);
+        assert!((t - 0.3).abs() < EPS);
+        assert!((d - 4.0).abs() < EPS);
+        // Beyond the end: clamped.
+        let (t, d) = project_onto_segment(Point2::new(12.0, 0.0), a, b);
+        assert!((t - 1.0).abs() < EPS);
+        assert!((d - 2.0).abs() < EPS);
+        // Degenerate segment.
+        let (t, d) = project_onto_segment(Point2::new(1.0, 0.0), a, a);
+        assert_eq!(t, 0.0);
+        assert!((d - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn point_segment_dist_matches_projection() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(0.0, 2.0);
+        assert!((point_segment_dist(Point2::new(1.0, 1.0), a, b) - 1.0).abs() < EPS);
+    }
+}

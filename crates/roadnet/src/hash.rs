@@ -1,0 +1,123 @@
+//! A fast, non-cryptographic hasher for integer-keyed tables.
+//!
+//! The default `SipHash 1-3` hasher of `std::collections::HashMap` is far
+//! slower than necessary for `u32` newtype keys (see the Rust Performance
+//! Book, "Hashing"). Instead of pulling in `rustc-hash`, we implement the
+//! same Fx multiply-and-rotate scheme here — it is a handful of lines and
+//! keeps the dependency set to the approved list.
+//!
+//! HashDoS resistance is irrelevant: every key in this system is generated
+//! internally (dense ids), never attacker-controlled.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The `FxHash` seed (64-bit golden-ratio constant used by rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-and-rotate hasher identical in spirit to rustc's `FxHasher`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer keys; processes 8 bytes at a time.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`]. Drop-in replacement for the std map.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`]. Drop-in replacement for the std set.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Not a cryptographic guarantee, just a sanity check that the mixer
+        // is not degenerate for small sequential keys.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let mut h = FxHasher::default();
+            h.write_u32(i);
+            assert!(seen.insert(h.finish()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<NodeId, f64> = FxHashMap::default();
+        m.insert(NodeId(1), 1.5);
+        m.insert(NodeId(2), 2.5);
+        assert_eq!(m.get(&NodeId(1)), Some(&1.5));
+        assert_eq!(m.remove(&NodeId(2)), Some(2.5));
+        assert!(!m.contains_key(&NodeId(2)));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_on_length() {
+        // write() must consume all bytes including a ragged tail.
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        for i in [3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3] {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 7);
+    }
+}

@@ -1,0 +1,105 @@
+//! Compact integer identifiers for every entity in the system.
+//!
+//! Per the performance guide, all hot identifiers are `u32` newtypes: they
+//! halve the size of the adjacency and table entries compared to `usize`,
+//! and they hash in a single multiply with the [`crate::hash`] hasher.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The identifier as a `usize`, for indexing into dense tables.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a dense-table index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id overflow"))
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A network node (road intersection or chain vertex).
+    NodeId
+);
+define_id!(
+    /// A network edge (road segment between two nodes).
+    EdgeId
+);
+define_id!(
+    /// A data object (the entities being monitored, e.g. pedestrians).
+    ObjectId
+);
+define_id!(
+    /// A continuous k-NN query (e.g. a vacant cab).
+    QueryId
+);
+define_id!(
+    /// A sequence: a maximal path between two degree≠2 nodes (§5).
+    SeqId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n, NodeId(42));
+        assert_eq!(n.index(), 42);
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", EdgeId(7)), "EdgeId(7)");
+        assert_eq!(format!("{}", EdgeId(7)), "7");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+        let mut v = vec![QueryId(3), QueryId(1), QueryId(2)];
+        v.sort();
+        assert_eq!(v, vec![QueryId(1), QueryId(2), QueryId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<NodeId>>(), 8);
+    }
+}

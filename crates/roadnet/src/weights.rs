@@ -1,0 +1,135 @@
+//! Fluctuating edge weights (§3: "the weights fluctuate, depending on the
+//! traffic conditions").
+//!
+//! Weights are kept in a dense table separate from the immutable topology so
+//! that the workload simulator and each monitoring algorithm can hold their
+//! own copies and apply the same update stream independently.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::RoadNetwork;
+use crate::ids::EdgeId;
+
+/// Dense table of current edge weights, indexed by [`EdgeId`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EdgeWeights {
+    w: Vec<f64>,
+}
+
+impl EdgeWeights {
+    /// Initialises weights from the network's base weights (the paper's
+    /// setup: initial weight = Euclidean length, §6).
+    pub fn from_base(net: &RoadNetwork) -> Self {
+        Self { w: net.edge_ids().map(|e| net.edge(e).base_weight).collect() }
+    }
+
+    /// Initialises every edge to the same weight (useful in tests).
+    pub fn uniform(num_edges: usize, weight: f64) -> Self {
+        assert!(weight > 0.0 && weight.is_finite(), "weights must be positive");
+        Self { w: vec![weight; num_edges] }
+    }
+
+    /// Current weight of `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> f64 {
+        self.w[e.index()]
+    }
+
+    /// Overwrites the weight of `e`.
+    ///
+    /// # Panics
+    /// Panics if the new weight is non-positive or non-finite.
+    #[inline]
+    pub fn set(&mut self, e: EdgeId, weight: f64) {
+        assert!(weight > 0.0 && weight.is_finite(), "weights must be positive");
+        self.w[e.index()] = weight;
+    }
+
+    /// Number of edges covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Whether the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Average current weight.
+    pub fn average(&self) -> f64 {
+        if self.w.is_empty() {
+            return 0.0;
+        }
+        self.w.iter().sum::<f64>() / self.w.len() as f64
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.w.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadNetworkBuilder;
+
+    fn line() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(0.0, 0.0);
+        let n1 = b.add_node(3.0, 0.0);
+        let n2 = b.add_node(7.0, 0.0);
+        b.add_edge_euclidean(n0, n1);
+        b.add_edge_euclidean(n1, n2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn from_base_matches_topology() {
+        let net = line();
+        let w = EdgeWeights::from_base(&net);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.get(EdgeId(0)), 3.0);
+        assert_eq!(w.get(EdgeId(1)), 4.0);
+        assert!((w.average() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let net = line();
+        let mut w = EdgeWeights::from_base(&net);
+        w.set(EdgeId(0), 3.3);
+        assert_eq!(w.get(EdgeId(0)), 3.3);
+        assert_eq!(w.get(EdgeId(1)), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn rejects_zero_weight() {
+        let net = line();
+        let mut w = EdgeWeights::from_base(&net);
+        w.set(EdgeId(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn rejects_nan_weight() {
+        let net = line();
+        let mut w = EdgeWeights::from_base(&net);
+        w.set(EdgeId(1), f64::NAN);
+    }
+
+    #[test]
+    fn uniform_table() {
+        let w = EdgeWeights::uniform(4, 2.0);
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        assert_eq!(w.get(EdgeId(3)), 2.0);
+        assert_eq!(w.average(), 2.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Route-coherent movement — a substitute for the Brinkhoff generator [2].
+//!
+//! The paper's Fig. 19 experiments use the network-based moving-object
+//! generator of Brinkhoff (GeoInformatica 2002), whose defining property is
+//! that entities do not jitter randomly but *drive routes*: each picks a
+//! destination, follows a shortest path towards it at a speed drawn from a
+//! speed class, and picks a new destination upon arrival. This module
+//! reproduces exactly that behaviour (see DESIGN.md, substitution #2).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rnn_roadnet::{DijkstraEngine, EdgeWeights, NetPoint, NodeId, RoadNetwork};
+
+/// Number of speed classes (Brinkhoff's default is 6).
+pub const SPEED_CLASSES: usize = 6;
+
+/// Per-class speed multipliers (slowest to fastest, ×base speed).
+pub const CLASS_MULTIPLIERS: [f64; SPEED_CLASSES] = [0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+
+/// A route-following entity.
+#[derive(Clone, Debug)]
+pub struct RouteFollower {
+    /// Current position.
+    pub pos: NetPoint,
+    /// Speed class (index into [`CLASS_MULTIPLIERS`]).
+    pub class: usize,
+    /// Remaining node path towards the destination, in travel order. The
+    /// first entry is the node the entity is currently heading to.
+    route: Vec<NodeId>,
+}
+
+impl RouteFollower {
+    /// Creates a follower at `pos` with a random class and a fresh route.
+    pub fn new(
+        net: &RoadNetwork,
+        weights: &EdgeWeights,
+        engine: &mut DijkstraEngine,
+        pos: NetPoint,
+        rng: &mut StdRng,
+    ) -> Self {
+        let class = rng.random_range(0..SPEED_CLASSES);
+        let mut f = Self { pos, class, route: Vec::new() };
+        f.reroute(net, weights, engine, rng);
+        f
+    }
+
+    /// Picks a fresh random destination and computes the shortest path to
+    /// it under the current weights (drivers re-plan with live traffic).
+    fn reroute(
+        &mut self,
+        net: &RoadNetwork,
+        weights: &EdgeWeights,
+        engine: &mut DijkstraEngine,
+        rng: &mut StdRng,
+    ) {
+        // Start from the nearer endpoint of the current edge.
+        let edge = net.edge(self.pos.edge);
+        let start = if self.pos.frac < 0.5 { edge.start } else { edge.end };
+        for _ in 0..8 {
+            let dest = NodeId::from_index(rng.random_range(0..net.num_nodes()));
+            if dest == start {
+                continue;
+            }
+            if let Some(mut path) = engine.path_between_nodes(net, weights, start, dest) {
+                if path.len() >= 2 {
+                    path.remove(0); // we are (about to be) at `start`
+                    self.route = path;
+                    // Snap onto the first leg if we are not already heading
+                    // there: walk via `start`.
+                    self.route.insert(0, start);
+                    return;
+                }
+            }
+        }
+        // Hopeless (tiny/disconnected component): stand still.
+        self.route.clear();
+    }
+
+    /// Advances by `distance` (base-length units), re-routing on arrival.
+    /// Returns the new position.
+    pub fn step(
+        &mut self,
+        net: &RoadNetwork,
+        weights: &EdgeWeights,
+        engine: &mut DijkstraEngine,
+        distance: f64,
+        rng: &mut StdRng,
+    ) -> NetPoint {
+        let mut remaining = distance * CLASS_MULTIPLIERS[self.class];
+        let mut hops = 0;
+        while remaining > 0.0 && hops < 10_000 {
+            hops += 1;
+            let Some(&target) = self.route.first() else {
+                self.reroute(net, weights, engine, rng);
+                if self.route.is_empty() {
+                    break;
+                }
+                continue;
+            };
+            // Heading along the current edge towards `target`; if the
+            // current edge does not touch the target (fresh route), hop to
+            // an incident edge that does.
+            let edge = net.edge(self.pos.edge);
+            if !edge.touches(target) {
+                // Snap to the route: find the connecting edge from the
+                // nearest endpoint.
+                let from = if self.pos.frac < 0.5 { edge.start } else { edge.end };
+                // Consume the distance to that endpoint first.
+                let len = net.edge_euclidean_len(self.pos.edge);
+                let to_boundary =
+                    if from == edge.end { (1.0 - self.pos.frac) * len } else { self.pos.frac * len };
+                if remaining < to_boundary {
+                    let df = remaining / len;
+                    let frac = if from == edge.end { self.pos.frac + df } else { self.pos.frac - df };
+                    self.pos = NetPoint::new(self.pos.edge, frac);
+                    return self.pos;
+                }
+                remaining -= to_boundary;
+                match net.adjacent(from).iter().find(|&&(_, other)| other == target) {
+                    Some(&(e, _)) => {
+                        let rec = net.edge(e);
+                        self.pos =
+                            NetPoint::new(e, if rec.start == from { 0.0 } else { 1.0 });
+                    }
+                    None => {
+                        // The route is unreachable from here (stale after a
+                        // U-turn); re-plan.
+                        self.reroute(net, weights, engine, rng);
+                    }
+                }
+                continue;
+            }
+            let len = net.edge_euclidean_len(self.pos.edge);
+            let toward_end = target == edge.end;
+            let to_boundary =
+                if toward_end { (1.0 - self.pos.frac) * len } else { self.pos.frac * len };
+            if remaining < to_boundary {
+                let df = remaining / len;
+                let frac = if toward_end { self.pos.frac + df } else { self.pos.frac - df };
+                self.pos = NetPoint::new(self.pos.edge, frac);
+                return self.pos;
+            }
+            remaining -= to_boundary;
+            // Reached `target`: advance the route.
+            self.route.remove(0);
+            if let Some(&next) = self.route.first() {
+                match net.adjacent(target).iter().find(|&&(_, other)| other == next) {
+                    Some(&(e, _)) => {
+                        let rec = net.edge(e);
+                        self.pos =
+                            NetPoint::new(e, if rec.start == target { 0.0 } else { 1.0 });
+                    }
+                    None => self.reroute(net, weights, engine, rng),
+                }
+            } else {
+                // Destination reached: park exactly at the node and plan a
+                // new trip next iteration.
+                let e = net.adjacent(target).first().copied();
+                if let Some((e, _)) = e {
+                    let rec = net.edge(e);
+                    self.pos = NetPoint::new(e, if rec.start == target { 0.0 } else { 1.0 });
+                }
+            }
+        }
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rnn_roadnet::generators::{grid_city, GridCityConfig};
+    use rnn_roadnet::EdgeId;
+
+    fn setup() -> (RoadNetwork, EdgeWeights, DijkstraEngine) {
+        let net = grid_city(&GridCityConfig { nx: 6, ny: 6, seed: 8, ..Default::default() });
+        let w = EdgeWeights::from_base(&net);
+        let e = DijkstraEngine::new(net.num_nodes());
+        (net, w, e)
+    }
+
+    #[test]
+    fn follower_moves_and_stays_valid() {
+        let (net, w, mut eng) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut f = RouteFollower::new(&net, &w, &mut eng, NetPoint::new(EdgeId(0), 0.5), &mut rng);
+        let mut moved = false;
+        let start = f.pos;
+        for _ in 0..50 {
+            let p = f.step(&net, &w, &mut eng, 30.0, &mut rng);
+            assert!(p.edge.index() < net.num_edges());
+            assert!((0.0..=1.0).contains(&p.frac));
+            if p != start {
+                moved = true;
+            }
+        }
+        assert!(moved, "route follower never moved");
+    }
+
+    #[test]
+    fn speed_classes_scale_distance() {
+        let (net, w, mut eng) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut slow =
+            RouteFollower::new(&net, &w, &mut eng, NetPoint::new(EdgeId(0), 0.0), &mut rng);
+        slow.class = 0;
+        let mut fast = slow.clone();
+        fast.class = SPEED_CLASSES - 1;
+        // Same seed stream per step keeps routes comparable enough; we only
+        // check displacement ordering over one step on the same route.
+        let p_slow = slow.step(&net, &w, &mut eng, 10.0, &mut rng);
+        let p_fast = fast.step(&net, &w, &mut eng, 10.0, &mut rng);
+        let o = NetPoint::new(EdgeId(0), 0.0).coordinates(&net);
+        let d_slow = p_slow.coordinates(&net).dist(o);
+        let d_fast = p_fast.coordinates(&net).dist(o);
+        // Not strictly guaranteed on curvy routes, but on the first short
+        // hop of an identical route the faster class travels farther.
+        assert!(d_fast >= d_slow * 0.99, "fast {d_fast} vs slow {d_slow}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (net, w, mut eng) = setup();
+        let mut run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut f =
+                RouteFollower::new(&net, &w, &mut eng, NetPoint::new(EdgeId(3), 0.25), &mut rng);
+            let mut out = Vec::new();
+            for _ in 0..20 {
+                out.push(f.step(&net, &w, &mut eng, 25.0, &mut rng));
+            }
+            out
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,193 @@
+//! Initial placement distributions (§6).
+//!
+//! > "The initial positions of objects and queries follow either uniform or
+//! > Gaussian distribution (with mean at the center of the workspace and
+//! > standard deviation 10% of the maximum network distance from the
+//! > center)."
+//!
+//! Uniform placement picks an edge with probability proportional to its
+//! length and a uniform offset along it. Gaussian placement samples a
+//! planar coordinate (Box–Muller; `rand_distr` is outside the approved
+//! dependency set) and snaps it to the nearest edge with the PMR quadtree —
+//! the same coordinate→edge resolution the paper's server performs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rnn_roadnet::{NetPoint, PmrQuadtree, Point2, RoadNetwork};
+use serde::{Deserialize, Serialize};
+
+/// Initial placement distribution of objects or queries.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform over the network (edge chosen ∝ length).
+    Uniform,
+    /// Gaussian around the workspace center; the standard deviation is
+    /// expressed as a fraction of the workspace half-diagonal (the paper
+    /// uses 10% for queries and 50% for "Gaussian objects" in Fig. 17a).
+    Gaussian {
+        /// Standard deviation as a fraction of the half-diagonal.
+        stddev_frac: f64,
+    },
+}
+
+impl Distribution {
+    /// The paper's default query distribution (Gaussian, 10%).
+    pub fn gaussian_queries() -> Self {
+        Distribution::Gaussian { stddev_frac: 0.10 }
+    }
+
+    /// The paper's "Gaussian objects" (Fig. 17a: standard deviation 50%).
+    pub fn gaussian_objects() -> Self {
+        Distribution::Gaussian { stddev_frac: 0.50 }
+    }
+}
+
+/// A placement sampler bound to one network.
+pub struct Placer<'a> {
+    net: &'a RoadNetwork,
+    quadtree: &'a PmrQuadtree,
+    /// Cumulative edge lengths for O(log E) uniform edge sampling.
+    cumulative: Vec<f64>,
+    total_len: f64,
+}
+
+impl<'a> Placer<'a> {
+    /// Builds a sampler (the quadtree is shared; building it is O(E log E)).
+    pub fn new(net: &'a RoadNetwork, quadtree: &'a PmrQuadtree) -> Self {
+        let mut cumulative = Vec::with_capacity(net.num_edges());
+        let mut acc = 0.0;
+        for e in net.edge_ids() {
+            acc += net.edge_euclidean_len(e);
+            cumulative.push(acc);
+        }
+        Self { net, quadtree, cumulative, total_len: acc }
+    }
+
+    /// Samples one position according to `dist`.
+    pub fn sample(&self, dist: Distribution, rng: &mut StdRng) -> NetPoint {
+        match dist {
+            Distribution::Uniform => self.sample_uniform(rng),
+            Distribution::Gaussian { stddev_frac } => self.sample_gaussian(stddev_frac, rng),
+        }
+    }
+
+    fn sample_uniform(&self, rng: &mut StdRng) -> NetPoint {
+        let t = rng.random::<f64>() * self.total_len;
+        let idx = self.cumulative.partition_point(|&c| c < t);
+        let idx = idx.min(self.cumulative.len() - 1);
+        NetPoint::new(rnn_roadnet::EdgeId::from_index(idx), rng.random::<f64>())
+    }
+
+    fn sample_gaussian(&self, stddev_frac: f64, rng: &mut StdRng) -> NetPoint {
+        let b = self.net.bounds();
+        let c = b.center();
+        let half_diag = 0.5 * (b.width().hypot(b.height()));
+        let sd = stddev_frac * half_diag;
+        // Box–Muller transform.
+        let (g1, g2) = gaussian_pair(rng);
+        let p = Point2::new(c.x + g1 * sd, c.y + g2 * sd);
+        self.quadtree.locate(self.net, p).expect("non-empty network")
+    }
+}
+
+/// One pair of independent standard-normal samples (Box–Muller).
+pub fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
+    // Avoid ln(0).
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rnn_roadnet::generators::{grid_city, GridCityConfig};
+
+    fn setup() -> (RoadNetwork, PmrQuadtree) {
+        let net = grid_city(&GridCityConfig { nx: 10, ny: 10, seed: 2, ..Default::default() });
+        let qt = PmrQuadtree::build(&net);
+        (net, qt)
+    }
+
+    #[test]
+    fn uniform_covers_many_edges() {
+        let (net, qt) = setup();
+        let placer = Placer::new(&net, &qt);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut edges = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let p = placer.sample(Distribution::Uniform, &mut rng);
+            assert!(p.edge.index() < net.num_edges());
+            assert!((0.0..=1.0).contains(&p.frac));
+            edges.insert(p.edge);
+        }
+        // With 2000 samples over ~200-300 edges, the great majority of
+        // edges must be hit.
+        assert!(edges.len() > net.num_edges() / 2, "uniform sampling too concentrated");
+    }
+
+    #[test]
+    fn gaussian_concentrates_near_center() {
+        let (net, qt) = setup();
+        let placer = Placer::new(&net, &qt);
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = net.bounds().center();
+        let half_diag = 0.5 * net.bounds().width().hypot(net.bounds().height());
+        let mut mean_dist = 0.0;
+        let n = 500;
+        for _ in 0..n {
+            let p = placer.sample(Distribution::Gaussian { stddev_frac: 0.10 }, &mut rng);
+            mean_dist += p.coordinates(&net).dist(c);
+        }
+        mean_dist /= n as f64;
+        // Tightly clustered: mean offset well under a quarter of the
+        // half-diagonal.
+        assert!(
+            mean_dist < 0.25 * half_diag,
+            "gaussian not concentrated: mean {mean_dist}, half diag {half_diag}"
+        );
+
+        // Wider spread with a larger stddev.
+        let mut wide = 0.0;
+        for _ in 0..n {
+            let p = placer.sample(Distribution::Gaussian { stddev_frac: 0.50 }, &mut rng);
+            wide += p.coordinates(&net).dist(c);
+        }
+        wide /= n as f64;
+        assert!(wide > mean_dist, "50% stddev must spread wider than 10%");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (net, qt) = setup();
+        let placer = Placer::new(&net, &qt);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(
+                placer.sample(Distribution::Uniform, &mut a),
+                placer.sample(Distribution::Uniform, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_pair_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let n = 20_000;
+        for _ in 0..n / 2 {
+            let (a, b) = gaussian_pair(&mut rng);
+            sum += a + b;
+            sum_sq += a * a + b * b;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Random-walk movement (§6).
+//!
+//! > "A moving object (query) performs a random walk in the network and
+//! > covers a fixed distance v_obj (v_qry)."
+//!
+//! A [`RandomWalker`] keeps a heading (the node it is walking towards) and
+//! consumes its per-tick distance budget edge by edge, turning onto a
+//! uniformly random incident edge at every node (avoiding an immediate
+//! U-turn except at dead ends). Distances are measured in *base* edge
+//! lengths — movement is spatial, while the fluctuating weights model
+//! travel time.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rnn_roadnet::{NetPoint, NodeId, RoadNetwork};
+
+/// A random-walking entity on the network.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWalker {
+    /// Current position.
+    pub pos: NetPoint,
+    /// The endpoint of the current edge the walker is heading towards.
+    pub heading: NodeId,
+}
+
+impl RandomWalker {
+    /// Creates a walker at `pos` with a random initial heading.
+    pub fn new(net: &RoadNetwork, pos: NetPoint, rng: &mut StdRng) -> Self {
+        let edge = net.edge(pos.edge);
+        let heading = if rng.random::<bool>() { edge.end } else { edge.start };
+        Self { pos, heading }
+    }
+
+    /// Advances the walker by `distance` (base-length units) and returns
+    /// the new position.
+    pub fn step(&mut self, net: &RoadNetwork, distance: f64, rng: &mut StdRng) -> NetPoint {
+        let mut remaining = distance;
+        // Guard against zero-length-ish loops on degenerate graphs.
+        let mut hops = 0;
+        while remaining > 0.0 && hops < 10_000 {
+            hops += 1;
+            let len = net.edge_euclidean_len(self.pos.edge);
+            let edge = net.edge(self.pos.edge);
+            let toward_end = self.heading == edge.end;
+            let to_boundary =
+                if toward_end { (1.0 - self.pos.frac) * len } else { self.pos.frac * len };
+            if remaining < to_boundary {
+                let df = remaining / len;
+                let frac =
+                    if toward_end { self.pos.frac + df } else { self.pos.frac - df };
+                self.pos = NetPoint::new(self.pos.edge, frac);
+                break;
+            }
+            remaining -= to_boundary;
+            // Arrived at `heading`: pick the next edge.
+            let node = self.heading;
+            let incident = net.adjacent(node);
+            let (next_edge, next_other) = if incident.len() == 1 {
+                incident[0] // dead end: U-turn
+            } else {
+                // Uniform among incident edges other than the one just used.
+                let cur = self.pos.edge;
+                let choices = incident.len() - 1;
+                let mut pick = rng.random_range(0..choices);
+                let mut chosen = incident[0];
+                for &cand in incident {
+                    if cand.0 == cur {
+                        continue;
+                    }
+                    if pick == 0 {
+                        chosen = cand;
+                        break;
+                    }
+                    pick -= 1;
+                }
+                chosen
+            };
+            let next_rec = net.edge(next_edge);
+            let frac = if next_rec.start == node { 0.0 } else { 1.0 };
+            self.pos = NetPoint::new(next_edge, frac);
+            self.heading = next_other;
+        }
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rnn_roadnet::generators::{grid_city, line_network, GridCityConfig};
+    use rnn_roadnet::EdgeId;
+
+    #[test]
+    fn partial_step_stays_on_edge() {
+        let net = line_network(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = RandomWalker { pos: NetPoint::new(EdgeId(0), 0.5), heading: NodeId(1) };
+        let p = w.step(&net, 0.5, &mut rng);
+        assert_eq!(p.edge, EdgeId(0));
+        assert!((p.frac - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_a_node_continues() {
+        let net = line_network(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = RandomWalker { pos: NetPoint::new(EdgeId(0), 0.5), heading: NodeId(1) };
+        // 1.0 to reach node 1, then 1.0 into edge 1 (the only non-backtrack
+        // choice).
+        let p = w.step(&net, 2.0, &mut rng);
+        assert_eq!(p.edge, EdgeId(1));
+        assert!((p.frac - 0.5).abs() < 1e-12);
+        assert_eq!(w.heading, NodeId(2));
+    }
+
+    #[test]
+    fn dead_end_u_turns() {
+        let net = line_network(2, 1.0); // single edge
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = RandomWalker { pos: NetPoint::new(EdgeId(0), 0.5), heading: NodeId(1) };
+        let p = w.step(&net, 1.0, &mut rng);
+        // 0.5 to node 1, U-turn, 0.5 back: frac 0.5 heading node 0.
+        assert_eq!(p.edge, EdgeId(0));
+        assert!((p.frac - 0.5).abs() < 1e-12);
+        assert_eq!(w.heading, NodeId(0));
+    }
+
+    #[test]
+    fn walk_covers_requested_distance_on_average() {
+        let net = grid_city(&GridCityConfig { nx: 8, ny: 8, seed: 4, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut w = RandomWalker::new(&net, NetPoint::new(EdgeId(0), 0.5), &mut rng);
+        // Many steps; each must leave the walker at a valid position.
+        for _ in 0..200 {
+            let p = w.step(&net, 40.0, &mut rng);
+            assert!(p.edge.index() < net.num_edges());
+            assert!((0.0..=1.0).contains(&p.frac));
+        }
+    }
+
+    #[test]
+    fn zero_distance_is_identity() {
+        let net = line_network(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = RandomWalker { pos: NetPoint::new(EdgeId(1), 0.25), heading: NodeId(2) };
+        let p = w.step(&net, 0.0, &mut rng);
+        assert_eq!(p, NetPoint::new(EdgeId(1), 0.25));
+    }
+}

@@ -1,0 +1,388 @@
+//! End-to-end simulation scenarios (§6, Table 2).
+//!
+//! A [`Scenario`] owns the authoritative simulation state — entity
+//! positions and current edge weights — and emits one
+//! [`UpdateBatch`] per timestamp:
+//!
+//! * a fraction `f_edg` of the edges receive a ±10% weight update
+//!   ("edge agility"),
+//! * a fraction `f_obj` of the objects move a distance of
+//!   `v_obj × average edge length` ("object agility" / "object speed"),
+//! * a fraction `f_qry` of the queries move likewise.
+//!
+//! Driving several monitors from the same scenario (same seed) feeds them
+//! byte-identical update streams, which is what both the differential
+//! correctness tests and the benchmark harness rely on.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rnn_core::{ContinuousMonitor, EdgeWeightUpdate, ObjectEvent, QueryEvent, UpdateBatch};
+use rnn_roadnet::{
+    DijkstraEngine, EdgeId, EdgeWeights, NetPoint, ObjectId, PmrQuadtree, QueryId, RoadNetwork,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::brinkhoff::RouteFollower;
+use crate::distribution::{Distribution, Placer};
+use crate::movement::RandomWalker;
+
+/// Which movement model entities follow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MovementModel {
+    /// The paper's default random walk.
+    RandomWalk,
+    /// The Brinkhoff-substitute route follower (Fig. 19).
+    Brinkhoff,
+}
+
+/// All Table 2 parameters (paper defaults via [`Default`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of data objects `N` (paper default 100K).
+    pub num_objects: usize,
+    /// Number of queries `Q` (paper default 5K).
+    pub num_queries: usize,
+    /// Number of NNs per query `k` (paper default 50).
+    pub k: usize,
+    /// Initial object distribution (paper default uniform).
+    pub object_distribution: Distribution,
+    /// Initial query distribution (paper default Gaussian 10%).
+    pub query_distribution: Distribution,
+    /// Edge agility `f_edg`: fraction of edges updated per timestamp
+    /// (paper default 4%).
+    pub edge_agility: f64,
+    /// Object agility `f_obj` (paper default 10%).
+    pub object_agility: f64,
+    /// Query agility `f_qry` (paper default 10%).
+    pub query_agility: f64,
+    /// Object speed `v_obj` in multiples of the average edge length
+    /// (paper default 1).
+    pub object_speed: f64,
+    /// Query speed `v_qry` (paper default 1).
+    pub query_speed: f64,
+    /// Movement model (the paper's simple generator by default).
+    pub movement: MovementModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            num_objects: 100_000,
+            num_queries: 5_000,
+            k: 50,
+            object_distribution: Distribution::Uniform,
+            query_distribution: Distribution::gaussian_queries(),
+            edge_agility: 0.04,
+            object_agility: 0.10,
+            query_agility: 0.10,
+            object_speed: 1.0,
+            query_speed: 1.0,
+            movement: MovementModel::RandomWalk,
+            seed: 0,
+        }
+    }
+}
+
+enum Mover {
+    Walk(RandomWalker),
+    Route(RouteFollower),
+}
+
+impl Mover {
+    fn pos(&self) -> NetPoint {
+        match self {
+            Mover::Walk(w) => w.pos,
+            Mover::Route(r) => r.pos,
+        }
+    }
+}
+
+/// A running simulation emitting per-timestamp update batches.
+pub struct Scenario {
+    net: Arc<RoadNetwork>,
+    cfg: ScenarioConfig,
+    rng: StdRng,
+    weights: EdgeWeights,
+    objects: Vec<Mover>,
+    queries: Vec<Mover>,
+    engine: DijkstraEngine,
+    avg_len: f64,
+}
+
+impl Scenario {
+    /// Builds the initial state (placements, base weights).
+    pub fn new(net: Arc<RoadNetwork>, cfg: ScenarioConfig) -> Self {
+        assert!(cfg.num_objects > 0, "scenario needs objects");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let quadtree = PmrQuadtree::build(&net);
+        let placer = Placer::new(&net, &quadtree);
+        let weights = EdgeWeights::from_base(&net);
+        let mut engine = DijkstraEngine::new(net.num_nodes());
+        let avg_len =
+            net.edge_ids().map(|e| net.edge_euclidean_len(e)).sum::<f64>() / net.num_edges() as f64;
+
+        let make = |dist: Distribution, rng: &mut StdRng, engine: &mut DijkstraEngine| {
+            let pos = placer.sample(dist, rng);
+            match cfg.movement {
+                MovementModel::RandomWalk => Mover::Walk(RandomWalker::new(&net, pos, rng)),
+                MovementModel::Brinkhoff => {
+                    Mover::Route(RouteFollower::new(&net, &weights, engine, pos, rng))
+                }
+            }
+        };
+        let objects = (0..cfg.num_objects)
+            .map(|_| make(cfg.object_distribution, &mut rng, &mut engine))
+            .collect();
+        let queries = (0..cfg.num_queries)
+            .map(|_| make(cfg.query_distribution, &mut rng, &mut engine))
+            .collect();
+        Self { net, cfg, rng, weights, objects, queries, engine, avg_len }
+    }
+
+    /// The network.
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        &self.net
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// Current simulation weights (authoritative).
+    pub fn weights(&self) -> &EdgeWeights {
+        &self.weights
+    }
+
+    /// Initial object placements.
+    pub fn initial_objects(&self) -> impl Iterator<Item = (ObjectId, NetPoint)> + '_ {
+        self.objects.iter().enumerate().map(|(i, m)| (ObjectId::from_index(i), m.pos()))
+    }
+
+    /// Initial query placements (`(id, k, position)`).
+    pub fn initial_queries(&self) -> impl Iterator<Item = (QueryId, usize, NetPoint)> + '_ {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (QueryId::from_index(i), self.cfg.k, m.pos()))
+    }
+
+    /// Installs all objects and queries into a monitor.
+    pub fn install_into(&self, monitor: &mut dyn ContinuousMonitor) {
+        for (id, pos) in self.initial_objects() {
+            monitor.insert_object(id, pos);
+        }
+        for (id, k, pos) in self.initial_queries() {
+            monitor.install_query(id, k, pos);
+        }
+    }
+
+    /// Advances the simulation one timestamp and returns the update batch
+    /// ("updates of all three types occur at each timestamp", §6).
+    pub fn tick(&mut self) -> UpdateBatch {
+        let mut batch = UpdateBatch::default();
+
+        // --- Edge updates: f_edg of the edges change weight by ±10%.
+        let n_edges = ((self.net.num_edges() as f64) * self.cfg.edge_agility).round() as usize;
+        let picked = sample_indices(&mut self.rng, self.net.num_edges(), n_edges);
+        for i in picked {
+            let e = EdgeId::from_index(i);
+            let old = self.weights.get(e);
+            let factor = if self.rng.random::<bool>() { 1.1 } else { 0.9 };
+            // Keep weights within sane bounds of the base value so long
+            // simulations cannot drift to zero (documented in DESIGN.md).
+            let base = self.net.edge(e).base_weight;
+            let new = (old * factor).clamp(0.2 * base, 5.0 * base);
+            if new != old {
+                self.weights.set(e, new);
+                batch.edges.push(EdgeWeightUpdate { edge: e, new_weight: new });
+            }
+        }
+
+        // --- Object movements: f_obj of the objects walk v_obj × avg edge.
+        let n_obj = ((self.objects.len() as f64) * self.cfg.object_agility).round() as usize;
+        let dist = self.cfg.object_speed * self.avg_len;
+        for i in sample_indices(&mut self.rng, self.objects.len(), n_obj) {
+            let new_pos = match &mut self.objects[i] {
+                Mover::Walk(w) => w.step(&self.net, dist, &mut self.rng),
+                Mover::Route(r) => {
+                    r.step(&self.net, &self.weights, &mut self.engine, dist, &mut self.rng)
+                }
+            };
+            batch.objects.push(ObjectEvent::Move { id: ObjectId::from_index(i), to: new_pos });
+        }
+
+        // --- Query movements.
+        let n_qry = ((self.queries.len() as f64) * self.cfg.query_agility).round() as usize;
+        let dist = self.cfg.query_speed * self.avg_len;
+        for i in sample_indices(&mut self.rng, self.queries.len(), n_qry) {
+            let new_pos = match &mut self.queries[i] {
+                Mover::Walk(w) => w.step(&self.net, dist, &mut self.rng),
+                Mover::Route(r) => {
+                    r.step(&self.net, &self.weights, &mut self.engine, dist, &mut self.rng)
+                }
+            };
+            batch.queries.push(QueryEvent::Move { id: QueryId::from_index(i), to: new_pos });
+        }
+
+        batch
+    }
+}
+
+/// `count` distinct indices from `0..n`, deterministically from `rng`.
+fn sample_indices(rng: &mut StdRng, n: usize, count: usize) -> Vec<usize> {
+    let count = count.min(n);
+    if count == 0 {
+        return Vec::new();
+    }
+    // For small fractions, rejection sampling beats shuffling the universe.
+    if count * 4 <= n {
+        let mut seen = std::collections::HashSet::with_capacity(count * 2);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let i = rng.random_range(0..n);
+            if seen.insert(i) {
+                out.push(i);
+            }
+        }
+        out
+    } else {
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(rng);
+        all.truncate(count);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_roadnet::generators::{grid_city, GridCityConfig};
+
+    fn small_cfg() -> ScenarioConfig {
+        ScenarioConfig {
+            num_objects: 50,
+            num_queries: 10,
+            k: 3,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    fn small_net() -> Arc<RoadNetwork> {
+        Arc::new(grid_city(&GridCityConfig { nx: 8, ny: 8, seed: 3, ..Default::default() }))
+    }
+
+    #[test]
+    fn initial_placement_counts() {
+        let sc = Scenario::new(small_net(), small_cfg());
+        assert_eq!(sc.initial_objects().count(), 50);
+        assert_eq!(sc.initial_queries().count(), 10);
+        for (_, k, p) in sc.initial_queries() {
+            assert_eq!(k, 3);
+            assert!(p.edge.index() < sc.network().num_edges());
+        }
+    }
+
+    #[test]
+    fn tick_respects_agilities() {
+        let net = small_net();
+        let e = net.num_edges();
+        let mut sc = Scenario::new(
+            net,
+            ScenarioConfig {
+                edge_agility: 0.04,
+                object_agility: 0.10,
+                query_agility: 0.10,
+                ..small_cfg()
+            },
+        );
+        let batch = sc.tick();
+        // ±1 tolerance on rounding; weight updates may be suppressed when
+        // the clamp kicks in (it cannot on the first tick).
+        assert_eq!(batch.edges.len(), ((e as f64) * 0.04).round() as usize);
+        assert_eq!(batch.objects.len(), 5);
+        assert_eq!(batch.queries.len(), 1);
+    }
+
+    #[test]
+    fn weight_updates_are_plus_minus_ten_percent() {
+        let mut sc = Scenario::new(small_net(), small_cfg());
+        let before = sc.weights().clone();
+        let batch = sc.tick();
+        for u in &batch.edges {
+            let old = before.get(u.edge);
+            let ratio = u.new_weight / old;
+            assert!(
+                (ratio - 1.1).abs() < 1e-9 || (ratio - 0.9).abs() < 1e-9,
+                "ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_agility_produces_empty_parts() {
+        let mut sc = Scenario::new(
+            small_net(),
+            ScenarioConfig {
+                edge_agility: 0.0,
+                object_agility: 0.0,
+                query_agility: 0.0,
+                ..small_cfg()
+            },
+        );
+        let batch = sc.tick();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = small_net();
+        let mut a = Scenario::new(net.clone(), small_cfg());
+        let mut b = Scenario::new(net, small_cfg());
+        for _ in 0..5 {
+            assert_eq!(a.tick(), b.tick());
+        }
+    }
+
+    #[test]
+    fn brinkhoff_model_runs() {
+        let mut sc = Scenario::new(
+            small_net(),
+            ScenarioConfig { movement: MovementModel::Brinkhoff, ..small_cfg() },
+        );
+        for _ in 0..3 {
+            let batch = sc.tick();
+            assert!(!batch.objects.is_empty());
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_sized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (n, c) in [(100, 5), (100, 90), (10, 10), (10, 0), (5, 20)] {
+            let v = sample_indices(&mut rng, n, c);
+            assert_eq!(v.len(), c.min(n));
+            let set: std::collections::HashSet<_> = v.iter().collect();
+            assert_eq!(set.len(), v.len(), "duplicates for n={n} c={c}");
+            assert!(v.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn install_into_monitor_roundtrip() {
+        let net = small_net();
+        let sc = Scenario::new(net.clone(), small_cfg());
+        let mut ovh = rnn_core::Ovh::new(net);
+        sc.install_into(&mut ovh);
+        assert_eq!(ovh.query_ids().len(), 10);
+        for id in ovh.query_ids() {
+            assert_eq!(ovh.result(id).unwrap().len(), 3);
+        }
+    }
+}

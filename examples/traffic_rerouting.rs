@@ -1,0 +1,83 @@
+//! Results change while nobody moves: the road-network phenomenon the
+//! Euclidean methods cannot express (§1: "since weights may fluctuate, some
+//! results may change even though the objects and the queries have remained
+//! static").
+//!
+//! A rush-hour wave sweeps across the map — edge weights rise and fall —
+//! while every object and query stays put. Watch a query's nearest
+//! "hospital" flip back and forth purely because of traffic.
+//!
+//! ```text
+//! cargo run --example traffic_rerouting
+//! ```
+
+use std::sync::Arc;
+
+use rnn_monitor::core::{ContinuousMonitor, EdgeWeightUpdate, Ima, UpdateBatch};
+use rnn_monitor::roadnet::generators::{grid_city, GridCityConfig};
+use rnn_monitor::roadnet::NetPoint;
+use rnn_monitor::{EdgeId, ObjectId, QueryId};
+
+fn main() {
+    let net = Arc::new(grid_city(&GridCityConfig {
+        nx: 9,
+        ny: 9,
+        prune: 0.15,
+        seed: 21,
+        ..Default::default()
+    }));
+    let mut server = Ima::new(net.clone());
+
+    // Hospitals (static objects), spread over the map: one per 15th edge.
+    let mut hospitals = Vec::new();
+    for (i, e) in net.edge_ids().enumerate().step_by(15) {
+        let id = ObjectId(i as u32);
+        server.insert_object(id, NetPoint::new(e, 0.5));
+        hospitals.push(id);
+    }
+    // An ambulance dispatcher monitoring the 2 closest hospitals.
+    let q = QueryId(0);
+    server.install_query(q, 2, NetPoint::new(EdgeId(0), 0.25));
+    println!("{} hospitals on a {}-edge map", hospitals.len(), net.num_edges());
+    let show = |server: &Ima, label: &str| {
+        let r = server.result(q).unwrap();
+        println!(
+            "{label}: closest = hospital {} ({:.0} min), backup = hospital {} ({:.0} min)",
+            r[0].object, r[0].dist, r[1].object, r[1].dist
+        );
+    };
+    show(&server, "free flow   ");
+
+    // A congestion wave: weights in a moving band of the city triple, then
+    // recover. Nothing moves; only travel times change.
+    let bands = 6usize;
+    let bounds = net.bounds();
+    for step in 0..bands {
+        let lo = bounds.lo.x + bounds.width() * step as f64 / bands as f64;
+        let hi = bounds.lo.x + bounds.width() * (step + 1) as f64 / bands as f64;
+        let mut batch = UpdateBatch::default();
+        for e in net.edge_ids() {
+            let rec = net.edge(e);
+            let mid = 0.5 * (net.node_pos(rec.start).x + net.node_pos(rec.end).x);
+            let congested = mid >= lo && mid < hi;
+            let target = if congested { rec.base_weight * 3.0 } else { rec.base_weight };
+            batch.edges.push(EdgeWeightUpdate { edge: e, new_weight: target });
+        }
+        let report = server.tick(&batch);
+        show(
+            &server,
+            &format!(
+                "wave band {step} ({:>3} results changed, {:>4} updates ignored)",
+                report.results_changed, report.counters.updates_ignored
+            ),
+        );
+    }
+
+    // Traffic clears completely.
+    let mut batch = UpdateBatch::default();
+    for e in net.edge_ids() {
+        batch.edges.push(EdgeWeightUpdate { edge: e, new_weight: net.edge(e).base_weight });
+    }
+    server.tick(&batch);
+    show(&server, "traffic over");
+}

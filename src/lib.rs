@@ -1,0 +1,26 @@
+//! # rnn-monitor
+//!
+//! Umbrella crate for the reproduction of *"Continuous Nearest Neighbor
+//! Monitoring in Road Networks"* (Mouratidis, Yiu, Papadias, Mamoulis,
+//! VLDB 2006). Re-exports the three workspace layers:
+//!
+//! * [`roadnet`] — the road-network substrate (graph, network positions,
+//!   Dijkstra, PMR quadtree, sequences, synthetic map generators),
+//! * [`core`] — the monitoring algorithms (OVH baseline, IMA, GMA, and the
+//!   CRNN extension) behind the [`core::ContinuousMonitor`] trait,
+//! * [`workload`] — placement distributions, movement models, and the
+//!   per-timestamp update-stream simulator of the paper's §6 evaluation.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the experiment harness that regenerates every figure
+//! of the paper.
+
+#![warn(missing_docs)]
+
+pub use rnn_core as core;
+pub use rnn_roadnet as roadnet;
+pub use rnn_workload as workload;
+
+pub use rnn_core::{ContinuousMonitor, Gma, Ima, Neighbor, Ovh, UpdateBatch};
+pub use rnn_roadnet::{EdgeId, NetPoint, NodeId, ObjectId, QueryId, RoadNetwork};
+pub use rnn_workload::{Scenario, ScenarioConfig};

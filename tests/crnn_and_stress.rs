@@ -1,0 +1,217 @@
+//! Differential validation of the CRNN extension against a brute-force
+//! oracle, plus longer stress runs of the three k-NN monitors.
+
+use std::sync::Arc;
+
+use rnn_monitor::core::crnn::Crnn;
+use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, ObjectEvent, Ovh, QueryEvent, UpdateBatch};
+use rnn_monitor::roadnet::{
+    generators, DijkstraEngine, EdgeId, EdgeWeights, NetPoint, ObjectId, QueryId,
+};
+use rnn_monitor::workload::{Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force reverse-NN oracle: assign every object to its closest query
+/// (ties by query id, matching the deterministic `(dist, id)` order).
+fn brute_rnn(
+    net: &rnn_monitor::RoadNetwork,
+    weights: &EdgeWeights,
+    objects: &[(ObjectId, NetPoint)],
+    queries: &[(QueryId, NetPoint)],
+) -> Vec<(ObjectId, Option<QueryId>)> {
+    let mut eng = DijkstraEngine::new(net.num_nodes());
+    objects
+        .iter()
+        .map(|&(oid, opos)| {
+            let mut best: Option<(f64, QueryId)> = None;
+            for &(qid, qpos) in queries {
+                let d = eng.dist_between_points(net, weights, opos, qpos);
+                let better = match best {
+                    None => d.is_finite(),
+                    Some((bd, bq)) => d < bd || (d == bd && qid < bq),
+                };
+                if better {
+                    best = Some((d, qid));
+                }
+            }
+            (oid, best.map(|(_, q)| q))
+        })
+        .collect()
+}
+
+#[test]
+fn crnn_matches_brute_force_over_random_run() {
+    let net = Arc::new(generators::grid_city(&generators::GridCityConfig {
+        nx: 7,
+        ny: 7,
+        seed: 17,
+        ..Default::default()
+    }));
+    let ne = net.num_edges() as u32;
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut crnn = Crnn::new(net.clone());
+
+    let mut weights = EdgeWeights::from_base(&net);
+    let mut queries: Vec<(QueryId, NetPoint)> = Vec::new();
+    let mut objects: Vec<(ObjectId, NetPoint)> = Vec::new();
+    for q in 0..5u32 {
+        let p = NetPoint::new(EdgeId(rng.random_range(0..ne)), rng.random());
+        crnn.insert_query(QueryId(q), p);
+        queries.push((QueryId(q), p));
+    }
+    for o in 0..30u32 {
+        let p = NetPoint::new(EdgeId(rng.random_range(0..ne)), rng.random());
+        crnn.insert_object(ObjectId(o), p);
+        objects.push((ObjectId(o), p));
+    }
+
+    for tick in 0..10 {
+        // Random mixed batch: move some objects, some queries, scale edges.
+        let mut batch = UpdateBatch::default();
+        for _ in 0..6 {
+            let i = rng.random_range(0..objects.len());
+            let to = NetPoint::new(EdgeId(rng.random_range(0..ne)), rng.random());
+            objects[i].1 = to;
+            batch.objects.push(ObjectEvent::Move { id: objects[i].0, to });
+        }
+        if tick % 2 == 0 {
+            let i = rng.random_range(0..queries.len());
+            let to = NetPoint::new(EdgeId(rng.random_range(0..ne)), rng.random());
+            queries[i].1 = to;
+            batch.queries.push(QueryEvent::Move { id: queries[i].0, to });
+        }
+        for _ in 0..4 {
+            let e = EdgeId(rng.random_range(0..ne));
+            let new_w = weights.get(e) * if rng.random::<bool>() { 1.1 } else { 0.9 };
+            weights.set(e, new_w);
+            batch.edges.push(rnn_monitor::core::EdgeWeightUpdate { edge: e, new_weight: new_w });
+        }
+        crnn.tick(&batch);
+
+        let oracle = brute_rnn(&net, &weights, &objects, &queries);
+        for (oid, expect) in oracle {
+            let got = crnn.nearest_query_of(oid);
+            // Exact ties between two queries are resolvable either way as
+            // long as the distance is equal; check distance equality then.
+            if got != expect {
+                let mut eng = DijkstraEngine::new(net.num_nodes());
+                let opos = objects.iter().find(|&&(o, _)| o == oid).unwrap().1;
+                let d_got = got
+                    .map(|q| {
+                        let qpos = queries.iter().find(|&&(x, _)| x == q).unwrap().1;
+                        eng.dist_between_points(&net, &weights, opos, qpos)
+                    })
+                    .unwrap_or(f64::INFINITY);
+                let d_expect = expect
+                    .map(|q| {
+                        let qpos = queries.iter().find(|&&(x, _)| x == q).unwrap().1;
+                        eng.dist_between_points(&net, &weights, opos, qpos)
+                    })
+                    .unwrap_or(f64::INFINITY);
+                assert!(
+                    (d_got - d_expect).abs() <= 1e-9 * d_expect.max(1.0),
+                    "tick {tick}: object {oid} assigned {got:?} ({d_got}) vs oracle {expect:?} ({d_expect})"
+                );
+            }
+        }
+        // The reverse map partitions all objects.
+        let total: usize =
+            (0..5u32).map(|q| crnn.reverse_nns(QueryId(q)).unwrap().len()).sum();
+        assert_eq!(total, objects.len(), "tick {tick}: RNN sets must partition objects");
+    }
+}
+
+/// A long mixed run on a mid-sized map: 60 timestamps, periodic deep
+/// validation of IMA's internal invariants, final result equality.
+#[test]
+fn long_stress_run_stays_consistent() {
+    let net = Arc::new(generators::san_francisco_like(600, 23));
+    let cfg = ScenarioConfig {
+        num_objects: 400,
+        num_queries: 40,
+        k: 8,
+        edge_agility: 0.06,
+        object_agility: 0.15,
+        query_agility: 0.15,
+        seed: 9,
+        ..Default::default()
+    };
+    let mut scenario = Scenario::new(net.clone(), cfg);
+    let mut ovh = Ovh::new(net.clone());
+    let mut ima = Ima::new(net.clone());
+    let mut gma = Gma::new(net.clone());
+    scenario.install_into(&mut ovh);
+    scenario.install_into(&mut ima);
+    scenario.install_into(&mut gma);
+
+    let mut total_ovh_work = 0u64;
+    let mut total_ima_work = 0u64;
+    for t in 1..=60usize {
+        let batch = scenario.tick();
+        total_ovh_work += ovh.tick(&batch).counters.work();
+        total_ima_work += ima.tick(&batch).counters.work();
+        gma.tick(&batch);
+        if t % 20 == 0 {
+            ima.validate_invariants();
+        }
+        if t % 10 == 0 {
+            let mut ids = ovh.query_ids();
+            ids.sort();
+            for q in ids {
+                let a: Vec<f64> = ovh.result(q).unwrap().iter().map(|n| n.dist).collect();
+                for m in [&ima as &dyn ContinuousMonitor, &gma] {
+                    let b: Vec<f64> = m.result(q).unwrap().iter().map(|n| n.dist).collect();
+                    assert_eq!(a.len(), b.len(), "t={t} q={q} {}", m.name());
+                    for (x, y) in a.iter().zip(&b) {
+                        assert!(
+                            (x - y).abs() <= 1e-9 * x.max(1.0),
+                            "t={t} q={q} {}: {x} vs {y}",
+                            m.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The headline claim must hold over the long run too.
+    assert!(
+        total_ima_work < total_ovh_work,
+        "incremental ({total_ima_work}) must beat overhaul ({total_ovh_work})"
+    );
+}
+
+/// Memory accounting responds to load: more queries and larger k mean more
+/// tree/influence state for IMA, less so for GMA (Fig. 18's mechanism).
+#[test]
+fn memory_scales_with_queries_and_k() {
+    let net = Arc::new(generators::san_francisco_like(400, 31));
+    let build = |q: usize, k: usize| -> (usize, usize) {
+        let cfg = ScenarioConfig {
+            num_objects: 800,
+            num_queries: q,
+            k,
+            seed: 3,
+            ..Default::default()
+        };
+        let scenario = Scenario::new(net.clone(), cfg);
+        let mut ima = Ima::new(net.clone());
+        let mut gma = Gma::new(net.clone());
+        scenario.install_into(&mut ima);
+        scenario.install_into(&mut gma);
+        let algo_mem = |m: &dyn ContinuousMonitor| {
+            let mem = m.memory();
+            mem.query_table + mem.expansion_trees + mem.influence_lists
+        };
+        (algo_mem(&ima), algo_mem(&gma))
+    };
+    let (ima_small, _) = build(10, 4);
+    let (ima_more_q, _) = build(40, 4);
+    let (ima_big_k, gma_big_k) = build(40, 16);
+    assert!(ima_more_q > ima_small, "more queries -> more IMA state");
+    assert!(ima_big_k > ima_more_q, "larger k -> larger trees");
+    assert!(
+        ima_big_k > gma_big_k,
+        "IMA stores per-query trees, GMA only per active node ({ima_big_k} vs {gma_big_k})"
+    );
+}

@@ -1,0 +1,279 @@
+//! Property-based tests (proptest) on the core data structures and on the
+//! end-to-end monitoring invariants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rnn_monitor::core::influence::IntervalSet;
+use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, Ovh, UpdateBatch};
+use rnn_monitor::core::{EdgeWeightUpdate, ObjectEvent, QueryEvent};
+use rnn_monitor::roadnet::{
+    generators, DijkstraEngine, EdgeId, EdgeWeights, NetPoint, ObjectId, QueryId, RoadNetwork,
+    SequenceTable,
+};
+
+// ---------------------------------------------------------------------
+// IntervalSet properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn interval_membership_matches_construction(
+        lo1 in 0.0f64..1.0, len1 in 0.0f64..1.0,
+        probe in 0.0f64..1.0,
+    ) {
+        let hi1 = (lo1 + len1).min(1.0);
+        let s = IntervalSet::single(lo1, hi1);
+        prop_assert_eq!(s.covers(probe), probe >= lo1 && probe <= hi1);
+    }
+
+    #[test]
+    fn interval_union_covers_both(
+        lo1 in 0.0f64..1.0, len1 in 0.0f64..0.5,
+        lo2 in 0.0f64..1.0, len2 in 0.0f64..0.5,
+        probe in 0.0f64..1.0,
+    ) {
+        let hi1 = (lo1 + len1).min(1.0);
+        let hi2 = (lo2 + len2).min(1.0);
+        let mut s = IntervalSet::single(lo1, hi1);
+        // `add` panics only when three disjoint ranges would be needed —
+        // with two ranges that cannot happen.
+        s.add(lo2, hi2);
+        let expect = (probe >= lo1 && probe <= hi1) || (probe >= lo2 && probe <= hi2);
+        prop_assert_eq!(s.covers(probe), expect);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dijkstra / quadtree / sequences on random networks.
+// ---------------------------------------------------------------------
+
+fn random_grid(seed: u64) -> RoadNetwork {
+    generators::grid_city(&generators::GridCityConfig {
+        nx: 5,
+        ny: 5,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Floyd–Warshall oracle for node-to-node distances.
+fn floyd_warshall(net: &RoadNetwork, w: &EdgeWeights) -> Vec<Vec<f64>> {
+    let n = net.num_nodes();
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for e in net.edge_ids() {
+        let rec = net.edge(e);
+        let (a, b) = (rec.start.index(), rec.end.index());
+        d[a][b] = d[a][b].min(w.get(e));
+        d[b][a] = d[b][a].min(w.get(e));
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if d[i][k] + d[k][j] < d[i][j] {
+                    d[i][j] = d[i][k] + d[k][j];
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall(seed in 0u64..200) {
+        let net = random_grid(seed);
+        let w = EdgeWeights::from_base(&net);
+        let oracle = floyd_warshall(&net, &w);
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        let src = rnn_monitor::NodeId((seed % net.num_nodes() as u64) as u32);
+        eng.sssp(&net, &w, src, None);
+        for n in net.node_ids() {
+            let got = eng.dist_of(n).unwrap_or(f64::INFINITY);
+            let want = oracle[src.index()][n.index()];
+            prop_assert!((got - want).abs() <= 1e-9 * want.max(1.0),
+                "node {n:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn sequences_partition_edges(seed in 0u64..200) {
+        let net = random_grid(seed);
+        let st = SequenceTable::build(&net);
+        let mut covered = vec![0usize; net.num_edges()];
+        for s in st.iter() {
+            for &e in &s.edges {
+                covered[e.index()] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1), "seed {seed}: not a partition");
+    }
+
+    #[test]
+    fn quadtree_locate_is_consistent(seed in 0u64..100, t in 0.05f64..0.95) {
+        let net = random_grid(seed);
+        let qt = rnn_monitor::roadnet::PmrQuadtree::build(&net);
+        for e in net.edge_ids().step_by(7) {
+            let p = NetPoint::new(e, t);
+            let xy = p.coordinates(&net);
+            let found = qt.locate(&net, xy).unwrap();
+            prop_assert!(found.coordinates(&net).dist(xy) < 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end monitoring properties on random update streams.
+// ---------------------------------------------------------------------
+
+/// A compact random update program applied identically to all monitors.
+#[derive(Debug, Clone)]
+enum Op {
+    MoveObject { idx: u8, edge: u16, frac: f64 },
+    DeleteObject { idx: u8 },
+    InsertObject { idx: u8, edge: u16, frac: f64 },
+    MoveQuery { idx: u8, edge: u16, frac: f64 },
+    ScaleEdge { edge: u16, factor: f64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>(), 0.0f64..1.0)
+            .prop_map(|(idx, edge, frac)| Op::MoveObject { idx, edge, frac }),
+        any::<u8>().prop_map(|idx| Op::DeleteObject { idx }),
+        (any::<u8>(), any::<u16>(), 0.0f64..1.0)
+            .prop_map(|(idx, edge, frac)| Op::InsertObject { idx, edge, frac }),
+        (any::<u8>(), any::<u16>(), 0.0f64..1.0)
+            .prop_map(|(idx, edge, frac)| Op::MoveQuery { idx, edge, frac }),
+        (any::<u16>(), 0.5f64..2.0).prop_map(|(edge, factor)| Op::ScaleEdge { edge, factor }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random update programs: IMA and GMA always agree with the
+    /// from-scratch oracle, and IMA's internal invariants hold.
+    #[test]
+    fn monitors_agree_on_random_programs(
+        seed in 0u64..50,
+        k in 1usize..6,
+        ticks in prop::collection::vec(prop::collection::vec(op_strategy(), 0..6), 1..8),
+    ) {
+        let net = Arc::new(random_grid(seed));
+        let ne = net.num_edges() as u16;
+        let mut ovh = Ovh::new(net.clone());
+        let mut ima = Ima::new(net.clone());
+        let mut gma = Gma::new(net.clone());
+        // 12 objects, 4 queries at deterministic spots.
+        for i in 0..12u32 {
+            let e = EdgeId((i * 5) % ne as u32);
+            let p = NetPoint::new(e, 0.3 + 0.05 * i as f64 % 0.6);
+            ovh.insert_object(ObjectId(i), p);
+            ima.insert_object(ObjectId(i), p);
+            gma.insert_object(ObjectId(i), p);
+        }
+        for i in 0..4u32 {
+            let e = EdgeId((i * 11 + 3) % ne as u32);
+            let p = NetPoint::new(e, 0.5);
+            ovh.install_query(QueryId(i), k, p);
+            ima.install_query(QueryId(i), k, p);
+            gma.install_query(QueryId(i), k, p);
+        }
+
+        let mut weights = EdgeWeights::from_base(&net);
+        for ops in &ticks {
+            let mut batch = UpdateBatch::default();
+            for op in ops {
+                match *op {
+                    Op::MoveObject { idx, edge, frac } => {
+                        batch.objects.push(ObjectEvent::Move {
+                            id: ObjectId(u32::from(idx % 16)),
+                            to: NetPoint::new(EdgeId(u32::from(edge % ne)), frac),
+                        });
+                    }
+                    Op::DeleteObject { idx } => {
+                        batch.objects.push(ObjectEvent::Delete { id: ObjectId(u32::from(idx % 16)) });
+                    }
+                    Op::InsertObject { idx, edge, frac } => {
+                        batch.objects.push(ObjectEvent::Insert {
+                            id: ObjectId(u32::from(idx % 16)),
+                            at: NetPoint::new(EdgeId(u32::from(edge % ne)), frac),
+                        });
+                    }
+                    Op::MoveQuery { idx, edge, frac } => {
+                        batch.queries.push(QueryEvent::Move {
+                            id: QueryId(u32::from(idx % 4)),
+                            to: NetPoint::new(EdgeId(u32::from(edge % ne)), frac),
+                        });
+                    }
+                    Op::ScaleEdge { edge, factor } => {
+                        let e = EdgeId(u32::from(edge % ne));
+                        let new_w = weights.get(e) * factor;
+                        weights.set(e, new_w);
+                        batch.edges.push(EdgeWeightUpdate { edge: e, new_weight: new_w });
+                    }
+                }
+            }
+            // Moves of deleted objects are invalid; sanitize like a real
+            // feed would (move-after-delete within a tick is legal and
+            // handled by coalescing, so only drop moves of ids that are
+            // gone *entering* the tick and not re-inserted first).
+            ovh.tick(&batch);
+            ima.tick(&batch);
+            gma.tick(&batch);
+
+            for q in 0..4u32 {
+                let a = ovh.result(QueryId(q)).unwrap();
+                let b = ima.result(QueryId(q)).unwrap();
+                let c = gma.result(QueryId(q)).unwrap();
+                prop_assert_eq!(a.len(), b.len(), "IMA size, query {}", q);
+                prop_assert_eq!(a.len(), c.len(), "GMA size, query {}", q);
+                let mut da: Vec<f64> = a.iter().map(|n| n.dist).collect();
+                let mut db: Vec<f64> = b.iter().map(|n| n.dist).collect();
+                let mut dc: Vec<f64> = c.iter().map(|n| n.dist).collect();
+                da.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                db.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                dc.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                for ((x, y), z) in da.iter().zip(&db).zip(&dc) {
+                    prop_assert!((x - y).abs() <= 1e-9 * x.max(1.0), "IMA {} vs {}", x, y);
+                    prop_assert!((x - z).abs() <= 1e-9 * x.max(1.0), "GMA {} vs {}", x, z);
+                }
+            }
+        }
+        ima.validate_invariants();
+    }
+
+    /// Results are always sorted, deduplicated, within k, and kNN_dist
+    /// equals the k-th distance.
+    #[test]
+    fn result_shape_invariants(seed in 0u64..30, k in 1usize..8) {
+        let net = Arc::new(random_grid(seed));
+        let mut ima = Ima::new(net.clone());
+        for i in 0..10u32 {
+            ima.insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 7) % net.num_edges() as u32), 0.25),
+            );
+        }
+        ima.install_query(QueryId(0), k, NetPoint::new(EdgeId(0), 0.5));
+        let r = ima.result(QueryId(0)).unwrap();
+        prop_assert!(r.len() <= k);
+        prop_assert_eq!(r.len(), k.min(10));
+        for w in r.windows(2) {
+            prop_assert!(w[0].dist <= w[1].dist);
+            prop_assert!(w[0].object != w[1].object);
+        }
+        let knn = ima.knn_dist(QueryId(0)).unwrap();
+        if r.len() == k {
+            prop_assert_eq!(knn, r[k - 1].dist);
+        } else {
+            prop_assert!(knn.is_infinite());
+        }
+    }
+}
