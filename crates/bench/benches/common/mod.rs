@@ -27,16 +27,12 @@ pub fn bench_figure(c: &mut Criterion, figure: &str, scale: f64) {
                 let b = scenario.tick();
                 monitor.tick(&b);
             }
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), &label),
-                &(),
-                |b, _| {
-                    b.iter(|| {
-                        let batch = scenario.tick();
-                        monitor.tick(&batch)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), &label), &(), |b, _| {
+                b.iter(|| {
+                    let batch = scenario.tick();
+                    monitor.tick(&batch)
+                })
+            });
         }
     }
     group.finish();

@@ -1,0 +1,13 @@
+//! Engine scaling: steady-state tick latency of the sharded engine as the
+//! shard count grows (1/2/4/8), against the single-threaded GMA it wraps.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn engine_scaling(c: &mut Criterion) {
+    common::bench_figure(c, "engine", 0.01);
+}
+
+criterion_group!(benches, engine_scaling);
+criterion_main!(benches);

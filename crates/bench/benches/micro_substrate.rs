@@ -57,7 +57,11 @@ fn substrate(c: &mut Criterion) {
     }
     for k in [1usize, 50, 200] {
         group.bench_function(format!("initial_knn_search_k{k}"), |b| {
-            let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+            let ctx = SearchContext {
+                net: &net,
+                weights: &weights,
+                objects: &objects,
+            };
             let mut eng = DijkstraEngine::new(net.num_nodes());
             b.iter_batched(
                 || (),

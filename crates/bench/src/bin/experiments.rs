@@ -13,7 +13,7 @@
 use std::env;
 use std::process::ExitCode;
 
-use rnn_bench::runner::format_series;
+use rnn_bench::runner::{format_series, series_to_json};
 use rnn_bench::{all_figures, figure_by_name, run_series, Params};
 
 struct Options {
@@ -127,8 +127,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         let points = (fig.points)(opts.scale, opts.seed);
-        let series = run_series(&points, fig.algos, opts.timestamps, opts.warmup, opts.parallel);
+        let series = run_series(
+            &points,
+            fig.algos,
+            opts.timestamps,
+            opts.warmup,
+            opts.parallel,
+        );
         println!("{}", format_series(fig.title, &series, fig.memory));
+        // The engine figure doubles as the cross-PR perf tracker: emit a
+        // machine-readable artifact next to the human-readable table.
+        if fig.name == "engine" {
+            let path = "BENCH_engine.json";
+            match std::fs::write(path, series_to_json(fig.name, &series)) {
+                Ok(()) => println!("# wrote {path}"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         // GMA's active-node count, where applicable.
         for p in &series {
             for r in &p.results {

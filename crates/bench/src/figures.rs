@@ -25,7 +25,11 @@ pub struct Figure {
 }
 
 fn base(scale: f64, seed: u64) -> Params {
-    Params { seed, ..Params::default() }.scaled(scale)
+    Params {
+        seed,
+        ..Params::default()
+    }
+    .scaled(scale)
 }
 
 fn fig13a(scale: f64, seed: u64) -> Vec<(String, Params)> {
@@ -34,7 +38,13 @@ fn fig13a(scale: f64, seed: u64) -> Vec<(String, Params)> {
         .map(|n| {
             let p = base(scale, seed);
             let n_scaled = ((n as f64) * scale).round() as usize;
-            (format!("N={}K", n / 1000), Params { n_objects: n_scaled.max(8), ..p })
+            (
+                format!("N={}K", n / 1000),
+                Params {
+                    n_objects: n_scaled.max(8),
+                    ..p
+                },
+            )
         })
         .collect()
 }
@@ -45,7 +55,13 @@ fn fig13b(scale: f64, seed: u64) -> Vec<(String, Params)> {
         .map(|q| {
             let p = base(scale, seed);
             let q_scaled = (((q as f64) * scale).round() as usize).max(1);
-            (format!("Q={}K", q / 1000), Params { n_queries: q_scaled, ..p })
+            (
+                format!("Q={}K", q / 1000),
+                Params {
+                    n_queries: q_scaled,
+                    ..p
+                },
+            )
         })
         .collect()
 }
@@ -75,7 +91,13 @@ fn fig14b(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.01, 0.02, 0.04, 0.08, 0.16]
         .into_iter()
         .map(|f| {
-            (format!("f_edg={}%", (f * 100.0) as u32), Params { edge_agility: f, ..base(scale, seed) })
+            (
+                format!("f_edg={}%", (f * 100.0) as u32),
+                Params {
+                    edge_agility: f,
+                    ..base(scale, seed)
+                },
+            )
         })
         .collect()
 }
@@ -84,7 +106,13 @@ fn fig15a(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.0, 0.05, 0.10, 0.15, 0.20]
         .into_iter()
         .map(|f| {
-            (format!("f_obj={}%", (f * 100.0) as u32), Params { object_agility: f, ..base(scale, seed) })
+            (
+                format!("f_obj={}%", (f * 100.0) as u32),
+                Params {
+                    object_agility: f,
+                    ..base(scale, seed)
+                },
+            )
         })
         .collect()
 }
@@ -92,7 +120,15 @@ fn fig15a(scale: f64, seed: u64) -> Vec<(String, Params)> {
 fn fig15b(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.25, 0.5, 1.0, 2.0, 4.0]
         .into_iter()
-        .map(|v| (format!("v_obj={v}"), Params { object_speed: v, ..base(scale, seed) }))
+        .map(|v| {
+            (
+                format!("v_obj={v}"),
+                Params {
+                    object_speed: v,
+                    ..base(scale, seed)
+                },
+            )
+        })
         .collect()
 }
 
@@ -100,7 +136,13 @@ fn fig16a(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.0, 0.05, 0.10, 0.15, 0.20]
         .into_iter()
         .map(|f| {
-            (format!("f_qry={}%", (f * 100.0) as u32), Params { query_agility: f, ..base(scale, seed) })
+            (
+                format!("f_qry={}%", (f * 100.0) as u32),
+                Params {
+                    query_agility: f,
+                    ..base(scale, seed)
+                },
+            )
         })
         .collect()
 }
@@ -108,16 +150,36 @@ fn fig16a(scale: f64, seed: u64) -> Vec<(String, Params)> {
 fn fig16b(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.25, 0.5, 1.0, 2.0, 4.0]
         .into_iter()
-        .map(|v| (format!("v_qry={v}"), Params { query_speed: v, ..base(scale, seed) }))
+        .map(|v| {
+            (
+                format!("v_qry={v}"),
+                Params {
+                    query_speed: v,
+                    ..base(scale, seed)
+                },
+            )
+        })
         .collect()
 }
 
 fn fig17a(scale: f64, seed: u64) -> Vec<(String, Params)> {
     let combos: [(&str, Distribution, Distribution); 4] = [
         ("U-obj/U-qry", Distribution::Uniform, Distribution::Uniform),
-        ("U-obj/G-qry", Distribution::Uniform, Distribution::gaussian_queries()),
-        ("G-obj/U-qry", Distribution::gaussian_objects(), Distribution::Uniform),
-        ("G-obj/G-qry", Distribution::gaussian_objects(), Distribution::gaussian_queries()),
+        (
+            "U-obj/G-qry",
+            Distribution::Uniform,
+            Distribution::gaussian_queries(),
+        ),
+        (
+            "G-obj/U-qry",
+            Distribution::gaussian_objects(),
+            Distribution::Uniform,
+        ),
+        (
+            "G-obj/G-qry",
+            Distribution::gaussian_objects(),
+            Distribution::gaussian_queries(),
+        ),
     ];
     combos
         .into_iter()
@@ -146,7 +208,10 @@ fn fig17b(scale: f64, seed: u64) -> Vec<(String, Params)> {
                     edges: e,
                     n_objects: e * 10,
                     n_queries: (e / 2).max(1),
-                    ..Params { seed, ..Params::default() }
+                    ..Params {
+                        seed,
+                        ..Params::default()
+                    }
                 },
             )
         })
@@ -181,7 +246,13 @@ fn fig19a(scale: f64, seed: u64) -> Vec<(String, Params)> {
         .map(|q| {
             let p = oldenburg_base(scale, seed);
             let q_scaled = (((q as f64) * scale).round() as usize).max(1);
-            (format!("Q={}K", q / 1000), Params { n_queries: q_scaled, ..p })
+            (
+                format!("Q={}K", q / 1000),
+                Params {
+                    n_queries: q_scaled,
+                    ..p
+                },
+            )
         })
         .collect()
 }
@@ -190,12 +261,36 @@ fn fig19b(scale: f64, seed: u64) -> Vec<(String, Params)> {
     sweep_k(scale, seed, true)
 }
 
+/// Engine scaling (not in the paper): the sharded engine at 1/2/4/8 shards
+/// against single-threaded GMA, at Table 2 defaults and at doubled object
+/// load. The shard count is the algorithm axis (`ENG-1` … `ENG-8`), so one
+/// series point yields the whole shards-vs-latency curve.
+fn engine_scaling(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    let p = base(scale, seed);
+    vec![
+        ("T2-defaults".to_string(), p.clone()),
+        (
+            "2x-objects".to_string(),
+            Params {
+                n_objects: p.n_objects * 2,
+                ..p
+            },
+        ),
+    ]
+}
+
 /// Ablation (not in the paper): IMA with vs without influence lists.
 fn ablation_influence(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.05, 0.10, 0.20]
         .into_iter()
         .map(|f| {
-            (format!("f_obj={}%", (f * 100.0) as u32), Params { object_agility: f, ..base(scale, seed) })
+            (
+                format!("f_obj={}%", (f * 100.0) as u32),
+                Params {
+                    object_agility: f,
+                    ..base(scale, seed)
+                },
+            )
         })
         .collect()
 }
@@ -308,6 +403,13 @@ pub fn all_figures() -> Vec<Figure> {
             memory: false,
             points: ablation_influence,
         },
+        Figure {
+            name: "engine",
+            title: "Engine scaling: sharded engine (1/2/4/8 shards) vs single-threaded GMA",
+            algos: Algo::engine_set(),
+            memory: false,
+            points: engine_scaling,
+        },
     ]
 }
 
@@ -351,6 +453,15 @@ mod tests {
             assert_eq!(p.k, Params::default().k);
             assert_eq!(p.n_queries, pts[0].1.n_queries);
         }
+    }
+
+    #[test]
+    fn engine_figure_sweeps_shard_counts() {
+        let f = figure_by_name("engine").unwrap();
+        let names: Vec<&str> = f.algos.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["GMA", "ENG-1", "ENG-2", "ENG-4", "ENG-8"]);
+        assert!(!f.memory);
+        assert_eq!((f.points)(0.01, 1).len(), 2);
     }
 
     #[test]

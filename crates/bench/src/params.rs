@@ -138,7 +138,10 @@ impl Params {
             ("Query agility (f_qry)", "10%", "0, 5, 10, 15, 20 (%)"),
         ];
         let mut out = String::from("Table 2: System parameters\n");
-        out.push_str(&format!("{:<26} {:<11} {}\n", "Parameter", "Default", "Range"));
+        out.push_str(&format!(
+            "{:<26} {:<11} {}\n",
+            "Parameter", "Default", "Range"
+        ));
         for (p, d, r) in rows {
             out.push_str(&format!("{p:<26} {d:<11} {r}\n"));
         }
@@ -173,7 +176,10 @@ mod tests {
 
     #[test]
     fn network_size_tracks_edges() {
-        let p = Params { edges: 500, ..Params::default() };
+        let p = Params {
+            edges: 500,
+            ..Params::default()
+        };
         let net = p.build_network();
         let ratio = net.num_edges() as f64 / 500.0;
         assert!((0.8..1.2).contains(&ratio), "got {} edges", net.num_edges());

@@ -24,6 +24,9 @@ pub enum Algo {
     /// every query). Quantifies the paper's "ignore irrelevant updates"
     /// claim.
     ImaNoInfluence,
+    /// The sharded engine (`rnn-engine`) with this many shards, GMA
+    /// inside each.
+    Sharded(u8),
 }
 
 impl Algo {
@@ -34,6 +37,11 @@ impl Algo {
             Algo::Ima => "IMA",
             Algo::Gma => "GMA",
             Algo::ImaNoInfluence => "IMA-noIL",
+            Algo::Sharded(1) => "ENG-1",
+            Algo::Sharded(2) => "ENG-2",
+            Algo::Sharded(4) => "ENG-4",
+            Algo::Sharded(8) => "ENG-8",
+            Algo::Sharded(_) => "ENG-n",
         }
     }
 
@@ -45,6 +53,18 @@ impl Algo {
     /// IMA and GMA only (the memory experiments of Fig. 18).
     pub fn memory_set() -> &'static [Algo] {
         &[Algo::Ima, Algo::Gma]
+    }
+
+    /// The engine-scaling set: single-threaded GMA against the sharded
+    /// engine at 1, 2, 4 and 8 shards.
+    pub fn engine_set() -> &'static [Algo] {
+        &[
+            Algo::Gma,
+            Algo::Sharded(1),
+            Algo::Sharded(2),
+            Algo::Sharded(4),
+            Algo::Sharded(8),
+        ]
     }
 }
 
@@ -98,7 +118,47 @@ pub fn make_monitor(
             ima.set_use_influence_lists(false);
             Box::new(ima)
         }
+        Algo::Sharded(shards) => Box::new(rnn_engine::ShardedEngine::new(
+            net,
+            rnn_engine::EngineConfig::with_shards(usize::from(shards).max(1)),
+        )),
     }
+}
+
+/// Renders a series as a machine-readable JSON document (hand-rolled — the
+/// vendored serde stub has no serializer) so downstream tooling can track
+/// the perf trajectory across PRs.
+pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"figure\": \"{}\",\n", esc(figure)));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in series.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"label\": \"{}\",\n", esc(&p.label)));
+        out.push_str("      \"results\": [\n");
+        for (j, r) in p.results.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"algo\": \"{}\", \"cpu_per_ts\": {:.9}, \"work_per_ts\": {:.1}, \
+                 \"memory_kb\": {:.1}, \"ignored_per_ts\": {:.1}}}{}\n",
+                esc(r.algo.name()),
+                r.cpu_per_ts,
+                r.work_per_ts,
+                r.memory_kb,
+                r.ignored_per_ts,
+                if j + 1 < p.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Runs one parameter point for the given algorithms.
@@ -106,12 +166,19 @@ pub fn make_monitor(
 /// All monitors consume the **same** update stream. Each is timed on its
 /// own `tick` calls only; `warmup` leading timestamps are excluded from the
 /// averages (the first ticks pay one-off allocation costs).
-pub fn run_point(params: &Params, algos: &[Algo], timestamps: usize, warmup: usize) -> Vec<RunResult> {
+pub fn run_point(
+    params: &Params,
+    algos: &[Algo],
+    timestamps: usize,
+    warmup: usize,
+) -> Vec<RunResult> {
     let net = params.build_network();
     let mut scenario = Scenario::new(net.clone(), params.scenario_config());
 
-    let mut monitors: Vec<(Algo, Box<dyn ContinuousMonitor>)> =
-        algos.iter().map(|&a| (a, make_monitor(a, net.clone()))).collect();
+    let mut monitors: Vec<(Algo, Box<dyn ContinuousMonitor>)> = algos
+        .iter()
+        .map(|&a| (a, make_monitor(a, net.clone())))
+        .collect();
     for (_, m) in &mut monitors {
         scenario.install_into(m.as_mut());
     }
@@ -161,20 +228,24 @@ pub fn run_series(
 ) -> Vec<SeriesPoint> {
     if parallel {
         let mut out: Vec<Option<SeriesPoint>> = vec![None; points.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (i, (label, p)) in points.iter().enumerate() {
-                handles.push((i, scope.spawn(move |_| SeriesPoint {
-                    label: label.clone(),
-                    results: run_point(p, algos, timestamps, warmup),
-                })));
+                handles.push((
+                    i,
+                    scope.spawn(move || SeriesPoint {
+                        label: label.clone(),
+                        results: run_point(p, algos, timestamps, warmup),
+                    }),
+                ));
             }
             for (i, h) in handles {
                 out[i] = Some(h.join().expect("experiment thread panicked"));
             }
-        })
-        .expect("scope");
-        out.into_iter().map(|o| o.expect("all points filled")).collect()
+        });
+        out.into_iter()
+            .map(|o| o.expect("all points filled"))
+            .collect()
     } else {
         points
             .iter()
@@ -224,7 +295,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> Params {
-        Params { edges: 150, n_objects: 300, n_queries: 15, k: 4, ..Params::default() }
+        Params {
+            edges: 150,
+            n_objects: 300,
+            n_queries: 15,
+            k: 4,
+            ..Params::default()
+        }
     }
 
     #[test]
@@ -244,8 +321,18 @@ mod tests {
         // timestamp than recomputing everything from scratch.
         let rs = run_point(&tiny(), Algo::paper_set(), 6, 2);
         let by = |a: Algo| rs.iter().find(|r| r.algo == a).unwrap().work_per_ts;
-        assert!(by(Algo::Ima) < by(Algo::Ovh), "IMA {} !< OVH {}", by(Algo::Ima), by(Algo::Ovh));
-        assert!(by(Algo::Gma) < by(Algo::Ovh), "GMA {} !< OVH {}", by(Algo::Gma), by(Algo::Ovh));
+        assert!(
+            by(Algo::Ima) < by(Algo::Ovh),
+            "IMA {} !< OVH {}",
+            by(Algo::Ima),
+            by(Algo::Ovh)
+        );
+        assert!(
+            by(Algo::Gma) < by(Algo::Ovh),
+            "GMA {} !< OVH {}",
+            by(Algo::Gma),
+            by(Algo::Ovh)
+        );
     }
 
     #[test]
@@ -262,7 +349,13 @@ mod tests {
     fn series_runs_and_formats() {
         let pts = vec![
             ("a".to_string(), tiny()),
-            ("b".to_string(), Params { n_objects: 600, ..tiny() }),
+            (
+                "b".to_string(),
+                Params {
+                    n_objects: 600,
+                    ..tiny()
+                },
+            ),
         ];
         let series = run_series(&pts, &[Algo::Ima], 3, 1, false);
         let txt = format_series("Test", &series, false);
@@ -276,5 +369,30 @@ mod tests {
         let series = run_series(&pts, &[Algo::Gma], 2, 0, true);
         assert_eq!(series[0].label, "x");
         assert_eq!(series[1].label, "y");
+    }
+
+    #[test]
+    fn sharded_engine_runs_as_an_algo() {
+        let rs = run_point(&tiny(), &[Algo::Gma, Algo::Sharded(2)], 3, 1);
+        assert_eq!(rs.len(), 2);
+        let eng = &rs[1];
+        assert_eq!(eng.algo.name(), "ENG-2");
+        assert!(eng.work_per_ts > 0.0, "engine did no work");
+        assert!(eng.memory_kb > 0.0);
+    }
+
+    #[test]
+    fn json_series_is_well_formed() {
+        let pts = vec![("p\"1".to_string(), tiny())];
+        let series = run_series(&pts, &[Algo::Gma, Algo::Sharded(1)], 2, 0, false);
+        let json = series_to_json("engine", &series);
+        assert!(json.contains("\"figure\": \"engine\""));
+        assert!(json.contains("\"algo\": \"ENG-1\""));
+        assert!(json.contains("p\\\"1"), "labels must be escaped");
+        // Structural sanity: balanced braces/brackets.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -37,7 +37,7 @@ use rnn_roadnet::{
 };
 
 use crate::counters::OpCounters;
-use crate::influence::{IntervalSet, InfluenceTable};
+use crate::influence::{InfluenceTable, IntervalSet};
 use crate::search::{dist_via_tree, knn_search, KeptTree, SearchContext, SearchOutcome};
 use crate::state::{EdgeDelta, NetworkState, ObjectDelta};
 use crate::tree::ExpansionTree;
@@ -119,7 +119,14 @@ impl AnchorSet {
     pub fn new(net: Arc<RoadNetwork>) -> Self {
         let engine = DijkstraEngine::new(net.num_nodes());
         let il = InfluenceTable::new(net.num_edges());
-        Self { net, anchors: FxHashMap::default(), il, engine, next_key: 0, use_influence_lists: true }
+        Self {
+            net,
+            anchors: FxHashMap::default(),
+            il,
+            engine,
+            next_key: 0,
+            use_influence_lists: true,
+        }
     }
 
     /// The underlying network.
@@ -157,7 +164,11 @@ impl AnchorSet {
     ) -> AnchorKey {
         let key = AnchorKey(self.next_key);
         self.next_key += 1;
-        let ctx = SearchContext { net: &self.net, weights: &state.weights, objects: &state.objects };
+        let ctx = SearchContext {
+            net: &self.net,
+            weights: &state.weights,
+            objects: &state.objects,
+        };
         counters.reevaluations += 1;
         let out = knn_search(&ctx, &mut self.engine, root, k, None, &[], counters);
         let mut rec = AnchorRec {
@@ -196,7 +207,9 @@ impl AnchorSet {
         k: usize,
         counters: &mut OpCounters,
     ) {
-        let Some(rec) = self.anchors.get_mut(&key) else { return };
+        let Some(rec) = self.anchors.get_mut(&key) else {
+            return;
+        };
         if rec.k == k {
             return;
         }
@@ -204,15 +217,22 @@ impl AnchorSet {
             // Shrink: keep the k best, tighten tree and intervals.
             rec.k = k;
             rec.result.truncate(k);
-            rec.knn_dist = if rec.result.len() == k { rec.result[k - 1].dist } else { f64::INFINITY };
+            rec.knn_dist = if rec.result.len() == k {
+                rec.result[k - 1].dist
+            } else {
+                f64::INFINITY
+            };
             counters.tree_nodes_pruned += rec.tree.retain_within(rec.knn_dist) as u64;
         } else {
             // Grow: re-expand, reusing the whole current tree (full
             // re-scan: the result region is about to widen).
             rec.k = k;
             let tree = std::mem::take(&mut rec.tree);
-            let ctx =
-                SearchContext { net: &self.net, weights: &state.weights, objects: &state.objects };
+            let ctx = SearchContext {
+                net: &self.net,
+                weights: &state.weights,
+                objects: &state.objects,
+            };
             counters.reevaluations += 1;
             let out = knn_search(
                 &ctx,
@@ -246,7 +266,9 @@ impl AnchorSet {
 
         // ---- Figure 10, lines 1-3: roots moving outside their trees.
         for &(key, new_root) in root_moves {
-            let Some(rec) = self.anchors.get_mut(&key) else { continue };
+            let Some(rec) = self.anchors.get_mut(&key) else {
+                continue;
+            };
             let p = pending.entry(key).or_default();
             p.moved_root = Some(new_root);
             if !root_within_tree(&self.net, rec, new_root) {
@@ -274,7 +296,9 @@ impl AnchorSet {
                 continue;
             }
             for key in affected {
-                let Some(rec) = self.anchors.get(&key) else { continue };
+                let Some(rec) = self.anchors.get(&key) else {
+                    continue;
+                };
                 let p = pending.entry(key).or_default();
                 if p.full {
                     continue; // recomputation already scheduled
@@ -325,8 +349,7 @@ impl AnchorSet {
                         self.il.insert(d.edge, key, ivs);
                     } else {
                         p.dirty_tree = true;
-                        let d_min =
-                            [da, db].into_iter().flatten().fold(f64::INFINITY, f64::min);
+                        let d_min = [da, db].into_iter().flatten().fold(f64::INFINITY, f64::min);
                         if d_min.is_finite() {
                             p.theta = p.theta.min(d_min + d.new_w);
                         }
@@ -378,14 +401,15 @@ impl AnchorSet {
         }
 
         // ---- Lines 20-26: resolve every affected anchor.
-        let changed_edges: FxHashSet<rnn_roadnet::EdgeId> =
-            edges.iter().map(|d| d.edge).collect();
+        let changed_edges: FxHashSet<rnn_roadnet::EdgeId> = edges.iter().map(|d| d.edge).collect();
         let mut changed = Vec::new();
         let mut keys: Vec<AnchorKey> = pending.keys().copied().collect();
         keys.sort();
         for key in keys {
             let work = pending.remove(&key).expect("key from map");
-            let Some(rec) = self.anchors.get_mut(&key) else { continue };
+            let Some(rec) = self.anchors.get_mut(&key) else {
+                continue;
+            };
             let old_result = std::mem::take(&mut rec.result);
             let did_change = resolve_anchor(
                 &self.net,
@@ -464,7 +488,8 @@ impl AnchorSet {
                 RootPos::Node(n) => self.engine.seed(n, 0.0, None),
                 RootPos::Point(p) => {
                     let e = self.net.edge(p.edge);
-                    self.engine.seed(e.start, p.dist_to_start(&state.weights), None);
+                    self.engine
+                        .seed(e.start, p.dist_to_start(&state.weights), None);
                     self.engine.seed(e.end, p.dist_to_end(&state.weights), None);
                 }
             }
@@ -487,7 +512,10 @@ impl AnchorSet {
             }
             // Result distances are true distances.
             for nb in &rec.result {
-                let pos = state.objects.position(nb.object).expect("result object exists");
+                let pos = state
+                    .objects
+                    .position(nb.object)
+                    .expect("result object exists");
                 let truth = self.engine.dist_between_points(
                     &self.net,
                     &state.weights,
@@ -591,8 +619,11 @@ fn valid_subtree_after_move(
     // valid, shifted by the old distance of q′.
     let child = rec.tree.link_child_of_edge(net, p.edge)?;
     let (parent, _) = rec.tree.node(child)?.parent?;
-    let along = rnn_roadnet::NetPoint { edge: p.edge, frac: p.frac }
-        .dist_to_endpoint(net, weights, parent);
+    let along = rnn_roadnet::NetPoint {
+        edge: p.edge,
+        frac: p.frac,
+    }
+    .dist_to_endpoint(net, weights, parent);
     let d_old_q = rec.tree.dist(parent)? + along;
     Some((child, d_old_q))
 }
@@ -612,7 +643,11 @@ fn resolve_anchor(
     il: &mut InfluenceTable<AnchorKey>,
     counters: &mut OpCounters,
 ) -> bool {
-    let ctx = SearchContext { net, weights: &state.weights, objects: &state.objects };
+    let ctx = SearchContext {
+        net,
+        weights: &state.weights,
+        objects: &state.objects,
+    };
 
     if work.full {
         if let Some(r) = work.moved_root {
@@ -677,7 +712,10 @@ fn resolve_anchor(
                 let d = dist_via_tree(net, &state.weights, &rec.tree, rec.root, p);
                 counters.objects_considered += 1;
                 if d.is_finite() {
-                    candidates.push(Neighbor { object: n.object, dist: d });
+                    candidates.push(Neighbor {
+                        object: n.object,
+                        dist: d,
+                    });
                 }
             }
         } else {
@@ -691,10 +729,16 @@ fn resolve_anchor(
         counters.objects_considered += 1;
         if dirty {
             if d.is_finite() {
-                candidates.push(Neighbor { object: id, dist: d });
+                candidates.push(Neighbor {
+                    object: id,
+                    dist: d,
+                });
             }
         } else if d <= old_knn + slack {
-            candidates.push(Neighbor { object: id, dist: d });
+            candidates.push(Neighbor {
+                object: id,
+                dist: d,
+            });
         }
     }
     sort_neighbors(&mut candidates);
@@ -726,7 +770,10 @@ fn resolve_anchor(
     let kept = if tree.is_empty() {
         None
     } else {
-        Some(KeptTree { tree, selective: Some((coverage_knn, changed_edges)) })
+        Some(KeptTree {
+            tree,
+            selective: Some((coverage_knn, changed_edges)),
+        })
     };
     let out = knn_search(&ctx, engine, rec.root, rec.k, kept, &candidates, counters);
     store_outcome(rec, out);
@@ -736,7 +783,9 @@ fn resolve_anchor(
 
 fn results_differ(a: &[Neighbor], b: &[Neighbor]) -> bool {
     a.len() != b.len()
-        || a.iter().zip(b).any(|(x, y)| x.object != y.object || x.dist != y.dist)
+        || a.iter()
+            .zip(b)
+            .any(|(x, y)| x.object != y.object || x.dist != y.dist)
 }
 
 /// Relative widening applied to influencing intervals so that an entity
@@ -839,7 +888,12 @@ mod tests {
     fn add_and_remove_anchor() {
         let (_, state, mut set) = setup();
         let mut c = OpCounters::default();
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(2), 0.5)), 2, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(2), 0.5)),
+            2,
+            &mut c,
+        );
         assert_eq!(set.len(), 1);
         let rec = set.get(key).unwrap();
         assert_eq!(rec.result.len(), 2);
@@ -854,14 +908,22 @@ mod tests {
     fn irrelevant_object_update_is_ignored() {
         let (_, mut state, mut set) = setup();
         let mut c = OpCounters::default();
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(0), 0.5)), 1, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(0), 0.5)),
+            1,
+            &mut c,
+        );
         let before = set.get(key).unwrap().result.clone();
         // Move the far object slightly — far outside knn_dist of the anchor.
         let out = tick_batch(
             &mut set,
             &mut state,
             UpdateBatch {
-                objects: vec![ObjectEvent::Move { id: ObjectId(4), to: NetPoint::new(EdgeId(4), 0.9) }],
+                objects: vec![ObjectEvent::Move {
+                    id: ObjectId(4),
+                    to: NetPoint::new(EdgeId(4), 0.9),
+                }],
                 ..Default::default()
             },
         );
@@ -875,7 +937,12 @@ mod tests {
         let (_, mut state, mut set) = setup();
         let mut c = OpCounters::default();
         // 1-NN anchored at x=2.5 (middle of edge 2): NN is object 2 (d=0).
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(2), 0.5)), 1, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(2), 0.5)),
+            1,
+            &mut c,
+        );
         assert_eq!(set.get(key).unwrap().result[0].object, ObjectId(2));
         // Object 2 leaves; object 1 moves right next to the query.
         let out = tick_batch(
@@ -883,8 +950,14 @@ mod tests {
             &mut state,
             UpdateBatch {
                 objects: vec![
-                    ObjectEvent::Move { id: ObjectId(2), to: NetPoint::new(EdgeId(4), 0.5) },
-                    ObjectEvent::Move { id: ObjectId(1), to: NetPoint::new(EdgeId(2), 0.4) },
+                    ObjectEvent::Move {
+                        id: ObjectId(2),
+                        to: NetPoint::new(EdgeId(4), 0.5),
+                    },
+                    ObjectEvent::Move {
+                        id: ObjectId(1),
+                        to: NetPoint::new(EdgeId(2), 0.4),
+                    },
                 ],
                 ..Default::default()
             },
@@ -899,7 +972,12 @@ mod tests {
     fn outgoing_object_triggers_re_expansion() {
         let (_, mut state, mut set) = setup();
         let mut c = OpCounters::default();
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(2), 0.5)), 2, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(2), 0.5)),
+            2,
+            &mut c,
+        );
         // NNs: o2 (0.0) and one of o1/o3 (1.0 each, o1 wins by id).
         let out = tick_batch(
             &mut set,
@@ -923,7 +1001,12 @@ mod tests {
         let (net, mut state, mut set) = setup();
         let mut c = OpCounters::default();
         // 2-NN at x=0.25 (edge 0): result o0 (0.25), o1 (1.25).
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(0), 0.25)), 2, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(0), 0.25)),
+            2,
+            &mut c,
+        );
         let rec = set.get(key).unwrap();
         assert!((rec.knn_dist - 1.25).abs() < 1e-12);
         // Make edge 1 (between o0 and o1) heavier: o1 drifts from 1.25
@@ -932,7 +1015,10 @@ mod tests {
             &mut set,
             &mut state,
             UpdateBatch {
-                edges: vec![EdgeWeightUpdate { edge: EdgeId(1), new_weight: 1.8 }],
+                edges: vec![EdgeWeightUpdate {
+                    edge: EdgeId(1),
+                    new_weight: 1.8,
+                }],
                 ..Default::default()
             },
         );
@@ -940,7 +1026,11 @@ mod tests {
         let rec = set.get(key).unwrap();
         assert_eq!(rec.result[0].object, ObjectId(0));
         assert_eq!(rec.result[1].object, ObjectId(1));
-        assert!((rec.result[1].dist - 1.65).abs() < 1e-12, "dist {}", rec.result[1].dist);
+        assert!(
+            (rec.result[1].dist - 1.65).abs() < 1e-12,
+            "dist {}",
+            rec.result[1].dist
+        );
         rec.tree.check_invariants(&net, &state.weights);
     }
 
@@ -948,20 +1038,32 @@ mod tests {
     fn edge_decrease_pulls_in_new_nn() {
         let (net, mut state, mut set) = setup();
         let mut c = OpCounters::default();
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(0), 0.25)), 2, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(0), 0.25)),
+            2,
+            &mut c,
+        );
         // Shrink edge 1 drastically: o1 comes to 0.75 + 0.1/2 ... -> closer.
         let out = tick_batch(
             &mut set,
             &mut state,
             UpdateBatch {
-                edges: vec![EdgeWeightUpdate { edge: EdgeId(1), new_weight: 0.1 }],
+                edges: vec![EdgeWeightUpdate {
+                    edge: EdgeId(1),
+                    new_weight: 0.1,
+                }],
                 ..Default::default()
             },
         );
         assert_eq!(out.changed, vec![key]);
         let rec = set.get(key).unwrap();
         // o0 at 0.25; o1 at 0.75 + 0.05 = 0.8.
-        assert!((rec.result[1].dist - 0.8).abs() < 1e-12, "dist {}", rec.result[1].dist);
+        assert!(
+            (rec.result[1].dist - 0.8).abs() < 1e-12,
+            "dist {}",
+            rec.result[1].dist
+        );
         rec.tree.check_invariants(&net, &state.weights);
     }
 
@@ -969,12 +1071,20 @@ mod tests {
     fn root_edge_weight_change_forces_recompute_and_is_correct() {
         let (_, mut state, mut set) = setup();
         let mut c = OpCounters::default();
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(2), 0.5)), 2, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(2), 0.5)),
+            2,
+            &mut c,
+        );
         let out = tick_batch(
             &mut set,
             &mut state,
             UpdateBatch {
-                edges: vec![EdgeWeightUpdate { edge: EdgeId(2), new_weight: 4.0 }],
+                edges: vec![EdgeWeightUpdate {
+                    edge: EdgeId(2),
+                    new_weight: 4.0,
+                }],
                 ..Default::default()
             },
         );
@@ -991,7 +1101,12 @@ mod tests {
         let (net, mut state, mut set) = setup();
         let mut c = OpCounters::default();
         // 3-NN at edge 2 center: tree spans nodes 1..4 (knn=2 gives ±2).
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(2), 0.5)), 3, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(2), 0.5)),
+            3,
+            &mut c,
+        );
         let new_root = RootPos::Point(NetPoint::new(EdgeId(3), 0.25));
         let deltas = crate::state::CoalescedTick::default();
         let out = set.tick(&state, &deltas.objects, &deltas.edges, &[(key, new_root)]);
@@ -1013,7 +1128,12 @@ mod tests {
     fn root_move_outside_tree_recomputes() {
         let (_, state, mut set) = setup();
         let mut c = OpCounters::default();
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(0), 0.5)), 1, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(0), 0.5)),
+            1,
+            &mut c,
+        );
         // Move clear across the network.
         let new_root = RootPos::Point(NetPoint::new(EdgeId(4), 0.5));
         let deltas = crate::state::CoalescedTick::default();
@@ -1028,7 +1148,12 @@ mod tests {
     fn set_k_grow_and_shrink() {
         let (_, state, mut set) = setup();
         let mut c = OpCounters::default();
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(2), 0.5)), 1, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(2), 0.5)),
+            1,
+            &mut c,
+        );
         set.set_k(&state, key, 3, &mut c);
         let rec = set.get(key).unwrap();
         assert_eq!(rec.result.len(), 3);
@@ -1058,12 +1183,20 @@ mod tests {
         let (_, mut state, mut set) = setup();
         set.use_influence_lists = false;
         let mut c = OpCounters::default();
-        let key = set.add(&state, RootPos::Point(NetPoint::new(EdgeId(2), 0.5)), 2, &mut c);
+        let key = set.add(
+            &state,
+            RootPos::Point(NetPoint::new(EdgeId(2), 0.5)),
+            2,
+            &mut c,
+        );
         let out = tick_batch(
             &mut set,
             &mut state,
             UpdateBatch {
-                objects: vec![ObjectEvent::Move { id: ObjectId(2), to: NetPoint::new(EdgeId(2), 0.45) }],
+                objects: vec![ObjectEvent::Move {
+                    id: ObjectId(2),
+                    to: NetPoint::new(EdgeId(2), 0.45),
+                }],
                 ..Default::default()
             },
         );

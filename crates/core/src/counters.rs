@@ -58,6 +58,17 @@ pub struct TickReport {
     pub counters: OpCounters,
 }
 
+impl TickReport {
+    /// Folds another report into this one: counters and changed-result
+    /// counts add up, elapsed takes the **maximum** (shards tick in
+    /// parallel, so wall-clock cost is the slowest worker, not the sum).
+    pub fn absorb_parallel(&mut self, other: &TickReport) {
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.results_changed += other.results_changed;
+        self.counters.merge(&other.counters);
+    }
+}
+
 /// Breakdown of a monitor's resident memory (Fig. 18 reports KBytes).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MemoryUsage {
@@ -96,7 +107,11 @@ mod tests {
 
     #[test]
     fn counters_merge() {
-        let mut a = OpCounters { nodes_settled: 1, edges_scanned: 2, ..Default::default() };
+        let mut a = OpCounters {
+            nodes_settled: 1,
+            edges_scanned: 2,
+            ..Default::default()
+        };
         let b = OpCounters {
             nodes_settled: 10,
             objects_considered: 5,

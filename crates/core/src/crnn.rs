@@ -76,21 +76,28 @@ impl Crnn {
 
     /// Removes a query.
     pub fn remove_query(&mut self, id: QueryId) {
-        let batch =
-            UpdateBatch { queries: vec![QueryEvent::Remove { id }], ..Default::default() };
+        let batch = UpdateBatch {
+            queries: vec![QueryEvent::Remove { id }],
+            ..Default::default()
+        };
         self.tick(&batch);
     }
 
     /// Registers a data object (e.g. a client waiting for a taxi).
     pub fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
-        let batch =
-            UpdateBatch { objects: vec![ObjectEvent::Insert { id, at }], ..Default::default() };
+        let batch = UpdateBatch {
+            objects: vec![ObjectEvent::Insert { id, at }],
+            ..Default::default()
+        };
         self.tick(&batch);
     }
 
     /// Removes a data object.
     pub fn remove_object(&mut self, id: ObjectId) {
-        let batch = UpdateBatch { objects: vec![ObjectEvent::Delete { id }], ..Default::default() };
+        let batch = UpdateBatch {
+            objects: vec![ObjectEvent::Delete { id }],
+            ..Default::default()
+        };
         self.tick(&batch);
     }
 
@@ -100,8 +107,11 @@ impl Crnn {
         if !self.query_pos.contains_key(&q) {
             return None;
         }
-        let mut v: Vec<ObjectId> =
-            self.rnn.get(&q).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let mut v: Vec<ObjectId> = self
+            .rnn
+            .get(&q)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
         v.sort();
         Some(v)
     }
@@ -163,16 +173,24 @@ impl Crnn {
             match *ev {
                 QueryEvent::Install { id, at, .. } => {
                     self.query_pos.insert(id, at);
-                    inner.objects.push(ObjectEvent::Insert { id: ObjectId(id.0), at });
+                    inner.objects.push(ObjectEvent::Insert {
+                        id: ObjectId(id.0),
+                        at,
+                    });
                 }
                 QueryEvent::Move { id, to } => {
                     self.query_pos.insert(id, to);
-                    inner.objects.push(ObjectEvent::Move { id: ObjectId(id.0), to });
+                    inner.objects.push(ObjectEvent::Move {
+                        id: ObjectId(id.0),
+                        to,
+                    });
                 }
                 QueryEvent::Remove { id } => {
                     self.query_pos.remove(&id);
                     self.rnn.remove(&id);
-                    inner.objects.push(ObjectEvent::Delete { id: ObjectId(id.0) });
+                    inner
+                        .objects
+                        .push(ObjectEvent::Delete { id: ObjectId(id.0) });
                 }
             }
         }
@@ -212,12 +230,16 @@ impl Crnn {
         }
 
         obj_deltas.retain(|_| true); // (deltas already coalesced)
-        let out = self.anchors.tick(&self.state, &obj_deltas, &deltas.edges, &root_moves);
+        let out = self
+            .anchors
+            .tick(&self.state, &obj_deltas, &deltas.edges, &root_moves);
         counters.merge(&out.counters);
 
         // New anchors for inserted objects (after all updates, §4.5).
         for (id, at) in installs {
-            let key = self.anchors.add(&self.state, RootPos::Point(at), 1, &mut counters);
+            let key = self
+                .anchors
+                .add(&self.state, RootPos::Point(at), 1, &mut counters);
             self.by_object.insert(id, key);
             self.refresh_assignment(id);
         }
@@ -227,7 +249,10 @@ impl Crnn {
         let changed_objs: Vec<ObjectId> = {
             let inv: FxHashMap<AnchorKey, ObjectId> =
                 self.by_object.iter().map(|(&o, &k)| (k, o)).collect();
-            out.changed.iter().filter_map(|k| inv.get(k).copied()).collect()
+            out.changed
+                .iter()
+                .filter_map(|k| inv.get(k).copied())
+                .collect()
         };
         for obj in changed_objs {
             let before = self.assignment.get(&obj).copied();
@@ -237,7 +262,11 @@ impl Crnn {
             }
         }
 
-        TickReport { elapsed: start.elapsed(), results_changed, counters }
+        TickReport {
+            elapsed: start.elapsed(),
+            results_changed,
+            counters,
+        }
     }
 
     /// Resident memory of the monitor.
@@ -273,7 +302,10 @@ mod tests {
         c.insert_object(ObjectId(1), NetPoint::new(EdgeId(0), 0.5)); // x=0.5 -> q100
         c.insert_object(ObjectId(2), NetPoint::new(EdgeId(4), 0.5)); // x=4.5 -> q200
         c.insert_object(ObjectId(3), NetPoint::new(EdgeId(1), 0.0)); // x=1.0 -> q100
-        assert_eq!(c.reverse_nns(QueryId(100)).unwrap(), vec![ObjectId(1), ObjectId(3)]);
+        assert_eq!(
+            c.reverse_nns(QueryId(100)).unwrap(),
+            vec![ObjectId(1), ObjectId(3)]
+        );
         assert_eq!(c.reverse_nns(QueryId(200)).unwrap(), vec![ObjectId(2)]);
         assert_eq!(c.nearest_query_of(ObjectId(1)), Some(QueryId(100)));
     }
@@ -284,7 +316,10 @@ mod tests {
         c.insert_object(ObjectId(1), NetPoint::new(EdgeId(0), 0.5));
         assert_eq!(c.nearest_query_of(ObjectId(1)), Some(QueryId(100)));
         let rep = c.tick(&UpdateBatch {
-            objects: vec![ObjectEvent::Move { id: ObjectId(1), to: NetPoint::new(EdgeId(4), 0.75) }],
+            objects: vec![ObjectEvent::Move {
+                id: ObjectId(1),
+                to: NetPoint::new(EdgeId(4), 0.75),
+            }],
             ..Default::default()
         });
         assert_eq!(rep.results_changed, 1);
@@ -296,9 +331,12 @@ mod tests {
     fn query_movement_steals_clients() {
         let mut c = setup();
         c.insert_object(ObjectId(1), NetPoint::new(EdgeId(2), 0.5)); // x=2.5: q100 at 2.5, q200 at 2.5 — tie; dist tie broken by id.
-        // Break the tie deterministically: move q200 closer.
+                                                                     // Break the tie deterministically: move q200 closer.
         c.tick(&UpdateBatch {
-            queries: vec![QueryEvent::Move { id: QueryId(200), to: NetPoint::new(EdgeId(3), 0.0) }],
+            queries: vec![QueryEvent::Move {
+                id: QueryId(200),
+                to: NetPoint::new(EdgeId(3), 0.0),
+            }],
             ..Default::default()
         });
         // q200 now at x=3: distance 0.5 vs q100's 2.5.
@@ -322,7 +360,10 @@ mod tests {
         assert_eq!(c.nearest_query_of(ObjectId(1)), Some(QueryId(100)));
         // Make the left part of the line very heavy.
         c.tick(&UpdateBatch {
-            edges: vec![crate::types::EdgeWeightUpdate { edge: EdgeId(0), new_weight: 10.0 }],
+            edges: vec![crate::types::EdgeWeightUpdate {
+                edge: EdgeId(0),
+                new_weight: 10.0,
+            }],
             ..Default::default()
         });
         // q100 now at 10*? object on edge2 — distance via edges 1,0:

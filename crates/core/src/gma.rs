@@ -36,7 +36,7 @@ use rnn_roadnet::{
 
 use crate::anchor::{AnchorKey, AnchorSet};
 use crate::counters::{MemoryUsage, OpCounters, TickReport};
-use crate::influence::{IntervalSet, InfluenceTable};
+use crate::influence::{InfluenceTable, IntervalSet};
 use crate::monitor::ContinuousMonitor;
 use crate::search::BestK;
 use crate::state::NetworkState;
@@ -243,7 +243,10 @@ impl Gma {
             if self.net.degree(n) < 3 || base >= best.kth() {
                 continue;
             }
-            let key = self.node_anchor.get(&n).expect("endpoint of a query sequence is active");
+            let key = self
+                .node_anchor
+                .get(&n)
+                .expect("endpoint of a query sequence is active");
             let rec = self.nodes.get(*key).expect("anchor exists");
             debug_assert!(rec.k >= k, "active node monitors too few NNs");
             for nb in &rec.result {
@@ -253,7 +256,11 @@ impl Gma {
         }
 
         let result = best.into_result();
-        let knn_dist = if result.len() == k { result[k - 1].dist } else { f64::INFINITY };
+        let knn_dist = if result.len() == k {
+            result[k - 1].dist
+        } else {
+            f64::INFINITY
+        };
 
         let q = self.queries.get_mut(&qid).expect("query registered");
         let changed = q.result != result;
@@ -399,7 +406,10 @@ impl Gma {
                 influenced.push(e);
             }
         }
-        self.queries.get_mut(&qid).expect("query registered").influenced = influenced;
+        self.queries
+            .get_mut(&qid)
+            .expect("query registered")
+            .influenced = influenced;
     }
 }
 
@@ -413,7 +423,10 @@ impl ContinuousMonitor for Gma {
     }
 
     fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
-        assert!(!self.queries.contains_key(&id), "query {id:?} already installed");
+        assert!(
+            !self.queries.contains_key(&id),
+            "query {id:?} already installed"
+        );
         self.state.queries.insert(id, (k, at));
         let seq = self.seqs.seq_of_edge(at.edge);
         self.queries.insert(
@@ -437,7 +450,9 @@ impl ContinuousMonitor for Gma {
     }
 
     fn remove_query(&mut self, id: QueryId) {
-        let Some(mut q) = self.queries.remove(&id) else { return };
+        let Some(mut q) = self.queries.remove(&id) else {
+            return;
+        };
         self.state.queries.remove(&id);
         for e in q.influenced.drain(..) {
             self.qil.remove(e, id);
@@ -520,16 +535,24 @@ impl ContinuousMonitor for Gma {
         }
 
         // ---- Line 5: IMA maintenance of the active nodes.
-        let out = self.nodes.tick(&self.state, &deltas.objects, &deltas.edges, &[]);
+        let out = self
+            .nodes
+            .tick(&self.state, &deltas.objects, &deltas.edges, &[]);
         counters.merge(&out.counters);
 
         // ---- Lines 6-15: determine the affected user queries.
         // (i) endpoint NN-set changes within reach.
         for key in &out.changed {
-            let Some(&n) = self.anchor_node.get(key) else { continue };
-            let Some(seq_ids) = self.node_seqs.get(&n) else { continue };
+            let Some(&n) = self.anchor_node.get(key) else {
+                continue;
+            };
+            let Some(seq_ids) = self.node_seqs.get(&n) else {
+                continue;
+            };
             for &sid in seq_ids {
-                let Some(qs) = self.seq_queries.get(&sid) else { continue };
+                let Some(qs) = self.seq_queries.get(&sid) else {
+                    continue;
+                };
                 let s = self.seqs.sequence(sid);
                 for &qid in qs {
                     let q = &self.queries[&qid];
@@ -580,7 +603,11 @@ impl ContinuousMonitor for Gma {
             }
         }
 
-        TickReport { elapsed: start.elapsed(), results_changed, counters }
+        TickReport {
+            elapsed: start.elapsed(),
+            results_changed,
+            counters,
+        }
     }
 
     fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
@@ -685,7 +712,11 @@ mod tests {
     fn line_has_no_active_nodes() {
         let mut gma = line_setup();
         gma.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
-        assert_eq!(gma.active_node_count(), 0, "degree-1 endpoints never activate");
+        assert_eq!(
+            gma.active_node_count(),
+            0,
+            "degree-1 endpoints never activate"
+        );
         let r = gma.result(QueryId(1)).unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].object, ObjectId(2));
@@ -701,7 +732,7 @@ mod tests {
         gma.insert_object(ObjectId(1), NetPoint::new(EdgeId(3), 0.5)); // north
         gma.insert_object(ObjectId(2), NetPoint::new(EdgeId(5), 0.5)); // south
         gma.insert_object(ObjectId(3), NetPoint::new(EdgeId(7), 0.5)); // west
-        // Query on the east ray at x=0.5 (edge e0 frac 0.5).
+                                                                       // Query on the east ray at x=0.5 (edge e0 frac 0.5).
         gma.install_query(QueryId(1), 2, NetPoint::new(EdgeId(0), 0.5));
         // Only the center (node 0) can be active; the east sequence runs
         // from node 0 to terminal node 2.
@@ -724,7 +755,10 @@ mod tests {
         // o1 moves close to the center on the north ray: d(q, o1) becomes
         // 0.5 + 0.1 = 0.6 < 1.4. The change reaches q via node 0's NN set.
         let rep = gma.tick(&UpdateBatch {
-            objects: vec![ObjectEvent::Move { id: ObjectId(1), to: NetPoint::new(EdgeId(2), 0.1) }],
+            objects: vec![ObjectEvent::Move {
+                id: ObjectId(1),
+                to: NetPoint::new(EdgeId(2), 0.1),
+            }],
             ..Default::default()
         });
         assert_eq!(rep.results_changed, 1);
@@ -742,7 +776,10 @@ mod tests {
         let before = gma.result(QueryId(1)).unwrap().to_vec();
         // Far-west object wiggles far outside everything.
         let rep = gma.tick(&UpdateBatch {
-            objects: vec![ObjectEvent::Move { id: ObjectId(9), to: NetPoint::new(EdgeId(7), 0.95) }],
+            objects: vec![ObjectEvent::Move {
+                id: ObjectId(9),
+                to: NetPoint::new(EdgeId(7), 0.95),
+            }],
             ..Default::default()
         });
         assert_eq!(rep.results_changed, 0);
@@ -758,7 +795,10 @@ mod tests {
         assert_eq!(gma.result(QueryId(1)).unwrap()[0].object, ObjectId(0));
         // Move to the north ray.
         gma.tick(&UpdateBatch {
-            queries: vec![QueryEvent::Move { id: QueryId(1), to: NetPoint::new(EdgeId(2), 0.5) }],
+            queries: vec![QueryEvent::Move {
+                id: QueryId(1),
+                to: NetPoint::new(EdgeId(2), 0.5),
+            }],
             ..Default::default()
         });
         assert_eq!(gma.result(QueryId(1)).unwrap()[0].object, ObjectId(1));
@@ -772,7 +812,10 @@ mod tests {
         let mut gma = line_setup();
         gma.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
         let rep = gma.tick(&UpdateBatch {
-            edges: vec![EdgeWeightUpdate { edge: EdgeId(1), new_weight: 0.2 }],
+            edges: vec![EdgeWeightUpdate {
+                edge: EdgeId(1),
+                new_weight: 0.2,
+            }],
             ..Default::default()
         });
         assert_eq!(rep.results_changed, 1);

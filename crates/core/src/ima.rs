@@ -29,7 +29,11 @@ impl Ima {
     /// Creates an IMA server over `net` with base weights and no objects.
     pub fn new(net: Arc<RoadNetwork>) -> Self {
         let state = NetworkState::new(&net);
-        Self { state, anchors: AnchorSet::new(net), by_query: FxHashMap::default() }
+        Self {
+            state,
+            anchors: AnchorSet::new(net),
+            by_query: FxHashMap::default(),
+        }
     }
 
     /// Disables influence lists (ablation): every update is delivered to
@@ -80,7 +84,10 @@ impl ContinuousMonitor for Ima {
     }
 
     fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
-        assert!(!self.by_query.contains_key(&id), "query {id:?} already installed");
+        assert!(
+            !self.by_query.contains_key(&id),
+            "query {id:?} already installed"
+        );
         self.state.queries.insert(id, (k, at));
         let mut c = OpCounters::default();
         let key = self.anchors.add(&self.state, RootPos::Point(at), k, &mut c);
@@ -123,19 +130,27 @@ impl ContinuousMonitor for Ima {
             }
         }
 
-        let out = self.anchors.tick(&self.state, &deltas.objects, &deltas.edges, &root_moves);
+        let out = self
+            .anchors
+            .tick(&self.state, &deltas.objects, &deltas.edges, &root_moves);
         counters.merge(&out.counters);
         let mut results_changed = out.changed.len();
 
         // Newly installed queries compute their initial result after all
         // updates took place (§4.5: "after line 19 in Figure 10").
         for (id, k, at) in installs {
-            let key = self.anchors.add(&self.state, RootPos::Point(at), k, &mut counters);
+            let key = self
+                .anchors
+                .add(&self.state, RootPos::Point(at), k, &mut counters);
             self.by_query.insert(id, key);
             results_changed += 1;
         }
 
-        TickReport { elapsed: start.elapsed(), results_changed, counters }
+        TickReport {
+            elapsed: start.elapsed(),
+            results_changed,
+            counters,
+        }
     }
 
     fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
@@ -199,7 +214,10 @@ mod tests {
         let before = ima.result(QueryId(1)).unwrap().to_vec();
         let rep = ima.tick(&UpdateBatch::default());
         assert_eq!(rep.results_changed, 0);
-        assert_eq!(rep.counters.reevaluations, 0, "nothing should be recomputed");
+        assert_eq!(
+            rep.counters.reevaluations, 0,
+            "nothing should be recomputed"
+        );
         assert_eq!(ima.result(QueryId(1)).unwrap(), before.as_slice());
     }
 
@@ -207,12 +225,19 @@ mod tests {
     fn query_install_and_move_via_batch() {
         let mut ima = setup();
         ima.tick(&UpdateBatch {
-            queries: vec![QueryEvent::Install { id: QueryId(3), k: 1, at: NetPoint::new(EdgeId(0), 0.5) }],
+            queries: vec![QueryEvent::Install {
+                id: QueryId(3),
+                k: 1,
+                at: NetPoint::new(EdgeId(0), 0.5),
+            }],
             ..Default::default()
         });
         assert_eq!(ima.result(QueryId(3)).unwrap()[0].object, ObjectId(0));
         ima.tick(&UpdateBatch {
-            queries: vec![QueryEvent::Move { id: QueryId(3), to: NetPoint::new(EdgeId(4), 0.5) }],
+            queries: vec![QueryEvent::Move {
+                id: QueryId(3),
+                to: NetPoint::new(EdgeId(4), 0.5),
+            }],
             ..Default::default()
         });
         assert_eq!(ima.result(QueryId(3)).unwrap()[0].object, ObjectId(4));
@@ -232,9 +257,15 @@ mod tests {
         let rep = ima.tick(&UpdateBatch {
             objects: vec![
                 ObjectEvent::Delete { id: ObjectId(1) },
-                ObjectEvent::Move { id: ObjectId(4), to: NetPoint::new(EdgeId(1), 0.75) },
+                ObjectEvent::Move {
+                    id: ObjectId(4),
+                    to: NetPoint::new(EdgeId(1), 0.75),
+                },
             ],
-            edges: vec![EdgeWeightUpdate { edge: EdgeId(0), new_weight: 1.5 }],
+            edges: vec![EdgeWeightUpdate {
+                edge: EdgeId(0),
+                new_weight: 1.5,
+            }],
             ..Default::default()
         });
         assert_eq!(rep.results_changed, 1);
@@ -264,7 +295,11 @@ mod tests {
         // Install event for an existing query with different k acts as a
         // k-change.
         ima.tick(&UpdateBatch {
-            queries: vec![QueryEvent::Install { id: QueryId(1), k: 4, at: NetPoint::new(EdgeId(2), 0.5) }],
+            queries: vec![QueryEvent::Install {
+                id: QueryId(1),
+                k: 4,
+                at: NetPoint::new(EdgeId(2), 0.5),
+            }],
             ..Default::default()
         });
         assert_eq!(ima.result(QueryId(1)).unwrap().len(), 4);

@@ -73,7 +73,10 @@ impl IntervalSet {
                 i += 1;
             }
         }
-        assert!(self.n < 2, "influencing intervals: more than two disjoint ranges");
+        assert!(
+            self.n < 2,
+            "influencing intervals: more than two disjoint ranges"
+        );
         self.iv[self.n as usize] = (lo, hi);
         self.n += 1;
         // Keep deterministic order (by lo).
@@ -119,7 +122,9 @@ pub struct InfluenceTable<K: Copy + Eq> {
 impl<K: Copy + Eq> InfluenceTable<K> {
     /// A table covering `num_edges` edges.
     pub fn new(num_edges: usize) -> Self {
-        Self { per_edge: vec![Vec::new(); num_edges] }
+        Self {
+            per_edge: vec![Vec::new(); num_edges],
+        }
     }
 
     /// Registers `who` on edge `e` with the given intervals (replaces any
@@ -161,7 +166,10 @@ impl<K: Copy + Eq> InfluenceTable<K> {
     /// Approximate resident bytes.
     pub fn memory_bytes(&self) -> usize {
         let entry = std::mem::size_of::<(K, IntervalSet)>();
-        self.per_edge.iter().map(|v| v.capacity() * entry).sum::<usize>()
+        self.per_edge
+            .iter()
+            .map(|v| v.capacity() * entry)
+            .sum::<usize>()
             + self.per_edge.capacity() * std::mem::size_of::<Vec<(K, IntervalSet)>>()
     }
 }
@@ -225,7 +233,10 @@ mod tests {
         t.insert(EdgeId(1), QueryId(8), IntervalSet::full());
         assert_eq!(t.on_edge(EdgeId(1)).len(), 2);
         assert_eq!(t.covering(EdgeId(1), 0.25).count(), 2);
-        assert_eq!(t.covering(EdgeId(1), 0.75).collect::<Vec<_>>(), vec![QueryId(8)]);
+        assert_eq!(
+            t.covering(EdgeId(1), 0.75).collect::<Vec<_>>(),
+            vec![QueryId(8)]
+        );
 
         // Replace q7's intervals.
         t.insert(EdgeId(1), QueryId(7), IntervalSet::single(0.9, 1.0));

@@ -12,7 +12,11 @@ use crate::types::{Neighbor, UpdateBatch};
 ///
 /// Implementations: [`crate::Ovh`] (baseline), [`crate::Ima`] (§4),
 /// [`crate::Gma`] (§5).
-pub trait ContinuousMonitor {
+///
+/// Monitors are `Send` so that a sharded engine can move each one onto its
+/// own worker thread (all state is owned; the only shared piece is the
+/// immutable `Arc<RoadNetwork>`).
+pub trait ContinuousMonitor: Send {
     /// Algorithm name (for experiment reports).
     fn name(&self) -> &'static str;
 

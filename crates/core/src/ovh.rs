@@ -39,7 +39,12 @@ impl Ovh {
     pub fn new(net: Arc<RoadNetwork>) -> Self {
         let state = NetworkState::new(&net);
         let engine = DijkstraEngine::new(net.num_nodes());
-        Self { net, state, queries: FxHashMap::default(), engine }
+        Self {
+            net,
+            state,
+            queries: FxHashMap::default(),
+            engine,
+        }
     }
 
     fn recompute(&mut self, id: QueryId, counters: &mut OpCounters) -> bool {
@@ -79,7 +84,12 @@ impl ContinuousMonitor for Ovh {
         self.state.queries.insert(id, (k, at));
         self.queries.insert(
             id,
-            OvhQuery { k, pos: at, result: Vec::new(), knn_dist: f64::INFINITY },
+            OvhQuery {
+                k,
+                pos: at,
+                result: Vec::new(),
+                knn_dist: f64::INFINITY,
+            },
         );
         let mut c = OpCounters::default();
         self.recompute(id, &mut c);
@@ -125,7 +135,11 @@ impl ContinuousMonitor for Ovh {
                 results_changed += 1;
             }
         }
-        TickReport { elapsed: start.elapsed(), results_changed, counters }
+        TickReport {
+            elapsed: start.elapsed(),
+            results_changed,
+            counters,
+        }
     }
 
     fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
@@ -145,7 +159,8 @@ impl ContinuousMonitor for Ovh {
             .queries
             .values()
             .map(|q| {
-                std::mem::size_of::<OvhQuery>() + q.result.capacity() * std::mem::size_of::<Neighbor>()
+                std::mem::size_of::<OvhQuery>()
+                    + q.result.capacity() * std::mem::size_of::<Neighbor>()
             })
             .sum();
         MemoryUsage {
@@ -163,7 +178,10 @@ impl ContinuousMonitor for Ovh {
 impl Ovh {
     /// Applies a single query event outside a tick (used in tests).
     pub fn apply_query_event(&mut self, ev: QueryEvent) {
-        let batch = UpdateBatch { queries: vec![ev], ..Default::default() };
+        let batch = UpdateBatch {
+            queries: vec![ev],
+            ..Default::default()
+        };
         self.tick(&batch);
     }
 }
@@ -211,7 +229,10 @@ mod tests {
         assert_eq!(ovh.result(QueryId(1)).unwrap()[0].object, ObjectId(0));
         let rep = ovh.tick(&UpdateBatch {
             objects: vec![ObjectEvent::Delete { id: ObjectId(0) }],
-            edges: vec![EdgeWeightUpdate { edge: EdgeId(1), new_weight: 0.1 }],
+            edges: vec![EdgeWeightUpdate {
+                edge: EdgeId(1),
+                new_weight: 0.1,
+            }],
             ..Default::default()
         });
         assert_eq!(rep.results_changed, 1);

@@ -55,7 +55,10 @@ pub struct KeptTree<'a> {
 impl KeptTree<'_> {
     /// Full re-scan of the kept region (always correct, no preconditions).
     pub fn full(tree: ExpansionTree) -> Self {
-        KeptTree { tree, selective: None }
+        KeptTree {
+            tree,
+            selective: None,
+        }
     }
 }
 
@@ -91,7 +94,11 @@ pub struct BestK {
 impl BestK {
     /// An empty accumulator for the `k` best candidates.
     pub fn new(k: usize) -> Self {
-        Self { k, best_dist: FxHashMap::default(), top: Vec::with_capacity(k + 1) }
+        Self {
+            k,
+            best_dist: FxHashMap::default(),
+            top: Vec::with_capacity(k + 1),
+        }
     }
 
     /// Distance of the k-th candidate, `∞` while fewer than k are known.
@@ -121,9 +128,7 @@ impl BestK {
             return; // not better than the current k-th: top list unchanged
         }
         let key = (dist, object);
-        let at = self
-            .top
-            .partition_point(|n| (n.dist, n.object) < key);
+        let at = self.top.partition_point(|n| (n.dist, n.object) < key);
         self.top.insert(at, Neighbor { object, dist });
         self.top.truncate(self.k);
     }
@@ -153,7 +158,11 @@ fn scan_edge_from(
     let w = ctx.weights.get(e);
     let from_start = ctx.net.edge(e).start == n;
     for &(obj, frac) in objs {
-        let along = if from_start { frac * w } else { (1.0 - frac) * w };
+        let along = if from_start {
+            frac * w
+        } else {
+            (1.0 - frac) * w
+        };
         counters.objects_considered += 1;
         best.offer(obj, d + along);
     }
@@ -263,10 +272,18 @@ pub fn knn_search(
 
     let mut result = best.into_result();
     sort_neighbors(&mut result);
-    let knn_dist = if result.len() == k { result[k - 1].dist } else { f64::INFINITY };
+    let knn_dist = if result.len() == k {
+        result[k - 1].dist
+    } else {
+        f64::INFINITY
+    };
     // Figure 2 line 24 / §4.5 line 26: drop tree parts beyond kNN_dist.
     counters.tree_nodes_pruned += tree.retain_within(knn_dist) as u64;
-    SearchOutcome { result, knn_dist, tree }
+    SearchOutcome {
+        result,
+        knn_dist,
+        tree,
+    }
 }
 
 /// Exact network distance from a root to a point, *given* that the point is
@@ -320,7 +337,11 @@ mod tests {
     #[test]
     fn initial_search_on_line() {
         let (net, weights, objects) = line_ctx();
-        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let ctx = SearchContext {
+            net: &net,
+            weights: &weights,
+            objects: &objects,
+        };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut c = OpCounters::default();
         // Query at frac 0.5 of edge 1 (x = 1.5). Object distances:
@@ -328,10 +349,28 @@ mod tests {
         let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
         let out = knn_search(&ctx, &mut eng, root, 3, None, &[], &mut c);
         assert_eq!(out.result.len(), 3);
-        assert_eq!(out.result[0], Neighbor { object: ObjectId(1), dist: 0.0 });
+        assert_eq!(
+            out.result[0],
+            Neighbor {
+                object: ObjectId(1),
+                dist: 0.0
+            }
+        );
         // Objects 0 and 2 tie at distance 1; id ascending.
-        assert_eq!(out.result[1], Neighbor { object: ObjectId(0), dist: 1.0 });
-        assert_eq!(out.result[2], Neighbor { object: ObjectId(2), dist: 1.0 });
+        assert_eq!(
+            out.result[1],
+            Neighbor {
+                object: ObjectId(0),
+                dist: 1.0
+            }
+        );
+        assert_eq!(
+            out.result[2],
+            Neighbor {
+                object: ObjectId(2),
+                dist: 1.0
+            }
+        );
         assert_eq!(out.knn_dist, 1.0);
         // Tree: all nodes within distance 1 of x=1.5 -> nodes 1 (x=1) and
         // 2 (x=2), at distance 0.5 each.
@@ -345,13 +384,37 @@ mod tests {
     #[test]
     fn node_root_search() {
         let (net, weights, objects) = line_ctx();
-        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let ctx = SearchContext {
+            net: &net,
+            weights: &weights,
+            objects: &objects,
+        };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut c = OpCounters::default();
-        let out = knn_search(&ctx, &mut eng, RootPos::Node(NodeId(0)), 2, None, &[], &mut c);
+        let out = knn_search(
+            &ctx,
+            &mut eng,
+            RootPos::Node(NodeId(0)),
+            2,
+            None,
+            &[],
+            &mut c,
+        );
         // From node 0: o0 at 0.5, o1 at 1.5.
-        assert_eq!(out.result[0], Neighbor { object: ObjectId(0), dist: 0.5 });
-        assert_eq!(out.result[1], Neighbor { object: ObjectId(1), dist: 1.5 });
+        assert_eq!(
+            out.result[0],
+            Neighbor {
+                object: ObjectId(0),
+                dist: 0.5
+            }
+        );
+        assert_eq!(
+            out.result[1],
+            Neighbor {
+                object: ObjectId(1),
+                dist: 1.5
+            }
+        );
         assert_eq!(out.knn_dist, 1.5);
         // Root node itself is in the tree at distance 0.
         assert_eq!(out.tree.dist(NodeId(0)), Some(0.0));
@@ -362,11 +425,22 @@ mod tests {
         let (net, weights, _) = line_ctx();
         let mut objects = ObjectIndex::new(net.num_edges());
         objects.insert(ObjectId(0), NetPoint::new(EdgeId(0), 0.5));
-        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let ctx = SearchContext {
+            net: &net,
+            weights: &weights,
+            objects: &objects,
+        };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut c = OpCounters::default();
-        let out =
-            knn_search(&ctx, &mut eng, RootPos::Point(NetPoint::new(EdgeId(2), 0.5)), 5, None, &[], &mut c);
+        let out = knn_search(
+            &ctx,
+            &mut eng,
+            RootPos::Point(NetPoint::new(EdgeId(2), 0.5)),
+            5,
+            None,
+            &[],
+            &mut c,
+        );
         assert_eq!(out.result.len(), 1);
         assert_eq!(out.knn_dist, f64::INFINITY);
         // The tree covers the whole (reachable) network.
@@ -378,15 +452,26 @@ mod tests {
         // Run a fresh search; then re-run with the pruned tree of a smaller
         // search as the kept part — results must match the fresh search.
         let (net, weights, objects) = line_ctx();
-        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let ctx = SearchContext {
+            net: &net,
+            weights: &weights,
+            objects: &objects,
+        };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut c = OpCounters::default();
         let root = RootPos::Point(NetPoint::new(EdgeId(0), 0.1));
 
         let small = knn_search(&ctx, &mut eng, root, 2, None, &[], &mut c);
         let fresh = knn_search(&ctx, &mut eng, root, 4, None, &[], &mut c);
-        let resumed =
-            knn_search(&ctx, &mut eng, root, 4, Some(KeptTree::full(small.tree)), &[], &mut c);
+        let resumed = knn_search(
+            &ctx,
+            &mut eng,
+            root,
+            4,
+            Some(KeptTree::full(small.tree)),
+            &[],
+            &mut c,
+        );
         assert_eq!(fresh.result, resumed.result);
         assert_eq!(fresh.knn_dist, resumed.knn_dist);
         assert_eq!(fresh.tree.len(), resumed.tree.len());
@@ -396,7 +481,11 @@ mod tests {
     #[test]
     fn extra_candidates_seed_result() {
         let (net, weights, objects) = line_ctx();
-        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let ctx = SearchContext {
+            net: &net,
+            weights: &weights,
+            objects: &objects,
+        };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut c = OpCounters::default();
         let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
@@ -407,7 +496,10 @@ mod tests {
             root,
             2,
             None,
-            &[Neighbor { object: ObjectId(99), dist: 0.25 }],
+            &[Neighbor {
+                object: ObjectId(99),
+                dist: 0.25,
+            }],
             &mut c,
         );
         assert!(out.result.iter().any(|n| n.object == ObjectId(99)));
@@ -423,8 +515,20 @@ mod tests {
         assert_eq!(b.kth(), 3.0);
         let r = b.into_result();
         assert_eq!(r.len(), 2);
-        assert_eq!(r[0], Neighbor { object: ObjectId(1), dist: 2.0 });
-        assert_eq!(r[1], Neighbor { object: ObjectId(2), dist: 3.0 });
+        assert_eq!(
+            r[0],
+            Neighbor {
+                object: ObjectId(1),
+                dist: 2.0
+            }
+        );
+        assert_eq!(
+            r[1],
+            Neighbor {
+                object: ObjectId(2),
+                dist: 3.0
+            }
+        );
     }
 
     #[test]
@@ -438,7 +542,11 @@ mod tests {
     #[test]
     fn dist_via_tree_matches_search_distances() {
         let (net, weights, objects) = line_ctx();
-        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let ctx = SearchContext {
+            net: &net,
+            weights: &weights,
+            objects: &objects,
+        };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut c = OpCounters::default();
         let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
@@ -470,7 +578,11 @@ mod tests {
                 objects.insert(ObjectId(i as u32), NetPoint::new(e, 0.3));
             }
         }
-        let ctx = SearchContext { net: &net, weights: &weights, objects: &objects };
+        let ctx = SearchContext {
+            net: &net,
+            weights: &weights,
+            objects: &objects,
+        };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut c = OpCounters::default();
         let q = NetPoint::new(EdgeId(7), 0.6);

@@ -9,9 +9,7 @@
 //! preprocessing: multiple updates of one entity within a timestamp are
 //! coalesced into a single `(first old value, last new value)` record.
 
-use rnn_roadnet::{
-    EdgeId, EdgeWeights, FxHashMap, NetPoint, ObjectId, QueryId, RoadNetwork,
-};
+use rnn_roadnet::{EdgeId, EdgeWeights, FxHashMap, NetPoint, ObjectId, QueryId, RoadNetwork};
 
 use crate::types::{ObjectEvent, QueryEvent, UpdateBatch};
 
@@ -25,7 +23,10 @@ pub struct ObjectIndex {
 impl ObjectIndex {
     /// Creates an index for `num_edges` edges.
     pub fn new(num_edges: usize) -> Self {
-        Self { per_edge: vec![Vec::new(); num_edges], positions: FxHashMap::default() }
+        Self {
+            per_edge: vec![Vec::new(); num_edges],
+            positions: FxHashMap::default(),
+        }
     }
 
     /// Inserts a new object. Returns `false` (and does nothing) if the id
@@ -43,7 +44,10 @@ impl ObjectIndex {
     pub fn remove(&mut self, id: ObjectId) -> Option<NetPoint> {
         let pos = self.positions.remove(&id)?;
         let list = &mut self.per_edge[pos.edge.index()];
-        let idx = list.iter().position(|&(o, _)| o == id).expect("object list out of sync");
+        let idx = list
+            .iter()
+            .position(|&(o, _)| o == id)
+            .expect("object list out of sync");
         list.swap_remove(idx);
         Some(pos)
     }
@@ -222,7 +226,11 @@ impl NetworkState {
                 continue;
             }
             self.weights.set(e, new_w);
-            out.edges.push(EdgeDelta { edge: e, old_w, new_w });
+            out.edges.push(EdgeDelta {
+                edge: e,
+                old_w,
+                new_w,
+            });
         }
 
         // --- Queries.
@@ -294,11 +302,17 @@ mod tests {
     fn object_lifecycle() {
         let mut s = state();
         assert!(s.objects.insert(ObjectId(1), NetPoint::new(EdgeId(0), 0.5)));
-        assert!(!s.objects.insert(ObjectId(1), NetPoint::new(EdgeId(1), 0.5)), "dup insert");
+        assert!(
+            !s.objects.insert(ObjectId(1), NetPoint::new(EdgeId(1), 0.5)),
+            "dup insert"
+        );
         assert_eq!(s.objects.len(), 1);
         assert_eq!(s.objects.on_edge(EdgeId(0)).len(), 1);
 
-        let old = s.objects.relocate(ObjectId(1), NetPoint::new(EdgeId(2), 0.25)).unwrap();
+        let old = s
+            .objects
+            .relocate(ObjectId(1), NetPoint::new(EdgeId(2), 0.25))
+            .unwrap();
         assert_eq!(old.edge, EdgeId(0));
         assert!(s.objects.on_edge(EdgeId(0)).is_empty());
         assert_eq!(s.objects.on_edge(EdgeId(2)), &[(ObjectId(1), 0.25)]);
@@ -315,8 +329,14 @@ mod tests {
         s.objects.insert(ObjectId(7), NetPoint::new(EdgeId(0), 0.1));
         let batch = UpdateBatch {
             objects: vec![
-                ObjectEvent::Move { id: ObjectId(7), to: NetPoint::new(EdgeId(1), 0.5) },
-                ObjectEvent::Move { id: ObjectId(7), to: NetPoint::new(EdgeId(2), 0.9) },
+                ObjectEvent::Move {
+                    id: ObjectId(7),
+                    to: NetPoint::new(EdgeId(1), 0.5),
+                },
+                ObjectEvent::Move {
+                    id: ObjectId(7),
+                    to: NetPoint::new(EdgeId(2), 0.9),
+                },
             ],
             ..Default::default()
         };
@@ -333,7 +353,10 @@ mod tests {
         let mut s = state();
         let batch = UpdateBatch {
             objects: vec![
-                ObjectEvent::Insert { id: ObjectId(3), at: NetPoint::new(EdgeId(1), 0.5) },
+                ObjectEvent::Insert {
+                    id: ObjectId(3),
+                    at: NetPoint::new(EdgeId(1), 0.5),
+                },
                 ObjectEvent::Delete { id: ObjectId(3) },
             ],
             ..Default::default()
@@ -348,15 +371,31 @@ mod tests {
         let mut s = state();
         let batch = UpdateBatch {
             edges: vec![
-                EdgeWeightUpdate { edge: EdgeId(0), new_weight: 2.0 },
-                EdgeWeightUpdate { edge: EdgeId(0), new_weight: 3.0 },
-                EdgeWeightUpdate { edge: EdgeId(1), new_weight: 1.0 }, // == old
+                EdgeWeightUpdate {
+                    edge: EdgeId(0),
+                    new_weight: 2.0,
+                },
+                EdgeWeightUpdate {
+                    edge: EdgeId(0),
+                    new_weight: 3.0,
+                },
+                EdgeWeightUpdate {
+                    edge: EdgeId(1),
+                    new_weight: 1.0,
+                }, // == old
             ],
             ..Default::default()
         };
         let tick = s.apply_batch(&batch);
         assert_eq!(tick.edges.len(), 1);
-        assert_eq!(tick.edges[0], EdgeDelta { edge: EdgeId(0), old_w: 1.0, new_w: 3.0 });
+        assert_eq!(
+            tick.edges[0],
+            EdgeDelta {
+                edge: EdgeId(0),
+                old_w: 1.0,
+                new_w: 3.0
+            }
+        );
         assert_eq!(s.weights.get(EdgeId(0)), 3.0);
         assert_eq!(s.weights.get(EdgeId(1)), 1.0);
     }
@@ -365,7 +404,11 @@ mod tests {
     fn batch_query_lifecycle() {
         let mut s = state();
         let batch = UpdateBatch {
-            queries: vec![QueryEvent::Install { id: QueryId(1), k: 3, at: NetPoint::new(EdgeId(0), 0.5) }],
+            queries: vec![QueryEvent::Install {
+                id: QueryId(1),
+                k: 3,
+                at: NetPoint::new(EdgeId(0), 0.5),
+            }],
             ..Default::default()
         };
         let tick = s.apply_batch(&batch);
@@ -375,11 +418,17 @@ mod tests {
 
         // Move keeps k.
         let batch = UpdateBatch {
-            queries: vec![QueryEvent::Move { id: QueryId(1), to: NetPoint::new(EdgeId(2), 0.1) }],
+            queries: vec![QueryEvent::Move {
+                id: QueryId(1),
+                to: NetPoint::new(EdgeId(2), 0.1),
+            }],
             ..Default::default()
         };
         let tick = s.apply_batch(&batch);
-        assert_eq!(tick.queries[0].new.unwrap(), (3, NetPoint::new(EdgeId(2), 0.1)));
+        assert_eq!(
+            tick.queries[0].new.unwrap(),
+            (3, NetPoint::new(EdgeId(2), 0.1))
+        );
 
         // Remove.
         let batch = UpdateBatch {
@@ -395,7 +444,10 @@ mod tests {
     fn move_of_unknown_query_is_dropped() {
         let mut s = state();
         let batch = UpdateBatch {
-            queries: vec![QueryEvent::Move { id: QueryId(9), to: NetPoint::new(EdgeId(0), 0.5) }],
+            queries: vec![QueryEvent::Move {
+                id: QueryId(9),
+                to: NetPoint::new(EdgeId(0), 0.5),
+            }],
             ..Default::default()
         };
         let tick = s.apply_batch(&batch);

@@ -82,7 +82,14 @@ impl ExpansionTree {
     /// # Panics
     /// Panics if the node already exists or the parent is missing.
     pub fn insert(&mut self, n: NodeId, dist: f64, parent: Option<(NodeId, EdgeId)>) {
-        let prev = self.nodes.insert(n, TreeNode { dist, parent, children: Vec::new() });
+        let prev = self.nodes.insert(
+            n,
+            TreeNode {
+                dist,
+                parent,
+                children: Vec::new(),
+            },
+        );
         assert!(prev.is_none(), "node {n:?} inserted twice");
         if let Some((p, e)) = parent {
             self.nodes
@@ -96,7 +103,9 @@ impl ExpansionTree {
     /// Removes the subtree rooted at `n` (inclusive). Returns the number of
     /// nodes removed (0 if `n` is not in the tree).
     pub fn remove_subtree(&mut self, n: NodeId) -> usize {
-        let Some(rec) = self.nodes.get(&n) else { return 0 };
+        let Some(rec) = self.nodes.get(&n) else {
+            return 0;
+        };
         // Detach from parent first.
         if let Some((p, _)) = rec.parent {
             if let Some(prec) = self.nodes.get_mut(&p) {
@@ -192,7 +201,10 @@ impl ExpansionTree {
                     prec.children.iter().any(|&(c, ce)| c == n && ce == e),
                     "child link missing for {n:?}"
                 );
-                assert!(net.edge(e).touches(n) && net.edge(e).touches(p), "link edge mismatch");
+                assert!(
+                    net.edge(e).touches(n) && net.edge(e).touches(p),
+                    "link edge mismatch"
+                );
                 let expect = prec.dist + weights.get(e);
                 assert!(
                     (t.dist - expect).abs() <= 1e-9 * expect.max(1.0),
@@ -204,7 +216,11 @@ impl ExpansionTree {
             for &(c, _) in &t.children {
                 let crec = self.nodes.get(&c).expect("dangling child");
                 assert!(crec.dist >= t.dist - 1e-12, "distance not monotone");
-                assert_eq!(crec.parent.map(|(p, _)| p), Some(n), "child parent mismatch");
+                assert_eq!(
+                    crec.parent.map(|(p, _)| p),
+                    Some(n),
+                    "child parent mismatch"
+                );
             }
         }
     }

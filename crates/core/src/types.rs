@@ -164,9 +164,18 @@ mod tests {
     #[test]
     fn neighbor_sorting_is_deterministic() {
         let mut v = vec![
-            Neighbor { object: ObjectId(5), dist: 2.0 },
-            Neighbor { object: ObjectId(1), dist: 2.0 },
-            Neighbor { object: ObjectId(9), dist: 1.0 },
+            Neighbor {
+                object: ObjectId(5),
+                dist: 2.0,
+            },
+            Neighbor {
+                object: ObjectId(1),
+                dist: 2.0,
+            },
+            Neighbor {
+                object: ObjectId(9),
+                dist: 1.0,
+            },
         ];
         sort_neighbors(&mut v);
         assert_eq!(v[0].object, ObjectId(9));
@@ -179,7 +188,10 @@ mod tests {
         let mut b = UpdateBatch::default();
         assert!(b.is_empty());
         b.objects.push(ObjectEvent::Delete { id: ObjectId(1) });
-        b.edges.push(EdgeWeightUpdate { edge: EdgeId(0), new_weight: 2.0 });
+        b.edges.push(EdgeWeightUpdate {
+            edge: EdgeId(0),
+            new_weight: 2.0,
+        });
         assert!(!b.is_empty());
         assert_eq!(b.len(), 2);
     }

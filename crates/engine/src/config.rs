@@ -1,0 +1,70 @@
+//! Engine configuration.
+
+use std::sync::Arc;
+
+use rnn_core::{ContinuousMonitor, Gma, Ima, Ovh};
+use rnn_roadnet::RoadNetwork;
+
+/// Which of the paper's monitors runs inside each shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardAlgo {
+    /// From-scratch baseline (§6).
+    Ovh,
+    /// Incremental monitoring (§4).
+    Ima,
+    /// Group monitoring (§5) — the default.
+    Gma,
+}
+
+impl ShardAlgo {
+    /// Instantiates the per-shard monitor.
+    pub(crate) fn make(self, net: Arc<RoadNetwork>) -> Box<dyn ContinuousMonitor> {
+        match self {
+            ShardAlgo::Ovh => Box::new(Ovh::new(net)),
+            ShardAlgo::Ima => Box::new(Ima::new(net)),
+            ShardAlgo::Gma => Box::new(Gma::new(net)),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardAlgo::Ovh => "OVH",
+            ShardAlgo::Ima => "IMA",
+            ShardAlgo::Gma => "GMA",
+        }
+    }
+}
+
+/// Tuning knobs of the sharded engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of shards (= worker threads), 1 ..= 64.
+    pub num_shards: usize,
+    /// The monitor each shard runs.
+    pub algo: ShardAlgo,
+    /// Relative slack added when a halo grows: the new radius is
+    /// `needed × (1 + halo_slack)`. More slack means fewer halo rebuilds
+    /// when `kNN_dist` drifts upward, at the cost of more replicas.
+    pub halo_slack: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 4,
+            algo: ShardAlgo::Gma,
+            halo_slack: 0.25,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with `num_shards` shards and defaults otherwise.
+    pub fn with_shards(num_shards: usize) -> Self {
+        Self {
+            num_shards,
+            ..Self::default()
+        }
+    }
+}

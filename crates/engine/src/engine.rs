@@ -1,0 +1,715 @@
+//! The sharded engine: routing, halo replication, and reconciliation.
+//!
+//! # Design
+//!
+//! The network is split into `S` connected regions
+//! ([`rnn_roadnet::NetworkPartition`]). Each region is owned by a shard: a
+//! worker thread running a full [`ContinuousMonitor`] over the *shared*
+//! topology (an `Arc<RoadNetwork>`) but tracking only the objects and
+//! queries routed to it. Queries live with the shard owning their edge;
+//! objects live with their owner shard **plus** every shard whose *halo*
+//! they fall into.
+//!
+//! ## Halo correctness argument
+//!
+//! A query `q` in shard `s` with result radius `d = kNN_dist(q)` only
+//! inspects network points within distance `d` of `q`. Any such point `p`
+//! outside region `s` is reached by a path that exits the region through a
+//! boundary node `b`, so `dist(b, p) ≤ d`. Hence if shard `s` additionally
+//! sees every object within distance `r_s ≥ max_q kNN_dist(q)` of its
+//! boundary (the *halo*), the monitor's candidate set contains every true
+//! neighbor of every owned query, and its answers equal a single global
+//! monitor's.
+//!
+//! `kNN_dist` is only known *after* computing results, so the engine closes
+//! the loop iteratively: tick the shards, read back each query's
+//! `kNN_dist`, and where it exceeds the shard's current halo radius, grow
+//! the halo (a bounded multi-source Dijkstra from the shard's boundary
+//! nodes under the current weights), ship the newly visible objects in, and
+//! tick again. Adding objects can only *shrink* `kNN_dist`, so the needed
+//! radius is non-increasing and the loop terminates — in steady state it
+//! converges immediately and the extra rounds are rare. Halo membership is
+//! also refreshed whenever edge weights change, since it is defined in
+//! terms of weighted distances.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rnn_core::{
+    ContinuousMonitor, MemoryUsage, Neighbor, ObjectEvent, QueryEvent, TickReport, UpdateBatch,
+};
+use rnn_roadnet::{
+    DijkstraEngine, EdgeWeights, FxHashMap, FxHashSet, NetPoint, NetworkPartition, ObjectId,
+    QueryId, RoadNetwork,
+};
+
+use crate::config::EngineConfig;
+use crate::worker::{Request, Response, ShardWorker};
+
+struct ObjRec {
+    pos: NetPoint,
+    /// Bit `s` set = shard `s` currently holds this object (owner or
+    /// replica).
+    mask: u64,
+}
+
+struct QueryRec {
+    k: usize,
+    shard: u32,
+    knn_dist: f64,
+    result: Vec<Neighbor>,
+}
+
+/// A sharded, multi-threaded continuous-monitoring engine that is
+/// answer-identical to a single monitor over the whole network.
+///
+/// Implements [`ContinuousMonitor`] itself, so it drops into every place a
+/// single-threaded monitor fits (scenario drivers, the bench harness, the
+/// differential tests).
+pub struct ShardedEngine {
+    cfg: EngineConfig,
+    partition: NetworkPartition,
+    net: Arc<RoadNetwork>,
+    /// The engine's authoritative copy of the fluctuating weights (needed
+    /// for halo distance computations).
+    weights: EdgeWeights,
+    scratch: DijkstraEngine,
+    workers: Vec<ShardWorker>,
+    /// Current halo radius per shard (grows on demand, never shrinks).
+    halo_r: Vec<f64>,
+    /// Foreign edges inside each shard's halo.
+    halo_edges: Vec<FxHashSet<rnn_roadnet::EdgeId>>,
+    /// Per-edge visibility mask: bit `s` = edge is owned by or in the halo
+    /// of shard `s`.
+    edge_mask: Vec<u64>,
+    objects: FxHashMap<ObjectId, ObjRec>,
+    queries: FxHashMap<QueryId, QueryRec>,
+    /// Events routed but not yet shipped, one batch per shard.
+    pending: Vec<UpdateBatch>,
+    /// GMA active-node counts per shard, from the latest outcomes.
+    active: Vec<Option<usize>>,
+    /// Pre-tick results of queries touched during the current tick, so
+    /// reconcile-round flaps that end where they started do not count as
+    /// changes.
+    changed: FxHashMap<QueryId, Vec<Neighbor>>,
+    /// Monitor-side aggregate for the current tick: critical-path elapsed
+    /// (max across a round's parallel workers, summed across rounds) and
+    /// summed op counters.
+    workers_report: TickReport,
+}
+
+impl ShardedEngine {
+    /// Partitions `net` and spawns one monitor worker per shard.
+    pub fn new(net: Arc<RoadNetwork>, cfg: EngineConfig) -> Self {
+        let partition = NetworkPartition::build(&net, cfg.num_shards);
+        let workers = (0..cfg.num_shards)
+            .map(|s| ShardWorker::spawn(s, cfg.algo.make(net.clone())))
+            .collect();
+        let edge_mask = net
+            .edge_ids()
+            .map(|e| 1u64 << partition.shard_of_edge(e))
+            .collect::<Vec<_>>();
+        let weights = EdgeWeights::from_base(&net);
+        let scratch = DijkstraEngine::new(net.num_nodes());
+        Self {
+            partition,
+            weights,
+            scratch,
+            workers,
+            halo_r: vec![0.0; cfg.num_shards],
+            halo_edges: vec![FxHashSet::default(); cfg.num_shards],
+            edge_mask,
+            objects: FxHashMap::default(),
+            queries: FxHashMap::default(),
+            pending: vec![UpdateBatch::default(); cfg.num_shards],
+            active: vec![None; cfg.num_shards],
+            changed: FxHashMap::default(),
+            workers_report: TickReport::default(),
+            net,
+            cfg,
+        }
+    }
+
+    /// The partition the engine runs on.
+    pub fn partition(&self) -> &NetworkPartition {
+        &self.partition
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.cfg.num_shards
+    }
+
+    /// Current halo radius of shard `s`.
+    pub fn halo_radius(&self, s: usize) -> f64 {
+        self.halo_r[s]
+    }
+
+    /// Total number of object replicas currently shipped to non-owner
+    /// shards (a measure of the replication overhead).
+    pub fn replica_count(&self) -> usize {
+        self.objects
+            .values()
+            .map(|o| o.mask.count_ones() as usize - 1)
+            .sum()
+    }
+
+    /// Monitor-side aggregate of the last tick: critical-path elapsed time
+    /// (max across each dispatch round's parallel workers, summed across
+    /// rounds) and summed op counters. Excludes the router's own work —
+    /// compare with the engine's own `TickReport::elapsed` to see
+    /// routing/hand-off overhead.
+    pub fn worker_report(&self) -> TickReport {
+        self.workers_report
+    }
+
+    // --- Halo maintenance -------------------------------------------------
+
+    /// Recomputes shard `s`'s halo edge set under the current weights and
+    /// radius. Returns `true` if membership changed.
+    fn recompute_halo(&mut self, s: usize) -> bool {
+        let r = self.halo_r[s];
+        let mut fresh = FxHashSet::default();
+        let boundary = &self.partition.view(s).boundary_nodes;
+        if r > 0.0 && !boundary.is_empty() {
+            self.scratch.begin();
+            for &b in boundary {
+                self.scratch.seed(b, 0.0, None);
+            }
+            while let Some((n, d)) = self.scratch.pop_settle() {
+                if d > r {
+                    break;
+                }
+                for &(e, m) in self.net.adjacent(n) {
+                    if self.partition.shard_of_edge(e) != s as u32 {
+                        fresh.insert(e);
+                    }
+                    let nd = d + self.weights.get(e);
+                    if nd <= r {
+                        self.scratch.relax(m, n, nd);
+                    }
+                }
+            }
+        }
+        if fresh == self.halo_edges[s] {
+            return false;
+        }
+        let bit = 1u64 << s;
+        for &e in &self.halo_edges[s] {
+            self.edge_mask[e.index()] &= !bit;
+        }
+        for &e in &fresh {
+            self.edge_mask[e.index()] |= bit;
+        }
+        self.halo_edges[s] = fresh;
+        true
+    }
+
+    /// Re-derives every object's desired shard set from the (possibly just
+    /// rebuilt) edge masks and queues insert/delete events for the
+    /// differences.
+    fn resync_objects(&mut self) {
+        for (&id, rec) in &mut self.objects {
+            let desired = self.edge_mask[rec.pos.edge.index()];
+            if desired == rec.mask {
+                continue;
+            }
+            let added = desired & !rec.mask;
+            let removed = rec.mask & !desired;
+            for s in ShardBits(added) {
+                self.pending[s]
+                    .objects
+                    .push(ObjectEvent::Insert { id, at: rec.pos });
+            }
+            for s in ShardBits(removed) {
+                self.pending[s].objects.push(ObjectEvent::Delete { id });
+            }
+            rec.mask = desired;
+        }
+    }
+
+    // --- Dispatch ---------------------------------------------------------
+
+    /// Ships every non-empty pending batch to its shard, waits for all
+    /// outcomes, and folds them into the engine's caches. Returns `true` if
+    /// anything was sent.
+    fn dispatch_pending(&mut self) -> bool {
+        let mut sent = vec![false; self.cfg.num_shards];
+        let mut any = false;
+        for (s, flag) in sent.iter_mut().enumerate() {
+            if self.pending[s].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.pending[s]);
+            self.workers[s].send(Request::Tick(batch));
+            *flag = true;
+            any = true;
+        }
+        // Workers in one round run in parallel, so their reports fold with
+        // max-elapsed semantics; successive rounds are sequential and add.
+        let mut round = TickReport::default();
+        for (s, &was_sent) in sent.iter().enumerate() {
+            if !was_sent {
+                continue;
+            }
+            match self.workers[s].recv() {
+                Response::Tick(outcome) => {
+                    round.absorb_parallel(&outcome.report);
+                    self.active[s] = outcome.active_groups;
+                    for snap in outcome.snapshots {
+                        let Some(rec) = self.queries.get_mut(&snap.id) else {
+                            continue;
+                        };
+                        if rec.shard != s as u32 {
+                            continue; // stale snapshot of a query mid-migration
+                        }
+                        rec.knn_dist = snap.knn_dist;
+                        if rec.result != snap.result {
+                            self.changed
+                                .entry(snap.id)
+                                .or_insert_with(|| rec.result.clone());
+                            rec.result = snap.result;
+                        }
+                    }
+                }
+                Response::Memory(_) => unreachable!("memory response to a tick request"),
+            }
+        }
+        self.workers_report.elapsed += round.elapsed;
+        self.workers_report.counters.merge(&round.counters);
+        any
+    }
+
+    /// Grows halos until every query's `kNN_dist` is covered by its
+    /// shard's halo radius, shipping newly visible objects as needed. See
+    /// the module docs for why this terminates.
+    fn reconcile(&mut self) {
+        loop {
+            let mut needed = vec![0.0f64; self.cfg.num_shards];
+            for rec in self.queries.values() {
+                let s = rec.shard as usize;
+                needed[s] = needed[s].max(rec.knn_dist);
+            }
+            let mut halos_dirty = false;
+            for (s, &need) in needed.iter().enumerate() {
+                if need > self.halo_r[s] {
+                    self.halo_r[s] = if need.is_finite() {
+                        need * (1.0 + self.cfg.halo_slack.max(0.0))
+                    } else {
+                        f64::INFINITY
+                    };
+                    halos_dirty |= self.recompute_halo(s);
+                }
+            }
+            if halos_dirty {
+                self.resync_objects();
+            }
+            if !self.dispatch_pending() {
+                return;
+            }
+        }
+    }
+
+    // --- Event routing ----------------------------------------------------
+
+    fn route_object_event(&mut self, ev: &ObjectEvent) {
+        match *ev {
+            // A move of an unknown object is an appearance, matching the
+            // monitors' own coalescing (state.rs).
+            ObjectEvent::Move { id, to } | ObjectEvent::Insert { id, at: to } => {
+                let desired = self.edge_mask[to.edge.index()];
+                match self.objects.get_mut(&id) {
+                    Some(rec) => {
+                        let old = rec.mask;
+                        for s in ShardBits(old & desired) {
+                            self.pending[s].objects.push(ObjectEvent::Move { id, to });
+                        }
+                        for s in ShardBits(desired & !old) {
+                            self.pending[s]
+                                .objects
+                                .push(ObjectEvent::Insert { id, at: to });
+                        }
+                        for s in ShardBits(old & !desired) {
+                            self.pending[s].objects.push(ObjectEvent::Delete { id });
+                        }
+                        rec.pos = to;
+                        rec.mask = desired;
+                    }
+                    None => {
+                        for s in ShardBits(desired) {
+                            self.pending[s]
+                                .objects
+                                .push(ObjectEvent::Insert { id, at: to });
+                        }
+                        self.objects.insert(
+                            id,
+                            ObjRec {
+                                pos: to,
+                                mask: desired,
+                            },
+                        );
+                    }
+                }
+            }
+            ObjectEvent::Delete { id } => {
+                if let Some(rec) = self.objects.remove(&id) {
+                    for s in ShardBits(rec.mask) {
+                        self.pending[s].objects.push(ObjectEvent::Delete { id });
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_query_event(&mut self, ev: &QueryEvent) {
+        match *ev {
+            QueryEvent::Move { id, to } => {
+                let Some(rec) = self.queries.get_mut(&id) else {
+                    return; // move of an unknown query: dropped, as monitors do
+                };
+                let new_shard = self.partition.shard_of_edge(to.edge);
+                if new_shard == rec.shard {
+                    self.pending[new_shard as usize]
+                        .queries
+                        .push(QueryEvent::Move { id, to });
+                } else {
+                    let k = rec.k;
+                    self.pending[rec.shard as usize]
+                        .queries
+                        .push(QueryEvent::Remove { id });
+                    self.pending[new_shard as usize]
+                        .queries
+                        .push(QueryEvent::Install { id, k, at: to });
+                    rec.shard = new_shard;
+                }
+            }
+            QueryEvent::Install { id, k, at } => {
+                let shard = self.partition.shard_of_edge(at.edge);
+                let old = self.queries.insert(
+                    id,
+                    QueryRec {
+                        k,
+                        shard,
+                        knn_dist: f64::INFINITY,
+                        result: Vec::new(),
+                    },
+                );
+                if let Some(old) = old {
+                    if old.shard != shard {
+                        self.pending[old.shard as usize]
+                            .queries
+                            .push(QueryEvent::Remove { id });
+                    }
+                }
+                self.pending[shard as usize]
+                    .queries
+                    .push(QueryEvent::Install { id, k, at });
+            }
+            QueryEvent::Remove { id } => {
+                if let Some(rec) = self.queries.remove(&id) {
+                    self.pending[rec.shard as usize]
+                        .queries
+                        .push(QueryEvent::Remove { id });
+                }
+            }
+        }
+    }
+}
+
+impl ContinuousMonitor for ShardedEngine {
+    fn name(&self) -> &'static str {
+        "SHARDED"
+    }
+
+    fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
+        self.route_object_event(&ObjectEvent::Insert { id, at });
+        // During bulk loading (no queries yet) the events stay buffered and
+        // ship with the next install/tick. With live queries the insert
+        // must be visible immediately, like in the single monitors.
+        if !self.queries.is_empty() {
+            self.dispatch_pending();
+            self.reconcile();
+        }
+    }
+
+    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
+        self.route_query_event(&QueryEvent::Install { id, k, at });
+        self.dispatch_pending();
+        self.reconcile();
+    }
+
+    fn remove_query(&mut self, id: QueryId) {
+        self.route_query_event(&QueryEvent::Remove { id });
+        self.dispatch_pending();
+    }
+
+    fn tick(&mut self, batch: &UpdateBatch) -> TickReport {
+        let start = Instant::now();
+        self.changed.clear();
+        self.workers_report = TickReport::default();
+
+        // 1. Edge updates: apply to the authoritative weights and broadcast
+        //    (every shard keeps a full weight table; its influence lists
+        //    drop irrelevant ones cheaply).
+        for u in &batch.edges {
+            self.weights.set(u.edge, u.new_weight);
+            for s in 0..self.cfg.num_shards {
+                self.pending[s].edges.push(*u);
+            }
+        }
+        // 2. Halo membership is defined in weighted distances, so weight
+        //    changes can move edges in or out of halos.
+        if !batch.edges.is_empty() {
+            let mut halos_dirty = false;
+            for s in 0..self.cfg.num_shards {
+                if self.halo_r[s] > 0.0 {
+                    halos_dirty |= self.recompute_halo(s);
+                }
+            }
+            if halos_dirty {
+                self.resync_objects();
+            }
+        }
+
+        // 3. Route the object and query streams onto the owning shards.
+        for ev in &batch.objects {
+            self.route_object_event(ev);
+        }
+        for ev in &batch.queries {
+            self.route_query_event(ev);
+        }
+
+        // 4. Fan out, then grow halos until every result is covered.
+        self.dispatch_pending();
+        self.reconcile();
+
+        // A query counts as changed only if its final result differs from
+        // its pre-tick result — reconcile-round flaps that end where they
+        // started do not count, matching a single monitor's report.
+        let results_changed = self
+            .changed
+            .iter()
+            .filter(|(id, before)| {
+                self.queries
+                    .get(id)
+                    .is_some_and(|rec| rec.result != **before)
+            })
+            .count();
+
+        TickReport {
+            elapsed: start.elapsed(),
+            results_changed,
+            counters: self.workers_report.counters,
+        }
+    }
+
+    fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.queries.get(&id).map(|r| r.result.as_slice())
+    }
+
+    fn knn_dist(&self, id: QueryId) -> Option<f64> {
+        self.queries.get(&id).map(|r| r.knn_dist)
+    }
+
+    fn query_ids(&self) -> Vec<QueryId> {
+        self.queries.keys().copied().collect()
+    }
+
+    fn memory(&self) -> MemoryUsage {
+        let mut total = MemoryUsage::default();
+        for w in &self.workers {
+            w.send(Request::Memory);
+        }
+        for w in &self.workers {
+            match w.recv() {
+                Response::Memory(m) => {
+                    total.edge_table += m.edge_table;
+                    total.query_table += m.query_table;
+                    total.expansion_trees += m.expansion_trees;
+                    total.influence_lists += m.influence_lists;
+                    total.auxiliary += m.auxiliary;
+                }
+                Response::Tick(_) => unreachable!("tick response to a memory request"),
+            }
+        }
+        // Router state: registries, masks, halo sets.
+        total.auxiliary += self.edge_mask.capacity() * std::mem::size_of::<u64>()
+            + self.objects.capacity()
+                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<ObjRec>())
+            + self.queries.capacity()
+                * (std::mem::size_of::<QueryId>() + std::mem::size_of::<QueryRec>())
+            + self
+                .halo_edges
+                .iter()
+                .map(|h| h.capacity() * std::mem::size_of::<rnn_roadnet::EdgeId>())
+                .sum::<usize>()
+            + self.weights.memory_bytes();
+        total
+    }
+
+    fn active_groups(&self) -> Option<usize> {
+        let counts: Vec<usize> = self.active.iter().flatten().copied().collect();
+        if counts.is_empty() {
+            None
+        } else {
+            Some(counts.iter().sum())
+        }
+    }
+}
+
+/// Iterator over the set bits of a shard mask.
+struct ShardBits(u64);
+
+impl Iterator for ShardBits {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let s = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShardAlgo;
+    use rnn_roadnet::generators::{grid_city, GridCityConfig};
+    use rnn_roadnet::EdgeId;
+
+    fn net() -> Arc<RoadNetwork> {
+        Arc::new(grid_city(&GridCityConfig {
+            nx: 6,
+            ny: 6,
+            seed: 9,
+            ..Default::default()
+        }))
+    }
+
+    fn engine(shards: usize) -> ShardedEngine {
+        ShardedEngine::new(
+            net(),
+            EngineConfig {
+                num_shards: shards,
+                algo: ShardAlgo::Ima,
+                halo_slack: 0.25,
+            },
+        )
+    }
+
+    #[test]
+    fn basic_install_and_query() {
+        let mut eng = engine(4);
+        let n = eng.net.num_edges() as u32;
+        for i in 0..20u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 3) % n), 0.4));
+        }
+        eng.install_query(QueryId(0), 5, NetPoint::new(EdgeId(0), 0.5));
+        let r = eng.result(QueryId(0)).unwrap();
+        assert_eq!(r.len(), 5);
+        for w in r.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        assert_eq!(eng.knn_dist(QueryId(0)).unwrap(), r[4].dist);
+        assert_eq!(eng.query_ids(), vec![QueryId(0)]);
+    }
+
+    #[test]
+    fn halo_grows_to_cover_results() {
+        let mut eng = engine(4);
+        let n = eng.net.num_edges() as u32;
+        for i in 0..6u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 11) % n), 0.3));
+        }
+        eng.install_query(QueryId(1), 4, NetPoint::new(EdgeId(2), 0.1));
+        let q = &eng.queries[&QueryId(1)];
+        let s = q.shard as usize;
+        assert!(
+            eng.halo_radius(s) >= q.knn_dist || q.knn_dist == 0.0,
+            "halo {} < kNN_dist {}",
+            eng.halo_radius(s),
+            q.knn_dist
+        );
+    }
+
+    #[test]
+    fn single_shard_needs_no_replicas() {
+        let mut eng = engine(1);
+        let n = eng.net.num_edges() as u32;
+        for i in 0..10u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 7) % n), 0.6));
+        }
+        eng.install_query(QueryId(0), 3, NetPoint::new(EdgeId(1), 0.5));
+        assert_eq!(eng.replica_count(), 0);
+        assert_eq!(eng.result(QueryId(0)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_tick_reports_nothing() {
+        let mut eng = engine(2);
+        let n = eng.net.num_edges() as u32;
+        for i in 0..10u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 7) % n), 0.6));
+        }
+        eng.install_query(QueryId(0), 3, NetPoint::new(EdgeId(1), 0.5));
+        let before = eng.result(QueryId(0)).unwrap().to_vec();
+        let rep = eng.tick(&UpdateBatch::default());
+        assert_eq!(rep.results_changed, 0);
+        assert_eq!(eng.result(QueryId(0)).unwrap(), before.as_slice());
+    }
+
+    #[test]
+    fn query_migrates_across_shards() {
+        let mut eng = engine(4);
+        let n = eng.net.num_edges() as u32;
+        for i in 0..30u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 5) % n), 0.5));
+        }
+        eng.install_query(QueryId(0), 3, NetPoint::new(EdgeId(0), 0.5));
+        let home = eng.queries[&QueryId(0)].shard;
+        // Find an edge owned by a different shard and move the query there.
+        let target = eng
+            .net
+            .edge_ids()
+            .find(|&e| eng.partition.shard_of_edge(e) != home)
+            .expect("4-way split has foreign edges");
+        let mut batch = UpdateBatch::default();
+        batch.queries.push(QueryEvent::Move {
+            id: QueryId(0),
+            to: NetPoint::new(target, 0.5),
+        });
+        eng.tick(&batch);
+        assert_ne!(eng.queries[&QueryId(0)].shard, home);
+        assert_eq!(eng.result(QueryId(0)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn remove_query_forgets_it() {
+        let mut eng = engine(2);
+        let n = eng.net.num_edges() as u32;
+        for i in 0..10u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 7) % n), 0.6));
+        }
+        eng.install_query(QueryId(3), 2, NetPoint::new(EdgeId(4), 0.5));
+        assert!(eng.result(QueryId(3)).is_some());
+        eng.remove_query(QueryId(3));
+        assert!(eng.result(QueryId(3)).is_none());
+        assert!(eng.query_ids().is_empty());
+    }
+
+    #[test]
+    fn memory_aggregates_across_shards() {
+        let mut eng = engine(4);
+        let n = eng.net.num_edges() as u32;
+        for i in 0..20u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 3) % n), 0.4));
+        }
+        eng.install_query(QueryId(0), 5, NetPoint::new(EdgeId(0), 0.5));
+        let m = eng.memory();
+        assert!(m.total_bytes() > 0);
+        assert!(m.auxiliary > 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # rnn-engine
+//!
+//! A sharded, multi-threaded continuous-monitoring engine on top of the
+//! single-server algorithms of Mouratidis et al. (VLDB 2006).
+//!
+//! The paper's monitors (OVH/IMA/GMA, see `rnn-core`) are single-threaded:
+//! one server owns every object, query, and edge weight. To serve
+//! production-scale load the engine partitions the road network into `S`
+//! connected regions ([`rnn_roadnet::partition`]), runs one monitor per
+//! region on a dedicated worker thread, routes each update to the shard(s)
+//! that must see it, and fans `tick()` out in parallel.
+//!
+//! Cross-border correctness comes from **halo replication**: every shard
+//! additionally sees the objects within network distance `r_s` of its
+//! region boundary, where `r_s` is kept at least as large as the largest
+//! `kNN_dist` among the shard's queries. Under that invariant each shard's
+//! answers are provably identical to a single global monitor's (see
+//! [`engine`] module docs for the argument), which the differential test
+//! suite checks tick-by-tick against plain GMA/IMA.
+//!
+//! ```
+//! use rnn_core::ContinuousMonitor;
+//! use rnn_engine::{EngineConfig, ShardedEngine};
+//! use rnn_roadnet::{generators, EdgeId, NetPoint, ObjectId, QueryId};
+//! use std::sync::Arc;
+//!
+//! let net = Arc::new(generators::grid_city(&generators::GridCityConfig {
+//!     nx: 6, ny: 6, seed: 1, ..Default::default()
+//! }));
+//! let mut engine = ShardedEngine::new(net.clone(), EngineConfig::with_shards(4));
+//! for (i, e) in net.edge_ids().enumerate().step_by(5) {
+//!     engine.insert_object(ObjectId(i as u32), NetPoint::new(e, 0.5));
+//! }
+//! engine.install_query(QueryId(0), 3, NetPoint::new(EdgeId(0), 0.25));
+//! assert_eq!(engine.result(QueryId(0)).unwrap().len(), 3);
+//! ```
+//!
+//! The engine implements [`rnn_core::ContinuousMonitor`] itself, so any
+//! driver that feeds a single monitor — scenario replay, the benchmark
+//! harness, the differential tests — drives the sharded fleet unchanged.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+mod worker;
+
+pub use config::{EngineConfig, ShardAlgo};
+pub use engine::ShardedEngine;

@@ -1,0 +1,164 @@
+//! Per-shard worker threads.
+//!
+//! Each shard owns one [`ContinuousMonitor`] living on a dedicated thread.
+//! The engine talks to it over a pair of mpsc channels with a strict
+//! request/response discipline: every [`Request::Tick`] and
+//! [`Request::Memory`] is answered by exactly one [`Response`], and the
+//! engine always drains all outstanding responses before issuing new
+//! requests, so the channels never hold more than one message per worker.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use rnn_core::{ContinuousMonitor, MemoryUsage, Neighbor, QueryEvent, TickReport, UpdateBatch};
+use rnn_roadnet::{FxHashMap, FxHashSet, QueryId};
+
+/// What the engine asks a shard to do.
+pub(crate) enum Request {
+    /// Process one (sub-)batch and report back.
+    Tick(UpdateBatch),
+    /// Report the monitor's resident memory.
+    Memory,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// A shard's answer.
+pub(crate) enum Response {
+    /// Outcome of a [`Request::Tick`].
+    Tick(TickOutcome),
+    /// Answer to [`Request::Memory`].
+    Memory(MemoryUsage),
+}
+
+/// The state of one query after a worker processed a batch.
+pub(crate) struct QuerySnapshot {
+    /// The query.
+    pub id: QueryId,
+    /// Its `kNN_dist` (∞ while underfull).
+    pub knn_dist: f64,
+    /// Its current result, sorted by `(dist, id)`.
+    pub result: Vec<Neighbor>,
+}
+
+/// Everything the engine needs back from one shard tick.
+pub(crate) struct TickOutcome {
+    /// The monitor's own report (op counters, worker wall-clock).
+    pub report: TickReport,
+    /// Queries whose state changed since the worker's last response (plus
+    /// every query installed by this batch). Absence means "unchanged" —
+    /// the engine keeps its cached result.
+    pub snapshots: Vec<QuerySnapshot>,
+    /// The monitor's grouping-unit count (GMA active nodes), if any.
+    pub active_groups: Option<usize>,
+}
+
+/// Handle to one shard thread.
+pub(crate) struct ShardWorker {
+    tx: Sender<Request>,
+    rx: Receiver<Response>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ShardWorker {
+    /// Moves `monitor` onto a fresh worker thread.
+    pub fn spawn(shard: usize, monitor: Box<dyn ContinuousMonitor>) -> Self {
+        let (tx, req_rx) = channel();
+        let (resp_tx, rx) = channel();
+        let handle = std::thread::Builder::new()
+            .name(format!("rnn-shard-{shard}"))
+            .spawn(move || worker_loop(monitor, req_rx, resp_tx))
+            .expect("failed to spawn shard worker thread");
+        Self {
+            tx,
+            rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Sends a request (never blocks).
+    pub fn send(&self, req: Request) {
+        self.tx.send(req).expect("shard worker thread is gone");
+    }
+
+    /// Blocks for the next response.
+    pub fn recv(&self) -> Response {
+        self.rx.recv().expect("shard worker thread panicked")
+    }
+}
+
+impl Drop for ShardWorker {
+    fn drop(&mut self) {
+        // The worker may already be gone (e.g. it panicked); both the send
+        // and the join error are then irrelevant during teardown.
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    mut monitor: Box<dyn ContinuousMonitor>,
+    rx: Receiver<Request>,
+    tx: Sender<Response>,
+) {
+    // Last state shipped to the engine, per query: snapshots are sent as
+    // deltas against this, so steady-state ticks move no result vectors.
+    let mut shipped: FxHashMap<QueryId, (f64, Vec<Neighbor>)> = FxHashMap::default();
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Tick(batch) => {
+                // Freshly installed queries must always ship: the engine
+                // just created an empty record for them, even when the
+                // monitor reproduces a result this cache already saw
+                // (remove + reinstall of the same id).
+                let installed: FxHashSet<QueryId> = batch
+                    .queries
+                    .iter()
+                    .filter_map(|ev| match ev {
+                        QueryEvent::Install { id, .. } => Some(*id),
+                        _ => None,
+                    })
+                    .collect();
+                let report = monitor.tick(&batch);
+                let ids = monitor.query_ids();
+                let live: FxHashSet<QueryId> = ids.iter().copied().collect();
+                shipped.retain(|id, _| live.contains(id));
+                let mut snapshots = Vec::new();
+                for id in ids {
+                    let knn_dist = monitor.knn_dist(id).unwrap_or(f64::INFINITY);
+                    let result = monitor.result(id).unwrap_or_default();
+                    let unchanged = !installed.contains(&id)
+                        && shipped
+                            .get(&id)
+                            .is_some_and(|(k, r)| *k == knn_dist && r.as_slice() == result);
+                    if unchanged {
+                        continue;
+                    }
+                    let owned = result.to_vec();
+                    shipped.insert(id, (knn_dist, owned.clone()));
+                    snapshots.push(QuerySnapshot {
+                        id,
+                        knn_dist,
+                        result: owned,
+                    });
+                }
+                let outcome = TickOutcome {
+                    report,
+                    snapshots,
+                    active_groups: monitor.active_groups(),
+                };
+                if tx.send(Response::Tick(outcome)).is_err() {
+                    break; // engine dropped mid-flight
+                }
+            }
+            Request::Memory => {
+                if tx.send(Response::Memory(monitor.memory())).is_err() {
+                    break;
+                }
+            }
+            Request::Shutdown => break,
+        }
+    }
+}

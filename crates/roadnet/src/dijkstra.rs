@@ -77,7 +77,12 @@ impl DijkstraEngine {
     pub fn new(num_nodes: usize) -> Self {
         Self {
             states: vec![
-                NodeState { dist: f64::INFINITY, parent: None, parent_edge: None, settled: false };
+                NodeState {
+                    dist: f64::INFINITY,
+                    parent: None,
+                    parent_edge: None,
+                    settled: false
+                };
                 num_nodes
             ],
             stamps: vec![0; num_nodes],
@@ -110,8 +115,12 @@ impl DijkstraEngine {
         let i = n.index();
         if self.stamps[i] != self.epoch {
             self.stamps[i] = self.epoch;
-            self.states[i] =
-                NodeState { dist: f64::INFINITY, parent: None, parent_edge: None, settled: false };
+            self.states[i] = NodeState {
+                dist: f64::INFINITY,
+                parent: None,
+                parent_edge: None,
+                settled: false,
+            };
         }
         &mut self.states[i]
     }
@@ -231,7 +240,8 @@ impl DijkstraEngine {
     /// the expansion used the `*_via` methods.
     #[inline]
     pub fn parent_link_of(&self, node: NodeId) -> Option<(NodeId, EdgeId)> {
-        self.state(node).and_then(|s| Some((s.parent?, s.parent_edge?)))
+        self.state(node)
+            .and_then(|s| Some((s.parent?, s.parent_edge?)))
     }
 
     /// Full single-source shortest paths from `source`, optionally bounded
@@ -470,15 +480,22 @@ mod tests {
         let net = b.build().unwrap();
         let w = EdgeWeights::from_base(&net);
         let mut eng = DijkstraEngine::new(net.num_nodes());
-        assert_eq!(eng.dist_between_nodes(&net, &w, NodeId(0), NodeId(3)), f64::INFINITY);
-        assert!(eng.path_between_nodes(&net, &w, NodeId(0), NodeId(3)).is_none());
+        assert_eq!(
+            eng.dist_between_nodes(&net, &w, NodeId(0), NodeId(3)),
+            f64::INFINITY
+        );
+        assert!(eng
+            .path_between_nodes(&net, &w, NodeId(0), NodeId(3))
+            .is_none());
     }
 
     #[test]
     fn path_extraction() {
         let (net, w) = square();
         let mut eng = DijkstraEngine::new(net.num_nodes());
-        let path = eng.path_between_nodes(&net, &w, NodeId(0), NodeId(3)).unwrap();
+        let path = eng
+            .path_between_nodes(&net, &w, NodeId(0), NodeId(3))
+            .unwrap();
         assert_eq!(path.len(), 3);
         assert_eq!(path[0], NodeId(0));
         assert_eq!(path[2], NodeId(3));

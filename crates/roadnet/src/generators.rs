@@ -43,7 +43,15 @@ pub struct GridCityConfig {
 
 impl Default for GridCityConfig {
     fn default() -> Self {
-        Self { nx: 16, ny: 16, spacing: 100.0, jitter: 0.25, prune: 0.25, max_subdivision: 3, seed: 0 }
+        Self {
+            nx: 16,
+            ny: 16,
+            spacing: 100.0,
+            jitter: 0.25,
+            prune: 0.25,
+            max_subdivision: 3,
+            seed: 0,
+        }
     }
 }
 
@@ -92,7 +100,9 @@ pub fn grid_city(cfg: &GridCityConfig) -> RoadNetwork {
         }
     }
     for &(u, v) in &streets {
-        let (Some(nu), Some(nv)) = (remap[u], remap[v]) else { continue };
+        let (Some(nu), Some(nv)) = (remap[u], remap[v]) else {
+            continue;
+        };
         let segments = rng.random_range(1..=cfg.max_subdivision);
         let (ux, uy) = pos[u];
         let (vx, vy) = pos[v];
@@ -140,7 +150,9 @@ fn largest_component(n: usize, edges: &[(usize, usize)]) -> Vec<bool> {
         }
         next_comp += 1;
     }
-    (0..n).map(|i| comp[i] == best.1 && !adj[i].is_empty()).collect()
+    (0..n)
+        .map(|i| comp[i] == best.1 && !adj[i].is_empty())
+        .collect()
 }
 
 /// A San-Francisco-like sub-network with approximately `target_edges` edges
@@ -216,7 +228,12 @@ mod tests {
     #[test]
     fn grid_city_is_connected_and_valid() {
         for seed in 0..5 {
-            let net = grid_city(&GridCityConfig { nx: 10, ny: 10, seed, ..Default::default() });
+            let net = grid_city(&GridCityConfig {
+                nx: 10,
+                ny: 10,
+                seed,
+                ..Default::default()
+            });
             assert!(net.is_connected(), "seed {seed} disconnected");
             assert!(net.num_edges() > 50);
             // Base weights equal Euclidean lengths.
@@ -228,7 +245,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = GridCityConfig { nx: 8, ny: 8, seed: 42, ..Default::default() };
+        let cfg = GridCityConfig {
+            nx: 8,
+            ny: 8,
+            seed: 42,
+            ..Default::default()
+        };
         let a = grid_city(&cfg);
         let b = grid_city(&cfg);
         assert_eq!(a.num_nodes(), b.num_nodes());
@@ -241,8 +263,18 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = grid_city(&GridCityConfig { nx: 8, ny: 8, seed: 1, ..Default::default() });
-        let b = grid_city(&GridCityConfig { nx: 8, ny: 8, seed: 2, ..Default::default() });
+        let a = grid_city(&GridCityConfig {
+            nx: 8,
+            ny: 8,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = grid_city(&GridCityConfig {
+            nx: 8,
+            ny: 8,
+            seed: 2,
+            ..Default::default()
+        });
         assert!(a.num_edges() != b.num_edges() || a.num_nodes() != b.num_nodes());
     }
 
@@ -265,18 +297,33 @@ mod tests {
         let net = oldenburg_like(4);
         let edges = net.num_edges() as f64;
         let nodes = net.num_nodes() as f64;
-        assert!((edges / 7035.0 - 1.0).abs() < 0.15, "edge count {} too far", edges);
+        assert!(
+            (edges / 7035.0 - 1.0).abs() < 0.15,
+            "edge count {} too far",
+            edges
+        );
         // Node/edge ratio of the real Oldenburg map is 6105/7035 ≈ 0.87.
         let ratio = nodes / edges;
-        assert!((0.70..1.05).contains(&ratio), "node/edge ratio {ratio:.2} unrealistic");
+        assert!(
+            (0.70..1.05).contains(&ratio),
+            "node/edge ratio {ratio:.2} unrealistic"
+        );
         // Average degree like a real road network (2–3).
         let avg_deg = 2.0 * edges / nodes;
-        assert!((1.9..3.2).contains(&avg_deg), "avg degree {avg_deg:.2} unrealistic");
+        assert!(
+            (1.9..3.2).contains(&avg_deg),
+            "avg degree {avg_deg:.2} unrealistic"
+        );
     }
 
     #[test]
     fn degree_distribution_has_chains_and_intersections() {
-        let net = grid_city(&GridCityConfig { nx: 12, ny: 12, seed: 5, ..Default::default() });
+        let net = grid_city(&GridCityConfig {
+            nx: 12,
+            ny: 12,
+            seed: 5,
+            ..Default::default()
+        });
         let mut deg2 = 0;
         let mut deg_hi = 0;
         for n in net.node_ids() {
@@ -308,6 +355,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "grid must be at least 2x2")]
     fn tiny_grid_panics() {
-        let _ = grid_city(&GridCityConfig { nx: 1, ny: 5, ..Default::default() });
+        let _ = grid_city(&GridCityConfig {
+            nx: 1,
+            ny: 5,
+            ..Default::default()
+        });
     }
 }

@@ -41,7 +41,10 @@ impl Point2 {
     /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
     #[inline]
     pub fn lerp(self, other: Point2, t: f64) -> Point2 {
-        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 }
 
@@ -224,8 +227,14 @@ mod tests {
     fn quadrants_cover_and_tile() {
         let r = Rect::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
         let qs = r.quadrants();
-        assert_eq!(qs[0], Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)));
-        assert_eq!(qs[3], Rect::new(Point2::new(1.0, 1.0), Point2::new(2.0, 2.0)));
+        assert_eq!(
+            qs[0],
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0))
+        );
+        assert_eq!(
+            qs[3],
+            Rect::new(Point2::new(1.0, 1.0), Point2::new(2.0, 2.0))
+        );
         // Every quadrant is inside the parent.
         for q in qs {
             assert!(r.contains(q.lo) && r.contains(q.hi));

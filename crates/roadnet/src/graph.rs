@@ -119,7 +119,11 @@ impl RoadNetworkBuilder {
     /// Adds an edge with an explicit base weight and returns its id.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId, base_weight: f64) -> EdgeId {
         let id = EdgeId::from_index(self.edges.len());
-        self.edges.push(Edge { start: a, end: b, base_weight });
+        self.edges.push(Edge {
+            start: a,
+            end: b,
+            base_weight,
+        });
         id
     }
 
@@ -145,7 +149,10 @@ impl RoadNetworkBuilder {
 
     /// Validates and freezes the network, building adjacency.
     pub fn build(self) -> Result<RoadNetwork, NetworkError> {
-        RoadNetwork::from_data(NetworkData { nodes: self.nodes, edges: self.edges })
+        RoadNetwork::from_data(NetworkData {
+            nodes: self.nodes,
+            edges: self.edges,
+        })
     }
 }
 
@@ -210,12 +217,21 @@ impl RoadNetwork {
         }
         let bounds = Rect::bounding(nodes.iter().copied())
             .unwrap_or(Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)));
-        Ok(Self { nodes, edges, adj_off, adj_flat, bounds })
+        Ok(Self {
+            nodes,
+            edges,
+            adj_off,
+            adj_flat,
+            bounds,
+        })
     }
 
     /// Extracts the serializable raw form.
     pub fn to_data(&self) -> NetworkData {
-        NetworkData { nodes: self.nodes.clone(), edges: self.edges.clone() }
+        NetworkData {
+            nodes: self.nodes.clone(),
+            edges: self.edges.clone(),
+        }
     }
 
     /// Number of nodes.
@@ -439,7 +455,11 @@ mod tests {
         // Dangling edge.
         let data = NetworkData {
             nodes: vec![Point2::new(0.0, 0.0)],
-            edges: vec![Edge { start: NodeId(0), end: NodeId(9), base_weight: 1.0 }],
+            edges: vec![Edge {
+                start: NodeId(0),
+                end: NodeId(9),
+                base_weight: 1.0,
+            }],
         };
         assert_eq!(
             RoadNetwork::from_data(data).unwrap_err(),

@@ -29,7 +29,10 @@ impl NetPoint {
     /// Creates a network point, clamping the fraction into `[0, 1]`.
     #[inline]
     pub fn new(edge: EdgeId, frac: f64) -> Self {
-        Self { edge, frac: frac.clamp(0.0, 1.0) }
+        Self {
+            edge,
+            frac: frac.clamp(0.0, 1.0),
+        }
     }
 
     /// A point sitting exactly on `node`, expressed on one of its incident
@@ -86,7 +89,8 @@ impl NetPoint {
     /// Planar coordinates of the point (for the spatial index and display).
     pub fn coordinates(&self, net: &RoadNetwork) -> Point2 {
         let edge = net.edge(self.edge);
-        net.node_pos(edge.start).lerp(net.node_pos(edge.end), self.frac)
+        net.node_pos(edge.start)
+            .lerp(net.node_pos(edge.end), self.frac)
     }
 
     /// Weighted distance between two points **on the same edge** (the direct

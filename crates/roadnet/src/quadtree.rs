@@ -34,7 +34,10 @@ pub struct QuadtreeConfig {
 
 impl Default for QuadtreeConfig {
     fn default() -> Self {
-        Self { threshold: 8, max_depth: 16 }
+        Self {
+            threshold: 8,
+            max_depth: 16,
+        }
     }
 }
 
@@ -108,8 +111,12 @@ impl PmrQuadtree {
                 (net.node_pos(edge.start), net.node_pos(edge.end))
             })
             .collect();
-        let mut tree =
-            Self { nodes: vec![QuadNode::Leaf(Vec::new())], bounds, config, segments };
+        let mut tree = Self {
+            nodes: vec![QuadNode::Leaf(Vec::new())],
+            bounds,
+            config,
+            segments,
+        };
         for e in net.edge_ids() {
             tree.insert(e);
         }
@@ -244,12 +251,14 @@ impl PmrQuadtree {
                     let c = rect.center();
                     let (qi, q) = match (p.x >= c.x, p.y >= c.y) {
                         (false, false) => (0, Rect::new(rect.lo, c)),
-                        (true, false) => {
-                            (1, Rect::new(Point2::new(c.x, rect.lo.y), Point2::new(rect.hi.x, c.y)))
-                        }
-                        (false, true) => {
-                            (2, Rect::new(Point2::new(rect.lo.x, c.y), Point2::new(c.x, rect.hi.y)))
-                        }
+                        (true, false) => (
+                            1,
+                            Rect::new(Point2::new(c.x, rect.lo.y), Point2::new(rect.hi.x, c.y)),
+                        ),
+                        (false, true) => (
+                            2,
+                            Rect::new(Point2::new(rect.lo.x, c.y), Point2::new(c.x, rect.hi.y)),
+                        ),
                         (true, true) => (3, Rect::new(c, rect.hi)),
                     };
                     idx = children[qi];
@@ -297,7 +306,12 @@ mod tests {
     use crate::graph::RoadNetworkBuilder;
 
     fn sample_net() -> RoadNetwork {
-        grid_city(&GridCityConfig { nx: 8, ny: 8, seed: 7, ..Default::default() })
+        grid_city(&GridCityConfig {
+            nx: 8,
+            ny: 8,
+            seed: 7,
+            ..Default::default()
+        })
     }
 
     /// Brute-force nearest edge for validation.
@@ -327,10 +341,7 @@ mod tests {
             (rng_state >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..300 {
-            let p = Point2::new(
-                b.lo.x + next() * b.width(),
-                b.lo.y + next() * b.height(),
-            );
+            let p = Point2::new(b.lo.x + next() * b.width(), b.lo.y + next() * b.height());
             let (e, d) = tree.nearest_edge(p).unwrap();
             let (be, bd) = brute_nearest(&net, p);
             assert!((d - bd).abs() < 1e-9, "distance mismatch at {p:?}");
@@ -376,13 +387,21 @@ mod tests {
         let net = sample_net();
         let tree = PmrQuadtree::build(&net);
         let b = net.bounds();
-        assert!(tree.probe(Point2::new(b.hi.x + 100.0, b.hi.y + 100.0)).is_empty());
+        assert!(tree
+            .probe(Point2::new(b.hi.x + 100.0, b.hi.y + 100.0))
+            .is_empty());
     }
 
     #[test]
     fn splits_happen_on_dense_networks() {
         let net = sample_net();
-        let tree = PmrQuadtree::build_with(&net, QuadtreeConfig { threshold: 4, max_depth: 12 });
+        let tree = PmrQuadtree::build_with(
+            &net,
+            QuadtreeConfig {
+                threshold: 4,
+                max_depth: 12,
+            },
+        );
         assert!(tree.num_quads() > 1, "tree never split");
         assert!(tree.depth() >= 2);
         assert!(tree.depth() <= 12);
@@ -400,7 +419,13 @@ mod tests {
             b.add_edge_euclidean(c, n);
         }
         let net = b.build().unwrap();
-        let tree = PmrQuadtree::build_with(&net, QuadtreeConfig { threshold: 2, max_depth: 6 });
+        let tree = PmrQuadtree::build_with(
+            &net,
+            QuadtreeConfig {
+                threshold: 2,
+                max_depth: 6,
+            },
+        );
         assert!(tree.depth() <= 6);
         // Lookup still works.
         let (e, d) = tree.nearest_edge(Point2::new(0.9, 0.0)).unwrap();

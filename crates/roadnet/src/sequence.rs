@@ -80,7 +80,11 @@ impl Sequence {
             .expect("point does not lie on this sequence");
         let before: f64 = self.edges[..idx].iter().map(|&e| weights.get(e)).sum();
         let w = weights.get(p.edge);
-        let along = if self.forward[idx] { p.frac * w } else { (1.0 - p.frac) * w };
+        let along = if self.forward[idx] {
+            p.frac * w
+        } else {
+            (1.0 - p.frac) * w
+        };
         let after: f64 = self.edges[idx + 1..].iter().map(|&e| weights.get(e)).sum();
         (before + along, after + (w - along))
     }
@@ -106,10 +110,10 @@ impl SequenceTable {
         let mut edge_seq = vec![SeqId(u32::MAX); net.num_edges()];
 
         let walk = |start: NodeId,
-                        first: EdgeId,
-                        visited: &mut Vec<bool>,
-                        seqs: &mut Vec<Sequence>,
-                        edge_seq: &mut Vec<SeqId>| {
+                    first: EdgeId,
+                    visited: &mut Vec<bool>,
+                    seqs: &mut Vec<Sequence>,
+                    edge_seq: &mut Vec<SeqId>| {
             if visited[first.index()] {
                 return;
             }
@@ -143,7 +147,12 @@ impl SequenceTable {
                 cur_node = next;
                 cur_edge = e2;
             }
-            seqs.push(Sequence { id, nodes, edges, forward });
+            seqs.push(Sequence {
+                id,
+                nodes,
+                edges,
+                forward,
+            });
         };
 
         // Phase 1: walk out of every intersection / terminal node.
@@ -260,8 +269,11 @@ mod tests {
                 assert_eq!(s.edge_offset(e), Some(i));
                 // Orientation consistency.
                 let rec = net.edge(e);
-                let (a, b) =
-                    if s.forward[i] { (rec.start, rec.end) } else { (rec.end, rec.start) };
+                let (a, b) = if s.forward[i] {
+                    (rec.start, rec.end)
+                } else {
+                    (rec.end, rec.start)
+                };
                 assert_eq!(s.nodes[i], a);
                 assert_eq!(s.nodes[i + 1], b);
             }

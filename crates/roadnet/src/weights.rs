@@ -20,13 +20,20 @@ impl EdgeWeights {
     /// Initialises weights from the network's base weights (the paper's
     /// setup: initial weight = Euclidean length, §6).
     pub fn from_base(net: &RoadNetwork) -> Self {
-        Self { w: net.edge_ids().map(|e| net.edge(e).base_weight).collect() }
+        Self {
+            w: net.edge_ids().map(|e| net.edge(e).base_weight).collect(),
+        }
     }
 
     /// Initialises every edge to the same weight (useful in tests).
     pub fn uniform(num_edges: usize, weight: f64) -> Self {
-        assert!(weight > 0.0 && weight.is_finite(), "weights must be positive");
-        Self { w: vec![weight; num_edges] }
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weights must be positive"
+        );
+        Self {
+            w: vec![weight; num_edges],
+        }
     }
 
     /// Current weight of `e`.
@@ -44,7 +51,10 @@ impl EdgeWeights {
     /// Panics if the new weight is non-positive or non-finite.
     #[inline]
     pub fn set(&mut self, e: EdgeId, weight: f64) {
-        assert!(weight > 0.0 && weight.is_finite(), "weights must be positive");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weights must be positive"
+        );
         self.w[e.index()] = weight;
     }
 

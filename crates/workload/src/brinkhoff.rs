@@ -39,7 +39,11 @@ impl RouteFollower {
         rng: &mut StdRng,
     ) -> Self {
         let class = rng.random_range(0..SPEED_CLASSES);
-        let mut f = Self { pos, class, route: Vec::new() };
+        let mut f = Self {
+            pos,
+            class,
+            route: Vec::new(),
+        };
         f.reroute(net, weights, engine, rng);
         f
     }
@@ -55,7 +59,11 @@ impl RouteFollower {
     ) {
         // Start from the nearer endpoint of the current edge.
         let edge = net.edge(self.pos.edge);
-        let start = if self.pos.frac < 0.5 { edge.start } else { edge.end };
+        let start = if self.pos.frac < 0.5 {
+            edge.start
+        } else {
+            edge.end
+        };
         for _ in 0..8 {
             let dest = NodeId::from_index(rng.random_range(0..net.num_nodes()));
             if dest == start {
@@ -104,23 +112,37 @@ impl RouteFollower {
             if !edge.touches(target) {
                 // Snap to the route: find the connecting edge from the
                 // nearest endpoint.
-                let from = if self.pos.frac < 0.5 { edge.start } else { edge.end };
+                let from = if self.pos.frac < 0.5 {
+                    edge.start
+                } else {
+                    edge.end
+                };
                 // Consume the distance to that endpoint first.
                 let len = net.edge_euclidean_len(self.pos.edge);
-                let to_boundary =
-                    if from == edge.end { (1.0 - self.pos.frac) * len } else { self.pos.frac * len };
+                let to_boundary = if from == edge.end {
+                    (1.0 - self.pos.frac) * len
+                } else {
+                    self.pos.frac * len
+                };
                 if remaining < to_boundary {
                     let df = remaining / len;
-                    let frac = if from == edge.end { self.pos.frac + df } else { self.pos.frac - df };
+                    let frac = if from == edge.end {
+                        self.pos.frac + df
+                    } else {
+                        self.pos.frac - df
+                    };
                     self.pos = NetPoint::new(self.pos.edge, frac);
                     return self.pos;
                 }
                 remaining -= to_boundary;
-                match net.adjacent(from).iter().find(|&&(_, other)| other == target) {
+                match net
+                    .adjacent(from)
+                    .iter()
+                    .find(|&&(_, other)| other == target)
+                {
                     Some(&(e, _)) => {
                         let rec = net.edge(e);
-                        self.pos =
-                            NetPoint::new(e, if rec.start == from { 0.0 } else { 1.0 });
+                        self.pos = NetPoint::new(e, if rec.start == from { 0.0 } else { 1.0 });
                     }
                     None => {
                         // The route is unreachable from here (stale after a
@@ -132,11 +154,18 @@ impl RouteFollower {
             }
             let len = net.edge_euclidean_len(self.pos.edge);
             let toward_end = target == edge.end;
-            let to_boundary =
-                if toward_end { (1.0 - self.pos.frac) * len } else { self.pos.frac * len };
+            let to_boundary = if toward_end {
+                (1.0 - self.pos.frac) * len
+            } else {
+                self.pos.frac * len
+            };
             if remaining < to_boundary {
                 let df = remaining / len;
-                let frac = if toward_end { self.pos.frac + df } else { self.pos.frac - df };
+                let frac = if toward_end {
+                    self.pos.frac + df
+                } else {
+                    self.pos.frac - df
+                };
                 self.pos = NetPoint::new(self.pos.edge, frac);
                 return self.pos;
             }
@@ -144,11 +173,14 @@ impl RouteFollower {
             // Reached `target`: advance the route.
             self.route.remove(0);
             if let Some(&next) = self.route.first() {
-                match net.adjacent(target).iter().find(|&&(_, other)| other == next) {
+                match net
+                    .adjacent(target)
+                    .iter()
+                    .find(|&&(_, other)| other == next)
+                {
                     Some(&(e, _)) => {
                         let rec = net.edge(e);
-                        self.pos =
-                            NetPoint::new(e, if rec.start == target { 0.0 } else { 1.0 });
+                        self.pos = NetPoint::new(e, if rec.start == target { 0.0 } else { 1.0 });
                     }
                     None => self.reroute(net, weights, engine, rng),
                 }
@@ -174,7 +206,12 @@ mod tests {
     use rnn_roadnet::EdgeId;
 
     fn setup() -> (RoadNetwork, EdgeWeights, DijkstraEngine) {
-        let net = grid_city(&GridCityConfig { nx: 6, ny: 6, seed: 8, ..Default::default() });
+        let net = grid_city(&GridCityConfig {
+            nx: 6,
+            ny: 6,
+            seed: 8,
+            ..Default::default()
+        });
         let w = EdgeWeights::from_base(&net);
         let e = DijkstraEngine::new(net.num_nodes());
         (net, w, e)

@@ -60,7 +60,12 @@ impl<'a> Placer<'a> {
             acc += net.edge_euclidean_len(e);
             cumulative.push(acc);
         }
-        Self { net, quadtree, cumulative, total_len: acc }
+        Self {
+            net,
+            quadtree,
+            cumulative,
+            total_len: acc,
+        }
     }
 
     /// Samples one position according to `dist`.
@@ -86,7 +91,9 @@ impl<'a> Placer<'a> {
         // Box–Muller transform.
         let (g1, g2) = gaussian_pair(rng);
         let p = Point2::new(c.x + g1 * sd, c.y + g2 * sd);
-        self.quadtree.locate(self.net, p).expect("non-empty network")
+        self.quadtree
+            .locate(self.net, p)
+            .expect("non-empty network")
     }
 }
 
@@ -107,7 +114,12 @@ mod tests {
     use rnn_roadnet::generators::{grid_city, GridCityConfig};
 
     fn setup() -> (RoadNetwork, PmrQuadtree) {
-        let net = grid_city(&GridCityConfig { nx: 10, ny: 10, seed: 2, ..Default::default() });
+        let net = grid_city(&GridCityConfig {
+            nx: 10,
+            ny: 10,
+            seed: 2,
+            ..Default::default()
+        });
         let qt = PmrQuadtree::build(&net);
         (net, qt)
     }
@@ -126,7 +138,10 @@ mod tests {
         }
         // With 2000 samples over ~200-300 edges, the great majority of
         // edges must be hit.
-        assert!(edges.len() > net.num_edges() / 2, "uniform sampling too concentrated");
+        assert!(
+            edges.len() > net.num_edges() / 2,
+            "uniform sampling too concentrated"
+        );
     }
 
     #[test]

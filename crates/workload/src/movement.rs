@@ -27,7 +27,11 @@ impl RandomWalker {
     /// Creates a walker at `pos` with a random initial heading.
     pub fn new(net: &RoadNetwork, pos: NetPoint, rng: &mut StdRng) -> Self {
         let edge = net.edge(pos.edge);
-        let heading = if rng.random::<bool>() { edge.end } else { edge.start };
+        let heading = if rng.random::<bool>() {
+            edge.end
+        } else {
+            edge.start
+        };
         Self { pos, heading }
     }
 
@@ -42,12 +46,18 @@ impl RandomWalker {
             let len = net.edge_euclidean_len(self.pos.edge);
             let edge = net.edge(self.pos.edge);
             let toward_end = self.heading == edge.end;
-            let to_boundary =
-                if toward_end { (1.0 - self.pos.frac) * len } else { self.pos.frac * len };
+            let to_boundary = if toward_end {
+                (1.0 - self.pos.frac) * len
+            } else {
+                self.pos.frac * len
+            };
             if remaining < to_boundary {
                 let df = remaining / len;
-                let frac =
-                    if toward_end { self.pos.frac + df } else { self.pos.frac - df };
+                let frac = if toward_end {
+                    self.pos.frac + df
+                } else {
+                    self.pos.frac - df
+                };
                 self.pos = NetPoint::new(self.pos.edge, frac);
                 break;
             }
@@ -95,7 +105,10 @@ mod tests {
     fn partial_step_stays_on_edge() {
         let net = line_network(3, 2.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut w = RandomWalker { pos: NetPoint::new(EdgeId(0), 0.5), heading: NodeId(1) };
+        let mut w = RandomWalker {
+            pos: NetPoint::new(EdgeId(0), 0.5),
+            heading: NodeId(1),
+        };
         let p = w.step(&net, 0.5, &mut rng);
         assert_eq!(p.edge, EdgeId(0));
         assert!((p.frac - 0.75).abs() < 1e-12);
@@ -105,7 +118,10 @@ mod tests {
     fn crossing_a_node_continues() {
         let net = line_network(3, 2.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut w = RandomWalker { pos: NetPoint::new(EdgeId(0), 0.5), heading: NodeId(1) };
+        let mut w = RandomWalker {
+            pos: NetPoint::new(EdgeId(0), 0.5),
+            heading: NodeId(1),
+        };
         // 1.0 to reach node 1, then 1.0 into edge 1 (the only non-backtrack
         // choice).
         let p = w.step(&net, 2.0, &mut rng);
@@ -118,7 +134,10 @@ mod tests {
     fn dead_end_u_turns() {
         let net = line_network(2, 1.0); // single edge
         let mut rng = StdRng::seed_from_u64(1);
-        let mut w = RandomWalker { pos: NetPoint::new(EdgeId(0), 0.5), heading: NodeId(1) };
+        let mut w = RandomWalker {
+            pos: NetPoint::new(EdgeId(0), 0.5),
+            heading: NodeId(1),
+        };
         let p = w.step(&net, 1.0, &mut rng);
         // 0.5 to node 1, U-turn, 0.5 back: frac 0.5 heading node 0.
         assert_eq!(p.edge, EdgeId(0));
@@ -128,7 +147,12 @@ mod tests {
 
     #[test]
     fn walk_covers_requested_distance_on_average() {
-        let net = grid_city(&GridCityConfig { nx: 8, ny: 8, seed: 4, ..Default::default() });
+        let net = grid_city(&GridCityConfig {
+            nx: 8,
+            ny: 8,
+            seed: 4,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(9);
         let mut w = RandomWalker::new(&net, NetPoint::new(EdgeId(0), 0.5), &mut rng);
         // Many steps; each must leave the walker at a valid position.
@@ -143,7 +167,10 @@ mod tests {
     fn zero_distance_is_identity() {
         let net = line_network(3, 1.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut w = RandomWalker { pos: NetPoint::new(EdgeId(1), 0.25), heading: NodeId(2) };
+        let mut w = RandomWalker {
+            pos: NetPoint::new(EdgeId(1), 0.25),
+            heading: NodeId(2),
+        };
         let p = w.step(&net, 0.0, &mut rng);
         assert_eq!(p, NetPoint::new(EdgeId(1), 0.25));
     }

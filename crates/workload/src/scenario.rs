@@ -102,6 +102,29 @@ impl Mover {
     }
 }
 
+/// Totals accumulated by [`Scenario::drive`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriveReport {
+    /// Number of timestamps driven.
+    pub timestamps: usize,
+    /// Summed monitor processing time across ticks.
+    pub elapsed: std::time::Duration,
+    /// Total queries whose reported result changed.
+    pub results_changed: usize,
+    /// Summed deterministic work counters.
+    pub counters: rnn_core::OpCounters,
+}
+
+impl DriveReport {
+    /// Mean monitor wall-clock seconds per timestamp.
+    pub fn secs_per_tick(&self) -> f64 {
+        if self.timestamps == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_secs_f64() / self.timestamps as f64
+    }
+}
+
 /// A running simulation emitting per-timestamp update batches.
 pub struct Scenario {
     net: Arc<RoadNetwork>,
@@ -123,8 +146,11 @@ impl Scenario {
         let placer = Placer::new(&net, &quadtree);
         let weights = EdgeWeights::from_base(&net);
         let mut engine = DijkstraEngine::new(net.num_nodes());
-        let avg_len =
-            net.edge_ids().map(|e| net.edge_euclidean_len(e)).sum::<f64>() / net.num_edges() as f64;
+        let avg_len = net
+            .edge_ids()
+            .map(|e| net.edge_euclidean_len(e))
+            .sum::<f64>()
+            / net.num_edges() as f64;
 
         let make = |dist: Distribution, rng: &mut StdRng, engine: &mut DijkstraEngine| {
             let pos = placer.sample(dist, rng);
@@ -141,7 +167,16 @@ impl Scenario {
         let queries = (0..cfg.num_queries)
             .map(|_| make(cfg.query_distribution, &mut rng, &mut engine))
             .collect();
-        Self { net, cfg, rng, weights, objects, queries, engine, avg_len }
+        Self {
+            net,
+            cfg,
+            rng,
+            weights,
+            objects,
+            queries,
+            engine,
+            avg_len,
+        }
     }
 
     /// The network.
@@ -161,7 +196,10 @@ impl Scenario {
 
     /// Initial object placements.
     pub fn initial_objects(&self) -> impl Iterator<Item = (ObjectId, NetPoint)> + '_ {
-        self.objects.iter().enumerate().map(|(i, m)| (ObjectId::from_index(i), m.pos()))
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ObjectId::from_index(i), m.pos()))
     }
 
     /// Initial query placements (`(id, k, position)`).
@@ -182,6 +220,27 @@ impl Scenario {
         }
     }
 
+    /// Installs the initial population into `monitor` and then drives it
+    /// for `timestamps` ticks, accumulating the per-tick reports. This is
+    /// the one-call driver used by examples and the engine-scaling bench;
+    /// it works identically for a single monitor and for the sharded
+    /// engine (anything implementing [`ContinuousMonitor`]).
+    pub fn drive(&mut self, monitor: &mut dyn ContinuousMonitor, timestamps: usize) -> DriveReport {
+        self.install_into(monitor);
+        let mut report = DriveReport {
+            timestamps,
+            ..DriveReport::default()
+        };
+        for _ in 0..timestamps {
+            let batch = self.tick();
+            let rep = monitor.tick(&batch);
+            report.elapsed += rep.elapsed;
+            report.results_changed += rep.results_changed;
+            report.counters.merge(&rep.counters);
+        }
+        report
+    }
+
     /// Advances the simulation one timestamp and returns the update batch
     /// ("updates of all three types occur at each timestamp", §6).
     pub fn tick(&mut self) -> UpdateBatch {
@@ -200,7 +259,10 @@ impl Scenario {
             let new = (old * factor).clamp(0.2 * base, 5.0 * base);
             if new != old {
                 self.weights.set(e, new);
-                batch.edges.push(EdgeWeightUpdate { edge: e, new_weight: new });
+                batch.edges.push(EdgeWeightUpdate {
+                    edge: e,
+                    new_weight: new,
+                });
             }
         }
 
@@ -210,11 +272,18 @@ impl Scenario {
         for i in sample_indices(&mut self.rng, self.objects.len(), n_obj) {
             let new_pos = match &mut self.objects[i] {
                 Mover::Walk(w) => w.step(&self.net, dist, &mut self.rng),
-                Mover::Route(r) => {
-                    r.step(&self.net, &self.weights, &mut self.engine, dist, &mut self.rng)
-                }
+                Mover::Route(r) => r.step(
+                    &self.net,
+                    &self.weights,
+                    &mut self.engine,
+                    dist,
+                    &mut self.rng,
+                ),
             };
-            batch.objects.push(ObjectEvent::Move { id: ObjectId::from_index(i), to: new_pos });
+            batch.objects.push(ObjectEvent::Move {
+                id: ObjectId::from_index(i),
+                to: new_pos,
+            });
         }
 
         // --- Query movements.
@@ -223,11 +292,18 @@ impl Scenario {
         for i in sample_indices(&mut self.rng, self.queries.len(), n_qry) {
             let new_pos = match &mut self.queries[i] {
                 Mover::Walk(w) => w.step(&self.net, dist, &mut self.rng),
-                Mover::Route(r) => {
-                    r.step(&self.net, &self.weights, &mut self.engine, dist, &mut self.rng)
-                }
+                Mover::Route(r) => r.step(
+                    &self.net,
+                    &self.weights,
+                    &mut self.engine,
+                    dist,
+                    &mut self.rng,
+                ),
             };
-            batch.queries.push(QueryEvent::Move { id: QueryId::from_index(i), to: new_pos });
+            batch.queries.push(QueryEvent::Move {
+                id: QueryId::from_index(i),
+                to: new_pos,
+            });
         }
 
         batch
@@ -275,7 +351,12 @@ mod tests {
     }
 
     fn small_net() -> Arc<RoadNetwork> {
-        Arc::new(grid_city(&GridCityConfig { nx: 8, ny: 8, seed: 3, ..Default::default() }))
+        Arc::new(grid_city(&GridCityConfig {
+            nx: 8,
+            ny: 8,
+            seed: 3,
+            ..Default::default()
+        }))
     }
 
     #[test]
@@ -354,7 +435,10 @@ mod tests {
     fn brinkhoff_model_runs() {
         let mut sc = Scenario::new(
             small_net(),
-            ScenarioConfig { movement: MovementModel::Brinkhoff, ..small_cfg() },
+            ScenarioConfig {
+                movement: MovementModel::Brinkhoff,
+                ..small_cfg()
+            },
         );
         for _ in 0..3 {
             let batch = sc.tick();
@@ -372,6 +456,18 @@ mod tests {
             assert_eq!(set.len(), v.len(), "duplicates for n={n} c={c}");
             assert!(v.iter().all(|&i| i < n));
         }
+    }
+
+    #[test]
+    fn drive_installs_and_accumulates() {
+        let net = small_net();
+        let mut sc = Scenario::new(net.clone(), small_cfg());
+        let mut ima = rnn_core::Ima::new(net);
+        let rep = sc.drive(&mut ima, 4);
+        assert_eq!(rep.timestamps, 4);
+        assert_eq!(ima.query_ids().len(), 10);
+        assert!(rep.counters.work() > 0, "driving must do monitor work");
+        assert!(rep.secs_per_tick() >= 0.0);
     }
 
     #[test]

@@ -58,8 +58,12 @@ fn main() {
         let mut ids = monitors[0].query_ids();
         ids.sort();
         let identical = ids.iter().all(|&q| {
-            let reference: Vec<f64> =
-                monitors[0].result(q).unwrap().iter().map(|n| n.dist).collect();
+            let reference: Vec<f64> = monitors[0]
+                .result(q)
+                .unwrap()
+                .iter()
+                .map(|n| n.dist)
+                .collect();
             monitors[1..].iter().all(|m| {
                 let other: Vec<f64> = m.result(q).unwrap().iter().map(|n| n.dist).collect();
                 reference.len() == other.len()
@@ -71,7 +75,13 @@ fn main() {
         });
         println!(
             "{:>3} | {:>10} {:>10} {:>10} | {:>9.3} {:>9.3} {:>9.3} | {}",
-            t, work[0], work[1], work[2], ms[0], ms[1], ms[2],
+            t,
+            work[0],
+            work[1],
+            work[2],
+            ms[0],
+            ms[1],
+            ms[2],
             if identical { "yes" } else { "NO!" }
         );
         assert!(identical, "monitors diverged — this would be a bug");

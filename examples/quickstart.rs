@@ -16,7 +16,12 @@ use rnn_monitor::QueryId;
 fn main() {
     // 1. A synthetic city: a jittered 12×12 grid with pruned streets and
     //    degree-2 chains, base weights = segment lengths.
-    let net = Arc::new(grid_city(&GridCityConfig { nx: 12, ny: 12, seed: 7, ..Default::default() }));
+    let net = Arc::new(grid_city(&GridCityConfig {
+        nx: 12,
+        ny: 12,
+        seed: 7,
+        ..Default::default()
+    }));
     println!(
         "network: {} nodes, {} edges, connected = {}",
         net.num_nodes(),
@@ -26,7 +31,13 @@ fn main() {
 
     // 2. A workload: 500 objects (uniform), 10 queries (Gaussian cluster),
     //    k = 5; the Table 2 default agilities.
-    let cfg = ScenarioConfig { num_objects: 500, num_queries: 10, k: 5, seed: 1, ..Default::default() };
+    let cfg = ScenarioConfig {
+        num_objects: 500,
+        num_queries: 10,
+        k: 5,
+        seed: 1,
+        ..Default::default()
+    };
     let mut scenario = Scenario::new(net.clone(), cfg);
 
     // 3. The incremental monitoring server (IMA, §4 of the paper).
@@ -36,7 +47,10 @@ fn main() {
     let q = QueryId(0);
     println!("\ninitial 5-NN set of query {q}:");
     for n in server.result(q).unwrap() {
-        println!("  object {:>4}  at network distance {:>8.2}", n.object, n.dist);
+        println!(
+            "  object {:>4}  at network distance {:>8.2}",
+            n.object, n.dist
+        );
     }
 
     // 4. Advance ten timestamps: objects/queries move, edge weights
@@ -54,8 +68,14 @@ fn main() {
         );
     }
 
-    println!("\nfinal 5-NN set of query {q} (kNN_dist = {:.2}):", server.knn_dist(q).unwrap());
+    println!(
+        "\nfinal 5-NN set of query {q} (kNN_dist = {:.2}):",
+        server.knn_dist(q).unwrap()
+    );
     for n in server.result(q).unwrap() {
-        println!("  object {:>4}  at network distance {:>8.2}", n.object, n.dist);
+        println!(
+            "  object {:>4}  at network distance {:>8.2}",
+            n.object, n.dist
+        );
     }
 }

@@ -13,20 +13,25 @@
 
 use std::sync::Arc;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rnn_monitor::core::crnn::Crnn;
 use rnn_monitor::core::{ContinuousMonitor, Gma, ObjectEvent, QueryEvent, UpdateBatch};
 use rnn_monitor::roadnet::generators::{grid_city, GridCityConfig};
 use rnn_monitor::roadnet::{NetPoint, PmrQuadtree};
 use rnn_monitor::workload::movement::RandomWalker;
 use rnn_monitor::{ObjectId, QueryId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const NUM_TAXIS: u32 = 4;
 const NUM_CLIENTS: u32 = 25;
 
 fn main() {
-    let net = Arc::new(grid_city(&GridCityConfig { nx: 10, ny: 10, seed: 3, ..Default::default() }));
+    let net = Arc::new(grid_city(&GridCityConfig {
+        nx: 10,
+        ny: 10,
+        seed: 3,
+        ..Default::default()
+    }));
     let quadtree = PmrQuadtree::build(&net); // SI: raw GPS fix -> edge
     let mut rng = StdRng::seed_from_u64(99);
 
@@ -61,19 +66,28 @@ fn main() {
         taxi_walkers.push(RandomWalker::new(&net, pos, &mut rng));
     }
 
-    println!("== taxi dispatch on a {}-edge street map ==", net.num_edges());
+    println!(
+        "== taxi dispatch on a {}-edge street map ==",
+        net.num_edges()
+    );
     for step in 1..=5 {
         // Taxis drive fast, clients stroll.
         let mut batch = UpdateBatch::default();
         let avg = net.avg_base_weight();
         for (t, w) in taxi_walkers.iter_mut().enumerate() {
             let to = w.step(&net, 2.0 * avg, &mut rng);
-            batch.queries.push(QueryEvent::Move { id: QueryId(t as u32), to });
+            batch.queries.push(QueryEvent::Move {
+                id: QueryId(t as u32),
+                to,
+            });
         }
         for (c, w) in client_walkers.iter_mut().enumerate() {
             if rng.random::<f64>() < 0.3 {
                 let to = w.step(&net, 0.5 * avg, &mut rng);
-                batch.objects.push(ObjectEvent::Move { id: ObjectId(c as u32), to });
+                batch.objects.push(ObjectEvent::Move {
+                    id: ObjectId(c as u32),
+                    to,
+                });
             }
         }
         dispatch.tick(&batch);
@@ -98,7 +112,9 @@ fn main() {
     }
 
     // Sanity: every client is claimed by exactly one taxi.
-    let total: usize = (0..NUM_TAXIS).map(|t| claims.reverse_nns(QueryId(t)).unwrap().len()).sum();
+    let total: usize = (0..NUM_TAXIS)
+        .map(|t| claims.reverse_nns(QueryId(t)).unwrap().len())
+        .sum();
     assert_eq!(total, NUM_CLIENTS as usize);
     println!("\nall {NUM_CLIENTS} clients are assigned to exactly one taxi ✓");
 }

@@ -38,7 +38,11 @@ fn main() {
     // An ambulance dispatcher monitoring the 2 closest hospitals.
     let q = QueryId(0);
     server.install_query(q, 2, NetPoint::new(EdgeId(0), 0.25));
-    println!("{} hospitals on a {}-edge map", hospitals.len(), net.num_edges());
+    println!(
+        "{} hospitals on a {}-edge map",
+        hospitals.len(),
+        net.num_edges()
+    );
     let show = |server: &Ima, label: &str| {
         let r = server.result(q).unwrap();
         println!(
@@ -60,8 +64,15 @@ fn main() {
             let rec = net.edge(e);
             let mid = 0.5 * (net.node_pos(rec.start).x + net.node_pos(rec.end).x);
             let congested = mid >= lo && mid < hi;
-            let target = if congested { rec.base_weight * 3.0 } else { rec.base_weight };
-            batch.edges.push(EdgeWeightUpdate { edge: e, new_weight: target });
+            let target = if congested {
+                rec.base_weight * 3.0
+            } else {
+                rec.base_weight
+            };
+            batch.edges.push(EdgeWeightUpdate {
+                edge: e,
+                new_weight: target,
+            });
         }
         let report = server.tick(&batch);
         show(
@@ -76,7 +87,10 @@ fn main() {
     // Traffic clears completely.
     let mut batch = UpdateBatch::default();
     for e in net.edge_ids() {
-        batch.edges.push(EdgeWeightUpdate { edge: e, new_weight: net.edge(e).base_weight });
+        batch.edges.push(EdgeWeightUpdate {
+            edge: e,
+            new_weight: net.edge(e).base_weight,
+        });
     }
     server.tick(&batch);
     show(&server, "traffic over");

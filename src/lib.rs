@@ -9,7 +9,9 @@
 //! * [`core`] — the monitoring algorithms (OVH baseline, IMA, GMA, and the
 //!   CRNN extension) behind the [`core::ContinuousMonitor`] trait,
 //! * [`workload`] — placement distributions, movement models, and the
-//!   per-timestamp update-stream simulator of the paper's §6 evaluation.
+//!   per-timestamp update-stream simulator of the paper's §6 evaluation,
+//! * [`engine`] — the sharded multi-threaded monitoring engine that runs
+//!   one monitor per network region with halo replication at the borders.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the experiment harness that regenerates every figure
@@ -18,9 +20,11 @@
 #![warn(missing_docs)]
 
 pub use rnn_core as core;
+pub use rnn_engine as engine;
 pub use rnn_roadnet as roadnet;
 pub use rnn_workload as workload;
 
 pub use rnn_core::{ContinuousMonitor, Gma, Ima, Neighbor, Ovh, UpdateBatch};
+pub use rnn_engine::{EngineConfig, ShardAlgo, ShardedEngine};
 pub use rnn_roadnet::{EdgeId, NetPoint, NodeId, ObjectId, QueryId, RoadNetwork};
 pub use rnn_workload::{Scenario, ScenarioConfig};

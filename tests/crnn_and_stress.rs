@@ -3,14 +3,14 @@
 
 use std::sync::Arc;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rnn_monitor::core::crnn::Crnn;
 use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, ObjectEvent, Ovh, QueryEvent, UpdateBatch};
 use rnn_monitor::roadnet::{
     generators, DijkstraEngine, EdgeId, EdgeWeights, NetPoint, ObjectId, QueryId,
 };
 use rnn_monitor::workload::{Scenario, ScenarioConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Brute-force reverse-NN oracle: assign every object to its closest query
 /// (ties by query id, matching the deterministic `(dist, id)` order).
@@ -73,19 +73,28 @@ fn crnn_matches_brute_force_over_random_run() {
             let i = rng.random_range(0..objects.len());
             let to = NetPoint::new(EdgeId(rng.random_range(0..ne)), rng.random());
             objects[i].1 = to;
-            batch.objects.push(ObjectEvent::Move { id: objects[i].0, to });
+            batch.objects.push(ObjectEvent::Move {
+                id: objects[i].0,
+                to,
+            });
         }
         if tick % 2 == 0 {
             let i = rng.random_range(0..queries.len());
             let to = NetPoint::new(EdgeId(rng.random_range(0..ne)), rng.random());
             queries[i].1 = to;
-            batch.queries.push(QueryEvent::Move { id: queries[i].0, to });
+            batch.queries.push(QueryEvent::Move {
+                id: queries[i].0,
+                to,
+            });
         }
         for _ in 0..4 {
             let e = EdgeId(rng.random_range(0..ne));
             let new_w = weights.get(e) * if rng.random::<bool>() { 1.1 } else { 0.9 };
             weights.set(e, new_w);
-            batch.edges.push(rnn_monitor::core::EdgeWeightUpdate { edge: e, new_weight: new_w });
+            batch.edges.push(rnn_monitor::core::EdgeWeightUpdate {
+                edge: e,
+                new_weight: new_w,
+            });
         }
         crnn.tick(&batch);
 
@@ -116,9 +125,14 @@ fn crnn_matches_brute_force_over_random_run() {
             }
         }
         // The reverse map partitions all objects.
-        let total: usize =
-            (0..5u32).map(|q| crnn.reverse_nns(QueryId(q)).unwrap().len()).sum();
-        assert_eq!(total, objects.len(), "tick {tick}: RNN sets must partition objects");
+        let total: usize = (0..5u32)
+            .map(|q| crnn.reverse_nns(QueryId(q)).unwrap().len())
+            .sum();
+        assert_eq!(
+            total,
+            objects.len(),
+            "tick {tick}: RNN sets must partition objects"
+        );
     }
 }
 

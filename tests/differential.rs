@@ -116,14 +116,25 @@ fn second_seed_mixed_workload() {
 
 #[test]
 fn k_equals_one() {
-    run_differential(grid(8, 8, 3), ScenarioConfig { k: 1, ..base_cfg(33) }, 15);
+    run_differential(
+        grid(8, 8, 3),
+        ScenarioConfig {
+            k: 1,
+            ..base_cfg(33)
+        },
+        15,
+    );
 }
 
 #[test]
 fn large_k_forces_wide_trees() {
     run_differential(
         grid(6, 6, 4),
-        ScenarioConfig { k: 25, num_objects: 60, ..base_cfg(44) },
+        ScenarioConfig {
+            k: 25,
+            num_objects: 60,
+            ..base_cfg(44)
+        },
         12,
     );
 }
@@ -134,7 +145,12 @@ fn k_exceeds_object_count_underflow() {
     // the whole network. Everything must still agree.
     run_differential(
         grid(5, 5, 5),
-        ScenarioConfig { k: 10, num_objects: 6, num_queries: 5, ..base_cfg(55) },
+        ScenarioConfig {
+            k: 10,
+            num_objects: 6,
+            num_queries: 5,
+            ..base_cfg(55)
+        },
         10,
     );
 }
@@ -216,7 +232,10 @@ fn gaussian_objects_and_queries() {
 fn brinkhoff_movement_model() {
     run_differential(
         grid(7, 7, 11),
-        ScenarioConfig { movement: MovementModel::Brinkhoff, ..base_cfg(121) },
+        ScenarioConfig {
+            movement: MovementModel::Brinkhoff,
+            ..base_cfg(121)
+        },
         12,
     );
 }
@@ -227,7 +246,12 @@ fn oldenburg_like_small_slice() {
     let net = Arc::new(generators::san_francisco_like(900, 12));
     run_differential(
         net,
-        ScenarioConfig { num_objects: 150, num_queries: 20, k: 5, ..base_cfg(131) },
+        ScenarioConfig {
+            num_objects: 150,
+            num_queries: 20,
+            k: 5,
+            ..base_cfg(131)
+        },
         8,
     );
 }
@@ -256,7 +280,9 @@ fn query_churn_mid_run() {
             });
         }
         if t % 3 == 2 && t > 3 {
-            batch.queries.push(QueryEvent::Remove { id: QueryId(1000 + (t - 2) as u32) });
+            batch.queries.push(QueryEvent::Remove {
+                id: QueryId(1000 + (t - 2) as u32),
+            });
         }
         ovh.tick(&batch);
         ima.tick(&batch);
@@ -276,7 +302,9 @@ fn empty_ticks_change_nothing() {
     let snapshot: Vec<_> = {
         let mut ids = ima.query_ids();
         ids.sort();
-        ids.iter().map(|&q| ima.result(q).unwrap().to_vec()).collect()
+        ids.iter()
+            .map(|&q| ima.result(q).unwrap().to_vec())
+            .collect()
     };
     for _ in 0..3 {
         let ima_rep = ima.tick(&UpdateBatch::default());

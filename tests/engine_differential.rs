@@ -1,0 +1,350 @@
+//! Differential correctness of the sharded engine: at every timestamp of a
+//! seeded scenario, `ShardedEngine` with S ∈ {1, 2, 4} shards must report
+//! exactly the same k-NN sets as a single-threaded monitor fed the same
+//! update stream.
+//!
+//! As in `differential.rs`, object ids may legitimately differ on exact
+//! distance ties, so results compare as sorted distance multisets plus
+//! `kNN_dist`, with relative tolerance 1e-9 for summation-order noise.
+
+use std::sync::Arc;
+
+use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, QueryEvent, UpdateBatch};
+use rnn_monitor::engine::{EngineConfig, ShardAlgo, ShardedEngine};
+use rnn_monitor::roadnet::{generators, NetPoint, QueryId, RoadNetwork};
+use rnn_monitor::workload::{MovementModel, Scenario, ScenarioConfig};
+
+const REL_TOL: f64 = 1e-9;
+
+fn assert_dist_eq(a: f64, b: f64, ctx: &str) {
+    if a.is_infinite() && b.is_infinite() {
+        return;
+    }
+    assert!(
+        (a - b).abs() <= REL_TOL * a.abs().max(b.abs()).max(1.0),
+        "{ctx}: {a} vs {b}"
+    );
+}
+
+fn compare_monitors(
+    reference: &dyn ContinuousMonitor,
+    others: &[&dyn ContinuousMonitor],
+    tick: usize,
+) {
+    let mut ids = reference.query_ids();
+    ids.sort();
+    for &other in others {
+        let mut other_ids = other.query_ids();
+        other_ids.sort();
+        assert_eq!(ids, other_ids, "query sets diverge at tick {tick}");
+    }
+    for &qid in &ids {
+        let ref_result = reference.result(qid).unwrap();
+        let mut ref_dists: Vec<f64> = ref_result.iter().map(|n| n.dist).collect();
+        ref_dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &other in others {
+            let ctx = format!(
+                "tick {tick}, query {qid}, {} vs {}",
+                reference.name(),
+                other.name()
+            );
+            let other_result = other.result(qid).unwrap();
+            assert_eq!(ref_result.len(), other_result.len(), "{ctx}: result sizes");
+            let mut other_dists: Vec<f64> = other_result.iter().map(|n| n.dist).collect();
+            other_dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (da, db) in ref_dists.iter().zip(&other_dists) {
+                assert_dist_eq(*da, *db, &ctx);
+            }
+            assert_dist_eq(
+                reference.knn_dist(qid).unwrap(),
+                other.knn_dist(qid).unwrap(),
+                &format!("{ctx} (kNN_dist)"),
+            );
+        }
+    }
+}
+
+/// Runs one scenario against a single-threaded reference and sharded
+/// engines with 1, 2, and 4 shards, comparing after installation and after
+/// every tick.
+fn run_engine_differential(
+    net: Arc<RoadNetwork>,
+    cfg: ScenarioConfig,
+    ticks: usize,
+    algo: ShardAlgo,
+) {
+    let mut scenario = Scenario::new(net.clone(), cfg);
+    let mut reference: Box<dyn ContinuousMonitor> = match algo {
+        ShardAlgo::Gma => Box::new(Gma::new(net.clone())),
+        ShardAlgo::Ima => Box::new(Ima::new(net.clone())),
+        ShardAlgo::Ovh => Box::new(rnn_monitor::Ovh::new(net.clone())),
+    };
+    let mut engines: Vec<ShardedEngine> = [1usize, 2, 4]
+        .into_iter()
+        .map(|s| {
+            ShardedEngine::new(
+                net.clone(),
+                EngineConfig {
+                    num_shards: s,
+                    algo,
+                    halo_slack: 0.25,
+                },
+            )
+        })
+        .collect();
+
+    scenario.install_into(reference.as_mut());
+    for e in &mut engines {
+        scenario.install_into(e);
+    }
+    {
+        let views: Vec<&dyn ContinuousMonitor> = engines
+            .iter()
+            .map(|e| e as &dyn ContinuousMonitor)
+            .collect();
+        compare_monitors(reference.as_ref(), &views, 0);
+    }
+
+    for t in 1..=ticks {
+        let batch = scenario.tick();
+        reference.tick(&batch);
+        for e in &mut engines {
+            e.tick(&batch);
+        }
+        let views: Vec<&dyn ContinuousMonitor> = engines
+            .iter()
+            .map(|e| e as &dyn ContinuousMonitor)
+            .collect();
+        compare_monitors(reference.as_ref(), &views, t);
+    }
+}
+
+fn grid(nx: usize, ny: usize, seed: u64) -> Arc<RoadNetwork> {
+    Arc::new(generators::grid_city(&generators::GridCityConfig {
+        nx,
+        ny,
+        seed,
+        ..Default::default()
+    }))
+}
+
+fn base_cfg(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        num_objects: 80,
+        num_queries: 12,
+        k: 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn engine_matches_gma_default_workload() {
+    run_engine_differential(grid(8, 8, 1), base_cfg(11), 15, ShardAlgo::Gma);
+}
+
+#[test]
+fn engine_matches_ima_default_workload() {
+    run_engine_differential(grid(7, 9, 2), base_cfg(22), 15, ShardAlgo::Ima);
+}
+
+#[test]
+fn engine_matches_gma_second_seed() {
+    run_engine_differential(grid(9, 7, 3), base_cfg(33), 15, ShardAlgo::Gma);
+}
+
+#[test]
+fn engine_k_equals_one() {
+    run_engine_differential(
+        grid(8, 8, 4),
+        ScenarioConfig {
+            k: 1,
+            ..base_cfg(44)
+        },
+        12,
+        ShardAlgo::Gma,
+    );
+}
+
+#[test]
+fn engine_large_k_forces_wide_halos() {
+    run_engine_differential(
+        grid(6, 6, 5),
+        ScenarioConfig {
+            k: 25,
+            num_objects: 60,
+            ..base_cfg(55)
+        },
+        10,
+        ShardAlgo::Gma,
+    );
+}
+
+#[test]
+fn engine_underfull_results() {
+    // Fewer objects than k: kNN_dist = ∞ drives halos to full replication;
+    // everything must still agree.
+    run_engine_differential(
+        grid(5, 5, 6),
+        ScenarioConfig {
+            k: 10,
+            num_objects: 6,
+            num_queries: 5,
+            ..base_cfg(66)
+        },
+        8,
+        ShardAlgo::Gma,
+    );
+}
+
+#[test]
+fn engine_edge_heavy_workload() {
+    // Weight churn stresses halo-membership refresh.
+    run_engine_differential(
+        grid(8, 8, 7),
+        ScenarioConfig {
+            edge_agility: 0.30,
+            object_agility: 0.0,
+            query_agility: 0.0,
+            ..base_cfg(77)
+        },
+        12,
+        ShardAlgo::Gma,
+    );
+}
+
+#[test]
+fn engine_query_heavy_workload() {
+    // Fast queries migrate across shard borders constantly.
+    run_engine_differential(
+        grid(8, 8, 8),
+        ScenarioConfig {
+            edge_agility: 0.0,
+            object_agility: 0.0,
+            query_agility: 0.8,
+            query_speed: 2.0,
+            ..base_cfg(88)
+        },
+        12,
+        ShardAlgo::Gma,
+    );
+}
+
+#[test]
+fn engine_object_heavy_fast_workload() {
+    // Fast objects churn the replica sets.
+    run_engine_differential(
+        grid(8, 8, 9),
+        ScenarioConfig {
+            edge_agility: 0.0,
+            object_agility: 0.9,
+            object_speed: 4.0,
+            query_agility: 0.0,
+            ..base_cfg(99)
+        },
+        12,
+        ShardAlgo::Gma,
+    );
+}
+
+#[test]
+fn engine_everything_agile_with_ima() {
+    run_engine_differential(
+        grid(7, 7, 10),
+        ScenarioConfig {
+            edge_agility: 0.25,
+            object_agility: 0.5,
+            query_agility: 0.5,
+            object_speed: 2.0,
+            query_speed: 2.0,
+            ..base_cfg(110)
+        },
+        12,
+        ShardAlgo::Ima,
+    );
+}
+
+#[test]
+fn engine_brinkhoff_movement() {
+    run_engine_differential(
+        grid(7, 7, 11),
+        ScenarioConfig {
+            movement: MovementModel::Brinkhoff,
+            ..base_cfg(121)
+        },
+        10,
+        ShardAlgo::Gma,
+    );
+}
+
+#[test]
+fn engine_san_francisco_like_slice() {
+    // Long degree-2 chains produce few intersections and jagged borders.
+    let net = Arc::new(generators::san_francisco_like(600, 12));
+    run_engine_differential(
+        net,
+        ScenarioConfig {
+            num_objects: 120,
+            num_queries: 15,
+            k: 5,
+            ..base_cfg(131)
+        },
+        6,
+        ShardAlgo::Gma,
+    );
+}
+
+#[test]
+fn engine_query_churn_mid_run() {
+    // Queries installed and removed through tick batches while running.
+    let net = grid(8, 8, 13);
+    let mut scenario = Scenario::new(net.clone(), base_cfg(141));
+    let mut gma = Gma::new(net.clone());
+    let mut eng = ShardedEngine::new(net.clone(), EngineConfig::with_shards(4));
+    scenario.install_into(&mut gma);
+    scenario.install_into(&mut eng);
+
+    for t in 1..=12usize {
+        let mut batch = scenario.tick();
+        if t % 3 == 0 {
+            let e = rnn_monitor::roadnet::EdgeId((t % net.num_edges()) as u32);
+            batch.queries.push(QueryEvent::Install {
+                id: QueryId(1000 + t as u32),
+                k: 3,
+                at: NetPoint::new(e, 0.4),
+            });
+        }
+        if t % 3 == 2 && t > 3 {
+            batch.queries.push(QueryEvent::Remove {
+                id: QueryId(1000 + (t - 2) as u32),
+            });
+        }
+        gma.tick(&batch);
+        eng.tick(&batch);
+        compare_monitors(&gma, &[&eng], t);
+    }
+}
+
+#[test]
+fn engine_empty_ticks_change_nothing() {
+    let net = grid(6, 6, 14);
+    let scenario = Scenario::new(net.clone(), base_cfg(151));
+    let mut eng = ShardedEngine::new(net, EngineConfig::with_shards(4));
+    scenario.install_into(&mut eng);
+    let snapshot: Vec<_> = {
+        let mut ids = eng.query_ids();
+        ids.sort();
+        ids.iter()
+            .map(|&q| eng.result(q).unwrap().to_vec())
+            .collect()
+    };
+    for _ in 0..3 {
+        let rep = eng.tick(&UpdateBatch::default());
+        assert_eq!(rep.results_changed, 0);
+    }
+    let mut ids = eng.query_ids();
+    ids.sort();
+    for (i, &q) in ids.iter().enumerate() {
+        assert_eq!(eng.result(q).unwrap(), snapshot[i].as_slice());
+    }
+}

@@ -143,13 +143,22 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), any::<u16>(), 0.0f64..1.0)
-            .prop_map(|(idx, edge, frac)| Op::MoveObject { idx, edge, frac }),
+        (any::<u8>(), any::<u16>(), 0.0f64..1.0).prop_map(|(idx, edge, frac)| Op::MoveObject {
+            idx,
+            edge,
+            frac
+        }),
         any::<u8>().prop_map(|idx| Op::DeleteObject { idx }),
-        (any::<u8>(), any::<u16>(), 0.0f64..1.0)
-            .prop_map(|(idx, edge, frac)| Op::InsertObject { idx, edge, frac }),
-        (any::<u8>(), any::<u16>(), 0.0f64..1.0)
-            .prop_map(|(idx, edge, frac)| Op::MoveQuery { idx, edge, frac }),
+        (any::<u8>(), any::<u16>(), 0.0f64..1.0).prop_map(|(idx, edge, frac)| Op::InsertObject {
+            idx,
+            edge,
+            frac
+        }),
+        (any::<u8>(), any::<u16>(), 0.0f64..1.0).prop_map(|(idx, edge, frac)| Op::MoveQuery {
+            idx,
+            edge,
+            frac
+        }),
         (any::<u16>(), 0.5f64..2.0).prop_map(|(edge, factor)| Op::ScaleEdge { edge, factor }),
     ]
 }

@@ -1,0 +1,261 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macros and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`
+//! and `iter_batched`) backed by a deliberately small timing loop: each
+//! benchmark is warmed up once and then timed over `sample_size` batches,
+//! reporting mean wall-clock time per iteration to stdout. No statistics,
+//! plots, or HTML — the point is that `cargo bench` runs end-to-end and
+//! prints honest numbers offline. Swapping the real crate back in is a
+//! one-line Cargo change per crate.
+
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub times routine calls
+/// individually, so the hint is accepted and ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    samples: u64,
+    elapsed: &'a mut Duration,
+    iters: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            hint::black_box(routine());
+        }
+        *self.elapsed += start.elapsed();
+        *self.iters += self.samples;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            hint::black_box(routine(input));
+            *self.elapsed += start.elapsed();
+            *self.iters += 1;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does a single warm-up call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub times a fixed iteration
+    /// count instead of a wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benches `f` under `id`.
+    pub fn bench_function<I: Display, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut f);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Benches `f` with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(label: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut elapsed = Duration::ZERO;
+    let mut iters = 0u64;
+    // One untimed warm-up pass so first-touch allocations stay out of the
+    // numbers, then the timed pass.
+    {
+        let mut warm = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        f(&mut Bencher {
+            samples: 1,
+            elapsed: &mut warm,
+            iters: &mut warm_iters,
+        });
+    }
+    f(&mut Bencher {
+        samples,
+        elapsed: &mut elapsed,
+        iters: &mut iters,
+    });
+    let per_iter = if iters == 0 {
+        Duration::ZERO
+    } else {
+        elapsed / iters as u32
+    };
+    println!("bench: {label:<56} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Benches `f` outside any group.
+    pub fn bench_function<I: Display, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&id.to_string(), 10, &mut f);
+        self
+    }
+}
+
+/// Declares a benchmark entry point running each listed function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group
+            .sample_size(5)
+            .bench_function("count", |b| b.iter(|| calls += 1));
+        // 1 warm-up + 5 timed.
+        assert_eq!(calls, 6);
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut setups = 0u64;
+        group
+            .sample_size(3)
+            .bench_with_input(BenchmarkId::new("f", 1), &2u64, |b, &two| {
+                b.iter_batched(
+                    || {
+                        setups += 1;
+                        two
+                    },
+                    |x| x * 2,
+                    BatchSize::SmallInput,
+                )
+            });
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

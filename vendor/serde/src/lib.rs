@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! keeps `#[derive(Serialize, Deserialize)]` annotations compiling: the
+//! traits are empty markers and the derives emit empty impls. No actual
+//! serialization happens anywhere in the workspace today (JSON artifacts
+//! are written by hand); when a real serializer is needed, swapping the
+//! upstream crates back in is a one-line Cargo change per crate and the
+//! annotations are already in place.
+
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

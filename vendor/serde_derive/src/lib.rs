@@ -1,0 +1,66 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The traits in the stub `serde` crate are empty markers, so deriving
+//! them only requires naming the type: the macros scan the item's tokens
+//! for the `struct`/`enum` keyword and emit an empty impl. Generic types
+//! are rejected with a clear error — no annotated type in this workspace
+//! is generic, and supporting them would mean reimplementing real parsing
+//! for no behavioral gain.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the type an item token stream defines, or a compile error if it
+/// is generic (the stub impl could not name its parameters faithfully
+/// without real generics parsing).
+fn type_name(input: TokenStream, trait_name: &str) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            return Err(format!(
+                "derive({trait_name}) stub: missing type name after `{kw}`"
+            ));
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!(
+                "derive({trait_name}) stub cannot handle generic type `{name}`; \
+                 write the impl by hand or extend vendor/serde_derive"
+            ));
+        }
+        return Ok(name.to_string());
+    }
+    Err(format!(
+        "derive({trait_name}) stub: no struct/enum/union found"
+    ))
+}
+
+fn emit(input: TokenStream, trait_name: &str, make: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(input, trait_name) {
+        Ok(name) => make(&name),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    }
+    .parse()
+    .expect("stub derive produced invalid tokens")
+}
+
+/// Emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "Serialize", |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "Deserialize", |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}
