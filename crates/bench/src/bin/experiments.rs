@@ -135,15 +135,33 @@ fn main() -> ExitCode {
             opts.parallel,
         );
         println!("{}", format_series(fig.title, &series, fig.memory));
-        // The engine figure doubles as the cross-PR perf tracker: emit a
-        // machine-readable artifact next to the human-readable table.
-        if fig.name == "engine" {
-            let path = "BENCH_engine.json";
-            match std::fs::write(path, series_to_json(fig.name, &series)) {
+        // The engine figures double as the cross-PR perf tracker: emit a
+        // machine-readable artifact next to the human-readable table, and
+        // enforce the engine's O(changed-edges) replica-maintenance bound —
+        // no single tick may resync more objects than exist. CI runs the
+        // `engine` figure and fails on a violation.
+        if fig.name.starts_with("engine") {
+            let path = format!("BENCH_{}.json", fig.name);
+            match std::fs::write(&path, series_to_json(fig.name, &series)) {
                 Ok(()) => println!("# wrote {path}"),
                 Err(e) => {
                     eprintln!("failed to write {path}: {e}");
                     return ExitCode::FAILURE;
+                }
+            }
+            for (point, (label, params)) in series.iter().zip(&points) {
+                for r in point.results.iter().filter(|r| r.algo.is_sharded()) {
+                    if r.max_tick_resync > params.n_objects as u64 {
+                        eprintln!(
+                            "REPLICA MAINTENANCE REGRESSION: {} at {label} resynced \
+                             {} objects in one tick (only {} exist) — halo resync \
+                             is no longer incremental",
+                            r.algo.name(),
+                            r.max_tick_resync,
+                            params.n_objects
+                        );
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }

@@ -279,6 +279,25 @@ fn engine_scaling(scale: f64, seed: u64) -> Vec<(String, Params)> {
     ]
 }
 
+/// Replica maintenance (not in the paper): the sharded engine's resync /
+/// eviction counters under increasing query churn. Query agility drives
+/// halo growth and shrink, which is exactly the replica-lifecycle work the
+/// incremental maintenance subsystem bounds.
+fn engine_repl(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [0.05, 0.20, 0.50]
+        .into_iter()
+        .map(|f| {
+            (
+                format!("f_qry={}%", (f * 100.0) as u32),
+                Params {
+                    query_agility: f,
+                    ..base(scale, seed)
+                },
+            )
+        })
+        .collect()
+}
+
 /// Ablation (not in the paper): IMA with vs without influence lists.
 fn ablation_influence(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.05, 0.10, 0.20]
@@ -410,6 +429,13 @@ pub fn all_figures() -> Vec<Figure> {
             memory: false,
             points: engine_scaling,
         },
+        Figure {
+            name: "engine_repl",
+            title: "Replica maintenance: resync/evictions vs query agility (2/4/8 shards)",
+            algos: Algo::engine_repl_set(),
+            memory: false,
+            points: engine_repl,
+        },
     ]
 }
 
@@ -462,6 +488,16 @@ mod tests {
         assert_eq!(names, vec!["GMA", "ENG-1", "ENG-2", "ENG-4", "ENG-8"]);
         assert!(!f.memory);
         assert_eq!((f.points)(0.01, 1).len(), 2);
+    }
+
+    #[test]
+    fn engine_repl_figure_sweeps_query_agility_over_sharded_engines() {
+        let f = figure_by_name("engine_repl").unwrap();
+        let names: Vec<&str> = f.algos.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["ENG-2", "ENG-4", "ENG-8"]);
+        let pts = (f.points)(0.01, 1);
+        let agilities: Vec<f64> = pts.iter().map(|(_, p)| p.query_agility).collect();
+        assert_eq!(agilities, vec![0.05, 0.20, 0.50]);
     }
 
     #[test]

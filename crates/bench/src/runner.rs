@@ -66,6 +66,18 @@ impl Algo {
             Algo::Sharded(8),
         ]
     }
+
+    /// The replica-maintenance set: multi-shard engines only (a single
+    /// shard has no halos, a single monitor no replicas).
+    pub fn engine_repl_set() -> &'static [Algo] {
+        &[Algo::Sharded(2), Algo::Sharded(4), Algo::Sharded(8)]
+    }
+
+    /// Whether this algorithm is the sharded engine (and thus reports
+    /// replica/resync counters).
+    pub fn is_sharded(self) -> bool {
+        matches!(self, Algo::Sharded(_))
+    }
 }
 
 /// Measurements for one `(parameter value, algorithm)` cell.
@@ -86,6 +98,15 @@ pub struct RunResult {
     pub active_nodes: Option<usize>,
     /// Mean updates ignored per timestamp.
     pub ignored_per_ts: f64,
+    /// Mean objects touched by replica resync per timestamp (sharded
+    /// engine only; 0 for single monitors).
+    pub resync_per_ts: f64,
+    /// Mean replicas evicted per timestamp (sharded engine only).
+    pub evictions_per_ts: f64,
+    /// Largest replica-resync cost observed on any single tick (warmup
+    /// included). The experiments binary asserts this never exceeds the
+    /// object cardinality — the engine's O(changed-edges) guarantee.
+    pub max_tick_resync: u64,
 }
 
 /// A labelled point of a figure series.
@@ -142,12 +163,16 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
         for (j, r) in p.results.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"algo\": \"{}\", \"cpu_per_ts\": {:.9}, \"work_per_ts\": {:.1}, \
-                 \"memory_kb\": {:.1}, \"ignored_per_ts\": {:.1}}}{}\n",
+                 \"memory_kb\": {:.1}, \"ignored_per_ts\": {:.1}, \"resync_per_ts\": {:.1}, \
+                 \"evictions_per_ts\": {:.1}, \"max_tick_resync\": {}}}{}\n",
                 esc(r.algo.name()),
                 r.cpu_per_ts,
                 r.work_per_ts,
                 r.memory_kb,
                 r.ignored_per_ts,
+                r.resync_per_ts,
+                r.evictions_per_ts,
+                r.max_tick_resync,
                 if j + 1 < p.results.len() { "," } else { "" },
             ));
         }
@@ -185,11 +210,13 @@ pub fn run_point(
 
     let mut elapsed = vec![Duration::ZERO; monitors.len()];
     let mut counters = vec![OpCounters::default(); monitors.len()];
+    let mut max_tick_resync = vec![0u64; monitors.len()];
     let measured = timestamps.saturating_sub(warmup).max(1);
     for t in 0..timestamps {
         let batch = scenario.tick();
         for (i, (_, m)) in monitors.iter_mut().enumerate() {
             let rep = m.tick(&batch);
+            max_tick_resync[i] = max_tick_resync[i].max(rep.counters.resync_touched);
             if t >= warmup {
                 elapsed[i] += rep.elapsed;
                 counters[i].merge(&rep.counters);
@@ -210,6 +237,9 @@ pub fn run_point(
                 memory_kb: algo_memory(&mem),
                 active_nodes: active,
                 ignored_per_ts: counters[i].updates_ignored as f64 / measured as f64,
+                resync_per_ts: counters[i].resync_touched as f64 / measured as f64,
+                evictions_per_ts: counters[i].replica_evictions as f64 / measured as f64,
+                max_tick_resync: max_tick_resync[i],
             }
         })
         .collect()
@@ -379,6 +409,26 @@ mod tests {
         assert_eq!(eng.algo.name(), "ENG-2");
         assert!(eng.work_per_ts > 0.0, "engine did no work");
         assert!(eng.memory_kb > 0.0);
+    }
+
+    #[test]
+    fn replica_counters_only_from_sharded_engine() {
+        let p = Params {
+            query_agility: 0.3,
+            ..tiny()
+        };
+        let rs = run_point(&p, &[Algo::Gma, Algo::Sharded(2)], 5, 1);
+        let gma = &rs[0];
+        assert_eq!(gma.resync_per_ts, 0.0, "single monitors never resync");
+        assert_eq!(gma.evictions_per_ts, 0.0);
+        assert_eq!(gma.max_tick_resync, 0);
+        let eng = &rs[1];
+        assert!(
+            eng.max_tick_resync <= p.n_objects as u64,
+            "a tick resynced {} of {} objects",
+            eng.max_tick_resync,
+            p.n_objects
+        );
     }
 
     #[test]

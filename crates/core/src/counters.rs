@@ -26,6 +26,14 @@ pub struct OpCounters {
     pub reevaluations: u64,
     /// Expansion-tree nodes pruned while invalidating tree parts.
     pub tree_nodes_pruned: u64,
+    /// Distinct objects examined while re-deriving replica membership
+    /// after halo changes this tick (sharded engine only; single monitors
+    /// keep this at 0). With the edge→objects index this scales with
+    /// *changed* halo edges, so it never reaches the total object count.
+    pub resync_touched: u64,
+    /// Replicas evicted because a halo shrank or an edge left a halo
+    /// (sharded engine only).
+    pub replica_evictions: u64,
 }
 
 impl OpCounters {
@@ -38,6 +46,8 @@ impl OpCounters {
         self.updates_ignored += other.updates_ignored;
         self.reevaluations += other.reevaluations;
         self.tree_nodes_pruned += other.tree_nodes_pruned;
+        self.resync_touched += other.resync_touched;
+        self.replica_evictions += other.replica_evictions;
     }
 
     /// A single scalar proxy for CPU work (used by tests that assert one
@@ -116,6 +126,8 @@ mod tests {
             nodes_settled: 10,
             objects_considered: 5,
             updates_ignored: 3,
+            resync_touched: 7,
+            replica_evictions: 2,
             ..Default::default()
         };
         a.merge(&b);
@@ -123,6 +135,8 @@ mod tests {
         assert_eq!(a.edges_scanned, 2);
         assert_eq!(a.objects_considered, 5);
         assert_eq!(a.updates_ignored, 3);
+        assert_eq!(a.resync_touched, 7);
+        assert_eq!(a.replica_evictions, 2);
         assert_eq!(a.work(), 11 + 2 + 5);
     }
 

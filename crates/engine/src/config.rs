@@ -40,6 +40,8 @@ impl ShardAlgo {
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Number of shards (= worker threads), 1 ..= 64.
+    /// [`crate::ShardedEngine::new`] panics on anything outside that range
+    /// (shard visibility is tracked in a 64-bit mask per edge).
     pub num_shards: usize,
     /// The monitor each shard runs.
     pub algo: ShardAlgo,
@@ -47,6 +49,16 @@ pub struct EngineConfig {
     /// `needed × (1 + halo_slack)`. More slack means fewer halo rebuilds
     /// when `kNN_dist` drifts upward, at the cost of more replicas.
     pub halo_slack: f64,
+    /// Shrink hysteresis threshold (≥ 1). A shard's halo is considered
+    /// oversized when its radius exceeds `needed × (1 + halo_slack) ×
+    /// halo_shrink_trigger`; values `< 1` are treated as 1 (shrink on any
+    /// decrease). Larger values tolerate more stale replication before
+    /// paying a halo rebuild.
+    pub halo_shrink_trigger: f64,
+    /// Number of *consecutive* ticks a halo must stay oversized before it
+    /// is shrunk and its stale replicas evicted. Guards against
+    /// grow/shrink flapping when `kNN_dist` oscillates tick to tick.
+    pub halo_shrink_ticks: u32,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +67,8 @@ impl Default for EngineConfig {
             num_shards: 4,
             algo: ShardAlgo::Gma,
             halo_slack: 0.25,
+            halo_shrink_trigger: 1.5,
+            halo_shrink_ticks: 2,
         }
     }
 }

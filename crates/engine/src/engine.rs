@@ -31,6 +31,36 @@
 //! converges immediately and the extra rounds are rare. Halo membership is
 //! also refreshed whenever edge weights change, since it is defined in
 //! terms of weighted distances.
+//!
+//! Underfull queries (`kNN_dist = ∞`, fewer than `k` objects visible) need
+//! the whole reachable network; their demand is capped at a finite
+//! **diameter bound** (the sum of current edge weights, which no simple
+//! shortest path can exceed — [`rnn_roadnet::EdgeWeights::total`]), so halo
+//! radii stay finite and comparable.
+//!
+//! ## Replica lifecycle: grow, shrink, evict
+//!
+//! Halos *grow* eagerly (any tick where a query's `kNN_dist` exceeds its
+//! shard's radius, correctness demands it) and *shrink* lazily: each tick
+//! the engine re-derives every shard's needed radius, and when the current
+//! radius has stayed above `needed × (1 + halo_slack) ×
+//! halo_shrink_trigger` for [`EngineConfig::halo_shrink_ticks`] consecutive
+//! ticks, it decays to `needed × (1 + halo_slack)` and the replicas beyond
+//! it are **evicted**. Shrinking never changes answers: evicted objects lie
+//! farther from the boundary than every owned query's `kNN_dist`, so they
+//! cannot appear in any result. The hysteresis (trigger ratio + tick count)
+//! prevents grow/shrink flapping when `kNN_dist` oscillates.
+//!
+//! ## Incremental replica maintenance
+//!
+//! Replica membership is a pure function of each object's edge: bit `s` of
+//! [`ShardedEngine::edge_mask`] says whether shard `s` must see objects on
+//! that edge. When a halo is rebuilt, only the edges whose membership
+//! actually *toggled* can invalidate an object's replica set, so the engine
+//! re-derives masks only for the objects resident on those edges — found
+//! through an [`EdgeObjectIndex`] maintained on every routed object event —
+//! instead of rescanning all `N` objects. The work is O(objects on changed
+//! edges), observable through the `resync_touched` counter.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -39,18 +69,26 @@ use rnn_core::{
     ContinuousMonitor, MemoryUsage, Neighbor, ObjectEvent, QueryEvent, TickReport, UpdateBatch,
 };
 use rnn_roadnet::{
-    DijkstraEngine, EdgeWeights, FxHashMap, FxHashSet, NetPoint, NetworkPartition, ObjectId,
-    QueryId, RoadNetwork,
+    DijkstraEngine, EdgeId, EdgeObjectIndex, EdgeWeights, FxHashMap, FxHashSet, NetPoint,
+    NetworkPartition, ObjectId, QueryId, RoadNetwork,
 };
 
 use crate::config::EngineConfig;
-use crate::worker::{Request, Response, ShardWorker};
+use crate::worker::{DeltaBatch, Request, Response, ShardWorker};
 
 struct ObjRec {
     pos: NetPoint,
     /// Bit `s` set = shard `s` currently holds this object (owner or
     /// replica).
     mask: u64,
+}
+
+/// Events routed to one shard but not yet shipped. Converted into a
+/// [`DeltaBatch`] (which adds the shared edge arena) at dispatch time.
+#[derive(Default)]
+struct PendingEvents {
+    objects: Vec<ObjectEvent>,
+    queries: Vec<QueryEvent>,
 }
 
 struct QueryRec {
@@ -73,19 +111,38 @@ pub struct ShardedEngine {
     /// The engine's authoritative copy of the fluctuating weights (needed
     /// for halo distance computations).
     weights: EdgeWeights,
+    /// Finite stand-in for "replicate everything": an upper bound on any
+    /// shortest-path distance under the current weights. Cached lazily —
+    /// the O(E) refresh only runs when a weight change has invalidated it
+    /// *and* an underfull query actually needs the cap.
+    diam_cache: f64,
+    diam_dirty: bool,
     scratch: DijkstraEngine,
     workers: Vec<ShardWorker>,
-    /// Current halo radius per shard (grows on demand, never shrinks).
+    /// Current halo radius per shard. Grows eagerly on demand, shrinks
+    /// lazily with hysteresis (see module docs).
     halo_r: Vec<f64>,
+    /// Consecutive ticks each shard's halo has been oversized (the shrink
+    /// hysteresis counter).
+    shrink_streak: Vec<u32>,
     /// Foreign edges inside each shard's halo.
-    halo_edges: Vec<FxHashSet<rnn_roadnet::EdgeId>>,
+    halo_edges: Vec<FxHashSet<EdgeId>>,
     /// Per-edge visibility mask: bit `s` = edge is owned by or in the halo
     /// of shard `s`.
     edge_mask: Vec<u64>,
     objects: FxHashMap<ObjectId, ObjRec>,
+    /// Edge → resident objects, maintained on every routed object event.
+    /// Lets halo rebuilds resync only the objects on changed edges.
+    edge_obj: EdgeObjectIndex,
     queries: FxHashMap<QueryId, QueryRec>,
-    /// Events routed but not yet shipped, one batch per shard.
-    pending: Vec<UpdateBatch>,
+    /// Events routed but not yet shipped, one buffer per shard.
+    pending: Vec<PendingEvents>,
+    /// This tick's edge-weight updates, accumulated once and shipped to
+    /// every shard as one shared `Arc` arena at the next dispatch.
+    pending_edges: Vec<rnn_core::EdgeWeightUpdate>,
+    /// Reused empty arena for dispatch rounds with no edge updates (every
+    /// reconcile round after the first), avoiding a per-round allocation.
+    empty_arena: Arc<Vec<rnn_core::EdgeWeightUpdate>>,
     /// GMA active-node counts per shard, from the latest outcomes.
     active: Vec<Option<usize>>,
     /// Pre-tick results of queries touched during the current tick, so
@@ -96,11 +153,34 @@ pub struct ShardedEngine {
     /// (max across a round's parallel workers, summed across rounds) and
     /// summed op counters.
     workers_report: TickReport,
+    /// Objects examined by replica resync — lifetime total and current-tick
+    /// slice (the latter feeds the tick's `OpCounters`). Counts *distinct*
+    /// objects per maintenance cycle (`resync_seen` dedups revisits when an
+    /// edge toggles more than once in a tick), so a single tick's count
+    /// can never exceed the object total.
+    total_resync_touched: u64,
+    tick_resync_touched: u64,
+    resync_seen: FxHashSet<ObjectId>,
+    /// Replicas evicted by halo shrink / membership loss — lifetime total
+    /// and current-tick slice.
+    total_replica_evictions: u64,
+    tick_replica_evictions: u64,
 }
 
 impl ShardedEngine {
     /// Partitions `net` and spawns one monitor worker per shard.
+    ///
+    /// # Panics
+    /// Panics if `cfg.num_shards` is outside `1..=64` — shard visibility is
+    /// tracked in a 64-bit mask per edge, and a partition needs at least
+    /// one shard.
     pub fn new(net: Arc<RoadNetwork>, cfg: EngineConfig) -> Self {
+        assert!(
+            (1..=64).contains(&cfg.num_shards),
+            "EngineConfig::num_shards must be in 1..=64, got {} \
+             (shard visibility is a 64-bit mask per edge)",
+            cfg.num_shards
+        );
         let partition = NetworkPartition::build(&net, cfg.num_shards);
         let workers = (0..cfg.num_shards)
             .map(|s| ShardWorker::spawn(s, cfg.algo.make(net.clone())))
@@ -110,21 +190,35 @@ impl ShardedEngine {
             .map(|e| 1u64 << partition.shard_of_edge(e))
             .collect::<Vec<_>>();
         let weights = EdgeWeights::from_base(&net);
+        let diam_cache = diameter_bound(&weights);
         let scratch = DijkstraEngine::new(net.num_nodes());
         Self {
             partition,
             weights,
+            diam_cache,
+            diam_dirty: false,
             scratch,
             workers,
             halo_r: vec![0.0; cfg.num_shards],
+            shrink_streak: vec![0; cfg.num_shards],
             halo_edges: vec![FxHashSet::default(); cfg.num_shards],
             edge_mask,
             objects: FxHashMap::default(),
+            edge_obj: EdgeObjectIndex::new(net.num_edges()),
             queries: FxHashMap::default(),
-            pending: vec![UpdateBatch::default(); cfg.num_shards],
+            pending: (0..cfg.num_shards)
+                .map(|_| PendingEvents::default())
+                .collect(),
+            pending_edges: Vec::new(),
+            empty_arena: Arc::new(Vec::new()),
             active: vec![None; cfg.num_shards],
             changed: FxHashMap::default(),
             workers_report: TickReport::default(),
+            total_resync_touched: 0,
+            tick_resync_touched: 0,
+            resync_seen: FxHashSet::default(),
+            total_replica_evictions: 0,
+            tick_replica_evictions: 0,
             net,
             cfg,
         }
@@ -145,6 +239,23 @@ impl ShardedEngine {
         self.halo_r[s]
     }
 
+    /// The finite cap applied to "replicate everything" halo demand: an
+    /// upper bound on any shortest-path distance under the current weights.
+    /// Diagnostic accessor; computes fresh from the weight table (O(E)).
+    pub fn diameter_bound(&self) -> f64 {
+        diameter_bound(&self.weights)
+    }
+
+    /// The cached diameter bound, refreshed (O(E)) only when weights have
+    /// changed since it was last needed.
+    fn current_diam_bound(&mut self) -> f64 {
+        if self.diam_dirty {
+            self.diam_cache = diameter_bound(&self.weights);
+            self.diam_dirty = false;
+        }
+        self.diam_cache
+    }
+
     /// Total number of object replicas currently shipped to non-owner
     /// shards (a measure of the replication overhead).
     pub fn replica_count(&self) -> usize {
@@ -152,6 +263,21 @@ impl ShardedEngine {
             .values()
             .map(|o| o.mask.count_ones() as usize - 1)
             .sum()
+    }
+
+    /// Lifetime count of objects examined by replica resync (distinct per
+    /// maintenance cycle — a tick or an out-of-band install/insert).
+    /// Proves the O(changed-edges) claim: a halo rebuild visits only the
+    /// residents of the edges whose membership toggled, not the whole
+    /// object table, so a single tick can never reach the object count.
+    pub fn resync_touched(&self) -> u64 {
+        self.total_resync_touched
+    }
+
+    /// Lifetime count of replicas evicted by halo shrink or halo-membership
+    /// loss.
+    pub fn replica_evictions(&self) -> u64 {
+        self.total_replica_evictions
     }
 
     /// Monitor-side aggregate of the last tick: critical-path elapsed time
@@ -163,11 +289,62 @@ impl ShardedEngine {
         self.workers_report
     }
 
+    /// Checks the internal replication invariants, for tests and debugging:
+    /// every object's shard mask matches its edge's visibility mask, the
+    /// edge→object index mirrors the object table exactly, and the per-edge
+    /// masks are consistent with ownership plus the halo edge sets.
+    pub fn validate_replication(&self) -> Result<(), String> {
+        if self.edge_obj.len() != self.objects.len() {
+            return Err(format!(
+                "index holds {} objects but the registry holds {}",
+                self.edge_obj.len(),
+                self.objects.len()
+            ));
+        }
+        for (&id, rec) in &self.objects {
+            let expect = self.edge_mask[rec.pos.edge.index()];
+            if rec.mask != expect {
+                return Err(format!(
+                    "object {id:?} on {:?}: mask {:#b} != edge mask {expect:#b}",
+                    rec.pos.edge, rec.mask
+                ));
+            }
+            let owner = self.partition.shard_of_edge(rec.pos.edge);
+            if rec.mask & (1u64 << owner) == 0 {
+                return Err(format!("object {id:?} missing its owner shard {owner}"));
+            }
+            if !self.edge_obj.objects_on(rec.pos.edge).contains(&id) {
+                return Err(format!(
+                    "object {id:?} not indexed on its edge {:?}",
+                    rec.pos.edge
+                ));
+            }
+        }
+        for e in self.net.edge_ids() {
+            let mut expect = 1u64 << self.partition.shard_of_edge(e);
+            for (s, halo) in self.halo_edges.iter().enumerate() {
+                if halo.contains(&e) {
+                    if self.partition.shard_of_edge(e) == s as u32 {
+                        return Err(format!("shard {s} lists its own edge {e:?} as halo"));
+                    }
+                    expect |= 1u64 << s;
+                }
+            }
+            if self.edge_mask[e.index()] != expect {
+                return Err(format!(
+                    "edge {e:?}: mask {:#b} != ownership+halo {expect:#b}",
+                    self.edge_mask[e.index()]
+                ));
+            }
+        }
+        Ok(())
+    }
+
     // --- Halo maintenance -------------------------------------------------
 
     /// Recomputes shard `s`'s halo edge set under the current weights and
-    /// radius. Returns `true` if membership changed.
-    fn recompute_halo(&mut self, s: usize) -> bool {
+    /// radius, adding every edge whose membership toggled to `changed`.
+    fn recompute_halo(&mut self, s: usize, changed: &mut FxHashSet<EdgeId>) {
         let r = self.halo_r[s];
         let mut fresh = FxHashSet::default();
         let boundary = &self.partition.view(s).boundary_nodes;
@@ -192,56 +369,90 @@ impl ShardedEngine {
             }
         }
         if fresh == self.halo_edges[s] {
-            return false;
+            return;
         }
         let bit = 1u64 << s;
-        for &e in &self.halo_edges[s] {
+        for &e in self.halo_edges[s].difference(&fresh) {
             self.edge_mask[e.index()] &= !bit;
+            changed.insert(e);
         }
-        for &e in &fresh {
+        for &e in fresh.difference(&self.halo_edges[s]) {
             self.edge_mask[e.index()] |= bit;
+            changed.insert(e);
         }
         self.halo_edges[s] = fresh;
-        true
     }
 
-    /// Re-derives every object's desired shard set from the (possibly just
-    /// rebuilt) edge masks and queues insert/delete events for the
-    /// differences.
-    fn resync_objects(&mut self) {
-        for (&id, rec) in &mut self.objects {
-            let desired = self.edge_mask[rec.pos.edge.index()];
-            if desired == rec.mask {
-                continue;
-            }
-            let added = desired & !rec.mask;
-            let removed = rec.mask & !desired;
-            for s in ShardBits(added) {
-                self.pending[s]
+    /// Re-derives the desired shard set of every object resident on a
+    /// *changed* edge (via the edge→object index) and queues insert/delete
+    /// events for the differences. O(objects on changed edges) — the whole
+    /// point of this subsystem; see the module docs.
+    fn resync_changed(&mut self, changed: &FxHashSet<EdgeId>) {
+        let mut touched = 0u64;
+        let mut evicted = 0u64;
+        for &e in changed {
+            let desired = self.edge_mask[e.index()];
+            for &id in self.edge_obj.objects_on(e) {
+                // An edge can toggle out of and back into halos within one
+                // tick (e.g. a weight change followed by reconcile growth);
+                // count each object once per cycle so the counter stays a
+                // faithful "fraction of N examined" measure.
+                if self.resync_seen.insert(id) {
+                    touched += 1;
+                }
+                let rec = self
                     .objects
-                    .push(ObjectEvent::Insert { id, at: rec.pos });
+                    .get_mut(&id)
+                    .expect("indexed object must be registered");
+                debug_assert_eq!(rec.pos.edge, e, "index bucket out of sync");
+                if rec.mask == desired {
+                    continue;
+                }
+                let added = desired & !rec.mask;
+                let removed = rec.mask & !desired;
+                for s in ShardBits(added) {
+                    self.pending[s]
+                        .objects
+                        .push(ObjectEvent::Insert { id, at: rec.pos });
+                }
+                for s in ShardBits(removed) {
+                    self.pending[s].objects.push(ObjectEvent::Delete { id });
+                }
+                evicted += u64::from(removed.count_ones());
+                rec.mask = desired;
             }
-            for s in ShardBits(removed) {
-                self.pending[s].objects.push(ObjectEvent::Delete { id });
-            }
-            rec.mask = desired;
         }
+        self.total_resync_touched += touched;
+        self.tick_resync_touched += touched;
+        self.total_replica_evictions += evicted;
+        self.tick_replica_evictions += evicted;
     }
 
     // --- Dispatch ---------------------------------------------------------
 
-    /// Ships every non-empty pending batch to its shard, waits for all
-    /// outcomes, and folds them into the engine's caches. Returns `true` if
-    /// anything was sent.
+    /// Ships every non-empty pending delta to its shard (the tick's edge
+    /// updates ride along as one shared arena), waits for all outcomes, and
+    /// folds them into the engine's caches. Returns `true` if anything was
+    /// sent.
     fn dispatch_pending(&mut self) -> bool {
+        let arena = if self.pending_edges.is_empty() {
+            self.empty_arena.clone()
+        } else {
+            Arc::new(std::mem::take(&mut self.pending_edges))
+        };
         let mut sent = vec![false; self.cfg.num_shards];
         let mut any = false;
         for (s, flag) in sent.iter_mut().enumerate() {
-            if self.pending[s].is_empty() {
+            let own = &mut self.pending[s];
+            if own.objects.is_empty() && own.queries.is_empty() && arena.is_empty() {
                 continue;
             }
-            let batch = std::mem::take(&mut self.pending[s]);
-            self.workers[s].send(Request::Tick(batch));
+            let delta = DeltaBatch {
+                objects: std::mem::take(&mut own.objects),
+                queries: std::mem::take(&mut own.queries),
+                shared_edges: arena.clone(),
+            };
+            self.workers[s].send(Request::Tick(delta));
             *flag = true;
             any = true;
         }
@@ -281,32 +492,72 @@ impl ShardedEngine {
     }
 
     /// Grows halos until every query's `kNN_dist` is covered by its
-    /// shard's halo radius, shipping newly visible objects as needed. See
-    /// the module docs for why this terminates.
-    fn reconcile(&mut self) {
+    /// shard's halo radius, shipping newly visible objects as needed (see
+    /// the module docs for why this terminates). Underfull demand (∞) is
+    /// capped at the diameter bound, which already covers everything
+    /// reachable. Returns the final per-shard needed radii, which the
+    /// shrink pass reuses.
+    fn reconcile(&mut self) -> Vec<f64> {
+        let mut changed = FxHashSet::default();
         loop {
             let mut needed = vec![0.0f64; self.cfg.num_shards];
             for rec in self.queries.values() {
                 let s = rec.shard as usize;
                 needed[s] = needed[s].max(rec.knn_dist);
             }
-            let mut halos_dirty = false;
-            for (s, &need) in needed.iter().enumerate() {
-                if need > self.halo_r[s] {
-                    self.halo_r[s] = if need.is_finite() {
-                        need * (1.0 + self.cfg.halo_slack.max(0.0))
-                    } else {
-                        f64::INFINITY
-                    };
-                    halos_dirty |= self.recompute_halo(s);
+            // Only underfull demand (∞) needs the diameter cap, and only
+            // then is the (possibly O(E)) bound refresh worth paying.
+            if needed.iter().any(|n| n.is_infinite()) {
+                let cap = self.current_diam_bound();
+                for n in &mut needed {
+                    if n.is_infinite() {
+                        *n = cap;
+                    }
                 }
             }
-            if halos_dirty {
-                self.resync_objects();
+            changed.clear();
+            for (s, &need) in needed.iter().enumerate() {
+                if need > self.halo_r[s] {
+                    self.halo_r[s] = need * (1.0 + self.cfg.halo_slack.max(0.0));
+                    self.recompute_halo(s, &mut changed);
+                }
+            }
+            if !changed.is_empty() {
+                self.resync_changed(&changed);
             }
             if !self.dispatch_pending() {
-                return;
+                return needed;
             }
+        }
+    }
+
+    /// The lazy half of the replica lifecycle: when a shard's halo radius
+    /// has exceeded its demand (with slack and the hysteresis trigger
+    /// ratio) for `halo_shrink_ticks` consecutive ticks, decay it to the
+    /// demanded radius and evict the replicas beyond it. Safe by the same
+    /// argument as growth, in reverse: everything evicted is farther from
+    /// the boundary than every owned query's `kNN_dist`.
+    fn maybe_shrink_halos(&mut self, needed: &[f64]) {
+        let slack = 1.0 + self.cfg.halo_slack.max(0.0);
+        let trigger = self.cfg.halo_shrink_trigger.max(1.0);
+        let patience = self.cfg.halo_shrink_ticks.max(1);
+        let mut changed = FxHashSet::default();
+        for (s, &need) in needed.iter().enumerate() {
+            let target = need * slack;
+            if self.halo_r[s] > target * trigger {
+                self.shrink_streak[s] += 1;
+                if self.shrink_streak[s] >= patience {
+                    self.halo_r[s] = target;
+                    self.recompute_halo(s, &mut changed);
+                    self.shrink_streak[s] = 0;
+                }
+            } else {
+                self.shrink_streak[s] = 0;
+            }
+        }
+        if !changed.is_empty() {
+            self.resync_changed(&changed);
+            self.dispatch_pending();
         }
     }
 
@@ -332,6 +583,7 @@ impl ShardedEngine {
                         for s in ShardBits(old & !desired) {
                             self.pending[s].objects.push(ObjectEvent::Delete { id });
                         }
+                        self.edge_obj.relocate(rec.pos.edge, to.edge, id);
                         rec.pos = to;
                         rec.mask = desired;
                     }
@@ -341,6 +593,7 @@ impl ShardedEngine {
                                 .objects
                                 .push(ObjectEvent::Insert { id, at: to });
                         }
+                        self.edge_obj.insert(to.edge, id);
                         self.objects.insert(
                             id,
                             ObjRec {
@@ -353,6 +606,7 @@ impl ShardedEngine {
             }
             ObjectEvent::Delete { id } => {
                 if let Some(rec) = self.objects.remove(&id) {
+                    self.edge_obj.remove(rec.pos.edge, id);
                     for s in ShardBits(rec.mask) {
                         self.pending[s].objects.push(ObjectEvent::Delete { id });
                     }
@@ -400,6 +654,9 @@ impl ShardedEngine {
                             .queries
                             .push(QueryEvent::Remove { id });
                     }
+                    // Same shard: no Remove — the monitors coalesce a
+                    // re-Install of a known query into an update (pinned by
+                    // the duplicate-install differential test).
                 }
                 self.pending[shard as usize]
                     .queries
@@ -427,6 +684,7 @@ impl ContinuousMonitor for ShardedEngine {
         // ship with the next install/tick. With live queries the insert
         // must be visible immediately, like in the single monitors.
         if !self.queries.is_empty() {
+            self.resync_seen.clear();
             self.dispatch_pending();
             self.reconcile();
         }
@@ -434,6 +692,7 @@ impl ContinuousMonitor for ShardedEngine {
 
     fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
         self.route_query_event(&QueryEvent::Install { id, k, at });
+        self.resync_seen.clear();
         self.dispatch_pending();
         self.reconcile();
     }
@@ -441,33 +700,38 @@ impl ContinuousMonitor for ShardedEngine {
     fn remove_query(&mut self, id: QueryId) {
         self.route_query_event(&QueryEvent::Remove { id });
         self.dispatch_pending();
+        // The freed halo radius decays on subsequent ticks (hysteresis),
+        // not here: eager shrinking would thrash on remove+reinstall.
     }
 
     fn tick(&mut self, batch: &UpdateBatch) -> TickReport {
         let start = Instant::now();
         self.changed.clear();
         self.workers_report = TickReport::default();
+        self.tick_resync_touched = 0;
+        self.tick_replica_evictions = 0;
+        self.resync_seen.clear();
 
-        // 1. Edge updates: apply to the authoritative weights and broadcast
+        // 1. Edge updates: apply to the authoritative weights and stage
+        //    them *once* — dispatch hands every shard the same Arc'd slice
         //    (every shard keeps a full weight table; its influence lists
         //    drop irrelevant ones cheaply).
-        for u in &batch.edges {
-            self.weights.set(u.edge, u.new_weight);
-            for s in 0..self.cfg.num_shards {
-                self.pending[s].edges.push(*u);
-            }
-        }
-        // 2. Halo membership is defined in weighted distances, so weight
-        //    changes can move edges in or out of halos.
         if !batch.edges.is_empty() {
-            let mut halos_dirty = false;
+            for u in &batch.edges {
+                self.weights.set(u.edge, u.new_weight);
+            }
+            self.pending_edges.extend_from_slice(&batch.edges);
+            self.diam_dirty = true;
+            // 2. Halo membership is defined in weighted distances, so
+            //    weight changes can move edges in or out of halos.
+            let mut changed = FxHashSet::default();
             for s in 0..self.cfg.num_shards {
                 if self.halo_r[s] > 0.0 {
-                    halos_dirty |= self.recompute_halo(s);
+                    self.recompute_halo(s, &mut changed);
                 }
             }
-            if halos_dirty {
-                self.resync_objects();
+            if !changed.is_empty() {
+                self.resync_changed(&changed);
             }
         }
 
@@ -479,9 +743,11 @@ impl ContinuousMonitor for ShardedEngine {
             self.route_query_event(ev);
         }
 
-        // 4. Fan out, then grow halos until every result is covered.
+        // 4. Fan out, grow halos until every result is covered, then let
+        //    oversized halos decay.
         self.dispatch_pending();
-        self.reconcile();
+        let needed = self.reconcile();
+        self.maybe_shrink_halos(&needed);
 
         // A query counts as changed only if its final result differs from
         // its pre-tick result — reconcile-round flaps that end where they
@@ -496,10 +762,13 @@ impl ContinuousMonitor for ShardedEngine {
             })
             .count();
 
+        let mut counters = self.workers_report.counters;
+        counters.resync_touched += self.tick_resync_touched;
+        counters.replica_evictions += self.tick_replica_evictions;
         TickReport {
             elapsed: start.elapsed(),
             results_changed,
-            counters: self.workers_report.counters,
+            counters,
         }
     }
 
@@ -532,7 +801,7 @@ impl ContinuousMonitor for ShardedEngine {
                 Response::Tick(_) => unreachable!("tick response to a memory request"),
             }
         }
-        // Router state: registries, masks, halo sets.
+        // Router state: registries, masks, halo sets, edge→object index.
         total.auxiliary += self.edge_mask.capacity() * std::mem::size_of::<u64>()
             + self.objects.capacity()
                 * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<ObjRec>())
@@ -541,8 +810,9 @@ impl ContinuousMonitor for ShardedEngine {
             + self
                 .halo_edges
                 .iter()
-                .map(|h| h.capacity() * std::mem::size_of::<rnn_roadnet::EdgeId>())
+                .map(|h| h.capacity() * std::mem::size_of::<EdgeId>())
                 .sum::<usize>()
+            + self.edge_obj.memory_bytes()
             + self.weights.memory_bytes();
         total
     }
@@ -555,6 +825,13 @@ impl ContinuousMonitor for ShardedEngine {
             Some(counts.iter().sum())
         }
     }
+}
+
+/// An upper bound on any shortest-path distance under `weights`: shortest
+/// paths are simple, so no path exceeds the sum of all edge weights. The
+/// tiny relative margin absorbs summation-order rounding.
+fn diameter_bound(weights: &EdgeWeights) -> f64 {
+    weights.total() * (1.0 + 1e-9)
 }
 
 /// Iterator over the set bits of a shard mask.
@@ -578,7 +855,6 @@ mod tests {
     use super::*;
     use crate::config::ShardAlgo;
     use rnn_roadnet::generators::{grid_city, GridCityConfig};
-    use rnn_roadnet::EdgeId;
 
     fn net() -> Arc<RoadNetwork> {
         Arc::new(grid_city(&GridCityConfig {
@@ -596,6 +872,7 @@ mod tests {
                 num_shards: shards,
                 algo: ShardAlgo::Ima,
                 halo_slack: 0.25,
+                ..EngineConfig::default()
             },
         )
     }
@@ -615,6 +892,7 @@ mod tests {
         }
         assert_eq!(eng.knn_dist(QueryId(0)).unwrap(), r[4].dist);
         assert_eq!(eng.query_ids(), vec![QueryId(0)]);
+        eng.validate_replication().unwrap();
     }
 
     #[test]
@@ -711,5 +989,187 @@ mod tests {
         let m = eng.memory();
         assert!(m.total_bytes() > 0);
         assert!(m.auxiliary > 0);
+    }
+
+    // --- Shard-count validation (regression: 0 broke the partitioner,
+    // ≥ 65 overflowed the 64-bit shard masks) --------------------------
+
+    #[test]
+    #[should_panic(expected = "num_shards must be in 1..=64")]
+    fn rejects_zero_shards() {
+        let _ = ShardedEngine::new(
+            net(),
+            EngineConfig {
+                num_shards: 0,
+                ..EngineConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "num_shards must be in 1..=64")]
+    fn rejects_sixty_five_shards() {
+        let _ = ShardedEngine::new(
+            net(),
+            EngineConfig {
+                num_shards: 65,
+                ..EngineConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn accepts_sixty_four_shards() {
+        // The documented maximum must actually work: shard 63 uses the
+        // mask's top bit without overflowing.
+        let big = Arc::new(grid_city(&GridCityConfig {
+            nx: 9,
+            ny: 9,
+            seed: 5,
+            ..Default::default()
+        }));
+        let mut eng = ShardedEngine::new(
+            big.clone(),
+            EngineConfig {
+                num_shards: 64,
+                algo: ShardAlgo::Ima,
+                ..EngineConfig::default()
+            },
+        );
+        let n = big.num_edges() as u32;
+        for i in 0..30u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 7) % n), 0.5));
+        }
+        eng.install_query(QueryId(0), 3, NetPoint::new(EdgeId(0), 0.5));
+        assert_eq!(eng.result(QueryId(0)).unwrap().len(), 3);
+        eng.validate_replication().unwrap();
+    }
+
+    // --- Incremental resync and the replica lifecycle -----------------
+
+    #[test]
+    fn resync_touches_fewer_objects_than_total() {
+        // Dense objects keep kNN_dist (and thus the halo) small, so a halo
+        // grow event must resync only the residents of the few edges that
+        // joined — strictly fewer than the object total. The query sits on
+        // a shard-boundary edge so the grown halo is guaranteed to reach
+        // across the border.
+        let mut eng = engine(4);
+        let n = eng.net.num_edges();
+        for (i, e) in (0..n).enumerate() {
+            eng.insert_object(ObjectId(i as u32), NetPoint::new(EdgeId(e as u32), 0.5));
+        }
+        assert_eq!(eng.resync_touched(), 0, "no halo yet, no resync");
+        let border = eng
+            .net
+            .edge_ids()
+            .find(|&e| {
+                let s = eng.partition.shard_of_edge(e);
+                let rec = eng.net.edge(e);
+                [rec.start, rec.end].into_iter().any(|node| {
+                    eng.net
+                        .adjacent(node)
+                        .iter()
+                        .any(|&(e2, _)| eng.partition.shard_of_edge(e2) != s)
+                })
+            })
+            .expect("a 4-way split has boundary edges");
+        eng.install_query(QueryId(0), 4, NetPoint::new(border, 0.5));
+        let touched = eng.resync_touched();
+        assert!(touched > 0, "halo growth must resync the edges that joined");
+        assert!(
+            touched < n as u64,
+            "resync touched {touched} of {n} objects — not incremental"
+        );
+        eng.validate_replication().unwrap();
+
+        // Same claim on a *tick* where a shard's halo grows: widening the
+        // query (k 4 → 12) forces growth, and the tick's own counters must
+        // show a resync strictly smaller than the object total.
+        let radius_before = eng.halo_radius(eng.queries[&QueryId(0)].shard as usize);
+        let mut batch = UpdateBatch::default();
+        batch.queries.push(QueryEvent::Install {
+            id: QueryId(0),
+            k: 12,
+            at: NetPoint::new(border, 0.5),
+        });
+        let rep = eng.tick(&batch);
+        assert!(
+            eng.halo_radius(eng.queries[&QueryId(0)].shard as usize) > radius_before,
+            "k=12 must widen the halo"
+        );
+        assert!(rep.counters.resync_touched > 0);
+        assert!(
+            rep.counters.resync_touched < n as u64,
+            "grow tick resynced {} of {n} objects — not incremental",
+            rep.counters.resync_touched
+        );
+        eng.validate_replication().unwrap();
+    }
+
+    #[test]
+    fn halo_shrinks_and_evicts_after_query_removal() {
+        let mut eng = engine(4);
+        let n = eng.net.num_edges() as u32;
+        for i in 0..40u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 3) % n), 0.4));
+        }
+        eng.install_query(QueryId(0), 8, NetPoint::new(EdgeId(2), 0.5));
+        assert!(eng.replica_count() > 0, "k=8 must replicate across borders");
+        eng.remove_query(QueryId(0));
+        // Demand is gone; the hysteresis lets the halo decay within
+        // halo_shrink_ticks quiet ticks.
+        for _ in 0..eng.cfg.halo_shrink_ticks + 1 {
+            eng.tick(&UpdateBatch::default());
+        }
+        for s in 0..eng.num_shards() {
+            assert_eq!(eng.halo_radius(s), 0.0, "shard {s} halo did not decay");
+        }
+        assert_eq!(eng.replica_count(), 0, "stale replicas were not evicted");
+        assert!(eng.replica_evictions() > 0);
+        eng.validate_replication().unwrap();
+    }
+
+    #[test]
+    fn underfull_demand_is_capped_at_diameter_bound() {
+        // k exceeds the object count: kNN_dist stays ∞, which used to pin
+        // halo_r at ∞ permanently. It must now cap at the finite diameter
+        // bound (and still see every object).
+        let mut eng = engine(4);
+        for i in 0..3u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId(i * 13), 0.5));
+        }
+        eng.install_query(QueryId(0), 10, NetPoint::new(EdgeId(0), 0.5));
+        assert_eq!(eng.result(QueryId(0)).unwrap().len(), 3);
+        assert_eq!(eng.knn_dist(QueryId(0)).unwrap(), f64::INFINITY);
+        let s = eng.queries[&QueryId(0)].shard as usize;
+        assert!(
+            eng.halo_radius(s).is_finite(),
+            "underfull demand must not produce an infinite radius"
+        );
+        assert!(eng.halo_radius(s) <= eng.diameter_bound() * (1.0 + eng.cfg.halo_slack) + 1e-9);
+        eng.validate_replication().unwrap();
+    }
+
+    #[test]
+    fn stable_ticks_do_no_resync() {
+        let mut eng = engine(4);
+        let n = eng.net.num_edges() as u32;
+        for i in 0..30u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 3) % n), 0.4));
+        }
+        eng.install_query(QueryId(0), 4, NetPoint::new(EdgeId(1), 0.5));
+        // Let any post-install shrink settle first.
+        for _ in 0..eng.cfg.halo_shrink_ticks + 1 {
+            eng.tick(&UpdateBatch::default());
+        }
+        let before = eng.resync_touched();
+        let rep = eng.tick(&UpdateBatch::default());
+        assert_eq!(
+            eng.resync_touched(),
+            before,
+            "halo-stable tick must not resync anything"
+        );
+        assert_eq!(rep.counters.resync_touched, 0);
     }
 }

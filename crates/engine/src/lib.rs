@@ -18,6 +18,15 @@
 //! [`engine`] module docs for the argument), which the differential test
 //! suite checks tick-by-tick against plain GMA/IMA.
 //!
+//! Replication is maintained *incrementally*: an edge→object index limits
+//! halo resync to the objects on edges whose membership actually changed,
+//! halos shrink with hysteresis when demand drops (evicting stale
+//! replicas), and worker hand-off is delta encoded behind a shared `Arc`
+//! arena so the router never clones a batch per shard. The
+//! `resync_touched` / `replica_evictions` counters (on
+//! [`ShardedEngine`] and in each tick's `OpCounters`) make the
+//! O(changed-edges) maintenance cost observable.
+//!
 //! ```
 //! use rnn_core::ContinuousMonitor;
 //! use rnn_engine::{EngineConfig, ShardedEngine};

@@ -6,17 +6,42 @@
 //! [`Request::Memory`] is answered by exactly one [`Response`], and the
 //! engine always drains all outstanding responses before issuing new
 //! requests, so the channels never hold more than one message per worker.
+//!
+//! Hand-off is **delta encoded** ([`DeltaBatch`]): the per-shard object and
+//! query event slices are moved (never cloned) out of the router's pending
+//! buffers, and the tick's edge-weight updates — which every shard must
+//! see — travel as one shared `Arc` arena instead of `S` per-shard copies.
+//! Each worker materialises its monitor-facing [`UpdateBatch`] into a
+//! reusable scratch buffer on its own thread, so the router's critical
+//! path does no per-shard event copying at all.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use rnn_core::{ContinuousMonitor, MemoryUsage, Neighbor, QueryEvent, TickReport, UpdateBatch};
+use rnn_core::{
+    ContinuousMonitor, EdgeWeightUpdate, MemoryUsage, Neighbor, ObjectEvent, QueryEvent,
+    TickReport, UpdateBatch,
+};
 use rnn_roadnet::{FxHashMap, FxHashSet, QueryId};
+
+/// The events of one tick destined for a single shard: its own object and
+/// query slices (moved from the router, append-only while pending) plus a
+/// reference-counted view of the tick's shared edge-update arena.
+pub(crate) struct DeltaBatch {
+    /// Object events routed to this shard (owned, moved — never cloned).
+    pub objects: Vec<ObjectEvent>,
+    /// Query events routed to this shard (owned, moved — never cloned).
+    pub queries: Vec<QueryEvent>,
+    /// The tick's edge-weight updates, shared by every shard through one
+    /// arena allocation (empty `Arc` on reconcile rounds).
+    pub shared_edges: Arc<Vec<EdgeWeightUpdate>>,
+}
 
 /// What the engine asks a shard to do.
 pub(crate) enum Request {
     /// Process one (sub-)batch and report back.
-    Tick(UpdateBatch),
+    Tick(DeltaBatch),
     /// Report the monitor's resident memory.
     Memory,
     /// Exit the worker loop.
@@ -106,9 +131,17 @@ fn worker_loop(
     // Last state shipped to the engine, per query: snapshots are sent as
     // deltas against this, so steady-state ticks move no result vectors.
     let mut shipped: FxHashMap<QueryId, (f64, Vec<Neighbor>)> = FxHashMap::default();
+    // Monitor-facing batch, reassembled from each delta on this thread
+    // (the edge copy out of the shared arena runs on S workers in
+    // parallel, off the router's critical path) and reused across ticks.
+    let mut batch = UpdateBatch::default();
     while let Ok(req) = rx.recv() {
         match req {
-            Request::Tick(batch) => {
+            Request::Tick(delta) => {
+                batch.edges.clear();
+                batch.edges.extend_from_slice(&delta.shared_edges);
+                batch.objects = delta.objects;
+                batch.queries = delta.queries;
                 // Freshly installed queries must always ship: the engine
                 // just created an empty record for them, even when the
                 // monitor reproduces a result this cache already saw

@@ -31,6 +31,7 @@ pub mod graph;
 pub mod hash;
 pub mod ids;
 pub mod netpoint;
+pub mod objindex;
 pub mod partition;
 pub mod quadtree;
 pub mod sequence;
@@ -42,6 +43,7 @@ pub use graph::{Edge, NetworkData, RoadNetwork, RoadNetworkBuilder};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{EdgeId, NodeId, ObjectId, QueryId, SeqId};
 pub use netpoint::NetPoint;
+pub use objindex::EdgeObjectIndex;
 pub use partition::{NetworkPartition, ShardView};
 pub use quadtree::PmrQuadtree;
 pub use sequence::{Sequence, SequenceTable};

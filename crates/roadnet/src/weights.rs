@@ -70,6 +70,17 @@ impl EdgeWeights {
         self.w.is_empty()
     }
 
+    /// Sum of all current weights — an upper bound on the network's
+    /// weighted **diameter**: a shortest path is simple, so it traverses
+    /// each edge at most once and its length never exceeds this total. The
+    /// sharded engine uses it to cap "replicate everything" halo radii
+    /// (from underfull queries, `kNN_dist = ∞`) at a finite value: a
+    /// boundary expansion bounded by this total already reaches every
+    /// reachable point, and finite radii keep the shrink logic comparable.
+    pub fn total(&self) -> f64 {
+        self.w.iter().sum()
+    }
+
     /// Average current weight.
     pub fn average(&self) -> f64 {
         if self.w.is_empty() {
@@ -132,6 +143,19 @@ mod tests {
         let net = line();
         let mut w = EdgeWeights::from_base(&net);
         w.set(EdgeId(1), f64::NAN);
+    }
+
+    #[test]
+    fn total_bounds_every_distance() {
+        let net = line();
+        let mut w = EdgeWeights::from_base(&net);
+        assert!((w.total() - 7.0).abs() < 1e-12);
+        w.set(EdgeId(0), 10.0);
+        assert!((w.total() - 14.0).abs() < 1e-12);
+        // The diameter (longest shortest path) of the line is 14 here.
+        let mut eng = crate::dijkstra::DijkstraEngine::new(net.num_nodes());
+        let d = eng.dist_between_nodes(&net, &w, crate::ids::NodeId(0), crate::ids::NodeId(2));
+        assert!(d <= w.total());
     }
 
     #[test]

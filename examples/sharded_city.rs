@@ -37,6 +37,7 @@ fn main() {
             num_shards: 4,
             algo: ShardAlgo::Gma,
             halo_slack: 0.25,
+            ..EngineConfig::default()
         },
     );
 

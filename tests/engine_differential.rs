@@ -88,6 +88,7 @@ fn run_engine_differential(
                     num_shards: s,
                     algo,
                     halo_slack: 0.25,
+                    ..EngineConfig::default()
                 },
             )
         })
@@ -322,6 +323,216 @@ fn engine_query_churn_mid_run() {
         gma.tick(&batch);
         eng.tick(&batch);
         compare_monitors(&gma, &[&eng], t);
+    }
+}
+
+#[test]
+fn engine_duplicate_install_same_shard_then_move() {
+    // The router re-installs a query on its current shard without sending a
+    // Remove first, relying on the monitors' batch coalescing (state.rs:
+    // last Install wins, a following Move keeps its k). Pin that contract:
+    // duplicate Install on the same shard, then Move — within one batch and
+    // across batches — must stay answer-identical to a single monitor.
+    let net = grid(8, 8, 17);
+    let n = net.num_edges() as u32;
+    let mut gma = Gma::new(net.clone());
+    let mut eng = ShardedEngine::new(net.clone(), EngineConfig::with_shards(4));
+    for i in 0..40u32 {
+        let at = NetPoint::new(rnn_monitor::roadnet::EdgeId((i * 7) % n), 0.35);
+        gma.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+        eng.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+    }
+    let e0 = rnn_monitor::roadnet::EdgeId(0);
+    gma.install_query(QueryId(9), 4, NetPoint::new(e0, 0.5));
+    eng.install_query(QueryId(9), 4, NetPoint::new(e0, 0.5));
+    compare_monitors(&gma, &[&eng], 0);
+
+    let home = eng.partition().shard_of_edge(e0);
+    let same_shard = net
+        .edge_ids()
+        .find(|&e| e != e0 && eng.partition().shard_of_edge(e) == home)
+        .expect("shard owns more than one edge");
+    let foreign = net
+        .edge_ids()
+        .find(|&e| eng.partition().shard_of_edge(e) != home)
+        .expect("4-way split has foreign edges");
+
+    // Tick 1: re-Install on the same shard (new k, new edge), then Move
+    // within the same batch — the owning monitor sees [Install, Move] with
+    // no Remove in between.
+    let mut batch = UpdateBatch::default();
+    batch.queries.push(QueryEvent::Install {
+        id: QueryId(9),
+        k: 6,
+        at: NetPoint::new(same_shard, 0.25),
+    });
+    batch.queries.push(QueryEvent::Move {
+        id: QueryId(9),
+        to: NetPoint::new(same_shard, 0.75),
+    });
+    gma.tick(&batch);
+    eng.tick(&batch);
+    compare_monitors(&gma, &[&eng], 1);
+    assert_eq!(
+        eng.result(QueryId(9)).unwrap().len(),
+        6,
+        "re-install must adopt the new k"
+    );
+
+    // Tick 2: another same-shard duplicate Install, then a Move that
+    // crosses the border (Remove+Install for the engine, plain events for
+    // the reference).
+    let mut batch = UpdateBatch::default();
+    batch.queries.push(QueryEvent::Install {
+        id: QueryId(9),
+        k: 3,
+        at: NetPoint::new(e0, 0.1),
+    });
+    batch.queries.push(QueryEvent::Move {
+        id: QueryId(9),
+        to: NetPoint::new(foreign, 0.5),
+    });
+    gma.tick(&batch);
+    eng.tick(&batch);
+    compare_monitors(&gma, &[&eng], 2);
+    assert_eq!(eng.result(QueryId(9)).unwrap().len(), 3);
+    eng.validate_replication()
+        .expect("replica bookkeeping survives re-install");
+
+    for t in 3..6 {
+        let batch = UpdateBatch::default();
+        gma.tick(&batch);
+        eng.tick(&batch);
+        compare_monitors(&gma, &[&eng], t);
+    }
+}
+
+#[test]
+fn engine_heavy_churn_replicas_decay_to_steady_state() {
+    // Heavy query churn — install/remove/migrate every tick — against
+    // S ∈ {2, 4, 8}. Answers must stay identical to single-monitor GMA
+    // throughout, and once churn subsides the halo shrink must return
+    // `replica_count()` exactly to its pre-churn steady-state level
+    // (objects, base queries, and weights are static, and
+    // halo_shrink_trigger = 1 makes the decayed radius reproducible).
+    let net = grid(8, 8, 21);
+    let n = net.num_edges() as u32;
+    let mut gma = Gma::new(net.clone());
+    let mut engines: Vec<ShardedEngine> = [2usize, 4, 8]
+        .into_iter()
+        .map(|s| {
+            ShardedEngine::new(
+                net.clone(),
+                EngineConfig {
+                    num_shards: s,
+                    halo_shrink_trigger: 1.0,
+                    halo_shrink_ticks: 2,
+                    ..EngineConfig::default()
+                },
+            )
+        })
+        .collect();
+
+    for i in 0..70u32 {
+        let at = NetPoint::new(rnn_monitor::roadnet::EdgeId((i * 13) % n), 0.35);
+        gma.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+        for e in &mut engines {
+            e.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+        }
+    }
+    for q in 0..6u32 {
+        let at = NetPoint::new(rnn_monitor::roadnet::EdgeId((q * 29 + 3) % n), 0.6);
+        gma.install_query(QueryId(q), 4, at);
+        for e in &mut engines {
+            e.install_query(QueryId(q), 4, at);
+        }
+    }
+    // Let post-install halos settle into steady state.
+    for _ in 0..3 {
+        let batch = UpdateBatch::default();
+        gma.tick(&batch);
+        for e in &mut engines {
+            e.tick(&batch);
+        }
+    }
+    let steady: Vec<usize> = engines.iter().map(|e| e.replica_count()).collect();
+    let evictions_before: Vec<u64> = engines.iter().map(|e| e.replica_evictions()).collect();
+
+    // Churn: every tick installs a wide (k=7) query, migrates the previous
+    // one, and removes the one before that.
+    let mut peak = vec![0usize; engines.len()];
+    for t in 0..14u32 {
+        let mut batch = UpdateBatch::default();
+        batch.queries.push(QueryEvent::Install {
+            id: QueryId(100 + t),
+            k: 7,
+            at: NetPoint::new(rnn_monitor::roadnet::EdgeId((t * 17 + 5) % n), 0.25),
+        });
+        if t >= 1 {
+            batch.queries.push(QueryEvent::Move {
+                id: QueryId(100 + t - 1),
+                to: NetPoint::new(rnn_monitor::roadnet::EdgeId((t * 31 + 11) % n), 0.75),
+            });
+        }
+        if t >= 2 {
+            batch.queries.push(QueryEvent::Remove {
+                id: QueryId(100 + t - 2),
+            });
+        }
+        gma.tick(&batch);
+        for (i, e) in engines.iter_mut().enumerate() {
+            e.tick(&batch);
+            peak[i] = peak[i].max(e.replica_count());
+        }
+        let views: Vec<&dyn ContinuousMonitor> = engines
+            .iter()
+            .map(|e| e as &dyn ContinuousMonitor)
+            .collect();
+        compare_monitors(&gma, &views, t as usize + 1);
+        for e in &engines {
+            e.validate_replication()
+                .expect("invariants hold under churn");
+        }
+    }
+
+    // Churn subsides: remove the stragglers, then quiet ticks while the
+    // halos decay. Answers must stay identical the whole way down.
+    let mut batch = UpdateBatch::default();
+    for id in [112u32, 113] {
+        batch.queries.push(QueryEvent::Remove { id: QueryId(id) });
+    }
+    gma.tick(&batch);
+    for e in &mut engines {
+        e.tick(&batch);
+    }
+    for t in 0..4usize {
+        let batch = UpdateBatch::default();
+        gma.tick(&batch);
+        for e in &mut engines {
+            e.tick(&batch);
+        }
+        let views: Vec<&dyn ContinuousMonitor> = engines
+            .iter()
+            .map(|e| e as &dyn ContinuousMonitor)
+            .collect();
+        compare_monitors(&gma, &views, 100 + t);
+    }
+
+    for (i, e) in engines.iter().enumerate() {
+        assert_eq!(
+            e.replica_count(),
+            steady[i],
+            "S={}: replicas did not decay back to steady state (peak was {})",
+            e.num_shards(),
+            peak[i]
+        );
+        assert!(
+            e.replica_evictions() > evictions_before[i],
+            "S={}: churn must evict stale replicas",
+            e.num_shards()
+        );
+        e.validate_replication()
+            .expect("invariants hold after decay");
     }
 }
 

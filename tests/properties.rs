@@ -286,3 +286,159 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Sharded-engine replica bookkeeping (replica masks + edge→object index).
+// ---------------------------------------------------------------------
+
+use rnn_monitor::engine::{EngineConfig, ShardedEngine};
+
+/// [`Op`] plus query lifecycle events: the engine's replica bookkeeping
+/// must survive installs and removals, which grow and shrink halos.
+#[derive(Debug, Clone)]
+enum QOp {
+    Base(Op),
+    InstallQuery {
+        idx: u8,
+        k: u8,
+        edge: u16,
+        frac: f64,
+    },
+    RemoveQuery {
+        idx: u8,
+    },
+}
+
+fn qop_strategy() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        op_strategy().prop_map(QOp::Base),
+        (any::<u8>(), any::<u8>(), any::<u16>(), 0.0f64..1.0)
+            .prop_map(|(idx, k, edge, frac)| QOp::InstallQuery { idx, k, edge, frac }),
+        any::<u8>().prop_map(|idx| QOp::RemoveQuery { idx }),
+    ]
+}
+
+/// Translates a base [`Op`] into batch events (mirrors the mapping used by
+/// `monitors_agree_on_random_programs`).
+fn push_op(op: &Op, batch: &mut UpdateBatch, weights: &mut EdgeWeights, ne: u16) {
+    match *op {
+        Op::MoveObject { idx, edge, frac } => batch.objects.push(ObjectEvent::Move {
+            id: ObjectId(u32::from(idx % 16)),
+            to: NetPoint::new(EdgeId(u32::from(edge % ne)), frac),
+        }),
+        Op::DeleteObject { idx } => batch.objects.push(ObjectEvent::Delete {
+            id: ObjectId(u32::from(idx % 16)),
+        }),
+        Op::InsertObject { idx, edge, frac } => batch.objects.push(ObjectEvent::Insert {
+            id: ObjectId(u32::from(idx % 16)),
+            at: NetPoint::new(EdgeId(u32::from(edge % ne)), frac),
+        }),
+        Op::MoveQuery { idx, edge, frac } => batch.queries.push(QueryEvent::Move {
+            id: QueryId(u32::from(idx % 4)),
+            to: NetPoint::new(EdgeId(u32::from(edge % ne)), frac),
+        }),
+        Op::ScaleEdge { edge, factor } => {
+            let e = EdgeId(u32::from(edge % ne));
+            let new_w = weights.get(e) * factor;
+            weights.set(e, new_w);
+            batch.edges.push(EdgeWeightUpdate {
+                edge: e,
+                new_weight: new_w,
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random programs with query churn: after every tick the engine's
+    /// replica masks, halo edge sets, and edge→object index must agree
+    /// with each other (`validate_replication`), and its answers with a
+    /// single-threaded GMA.
+    #[test]
+    fn engine_replica_masks_and_index_stay_consistent(
+        seed in 0u64..40,
+        shards in 2usize..5,
+        ticks in prop::collection::vec(prop::collection::vec(qop_strategy(), 0..6), 1..8),
+    ) {
+        let net = Arc::new(random_grid(seed));
+        let ne = net.num_edges() as u16;
+        let mut gma = Gma::new(net.clone());
+        let mut eng = ShardedEngine::new(
+            net.clone(),
+            EngineConfig {
+                num_shards: shards,
+                // Aggressive shrink settings exercise the evict path on
+                // nearly every tick.
+                halo_shrink_trigger: 1.0,
+                halo_shrink_ticks: 1,
+                ..EngineConfig::default()
+            },
+        );
+        for i in 0..12u32 {
+            let e = EdgeId((i * 5) % u32::from(ne));
+            let p = NetPoint::new(e, 0.3 + 0.05 * i as f64 % 0.6);
+            gma.insert_object(ObjectId(i), p);
+            eng.insert_object(ObjectId(i), p);
+        }
+        for i in 0..3u32 {
+            let p = NetPoint::new(EdgeId((i * 11 + 3) % u32::from(ne)), 0.5);
+            gma.install_query(QueryId(i), 3, p);
+            eng.install_query(QueryId(i), 3, p);
+        }
+
+        let mut weights = EdgeWeights::from_base(&net);
+        for ops in &ticks {
+            let mut batch = UpdateBatch::default();
+            for op in ops {
+                match *op {
+                    QOp::Base(ref op) => push_op(op, &mut batch, &mut weights, ne),
+                    QOp::InstallQuery { idx, k, edge, frac } => {
+                        batch.queries.push(QueryEvent::Install {
+                            id: QueryId(u32::from(idx % 4)),
+                            k: usize::from(k % 5) + 1,
+                            at: NetPoint::new(EdgeId(u32::from(edge % ne)), frac),
+                        });
+                    }
+                    QOp::RemoveQuery { idx } => {
+                        batch.queries.push(QueryEvent::Remove {
+                            id: QueryId(u32::from(idx % 4)),
+                        });
+                    }
+                }
+            }
+            gma.tick(&batch);
+            eng.tick(&batch);
+
+            if let Err(msg) = eng.validate_replication() {
+                prop_assert!(false, "replication invariants broken: {}", msg);
+            }
+            let mut gids = gma.query_ids();
+            let mut eids = eng.query_ids();
+            gids.sort();
+            eids.sort();
+            prop_assert_eq!(&gids, &eids, "query sets diverge");
+            for &q in &gids {
+                let a = gma.result(q).unwrap();
+                let b = eng.result(q).unwrap();
+                prop_assert_eq!(a.len(), b.len(), "result size, query {}", q);
+                let mut da: Vec<f64> = a.iter().map(|n| n.dist).collect();
+                let mut db: Vec<f64> = b.iter().map(|n| n.dist).collect();
+                da.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                db.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                for (x, y) in da.iter().zip(&db) {
+                    prop_assert!((x - y).abs() <= 1e-9 * x.max(1.0), "dist {} vs {}", x, y);
+                }
+                let (dg, de) = (gma.knn_dist(q).unwrap(), eng.knn_dist(q).unwrap());
+                prop_assert!(
+                    (dg.is_infinite() && de.is_infinite())
+                        || (dg - de).abs() <= 1e-9 * dg.max(1.0),
+                    "kNN_dist {} vs {}",
+                    dg,
+                    de
+                );
+            }
+        }
+    }
+}
