@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the flattened tick-path machinery: span-arena list
+//! churn vs the old `Vec<Vec<…>>` layout, the branchless monotone-bits
+//! expansion heap, and the shared multi-k expansion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_core::anchor::AnchorSet;
+use rnn_core::counters::OpCounters;
+use rnn_core::state::NetworkState;
+use rnn_core::types::RootPos;
+use rnn_roadnet::{generators, DijkstraEngine, EdgeId, NetPoint, NodeId, ObjectId, SpanArena};
+use std::sync::Arc;
+
+fn tickpath(c: &mut Criterion) {
+    let net = generators::san_francisco_like(2_000, 7);
+    let mut group = c.benchmark_group("tickpath");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+
+    // Steady-state list churn: arena spans vs per-edge Vecs.
+    let slots = 1_000usize;
+    group.bench_function("arena_churn", |b| {
+        let mut arena: SpanArena<(ObjectId, f64)> = SpanArena::new(slots);
+        let mut i = 0u32;
+        b.iter(|| {
+            for _ in 0..64 {
+                let s = (i as usize * 37) % slots;
+                arena.push(s, (ObjectId(i), 0.5));
+                if arena.len_of(s) > 4 {
+                    arena.swap_remove(s, 0);
+                }
+                i = i.wrapping_add(1);
+            }
+            arena.alloc_events()
+        })
+    });
+
+    group.bench_function("vecvec_churn", |b| {
+        let mut lists: Vec<Vec<(ObjectId, f64)>> = vec![Vec::new(); slots];
+        let mut i = 0u32;
+        b.iter(|| {
+            for _ in 0..64 {
+                let s = (i as usize * 37) % slots;
+                lists[s].push((ObjectId(i), 0.5));
+                if lists[s].len() > 4 {
+                    lists[s].swap_remove(0);
+                }
+                i = i.wrapping_add(1);
+            }
+            lists.len()
+        })
+    });
+
+    // Branchless heap: one bounded expansion per iteration, reusing the
+    // engine (the hot configuration of every monitor).
+    let weights = rnn_roadnet::EdgeWeights::from_base(&net);
+    group.bench_function("expansion_reuse", |b| {
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        let r = 8.0 * net.avg_base_weight();
+        let mut s = 0u32;
+        b.iter(|| {
+            let src = NodeId(s % net.num_nodes() as u32);
+            s = s.wrapping_add(17);
+            eng.sssp(&net, &weights, src, Some(r)).len()
+        })
+    });
+
+    // Shared multi-k expansion: five co-rooted anchors re-rooted together.
+    group.bench_function("co_rooted_tick", |b| {
+        let net = Arc::new(generators::san_francisco_like(500, 3));
+        let mut state = NetworkState::new(&net);
+        for e in net.edge_ids() {
+            state.objects.insert(ObjectId(e.0), NetPoint::new(e, 0.5));
+        }
+        let mut set = AnchorSet::new(net.clone());
+        let mut cnt = OpCounters::default();
+        let p = RootPos::Point(NetPoint::new(EdgeId(0), 0.5));
+        let keys: Vec<_> = (0..5)
+            .map(|i| set.add(&state, p, 1 + i % 4, &mut cnt))
+            .collect();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let to = RootPos::Point(NetPoint::new(EdgeId(if flip { 40 } else { 0 }), 0.5));
+            let moves: Vec<_> = keys.iter().map(|&k| (k, to)).collect();
+            set.tick(&state, &[], &[], &moves)
+                .counters
+                .shared_expansions
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, tickpath);
+criterion_main!(benches);

@@ -135,12 +135,13 @@ fn main() -> ExitCode {
             opts.parallel,
         );
         println!("{}", format_series(fig.title, &series, fig.memory));
-        // The engine figures double as the cross-PR perf tracker: emit a
-        // machine-readable artifact next to the human-readable table, and
-        // enforce the engine's O(changed-edges) replica-maintenance bound —
-        // no single tick may resync more objects than exist. CI runs the
-        // `engine` figure and fails on a violation.
-        if fig.name.starts_with("engine") {
+        // The engine and tickpath figures double as the cross-PR perf
+        // tracker: emit a machine-readable artifact next to the
+        // human-readable table, and enforce the engine's O(changed-edges)
+        // replica-maintenance bound — no single tick may resync more
+        // objects than exist. CI runs these figures and fails on a
+        // violation.
+        if fig.name.starts_with("engine") || fig.name == "tickpath" {
             let path = format!("BENCH_{}.json", fig.name);
             match std::fs::write(&path, series_to_json(fig.name, &series)) {
                 Ok(()) => println!("# wrote {path}"),
@@ -163,6 +164,41 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+        }
+        // Tick-path guarantees. Steady-state ticks must be allocation-free
+        // on the instrumented structures: the only legitimate alloc events
+        // are rare per-edge high-water records (arena capacity growth),
+        // which show up as a per-ts rate near zero. A rate at or above 0.5
+        // means per-tick churn is allocating again (e.g. a reintroduced
+        // per-edge `Vec` build) — fail. And the expansion-sharing machinery
+        // must actually fire on the default scenario.
+        if fig.name == "tickpath" {
+            let mut shared_total = 0.0;
+            for point in &series {
+                for r in &point.results {
+                    shared_total += r.shared_per_ts;
+                    let single = matches!(r.algo, rnn_bench::runner::Algo::Ima)
+                        || matches!(r.algo, rnn_bench::runner::Algo::Gma);
+                    if single && r.alloc_per_ts >= 0.5 {
+                        eprintln!(
+                            "TICK-PATH REGRESSION: {} at {} allocated {:.3} times per \
+                             steady-state tick — the arena/heap layout no longer runs \
+                             allocation-free",
+                            r.algo.name(),
+                            point.label,
+                            r.alloc_per_ts
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if shared_total <= 0.0 {
+                eprintln!(
+                    "TICK-PATH REGRESSION: shared_expansions stayed 0 across the \
+                     tickpath figure — per-tick expansion sharing never fired"
+                );
+                return ExitCode::FAILURE;
             }
         }
         // GMA's active-node count, where applicable.

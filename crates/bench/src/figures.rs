@@ -298,6 +298,26 @@ fn engine_repl(scale: f64, seed: u64) -> Vec<(String, Params)> {
         .collect()
 }
 
+/// Tick-path flatness (not in the paper): the default engine scenario at
+/// Table 2 defaults plus an elevated-churn point, reporting the arena/heap
+/// allocation counter, shared-expansion reuse, and raw expansion steps.
+/// The experiments binary asserts alloc-free steady-state ticks for the
+/// single monitors and `shared_expansions > 0` on this figure.
+fn tickpath(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    let p = base(scale, seed);
+    vec![
+        ("T2-defaults".to_string(), p.clone()),
+        (
+            "hi-churn".to_string(),
+            Params {
+                object_agility: 0.20,
+                query_agility: 0.20,
+                ..p
+            },
+        ),
+    ]
+}
+
 /// Ablation (not in the paper): IMA with vs without influence lists.
 fn ablation_influence(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.05, 0.10, 0.20]
@@ -435,6 +455,13 @@ pub fn all_figures() -> Vec<Figure> {
             algos: Algo::engine_repl_set(),
             memory: false,
             points: engine_repl,
+        },
+        Figure {
+            name: "tickpath",
+            title: "Tick path: arena allocs, shared expansions, heap steps (IMA/GMA/ENG-4)",
+            algos: Algo::tickpath_set(),
+            memory: false,
+            points: tickpath,
         },
     ]
 }

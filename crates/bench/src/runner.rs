@@ -73,6 +73,12 @@ impl Algo {
         &[Algo::Sharded(2), Algo::Sharded(4), Algo::Sharded(8)]
     }
 
+    /// The tick-path set (arena/heap/sharing counters): the incremental
+    /// monitors and the default sharded engine.
+    pub fn tickpath_set() -> &'static [Algo] {
+        &[Algo::Ima, Algo::Gma, Algo::Sharded(4)]
+    }
+
     /// Whether this algorithm is the sharded engine (and thus reports
     /// replica/resync counters).
     pub fn is_sharded(self) -> bool {
@@ -107,6 +113,16 @@ pub struct RunResult {
     /// included). The experiments binary asserts this never exceeds the
     /// object cardinality — the engine's O(changed-edges) guarantee.
     pub max_tick_resync: u64,
+    /// Mean tick-path allocation events per *measured* timestamp (arena
+    /// backing-buffer reallocations + Dijkstra heap growth). Zero proves
+    /// the steady state runs allocation-free; the experiments binary
+    /// asserts this for IMA/GMA on the tickpath figure.
+    pub alloc_per_ts: f64,
+    /// Mean expansions served from a shared expansion per timestamp (see
+    /// `OpCounters::shared_expansions`).
+    pub shared_per_ts: f64,
+    /// Mean raw Dijkstra heap pops per timestamp.
+    pub steps_per_ts: f64,
 }
 
 /// A labelled point of a figure series.
@@ -164,7 +180,9 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
             out.push_str(&format!(
                 "        {{\"algo\": \"{}\", \"cpu_per_ts\": {:.9}, \"work_per_ts\": {:.1}, \
                  \"memory_kb\": {:.1}, \"ignored_per_ts\": {:.1}, \"resync_per_ts\": {:.1}, \
-                 \"evictions_per_ts\": {:.1}, \"max_tick_resync\": {}}}{}\n",
+                 \"evictions_per_ts\": {:.1}, \"max_tick_resync\": {}, \
+                 \"alloc_per_ts\": {:.3}, \"shared_per_ts\": {:.3}, \
+                 \"steps_per_ts\": {:.1}}}{}\n",
                 esc(r.algo.name()),
                 r.cpu_per_ts,
                 r.work_per_ts,
@@ -173,6 +191,9 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                 r.resync_per_ts,
                 r.evictions_per_ts,
                 r.max_tick_resync,
+                r.alloc_per_ts,
+                r.shared_per_ts,
+                r.steps_per_ts,
                 if j + 1 < p.results.len() { "," } else { "" },
             ));
         }
@@ -240,6 +261,9 @@ pub fn run_point(
                 resync_per_ts: counters[i].resync_touched as f64 / measured as f64,
                 evictions_per_ts: counters[i].replica_evictions as f64 / measured as f64,
                 max_tick_resync: max_tick_resync[i],
+                alloc_per_ts: counters[i].alloc_events as f64 / measured as f64,
+                shared_per_ts: counters[i].shared_expansions as f64 / measured as f64,
+                steps_per_ts: counters[i].expansion_steps as f64 / measured as f64,
             }
         })
         .collect()

@@ -107,6 +107,9 @@ pub struct AnchorSet {
     anchors: FxHashMap<AnchorKey, AnchorRec>,
     il: InfluenceTable<AnchorKey>,
     engine: DijkstraEngine,
+    /// Scratch for the tick's shared multi-k expansion outcomes (cleared
+    /// every tick; a field so its capacity is reused).
+    shared_outcomes: Vec<SearchOutcome>,
     next_key: u32,
     /// Ablation switch: with influence lists disabled, every anchor is
     /// treated as affected by every update (used to quantify the paper's
@@ -124,9 +127,18 @@ impl AnchorSet {
             anchors: FxHashMap::default(),
             il,
             engine,
+            shared_outcomes: Vec::new(),
             next_key: 0,
             use_influence_lists: true,
         }
+    }
+
+    /// Folds the engine's and influence table's allocation/step counters
+    /// (accumulated by out-of-tick work such as query installs) into `c`.
+    /// [`Self::tick`] harvests its own share automatically.
+    pub fn harvest_scratch_counters(&mut self, c: &mut OpCounters) {
+        c.alloc_events += self.engine.take_alloc_events() + self.il.take_alloc_events();
+        c.expansion_steps += self.engine.take_expansion_steps();
     }
 
     /// The underlying network.
@@ -405,29 +417,104 @@ impl AnchorSet {
         let mut changed = Vec::new();
         let mut keys: Vec<AnchorKey> = pending.keys().copied().collect();
         keys.sort();
+
+        // Shared multi-k expansion: anchors that need a *from-scratch*
+        // recomputation this tick and sit at bit-identical roots run ONE
+        // expansion at the group's largest k; every member is served from
+        // that outcome (its own top-k prefix plus the tree pruned to its
+        // own kNN_dist — exactly what an independent expansion returns).
+        let mut group_of: FxHashMap<AnchorKey, usize> = FxHashMap::default();
+        {
+            let mut by_root: FxHashMap<(u8, u32, u64), Vec<AnchorKey>> = FxHashMap::default();
+            for &key in &keys {
+                let work = &pending[&key];
+                if !work.full {
+                    continue;
+                }
+                let Some(rec) = self.anchors.get(&key) else {
+                    continue;
+                };
+                let root = work.moved_root.unwrap_or(rec.root);
+                by_root.entry(root_group_key(root)).or_default().push(key);
+            }
+            let mut group_members: Vec<Vec<AnchorKey>> =
+                by_root.into_values().filter(|m| m.len() >= 2).collect();
+            // Deterministic expansion order (counters, engine epochs).
+            group_members.sort_by_key(|m| m[0]);
+            for members in group_members {
+                let first = members[0];
+                let root = pending[&first]
+                    .moved_root
+                    .unwrap_or(self.anchors[&first].root);
+                let k_max = members
+                    .iter()
+                    .map(|k| self.anchors[k].k)
+                    .max()
+                    .expect("non-empty group");
+                let ctx = SearchContext {
+                    net: &self.net,
+                    weights: &state.weights,
+                    objects: &state.objects,
+                };
+                counters.reevaluations += 1;
+                counters.shared_expansions += members.len() as u64 - 1;
+                let out = knn_search(
+                    &ctx,
+                    &mut self.engine,
+                    root,
+                    k_max,
+                    None,
+                    &[],
+                    &mut counters,
+                );
+                let idx = self.shared_outcomes.len();
+                self.shared_outcomes.push(out);
+                for key in members {
+                    group_of.insert(key, idx);
+                }
+            }
+        }
+
         for key in keys {
             let work = pending.remove(&key).expect("key from map");
             let Some(rec) = self.anchors.get_mut(&key) else {
                 continue;
             };
             let old_result = std::mem::take(&mut rec.result);
-            let did_change = resolve_anchor(
-                &self.net,
-                state,
-                &mut self.engine,
-                key,
-                rec,
-                work,
-                &old_result,
-                &changed_edges,
-                &mut self.il,
-                &mut counters,
-            );
+            let did_change = if let Some(&gi) = group_of.get(&key) {
+                serve_from_shared(
+                    &self.net,
+                    state,
+                    key,
+                    rec,
+                    &self.shared_outcomes[gi],
+                    work.moved_root,
+                    &old_result,
+                    &mut self.il,
+                    &mut counters,
+                )
+            } else {
+                resolve_anchor(
+                    &self.net,
+                    state,
+                    &mut self.engine,
+                    key,
+                    rec,
+                    work,
+                    &old_result,
+                    &changed_edges,
+                    &mut self.il,
+                    &mut counters,
+                )
+            };
             if did_change {
                 changed.push(key);
             }
         }
+        self.shared_outcomes.clear();
 
+        counters.alloc_events += self.engine.take_alloc_events() + self.il.take_alloc_events();
+        counters.expansion_steps += self.engine.take_expansion_steps();
         AnchorTickOutcome { changed, counters }
     }
 
@@ -562,6 +649,49 @@ fn store_outcome(rec: &mut AnchorRec, out: SearchOutcome) {
     rec.result = out.result;
     rec.knn_dist = out.knn_dist;
     rec.tree = out.tree;
+}
+
+/// Hashable identity of a root position. Point roots group only on
+/// bit-identical fractions — the precondition for two expansions being the
+/// same expansion.
+fn root_group_key(root: RootPos) -> (u8, u32, u64) {
+    match root {
+        RootPos::Node(n) => (0, n.0, 0),
+        RootPos::Point(p) => (1, p.edge.0, p.frac.to_bits()),
+    }
+}
+
+/// Serves one anchor of a root group from the group's shared multi-k
+/// expansion: its result is the top-`k` prefix of the shared result (the
+/// top-`k` of a top-`k_max` is the top-`k`), and its tree is the shared
+/// tree pruned to its own `kNN_dist` — the region an independent expansion
+/// would have verified. Returns whether the reported result changed.
+#[allow(clippy::too_many_arguments)]
+fn serve_from_shared(
+    net: &Arc<RoadNetwork>,
+    state: &NetworkState,
+    key: AnchorKey,
+    rec: &mut AnchorRec,
+    out: &SearchOutcome,
+    moved_root: Option<RootPos>,
+    old_result: &[Neighbor],
+    il: &mut InfluenceTable<AnchorKey>,
+    counters: &mut OpCounters,
+) -> bool {
+    if let Some(r) = moved_root {
+        rec.root = r;
+    }
+    let take = rec.k.min(out.result.len());
+    rec.result = out.result[..take].to_vec();
+    rec.knn_dist = if take == rec.k {
+        rec.result[rec.k - 1].dist
+    } else {
+        f64::INFINITY
+    };
+    rec.tree = out.tree.clone();
+    counters.tree_nodes_pruned += rec.tree.retain_within(rec.knn_dist) as u64;
+    rebuild_influence(net, state, key, rec, il);
+    results_differ(old_result, &rec.result)
 }
 
 /// Whether `new_root` falls inside the anchor's current expansion-tree
@@ -1165,6 +1295,43 @@ mod tests {
         // No-op change.
         set.set_k(&state, key, 2, &mut c);
         assert_eq!(set.get(key).unwrap().result.len(), 2);
+    }
+
+    #[test]
+    fn co_rooted_full_recomputes_share_one_expansion() {
+        let (_, state, mut set) = setup();
+        let mut c = OpCounters::default();
+        let p0 = RootPos::Point(NetPoint::new(EdgeId(0), 0.25));
+        let a = set.add(&state, p0, 1, &mut c);
+        let b = set.add(&state, p0, 2, &mut c);
+        // Jump both clear across the network to the same new point: both
+        // need a from-scratch recomputation at the same root.
+        let to = RootPos::Point(NetPoint::new(EdgeId(4), 0.75));
+        let deltas = crate::state::CoalescedTick::default();
+        let out = set.tick(&state, &deltas.objects, &deltas.edges, &[(a, to), (b, to)]);
+        assert_eq!(
+            out.counters.shared_expansions, 1,
+            "two co-rooted recomputes must share one expansion"
+        );
+        assert_eq!(
+            out.counters.reevaluations, 1,
+            "only the group expansion runs"
+        );
+        // Answers equal fresh independent installs at the same point.
+        let mut oracle = AnchorSet::new(set.network().clone());
+        let oa = oracle.add(&state, to, 1, &mut c);
+        let ob = oracle.add(&state, to, 2, &mut c);
+        assert_eq!(set.get(a).unwrap().result, oracle.get(oa).unwrap().result);
+        assert_eq!(set.get(b).unwrap().result, oracle.get(ob).unwrap().result);
+        assert_eq!(
+            set.get(a).unwrap().knn_dist,
+            oracle.get(oa).unwrap().knn_dist
+        );
+        assert_eq!(
+            set.get(b).unwrap().knn_dist,
+            oracle.get(ob).unwrap().knn_dist
+        );
+        set.validate(&state);
     }
 
     #[test]

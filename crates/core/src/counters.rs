@@ -34,6 +34,21 @@ pub struct OpCounters {
     /// Replicas evicted because a halo shrank or an edge left a halo
     /// (sharded engine only).
     pub replica_evictions: u64,
+    /// Heap-allocation events on the instrumented tick-path structures:
+    /// per-edge arena backing-buffer reallocations (object lists, influence
+    /// lists, replica buckets) and Dijkstra-heap capacity growth. Zero on a
+    /// steady-state tick — all list churn and expansion work ran in reused
+    /// capacity.
+    pub alloc_events: u64,
+    /// Raw Dijkstra expansion steps (heap pops, including lazily discarded
+    /// stale entries) — the machine-independent measure of heap traffic.
+    pub expansion_steps: u64,
+    /// Queries/anchors served from a *shared* expansion instead of running
+    /// their own: root-grouped multi-k re-expansions in the anchor set, and
+    /// GMA queries answered from an active-node expansion that already
+    /// served another query this tick. Each count is one network expansion
+    /// that did **not** run.
+    pub shared_expansions: u64,
 }
 
 impl OpCounters {
@@ -48,6 +63,9 @@ impl OpCounters {
         self.tree_nodes_pruned += other.tree_nodes_pruned;
         self.resync_touched += other.resync_touched;
         self.replica_evictions += other.replica_evictions;
+        self.alloc_events += other.alloc_events;
+        self.expansion_steps += other.expansion_steps;
+        self.shared_expansions += other.shared_expansions;
     }
 
     /// A single scalar proxy for CPU work (used by tests that assert one
@@ -128,6 +146,9 @@ mod tests {
             updates_ignored: 3,
             resync_touched: 7,
             replica_evictions: 2,
+            alloc_events: 4,
+            expansion_steps: 9,
+            shared_expansions: 6,
             ..Default::default()
         };
         a.merge(&b);
@@ -137,6 +158,9 @@ mod tests {
         assert_eq!(a.updates_ignored, 3);
         assert_eq!(a.resync_touched, 7);
         assert_eq!(a.replica_evictions, 2);
+        assert_eq!(a.alloc_events, 4);
+        assert_eq!(a.expansion_steps, 9);
+        assert_eq!(a.shared_expansions, 6);
         assert_eq!(a.work(), 11 + 2 + 5);
     }
 

@@ -76,6 +76,12 @@ pub struct Gma {
     seq_queries: FxHashMap<SeqId, FxHashSet<QueryId>>,
     /// Query influence lists, restricted to within-sequence edges.
     qil: InfluenceTable<QueryId>,
+    /// Per-tick scratch: how many re-evaluated queries were served from
+    /// each active node's monitored expansion this tick. Every use beyond
+    /// the first is one network expansion that did not run — GMA's
+    /// expansion sharing (Lemma 1), surfaced through
+    /// [`OpCounters::shared_expansions`].
+    tick_served: FxHashMap<NodeId, u32>,
 }
 
 impl Gma {
@@ -114,6 +120,7 @@ impl Gma {
             queries: FxHashMap::default(),
             seq_queries: FxHashMap::default(),
             qil: InfluenceTable::new(0),
+            tick_served: FxHashMap::default(),
         }
         .finish_init(node_seqs)
     }
@@ -239,7 +246,8 @@ impl Gma {
         } else {
             vec![(s.start_node(), d_start), (s.end_node(), d_end)]
         };
-        for (n, base) in merge_points {
+        let mut served_nodes: [Option<NodeId>; 2] = [None, None];
+        for (i, (n, base)) in merge_points.into_iter().enumerate() {
             if self.net.degree(n) < 3 || base >= best.kth() {
                 continue;
             }
@@ -249,10 +257,14 @@ impl Gma {
                 .expect("endpoint of a query sequence is active");
             let rec = self.nodes.get(*key).expect("anchor exists");
             debug_assert!(rec.k >= k, "active node monitors too few NNs");
+            served_nodes[i] = Some(n);
             for nb in &rec.result {
                 counters.objects_considered += 1;
                 best.offer(nb.object, base + nb.dist);
             }
+        }
+        for n in served_nodes.into_iter().flatten() {
+            *self.tick_served.entry(n).or_default() += 1;
         }
 
         let result = best.into_result();
@@ -467,6 +479,7 @@ impl ContinuousMonitor for Gma {
     fn tick(&mut self, batch: &UpdateBatch) -> TickReport {
         let start = Instant::now();
         let mut counters = OpCounters::default();
+        self.tick_served.clear();
         let deltas = self.state.apply_batch(batch);
 
         // ---- Figure 12, lines 1-4: query arrivals/departures/moves update
@@ -602,6 +615,20 @@ impl ContinuousMonitor for Gma {
                 results_changed += 1;
             }
         }
+
+        // Expansion sharing: every query beyond the first served from the
+        // same active-node expansion this tick reused it instead of
+        // expanding on its own.
+        counters.shared_expansions += self
+            .tick_served
+            .values()
+            .map(|&c| u64::from(c.saturating_sub(1)))
+            .sum::<u64>();
+        // Allocation/step accounting: node-anchor engine + influence
+        // arenas, the query influence arena, and the object index arena.
+        self.nodes.harvest_scratch_counters(&mut counters);
+        counters.alloc_events +=
+            self.qil.take_alloc_events() + self.state.objects.take_alloc_events();
 
         TickReport {
             elapsed: start.elapsed(),

@@ -146,6 +146,12 @@ impl ContinuousMonitor for Ima {
             results_changed += 1;
         }
 
+        // Allocation/step accounting for the whole tick: the anchor set's
+        // engine + influence arena (install work included) and the object
+        // index's span arena.
+        self.anchors.harvest_scratch_counters(&mut counters);
+        counters.alloc_events += self.state.objects.take_alloc_events();
+
         TickReport {
             elapsed: start.elapsed(),
             results_changed,

@@ -17,7 +17,7 @@
 //! GMA's node-monitoring module stores active-node ids, and GMA's sequence
 //! layer stores query ids again.
 
-use rnn_roadnet::EdgeId;
+use rnn_roadnet::{EdgeId, SpanArena};
 
 /// Up to two disjoint fraction intervals on one edge.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -114,16 +114,21 @@ impl IntervalSet {
 
 /// Influence lists: for each edge, the set of influencees with their
 /// influencing intervals.
+///
+/// Backed by a [`SpanArena`]: all per-edge lists share one flat buffer
+/// with free-list span reuse, so the constant interval churn of the tick
+/// path (every re-expansion rebuilds its anchor's intervals) does no
+/// per-edge heap allocation in steady state.
 #[derive(Clone, Debug)]
 pub struct InfluenceTable<K: Copy + Eq> {
-    per_edge: Vec<Vec<(K, IntervalSet)>>,
+    per_edge: SpanArena<(K, IntervalSet)>,
 }
 
 impl<K: Copy + Eq> InfluenceTable<K> {
     /// A table covering `num_edges` edges.
     pub fn new(num_edges: usize) -> Self {
         Self {
-            per_edge: vec![Vec::new(); num_edges],
+            per_edge: SpanArena::new(num_edges),
         }
     }
 
@@ -134,43 +139,47 @@ impl<K: Copy + Eq> InfluenceTable<K> {
             self.remove(e, who);
             return;
         }
-        let list = &mut self.per_edge[e.index()];
+        let list = self.per_edge.get_mut(e.index());
         match list.iter_mut().find(|(k, _)| *k == who) {
             Some(slot) => slot.1 = ivs,
-            None => list.push((who, ivs)),
+            None => {
+                self.per_edge.push(e.index(), (who, ivs));
+            }
         }
     }
 
     /// Removes `who` from edge `e`'s list.
     pub fn remove(&mut self, e: EdgeId, who: K) {
-        let list = &mut self.per_edge[e.index()];
+        let list = self.per_edge.get(e.index());
         if let Some(idx) = list.iter().position(|(k, _)| *k == who) {
-            list.swap_remove(idx);
+            self.per_edge.swap_remove(e.index(), idx);
         }
     }
 
     /// All influencees registered on edge `e`.
     #[inline]
     pub fn on_edge(&self, e: EdgeId) -> &[(K, IntervalSet)] {
-        &self.per_edge[e.index()]
+        self.per_edge.get(e.index())
     }
 
     /// Influencees whose interval on `e` covers fraction `t`.
     pub fn covering(&self, e: EdgeId, t: f64) -> impl Iterator<Item = K> + '_ {
-        self.per_edge[e.index()]
+        self.per_edge
+            .get(e.index())
             .iter()
             .filter(move |(_, ivs)| ivs.covers(t))
             .map(|&(k, _)| k)
     }
 
+    /// Arena alloc events accumulated since the last take (see
+    /// [`SpanArena::take_alloc_events`]).
+    pub fn take_alloc_events(&mut self) -> u64 {
+        self.per_edge.take_alloc_events()
+    }
+
     /// Approximate resident bytes.
     pub fn memory_bytes(&self) -> usize {
-        let entry = std::mem::size_of::<(K, IntervalSet)>();
-        self.per_edge
-            .iter()
-            .map(|v| v.capacity() * entry)
-            .sum::<usize>()
-            + self.per_edge.capacity() * std::mem::size_of::<Vec<(K, IntervalSet)>>()
+        self.per_edge.memory_bytes()
     }
 }
 

@@ -135,6 +135,9 @@ impl ContinuousMonitor for Ovh {
                 results_changed += 1;
             }
         }
+        counters.alloc_events +=
+            self.engine.take_alloc_events() + self.state.objects.take_alloc_events();
+        counters.expansion_steps += self.engine.take_expansion_steps();
         TickReport {
             elapsed: start.elapsed(),
             results_changed,

@@ -9,22 +9,38 @@
 //! preprocessing: multiple updates of one entity within a timestamp are
 //! coalesced into a single `(first old value, last new value)` record.
 
-use rnn_roadnet::{EdgeId, EdgeWeights, FxHashMap, NetPoint, ObjectId, QueryId, RoadNetwork};
+use rnn_roadnet::{
+    EdgeId, EdgeWeights, FxHashMap, NetPoint, ObjectId, QueryId, RoadNetwork, SpanArena,
+};
 
 use crate::types::{ObjectEvent, QueryEvent, UpdateBatch};
 
+/// An object's position plus its index within its edge's arena span (the
+/// positional back-reference that makes removal O(1) instead of a linear
+/// scan of the edge list).
+#[derive(Clone, Copy, Debug)]
+struct ObjSlot {
+    at: NetPoint,
+    idx: u32,
+}
+
 /// Per-edge object lists plus the object → position table.
+///
+/// The per-edge lists live in one [`SpanArena`] (no per-edge `Vec`
+/// allocations; steady-state ticks reuse spans), and each object's table
+/// entry carries its index within its edge span, so removal is a
+/// positional `swap_remove` — no scan of long edge lists.
 #[derive(Clone, Debug, Default)]
 pub struct ObjectIndex {
-    per_edge: Vec<Vec<(ObjectId, f64)>>,
-    positions: FxHashMap<ObjectId, NetPoint>,
+    per_edge: SpanArena<(ObjectId, f64)>,
+    positions: FxHashMap<ObjectId, ObjSlot>,
 }
 
 impl ObjectIndex {
     /// Creates an index for `num_edges` edges.
     pub fn new(num_edges: usize) -> Self {
         Self {
-            per_edge: vec![Vec::new(); num_edges],
+            per_edge: SpanArena::new(num_edges),
             positions: FxHashMap::default(),
         }
     }
@@ -35,42 +51,60 @@ impl ObjectIndex {
         if self.positions.contains_key(&id) {
             return false;
         }
-        self.positions.insert(id, at);
-        self.per_edge[at.edge.index()].push((id, at.frac));
+        let idx = self.per_edge.push(at.edge.index(), (id, at.frac));
+        self.positions.insert(
+            id,
+            ObjSlot {
+                at,
+                idx: idx as u32,
+            },
+        );
         true
     }
 
-    /// Removes an object, returning its last position.
+    /// Removes an object, returning its last position. O(1): the stored
+    /// back-reference replaces the edge-list scan, and `swap_remove` fixes
+    /// up the one displaced entry's back-reference.
     pub fn remove(&mut self, id: ObjectId) -> Option<NetPoint> {
-        let pos = self.positions.remove(&id)?;
-        let list = &mut self.per_edge[pos.edge.index()];
-        let idx = list
-            .iter()
-            .position(|&(o, _)| o == id)
-            .expect("object list out of sync");
-        list.swap_remove(idx);
-        Some(pos)
+        let slot = self.positions.remove(&id)?;
+        let e = slot.at.edge.index();
+        let removed = self.per_edge.swap_remove(e, slot.idx as usize);
+        debug_assert_eq!(removed.0, id, "object list out of sync");
+        if (slot.idx as usize) < self.per_edge.len_of(e) {
+            let moved = self.per_edge.get(e)[slot.idx as usize].0;
+            self.positions
+                .get_mut(&moved)
+                .expect("moved object must be registered")
+                .idx = slot.idx;
+        }
+        Some(slot.at)
     }
 
     /// Moves an object, returning its previous position. Returns `None`
     /// (and does nothing) for unknown ids.
     pub fn relocate(&mut self, id: ObjectId, to: NetPoint) -> Option<NetPoint> {
         let old = self.remove(id)?;
-        self.positions.insert(id, to);
-        self.per_edge[to.edge.index()].push((id, to.frac));
+        let idx = self.per_edge.push(to.edge.index(), (id, to.frac));
+        self.positions.insert(
+            id,
+            ObjSlot {
+                at: to,
+                idx: idx as u32,
+            },
+        );
         Some(old)
     }
 
     /// Current position of `id`.
     #[inline]
     pub fn position(&self, id: ObjectId) -> Option<NetPoint> {
-        self.positions.get(&id).copied()
+        self.positions.get(&id).map(|s| s.at)
     }
 
     /// Objects currently on edge `e`, as `(id, fraction)` pairs.
     #[inline]
     pub fn on_edge(&self, e: EdgeId) -> &[(ObjectId, f64)] {
-        &self.per_edge[e.index()]
+        self.per_edge.get(e.index())
     }
 
     /// Number of objects in the system.
@@ -87,20 +121,21 @@ impl ObjectIndex {
 
     /// Iterator over all `(id, position)` pairs (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, NetPoint)> + '_ {
-        self.positions.iter().map(|(&id, &p)| (id, p))
+        self.positions.iter().map(|(&id, s)| (id, s.at))
+    }
+
+    /// Arena alloc events accumulated since the last take (backing-buffer
+    /// reallocations; zero across a tick = the tick's object churn ran
+    /// entirely in reused spans).
+    pub fn take_alloc_events(&mut self) -> u64 {
+        self.per_edge.take_alloc_events()
     }
 
     /// Approximate resident bytes.
     pub fn memory_bytes(&self) -> usize {
-        let lists: usize = self
-            .per_edge
-            .iter()
-            .map(|v| v.capacity() * std::mem::size_of::<(ObjectId, f64)>())
-            .sum();
-        lists
-            + self.per_edge.capacity() * std::mem::size_of::<Vec<(ObjectId, f64)>>()
+        self.per_edge.memory_bytes()
             + self.positions.capacity()
-                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<NetPoint>())
+                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<ObjSlot>())
     }
 }
 

@@ -98,6 +98,34 @@ struct QueryRec {
     result: Vec<Neighbor>,
 }
 
+/// One shard's halo edge set, **ring-structured**: every member edge is
+/// stored with its *boundary distance* (the minimum settle distance of its
+/// adjacent settled nodes during the halo expansion), and the membership is
+/// additionally kept sorted by that distance. A shrink then drops exactly
+/// the outer annulus — pop the sorted tail — without re-running the
+/// boundary Dijkstra. Boundary distances only change when edge weights do,
+/// and any weight change forces a full halo recompute earlier in the same
+/// tick, so the recorded annuli are always current when the shrink runs.
+#[derive(Default)]
+struct HaloRing {
+    /// Membership, with each edge's boundary distance.
+    dist: FxHashMap<EdgeId, f64>,
+    /// Member edges sorted ascending by boundary distance (ties by id).
+    by_dist: Vec<(f64, EdgeId)>,
+}
+
+impl HaloRing {
+    #[inline]
+    fn contains(&self, e: EdgeId) -> bool {
+        self.dist.contains_key(&e)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.dist.capacity() * (std::mem::size_of::<EdgeId>() + std::mem::size_of::<f64>())
+            + self.by_dist.capacity() * std::mem::size_of::<(f64, EdgeId)>()
+    }
+}
+
 /// A sharded, multi-threaded continuous-monitoring engine that is
 /// answer-identical to a single monitor over the whole network.
 ///
@@ -125,8 +153,9 @@ pub struct ShardedEngine {
     /// Consecutive ticks each shard's halo has been oversized (the shrink
     /// hysteresis counter).
     shrink_streak: Vec<u32>,
-    /// Foreign edges inside each shard's halo.
-    halo_edges: Vec<FxHashSet<EdgeId>>,
+    /// Foreign edges inside each shard's halo, ring-structured (distance
+    /// annuli) so shrinks drop only the outer ring.
+    halo_edges: Vec<HaloRing>,
     /// Per-edge visibility mask: bit `s` = edge is owned by or in the halo
     /// of shard `s`.
     edge_mask: Vec<u64>,
@@ -201,7 +230,7 @@ impl ShardedEngine {
             workers,
             halo_r: vec![0.0; cfg.num_shards],
             shrink_streak: vec![0; cfg.num_shards],
-            halo_edges: vec![FxHashSet::default(); cfg.num_shards],
+            halo_edges: (0..cfg.num_shards).map(|_| HaloRing::default()).collect(),
             edge_mask,
             objects: FxHashMap::default(),
             edge_obj: EdgeObjectIndex::new(net.num_edges()),
@@ -323,7 +352,7 @@ impl ShardedEngine {
         for e in self.net.edge_ids() {
             let mut expect = 1u64 << self.partition.shard_of_edge(e);
             for (s, halo) in self.halo_edges.iter().enumerate() {
-                if halo.contains(&e) {
+                if halo.contains(e) {
                     if self.partition.shard_of_edge(e) == s as u32 {
                         return Err(format!("shard {s} lists its own edge {e:?} as halo"));
                     }
@@ -343,10 +372,13 @@ impl ShardedEngine {
     // --- Halo maintenance -------------------------------------------------
 
     /// Recomputes shard `s`'s halo edge set under the current weights and
-    /// radius, adding every edge whose membership toggled to `changed`.
+    /// radius (one bounded multi-source Dijkstra from the shard boundary),
+    /// adding every edge whose membership toggled to `changed`. Also
+    /// refreshes the ring structure (each member's boundary distance) that
+    /// [`Self::shrink_halo_ring`] later pops from.
     fn recompute_halo(&mut self, s: usize, changed: &mut FxHashSet<EdgeId>) {
         let r = self.halo_r[s];
-        let mut fresh = FxHashSet::default();
+        let mut fresh: FxHashMap<EdgeId, f64> = FxHashMap::default();
         let boundary = &self.partition.view(s).boundary_nodes;
         if r > 0.0 && !boundary.is_empty() {
             self.scratch.begin();
@@ -359,7 +391,7 @@ impl ShardedEngine {
                 }
                 for &(e, m) in self.net.adjacent(n) {
                     if self.partition.shard_of_edge(e) != s as u32 {
-                        fresh.insert(e);
+                        fresh.entry(e).and_modify(|x| *x = x.min(d)).or_insert(d);
                     }
                     let nd = d + self.weights.get(e);
                     if nd <= r {
@@ -368,19 +400,46 @@ impl ShardedEngine {
                 }
             }
         }
-        if fresh == self.halo_edges[s] {
-            return;
-        }
         let bit = 1u64 << s;
-        for &e in self.halo_edges[s].difference(&fresh) {
+        let ring = &mut self.halo_edges[s];
+        for &e in ring.dist.keys() {
+            if !fresh.contains_key(&e) {
+                self.edge_mask[e.index()] &= !bit;
+                changed.insert(e);
+            }
+        }
+        for &e in fresh.keys() {
+            if !ring.dist.contains_key(&e) {
+                self.edge_mask[e.index()] |= bit;
+                changed.insert(e);
+            }
+        }
+        ring.by_dist.clear();
+        ring.by_dist.extend(fresh.iter().map(|(&e, &d)| (d, e)));
+        ring.by_dist
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        ring.dist = fresh;
+    }
+
+    /// Ring-structured shrink: after `halo_r[s]` has decayed, drops exactly
+    /// the edges in the annulus beyond the new radius by popping the sorted
+    /// tail of the ring — O(dropped edges), no Dijkstra re-expansion. A
+    /// radius of zero empties the halo (membership requires a settled node
+    /// within a *positive* radius, matching [`Self::recompute_halo`]).
+    fn shrink_halo_ring(&mut self, s: usize, changed: &mut FxHashSet<EdgeId>) {
+        let r = self.halo_r[s];
+        let cutoff = if r > 0.0 { r } else { f64::NEG_INFINITY };
+        let bit = 1u64 << s;
+        let ring = &mut self.halo_edges[s];
+        while let Some(&(d, e)) = ring.by_dist.last() {
+            if d <= cutoff {
+                break;
+            }
+            ring.by_dist.pop();
+            ring.dist.remove(&e);
             self.edge_mask[e.index()] &= !bit;
             changed.insert(e);
         }
-        for &e in fresh.difference(&self.halo_edges[s]) {
-            self.edge_mask[e.index()] |= bit;
-            changed.insert(e);
-        }
-        self.halo_edges[s] = fresh;
     }
 
     /// Re-derives the desired shard set of every object resident on a
@@ -548,7 +607,9 @@ impl ShardedEngine {
                 self.shrink_streak[s] += 1;
                 if self.shrink_streak[s] >= patience {
                     self.halo_r[s] = target;
-                    self.recompute_halo(s, &mut changed);
+                    // Decay-only change: drop the outer annulus from the
+                    // ring instead of re-running the boundary Dijkstra.
+                    self.shrink_halo_ring(s, &mut changed);
                     self.shrink_streak[s] = 0;
                 }
             } else {
@@ -765,6 +826,12 @@ impl ContinuousMonitor for ShardedEngine {
         let mut counters = self.workers_report.counters;
         counters.resync_touched += self.tick_resync_touched;
         counters.replica_evictions += self.tick_replica_evictions;
+        // Router-side allocation/step accounting: the halo scratch engine
+        // and the edge→object arena (the workers' own counters already
+        // arrived through their tick reports).
+        counters.alloc_events +=
+            self.scratch.take_alloc_events() + self.edge_obj.take_alloc_events();
+        counters.expansion_steps += self.scratch.take_expansion_steps();
         TickReport {
             elapsed: start.elapsed(),
             results_changed,
@@ -810,7 +877,7 @@ impl ContinuousMonitor for ShardedEngine {
             + self
                 .halo_edges
                 .iter()
-                .map(|h| h.capacity() * std::mem::size_of::<EdgeId>())
+                .map(HaloRing::memory_bytes)
                 .sum::<usize>()
             + self.edge_obj.memory_bytes()
             + self.weights.memory_bytes();

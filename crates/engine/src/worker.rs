@@ -133,8 +133,12 @@ fn worker_loop(
     let mut shipped: FxHashMap<QueryId, (f64, Vec<Neighbor>)> = FxHashMap::default();
     // Monitor-facing batch, reassembled from each delta on this thread
     // (the edge copy out of the shared arena runs on S workers in
-    // parallel, off the router's critical path) and reused across ticks.
+    // parallel, off the router's critical path) and reused across ticks,
+    // like the per-tick scratch sets below — steady-state ticks run in
+    // capacity the worker already owns.
     let mut batch = UpdateBatch::default();
+    let mut installed: FxHashSet<QueryId> = FxHashSet::default();
+    let mut live: FxHashSet<QueryId> = FxHashSet::default();
     while let Ok(req) = rx.recv() {
         match req {
             Request::Tick(delta) => {
@@ -146,17 +150,15 @@ fn worker_loop(
                 // just created an empty record for them, even when the
                 // monitor reproduces a result this cache already saw
                 // (remove + reinstall of the same id).
-                let installed: FxHashSet<QueryId> = batch
-                    .queries
-                    .iter()
-                    .filter_map(|ev| match ev {
-                        QueryEvent::Install { id, .. } => Some(*id),
-                        _ => None,
-                    })
-                    .collect();
+                installed.clear();
+                installed.extend(batch.queries.iter().filter_map(|ev| match ev {
+                    QueryEvent::Install { id, .. } => Some(*id),
+                    _ => None,
+                }));
                 let report = monitor.tick(&batch);
                 let ids = monitor.query_ids();
-                let live: FxHashSet<QueryId> = ids.iter().copied().collect();
+                live.clear();
+                live.extend(ids.iter().copied());
                 shipped.retain(|id, _| live.contains(id));
                 let mut snapshots = Vec::new();
                 for id in ids {

@@ -9,7 +9,16 @@
 //! The engine keeps dense per-node scratch arrays that are invalidated in
 //! O(1) between runs via epoch stamping — an expansion that touches `m`
 //! nodes costs `O(m log m)`, not `O(|V|)`, even though the arrays are
-//! network-sized. One engine per monitor amortises all allocations.
+//! network-sized. One engine per monitor amortises all allocations:
+//! [`DijkstraEngine::reset_reuse`] restarts an expansion without releasing
+//! any capacity, so every expansion of a tick after the first is
+//! allocation-free (observable through [`DijkstraEngine::take_alloc_events`]).
+//!
+//! Heap entries are ordered by the **monotone-bits `u64` image** of the
+//! `f64` distance: for the non-negative distances Dijkstra produces,
+//! `f64::to_bits` preserves order exactly, so the heap compares plain
+//! integers — no `partial_cmp().expect()` NaN branch per comparison on the
+//! hottest loop in the system, and `(u64, u32)` entries stay 16 bytes.
 //!
 //! Convenience wrappers ([`DijkstraEngine::sssp`],
 //! [`DijkstraEngine::dist_between_points`],
@@ -24,24 +33,50 @@ use crate::ids::{EdgeId, NodeId};
 use crate::netpoint::NetPoint;
 use crate::weights::EdgeWeights;
 
-/// A min-heap entry: `(distance, node)`, ordered by distance then node id so
-/// that expansion order is fully deterministic.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// A min-heap entry: `(distance as monotone u64 bits, node)`, ordered by
+/// distance then node id so that expansion order is fully deterministic.
+///
+/// Dijkstra distances are always finite-or-`+∞` and non-negative, and on
+/// that range `f64::to_bits` is strictly monotone — so ordering the raw
+/// bit patterns as integers reproduces the float order *exactly* (same
+/// pops, same tie-breaks) while the comparison compiles to branch-free
+/// integer code instead of a three-way float compare with a NaN `expect`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct HeapEntry {
-    dist: f64,
+    key: u64,
     node: NodeId,
 }
 
-impl Eq for HeapEntry {}
+impl HeapEntry {
+    #[inline]
+    fn new(dist: f64, node: NodeId) -> Self {
+        debug_assert!(
+            dist >= 0.0,
+            "expansion distances must be non-negative, got {dist}"
+        );
+        // `+ 0.0` normalises a negative zero (which `clamp(0.0, 1.0)`
+        // preserves, so a fraction of -0.0 can reach us through seed
+        // arithmetic) to +0.0 — the raw bits of -0.0 would otherwise sort
+        // *after* +∞ and starve that branch of the expansion.
+        Self {
+            key: (dist + 0.0).to_bits(),
+            node,
+        }
+    }
+
+    #[inline]
+    fn dist(self) -> f64 {
+        f64::from_bits(self.key)
+    }
+}
 
 impl Ord for HeapEntry {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse so the std max-heap pops the *smallest* distance first.
         other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("distances must not be NaN")
+            .key
+            .cmp(&self.key)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -70,6 +105,11 @@ pub struct DijkstraEngine {
     stamps: Vec<u32>,
     epoch: u32,
     heap: BinaryHeap<HeapEntry>,
+    /// Heap-capacity growth events (see [`Self::take_alloc_events`]).
+    allocs: u64,
+    /// Raw heap pops, including lazily discarded stale entries (see
+    /// [`Self::take_expansion_steps`]).
+    steps: u64,
 }
 
 impl DijkstraEngine {
@@ -87,12 +127,22 @@ impl DijkstraEngine {
             ],
             stamps: vec![0; num_nodes],
             epoch: 0,
-            heap: BinaryHeap::new(),
+            // Pre-size the heap so typical expansions never grow it: one
+            // entry per node covers everything but heavy stale-entry
+            // pile-ups (growth beyond this is counted as an alloc event).
+            heap: BinaryHeap::with_capacity(num_nodes),
+            allocs: 0,
+            steps: 0,
         }
     }
 
-    /// Starts a fresh expansion, invalidating all previous state in O(1).
-    pub fn begin(&mut self) {
+    /// Restarts the engine for a new expansion **without releasing any
+    /// capacity**: the heap keeps its buffer and the dense per-node arrays
+    /// are invalidated in O(1) by bumping the epoch stamp. This is the
+    /// reuse mode that lets one engine serve *all* of a monitor's
+    /// expansions in a tick allocation-free — the only allocations are
+    /// high-water-mark heap growth, counted in [`Self::take_alloc_events`].
+    pub fn reset_reuse(&mut self) {
         self.heap.clear();
         self.epoch = match self.epoch.checked_add(1) {
             Some(e) => e,
@@ -103,6 +153,39 @@ impl DijkstraEngine {
                 1
             }
         };
+    }
+
+    /// Starts a fresh expansion, invalidating all previous state in O(1).
+    /// Alias of [`Self::reset_reuse`], kept as the conventional name.
+    #[inline]
+    pub fn begin(&mut self) {
+        self.reset_reuse();
+    }
+
+    /// Heap-capacity growth events since the last take. Zero across a tick
+    /// proves the tick's expansions ran entirely in reused capacity.
+    pub fn take_alloc_events(&mut self) -> u64 {
+        std::mem::take(&mut self.allocs)
+    }
+
+    /// Raw expansion steps (heap pops, including lazily discarded stale
+    /// entries) since the last take — the machine-independent measure of
+    /// heap traffic.
+    pub fn take_expansion_steps(&mut self) -> u64 {
+        std::mem::take(&mut self.steps)
+    }
+
+    /// Pushes a heap entry, counting capacity growth as an alloc event.
+    /// Growth reserves 4× so the high-water mark is passed (and paid for)
+    /// once, not re-approached every few ticks.
+    #[inline]
+    fn heap_push(&mut self, entry: HeapEntry) {
+        if self.heap.len() == self.heap.capacity() {
+            self.allocs += 1;
+            self.heap
+                .reserve(self.heap.capacity().saturating_mul(3).max(64));
+        }
+        self.heap.push(entry);
     }
 
     #[inline]
@@ -146,7 +229,7 @@ impl DijkstraEngine {
             st.dist = dist;
             st.parent = parent;
             st.parent_edge = parent_edge;
-            self.heap.push(HeapEntry { dist, node });
+            self.heap_push(HeapEntry::new(dist, node));
         }
     }
 
@@ -165,7 +248,9 @@ impl DijkstraEngine {
     /// Pops the next node to settle, or `None` when the frontier is empty.
     /// Returns `(node, distance)`. Lazily discards stale heap entries.
     pub fn pop_settle(&mut self) -> Option<(NodeId, f64)> {
-        while let Some(HeapEntry { dist, node }) = self.heap.pop() {
+        while let Some(entry) = self.heap.pop() {
+            self.steps += 1;
+            let (dist, node) = (entry.dist(), entry.node);
             let st = self.state_mut(node);
             if st.settled || dist > st.dist {
                 continue;
@@ -178,13 +263,15 @@ impl DijkstraEngine {
 
     /// The distance of the next candidate on the heap without settling it.
     pub fn peek_dist(&mut self) -> Option<f64> {
-        while let Some(&HeapEntry { dist, node }) = self.heap.peek() {
+        while let Some(&entry) = self.heap.peek() {
+            let (dist, node) = (entry.dist(), entry.node);
             let settled_or_stale = match self.state(node) {
                 Some(st) => st.settled || dist > st.dist,
                 None => true,
             };
             if settled_or_stale {
                 self.heap.pop();
+                self.steps += 1;
             } else {
                 return Some(dist);
             }
@@ -211,7 +298,7 @@ impl DijkstraEngine {
             st.dist = dist;
             st.parent = Some(via);
             st.parent_edge = edge;
-            self.heap.push(HeapEntry { dist, node });
+            self.heap_push(HeapEntry::new(dist, node));
             true
         } else {
             false
@@ -544,6 +631,67 @@ mod tests {
         eng.seed(NodeId(3), 2.0, None); // better; first entry now stale
         assert_eq!(eng.peek_dist(), Some(2.0));
         let _ = net;
+    }
+
+    #[test]
+    fn reuse_is_allocation_free_and_counts_steps() {
+        let (net, w) = square();
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        eng.sssp(&net, &w, NodeId(0), None);
+        eng.take_alloc_events();
+        assert!(eng.take_expansion_steps() > 0);
+        // Re-running the same expansion reuses all capacity.
+        for _ in 0..5 {
+            eng.reset_reuse();
+            eng.seed(NodeId(0), 0.0, None);
+            while let Some((n, d)) = eng.pop_settle() {
+                for &(e, m) in net.adjacent(n) {
+                    eng.relax(m, n, d + w.get(e));
+                }
+            }
+        }
+        assert_eq!(eng.take_alloc_events(), 0, "reuse must not grow the heap");
+        assert!(eng.take_expansion_steps() >= 4 * 5);
+    }
+
+    #[test]
+    fn heap_key_order_matches_float_order() {
+        // The monotone-bits claim: for non-negative floats, to_bits order
+        // equals numeric order (including +∞ as the maximum).
+        let samples = [
+            0.0,
+            1e-300,
+            0.5,
+            1.0,
+            1.0 + f64::EPSILON,
+            3.75,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in samples.windows(2) {
+            assert!(w[0].to_bits() < w[1].to_bits(), "{} vs {}", w[0], w[1]);
+        }
+        // Negative zero must key identically to +0.0 (its raw bits would
+        // sort after +∞).
+        let nz = HeapEntry::new(-0.0, NodeId(1));
+        let pz = HeapEntry::new(0.0, NodeId(1));
+        assert_eq!(nz.key, pz.key);
+        assert_eq!(nz.dist().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn negative_zero_seed_settles_first() {
+        // A seed at -0.0 (reachable via a clamped -0.0 fraction) must pop
+        // before farther nodes, exactly like a +0.0 seed.
+        let (net, w) = square();
+        let mut eng = DijkstraEngine::new(net.num_nodes());
+        eng.begin();
+        eng.seed(NodeId(2), -0.0, None);
+        eng.seed(NodeId(1), 0.25, None);
+        let (n, d) = eng.pop_settle().unwrap();
+        assert_eq!(n, NodeId(2));
+        assert_eq!(d, 0.0);
+        let _ = (net, w);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod arena;
 pub mod dijkstra;
 pub mod generators;
 pub mod geometry;
@@ -37,6 +38,7 @@ pub mod quadtree;
 pub mod sequence;
 pub mod weights;
 
+pub use arena::SpanArena;
 pub use dijkstra::DijkstraEngine;
 pub use geometry::{Point2, Rect};
 pub use graph::{Edge, NetworkData, RoadNetwork, RoadNetworkBuilder};

@@ -9,16 +9,19 @@
 //! (Mokbel et al., SIGMOD 2004) and SEA-CNN (Xiong et al., ICDE 2005)
 //! applied to replica bookkeeping.
 //!
-//! The index is a dense per-edge bucket table. Buckets hold unsorted object
+//! The index is a dense per-edge bucket table backed by a [`SpanArena`]:
+//! all buckets share one flat buffer, so routing object events does no
+//! per-bucket heap allocation in steady state. Buckets hold unsorted object
 //! ids (removal swap-pops), matching the access pattern: bulk iteration per
 //! edge during resync, single insert/remove per routed object event.
 
+use crate::arena::SpanArena;
 use crate::ids::{EdgeId, ObjectId};
 
 /// Dense map from each edge to the set of objects currently resident on it.
 #[derive(Clone, Debug, Default)]
 pub struct EdgeObjectIndex {
-    buckets: Vec<Vec<ObjectId>>,
+    buckets: SpanArena<ObjectId>,
     len: usize,
 }
 
@@ -26,7 +29,7 @@ impl EdgeObjectIndex {
     /// Creates an empty index covering `num_edges` edges.
     pub fn new(num_edges: usize) -> Self {
         Self {
-            buckets: vec![Vec::new(); num_edges],
+            buckets: SpanArena::new(num_edges),
             len: 0,
         }
     }
@@ -37,19 +40,19 @@ impl EdgeObjectIndex {
     /// (checked in debug builds).
     pub fn insert(&mut self, edge: EdgeId, id: ObjectId) {
         debug_assert!(
-            !self.buckets[edge.index()].contains(&id),
+            !self.buckets.get(edge.index()).contains(&id),
             "object {id:?} already indexed on edge {edge:?}"
         );
-        self.buckets[edge.index()].push(id);
+        self.buckets.push(edge.index(), id);
         self.len += 1;
     }
 
     /// Removes `id` from `edge`. Returns `true` if it was present.
     pub fn remove(&mut self, edge: EdgeId, id: ObjectId) -> bool {
-        let bucket = &mut self.buckets[edge.index()];
+        let bucket = self.buckets.get(edge.index());
         match bucket.iter().position(|&o| o == id) {
             Some(i) => {
-                bucket.swap_remove(i);
+                self.buckets.swap_remove(edge.index(), i);
                 self.len -= 1;
                 true
             }
@@ -61,7 +64,7 @@ impl EdgeObjectIndex {
     /// are equal). Returns `true` if `id` was present on `from`.
     pub fn relocate(&mut self, from: EdgeId, to: EdgeId, id: ObjectId) -> bool {
         if from == to {
-            return self.buckets[from.index()].contains(&id);
+            return self.buckets.get(from.index()).contains(&id);
         }
         let moved = self.remove(from, id);
         if moved {
@@ -73,7 +76,7 @@ impl EdgeObjectIndex {
     /// The objects currently resident on `edge` (unsorted).
     #[inline]
     pub fn objects_on(&self, edge: EdgeId) -> &[ObjectId] {
-        &self.buckets[edge.index()]
+        self.buckets.get(edge.index())
     }
 
     /// Total number of indexed objects.
@@ -91,17 +94,18 @@ impl EdgeObjectIndex {
     /// Number of edges covered.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.buckets.len()
+        self.buckets.num_slots()
+    }
+
+    /// Arena alloc events accumulated since the last take (see
+    /// [`SpanArena::take_alloc_events`]).
+    pub fn take_alloc_events(&mut self) -> u64 {
+        self.buckets.take_alloc_events()
     }
 
     /// Approximate resident size in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.buckets.capacity() * std::mem::size_of::<Vec<ObjectId>>()
-            + self
-                .buckets
-                .iter()
-                .map(|b| b.capacity() * std::mem::size_of::<ObjectId>())
-                .sum::<usize>()
+        self.buckets.memory_bytes()
     }
 }
 
@@ -152,5 +156,23 @@ mod tests {
         }
         assert!(idx.memory_bytes() > 0);
         assert_eq!(idx.num_edges(), 8);
+    }
+
+    #[test]
+    fn steady_churn_is_allocation_free() {
+        let mut idx = EdgeObjectIndex::new(6);
+        for round in 0..3u32 {
+            for i in 0..24u32 {
+                idx.insert(EdgeId(i % 6), ObjectId(round * 100 + i));
+            }
+            for i in 0..24u32 {
+                assert!(idx.remove(EdgeId(i % 6), ObjectId(round * 100 + i)));
+            }
+        }
+        idx.take_alloc_events();
+        for i in 0..24u32 {
+            idx.insert(EdgeId(i % 6), ObjectId(i));
+        }
+        assert_eq!(idx.take_alloc_events(), 0);
     }
 }

@@ -1,0 +1,182 @@
+//! Tick-path flatness tests: shared-anchor expansion correctness and the
+//! steady-state zero-allocation guarantee of the arena/heap layout.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, OpCounters, UpdateBatch};
+use rnn_monitor::core::{ObjectEvent, QueryEvent};
+use rnn_monitor::roadnet::{generators, EdgeId, NetPoint, ObjectId, QueryId, RoadNetwork};
+use rnn_monitor::workload::{Scenario, ScenarioConfig};
+
+fn grid(seed: u64) -> Arc<RoadNetwork> {
+    Arc::new(generators::grid_city(&generators::GridCityConfig {
+        nx: 5,
+        ny: 5,
+        seed,
+        ..Default::default()
+    }))
+}
+
+/// Deterministic pseudo-random stream (the test drives its own workload so
+/// the shrink behaviour of proptest stays simple).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn frac(&mut self) -> f64 {
+        (self.next() % 1000) as f64 / 1000.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Shared-anchor expansions must answer exactly like independent
+    /// per-query expansions: a monitor holding several co-located queries
+    /// (the configuration that triggers the root-grouped multi-k
+    /// expansion) agrees with one monitor per query, on random networks
+    /// and random workloads.
+    #[test]
+    fn shared_anchor_expansion_matches_independent_queries(
+        seed in 0u64..1000,
+        n_queries in 2usize..5,
+        n_objects in 6usize..30,
+    ) {
+        let net = grid(seed % 7);
+        let edges = net.num_edges() as u32;
+        let mut rng = Lcg(seed.wrapping_mul(997) + 13);
+
+        // One IMA with all queries co-located (shared expansions fire) and
+        // one independent single-query IMA per query. GMA rides along: its
+        // sharing (active-node expansions serving many queries) must agree
+        // with both.
+        let mut shared_ima = Ima::new(net.clone());
+        let mut shared_gma = Gma::new(net.clone());
+        let mut solo: Vec<Ima> = (0..n_queries).map(|_| Ima::new(net.clone())).collect();
+
+        for i in 0..n_objects {
+            let at = NetPoint::new(EdgeId(rng.next() as u32 % edges), rng.frac());
+            let id = ObjectId(i as u32);
+            shared_ima.insert_object(id, at);
+            shared_gma.insert_object(id, at);
+            for m in &mut solo {
+                m.insert_object(id, at);
+            }
+        }
+        let q0 = NetPoint::new(EdgeId(rng.next() as u32 % edges), rng.frac());
+        for (i, m) in solo.iter_mut().enumerate() {
+            let k = 1 + i % 3;
+            shared_ima.install_query(QueryId(i as u32), k, q0);
+            shared_gma.install_query(QueryId(i as u32), k, q0);
+            m.install_query(QueryId(i as u32), k, q0);
+        }
+
+        let mut shared_seen = 0u64;
+        for tick in 0..6 {
+            // Random object churn, plus a joint move of every query to one
+            // fresh position (same root ⇒ one multi-k expansion serves all).
+            let mut batch = UpdateBatch::default();
+            for i in 0..n_objects {
+                if rng.next() % 3 == 0 {
+                    batch.objects.push(ObjectEvent::Move {
+                        id: ObjectId(i as u32),
+                        to: NetPoint::new(EdgeId(rng.next() as u32 % edges), rng.frac()),
+                    });
+                }
+            }
+            if tick % 2 == 0 {
+                let to = NetPoint::new(EdgeId(rng.next() as u32 % edges), rng.frac());
+                for i in 0..n_queries {
+                    batch.queries.push(QueryEvent::Move {
+                        id: QueryId(i as u32),
+                        to,
+                    });
+                }
+            }
+            let rep = shared_ima.tick(&batch);
+            shared_seen += rep.counters.shared_expansions;
+            shared_gma.tick(&batch);
+            for m in solo.iter_mut() {
+                m.tick(&batch);
+            }
+            for (i, m) in solo.iter().enumerate() {
+                let id = QueryId(i as u32);
+                prop_assert_eq!(
+                    shared_ima.result(id).unwrap(),
+                    m.result(id).unwrap(),
+                    "shared IMA diverged for {:?} at tick {}", id, tick
+                );
+                let a = shared_gma.result(id).unwrap();
+                let b = m.result(id).unwrap();
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.object, y.object);
+                    prop_assert!((x.dist - y.dist).abs() <= 1e-9 * y.dist.max(1.0));
+                }
+            }
+            shared_ima.validate_invariants();
+        }
+        // Co-located queries moving together must actually exercise the
+        // shared multi-k path at least once.
+        prop_assert!(
+            shared_seen > 0,
+            "root-grouped expansion never fired for co-located queries"
+        );
+    }
+}
+
+/// The steady-state zero-allocation guarantee: once the workload's
+/// high-water marks are reached, ticks report zero alloc events on the
+/// instrumented structures (per-edge arenas + Dijkstra heap). The scenario
+/// is seeded, so this is deterministic.
+#[test]
+fn steady_state_ticks_are_allocation_free() {
+    let net = Arc::new(generators::san_francisco_like(300, 17));
+    let cfg = ScenarioConfig {
+        num_objects: 400,
+        num_queries: 40,
+        k: 4,
+        object_agility: 0.1,
+        query_agility: 0.05,
+        seed: 9,
+        ..Default::default()
+    };
+    let mut scenario = Scenario::new(net.clone(), cfg);
+    let mut ima = Ima::new(net.clone());
+    let mut gma = Gma::new(net.clone());
+    scenario.install_into(&mut ima);
+    scenario.install_into(&mut gma);
+
+    // Warm up until the arenas and heaps have seen their high-water marks.
+    for _ in 0..12 {
+        let batch = scenario.tick();
+        ima.tick(&batch);
+        gma.tick(&batch);
+    }
+    let mut steady = OpCounters::default();
+    for _ in 0..6 {
+        let batch = scenario.tick();
+        steady.merge(&ima.tick(&batch).counters);
+        steady.merge(&gma.tick(&batch).counters);
+    }
+    assert_eq!(
+        steady.alloc_events, 0,
+        "steady-state ticks allocated on the arena/heap tick path"
+    );
+    assert!(
+        steady.expansion_steps > 0,
+        "the expansion-step counter must see heap traffic"
+    );
+    assert!(
+        steady.shared_expansions > 0,
+        "GMA's endpoint expansions must serve multiple queries"
+    );
+}
