@@ -63,6 +63,7 @@ fn substrate(c: &mut Criterion) {
                 objects: &objects,
             };
             let mut eng = DijkstraEngine::new(net.num_nodes());
+            let mut best = rnn_core::search::BestK::new(k);
             b.iter_batched(
                 || (),
                 |_| {
@@ -70,6 +71,7 @@ fn substrate(c: &mut Criterion) {
                     knn_search(
                         &ctx,
                         &mut eng,
+                        &mut best,
                         RootPos::Point(NetPoint::new(EdgeId(11), 0.3)),
                         k,
                         None,

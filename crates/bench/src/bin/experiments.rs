@@ -8,11 +8,15 @@
 //! experiments all --scale 0.05 --ts 8      # cheaper
 //! experiments fig13b --paper-scale         # full Table 2 cardinalities
 //! experiments all --parallel               # faster, noisier timings
+//! experiments ci-gate                      # counter-regression gate vs
+//!                                          # the committed BENCH_*.json
+//! experiments ci-gate --update             # regenerate those baselines
 //! ```
 
 use std::env;
 use std::process::ExitCode;
 
+use rnn_bench::gate::{compare, run_gated_figure, GATE_SPECS, MAX_REGRESSION};
 use rnn_bench::runner::{format_series, series_to_json};
 use rnn_bench::{all_figures, figure_by_name, run_series, Params};
 
@@ -23,6 +27,7 @@ struct Options {
     warmup: usize,
     seed: u64,
     parallel: bool,
+    update_baselines: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -33,6 +38,7 @@ fn parse_args() -> Result<Options, String> {
         warmup: 2,
         seed: 42,
         parallel: false,
+        update_baselines: false,
     };
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
@@ -67,6 +73,7 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--parallel" => opts.parallel = true,
+            "--update" => opts.update_baselines = true,
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}\n{}", usage()))
@@ -82,8 +89,11 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() -> String {
     let mut u = String::from(
-        "usage: experiments <figure...|all|table2> [--scale F] [--paper-scale] \
-         [--ts N] [--warmup N] [--seed S] [--parallel]\n\nknown figures:\n",
+        "usage: experiments <figure...|all|table2|ci-gate> [--scale F] [--paper-scale] \
+         [--ts N] [--warmup N] [--seed S] [--parallel] [--update]\n\n\
+         ci-gate re-runs the gated figures at pinned settings and fails if a \
+         deterministic counter regressed >5% vs the committed BENCH_*.json \
+         baselines; --update regenerates those baselines instead.\n\nknown figures:\n",
     );
     for f in all_figures() {
         u.push_str(&format!("  {:<12} {}\n", f.name, f.title));
@@ -122,6 +132,12 @@ fn main() -> ExitCode {
             println!("{}", Params::table2());
             continue;
         }
+        if name == "ci-gate" {
+            if let Err(code) = run_ci_gate(opts.update_baselines) {
+                return code;
+            }
+            continue;
+        }
         let Some(fig) = figure_by_name(&name) else {
             eprintln!("unknown figure: {name}\n{}", usage());
             return ExitCode::FAILURE;
@@ -141,7 +157,7 @@ fn main() -> ExitCode {
         // replica-maintenance bound — no single tick may resync more
         // objects than exist. CI runs these figures and fails on a
         // violation.
-        if fig.name.starts_with("engine") || fig.name == "tickpath" {
+        if fig.name.starts_with("engine") || fig.name == "tickpath" || fig.name == "rebalance" {
             let path = format!("BENCH_{}.json", fig.name);
             match std::fs::write(&path, series_to_json(fig.name, &series)) {
                 Ok(()) => println!("# wrote {path}"),
@@ -201,6 +217,51 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        // Rebalance guarantees: under the skewed drifting-hotspot stream
+        // the load-aware engine must actually migrate cells, and its final
+        // max/mean shard-load ratio must beat the static partition's at
+        // every point. This is the CI rebalance smoke.
+        if fig.name == "rebalance" {
+            for point in &series {
+                let static_eng = point
+                    .results
+                    .iter()
+                    .find(|r| matches!(r.algo, rnn_bench::runner::Algo::Sharded(_)));
+                let rebal = point
+                    .results
+                    .iter()
+                    .find(|r| matches!(r.algo, rnn_bench::runner::Algo::ShardedRebal(_)));
+                let (Some(st), Some(rb)) = (static_eng, rebal) else {
+                    eprintln!("REBALANCE REGRESSION: figure lost its engine pair");
+                    return ExitCode::FAILURE;
+                };
+                if rb.cells_migrated == 0 || rb.rebalances == 0 {
+                    eprintln!(
+                        "REBALANCE REGRESSION: {} never migrated under the hotspot \
+                         at {} (rebalances {}, cells {})",
+                        rb.algo.name(),
+                        point.label,
+                        rb.rebalances,
+                        rb.cells_migrated
+                    );
+                    return ExitCode::FAILURE;
+                }
+                if rb.load_ratio >= st.load_ratio {
+                    eprintln!(
+                        "REBALANCE REGRESSION: at {} the load-aware engine's \
+                         max/mean shard load ({:.3}) did not beat the static \
+                         partition's ({:.3})",
+                        point.label, rb.load_ratio, st.load_ratio
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "#   {}: load ratio {:.3} (static) -> {:.3} (rebalanced), \
+                     {} cells over {} migrations",
+                    point.label, st.load_ratio, rb.load_ratio, rb.cells_migrated, rb.rebalances
+                );
+            }
+        }
         // GMA's active-node count, where applicable.
         for p in &series {
             for r in &p.results {
@@ -212,4 +273,70 @@ fn main() -> ExitCode {
         println!();
     }
     ExitCode::SUCCESS
+}
+
+/// Runs the counter-regression gate (or regenerates its baselines).
+fn run_ci_gate(update: bool) -> Result<(), ExitCode> {
+    let mut failed = false;
+    for spec in GATE_SPECS {
+        let path = format!("BENCH_{}.json", spec.figure);
+        println!(
+            "# ci-gate: {} (scale {}, ts {}, warmup {}, seed {})",
+            spec.figure, spec.scale, spec.timestamps, spec.warmup, spec.seed
+        );
+        let fresh = match run_gated_figure(spec) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("ci-gate: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        if update {
+            if let Err(e) = std::fs::write(&path, &fresh) {
+                eprintln!("ci-gate: failed to write {path}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+            println!("# ci-gate: rewrote baseline {path}");
+            continue;
+        }
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "ci-gate: cannot read committed baseline {path}: {e} \
+                     (run `experiments ci-gate --update` and commit the file)"
+                );
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        match compare(spec.figure, &baseline, &fresh) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!(
+                    "# ci-gate: {} counters within {:.0}% of baseline",
+                    spec.figure,
+                    MAX_REGRESSION * 100.0
+                );
+            }
+            Ok(regressions) => {
+                failed = true;
+                for r in &regressions {
+                    eprintln!("COUNTER REGRESSION: {r}");
+                }
+            }
+            Err(e) => {
+                eprintln!("ci-gate: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "ci-gate: deterministic work counters regressed beyond {:.0}%. If the \
+             regression is intentional, regenerate the baselines with \
+             `experiments ci-gate --update` and commit the diff.",
+            MAX_REGRESSION * 100.0
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(())
 }

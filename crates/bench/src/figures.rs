@@ -318,6 +318,35 @@ fn tickpath(scale: f64, seed: u64) -> Vec<(String, Params)> {
     ]
 }
 
+/// Load-aware re-partitioning (not in the paper): a skewed hotspot whose
+/// center drifts across the network, run through the statically
+/// partitioned engine and the rebalancing one at the same shard count.
+/// The static engine pins the hotspot to whichever worker owns it; the
+/// rebalancer migrates boundary cells after it, which the max/mean
+/// shard-load ratio and the `cells_migrated` counter make visible. One
+/// wide point and one tight point (hotspot spread).
+fn rebalance(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    let p = Params {
+        hotspot: true,
+        // Half the queries jump to the hotspot each tick — enough skew to
+        // dominate the load signal while the rest keep walking normally.
+        query_agility: 0.5,
+        object_agility: 0.10,
+        ..base(scale, seed)
+    };
+    vec![
+        ("hotspot-drift".to_string(), p.clone()),
+        (
+            "hotspot-hi-churn".to_string(),
+            Params {
+                query_agility: 0.8,
+                object_agility: 0.20,
+                ..p
+            },
+        ),
+    ]
+}
+
 /// Ablation (not in the paper): IMA with vs without influence lists.
 fn ablation_influence(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.05, 0.10, 0.20]
@@ -462,6 +491,14 @@ pub fn all_figures() -> Vec<Figure> {
             algos: Algo::tickpath_set(),
             memory: false,
             points: tickpath,
+        },
+        Figure {
+            name: "rebalance",
+            title:
+                "Rebalance: drifting hotspot, static vs load-aware partition (ENG-4 vs ENG-4-RB)",
+            algos: Algo::rebalance_set(),
+            memory: false,
+            points: rebalance,
         },
     ]
 }

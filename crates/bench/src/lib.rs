@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod gate;
 pub mod params;
 pub mod runner;
 

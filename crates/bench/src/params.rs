@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use rnn_roadnet::{generators, RoadNetwork};
-use rnn_workload::{Distribution, MovementModel, ScenarioConfig};
+use rnn_workload::{Distribution, HotspotConfig, MovementModel, ScenarioConfig};
 
 /// One experiment configuration (Table 2 + the network).
 #[derive(Clone, Debug)]
@@ -52,6 +52,9 @@ pub struct Params {
     pub movement: MovementModel,
     /// Use the Oldenburg-like map (Fig. 19) instead of the SF-like one.
     pub oldenburg: bool,
+    /// Layer a drifting load hotspot over the movement stream (the
+    /// rebalance figure's skewed workload; not in the paper).
+    pub hotspot: bool,
     /// RNG seed (drives both map generation and the update stream).
     pub seed: u64,
 }
@@ -73,6 +76,7 @@ impl Default for Params {
             query_speed: 1.0,
             movement: MovementModel::RandomWalk,
             oldenburg: false,
+            hotspot: false,
             seed: 42,
         }
     }
@@ -119,6 +123,7 @@ impl Params {
             object_speed: self.object_speed,
             query_speed: self.query_speed,
             movement: self.movement,
+            hotspot: self.hotspot.then(HotspotConfig::default),
             seed: self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1),
         }
     }

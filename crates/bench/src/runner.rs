@@ -27,6 +27,9 @@ pub enum Algo {
     /// The sharded engine (`rnn-engine`) with this many shards, GMA
     /// inside each.
     Sharded(u8),
+    /// The sharded engine with dynamic load-aware re-partitioning enabled
+    /// (`EngineConfig::with_rebalancing`).
+    ShardedRebal(u8),
 }
 
 impl Algo {
@@ -42,6 +45,10 @@ impl Algo {
             Algo::Sharded(4) => "ENG-4",
             Algo::Sharded(8) => "ENG-8",
             Algo::Sharded(_) => "ENG-n",
+            Algo::ShardedRebal(2) => "ENG-2-RB",
+            Algo::ShardedRebal(4) => "ENG-4-RB",
+            Algo::ShardedRebal(8) => "ENG-8-RB",
+            Algo::ShardedRebal(_) => "ENG-n-RB",
         }
     }
 
@@ -79,10 +86,17 @@ impl Algo {
         &[Algo::Ima, Algo::Gma, Algo::Sharded(4)]
     }
 
+    /// The rebalance set: the statically partitioned engine against the
+    /// load-aware one, at the same shard count, under the same skewed
+    /// drifting-hotspot stream.
+    pub fn rebalance_set() -> &'static [Algo] {
+        &[Algo::Sharded(4), Algo::ShardedRebal(4)]
+    }
+
     /// Whether this algorithm is the sharded engine (and thus reports
     /// replica/resync counters).
     pub fn is_sharded(self) -> bool {
-        matches!(self, Algo::Sharded(_))
+        matches!(self, Algo::Sharded(_) | Algo::ShardedRebal(_))
     }
 }
 
@@ -123,6 +137,17 @@ pub struct RunResult {
     pub shared_per_ts: f64,
     /// Mean raw Dijkstra heap pops per timestamp.
     pub steps_per_ts: f64,
+    /// Total load-aware rebalances over the measured run (sharded engine
+    /// with rebalancing only).
+    pub rebalances: u64,
+    /// Total partition cells migrated over the measured run.
+    pub cells_migrated: u64,
+    /// Mean max/mean shard-load ratio across the measured ticks (1.0 =
+    /// perfectly balanced; 0.0 for monitors that report none). Averaged
+    /// rather than sampled at the end: under a drifting hotspot any single
+    /// tick catches the rebalancer mid-adaptation, while the mean captures
+    /// the sustained balance the migration buys.
+    pub load_ratio: f64,
 }
 
 /// A labelled point of a figure series.
@@ -159,6 +184,10 @@ pub fn make_monitor(
             net,
             rnn_engine::EngineConfig::with_shards(usize::from(shards).max(1)),
         )),
+        Algo::ShardedRebal(shards) => Box::new(rnn_engine::ShardedEngine::new(
+            net,
+            rnn_engine::EngineConfig::with_rebalancing(usize::from(shards).max(1)),
+        )),
     }
 }
 
@@ -182,7 +211,8 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                  \"memory_kb\": {:.1}, \"ignored_per_ts\": {:.1}, \"resync_per_ts\": {:.1}, \
                  \"evictions_per_ts\": {:.1}, \"max_tick_resync\": {}, \
                  \"alloc_per_ts\": {:.3}, \"shared_per_ts\": {:.3}, \
-                 \"steps_per_ts\": {:.1}}}{}\n",
+                 \"steps_per_ts\": {:.1}, \"rebalances\": {}, \
+                 \"cells_migrated\": {}, \"load_ratio\": {:.3}}}{}\n",
                 esc(r.algo.name()),
                 r.cpu_per_ts,
                 r.work_per_ts,
@@ -194,6 +224,9 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                 r.alloc_per_ts,
                 r.shared_per_ts,
                 r.steps_per_ts,
+                r.rebalances,
+                r.cells_migrated,
+                r.load_ratio,
                 if j + 1 < p.results.len() { "," } else { "" },
             ));
         }
@@ -231,16 +264,26 @@ pub fn run_point(
 
     let mut elapsed = vec![Duration::ZERO; monitors.len()];
     let mut counters = vec![OpCounters::default(); monitors.len()];
+    // Whole-run totals (warmup included): rebalances cluster in the first
+    // ticks of a skewed run, so the migration counters must not lose them.
+    let mut total_counters = vec![OpCounters::default(); monitors.len()];
     let mut max_tick_resync = vec![0u64; monitors.len()];
+    let mut ratio_sum = vec![0.0f64; monitors.len()];
+    let mut ratio_count = vec![0u32; monitors.len()];
     let measured = timestamps.saturating_sub(warmup).max(1);
     for t in 0..timestamps {
         let batch = scenario.tick();
         for (i, (_, m)) in monitors.iter_mut().enumerate() {
             let rep = m.tick(&batch);
             max_tick_resync[i] = max_tick_resync[i].max(rep.counters.resync_touched);
+            total_counters[i].merge(&rep.counters);
             if t >= warmup {
                 elapsed[i] += rep.elapsed;
                 counters[i].merge(&rep.counters);
+                if let Some(r) = m.shard_load_ratio() {
+                    ratio_sum[i] += r;
+                    ratio_count[i] += 1;
+                }
             }
         }
     }
@@ -264,6 +307,13 @@ pub fn run_point(
                 alloc_per_ts: counters[i].alloc_events as f64 / measured as f64,
                 shared_per_ts: counters[i].shared_expansions as f64 / measured as f64,
                 steps_per_ts: counters[i].expansion_steps as f64 / measured as f64,
+                rebalances: total_counters[i].rebalance_events,
+                cells_migrated: total_counters[i].cells_migrated,
+                load_ratio: if ratio_count[i] > 0 {
+                    ratio_sum[i] / f64::from(ratio_count[i])
+                } else {
+                    0.0
+                },
             }
         })
         .collect()

@@ -38,7 +38,7 @@ use rnn_roadnet::{
 
 use crate::counters::OpCounters;
 use crate::influence::{InfluenceTable, IntervalSet};
-use crate::search::{dist_via_tree, knn_search, KeptTree, SearchContext, SearchOutcome};
+use crate::search::{dist_via_tree, knn_search, BestK, KeptTree, SearchContext, SearchOutcome};
 use crate::state::{EdgeDelta, NetworkState, ObjectDelta};
 use crate::tree::ExpansionTree;
 use crate::types::{sort_neighbors, Neighbor, RootPos};
@@ -107,6 +107,9 @@ pub struct AnchorSet {
     anchors: FxHashMap<AnchorKey, AnchorRec>,
     il: InfluenceTable<AnchorKey>,
     engine: DijkstraEngine,
+    /// Candidate scratch shared by every expansion (flat epoch-stamped
+    /// dedup table; reused so steady-state searches never allocate).
+    best: BestK,
     /// Scratch for the tick's shared multi-k expansion outcomes (cleared
     /// every tick; a field so its capacity is reused).
     shared_outcomes: Vec<SearchOutcome>,
@@ -127,6 +130,7 @@ impl AnchorSet {
             anchors: FxHashMap::default(),
             il,
             engine,
+            best: BestK::default(),
             shared_outcomes: Vec::new(),
             next_key: 0,
             use_influence_lists: true,
@@ -137,7 +141,9 @@ impl AnchorSet {
     /// (accumulated by out-of-tick work such as query installs) into `c`.
     /// [`Self::tick`] harvests its own share automatically.
     pub fn harvest_scratch_counters(&mut self, c: &mut OpCounters) {
-        c.alloc_events += self.engine.take_alloc_events() + self.il.take_alloc_events();
+        c.alloc_events += self.engine.take_alloc_events()
+            + self.il.take_alloc_events()
+            + self.best.take_alloc_events();
         c.expansion_steps += self.engine.take_expansion_steps();
     }
 
@@ -182,7 +188,16 @@ impl AnchorSet {
             objects: &state.objects,
         };
         counters.reevaluations += 1;
-        let out = knn_search(&ctx, &mut self.engine, root, k, None, &[], counters);
+        let out = knn_search(
+            &ctx,
+            &mut self.engine,
+            &mut self.best,
+            root,
+            k,
+            None,
+            &[],
+            counters,
+        );
         let mut rec = AnchorRec {
             root,
             k,
@@ -249,6 +264,7 @@ impl AnchorSet {
             let out = knn_search(
                 &ctx,
                 &mut self.engine,
+                &mut self.best,
                 rec.root,
                 k,
                 Some(KeptTree::full(tree)),
@@ -461,6 +477,7 @@ impl AnchorSet {
                 let out = knn_search(
                     &ctx,
                     &mut self.engine,
+                    &mut self.best,
                     root,
                     k_max,
                     None,
@@ -498,6 +515,7 @@ impl AnchorSet {
                     &self.net,
                     state,
                     &mut self.engine,
+                    &mut self.best,
                     key,
                     rec,
                     work,
@@ -513,7 +531,9 @@ impl AnchorSet {
         }
         self.shared_outcomes.clear();
 
-        counters.alloc_events += self.engine.take_alloc_events() + self.il.take_alloc_events();
+        counters.alloc_events += self.engine.take_alloc_events()
+            + self.il.take_alloc_events()
+            + self.best.take_alloc_events();
         counters.expansion_steps += self.engine.take_expansion_steps();
         AnchorTickOutcome { changed, counters }
     }
@@ -638,9 +658,9 @@ impl AnchorSet {
         (table, trees, self.il.memory_bytes())
     }
 
-    /// Scratch (Dijkstra engine) bytes.
+    /// Scratch (Dijkstra engine + candidate dedup table) bytes.
     pub fn scratch_bytes(&self) -> usize {
-        self.engine.memory_bytes()
+        self.engine.memory_bytes() + self.best.memory_bytes()
     }
 }
 
@@ -765,6 +785,7 @@ fn resolve_anchor(
     net: &Arc<RoadNetwork>,
     state: &NetworkState,
     engine: &mut DijkstraEngine,
+    best: &mut BestK,
     key: AnchorKey,
     rec: &mut AnchorRec,
     work: Pending,
@@ -784,7 +805,7 @@ fn resolve_anchor(
             rec.root = r;
         }
         counters.reevaluations += 1;
-        let out = knn_search(&ctx, engine, rec.root, rec.k, None, &[], counters);
+        let out = knn_search(&ctx, engine, best, rec.root, rec.k, None, &[], counters);
         store_outcome(rec, out);
         rebuild_influence(net, state, key, rec, il);
         return results_differ(old_result, &rec.result);
@@ -905,7 +926,16 @@ fn resolve_anchor(
             selective: Some((coverage_knn, changed_edges)),
         })
     };
-    let out = knn_search(&ctx, engine, rec.root, rec.k, kept, &candidates, counters);
+    let out = knn_search(
+        &ctx,
+        engine,
+        best,
+        rec.root,
+        rec.k,
+        kept,
+        &candidates,
+        counters,
+    );
     store_outcome(rec, out);
     rebuild_influence(net, state, key, rec, il);
     results_differ(old_result, &rec.result)

@@ -49,6 +49,13 @@ pub struct OpCounters {
     /// served another query this tick. Each count is one network expansion
     /// that did **not** run.
     pub shared_expansions: u64,
+    /// Load-aware shard rebalances executed this tick (sharded engine
+    /// only): each is one migration of boundary cells from the most loaded
+    /// shard to an underloaded neighbour.
+    pub rebalance_events: u64,
+    /// Partition cells (edges) whose ownership moved to another shard
+    /// during rebalancing this tick (sharded engine only).
+    pub cells_migrated: u64,
 }
 
 impl OpCounters {
@@ -66,6 +73,8 @@ impl OpCounters {
         self.alloc_events += other.alloc_events;
         self.expansion_steps += other.expansion_steps;
         self.shared_expansions += other.shared_expansions;
+        self.rebalance_events += other.rebalance_events;
+        self.cells_migrated += other.cells_migrated;
     }
 
     /// A single scalar proxy for CPU work (used by tests that assert one
@@ -149,6 +158,8 @@ mod tests {
             alloc_events: 4,
             expansion_steps: 9,
             shared_expansions: 6,
+            rebalance_events: 1,
+            cells_migrated: 5,
             ..Default::default()
         };
         a.merge(&b);
@@ -161,6 +172,8 @@ mod tests {
         assert_eq!(a.alloc_events, 4);
         assert_eq!(a.expansion_steps, 9);
         assert_eq!(a.shared_expansions, 6);
+        assert_eq!(a.rebalance_events, 1);
+        assert_eq!(a.cells_migrated, 5);
         assert_eq!(a.work(), 11 + 2 + 5);
     }
 

@@ -76,6 +76,10 @@ pub struct Gma {
     seq_queries: FxHashMap<SeqId, FxHashSet<QueryId>>,
     /// Query influence lists, restricted to within-sequence edges.
     qil: InfluenceTable<QueryId>,
+    /// Candidate scratch for within-sequence evaluations (flat
+    /// epoch-stamped dedup table; taken/restored around each evaluation so
+    /// steady-state query walks never allocate).
+    best: BestK,
     /// Per-tick scratch: how many re-evaluated queries were served from
     /// each active node's monitored expansion this tick. Every use beyond
     /// the first is one network expansion that did not run — GMA's
@@ -120,6 +124,7 @@ impl Gma {
             queries: FxHashMap::default(),
             seq_queries: FxHashMap::default(),
             qil: InfluenceTable::new(0),
+            best: BestK::default(),
             tick_served: FxHashMap::default(),
         }
         .finish_init(node_seqs)
@@ -221,7 +226,8 @@ impl Gma {
         let i0 = s.edge_offset(pos.edge).expect("query edge in its sequence");
         let w0 = self.state.weights.get(pos.edge);
 
-        let mut best = BestK::new(k);
+        let mut best = std::mem::take(&mut self.best);
+        best.reset(k);
         counters.edges_scanned += 1;
         for &(o, f) in self.state.objects.on_edge(pos.edge) {
             counters.objects_considered += 1;
@@ -267,7 +273,8 @@ impl Gma {
             *self.tick_served.entry(n).or_default() += 1;
         }
 
-        let result = best.into_result();
+        let result = best.clone_result();
+        self.best = best;
         let knn_dist = if result.len() == k {
             result[k - 1].dist
         } else {
@@ -627,8 +634,9 @@ impl ContinuousMonitor for Gma {
         // Allocation/step accounting: node-anchor engine + influence
         // arenas, the query influence arena, and the object index arena.
         self.nodes.harvest_scratch_counters(&mut counters);
-        counters.alloc_events +=
-            self.qil.take_alloc_events() + self.state.objects.take_alloc_events();
+        counters.alloc_events += self.qil.take_alloc_events()
+            + self.state.objects.take_alloc_events()
+            + self.best.take_alloc_events();
 
         TickReport {
             elapsed: start.elapsed(),

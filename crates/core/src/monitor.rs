@@ -53,4 +53,13 @@ pub trait ContinuousMonitor: Send {
     fn active_groups(&self) -> Option<usize> {
         None
     }
+
+    /// For sharded monitors, the current max/mean ratio of the per-shard
+    /// load estimates (1.0 = perfectly balanced). `None` for single
+    /// monitors, for single-shard engines, and before any load has been
+    /// observed. The benchmark harness reports this for the rebalance
+    /// figure.
+    fn shard_load_ratio(&self) -> Option<f64> {
+        None
+    }
 }

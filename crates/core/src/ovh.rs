@@ -15,7 +15,7 @@ use rnn_roadnet::{DijkstraEngine, FxHashMap, NetPoint, ObjectId, QueryId, RoadNe
 
 use crate::counters::{MemoryUsage, OpCounters, TickReport};
 use crate::monitor::ContinuousMonitor;
-use crate::search::{knn_search, SearchContext};
+use crate::search::{knn_search, BestK, SearchContext};
 use crate::state::NetworkState;
 use crate::types::{Neighbor, QueryEvent, RootPos, UpdateBatch};
 
@@ -32,6 +32,8 @@ pub struct Ovh {
     state: NetworkState,
     queries: FxHashMap<QueryId, OvhQuery>,
     engine: DijkstraEngine,
+    /// Candidate scratch reused by every from-scratch recomputation.
+    best: BestK,
 }
 
 impl Ovh {
@@ -44,6 +46,7 @@ impl Ovh {
             state,
             queries: FxHashMap::default(),
             engine,
+            best: BestK::default(),
         }
     }
 
@@ -58,6 +61,7 @@ impl Ovh {
         let out = knn_search(
             &ctx,
             &mut self.engine,
+            &mut self.best,
             RootPos::Point(q.pos),
             q.k,
             None,
@@ -135,8 +139,9 @@ impl ContinuousMonitor for Ovh {
                 results_changed += 1;
             }
         }
-        counters.alloc_events +=
-            self.engine.take_alloc_events() + self.state.objects.take_alloc_events();
+        counters.alloc_events += self.engine.take_alloc_events()
+            + self.state.objects.take_alloc_events()
+            + self.best.take_alloc_events();
         counters.expansion_steps += self.engine.take_expansion_steps();
         TickReport {
             elapsed: start.elapsed(),
@@ -171,7 +176,7 @@ impl ContinuousMonitor for Ovh {
             query_table,
             expansion_trees: 0,
             influence_lists: 0,
-            auxiliary: self.engine.memory_bytes(),
+            auxiliary: self.engine.memory_bytes() + self.best.memory_bytes(),
         }
     }
 }

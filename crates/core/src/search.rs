@@ -17,9 +17,7 @@
 //! Termination follows the paper (line 7): expansion stops when the next
 //! heap key is no smaller than the distance of the current k-th candidate.
 
-use rnn_roadnet::{
-    DijkstraEngine, EdgeWeights, FxHashMap, FxHashSet, NodeId, ObjectId, RoadNetwork,
-};
+use rnn_roadnet::{DijkstraEngine, EdgeWeights, FxHashSet, NodeId, ObjectId, RoadNetwork};
 
 use crate::counters::OpCounters;
 use crate::state::ObjectIndex;
@@ -75,29 +73,134 @@ pub struct SearchOutcome {
     pub tree: ExpansionTree,
 }
 
+/// One slot of the flat open-addressing dedup table inside [`BestK`].
+#[derive(Clone, Copy)]
+struct DedupSlot {
+    /// Epoch the slot was last written in (0 = never; epochs start at 1).
+    stamp: u32,
+    object: ObjectId,
+    dist: f64,
+}
+
+const EMPTY_SLOT: DedupSlot = DedupSlot {
+    stamp: 0,
+    object: ObjectId(0),
+    dist: f64::INFINITY,
+};
+
 /// Bounded best-k candidate accumulator with object de-duplication.
 ///
 /// Objects may be offered several times with different distances (an edge is
 /// scanned from both endpoints; Figure 3(b)) — the minimum wins, exactly as
 /// the paper's "keep only the instance with the smallest distance".
 ///
+/// Deduplication runs on a **flat open-addressing scratch table** that is
+/// invalidated in O(1) between searches via epoch stamping — the same trick
+/// as the [`DijkstraEngine`] node arrays. One long-lived `BestK` per monitor
+/// serves every search allocation-free in steady state: the only
+/// allocations are high-water-mark table/top-list growth, counted in
+/// [`BestK::take_alloc_events`] and surfaced through
+/// `OpCounters::alloc_events`.
+///
 /// Public because GMA's within-sequence evaluation (§5) accumulates
 /// candidates the same way.
 pub struct BestK {
     k: usize,
-    /// Best known distance per object (deduplication).
-    best_dist: FxHashMap<ObjectId, f64>,
+    /// Open-addressing dedup table (best known distance per object),
+    /// power-of-two sized, linear probing, epoch-stamped slots.
+    slots: Vec<DedupSlot>,
+    /// Current epoch; slots with an older stamp read as empty.
+    epoch: u32,
+    /// Slots occupied in the current epoch (drives load-factor growth).
+    live: usize,
     /// The current k smallest, sorted ascending by `(dist, id)`.
     top: Vec<Neighbor>,
+    /// Table/top-list capacity growth events since the last take.
+    allocs: u64,
+}
+
+impl Default for BestK {
+    /// A completely empty accumulator that has **allocated nothing** —
+    /// cheap enough to create as a `mem::take` placeholder on the hot
+    /// path. Immediately usable as a 1-best accumulator; callers normally
+    /// [`Self::reset`] it to their `k` first. The epoch starts at 1:
+    /// epoch 0 is reserved as the never-written slot stamp, so fresh
+    /// table slots always read as empty.
+    fn default() -> Self {
+        Self {
+            k: 1,
+            slots: Vec::new(),
+            epoch: 1,
+            live: 0,
+            top: Vec::new(),
+            allocs: 0,
+        }
+    }
 }
 
 impl BestK {
-    /// An empty accumulator for the `k` best candidates.
+    /// An accumulator for the `k` best candidates, ready for its first
+    /// search. Reuse it across searches with [`Self::reset`].
     pub fn new(k: usize) -> Self {
-        Self {
-            k,
-            best_dist: FxHashMap::default(),
-            top: Vec::with_capacity(k + 1),
+        let mut b = Self::default();
+        b.reset(k);
+        b.allocs = 0; // construction is not a steady-state alloc event
+        b
+    }
+
+    /// Restarts the accumulator for a new `k`-best search **without
+    /// releasing any capacity**: the top list is cleared and the dedup
+    /// table is invalidated in O(1) by bumping the epoch stamp.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.live = 0;
+        self.top.clear();
+        if self.top.capacity() < k + 1 {
+            self.allocs += 1;
+            self.top.reserve(k + 1 - self.top.len());
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrap: physically clear the stamps once every 2^32
+                // searches so stale slots can never alias.
+                self.slots.fill(EMPTY_SLOT);
+                1
+            }
+        };
+    }
+
+    /// Table/top-list capacity growth events since the last take. Zero
+    /// across a tick proves the tick's searches deduplicated entirely in
+    /// reused capacity.
+    pub fn take_alloc_events(&mut self) -> u64 {
+        std::mem::take(&mut self.allocs)
+    }
+
+    /// Slot index to probe first for `object` (Fibonacci hashing).
+    #[inline]
+    fn home(&self, object: ObjectId) -> usize {
+        debug_assert!(self.slots.len().is_power_of_two());
+        let h = (object.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - self.slots.len().trailing_zeros())) as usize
+    }
+
+    /// Doubles the dedup table, re-inserting only current-epoch entries.
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(64);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        self.allocs += 1;
+        let mask = new_cap - 1;
+        for s in old {
+            if s.stamp != self.epoch {
+                continue;
+            }
+            let mut i = self.home(s.object);
+            while self.slots[i].stamp == self.epoch {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
         }
     }
 
@@ -113,18 +216,39 @@ impl BestK {
 
     /// Offers a candidate; keeps the minimum distance per object.
     pub fn offer(&mut self, object: ObjectId, dist: f64) {
-        match self.best_dist.get_mut(&object) {
-            Some(d) if *d <= dist => return,
-            Some(d) => *d = dist,
-            None => {
-                self.best_dist.insert(object, dist);
-            }
+        // Keep the table at most half full so linear probes stay short.
+        if (self.live + 1) * 2 > self.slots.len() {
+            self.grow();
         }
-        // Remove a previous (worse) entry of the same object from the top
-        // list, then insert in order.
-        if let Some(i) = self.top.iter().position(|n| n.object == object) {
-            self.top.remove(i);
-        } else if self.top.len() == self.k && dist >= self.kth() {
+        let mask = self.slots.len() - 1;
+        let mut i = self.home(object);
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.stamp != self.epoch {
+                // First sighting of this object in the current search.
+                *slot = DedupSlot {
+                    stamp: self.epoch,
+                    object,
+                    dist,
+                };
+                self.live += 1;
+                break;
+            }
+            if slot.object == object {
+                if slot.dist <= dist {
+                    return; // not an improvement
+                }
+                slot.dist = dist;
+                // Remove the previous (worse) entry of the same object from
+                // the top list before re-inserting in order.
+                if let Some(p) = self.top.iter().position(|n| n.object == object) {
+                    self.top.remove(p);
+                }
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        if self.top.len() == self.k && dist >= self.kth() {
             return; // not better than the current k-th: top list unchanged
         }
         let key = (dist, object);
@@ -133,9 +257,23 @@ impl BestK {
         self.top.truncate(self.k);
     }
 
-    /// The accumulated k best, sorted ascending by `(dist, id)`.
+    /// The accumulated k best, sorted ascending by `(dist, id)`, as an
+    /// owned copy; the accumulator is untouched (the scratch keeps its
+    /// state and capacity for the next search).
+    pub fn clone_result(&self) -> Vec<Neighbor> {
+        self.top.clone()
+    }
+
+    /// The accumulated k best, consuming the accumulator (kept for tests
+    /// and one-shot callers; long-lived scratches use [`Self::clone_result`]).
     pub fn into_result(self) -> Vec<Neighbor> {
         self.top
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<DedupSlot>()
+            + self.top.capacity() * std::mem::size_of::<Neighbor>()
     }
 }
 
@@ -171,13 +309,18 @@ fn scan_edge_from(
 /// The k-NN expansion (Figure 2; see the module docs for the generalised
 /// modes). `kept` is consumed and extended into the outcome tree.
 ///
-/// `extra_candidates` lets callers pre-load known-valid neighbors (the
-/// surviving NNs of §4.2) without a region rescan; with `rescan_kept` the
-/// whole kept region is re-scanned for objects (used whenever tree surgery
-/// may have invalidated stored NN distances).
+/// `best` is the caller's candidate scratch, reset here — passing the same
+/// long-lived accumulator to every search keeps the dedup table
+/// allocation-free in steady state. `extra_candidates` lets callers
+/// pre-load known-valid neighbors (the surviving NNs of §4.2) without a
+/// region rescan; with `rescan_kept` the whole kept region is re-scanned
+/// for objects (used whenever tree surgery may have invalidated stored NN
+/// distances).
+#[allow(clippy::too_many_arguments)]
 pub fn knn_search(
     ctx: &SearchContext<'_>,
     engine: &mut DijkstraEngine,
+    best: &mut BestK,
     root: RootPos,
     k: usize,
     kept: Option<KeptTree<'_>>,
@@ -185,7 +328,7 @@ pub fn knn_search(
     counters: &mut OpCounters,
 ) -> SearchOutcome {
     assert!(k >= 1, "k must be at least 1");
-    let mut best = BestK::new(k);
+    best.reset(k);
     for n in extra_candidates {
         counters.objects_considered += 1;
         best.offer(n.object, n.dist);
@@ -219,7 +362,7 @@ pub fn knn_search(
                     }
                 };
                 if scan {
-                    scan_edge_from(ctx, &mut best, counters, e, n, rec.dist);
+                    scan_edge_from(ctx, best, counters, e, n, rec.dist);
                 }
                 if !tree.contains(m) {
                     counters.relaxations += 1;
@@ -264,13 +407,13 @@ pub fn knn_search(
         counters.nodes_settled += 1;
         tree.insert(n, d, engine.parent_link_of(n));
         for &(e, m) in ctx.net.adjacent(n) {
-            scan_edge_from(ctx, &mut best, counters, e, n, d);
+            scan_edge_from(ctx, best, counters, e, n, d);
             counters.relaxations += 1;
             engine.relax_via(m, n, Some(e), d + ctx.weights.get(e));
         }
     }
 
-    let mut result = best.into_result();
+    let mut result = best.clone_result();
     sort_neighbors(&mut result);
     let knn_dist = if result.len() == k {
         result[k - 1].dist
@@ -343,11 +486,12 @@ mod tests {
             objects: &objects,
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut best = BestK::new(1);
         let mut c = OpCounters::default();
         // Query at frac 0.5 of edge 1 (x = 1.5). Object distances:
         // o1: 0, o0: 1, o2: 1, o3: 2, o4: 3.
         let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
-        let out = knn_search(&ctx, &mut eng, root, 3, None, &[], &mut c);
+        let out = knn_search(&ctx, &mut eng, &mut best, root, 3, None, &[], &mut c);
         assert_eq!(out.result.len(), 3);
         assert_eq!(
             out.result[0],
@@ -390,10 +534,12 @@ mod tests {
             objects: &objects,
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut best = BestK::new(1);
         let mut c = OpCounters::default();
         let out = knn_search(
             &ctx,
             &mut eng,
+            &mut best,
             RootPos::Node(NodeId(0)),
             2,
             None,
@@ -431,10 +577,12 @@ mod tests {
             objects: &objects,
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut best = BestK::new(1);
         let mut c = OpCounters::default();
         let out = knn_search(
             &ctx,
             &mut eng,
+            &mut best,
             RootPos::Point(NetPoint::new(EdgeId(2), 0.5)),
             5,
             None,
@@ -458,14 +606,16 @@ mod tests {
             objects: &objects,
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut best = BestK::new(1);
         let mut c = OpCounters::default();
         let root = RootPos::Point(NetPoint::new(EdgeId(0), 0.1));
 
-        let small = knn_search(&ctx, &mut eng, root, 2, None, &[], &mut c);
-        let fresh = knn_search(&ctx, &mut eng, root, 4, None, &[], &mut c);
+        let small = knn_search(&ctx, &mut eng, &mut best, root, 2, None, &[], &mut c);
+        let fresh = knn_search(&ctx, &mut eng, &mut best, root, 4, None, &[], &mut c);
         let resumed = knn_search(
             &ctx,
             &mut eng,
+            &mut best,
             root,
             4,
             Some(KeptTree::full(small.tree)),
@@ -487,12 +637,14 @@ mod tests {
             objects: &objects,
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut best = BestK::new(1);
         let mut c = OpCounters::default();
         let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
         // Claim a fake very-near candidate; it must appear in the result.
         let out = knn_search(
             &ctx,
             &mut eng,
+            &mut best,
             root,
             2,
             None,
@@ -532,11 +684,56 @@ mod tests {
     }
 
     #[test]
+    fn best_k_reuse_is_allocation_free_and_isolated() {
+        // The epoch-stamped scratch must (a) forget everything on reset and
+        // (b) stop allocating once its high-water capacity is reached.
+        let mut b = BestK::new(3);
+        for i in 0..40u32 {
+            b.offer(ObjectId(i), f64::from(i));
+        }
+        let first = b.clone_result();
+        assert_eq!(first.len(), 3);
+        b.take_alloc_events();
+        for round in 0..50u32 {
+            b.reset(3);
+            // Same objects, different distances each round: stale slots
+            // from earlier epochs must never leak through.
+            for i in 0..40u32 {
+                b.offer(ObjectId(i), f64::from((i + round) % 40));
+            }
+            let r = b.clone_result();
+            assert_eq!(r.len(), 3);
+            assert_eq!(r[0].dist, 0.0);
+            for w in r.windows(2) {
+                assert!(w[0].sort_key() <= w[1].sort_key());
+            }
+        }
+        assert_eq!(
+            b.take_alloc_events(),
+            0,
+            "reused searches must not grow the dedup scratch"
+        );
+    }
+
+    #[test]
     fn best_k_worse_offer_ignored() {
         let mut b = BestK::new(1);
         b.offer(ObjectId(1), 1.0);
         b.offer(ObjectId(1), 2.0);
         assert_eq!(b.kth(), 1.0);
+    }
+
+    #[test]
+    fn best_k_default_is_usable_without_reset() {
+        // Regression: the default epoch must not alias the never-written
+        // slot stamp (0), or the first offer's probe loop would see every
+        // fresh slot as occupied and spin forever.
+        let mut b = BestK::default();
+        b.offer(ObjectId(7), 2.0);
+        b.offer(ObjectId(3), 1.0);
+        let r = b.clone_result();
+        assert_eq!(r.len(), 1, "default accumulates 1-best");
+        assert_eq!(r[0].object, ObjectId(3));
     }
 
     #[test]
@@ -548,9 +745,10 @@ mod tests {
             objects: &objects,
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut best = BestK::new(1);
         let mut c = OpCounters::default();
         let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
-        let out = knn_search(&ctx, &mut eng, root, 3, None, &[], &mut c);
+        let out = knn_search(&ctx, &mut eng, &mut best, root, 3, None, &[], &mut c);
         for n in &out.result {
             let pos = objects.position(n.object).unwrap();
             let d = dist_via_tree(&net, &weights, &out.tree, root, pos);
@@ -584,9 +782,19 @@ mod tests {
             objects: &objects,
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
+        let mut best = BestK::new(1);
         let mut c = OpCounters::default();
         let q = NetPoint::new(EdgeId(7), 0.6);
-        let out = knn_search(&ctx, &mut eng, RootPos::Point(q), 5, None, &[], &mut c);
+        let out = knn_search(
+            &ctx,
+            &mut eng,
+            &mut best,
+            RootPos::Point(q),
+            5,
+            None,
+            &[],
+            &mut c,
+        );
 
         let mut oracle: Vec<Neighbor> = objects
             .iter()

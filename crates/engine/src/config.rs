@@ -59,6 +59,20 @@ pub struct EngineConfig {
     /// is shrunk and its stale replicas evicted. Guards against
     /// grow/shrink flapping when `kNN_dist` oscillates tick to tick.
     pub halo_shrink_ticks: u32,
+    /// Load-imbalance ratio that triggers a shard rebalance: when the
+    /// smoothed per-shard load estimate (worker `expansion_steps` plus
+    /// routed events, exponentially averaged over ticks) satisfies
+    /// `max > mean × rebalance_trigger`, boundary cells migrate from the
+    /// most loaded shard to an underloaded neighbour. Values below 1
+    /// **disable** rebalancing (the default, 0.0): shard assignment then
+    /// stays fixed at the startup partition and every work counter is
+    /// bit-identical to earlier releases.
+    pub rebalance_trigger: f64,
+    /// Minimum number of ticks between rebalances (and before the first
+    /// one). Together with the exponential load smoothing this is the
+    /// detector's hysteresis: a hotspot must persist, and a migration must
+    /// settle, before cells move again.
+    pub rebalance_cooldown: u32,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +83,8 @@ impl Default for EngineConfig {
             halo_slack: 0.25,
             halo_shrink_trigger: 1.5,
             halo_shrink_ticks: 2,
+            rebalance_trigger: 0.0,
+            rebalance_cooldown: 8,
         }
     }
 }
@@ -78,6 +94,19 @@ impl EngineConfig {
     pub fn with_shards(num_shards: usize) -> Self {
         Self {
             num_shards,
+            ..Self::default()
+        }
+    }
+
+    /// A config with `num_shards` shards and dynamic load-aware
+    /// rebalancing enabled at moderate hysteresis (trigger 1.25×,
+    /// cooldown 4 ticks), defaults otherwise. This is the configuration
+    /// the benchmark harness runs as `ENG-n-RB`.
+    pub fn with_rebalancing(num_shards: usize) -> Self {
+        Self {
+            num_shards,
+            rebalance_trigger: 1.25,
+            rebalance_cooldown: 4,
             ..Self::default()
         }
     }

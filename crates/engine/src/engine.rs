@@ -94,6 +94,7 @@ struct PendingEvents {
 struct QueryRec {
     k: usize,
     shard: u32,
+    pos: NetPoint,
     knn_dist: f64,
     result: Vec<Neighbor>,
 }
@@ -164,6 +165,9 @@ pub struct ShardedEngine {
     /// Lets halo rebuilds resync only the objects on changed edges.
     edge_obj: EdgeObjectIndex,
     queries: FxHashMap<QueryId, QueryRec>,
+    /// Edge → resident queries, maintained on every routed query event.
+    /// Lets cell migration re-home only the queries on moved cells.
+    edge_queries: FxHashMap<EdgeId, Vec<QueryId>>,
     /// Events routed but not yet shipped, one buffer per shard.
     pending: Vec<PendingEvents>,
     /// This tick's edge-weight updates, accumulated once and shipped to
@@ -194,7 +198,32 @@ pub struct ShardedEngine {
     /// and current-tick slice.
     total_replica_evictions: u64,
     tick_replica_evictions: u64,
+    /// Per-shard load observed since the last fold: worker
+    /// `expansion_steps` plus routed events, accumulated across every
+    /// dispatch round (deterministic — no wall clock).
+    tick_load: Vec<u64>,
+    /// Smoothed per-shard load estimate (exponential average of
+    /// `tick_load` across ticks) — the imbalance detector's input.
+    load: Vec<f64>,
+    /// Ticks since the last rebalance (hysteresis/cooldown counter).
+    ticks_since_rebalance: u32,
+    /// Rebalances executed / cells migrated — lifetime totals and
+    /// current-tick slices.
+    total_rebalances: u64,
+    tick_rebalances: u64,
+    total_cells_migrated: u64,
+    tick_cells_migrated: u64,
 }
+
+/// Weight of the exponential load smoothing: each tick contributes half,
+/// so a hotspot must persist a few ticks before it dominates the estimate
+/// (part of the rebalance hysteresis) while a migrated-away hotspot decays
+/// just as fast.
+const LOAD_SMOOTHING: f64 = 0.5;
+
+/// A rebalance never moves more than this fraction of the hot shard's
+/// cells at once — migrations stay incremental even under extreme skew.
+const MAX_MIGRATION_FRACTION: f64 = 0.25;
 
 impl ShardedEngine {
     /// Partitions `net` and spawns one monitor worker per shard.
@@ -235,6 +264,7 @@ impl ShardedEngine {
             objects: FxHashMap::default(),
             edge_obj: EdgeObjectIndex::new(net.num_edges()),
             queries: FxHashMap::default(),
+            edge_queries: FxHashMap::default(),
             pending: (0..cfg.num_shards)
                 .map(|_| PendingEvents::default())
                 .collect(),
@@ -248,6 +278,13 @@ impl ShardedEngine {
             resync_seen: FxHashSet::default(),
             total_replica_evictions: 0,
             tick_replica_evictions: 0,
+            tick_load: vec![0; cfg.num_shards],
+            load: vec![0.0; cfg.num_shards],
+            ticks_since_rebalance: 0,
+            total_rebalances: 0,
+            tick_rebalances: 0,
+            total_cells_migrated: 0,
+            tick_cells_migrated: 0,
             net,
             cfg,
         }
@@ -309,6 +346,26 @@ impl ShardedEngine {
         self.total_replica_evictions
     }
 
+    /// Lifetime count of load-aware rebalances (each one migration of
+    /// boundary cells from the most loaded shard to an underloaded
+    /// neighbour).
+    pub fn rebalance_events(&self) -> u64 {
+        self.total_rebalances
+    }
+
+    /// Lifetime count of partition cells (edges) whose ownership moved to
+    /// another shard during rebalancing.
+    pub fn cells_migrated(&self) -> u64 {
+        self.total_cells_migrated
+    }
+
+    /// The smoothed per-shard load estimates driving the imbalance
+    /// detector (worker `expansion_steps` + routed events, exponentially
+    /// averaged across ticks).
+    pub fn shard_loads(&self) -> &[f64] {
+        &self.load
+    }
+
     /// Monitor-side aggregate of the last tick: critical-path elapsed time
     /// (max across each dispatch round's parallel workers, summed across
     /// rounds) and summed op counters. Excludes the router's own work —
@@ -323,6 +380,34 @@ impl ShardedEngine {
     /// edge→object index mirrors the object table exactly, and the per-edge
     /// masks are consistent with ownership plus the halo edge sets.
     pub fn validate_replication(&self) -> Result<(), String> {
+        self.partition.validate(&self.net)?;
+        let indexed_queries: usize = self.edge_queries.values().map(Vec::len).sum();
+        if indexed_queries != self.queries.len() {
+            return Err(format!(
+                "query index holds {indexed_queries} queries but the registry holds {}",
+                self.queries.len()
+            ));
+        }
+        for (&id, rec) in &self.queries {
+            if self.partition.shard_of_edge(rec.pos.edge) != rec.shard {
+                return Err(format!(
+                    "query {id:?} routed to shard {} but its edge {:?} is owned by {}",
+                    rec.shard,
+                    rec.pos.edge,
+                    self.partition.shard_of_edge(rec.pos.edge)
+                ));
+            }
+            if !self
+                .edge_queries
+                .get(&rec.pos.edge)
+                .is_some_and(|b| b.contains(&id))
+            {
+                return Err(format!(
+                    "query {id:?} not indexed on its edge {:?}",
+                    rec.pos.edge
+                ));
+            }
+        }
         if self.edge_obj.len() != self.objects.len() {
             return Err(format!(
                 "index holds {} objects but the registry holds {}",
@@ -487,6 +572,170 @@ impl ShardedEngine {
         self.tick_replica_evictions += evicted;
     }
 
+    // --- Dynamic load-aware re-partitioning -------------------------------
+
+    /// The imbalance detector, run once at the start of every tick. When
+    /// rebalancing is enabled (`rebalance_trigger ≥ 1`), the cooldown has
+    /// elapsed, and the smoothed per-shard load satisfies
+    /// `max > mean × trigger`, one migration of boundary cells runs from
+    /// the most loaded shard to an underloaded neighbour.
+    fn maybe_rebalance(&mut self) {
+        if self.cfg.rebalance_trigger < 1.0 || self.cfg.num_shards < 2 {
+            return;
+        }
+        self.ticks_since_rebalance = self.ticks_since_rebalance.saturating_add(1);
+        if self.ticks_since_rebalance <= self.cfg.rebalance_cooldown {
+            return;
+        }
+        let total: f64 = self.load.iter().sum();
+        if total <= 0.0 {
+            return;
+        }
+        let mean = total / self.cfg.num_shards as f64;
+        let mut hot = 0usize;
+        for s in 1..self.cfg.num_shards {
+            if self.load[s] > self.load[hot] {
+                hot = s; // strict: ties resolve to the lowest shard id
+            }
+        }
+        let hot_load = self.load[hot];
+        if hot_load <= mean * self.cfg.rebalance_trigger {
+            return;
+        }
+        let Some((cold, cells)) = self.plan_migration(hot) else {
+            return; // no underloaded neighbour shares a border — stand pat
+        };
+        self.migrate_cells(hot, cold, &cells);
+        self.ticks_since_rebalance = 0;
+    }
+
+    /// The migration planner: picks the least-loaded shard that shares a
+    /// border with `hot` and the boundary cells to hand over. Cells are
+    /// weighted by their resident entities (1 + objects + queries) and
+    /// taken heaviest-first until roughly half the load gap has moved,
+    /// capped at [`MAX_MIGRATION_FRACTION`] of the hot shard's cells so a
+    /// single rebalance stays incremental. Fully deterministic: driven by
+    /// the deterministic load estimates and sorted by `(weight desc, id)`.
+    fn plan_migration(&self, hot: usize) -> Option<(usize, Vec<EdgeId>)> {
+        let mut targets: Vec<usize> = (0..self.cfg.num_shards).filter(|&s| s != hot).collect();
+        targets.sort_by(|&a, &b| self.load[a].total_cmp(&self.load[b]).then(a.cmp(&b)));
+        for cold in targets {
+            if self.load[cold] >= self.load[hot] {
+                break; // only ever move load downhill
+            }
+            let cells = self
+                .partition
+                .boundary_cells_between(&self.net, hot as u32, cold as u32);
+            if cells.is_empty() {
+                continue; // not adjacent; try the next-coldest shard
+            }
+            let cell_weight = |e: EdgeId| -> u64 {
+                1 + self.edge_obj.objects_on(e).len() as u64
+                    + self.edge_queries.get(&e).map_or(0, |v| v.len() as u64)
+            };
+            let hot_weight: u64 = self
+                .partition
+                .view(hot)
+                .edges
+                .iter()
+                .map(|&e| cell_weight(e))
+                .sum();
+            // Share of the hot shard's resident weight that should move:
+            // half the relative load gap to the target.
+            let gap = (self.load[hot] - self.load[cold]) / (2.0 * self.load[hot]);
+            let target_weight = (hot_weight as f64 * gap).ceil() as u64;
+            let cap = ((self.partition.view(hot).edges.len() as f64 * MAX_MIGRATION_FRACTION)
+                .floor() as usize)
+                .clamp(1, cells.len());
+            let mut ranked: Vec<(u64, EdgeId)> =
+                cells.into_iter().map(|e| (cell_weight(e), e)).collect();
+            ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let mut chosen = Vec::new();
+            let mut moved_weight = 0u64;
+            for (w, e) in ranked {
+                if chosen.len() >= cap || (moved_weight >= target_weight && !chosen.is_empty()) {
+                    break;
+                }
+                chosen.push(e);
+                moved_weight += w;
+            }
+            if !chosen.is_empty() {
+                return Some((cold, chosen));
+            }
+        }
+        None
+    }
+
+    /// Executes one planned migration: reassigns the cells in the
+    /// partition, re-derives the two moved borders' halos, hands off the
+    /// resident objects through the edge→object index (O(moved cells), the
+    /// PR 2 delta machinery ships them), re-homes the resident queries, and
+    /// closes the halo-coverage loop. The strict request/response worker
+    /// protocol is the pause/resume barrier: no request is in flight when
+    /// the partition mutates, and `dispatch_pending`/`reconcile` block on
+    /// every shard's response before the tick proceeds — workers never
+    /// observe a half-migrated partition.
+    fn migrate_cells(&mut self, hot: usize, cold: usize, cells: &[EdgeId]) {
+        let moves: Vec<(EdgeId, u32)> = cells.iter().map(|&e| (e, cold as u32)).collect();
+        self.partition.reassign(&self.net, &moves);
+
+        let (hot_bit, cold_bit) = (1u64 << hot, 1u64 << cold);
+        let mut changed = FxHashSet::default();
+        for &e in cells {
+            // A moved cell may sit in the new owner's halo ring; it is now
+            // owned, so drop it from the ring before the mask transfer (the
+            // halo recompute below excludes owned edges by construction).
+            let ring = &mut self.halo_edges[cold];
+            if ring.dist.remove(&e).is_some() {
+                ring.by_dist.retain(|&(_, re)| re != e);
+            }
+            self.edge_mask[e.index()] = (self.edge_mask[e.index()] & !hot_bit) | cold_bit;
+            changed.insert(e);
+        }
+        // The border between the two shards moved, so both boundary-node
+        // sets changed and their halo memberships are re-derived under the
+        // new border. Other shards' boundaries are untouched: a moved cell
+        // was foreign to them before and after, so their halo sets (and
+        // replica masks) remain exactly valid.
+        for s in [hot, cold] {
+            if self.halo_r[s] > 0.0 {
+                self.recompute_halo(s, &mut changed);
+            }
+        }
+        // Hand off the residents of every changed edge — O(moved cells +
+        // toggled halo edges) through the edge→object index.
+        self.resync_changed(&changed);
+        // Re-home the queries living on the migrated cells.
+        for &e in cells {
+            let Some(bucket) = self.edge_queries.get(&e) else {
+                continue;
+            };
+            let mut qids = bucket.clone();
+            qids.sort_unstable();
+            for id in qids {
+                let rec = self.queries.get_mut(&id).expect("indexed query registered");
+                debug_assert_eq!(rec.pos.edge, e, "query index bucket out of sync");
+                if rec.shard == hot as u32 {
+                    let (k, at) = (rec.k, rec.pos);
+                    self.pending[hot].queries.push(QueryEvent::Remove { id });
+                    self.pending[cold]
+                        .queries
+                        .push(QueryEvent::Install { id, k, at });
+                    rec.shard = cold as u32;
+                }
+            }
+        }
+        self.total_rebalances += 1;
+        self.tick_rebalances += 1;
+        self.total_cells_migrated += cells.len() as u64;
+        self.tick_cells_migrated += cells.len() as u64;
+        // Ship the hand-off and grow halos until every re-homed query's
+        // result is covered again — the same loop that makes installs
+        // answer-identical makes migrations answer-identical.
+        self.dispatch_pending();
+        self.reconcile();
+    }
+
     // --- Dispatch ---------------------------------------------------------
 
     /// Ships every non-empty pending delta to its shard (the tick's edge
@@ -506,6 +755,9 @@ impl ShardedEngine {
             if own.objects.is_empty() && own.queries.is_empty() && arena.is_empty() {
                 continue;
             }
+            // Routed events are half the shard-load signal (the other half
+            // is the worker's expansion_steps, folded in on receive).
+            self.tick_load[s] += (own.objects.len() + own.queries.len()) as u64;
             let delta = DeltaBatch {
                 objects: std::mem::take(&mut own.objects),
                 queries: std::mem::take(&mut own.queries),
@@ -524,6 +776,7 @@ impl ShardedEngine {
             }
             match self.workers[s].recv() {
                 Response::Tick(outcome) => {
+                    self.tick_load[s] += outcome.report.counters.expansion_steps;
                     round.absorb_parallel(&outcome.report);
                     self.active[s] = outcome.active_groups;
                     for snap in outcome.snapshots {
@@ -676,12 +929,26 @@ impl ShardedEngine {
         }
     }
 
+    /// Drops `id` from the edge→query index bucket of `e`.
+    fn unindex_query(&mut self, e: EdgeId, id: QueryId) {
+        if let Some(bucket) = self.edge_queries.get_mut(&e) {
+            if let Some(i) = bucket.iter().position(|&q| q == id) {
+                bucket.swap_remove(i);
+            }
+            if bucket.is_empty() {
+                self.edge_queries.remove(&e);
+            }
+        }
+    }
+
     fn route_query_event(&mut self, ev: &QueryEvent) {
         match *ev {
             QueryEvent::Move { id, to } => {
                 let Some(rec) = self.queries.get_mut(&id) else {
                     return; // move of an unknown query: dropped, as monitors do
                 };
+                let from_edge = rec.pos.edge;
+                rec.pos = to;
                 let new_shard = self.partition.shard_of_edge(to.edge);
                 if new_shard == rec.shard {
                     self.pending[new_shard as usize]
@@ -697,6 +964,10 @@ impl ShardedEngine {
                         .push(QueryEvent::Install { id, k, at: to });
                     rec.shard = new_shard;
                 }
+                if from_edge != to.edge {
+                    self.unindex_query(from_edge, id);
+                    self.edge_queries.entry(to.edge).or_default().push(id);
+                }
             }
             QueryEvent::Install { id, k, at } => {
                 let shard = self.partition.shard_of_edge(at.edge);
@@ -705,6 +976,7 @@ impl ShardedEngine {
                     QueryRec {
                         k,
                         shard,
+                        pos: at,
                         knn_dist: f64::INFINITY,
                         result: Vec::new(),
                     },
@@ -718,6 +990,12 @@ impl ShardedEngine {
                     // Same shard: no Remove — the monitors coalesce a
                     // re-Install of a known query into an update (pinned by
                     // the duplicate-install differential test).
+                    if old.pos.edge != at.edge {
+                        self.unindex_query(old.pos.edge, id);
+                        self.edge_queries.entry(at.edge).or_default().push(id);
+                    }
+                } else {
+                    self.edge_queries.entry(at.edge).or_default().push(id);
                 }
                 self.pending[shard as usize]
                     .queries
@@ -725,6 +1003,7 @@ impl ShardedEngine {
             }
             QueryEvent::Remove { id } => {
                 if let Some(rec) = self.queries.remove(&id) {
+                    self.unindex_query(rec.pos.edge, id);
                     self.pending[rec.shard as usize]
                         .queries
                         .push(QueryEvent::Remove { id });
@@ -771,7 +1050,15 @@ impl ContinuousMonitor for ShardedEngine {
         self.workers_report = TickReport::default();
         self.tick_resync_touched = 0;
         self.tick_replica_evictions = 0;
+        self.tick_rebalances = 0;
+        self.tick_cells_migrated = 0;
         self.resync_seen.clear();
+
+        // 0. Load-aware re-partitioning: if the previous ticks' load
+        //    estimates show a persistent hot shard, migrate boundary cells
+        //    before this tick's updates land (no-op unless
+        //    `rebalance_trigger` enables it).
+        self.maybe_rebalance();
 
         // 1. Edge updates: apply to the authoritative weights and stage
         //    them *once* — dispatch hands every shard the same Arc'd slice
@@ -823,9 +1110,18 @@ impl ContinuousMonitor for ShardedEngine {
             })
             .count();
 
+        // Fold this tick's per-shard load observations into the smoothed
+        // estimates the imbalance detector reads next tick.
+        for s in 0..self.cfg.num_shards {
+            let observed = std::mem::take(&mut self.tick_load[s]) as f64;
+            self.load[s] = self.load[s] * (1.0 - LOAD_SMOOTHING) + observed * LOAD_SMOOTHING;
+        }
+
         let mut counters = self.workers_report.counters;
         counters.resync_touched += self.tick_resync_touched;
         counters.replica_evictions += self.tick_replica_evictions;
+        counters.rebalance_events += self.tick_rebalances;
+        counters.cells_migrated += self.tick_cells_migrated;
         // Router-side allocation/step accounting: the halo scratch engine
         // and the edge→object arena (the workers' own counters already
         // arrived through their tick reports).
@@ -879,6 +1175,11 @@ impl ContinuousMonitor for ShardedEngine {
                 .iter()
                 .map(HaloRing::memory_bytes)
                 .sum::<usize>()
+            + self
+                .edge_queries
+                .values()
+                .map(|b| b.capacity() * std::mem::size_of::<QueryId>())
+                .sum::<usize>()
             + self.edge_obj.memory_bytes()
             + self.weights.memory_bytes();
         total
@@ -891,6 +1192,19 @@ impl ContinuousMonitor for ShardedEngine {
         } else {
             Some(counts.iter().sum())
         }
+    }
+
+    fn shard_load_ratio(&self) -> Option<f64> {
+        if self.cfg.num_shards < 2 {
+            return None;
+        }
+        let total: f64 = self.load.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mean = total / self.cfg.num_shards as f64;
+        let max = self.load.iter().fold(0.0f64, |a, &b| a.max(b));
+        Some(max / mean)
     }
 }
 
@@ -1216,6 +1530,147 @@ mod tests {
         );
         assert!(eng.halo_radius(s) <= eng.diameter_bound() * (1.0 + eng.cfg.halo_slack) + 1e-9);
         eng.validate_replication().unwrap();
+    }
+
+    // --- Dynamic load-aware re-partitioning ----------------------------
+
+    /// Installs objects on every edge and a tight query cluster on one
+    /// shard, then churns the cluster every tick so all monitor work lands
+    /// on that shard.
+    fn hotspot_setup(eng: &mut ShardedEngine) -> Vec<(QueryId, EdgeId)> {
+        let n = eng.net.num_edges();
+        for (i, e) in (0..n).enumerate() {
+            eng.insert_object(ObjectId(i as u32), NetPoint::new(EdgeId(e as u32), 0.5));
+        }
+        let hot = eng.partition.shard_of_edge(EdgeId(0));
+        let cluster: Vec<EdgeId> = eng
+            .net
+            .edge_ids()
+            .filter(|&e| eng.partition.shard_of_edge(e) == hot)
+            .take(6)
+            .collect();
+        let mut placed = Vec::new();
+        for (q, &e) in cluster.iter().enumerate() {
+            eng.install_query(QueryId(q as u32), 4, NetPoint::new(e, 0.25));
+            placed.push((QueryId(q as u32), e));
+        }
+        placed
+    }
+
+    fn churn_tick(t: u32, placed: &[(QueryId, EdgeId)]) -> UpdateBatch {
+        let mut batch = UpdateBatch::default();
+        for &(q, e) in placed {
+            let frac = if t % 2 == 0 { 0.2 } else { 0.8 };
+            batch.queries.push(QueryEvent::Move {
+                id: q,
+                to: NetPoint::new(e, frac),
+            });
+        }
+        batch
+    }
+
+    #[test]
+    fn rebalancing_is_disabled_by_default() {
+        let mut eng = engine(4);
+        let placed = hotspot_setup(&mut eng);
+        for t in 0..12 {
+            eng.tick(&churn_tick(t, &placed));
+        }
+        assert_eq!(eng.rebalance_events(), 0);
+        assert_eq!(eng.cells_migrated(), 0);
+        // The skew is visible in the load estimates even though nothing
+        // acts on it.
+        assert!(eng.shard_load_ratio().unwrap() > 1.5);
+    }
+
+    #[test]
+    fn hotspot_triggers_migration_and_improves_balance() {
+        let mk = |trigger: f64| {
+            ShardedEngine::new(
+                net(),
+                EngineConfig {
+                    num_shards: 4,
+                    algo: ShardAlgo::Ima,
+                    rebalance_trigger: trigger,
+                    rebalance_cooldown: 2,
+                    ..EngineConfig::default()
+                },
+            )
+        };
+        let mut fixed = mk(0.0);
+        let mut dynamic = mk(1.1);
+        let placed_f = hotspot_setup(&mut fixed);
+        let placed_d = hotspot_setup(&mut dynamic);
+        assert_eq!(placed_f, placed_d, "identical partitions, identical setup");
+        let mut reported_rebalances = 0u64;
+        let mut reported_cells = 0u64;
+        for t in 0..20 {
+            let batch = churn_tick(t, &placed_f);
+            fixed.tick(&batch);
+            let rep = dynamic.tick(&batch);
+            reported_rebalances += rep.counters.rebalance_events;
+            reported_cells += rep.counters.cells_migrated;
+            dynamic.validate_replication().unwrap();
+            // Answer identity under migration: both engines agree (same
+            // convention as the differential suite — 1e-9 relative
+            // tolerance absorbs summation-order rounding when a migrated
+            // query is recomputed by its new shard).
+            let mut ids = fixed.query_ids();
+            ids.sort();
+            for q in ids {
+                let (a, b) = (fixed.result(q).unwrap(), dynamic.result(q).unwrap());
+                assert_eq!(a.len(), b.len(), "tick {t}, {q:?}");
+                for (x, y) in a.iter().zip(b) {
+                    assert!(
+                        (x.dist - y.dist).abs() <= 1e-9 * x.dist.abs().max(1.0),
+                        "tick {t}, {q:?}: {} vs {}",
+                        x.dist,
+                        y.dist
+                    );
+                }
+            }
+        }
+        assert!(dynamic.rebalance_events() > 0, "hotspot must trigger");
+        assert!(dynamic.cells_migrated() > 0);
+        // The per-tick counter slices add up to the lifetime totals.
+        assert_eq!(reported_rebalances, dynamic.rebalance_events());
+        assert_eq!(reported_cells, dynamic.cells_migrated());
+        let (rf, rd) = (
+            fixed.shard_load_ratio().unwrap(),
+            dynamic.shard_load_ratio().unwrap(),
+        );
+        assert!(
+            rd < rf,
+            "rebalancing must improve the load ratio: {rd} !< {rf}"
+        );
+        // The lifetime totals flowed into OpCounters as well.
+        assert_eq!(fixed.cells_migrated(), 0);
+    }
+
+    #[test]
+    fn migration_preserves_partition_and_query_routing() {
+        let mut eng = ShardedEngine::new(
+            net(),
+            EngineConfig {
+                num_shards: 2,
+                algo: ShardAlgo::Gma,
+                rebalance_trigger: 1.0,
+                rebalance_cooldown: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let placed = hotspot_setup(&mut eng);
+        for t in 0..14 {
+            eng.tick(&churn_tick(t, &placed));
+            eng.validate_replication().unwrap();
+            eng.partition.validate(&eng.net).unwrap();
+        }
+        assert!(eng.cells_migrated() > 0);
+        // Every clustered query still answers with k results from its
+        // (possibly new) owner shard.
+        for &(q, _) in &placed {
+            assert_eq!(eng.result(q).unwrap().len(), 4);
+        }
     }
 
     #[test]

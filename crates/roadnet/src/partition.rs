@@ -196,6 +196,137 @@ impl NetworkPartition {
         &self.views
     }
 
+    /// Moves the ownership of the given **cells** (edges — the atomic unit
+    /// of partition ownership, and of everything resident on them) to new
+    /// shards, then re-derives node assignments and rebuilds the shard
+    /// views.
+    ///
+    /// This is the mutation primitive of the engine's dynamic load-aware
+    /// re-partitioning: the migration planner picks boundary cells of an
+    /// overloaded shard and hands them to an underloaded neighbour. Node
+    /// ownership follows the edges deterministically — a node keeps its
+    /// shard while that shard still owns one of its incident edges, and
+    /// otherwise adopts the smallest incident owner. The view/boundary
+    /// rebuild is O(V + E) (entity hand-off in the engine stays O(moved
+    /// cells)); rebalances are hysteresis-limited, so this never sits on
+    /// the per-tick path.
+    ///
+    /// # Panics
+    /// Panics if a target shard is out of range or an edge id is invalid.
+    pub fn reassign(&mut self, net: &RoadNetwork, moves: &[(EdgeId, u32)]) {
+        for &(e, s) in moves {
+            assert!(
+                (s as usize) < self.num_shards,
+                "target shard {s} out of range (num_shards = {})",
+                self.num_shards
+            );
+            self.edge_shard[e.index()] = s;
+        }
+        // Re-home the endpoints of moved edges: ownership of a node is only
+        // meaningful while its shard owns an incident edge.
+        for &(e, _) in moves {
+            let rec = net.edge(e);
+            for n in [rec.start, rec.end] {
+                let cur = self.node_shard[n.index()];
+                let mut keep = false;
+                let mut min_owner = u32::MAX;
+                for &(e2, _) in net.adjacent(n) {
+                    let owner = self.edge_shard[e2.index()];
+                    keep |= owner == cur;
+                    min_owner = min_owner.min(owner);
+                }
+                if !keep && min_owner != u32::MAX {
+                    self.node_shard[n.index()] = min_owner;
+                }
+            }
+        }
+        self.views = build_views(net, self.num_shards, &self.node_shard, &self.edge_shard);
+    }
+
+    /// The cells shard `from` could hand to shard `to` without tearing a
+    /// hole in the middle of its region: edges owned by `from` with an
+    /// endpoint that touches an edge owned by `to` (i.e. cells on the
+    /// `from`/`to` border). Sorted by edge id for determinism.
+    pub fn boundary_cells_between(&self, net: &RoadNetwork, from: u32, to: u32) -> Vec<EdgeId> {
+        let mut out: Vec<EdgeId> = self.views[from as usize]
+            .edges
+            .iter()
+            .copied()
+            .filter(|&e| {
+                let rec = net.edge(e);
+                [rec.start, rec.end].into_iter().any(|n| {
+                    net.adjacent(n)
+                        .iter()
+                        .any(|&(e2, _)| self.edge_shard[e2.index()] == to)
+                })
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Checks the structural partition invariants (tests, proptests, and
+    /// post-migration debugging): every node and edge is owned by exactly
+    /// one in-range shard, the views partition the node and edge sets
+    /// exactly, and the boundary-node lists are exactly the nodes incident
+    /// to both an owned and a foreign edge.
+    pub fn validate(&self, net: &RoadNetwork) -> Result<(), String> {
+        if self.node_shard.len() != net.num_nodes() || self.edge_shard.len() != net.num_edges() {
+            return Err("assignment tables do not match the network".into());
+        }
+        for e in net.edge_ids() {
+            let s = self.edge_shard[e.index()];
+            if s as usize >= self.num_shards {
+                return Err(format!("edge {e:?} owned by out-of-range shard {s}"));
+            }
+            if !self.views[s as usize].edges.contains(&e) {
+                return Err(format!("edge {e:?} missing from view of shard {s}"));
+            }
+        }
+        let total_edges: usize = self.views.iter().map(|v| v.edges.len()).sum();
+        if total_edges != net.num_edges() {
+            return Err(format!(
+                "views list {total_edges} edges, network has {} — an edge is owned by \
+                 more or fewer than one shard",
+                net.num_edges()
+            ));
+        }
+        let total_nodes: usize = self.views.iter().map(|v| v.nodes.len()).sum();
+        if total_nodes != net.num_nodes() {
+            return Err(format!(
+                "views list {total_nodes} nodes, network has {}",
+                net.num_nodes()
+            ));
+        }
+        for n in net.node_ids() {
+            let s = self.node_shard[n.index()];
+            if s as usize >= self.num_shards {
+                return Err(format!("node {n:?} owned by out-of-range shard {s}"));
+            }
+        }
+        for v in &self.views {
+            for n in net.node_ids() {
+                let owned = net
+                    .adjacent(n)
+                    .iter()
+                    .any(|&(e, _)| self.edge_shard[e.index()] == v.shard);
+                let foreign = net
+                    .adjacent(n)
+                    .iter()
+                    .any(|&(e, _)| self.edge_shard[e.index()] != v.shard);
+                let listed = v.boundary_nodes.contains(&n);
+                if listed != (owned && foreign) {
+                    return Err(format!(
+                        "shard {}: node {n:?} boundary status wrong (listed {listed}, \
+                         owned {owned}, foreign {foreign})",
+                        v.shard
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of edges whose endpoints live in different shards — the
     /// classic partition-quality metric (smaller is better).
     pub fn edge_cut(&self, net: &RoadNetwork) -> usize {
@@ -496,6 +627,72 @@ mod tests {
         let b = NetworkPartition::build(&net, 4);
         for e in net.edge_ids() {
             assert_eq!(a.shard_of_edge(e), b.shard_of_edge(e));
+        }
+    }
+
+    #[test]
+    fn fresh_builds_validate() {
+        for s in [1, 2, 4, 8] {
+            let net = net(8, 8, 7);
+            let p = NetworkPartition::build(&net, s);
+            p.validate(&net).unwrap();
+        }
+    }
+
+    #[test]
+    fn reassign_moves_cells_and_keeps_invariants() {
+        let net = net(8, 8, 9);
+        let mut p = NetworkPartition::build(&net, 4);
+        let cells = p.boundary_cells_between(&net, 0, 1);
+        assert!(!cells.is_empty(), "adjacent shards share boundary cells");
+        let take = cells.len().div_ceil(2);
+        let moves: Vec<(EdgeId, u32)> = cells[..take].iter().map(|&e| (e, 1)).collect();
+        p.reassign(&net, &moves);
+        for &(e, s) in &moves {
+            assert_eq!(p.shard_of_edge(e), s);
+        }
+        p.validate(&net).unwrap();
+        // Views reflect the move.
+        for &(e, _) in &moves {
+            assert!(p.view(1).edges.contains(&e));
+            assert!(!p.view(0).edges.contains(&e));
+        }
+    }
+
+    #[test]
+    fn reassign_everything_empties_a_shard() {
+        // Degenerate but legal: hand shard 0's whole region away. The
+        // emptied shard must survive with no edges and no boundary.
+        let net = net(6, 6, 10);
+        let mut p = NetworkPartition::build(&net, 2);
+        let moves: Vec<(EdgeId, u32)> = p.view(0).edges.iter().map(|&e| (e, 1)).collect();
+        p.reassign(&net, &moves);
+        p.validate(&net).unwrap();
+        assert!(p.view(0).edges.is_empty());
+        assert!(p.view(0).boundary_nodes.is_empty());
+        assert_eq!(p.view(1).edges.len(), net.num_edges());
+        assert_eq!(p.edge_cut(&net), 0);
+    }
+
+    #[test]
+    fn boundary_cells_touch_the_target_shard() {
+        let net = net(8, 8, 11);
+        let p = NetworkPartition::build(&net, 4);
+        for from in 0..4u32 {
+            for to in 0..4u32 {
+                if from == to {
+                    continue;
+                }
+                for e in p.boundary_cells_between(&net, from, to) {
+                    assert_eq!(p.shard_of_edge(e), from);
+                    let rec = net.edge(e);
+                    assert!([rec.start, rec.end].into_iter().any(|n| {
+                        net.adjacent(n)
+                            .iter()
+                            .any(|&(e2, _)| p.shard_of_edge(e2) == to)
+                    }));
+                }
+            }
         }
     }
 }

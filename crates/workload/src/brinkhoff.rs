@@ -84,6 +84,14 @@ impl RouteFollower {
         self.route.clear();
     }
 
+    /// Drops the follower at `to`, discarding its current route (the next
+    /// step re-plans from the new position). Used by the drifting-hotspot
+    /// workload, which jumps entities instead of walking them.
+    pub fn teleport(&mut self, to: NetPoint) {
+        self.pos = to;
+        self.route.clear();
+    }
+
     /// Advances by `distance` (base-length units), re-routing on arrival.
     /// Returns the new position.
     pub fn step(

@@ -25,4 +25,4 @@ pub mod movement;
 pub mod scenario;
 
 pub use distribution::Distribution;
-pub use scenario::{DriveReport, MovementModel, Scenario, ScenarioConfig};
+pub use scenario::{DriveReport, HotspotConfig, MovementModel, Scenario, ScenarioConfig};

@@ -26,7 +26,7 @@ use rnn_roadnet::{
 use serde::{Deserialize, Serialize};
 
 use crate::brinkhoff::RouteFollower;
-use crate::distribution::{Distribution, Placer};
+use crate::distribution::{gaussian_pair, Distribution, Placer};
 use crate::movement::RandomWalker;
 
 /// Which movement model entities follow.
@@ -36,6 +36,37 @@ pub enum MovementModel {
     RandomWalk,
     /// The Brinkhoff-substitute route follower (Fig. 19).
     Brinkhoff,
+}
+
+/// A drifting load hotspot layered on top of the base workload: entities
+/// selected by their agility fraction jump to Gaussian samples around a
+/// center that orbits the workspace, instead of random-walking. The
+/// resulting object/query density is heavily skewed and *moves across the
+/// network* over time — the workload that exercises the sharded engine's
+/// dynamic re-partitioning (a static partition pins the hotspot to one
+/// worker; a load-aware one follows it).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HotspotConfig {
+    /// Spread of the hotspot: standard deviation of the jump targets as a
+    /// fraction of the workspace half-diagonal (cf. [`Distribution`]).
+    pub stddev_frac: f64,
+    /// Timestamps for one full orbit of the workspace.
+    pub period: f64,
+    /// Whether moving objects jump to the hotspot.
+    pub objects: bool,
+    /// Whether moving queries jump to the hotspot.
+    pub queries: bool,
+}
+
+impl Default for HotspotConfig {
+    fn default() -> Self {
+        Self {
+            stddev_frac: 0.08,
+            period: 40.0,
+            objects: true,
+            queries: true,
+        }
+    }
 }
 
 /// All Table 2 parameters (paper defaults via [`Default`]).
@@ -65,6 +96,10 @@ pub struct ScenarioConfig {
     pub query_speed: f64,
     /// Movement model (the paper's simple generator by default).
     pub movement: MovementModel,
+    /// Optional drifting load hotspot (not in the paper; drives the
+    /// engine's rebalance experiments). `None` keeps the update stream
+    /// byte-identical to earlier releases.
+    pub hotspot: Option<HotspotConfig>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -83,6 +118,7 @@ impl Default for ScenarioConfig {
             object_speed: 1.0,
             query_speed: 1.0,
             movement: MovementModel::RandomWalk,
+            hotspot: None,
             seed: 0,
         }
     }
@@ -135,6 +171,10 @@ pub struct Scenario {
     queries: Vec<Mover>,
     engine: DijkstraEngine,
     avg_len: f64,
+    /// Coordinate→edge resolution, kept for hotspot jump targets.
+    quadtree: PmrQuadtree,
+    /// Timestamps emitted so far (drives the hotspot orbit).
+    t: u64,
 }
 
 impl Scenario {
@@ -176,7 +216,34 @@ impl Scenario {
             queries,
             engine,
             avg_len,
+            quadtree,
+            t: 0,
         }
+    }
+
+    /// The hotspot center for the current timestamp: a point orbiting the
+    /// workspace center, completing one lap every `period` timestamps, so
+    /// the skewed density drifts across every part of the network.
+    fn hotspot_center(&self, h: &HotspotConfig) -> (f64, f64) {
+        let b = self.net.bounds();
+        let c = b.center();
+        let ang = std::f64::consts::TAU * (self.t as f64) / h.period.max(1.0);
+        (
+            c.x + 0.35 * b.width() * ang.cos(),
+            c.y + 0.35 * b.height() * ang.sin(),
+        )
+    }
+
+    /// One Gaussian jump target around the current hotspot center, snapped
+    /// to the network.
+    fn hotspot_sample(&mut self, h: &HotspotConfig, center: (f64, f64)) -> NetPoint {
+        let b = self.net.bounds();
+        let sd = h.stddev_frac * 0.5 * b.width().hypot(b.height());
+        let (g1, g2) = gaussian_pair(&mut self.rng);
+        let p = rnn_roadnet::Point2::new(center.0 + g1 * sd, center.1 + g2 * sd);
+        self.quadtree
+            .locate(&self.net, p)
+            .expect("non-empty network")
     }
 
     /// The network.
@@ -266,19 +333,31 @@ impl Scenario {
             }
         }
 
-        // --- Object movements: f_obj of the objects walk v_obj × avg edge.
+        // --- Drifting hotspot (if configured): the center for this tick.
+        let hotspot = self.cfg.hotspot;
+        let center = hotspot.map(|h| self.hotspot_center(&h));
+
+        // --- Object movements: f_obj of the objects walk v_obj × avg edge
+        // (or jump to the hotspot when one is configured for objects).
         let n_obj = ((self.objects.len() as f64) * self.cfg.object_agility).round() as usize;
         let dist = self.cfg.object_speed * self.avg_len;
         for i in sample_indices(&mut self.rng, self.objects.len(), n_obj) {
-            let new_pos = match &mut self.objects[i] {
-                Mover::Walk(w) => w.step(&self.net, dist, &mut self.rng),
-                Mover::Route(r) => r.step(
-                    &self.net,
-                    &self.weights,
-                    &mut self.engine,
-                    dist,
-                    &mut self.rng,
-                ),
+            let new_pos = match hotspot.filter(|h| h.objects) {
+                Some(h) => {
+                    let to = self.hotspot_sample(&h, center.expect("hotspot set"));
+                    self.teleport(true, i, to);
+                    to
+                }
+                None => match &mut self.objects[i] {
+                    Mover::Walk(w) => w.step(&self.net, dist, &mut self.rng),
+                    Mover::Route(r) => r.step(
+                        &self.net,
+                        &self.weights,
+                        &mut self.engine,
+                        dist,
+                        &mut self.rng,
+                    ),
+                },
             };
             batch.objects.push(ObjectEvent::Move {
                 id: ObjectId::from_index(i),
@@ -290,15 +369,22 @@ impl Scenario {
         let n_qry = ((self.queries.len() as f64) * self.cfg.query_agility).round() as usize;
         let dist = self.cfg.query_speed * self.avg_len;
         for i in sample_indices(&mut self.rng, self.queries.len(), n_qry) {
-            let new_pos = match &mut self.queries[i] {
-                Mover::Walk(w) => w.step(&self.net, dist, &mut self.rng),
-                Mover::Route(r) => r.step(
-                    &self.net,
-                    &self.weights,
-                    &mut self.engine,
-                    dist,
-                    &mut self.rng,
-                ),
+            let new_pos = match hotspot.filter(|h| h.queries) {
+                Some(h) => {
+                    let to = self.hotspot_sample(&h, center.expect("hotspot set"));
+                    self.teleport(false, i, to);
+                    to
+                }
+                None => match &mut self.queries[i] {
+                    Mover::Walk(w) => w.step(&self.net, dist, &mut self.rng),
+                    Mover::Route(r) => r.step(
+                        &self.net,
+                        &self.weights,
+                        &mut self.engine,
+                        dist,
+                        &mut self.rng,
+                    ),
+                },
             };
             batch.queries.push(QueryEvent::Move {
                 id: QueryId::from_index(i),
@@ -306,7 +392,22 @@ impl Scenario {
             });
         }
 
+        self.t += 1;
         batch
+    }
+
+    /// Drops mover `i` (object when `is_object`, query otherwise) at `to`,
+    /// resetting its movement state so later walking steps stay valid.
+    fn teleport(&mut self, is_object: bool, i: usize, to: NetPoint) {
+        let mover = if is_object {
+            &mut self.objects[i]
+        } else {
+            &mut self.queries[i]
+        };
+        match mover {
+            Mover::Walk(w) => *w = RandomWalker::new(&self.net, to, &mut self.rng),
+            Mover::Route(r) => r.teleport(to),
+        }
     }
 }
 
@@ -443,6 +544,70 @@ mod tests {
         for _ in 0..3 {
             let batch = sc.tick();
             assert!(!batch.objects.is_empty());
+        }
+    }
+
+    #[test]
+    fn hotspot_skews_density_and_drifts() {
+        let net = small_net();
+        let mut sc = Scenario::new(
+            net.clone(),
+            ScenarioConfig {
+                num_objects: 200,
+                num_queries: 20,
+                object_agility: 1.0,
+                query_agility: 1.0,
+                hotspot: Some(HotspotConfig {
+                    stddev_frac: 0.05,
+                    period: 8.0,
+                    objects: true,
+                    queries: true,
+                }),
+                ..small_cfg()
+            },
+        );
+        let spread_around = |batch: &UpdateBatch, cx: f64, cy: f64| -> f64 {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for ev in &batch.objects {
+                if let ObjectEvent::Move { to, .. } = ev {
+                    let p = to.coordinates(&net);
+                    sum += ((p.x - cx).powi(2) + (p.y - cy).powi(2)).sqrt();
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        let c0 = sc.hotspot_center(&sc.cfg.hotspot.unwrap());
+        let b0 = sc.tick();
+        assert_eq!(b0.objects.len(), 200, "full agility moves everything");
+        let half_diag = 0.5 * net.bounds().width().hypot(net.bounds().height());
+        assert!(
+            spread_around(&b0, c0.0, c0.1) < 0.5 * half_diag,
+            "jump targets must cluster near the hotspot center"
+        );
+        // The center drifts: after a quarter period it has moved a
+        // macroscopic distance.
+        let mut c_later = c0;
+        for _ in 0..2 {
+            sc.tick();
+            c_later = sc.hotspot_center(&sc.cfg.hotspot.unwrap());
+        }
+        let moved = ((c_later.0 - c0.0).powi(2) + (c_later.1 - c0.1).powi(2)).sqrt();
+        assert!(moved > 0.1 * half_diag, "hotspot center must drift");
+    }
+
+    #[test]
+    fn hotspot_stream_is_deterministic() {
+        let net = small_net();
+        let cfg = ScenarioConfig {
+            hotspot: Some(HotspotConfig::default()),
+            ..small_cfg()
+        };
+        let mut a = Scenario::new(net.clone(), cfg.clone());
+        let mut b = Scenario::new(net, cfg);
+        for _ in 0..5 {
+            assert_eq!(a.tick(), b.tick());
         }
     }
 

@@ -537,6 +537,86 @@ fn engine_heavy_churn_replicas_decay_to_steady_state() {
 }
 
 #[test]
+fn engine_rebalances_under_hotspot_and_stays_identical() {
+    // Forced migrations: an aggressive rebalancer (trigger 1.0, cooldown 1)
+    // under a drifting query hotspot must migrate cells while every tick's
+    // answers stay identical to a single-threaded GMA fed the same stream.
+    let net = grid(8, 8, 23);
+    let n = net.num_edges() as u32;
+    let mut gma = Gma::new(net.clone());
+    let mut engines: Vec<ShardedEngine> = [2usize, 4]
+        .into_iter()
+        .map(|s| {
+            ShardedEngine::new(
+                net.clone(),
+                EngineConfig {
+                    num_shards: s,
+                    rebalance_trigger: 1.0,
+                    rebalance_cooldown: 1,
+                    ..EngineConfig::default()
+                },
+            )
+        })
+        .collect();
+
+    for i in 0..n {
+        let at = NetPoint::new(rnn_monitor::roadnet::EdgeId(i), 0.45);
+        gma.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+        for e in &mut engines {
+            e.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+        }
+    }
+    // A tight cluster of queries that drifts across the network edge by
+    // edge, dragging the load hotspot over shard borders.
+    const Q: u32 = 8;
+    for q in 0..Q {
+        let at = NetPoint::new(rnn_monitor::roadnet::EdgeId(q % 4), 0.3);
+        gma.install_query(QueryId(q), 5, at);
+        for e in &mut engines {
+            e.install_query(QueryId(q), 5, at);
+        }
+    }
+
+    for t in 0..24u32 {
+        let mut batch = UpdateBatch::default();
+        for q in 0..Q {
+            // Cluster center drifts by two edges per tick; members fan out
+            // over four consecutive edge ids, oscillating along the edge.
+            let e = rnn_monitor::roadnet::EdgeId((t * 2 + q % 4) % n);
+            let frac = if (t + q) % 2 == 0 { 0.25 } else { 0.7 };
+            batch.queries.push(QueryEvent::Move {
+                id: QueryId(q),
+                to: NetPoint::new(e, frac),
+            });
+        }
+        // A little object churn near the cluster keeps the workers busy.
+        batch.objects.push(rnn_monitor::core::ObjectEvent::Move {
+            id: rnn_monitor::roadnet::ObjectId(t % n),
+            to: NetPoint::new(rnn_monitor::roadnet::EdgeId((t * 3) % n), 0.6),
+        });
+        gma.tick(&batch);
+        for e in &mut engines {
+            e.tick(&batch);
+            e.validate_replication()
+                .expect("replication + partition invariants hold mid-migration");
+        }
+        let views: Vec<&dyn ContinuousMonitor> = engines
+            .iter()
+            .map(|e| e as &dyn ContinuousMonitor)
+            .collect();
+        compare_monitors(&gma, &views, t as usize + 1);
+    }
+    for e in &engines {
+        assert!(
+            e.cells_migrated() > 0,
+            "S={}: the drifting hotspot must force cell migrations",
+            e.num_shards()
+        );
+        assert!(e.rebalance_events() > 0);
+    }
+}
+
+#[test]
 fn engine_empty_ticks_change_nothing() {
     let net = grid(6, 6, 14);
     let scenario = Scenario::new(net.clone(), base_cfg(151));

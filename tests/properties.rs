@@ -442,3 +442,57 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Dynamic re-partitioning: cell reassignment invariants.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random sequences of boundary-cell migrations preserve the partition
+    /// invariant: every edge owned by exactly one in-range shard, views an
+    /// exact partition of nodes and edges, boundary-node lists exactly the
+    /// owned/foreign contact nodes.
+    #[test]
+    fn cell_reassignment_preserves_partition_invariant(
+        seed in 0u64..400,
+        shards in 2usize..6,
+        rounds in 1usize..6,
+    ) {
+        let net = random_grid(seed % 13);
+        let mut p = rnn_monitor::roadnet::NetworkPartition::build(&net, shards);
+        prop_assert!(p.validate(&net).is_ok());
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(11);
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..rounds {
+            let from = (rng() % shards as u64) as u32;
+            let to = (rng() % shards as u64) as u32;
+            if from == to {
+                continue;
+            }
+            let cells = p.boundary_cells_between(&net, from, to);
+            if cells.is_empty() {
+                continue;
+            }
+            let take = (rng() as usize % cells.len()) + 1;
+            let moves: Vec<(EdgeId, u32)> =
+                cells[..take].iter().map(|&e| (e, to)).collect();
+            p.reassign(&net, &moves);
+            for &(e, s) in &moves {
+                prop_assert_eq!(p.shard_of_edge(e), s, "moved cell not re-owned");
+            }
+            if let Err(msg) = p.validate(&net) {
+                prop_assert!(false, "partition invariant broken: {}", msg);
+            }
+            // The views stay an exact partition of the edge set.
+            let total: usize = p.views().iter().map(|v| v.edges.len()).sum();
+            prop_assert_eq!(total, net.num_edges());
+        }
+    }
+}
