@@ -64,22 +64,25 @@ fn substrate(c: &mut Criterion) {
             };
             let mut eng = DijkstraEngine::new(net.num_nodes());
             let mut best = rnn_core::search::BestK::new(k);
+            let mut pool = rnn_core::tree::TreePool::new();
             b.iter_batched(
                 || (),
                 |_| {
                     let mut c = OpCounters::default();
-                    knn_search(
+                    let out = knn_search(
                         &ctx,
                         &mut eng,
                         &mut best,
+                        &mut pool,
                         RootPos::Point(NetPoint::new(EdgeId(11), 0.3)),
                         k,
                         None,
                         &[],
                         &mut c,
-                    )
-                    .result
-                    .len()
+                    );
+                    let n = out.result.len();
+                    pool.release(out.tree);
+                    n
                 },
                 BatchSize::SmallInput,
             )

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rnn_core::anchor::AnchorSet;
 use rnn_core::counters::OpCounters;
 use rnn_core::state::NetworkState;
+use rnn_core::tree::TreePool;
 use rnn_core::types::RootPos;
 use rnn_roadnet::{generators, DijkstraEngine, EdgeId, NetPoint, NodeId, ObjectId, SpanArena};
 use std::sync::Arc;
@@ -49,6 +50,95 @@ fn tickpath(c: &mut Criterion) {
                 i = i.wrapping_add(1);
             }
             lists.len()
+        })
+    });
+
+    // Tree surgery in the arena-of-trees: cut a deep subtree and re-grow
+    // it, all through the pool's free list — the per-tick IMA maintenance
+    // pattern — against the pre-pool hash-map-of-Vec layout doing the
+    // same cut/re-grow.
+    group.bench_function("tree_surgery", |b| {
+        let mut pool = TreePool::new();
+        let mut tree = pool.new_tree();
+        pool.insert(&mut tree, NodeId(0), 0.0, None);
+        for i in 1..256u32 {
+            pool.insert(
+                &mut tree,
+                NodeId(i),
+                f64::from(i),
+                Some((NodeId(i - 1), EdgeId(i - 1))),
+            );
+        }
+        b.iter(|| {
+            // Cut the outer half of the path, then re-expand it: every
+            // re-insert pops the free list.
+            let cut = pool.remove_subtree(&mut tree, NodeId(128));
+            for i in 128..256u32 {
+                pool.insert(
+                    &mut tree,
+                    NodeId(i),
+                    f64::from(i),
+                    Some((NodeId(i - 1), EdgeId(i - 1))),
+                );
+            }
+            cut + tree.len()
+        })
+    });
+
+    // The same pre-pool layout also serves as the correctness oracle in
+    // tests/properties.rs (`tree_pool_model::RefTree`, over std HashMap);
+    // this copy deliberately keeps the production FxHashMap so the timing
+    // comparison is against what the monitors actually used to run.
+    group.bench_function("tree_surgery_hashmap", |b| {
+        use rnn_roadnet::FxHashMap;
+        struct Rec {
+            #[allow(dead_code)]
+            parent: Option<(u32, u32)>,
+            children: Vec<(u32, u32)>,
+        }
+        let mut nodes: FxHashMap<u32, Rec> = FxHashMap::default();
+        nodes.insert(
+            0,
+            Rec {
+                parent: None,
+                children: Vec::new(),
+            },
+        );
+        for i in 1..256u32 {
+            nodes.get_mut(&(i - 1)).unwrap().children.push((i, i - 1));
+            nodes.insert(
+                i,
+                Rec {
+                    parent: Some((i - 1, i - 1)),
+                    children: Vec::new(),
+                },
+            );
+        }
+        b.iter(|| {
+            // Same cut + re-grow on the old layout: per-node map removals
+            // and a fresh `Vec` per re-inserted node.
+            let mut stack = vec![128u32];
+            if let Some(p) = nodes.get_mut(&127) {
+                p.children.retain(|&(c, _)| c != 128);
+            }
+            let mut cut = 0usize;
+            while let Some(cur) = stack.pop() {
+                if let Some(rec) = nodes.remove(&cur) {
+                    cut += 1;
+                    stack.extend(rec.children.iter().map(|&(c, _)| c));
+                }
+            }
+            for i in 128..256u32 {
+                nodes.get_mut(&(i - 1)).unwrap().children.push((i, i - 1));
+                nodes.insert(
+                    i,
+                    Rec {
+                        parent: Some((i - 1, i - 1)),
+                        children: Vec::new(),
+                    },
+                );
+            }
+            cut + nodes.len()
         })
     });
 

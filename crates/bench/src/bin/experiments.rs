@@ -191,16 +191,20 @@ fn main() -> ExitCode {
         // must actually fire on the default scenario.
         if fig.name == "tickpath" {
             let mut shared_total = 0.0;
+            let mut recycled_total = 0.0;
             for point in &series {
                 for r in &point.results {
                     shared_total += r.shared_per_ts;
                     let single = matches!(r.algo, rnn_bench::runner::Algo::Ima)
                         || matches!(r.algo, rnn_bench::runner::Algo::Gma);
+                    if single {
+                        recycled_total += r.recycled_per_ts;
+                    }
                     if single && r.alloc_per_ts >= 0.5 {
                         eprintln!(
                             "TICK-PATH REGRESSION: {} at {} allocated {:.3} times per \
-                             steady-state tick — the arena/heap layout no longer runs \
-                             allocation-free",
+                             steady-state tick — the arena/heap/tree-pool layout no \
+                             longer runs allocation-free (tree surgery included)",
                             r.algo.name(),
                             point.label,
                             r.alloc_per_ts
@@ -213,6 +217,14 @@ fn main() -> ExitCode {
                 eprintln!(
                     "TICK-PATH REGRESSION: shared_expansions stayed 0 across the \
                      tickpath figure — per-tick expansion sharing never fired"
+                );
+                return ExitCode::FAILURE;
+            }
+            if recycled_total <= 0.0 {
+                eprintln!(
+                    "TICK-PATH REGRESSION: tree_nodes_recycled stayed 0 across the \
+                     tickpath figure — tree surgery stopped reusing pooled slots \
+                     (edge churn must cut and re-grow subtrees through the free list)"
                 );
                 return ExitCode::FAILURE;
             }

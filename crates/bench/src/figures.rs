@@ -299,10 +299,15 @@ fn engine_repl(scale: f64, seed: u64) -> Vec<(String, Params)> {
 }
 
 /// Tick-path flatness (not in the paper): the default engine scenario at
-/// Table 2 defaults plus an elevated-churn point, reporting the arena/heap
-/// allocation counter, shared-expansion reuse, and raw expansion steps.
-/// The experiments binary asserts alloc-free steady-state ticks for the
-/// single monitors and `shared_expansions > 0` on this figure.
+/// Table 2 defaults plus an elevated-churn point and an edge-weight-churn
+/// point, reporting the arena/heap allocation counter, shared-expansion
+/// reuse, raw expansion steps, and the tree-surgery counters (nodes
+/// recycled through the tree pool / nodes pruned). The edge-churn point
+/// drives constant subtree cuts and re-expansions, so it pins the
+/// zero-alloc guarantee on ticks that perform tree *surgery*, not just
+/// reads. The experiments binary asserts alloc-free steady-state ticks for
+/// the single monitors, `shared_expansions > 0`, and surgery recycling on
+/// this figure.
 fn tickpath(scale: f64, seed: u64) -> Vec<(String, Params)> {
     let p = base(scale, seed);
     vec![
@@ -312,6 +317,13 @@ fn tickpath(scale: f64, seed: u64) -> Vec<(String, Params)> {
             Params {
                 object_agility: 0.20,
                 query_agility: 0.20,
+                ..p.clone()
+            },
+        ),
+        (
+            "edge-churn".to_string(),
+            Params {
+                edge_agility: 0.16,
                 ..p
             },
         ),

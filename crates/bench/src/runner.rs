@@ -127,16 +127,32 @@ pub struct RunResult {
     /// included). The experiments binary asserts this never exceeds the
     /// object cardinality — the engine's O(changed-edges) guarantee.
     pub max_tick_resync: u64,
-    /// Mean tick-path allocation events per *measured* timestamp (arena
-    /// backing-buffer reallocations + Dijkstra heap growth). Zero proves
-    /// the steady state runs allocation-free; the experiments binary
-    /// asserts this for IMA/GMA on the tickpath figure.
+    /// Mean tick-path *maintenance* allocation events per measured
+    /// timestamp (arena backing-buffer reallocations, Dijkstra heap
+    /// growth, tree-pool slab/directory growth). Zero proves the steady
+    /// state runs allocation-free — tree surgery included; the experiments
+    /// binary asserts this for IMA/GMA on the tickpath figure.
     pub alloc_per_ts: f64,
+    /// Mean allocation events per measured timestamp attributable to
+    /// installing brand-new monitored entities (query installs, GMA
+    /// active-node activations) — expected to be nonzero while the
+    /// monitored population is still discovering new anchors, and excluded
+    /// from the zero-alloc steady-state guarantee.
+    pub install_alloc_per_ts: f64,
     /// Mean expansions served from a shared expansion per timestamp (see
     /// `OpCounters::shared_expansions`).
     pub shared_per_ts: f64,
     /// Mean raw Dijkstra heap pops per timestamp.
     pub steps_per_ts: f64,
+    /// Mean expansion-tree nodes recycled through the tree pool's free
+    /// list per timestamp — the tree-surgery reuse rate. Together with
+    /// `alloc_per_ts` at zero it proves subtree cuts and re-expansion
+    /// inserts ran without heap allocation.
+    pub recycled_per_ts: f64,
+    /// Mean expansion-tree nodes pruned (cuts, θ-prunes, re-roots) per
+    /// timestamp — the surgery volume the recycle rate is measured
+    /// against.
+    pub pruned_per_ts: f64,
     /// Total load-aware rebalances over the measured run (sharded engine
     /// with rebalancing only).
     pub rebalances: u64,
@@ -210,8 +226,10 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                 "        {{\"algo\": \"{}\", \"cpu_per_ts\": {:.9}, \"work_per_ts\": {:.1}, \
                  \"memory_kb\": {:.1}, \"ignored_per_ts\": {:.1}, \"resync_per_ts\": {:.1}, \
                  \"evictions_per_ts\": {:.1}, \"max_tick_resync\": {}, \
-                 \"alloc_per_ts\": {:.3}, \"shared_per_ts\": {:.3}, \
-                 \"steps_per_ts\": {:.1}, \"rebalances\": {}, \
+                 \"alloc_per_ts\": {:.3}, \"install_alloc_per_ts\": {:.3}, \
+                 \"shared_per_ts\": {:.3}, \
+                 \"steps_per_ts\": {:.1}, \"recycled_per_ts\": {:.1}, \
+                 \"pruned_per_ts\": {:.1}, \"rebalances\": {}, \
                  \"cells_migrated\": {}, \"load_ratio\": {:.3}}}{}\n",
                 esc(r.algo.name()),
                 r.cpu_per_ts,
@@ -222,8 +240,11 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                 r.evictions_per_ts,
                 r.max_tick_resync,
                 r.alloc_per_ts,
+                r.install_alloc_per_ts,
                 r.shared_per_ts,
                 r.steps_per_ts,
+                r.recycled_per_ts,
+                r.pruned_per_ts,
                 r.rebalances,
                 r.cells_migrated,
                 r.load_ratio,
@@ -305,8 +326,11 @@ pub fn run_point(
                 evictions_per_ts: counters[i].replica_evictions as f64 / measured as f64,
                 max_tick_resync: max_tick_resync[i],
                 alloc_per_ts: counters[i].alloc_events as f64 / measured as f64,
+                install_alloc_per_ts: counters[i].install_alloc_events as f64 / measured as f64,
                 shared_per_ts: counters[i].shared_expansions as f64 / measured as f64,
                 steps_per_ts: counters[i].expansion_steps as f64 / measured as f64,
+                recycled_per_ts: counters[i].tree_nodes_recycled as f64 / measured as f64,
+                pruned_per_ts: counters[i].tree_nodes_pruned as f64 / measured as f64,
                 rebalances: total_counters[i].rebalance_events,
                 cells_migrated: total_counters[i].cells_migrated,
                 load_ratio: if ratio_count[i] > 0 {

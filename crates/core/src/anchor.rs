@@ -40,7 +40,7 @@ use crate::counters::OpCounters;
 use crate::influence::{InfluenceTable, IntervalSet};
 use crate::search::{dist_via_tree, knn_search, BestK, KeptTree, SearchContext, SearchOutcome};
 use crate::state::{EdgeDelta, NetworkState, ObjectDelta};
-use crate::tree::ExpansionTree;
+use crate::tree::{ExpansionTree, TreePool};
 use crate::types::{sort_neighbors, Neighbor, RootPos};
 
 /// Handle to an anchor within an [`AnchorSet`].
@@ -57,7 +57,7 @@ pub struct AnchorRec {
     pub result: Vec<Neighbor>,
     /// Distance of the k-th NN (`∞` when fewer than k objects exist).
     pub knn_dist: f64,
-    /// The expansion tree.
+    /// The expansion tree — a handle into the set's shared [`TreePool`].
     pub tree: ExpansionTree,
     /// Edges currently carrying this anchor in their influence lists.
     pub influenced: Vec<EdgeId>,
@@ -110,9 +110,19 @@ pub struct AnchorSet {
     /// Candidate scratch shared by every expansion (flat epoch-stamped
     /// dedup table; reused so steady-state searches never allocate).
     best: BestK,
+    /// The arena all anchors' expansion trees live in: one slab of
+    /// intrusive nodes with a free list, so tree surgery (subtree cuts,
+    /// θ-prunes, re-expansion inserts) recycles slots instead of touching
+    /// the heap. See [`crate::tree`].
+    pool: TreePool,
     /// Scratch for the tick's shared multi-k expansion outcomes (cleared
     /// every tick; a field so its capacity is reused).
     shared_outcomes: Vec<SearchOutcome>,
+    /// Expansion work charged to the partition cell (edge) of each
+    /// expansion root since the last take — the load signal the sharded
+    /// engine's rebalance planner ranks candidate cells by. Reused
+    /// capacity; cleared by the owning monitor at the start of each tick.
+    cell_charges: Vec<(EdgeId, u64)>,
     next_key: u32,
     /// Ablation switch: with influence lists disabled, every anchor is
     /// treated as affected by every update (used to quantify the paper's
@@ -131,20 +141,41 @@ impl AnchorSet {
             il,
             engine,
             best: BestK::default(),
+            pool: TreePool::new(),
             shared_outcomes: Vec::new(),
+            cell_charges: Vec::new(),
             next_key: 0,
             use_influence_lists: true,
         }
     }
 
-    /// Folds the engine's and influence table's allocation/step counters
-    /// (accumulated by out-of-tick work such as query installs) into `c`.
-    /// [`Self::tick`] harvests its own share automatically.
+    /// Folds the engine's, influence table's and tree pool's
+    /// allocation/step counters (accumulated by out-of-tick work such as
+    /// query installs) into `c`. [`Self::tick`] harvests its own share
+    /// automatically.
     pub fn harvest_scratch_counters(&mut self, c: &mut OpCounters) {
         c.alloc_events += self.engine.take_alloc_events()
             + self.il.take_alloc_events()
-            + self.best.take_alloc_events();
+            + self.best.take_alloc_events()
+            + self.pool.take_alloc_events();
         c.expansion_steps += self.engine.take_expansion_steps();
+        c.tree_nodes_recycled += self.pool.take_recycled();
+    }
+
+    /// Drops the accumulated per-cell expansion charges (called by the
+    /// owning monitor at the start of each tick so the buffer holds
+    /// exactly one tick of attribution).
+    pub fn clear_cell_charges(&mut self) {
+        self.cell_charges.clear();
+    }
+
+    /// Drains the per-cell expansion charges recorded since the last
+    /// drain — `(cell edge of the expansion root, Dijkstra steps)` per
+    /// search — into `into`. The internal buffer keeps its capacity, so
+    /// per-tick recording never re-allocates; the sharded engine folds
+    /// the drained charges into its per-cell load estimates.
+    pub fn drain_cell_charges(&mut self, into: &mut Vec<(EdgeId, u64)>) {
+        into.append(&mut self.cell_charges);
     }
 
     /// The underlying network.
@@ -173,6 +204,12 @@ impl AnchorSet {
     }
 
     /// Installs a new anchor and computes its initial result (§4.1).
+    ///
+    /// Allocation accounting: scratch events pending from earlier work are
+    /// first drained into `counters.alloc_events` (maintenance), then the
+    /// install's own allocations — a brand-new entity legitimately
+    /// materialises fresh state — go to `counters.install_alloc_events`,
+    /// keeping the steady-state maintenance guarantee clean.
     pub fn add(
         &mut self,
         state: &NetworkState,
@@ -180,6 +217,7 @@ impl AnchorSet {
         k: usize,
         counters: &mut OpCounters,
     ) -> AnchorKey {
+        self.harvest_scratch_counters(counters);
         let key = AnchorKey(self.next_key);
         self.next_key += 1;
         let ctx = SearchContext {
@@ -188,15 +226,23 @@ impl AnchorSet {
             objects: &state.objects,
         };
         counters.reevaluations += 1;
+        let steps0 = self.engine.expansion_steps();
         let out = knn_search(
             &ctx,
             &mut self.engine,
             &mut self.best,
+            &mut self.pool,
             root,
             k,
             None,
             &[],
             counters,
+        );
+        charge_cell(
+            &self.net,
+            &mut self.cell_charges,
+            root,
+            self.engine.expansion_steps() - steps0,
         );
         let mut rec = AnchorRec {
             root,
@@ -206,19 +252,26 @@ impl AnchorSet {
             tree: ExpansionTree::new(),
             influenced: Vec::new(),
         };
-        store_outcome(&mut rec, out);
-        rebuild_influence(&self.net, state, key, &mut rec, &mut self.il);
+        store_outcome(&mut self.pool, &mut rec, out);
+        rebuild_influence(&self.net, state, &self.pool, key, &mut rec, &mut self.il);
         self.anchors.insert(key, rec);
+        let mut install = OpCounters::default();
+        self.harvest_scratch_counters(&mut install);
+        counters.install_alloc_events += install.alloc_events;
+        counters.expansion_steps += install.expansion_steps;
+        counters.tree_nodes_recycled += install.tree_nodes_recycled;
         key
     }
 
-    /// Removes an anchor, clearing its influence-list entries.
+    /// Removes an anchor, clearing its influence-list entries and
+    /// returning its tree nodes to the pool.
     pub fn remove(&mut self, key: AnchorKey) -> bool {
         match self.anchors.remove(&key) {
             Some(rec) => {
                 for e in rec.influenced {
                     self.il.remove(e, key);
                 }
+                self.pool.release(rec.tree);
                 true
             }
             None => false,
@@ -249,7 +302,8 @@ impl AnchorSet {
             } else {
                 f64::INFINITY
             };
-            counters.tree_nodes_pruned += rec.tree.retain_within(rec.knn_dist) as u64;
+            counters.tree_nodes_pruned +=
+                self.pool.retain_within(&mut rec.tree, rec.knn_dist) as u64;
         } else {
             // Grow: re-expand, reusing the whole current tree (full
             // re-scan: the result region is about to widen).
@@ -261,20 +315,28 @@ impl AnchorSet {
                 objects: &state.objects,
             };
             counters.reevaluations += 1;
+            let steps0 = self.engine.expansion_steps();
             let out = knn_search(
                 &ctx,
                 &mut self.engine,
                 &mut self.best,
+                &mut self.pool,
                 rec.root,
                 k,
                 Some(KeptTree::full(tree)),
                 &[],
                 counters,
             );
-            store_outcome(rec, out);
+            charge_cell(
+                &self.net,
+                &mut self.cell_charges,
+                rec.root,
+                self.engine.expansion_steps() - steps0,
+            );
+            store_outcome(&mut self.pool, rec, out);
         }
         let rec = self.anchors.get_mut(&key).expect("just updated");
-        rebuild_influence(&self.net, state, key, rec, &mut self.il);
+        rebuild_influence(&self.net, state, &self.pool, key, rec, &mut self.il);
     }
 
     /// Processes one timestamp of updates. `state` must already reflect the
@@ -339,8 +401,8 @@ impl AnchorSet {
                     continue;
                 }
                 let erec = self.net.edge(d.edge);
-                let da = rec.tree.dist(erec.start);
-                let db = rec.tree.dist(erec.end);
+                let da = rec.tree.dist(&self.pool, erec.start);
+                let db = rec.tree.dist(&self.pool, erec.end);
                 if d.new_w < d.old_w {
                     // A decrease can only invalidate tree distances by
                     // creating a shortcut through the edge; entering at a
@@ -382,7 +444,9 @@ impl AnchorSet {
                             p.theta = p.theta.min(d_min + d.new_w);
                         }
                     }
-                } else if let Some(child) = rec.tree.link_child_of_edge(&self.net, d.edge) {
+                } else if let Some(child) =
+                    rec.tree.link_child_of_edge(&self.pool, &self.net, d.edge)
+                {
                     // Increase of a tree link: the subtree below it may be
                     // reachable on cheaper alternate paths (§4.4).
                     p.cuts.push(child);
@@ -474,15 +538,23 @@ impl AnchorSet {
                 };
                 counters.reevaluations += 1;
                 counters.shared_expansions += members.len() as u64 - 1;
+                let steps0 = self.engine.expansion_steps();
                 let out = knn_search(
                     &ctx,
                     &mut self.engine,
                     &mut self.best,
+                    &mut self.pool,
                     root,
                     k_max,
                     None,
                     &[],
                     &mut counters,
+                );
+                charge_cell(
+                    &self.net,
+                    &mut self.cell_charges,
+                    root,
+                    self.engine.expansion_steps() - steps0,
                 );
                 let idx = self.shared_outcomes.len();
                 self.shared_outcomes.push(out);
@@ -502,6 +574,7 @@ impl AnchorSet {
                 serve_from_shared(
                     &self.net,
                     state,
+                    &mut self.pool,
                     key,
                     rec,
                     &self.shared_outcomes[gi],
@@ -516,6 +589,8 @@ impl AnchorSet {
                     state,
                     &mut self.engine,
                     &mut self.best,
+                    &mut self.pool,
+                    &mut self.cell_charges,
                     key,
                     rec,
                     work,
@@ -529,12 +604,16 @@ impl AnchorSet {
                 changed.push(key);
             }
         }
-        self.shared_outcomes.clear();
+        for out in self.shared_outcomes.drain(..) {
+            self.pool.release(out.tree);
+        }
 
         counters.alloc_events += self.engine.take_alloc_events()
             + self.il.take_alloc_events()
-            + self.best.take_alloc_events();
+            + self.best.take_alloc_events()
+            + self.pool.take_alloc_events();
         counters.expansion_steps += self.engine.take_expansion_steps();
+        counters.tree_nodes_recycled += self.pool.take_recycled();
         AnchorTickOutcome { changed, counters }
     }
 
@@ -563,10 +642,21 @@ impl AnchorSet {
     /// # Panics
     /// Panics on the first violated invariant.
     pub fn validate(&mut self, state: &NetworkState) {
+        // Pool hygiene: every slab slot is owned by exactly one live tree
+        // (no leaks from dropped handles, no double-frees).
+        let owned: usize = self.anchors.values().map(|r| r.tree.len()).sum();
+        assert_eq!(
+            self.pool.live_nodes(),
+            owned,
+            "tree pool leaked slots: {} live vs {} owned by anchors",
+            self.pool.live_nodes(),
+            owned
+        );
         let keys: Vec<AnchorKey> = self.anchors.keys().copied().collect();
         for key in keys {
             let rec = &self.anchors[&key];
-            rec.tree.check_invariants(&self.net, &state.weights);
+            self.pool
+                .check_invariants(&rec.tree, &self.net, &state.weights);
             // Results sorted, deduplicated, and knn_dist consistent.
             for w in rec.result.windows(2) {
                 assert!(
@@ -587,8 +677,8 @@ impl AnchorSet {
             // by the deepest tree node instead.
             let deepest = rec
                 .tree
-                .iter()
-                .map(|(_, t)| t.dist)
+                .iter(&self.pool)
+                .map(|(_, d)| d)
                 .fold(rec.knn_dist.min(1e300), f64::max);
             self.engine.begin();
             match rec.root {
@@ -608,12 +698,12 @@ impl AnchorSet {
                     self.engine.relax(m, n, d + state.weights.get(e));
                 }
             }
-            for (n, t) in rec.tree.iter() {
+            for (n, d) in rec.tree.iter(&self.pool) {
                 let truth = self.engine.dist_of(n).expect("tree node reachable");
                 assert!(
-                    (t.dist - truth).abs() <= 1e-9 * truth.max(1.0),
+                    (d - truth).abs() <= 1e-9 * truth.max(1.0),
                     "stale tree distance at {n:?} for {key:?}: {} vs {}",
-                    t.dist,
+                    d,
                     truth
                 );
             }
@@ -646,8 +736,10 @@ impl AnchorSet {
     }
 
     /// Total resident bytes of trees, influence lists and anchor records.
+    /// Tree bytes cover the shared node slab (pool) plus each anchor's
+    /// directory handle.
     pub fn memory_breakdown(&self) -> (usize, usize, usize) {
-        let mut trees = 0;
+        let mut trees = self.pool.memory_bytes();
         let mut table = 0;
         for rec in self.anchors.values() {
             trees += rec.tree.memory_bytes();
@@ -664,11 +756,30 @@ impl AnchorSet {
     }
 }
 
-/// Writes a search outcome into an anchor record.
-fn store_outcome(rec: &mut AnchorRec, out: SearchOutcome) {
+/// Writes a search outcome into an anchor record, returning the record's
+/// previous tree to the pool.
+fn store_outcome(pool: &mut TreePool, rec: &mut AnchorRec, out: SearchOutcome) {
     rec.result = out.result;
     rec.knn_dist = out.knn_dist;
-    rec.tree = out.tree;
+    let old = std::mem::replace(&mut rec.tree, out.tree);
+    pool.release(old);
+}
+
+/// Records `steps` of expansion work against the partition cell (edge) of
+/// the expansion root: the root's own edge for point roots, the first
+/// adjacent edge for node roots (GMA's active intersections). Deterministic
+/// and allocation-free in steady state (the buffer keeps its capacity).
+fn charge_cell(net: &RoadNetwork, charges: &mut Vec<(EdgeId, u64)>, root: RootPos, steps: u64) {
+    if steps == 0 {
+        return;
+    }
+    let cell = match root {
+        RootPos::Point(p) => Some(p.edge),
+        RootPos::Node(n) => net.adjacent(n).first().map(|&(e, _)| e),
+    };
+    if let Some(e) = cell {
+        charges.push((e, steps));
+    }
 }
 
 /// Hashable identity of a root position. Point roots group only on
@@ -690,6 +801,7 @@ fn root_group_key(root: RootPos) -> (u8, u32, u64) {
 fn serve_from_shared(
     net: &Arc<RoadNetwork>,
     state: &NetworkState,
+    pool: &mut TreePool,
     key: AnchorKey,
     rec: &mut AnchorRec,
     out: &SearchOutcome,
@@ -708,9 +820,14 @@ fn serve_from_shared(
     } else {
         f64::INFINITY
     };
-    rec.tree = out.tree.clone();
-    counters.tree_nodes_pruned += rec.tree.retain_within(rec.knn_dist) as u64;
-    rebuild_influence(net, state, key, rec, il);
+    // Copy in place: the member's own cleared tree (slots + directory)
+    // absorbs the shared outcome, so serving a group member never touches
+    // the spare stack.
+    let mut tree = std::mem::take(&mut rec.tree);
+    pool.clone_into(&mut tree, &out.tree);
+    rec.tree = tree;
+    counters.tree_nodes_pruned += pool.retain_within(&mut rec.tree, rec.knn_dist) as u64;
+    rebuild_influence(net, state, pool, key, rec, il);
     results_differ(old_result, &rec.result)
 }
 
@@ -737,6 +854,7 @@ fn root_within_tree(net: &RoadNetwork, rec: &AnchorRec, new_root: RootPos) -> bo
 fn valid_subtree_after_move(
     net: &RoadNetwork,
     weights: &rnn_roadnet::EdgeWeights,
+    pool: &TreePool,
     rec: &AnchorRec,
     new_root: RootPos,
 ) -> Option<(NodeId, f64)> {
@@ -758,8 +876,7 @@ fn valid_subtree_after_move(
             let shift = (p.frac - op.frac).abs() * w;
             // Only if that branch hangs directly off the root (it may have
             // been reached around the network instead).
-            let node = rec.tree.node(toward)?;
-            if node.parent.is_none() {
+            if rec.tree.parent_of(pool, toward)?.is_none() {
                 return Some((toward, shift));
             }
             return None;
@@ -767,14 +884,14 @@ fn valid_subtree_after_move(
     }
     // q′ on a tree-link edge: the subtree rooted at the child side stays
     // valid, shifted by the old distance of q′.
-    let child = rec.tree.link_child_of_edge(net, p.edge)?;
-    let (parent, _) = rec.tree.node(child)?.parent?;
+    let child = rec.tree.link_child_of_edge(pool, net, p.edge)?;
+    let (parent, _) = rec.tree.parent_of(pool, child)??;
     let along = rnn_roadnet::NetPoint {
         edge: p.edge,
         frac: p.frac,
     }
     .dist_to_endpoint(net, weights, parent);
-    let d_old_q = rec.tree.dist(parent)? + along;
+    let d_old_q = rec.tree.dist(pool, parent)? + along;
     Some((child, d_old_q))
 }
 
@@ -786,6 +903,8 @@ fn resolve_anchor(
     state: &NetworkState,
     engine: &mut DijkstraEngine,
     best: &mut BestK,
+    pool: &mut TreePool,
+    cell_charges: &mut Vec<(EdgeId, u64)>,
     key: AnchorKey,
     rec: &mut AnchorRec,
     work: Pending,
@@ -805,9 +924,32 @@ fn resolve_anchor(
             rec.root = r;
         }
         counters.reevaluations += 1;
-        let out = knn_search(&ctx, engine, best, rec.root, rec.k, None, &[], counters);
-        store_outcome(rec, out);
-        rebuild_influence(net, state, key, rec, il);
+        // Hand the invalidated tree to the search *cleared*: an empty kept
+        // tree behaves exactly like a from-scratch expansion, but the
+        // anchor's own slots and directory serve the recomputation
+        // directly — no spare-stack round-trip, no allocation.
+        let mut tree = std::mem::take(&mut rec.tree);
+        counters.tree_nodes_pruned += pool.clear(&mut tree) as u64;
+        let steps0 = engine.expansion_steps();
+        let out = knn_search(
+            &ctx,
+            engine,
+            best,
+            pool,
+            rec.root,
+            rec.k,
+            Some(KeptTree::full(tree)),
+            &[],
+            counters,
+        );
+        charge_cell(
+            net,
+            cell_charges,
+            rec.root,
+            engine.expansion_steps() - steps0,
+        );
+        store_outcome(pool, rec, out);
+        rebuild_influence(net, state, pool, key, rec, il);
         return results_differ(old_result, &rec.result);
     }
 
@@ -821,23 +963,25 @@ fn resolve_anchor(
     let mut coverage_knn = old_knn;
     let mut dirty = work.dirty_tree;
 
-    // Tree surgery from edge updates.
+    // Tree surgery from edge updates — pointer unlinks and free-list
+    // pushes in the shared pool, no heap traffic.
     if work.theta < f64::INFINITY {
-        counters.tree_nodes_pruned += rec.tree.retain_within(work.theta) as u64;
+        counters.tree_nodes_pruned += pool.retain_within(&mut rec.tree, work.theta) as u64;
     }
     for c in &work.cuts {
-        counters.tree_nodes_pruned += rec.tree.remove_subtree(*c) as u64;
+        counters.tree_nodes_pruned += pool.remove_subtree(&mut rec.tree, *c) as u64;
     }
 
     // Root movement within the tree (queries only).
     if let Some(new_root) = work.moved_root {
-        match valid_subtree_after_move(net, &state.weights, rec, new_root) {
+        match valid_subtree_after_move(net, &state.weights, pool, rec, new_root) {
             Some((sub, shift)) => {
-                counters.tree_nodes_pruned += rec.tree.reroot_at_subtree(sub, shift) as u64;
+                counters.tree_nodes_pruned +=
+                    pool.reroot_at_subtree(&mut rec.tree, sub, shift) as u64;
                 coverage_knn -= shift;
             }
             None => {
-                counters.tree_nodes_pruned += rec.tree.clear() as u64;
+                counters.tree_nodes_pruned += pool.clear(&mut rec.tree) as u64;
             }
         }
         rec.root = new_root;
@@ -860,7 +1004,7 @@ fn resolve_anchor(
             // Stored distance may be stale — re-derive (exact within the
             // kept region, a safe over-estimate outside it).
             if let Some(p) = state.objects.position(n.object) {
-                let d = dist_via_tree(net, &state.weights, &rec.tree, rec.root, p);
+                let d = dist_via_tree(net, &state.weights, pool, &rec.tree, rec.root, p);
                 counters.objects_considered += 1;
                 if d.is_finite() {
                     candidates.push(Neighbor {
@@ -876,7 +1020,7 @@ fn resolve_anchor(
     let slack = interval_slack(old_knn);
     for &(id, new_pos) in &work.objects {
         let Some(p) = new_pos else { continue };
-        let d = dist_via_tree(net, &state.weights, &rec.tree, rec.root, p);
+        let d = dist_via_tree(net, &state.weights, pool, &rec.tree, rec.root, p);
         counters.objects_considered += 1;
         if dirty {
             if d.is_finite() {
@@ -919,6 +1063,7 @@ fn resolve_anchor(
     counters.reevaluations += 1;
     let tree = std::mem::take(&mut rec.tree);
     let kept = if tree.is_empty() {
+        pool.release(tree);
         None
     } else {
         Some(KeptTree {
@@ -926,18 +1071,26 @@ fn resolve_anchor(
             selective: Some((coverage_knn, changed_edges)),
         })
     };
+    let steps0 = engine.expansion_steps();
     let out = knn_search(
         &ctx,
         engine,
         best,
+        pool,
         rec.root,
         rec.k,
         kept,
         &candidates,
         counters,
     );
-    store_outcome(rec, out);
-    rebuild_influence(net, state, key, rec, il);
+    charge_cell(
+        net,
+        cell_charges,
+        rec.root,
+        engine.expansion_steps() - steps0,
+    );
+    store_outcome(pool, rec, out);
+    rebuild_influence(net, state, pool, key, rec, il);
     results_differ(old_result, &rec.result)
 }
 
@@ -966,6 +1119,7 @@ pub(crate) fn interval_slack(knn_dist: f64) -> f64 {
 fn rebuild_influence(
     net: &RoadNetwork,
     state: &NetworkState,
+    pool: &TreePool,
     key: AnchorKey,
     rec: &mut AnchorRec,
     il: &mut InfluenceTable<AnchorKey>,
@@ -978,8 +1132,8 @@ fn rebuild_influence(
     // merge by edge id with a sort — cheaper than a hash map for the few
     // dozen entries a tree produces.
     let mut pairs: Vec<(EdgeId, IntervalSet)> = Vec::with_capacity(rec.tree.len() * 3 + 1);
-    for (n, t) in rec.tree.iter() {
-        let reach = rec.knn_dist - t.dist + slack;
+    for (n, dist) in rec.tree.iter(pool) {
+        let reach = rec.knn_dist - dist + slack;
         if reach < 0.0 {
             continue;
         }
@@ -1191,7 +1345,7 @@ mod tests {
             "dist {}",
             rec.result[1].dist
         );
-        rec.tree.check_invariants(&net, &state.weights);
+        set.pool.check_invariants(&rec.tree, &net, &state.weights);
     }
 
     #[test]
@@ -1224,7 +1378,7 @@ mod tests {
             "dist {}",
             rec.result[1].dist
         );
-        rec.tree.check_invariants(&net, &state.weights);
+        set.pool.check_invariants(&rec.tree, &net, &state.weights);
     }
 
     #[test]
@@ -1280,7 +1434,7 @@ mod tests {
         assert!((rec.result[1].dist - 0.75).abs() < 1e-12);
         assert_eq!(rec.result[2].object, ObjectId(4));
         assert!((rec.result[2].dist - 1.25).abs() < 1e-12);
-        rec.tree.check_invariants(&net, &state.weights);
+        set.pool.check_invariants(&rec.tree, &net, &state.weights);
         let _ = state.apply_batch(&UpdateBatch::default());
     }
 

@@ -34,12 +34,21 @@ pub struct OpCounters {
     /// Replicas evicted because a halo shrank or an edge left a halo
     /// (sharded engine only).
     pub replica_evictions: u64,
-    /// Heap-allocation events on the instrumented tick-path structures:
-    /// per-edge arena backing-buffer reallocations (object lists, influence
-    /// lists, replica buckets) and Dijkstra-heap capacity growth. Zero on a
-    /// steady-state tick — all list churn and expansion work ran in reused
-    /// capacity.
+    /// Heap-allocation events on the instrumented tick-path structures
+    /// during *maintenance* work: per-edge arena backing-buffer
+    /// reallocations (object lists, influence lists, replica buckets),
+    /// Dijkstra-heap capacity growth, and tree-pool slab/directory growth.
+    /// Zero on a steady-state tick — all list churn, expansion work and
+    /// tree surgery ran in reused capacity. Allocations made while
+    /// *installing* a new monitored entity are counted separately in
+    /// `install_alloc_events`.
     pub alloc_events: u64,
+    /// Heap-allocation events attributable to installing a brand-new
+    /// monitored entity: a query install's initial computation (§4.1) or a
+    /// GMA active-node activation. New entities legitimately materialise
+    /// new state (a tree directory, slab headroom), so these are kept out
+    /// of the steady-state `alloc_events` guarantee the CI gate enforces.
+    pub install_alloc_events: u64,
     /// Raw Dijkstra expansion steps (heap pops, including lazily discarded
     /// stale entries) — the machine-independent measure of heap traffic.
     pub expansion_steps: u64,
@@ -49,6 +58,11 @@ pub struct OpCounters {
     /// served another query this tick. Each count is one network expansion
     /// that did **not** run.
     pub shared_expansions: u64,
+    /// Expansion-tree nodes served from the tree pool's free list instead
+    /// of fresh slab space — the tree-surgery reuse counter. Together with
+    /// `alloc_events` staying 0 it proves subtree cuts and re-expansion
+    /// inserts ran entirely in recycled capacity.
+    pub tree_nodes_recycled: u64,
     /// Load-aware shard rebalances executed this tick (sharded engine
     /// only): each is one migration of boundary cells from the most loaded
     /// shard to an underloaded neighbour.
@@ -71,8 +85,10 @@ impl OpCounters {
         self.resync_touched += other.resync_touched;
         self.replica_evictions += other.replica_evictions;
         self.alloc_events += other.alloc_events;
+        self.install_alloc_events += other.install_alloc_events;
         self.expansion_steps += other.expansion_steps;
         self.shared_expansions += other.shared_expansions;
+        self.tree_nodes_recycled += other.tree_nodes_recycled;
         self.rebalance_events += other.rebalance_events;
         self.cells_migrated += other.cells_migrated;
     }
@@ -156,8 +172,10 @@ mod tests {
             resync_touched: 7,
             replica_evictions: 2,
             alloc_events: 4,
+            install_alloc_events: 11,
             expansion_steps: 9,
             shared_expansions: 6,
+            tree_nodes_recycled: 8,
             rebalance_events: 1,
             cells_migrated: 5,
             ..Default::default()
@@ -170,8 +188,10 @@ mod tests {
         assert_eq!(a.resync_touched, 7);
         assert_eq!(a.replica_evictions, 2);
         assert_eq!(a.alloc_events, 4);
+        assert_eq!(a.install_alloc_events, 11);
         assert_eq!(a.expansion_steps, 9);
         assert_eq!(a.shared_expansions, 6);
+        assert_eq!(a.tree_nodes_recycled, 8);
         assert_eq!(a.rebalance_events, 1);
         assert_eq!(a.cells_migrated, 5);
         assert_eq!(a.work(), 11 + 2 + 5);

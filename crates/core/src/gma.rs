@@ -191,10 +191,18 @@ impl Gma {
         eps
     }
 
+    /// The k demanded at node `n` (`n.k = max` over the adjacent queries'
+    /// demands), or `None` when no query demands it — the node must then
+    /// be inactive. The single source of truth for both [`Self::sync_node`]
+    /// and the tick's deactivate-before-activate pass split.
+    fn desired_k(&self, n: NodeId) -> Option<usize> {
+        self.node_ks.get(&n).and_then(|v| v.iter().max()).copied()
+    }
+
     /// Reconciles a node's anchor with the current k demand: activates,
     /// deactivates, or resizes its monitored NN set.
     fn sync_node(&mut self, n: NodeId, counters: &mut OpCounters) {
-        let desired = self.node_ks.get(&n).and_then(|v| v.iter().max()).copied();
+        let desired = self.desired_k(n);
         match (self.node_anchor.get(&n).copied(), desired) {
             (None, Some(k)) => {
                 let key = self.nodes.add(&self.state, RootPos::Node(n), k, counters);
@@ -487,6 +495,7 @@ impl ContinuousMonitor for Gma {
         let start = Instant::now();
         let mut counters = OpCounters::default();
         self.tick_served.clear();
+        self.nodes.clear_cell_charges();
         let deltas = self.state.apply_batch(batch);
 
         // ---- Figure 12, lines 1-4: query arrivals/departures/moves update
@@ -550,8 +559,17 @@ impl ContinuousMonitor for Gma {
         }
         let mut nodes_sorted: Vec<NodeId> = touched_nodes.into_iter().collect();
         nodes_sorted.sort();
-        for n in nodes_sorted {
-            self.sync_node(n, &mut counters);
+        // Deactivations run before activations: a node whose demand just
+        // vanished returns its expansion tree to the pool first, so a node
+        // activating in the same tick re-expands into those recycled slots
+        // instead of growing the pool — activation churn stays
+        // allocation-free in steady state.
+        for pass_active in [false, true] {
+            for &n in &nodes_sorted {
+                if self.desired_k(n).is_some() == pass_active {
+                    self.sync_node(n, &mut counters);
+                }
+            }
         }
 
         // ---- Line 5: IMA maintenance of the active nodes.
@@ -659,6 +677,10 @@ impl ContinuousMonitor for Gma {
 
     fn active_groups(&self) -> Option<usize> {
         Some(self.active_node_count())
+    }
+
+    fn drain_cell_charges(&mut self, into: &mut Vec<(EdgeId, u64)>) {
+        self.nodes.drain_cell_charges(into);
     }
 
     fn memory(&self) -> MemoryUsage {

@@ -23,6 +23,10 @@ pub struct Ima {
     state: NetworkState,
     anchors: AnchorSet,
     by_query: FxHashMap<QueryId, AnchorKey>,
+    /// Reverse of `by_query`, so anchor-keyed lookups (influence-list
+    /// covering hits) map back to queries in O(hits) instead of a linear
+    /// scan over the query table.
+    by_anchor: FxHashMap<AnchorKey, QueryId>,
 }
 
 impl Ima {
@@ -33,6 +37,7 @@ impl Ima {
             state,
             anchors: AnchorSet::new(net),
             by_query: FxHashMap::default(),
+            by_anchor: FxHashMap::default(),
         }
     }
 
@@ -58,13 +63,14 @@ impl Ima {
     }
 
     /// The queries whose influencing intervals cover `(edge, frac)`
-    /// (tests/debugging).
+    /// (tests/debugging). O(hits): each covering anchor resolves to its
+    /// query through the maintained reverse map — no scan of the query
+    /// table.
     pub fn covering_queries(&self, edge: rnn_roadnet::EdgeId, frac: f64) -> Vec<QueryId> {
-        let keys = self.anchors.covering(edge, frac);
-        self.by_query
-            .iter()
-            .filter(|(_, k)| keys.contains(k))
-            .map(|(&q, _)| q)
+        self.anchors
+            .covering(edge, frac)
+            .into_iter()
+            .filter_map(|k| self.by_anchor.get(&k).copied())
             .collect()
     }
 
@@ -92,11 +98,13 @@ impl ContinuousMonitor for Ima {
         let mut c = OpCounters::default();
         let key = self.anchors.add(&self.state, RootPos::Point(at), k, &mut c);
         self.by_query.insert(id, key);
+        self.by_anchor.insert(key, id);
     }
 
     fn remove_query(&mut self, id: QueryId) {
         if let Some(key) = self.by_query.remove(&id) {
             self.anchors.remove(key);
+            self.by_anchor.remove(&key);
             self.state.queries.remove(&id);
         }
     }
@@ -104,6 +112,7 @@ impl ContinuousMonitor for Ima {
     fn tick(&mut self, batch: &UpdateBatch) -> TickReport {
         let start = Instant::now();
         let mut counters = OpCounters::default();
+        self.anchors.clear_cell_charges();
         let deltas = self.state.apply_batch(batch);
 
         // Terminated queries leave before any other processing (§4.5: "we
@@ -116,6 +125,7 @@ impl ContinuousMonitor for Ima {
                 (Some(_), None) => {
                     if let Some(key) = self.by_query.remove(&d.id) {
                         self.anchors.remove(key);
+                        self.by_anchor.remove(&key);
                     }
                 }
                 (Some((k_old, _)), Some((k_new, at))) => {
@@ -143,6 +153,7 @@ impl ContinuousMonitor for Ima {
                 .anchors
                 .add(&self.state, RootPos::Point(at), k, &mut counters);
             self.by_query.insert(id, key);
+            self.by_anchor.insert(key, id);
             results_changed += 1;
         }
 
@@ -178,12 +189,16 @@ impl ContinuousMonitor for Ima {
         MemoryUsage {
             edge_table: self.state.memory_bytes(),
             query_table: query_table
-                + self.by_query.capacity()
+                + (self.by_query.capacity() + self.by_anchor.capacity())
                     * (std::mem::size_of::<QueryId>() + std::mem::size_of::<AnchorKey>()),
             expansion_trees,
             influence_lists,
             auxiliary: self.anchors.scratch_bytes(),
         }
+    }
+
+    fn drain_cell_charges(&mut self, into: &mut Vec<(rnn_roadnet::EdgeId, u64)>) {
+        self.anchors.drain_cell_charges(into);
     }
 }
 
@@ -283,6 +298,53 @@ mod tests {
         assert!((r[0].dist - 0.25).abs() < 1e-12);
         assert_eq!(r[1].object, ObjectId(2));
         assert!((r[1].dist - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covering_queries_resolves_through_reverse_map() {
+        let mut ima = setup();
+        ima.install_query(QueryId(1), 1, NetPoint::new(EdgeId(0), 0.5));
+        ima.install_query(QueryId(2), 1, NetPoint::new(EdgeId(4), 0.5));
+        // Each query's own position is covered by exactly that query.
+        assert_eq!(ima.covering_queries(EdgeId(0), 0.5), vec![QueryId(1)]);
+        assert_eq!(ima.covering_queries(EdgeId(4), 0.5), vec![QueryId(2)]);
+        // Removal (including via a batch) keeps the reverse map in sync.
+        ima.remove_query(QueryId(1));
+        assert!(ima.covering_queries(EdgeId(0), 0.5).is_empty());
+        ima.tick(&UpdateBatch {
+            queries: vec![QueryEvent::Remove { id: QueryId(2) }],
+            ..Default::default()
+        });
+        assert!(ima.covering_queries(EdgeId(4), 0.5).is_empty());
+    }
+
+    #[test]
+    fn cell_charges_name_the_root_cell() {
+        let mut ima = setup();
+        ima.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
+        let mut charges = Vec::new();
+        ima.drain_cell_charges(&mut charges);
+        assert!(
+            charges.iter().any(|&(e, s)| e == EdgeId(2) && s > 0),
+            "install expansion must be charged to the query's cell, got {charges:?}"
+        );
+        // A tick that recomputes the query charges its (new) root cell.
+        ima.tick(&UpdateBatch {
+            queries: vec![QueryEvent::Move {
+                id: QueryId(1),
+                to: NetPoint::new(EdgeId(4), 0.25),
+            }],
+            ..Default::default()
+        });
+        charges.clear();
+        ima.drain_cell_charges(&mut charges);
+        assert!(
+            charges.iter().any(|&(e, s)| e == EdgeId(4) && s > 0),
+            "tick expansion must be charged to the moved root's cell, got {charges:?}"
+        );
+        charges.clear();
+        ima.drain_cell_charges(&mut charges);
+        assert!(charges.is_empty(), "drain must empty the buffer");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::counters::{MemoryUsage, OpCounters, TickReport};
 use crate::monitor::ContinuousMonitor;
 use crate::search::{knn_search, BestK, SearchContext};
 use crate::state::NetworkState;
+use crate::tree::TreePool;
 use crate::types::{Neighbor, QueryEvent, RootPos, UpdateBatch};
 
 struct OvhQuery {
@@ -34,6 +35,10 @@ pub struct Ovh {
     engine: DijkstraEngine,
     /// Candidate scratch reused by every from-scratch recomputation.
     best: BestK,
+    /// Tree arena: OVH discards each search's expansion tree immediately,
+    /// so successive recomputations recycle the same slots and run
+    /// allocation-free in steady state.
+    pool: TreePool,
 }
 
 impl Ovh {
@@ -47,6 +52,7 @@ impl Ovh {
             queries: FxHashMap::default(),
             engine,
             best: BestK::default(),
+            pool: TreePool::new(),
         }
     }
 
@@ -62,6 +68,7 @@ impl Ovh {
             &ctx,
             &mut self.engine,
             &mut self.best,
+            &mut self.pool,
             RootPos::Point(q.pos),
             q.k,
             None,
@@ -71,6 +78,9 @@ impl Ovh {
         let changed = out.result != q.result;
         q.result = out.result;
         q.knn_dist = out.knn_dist;
+        // OVH keeps no state between timestamps: the tree goes straight
+        // back to the pool, where the next recomputation reuses its slots.
+        self.pool.release(out.tree);
         changed
     }
 }
@@ -141,8 +151,10 @@ impl ContinuousMonitor for Ovh {
         }
         counters.alloc_events += self.engine.take_alloc_events()
             + self.state.objects.take_alloc_events()
-            + self.best.take_alloc_events();
+            + self.best.take_alloc_events()
+            + self.pool.take_alloc_events();
         counters.expansion_steps += self.engine.take_expansion_steps();
+        counters.tree_nodes_recycled += self.pool.take_recycled();
         TickReport {
             elapsed: start.elapsed(),
             results_changed,
@@ -176,7 +188,9 @@ impl ContinuousMonitor for Ovh {
             query_table,
             expansion_trees: 0,
             influence_lists: 0,
-            auxiliary: self.engine.memory_bytes() + self.best.memory_bytes(),
+            auxiliary: self.engine.memory_bytes()
+                + self.best.memory_bytes()
+                + self.pool.memory_bytes(),
         }
     }
 }

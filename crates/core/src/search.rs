@@ -21,7 +21,7 @@ use rnn_roadnet::{DijkstraEngine, EdgeWeights, FxHashSet, NodeId, ObjectId, Road
 
 use crate::counters::OpCounters;
 use crate::state::ObjectIndex;
-use crate::tree::ExpansionTree;
+use crate::tree::{ExpansionTree, TreePool};
 use crate::types::{sort_neighbors, Neighbor, RootPos};
 
 /// Immutable context for a search.
@@ -37,7 +37,8 @@ pub struct SearchContext<'a> {
 /// The still-valid part of an expansion tree handed to a re-expansion.
 pub struct KeptTree<'a> {
     /// The surviving tree (distances must be valid under the *current*
-    /// weights). Consumed and extended into the outcome tree.
+    /// weights, and the handle must belong to the pool passed to the
+    /// search). Consumed and extended into the outcome tree.
     pub tree: ExpansionTree,
     /// When set to `(old_knn, changed_edges)`, kept-region edges that are
     /// *strictly fully covered* within `old_knn` from one of their kept
@@ -69,7 +70,9 @@ pub struct SearchOutcome {
     /// Distance of the k-th neighbor (`q.kNN_dist`), or `∞` when fewer than
     /// `k` objects were found.
     pub knn_dist: f64,
-    /// The expansion tree, pruned to `knn_dist`.
+    /// The expansion tree, pruned to `knn_dist` — a handle into the pool
+    /// the search ran against; callers that discard it must release it
+    /// back to that pool.
     pub tree: ExpansionTree,
 }
 
@@ -311,7 +314,10 @@ fn scan_edge_from(
 ///
 /// `best` is the caller's candidate scratch, reset here — passing the same
 /// long-lived accumulator to every search keeps the dedup table
-/// allocation-free in steady state. `extra_candidates` lets callers
+/// allocation-free in steady state. `pool` is the caller's tree arena: the
+/// outcome tree's nodes are popped from its free list (and a recycled
+/// directory serves the handle), so steady-state searches build their
+/// trees without heap allocation. `extra_candidates` lets callers
 /// pre-load known-valid neighbors (the surviving NNs of §4.2) without a
 /// region rescan; with `rescan_kept` the whole kept region is re-scanned
 /// for objects (used whenever tree surgery may have invalidated stored NN
@@ -321,6 +327,7 @@ pub fn knn_search(
     ctx: &SearchContext<'_>,
     engine: &mut DijkstraEngine,
     best: &mut BestK,
+    pool: &mut TreePool,
     root: RootPos,
     k: usize,
     kept: Option<KeptTree<'_>>,
@@ -337,15 +344,15 @@ pub fn knn_search(
     engine.begin();
     let (mut tree, selective) = match kept {
         Some(kt) => (kt.tree, kt.selective),
-        None => (ExpansionTree::new(), None),
+        None => (pool.new_tree(), None),
     };
 
     // Pre-settle the valid tree and seed the frontier from it.
     if !tree.is_empty() {
-        for (n, rec) in tree.iter() {
-            engine.presettle(n, rec.dist);
+        for (n, dist) in tree.iter(pool) {
+            engine.presettle(n, dist);
         }
-        for (n, rec) in tree.iter() {
+        for (n, dist) in tree.iter(pool) {
             // Re-scan the kept region for result candidates (selectively,
             // see [`KeptTree::selective`]) and push the frontier (edges
             // leading out of the kept set).
@@ -358,15 +365,15 @@ pub fn knn_search(
                         // Strictly fully covered from this side → every
                         // object on `e` was strictly inside the old result
                         // region → already among `extra_candidates`.
-                        old_knn - rec.dist <= w + slack || changed.contains(&e)
+                        old_knn - dist <= w + slack || changed.contains(&e)
                     }
                 };
                 if scan {
-                    scan_edge_from(ctx, best, counters, e, n, rec.dist);
+                    scan_edge_from(ctx, best, counters, e, n, dist);
                 }
                 if !tree.contains(m) {
                     counters.relaxations += 1;
-                    engine.seed_via(m, rec.dist + ctx.weights.get(e), Some(n), Some(e));
+                    engine.seed_via(m, dist + ctx.weights.get(e), Some(n), Some(e));
                 }
             }
         }
@@ -405,7 +412,7 @@ pub fn knn_search(
         }
         let (n, d) = engine.pop_settle().expect("peek guaranteed an entry");
         counters.nodes_settled += 1;
-        tree.insert(n, d, engine.parent_link_of(n));
+        pool.insert(&mut tree, n, d, engine.parent_link_of(n));
         for &(e, m) in ctx.net.adjacent(n) {
             scan_edge_from(ctx, best, counters, e, n, d);
             counters.relaxations += 1;
@@ -421,7 +428,7 @@ pub fn knn_search(
         f64::INFINITY
     };
     // Figure 2 line 24 / §4.5 line 26: drop tree parts beyond kNN_dist.
-    counters.tree_nodes_pruned += tree.retain_within(knn_dist) as u64;
+    counters.tree_nodes_pruned += pool.retain_within(&mut tree, knn_dist) as u64;
     SearchOutcome {
         result,
         knn_dist,
@@ -437,9 +444,11 @@ pub fn knn_search(
 /// For points outside the region the returned value is an upper bound that
 /// is guaranteed to exceed `kNN_dist`, which is exactly what update
 /// classification needs (§4.2).
+#[allow(clippy::too_many_arguments)]
 pub fn dist_via_tree(
     net: &RoadNetwork,
     weights: &EdgeWeights,
+    pool: &TreePool,
     tree: &ExpansionTree,
     root: RootPos,
     p: rnn_roadnet::NetPoint,
@@ -452,10 +461,10 @@ pub fn dist_via_tree(
     }
     let rec = net.edge(p.edge);
     let w = weights.get(p.edge);
-    if let Some(d) = tree.dist(rec.start) {
+    if let Some(d) = tree.dist(pool, rec.start) {
         best = best.min(d + p.frac * w);
     }
-    if let Some(d) = tree.dist(rec.end) {
+    if let Some(d) = tree.dist(pool, rec.end) {
         best = best.min(d + (1.0 - p.frac) * w);
     }
     best
@@ -487,11 +496,22 @@ mod tests {
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut best = BestK::new(1);
+        let mut pool = TreePool::new();
         let mut c = OpCounters::default();
         // Query at frac 0.5 of edge 1 (x = 1.5). Object distances:
         // o1: 0, o0: 1, o2: 1, o3: 2, o4: 3.
         let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
-        let out = knn_search(&ctx, &mut eng, &mut best, root, 3, None, &[], &mut c);
+        let out = knn_search(
+            &ctx,
+            &mut eng,
+            &mut best,
+            &mut pool,
+            root,
+            3,
+            None,
+            &[],
+            &mut c,
+        );
         assert_eq!(out.result.len(), 3);
         assert_eq!(
             out.result[0],
@@ -519,9 +539,9 @@ mod tests {
         // Tree: all nodes within distance 1 of x=1.5 -> nodes 1 (x=1) and
         // 2 (x=2), at distance 0.5 each.
         assert_eq!(out.tree.len(), 2);
-        assert_eq!(out.tree.dist(NodeId(1)), Some(0.5));
-        assert_eq!(out.tree.dist(NodeId(2)), Some(0.5));
-        out.tree.check_invariants(&net, &weights);
+        assert_eq!(out.tree.dist(&pool, NodeId(1)), Some(0.5));
+        assert_eq!(out.tree.dist(&pool, NodeId(2)), Some(0.5));
+        pool.check_invariants(&out.tree, &net, &weights);
         assert!(c.nodes_settled >= 2);
     }
 
@@ -535,11 +555,13 @@ mod tests {
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut best = BestK::new(1);
+        let mut pool = TreePool::new();
         let mut c = OpCounters::default();
         let out = knn_search(
             &ctx,
             &mut eng,
             &mut best,
+            &mut pool,
             RootPos::Node(NodeId(0)),
             2,
             None,
@@ -563,7 +585,7 @@ mod tests {
         );
         assert_eq!(out.knn_dist, 1.5);
         // Root node itself is in the tree at distance 0.
-        assert_eq!(out.tree.dist(NodeId(0)), Some(0.0));
+        assert_eq!(out.tree.dist(&pool, NodeId(0)), Some(0.0));
     }
 
     #[test]
@@ -578,11 +600,13 @@ mod tests {
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut best = BestK::new(1);
+        let mut pool = TreePool::new();
         let mut c = OpCounters::default();
         let out = knn_search(
             &ctx,
             &mut eng,
             &mut best,
+            &mut pool,
             RootPos::Point(NetPoint::new(EdgeId(2), 0.5)),
             5,
             None,
@@ -607,15 +631,37 @@ mod tests {
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut best = BestK::new(1);
+        let mut pool = TreePool::new();
         let mut c = OpCounters::default();
         let root = RootPos::Point(NetPoint::new(EdgeId(0), 0.1));
 
-        let small = knn_search(&ctx, &mut eng, &mut best, root, 2, None, &[], &mut c);
-        let fresh = knn_search(&ctx, &mut eng, &mut best, root, 4, None, &[], &mut c);
+        let small = knn_search(
+            &ctx,
+            &mut eng,
+            &mut best,
+            &mut pool,
+            root,
+            2,
+            None,
+            &[],
+            &mut c,
+        );
+        let fresh = knn_search(
+            &ctx,
+            &mut eng,
+            &mut best,
+            &mut pool,
+            root,
+            4,
+            None,
+            &[],
+            &mut c,
+        );
         let resumed = knn_search(
             &ctx,
             &mut eng,
             &mut best,
+            &mut pool,
             root,
             4,
             Some(KeptTree::full(small.tree)),
@@ -625,7 +671,7 @@ mod tests {
         assert_eq!(fresh.result, resumed.result);
         assert_eq!(fresh.knn_dist, resumed.knn_dist);
         assert_eq!(fresh.tree.len(), resumed.tree.len());
-        resumed.tree.check_invariants(&net, &weights);
+        pool.check_invariants(&resumed.tree, &net, &weights);
     }
 
     #[test]
@@ -638,6 +684,7 @@ mod tests {
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut best = BestK::new(1);
+        let mut pool = TreePool::new();
         let mut c = OpCounters::default();
         let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
         // Claim a fake very-near candidate; it must appear in the result.
@@ -645,6 +692,7 @@ mod tests {
             &ctx,
             &mut eng,
             &mut best,
+            &mut pool,
             root,
             2,
             None,
@@ -746,17 +794,28 @@ mod tests {
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut best = BestK::new(1);
+        let mut pool = TreePool::new();
         let mut c = OpCounters::default();
         let root = RootPos::Point(NetPoint::new(EdgeId(1), 0.5));
-        let out = knn_search(&ctx, &mut eng, &mut best, root, 3, None, &[], &mut c);
+        let out = knn_search(
+            &ctx,
+            &mut eng,
+            &mut best,
+            &mut pool,
+            root,
+            3,
+            None,
+            &[],
+            &mut c,
+        );
         for n in &out.result {
             let pos = objects.position(n.object).unwrap();
-            let d = dist_via_tree(&net, &weights, &out.tree, root, pos);
+            let d = dist_via_tree(&net, &weights, &pool, &out.tree, root, pos);
             assert!((d - n.dist).abs() < 1e-12, "object {:?}", n.object);
         }
         // A far object is reported beyond knn_dist.
         let far = objects.position(ObjectId(3)).unwrap();
-        assert!(dist_via_tree(&net, &weights, &out.tree, root, far) > out.knn_dist);
+        assert!(dist_via_tree(&net, &weights, &pool, &out.tree, root, far) > out.knn_dist);
     }
 
     #[test]
@@ -783,12 +842,14 @@ mod tests {
         };
         let mut eng = DijkstraEngine::new(net.num_nodes());
         let mut best = BestK::new(1);
+        let mut pool = TreePool::new();
         let mut c = OpCounters::default();
         let q = NetPoint::new(EdgeId(7), 0.6);
         let out = knn_search(
             &ctx,
             &mut eng,
             &mut best,
+            &mut pool,
             RootPos::Point(q),
             5,
             None,

@@ -205,6 +205,16 @@ pub struct ShardedEngine {
     /// Smoothed per-shard load estimate (exponential average of
     /// `tick_load` across ticks) — the imbalance detector's input.
     load: Vec<f64>,
+    /// Per-cell expansion work observed since the last fold: workers
+    /// attribute each expansion's Dijkstra steps to the cell (edge) of the
+    /// expansion root, and the charges accumulate here across dispatch
+    /// rounds.
+    tick_cell_load: FxHashMap<EdgeId, u64>,
+    /// Smoothed per-cell load estimate (exponential average of
+    /// `tick_cell_load` across ticks). The migration planner ranks
+    /// candidate border cells by this *true* cost, falling back to
+    /// resident-entity counts for cells that never hosted an expansion.
+    cell_load: FxHashMap<EdgeId, f64>,
     /// Ticks since the last rebalance (hysteresis/cooldown counter).
     ticks_since_rebalance: u32,
     /// Rebalances executed / cells migrated — lifetime totals and
@@ -240,8 +250,12 @@ impl ShardedEngine {
             cfg.num_shards
         );
         let partition = NetworkPartition::build(&net, cfg.num_shards);
+        // Per-cell load attribution only feeds the rebalance planner, so
+        // workers skip the per-tick charge hand-off entirely when
+        // rebalancing is disabled (the default).
+        let attribute_cells = cfg.rebalance_trigger >= 1.0 && cfg.num_shards >= 2;
         let workers = (0..cfg.num_shards)
-            .map(|s| ShardWorker::spawn(s, cfg.algo.make(net.clone())))
+            .map(|s| ShardWorker::spawn(s, cfg.algo.make(net.clone()), attribute_cells))
             .collect();
         let edge_mask = net
             .edge_ids()
@@ -280,6 +294,8 @@ impl ShardedEngine {
             tick_replica_evictions: 0,
             tick_load: vec![0; cfg.num_shards],
             load: vec![0.0; cfg.num_shards],
+            tick_cell_load: FxHashMap::default(),
+            cell_load: FxHashMap::default(),
             ticks_since_rebalance: 0,
             total_rebalances: 0,
             tick_rebalances: 0,
@@ -364,6 +380,14 @@ impl ShardedEngine {
     /// averaged across ticks).
     pub fn shard_loads(&self) -> &[f64] {
         &self.load
+    }
+
+    /// The smoothed expansion cost attributed to one partition cell (the
+    /// edge of the expansion roots charged to it), or 0 when no expansion
+    /// has been observed there. The migration planner ranks candidate
+    /// border cells by this value plus their resident entities.
+    pub fn cell_load(&self, e: EdgeId) -> f64 {
+        self.cell_load.get(&e).copied().unwrap_or(0.0)
     }
 
     /// Monitor-side aggregate of the last tick: critical-path elapsed time
@@ -611,11 +635,14 @@ impl ShardedEngine {
 
     /// The migration planner: picks the least-loaded shard that shares a
     /// border with `hot` and the boundary cells to hand over. Cells are
-    /// weighted by their resident entities (1 + objects + queries) and
-    /// taken heaviest-first until roughly half the load gap has moved,
-    /// capped at [`MAX_MIGRATION_FRACTION`] of the hot shard's cells so a
-    /// single rebalance stays incremental. Fully deterministic: driven by
-    /// the deterministic load estimates and sorted by `(weight desc, id)`.
+    /// weighted by their **observed expansion cost** (the smoothed per-cell
+    /// charge workers attribute to each expansion root's cell) plus their
+    /// resident entities (1 + objects + queries; the fallback signal for
+    /// cells that never hosted an expansion), and taken heaviest-first
+    /// until roughly half the load gap has moved, capped at
+    /// [`MAX_MIGRATION_FRACTION`] of the hot shard's cells so a single
+    /// rebalance stays incremental. Fully deterministic: driven by the
+    /// deterministic load estimates and sorted by `(weight desc, id)`.
     fn plan_migration(&self, hot: usize) -> Option<(usize, Vec<EdgeId>)> {
         let mut targets: Vec<usize> = (0..self.cfg.num_shards).filter(|&s| s != hot).collect();
         targets.sort_by(|&a, &b| self.load[a].total_cmp(&self.load[b]).then(a.cmp(&b)));
@@ -630,7 +657,8 @@ impl ShardedEngine {
                 continue; // not adjacent; try the next-coldest shard
             }
             let cell_weight = |e: EdgeId| -> u64 {
-                1 + self.edge_obj.objects_on(e).len() as u64
+                1 + self.cell_load.get(&e).map_or(0, |&v| v.round() as u64)
+                    + self.edge_obj.objects_on(e).len() as u64
                     + self.edge_queries.get(&e).map_or(0, |v| v.len() as u64)
             };
             let hot_weight: u64 = self
@@ -777,6 +805,9 @@ impl ShardedEngine {
             match self.workers[s].recv() {
                 Response::Tick(outcome) => {
                     self.tick_load[s] += outcome.report.counters.expansion_steps;
+                    for (e, steps) in outcome.cell_charges {
+                        *self.tick_cell_load.entry(e).or_insert(0) += steps;
+                    }
                     round.absorb_parallel(&outcome.report);
                     self.active[s] = outcome.active_groups;
                     for snap in outcome.snapshots {
@@ -1116,6 +1147,18 @@ impl ContinuousMonitor for ShardedEngine {
             let observed = std::mem::take(&mut self.tick_load[s]) as f64;
             self.load[s] = self.load[s] * (1.0 - LOAD_SMOOTHING) + observed * LOAD_SMOOTHING;
         }
+        // Same fold per cell: decay every known cell, add this tick's
+        // observed charges, and drop cells whose estimate has decayed to
+        // noise so the map tracks the live hot set, not history.
+        if !self.cell_load.is_empty() || !self.tick_cell_load.is_empty() {
+            for v in self.cell_load.values_mut() {
+                *v *= 1.0 - LOAD_SMOOTHING;
+            }
+            for (e, steps) in self.tick_cell_load.drain() {
+                *self.cell_load.entry(e).or_insert(0.0) += steps as f64 * LOAD_SMOOTHING;
+            }
+            self.cell_load.retain(|_, v| *v >= 0.5);
+        }
 
         let mut counters = self.workers_report.counters;
         counters.resync_touched += self.tick_resync_touched;
@@ -1181,6 +1224,8 @@ impl ContinuousMonitor for ShardedEngine {
                 .map(|b| b.capacity() * std::mem::size_of::<QueryId>())
                 .sum::<usize>()
             + self.edge_obj.memory_bytes()
+            + self.cell_load.capacity()
+                * (std::mem::size_of::<EdgeId>() + std::mem::size_of::<f64>())
             + self.weights.memory_bytes();
         total
     }
@@ -1671,6 +1716,64 @@ mod tests {
         for &(q, _) in &placed {
             assert_eq!(eng.result(q).unwrap().len(), 4);
         }
+    }
+
+    #[test]
+    fn cell_charges_flow_from_workers_into_cell_load() {
+        // Attribution is active whenever rebalancing is enabled; the huge
+        // trigger keeps the planner itself from ever firing.
+        let mut eng = ShardedEngine::new(
+            net(),
+            EngineConfig {
+                num_shards: 2,
+                algo: ShardAlgo::Ima,
+                rebalance_trigger: 1e9,
+                ..EngineConfig::default()
+            },
+        );
+        let n = eng.net.num_edges() as u32;
+        for i in 0..30u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 5) % n), 0.4));
+        }
+        eng.install_query(QueryId(0), 4, NetPoint::new(EdgeId(3), 0.5));
+        // Churn the query so its shard re-expands every tick; the worker
+        // attributes those expansions to the query's cell and the engine
+        // folds them into the smoothed per-cell estimate.
+        for t in 0..4u32 {
+            let mut batch = UpdateBatch::default();
+            batch.queries.push(QueryEvent::Move {
+                id: QueryId(0),
+                to: NetPoint::new(EdgeId(3), if t % 2 == 0 { 0.2 } else { 0.8 }),
+            });
+            eng.tick(&batch);
+        }
+        assert!(
+            eng.cell_load(EdgeId(3)) > 0.0,
+            "expansions rooted on edge 3 must charge that cell"
+        );
+    }
+
+    #[test]
+    fn planner_ranks_cells_by_true_expansion_cost() {
+        // Synthetic two-cell hotspot on the hot shard's border: cell B is
+        // entity-heavy (many resident objects, the old ranking signal) but
+        // hosts no expansions; cell A is entity-light but carries all the
+        // observed expansion cost. The planner must hand A over first.
+        let mut eng = engine(2);
+        let cells = eng.partition.boundary_cells_between(&eng.net, 0, 1);
+        assert!(cells.len() >= 2, "2-way split has a multi-cell border");
+        let (a, b) = (cells[0], cells[1]);
+        for i in 0..40u32 {
+            eng.insert_object(ObjectId(i), NetPoint::new(b, 0.3 + f64::from(i % 4) * 0.1));
+        }
+        eng.load = vec![10_000.0, 1.0];
+        eng.cell_load.insert(a, 5_000.0);
+        let (cold, chosen) = eng.plan_migration(0).expect("imbalance has a plan");
+        assert_eq!(cold, 1);
+        assert_eq!(
+            chosen[0], a,
+            "the expansion-hot cell must outrank the entity-heavy one"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use rnn_core::{
     ContinuousMonitor, EdgeWeightUpdate, MemoryUsage, Neighbor, ObjectEvent, QueryEvent,
     TickReport, UpdateBatch,
 };
-use rnn_roadnet::{FxHashMap, FxHashSet, QueryId};
+use rnn_roadnet::{EdgeId, FxHashMap, FxHashSet, QueryId};
 
 /// The events of one tick destined for a single shard: its own object and
 /// query slices (moved from the router, append-only while pending) plus a
@@ -76,6 +76,11 @@ pub(crate) struct TickOutcome {
     pub snapshots: Vec<QuerySnapshot>,
     /// The monitor's grouping-unit count (GMA active nodes), if any.
     pub active_groups: Option<usize>,
+    /// Expansion work attributed to partition cells: `(cell edge of the
+    /// expansion root, Dijkstra steps)` per expansion the monitor ran this
+    /// batch. Feeds the engine's per-cell load estimates (the rebalance
+    /// planner's true-cost ranking).
+    pub cell_charges: Vec<(EdgeId, u64)>,
 }
 
 /// Handle to one shard thread.
@@ -86,13 +91,16 @@ pub(crate) struct ShardWorker {
 }
 
 impl ShardWorker {
-    /// Moves `monitor` onto a fresh worker thread.
-    pub fn spawn(shard: usize, monitor: Box<dyn ContinuousMonitor>) -> Self {
+    /// Moves `monitor` onto a fresh worker thread. With `attribute_cells`
+    /// the worker drains the monitor's per-cell expansion charges into
+    /// every tick outcome; pass `false` when nothing consumes them (the
+    /// rebalancer disabled) so the hand-off stays free.
+    pub fn spawn(shard: usize, monitor: Box<dyn ContinuousMonitor>, attribute_cells: bool) -> Self {
         let (tx, req_rx) = channel();
         let (resp_tx, rx) = channel();
         let handle = std::thread::Builder::new()
             .name(format!("rnn-shard-{shard}"))
-            .spawn(move || worker_loop(monitor, req_rx, resp_tx))
+            .spawn(move || worker_loop(monitor, req_rx, resp_tx, attribute_cells))
             .expect("failed to spawn shard worker thread");
         Self {
             tx,
@@ -127,6 +135,7 @@ fn worker_loop(
     mut monitor: Box<dyn ContinuousMonitor>,
     rx: Receiver<Request>,
     tx: Sender<Response>,
+    attribute_cells: bool,
 ) {
     // Last state shipped to the engine, per query: snapshots are sent as
     // deltas against this, so steady-state ticks move no result vectors.
@@ -179,10 +188,18 @@ fn worker_loop(
                         result: owned,
                     });
                 }
+                // Drained only when the rebalance planner consumes the
+                // charges; otherwise the monitors' per-tick buffers are
+                // simply cleared on their next tick.
+                let mut cell_charges = Vec::new();
+                if attribute_cells {
+                    monitor.drain_cell_charges(&mut cell_charges);
+                }
                 let outcome = TickOutcome {
                     report,
                     snapshots,
                     active_groups: monitor.active_groups(),
+                    cell_charges,
                 };
                 if tx.send(Response::Tick(outcome)).is_err() {
                     break; // engine dropped mid-flight

@@ -201,6 +201,140 @@ impl<T: Copy> SpanArena<T> {
     }
 }
 
+/// A slab of fixed-size slots with free-list recycling — the pooled-record
+/// sibling of [`SpanArena`]'s pooled lists.
+///
+/// Callers that keep many small linked structures alive at once (e.g. the
+/// monitor-wide pool of expansion-tree nodes) allocate each record as one
+/// slot and wire the structures together with `u32` slot indices. Freeing
+/// pushes the index onto a free list whose capacity is kept at least as
+/// large as the slab, so in steady state both `alloc` and `free` are
+/// pointer-free array operations with **zero heap allocation** — the only
+/// true allocations are slab capacity growth (amortised doubling, counted
+/// in [`SlotPool::take_alloc_events`]).
+///
+/// Freed slots keep their previous contents until reallocated; a caller
+/// tearing down a linked structure may therefore keep *reading* nodes it
+/// has already freed for the duration of the walk (nothing allocates in
+/// between), which is what makes stackless post-order teardown possible.
+#[derive(Clone, Debug)]
+pub struct SlotPool<T> {
+    slab: Vec<T>,
+    /// Indices of freed slots, reused LIFO.
+    free: Vec<u32>,
+    /// Slab capacity growth events (see the type docs).
+    allocs: u64,
+    /// Slots served from the free list instead of fresh slab space.
+    recycled: u64,
+}
+
+impl<T> Default for SlotPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SlotPool<T> {
+    /// An empty pool (allocates nothing until the first [`Self::alloc`]).
+    pub fn new() -> Self {
+        Self {
+            slab: Vec::new(),
+            free: Vec::new(),
+            allocs: 0,
+            recycled: 0,
+        }
+    }
+
+    /// Total slots ever carved (live + free).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Whether the pool has never carved a slot.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slab.is_empty()
+    }
+
+    /// Currently live (allocated, not freed) slots.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.slab.len() - self.free.len()
+    }
+
+    /// Allocates a slot holding `value`, recycling a freed slot when one
+    /// exists. O(1); allocation-free except on slab capacity growth.
+    pub fn alloc(&mut self, value: T) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.recycled += 1;
+            self.slab[i as usize] = value;
+            return i;
+        }
+        if self.slab.len() == self.slab.capacity() {
+            self.allocs += 1;
+            // 4x growth, like the span arena: high-water marks creep
+            // logarithmically, so the aggressive factor pushes further
+            // reallocations out beyond any realistic run length.
+            let target = (self.slab.capacity() * 4).max(64);
+            self.slab.reserve_exact(target - self.slab.len());
+            // The free list can never hold more entries than the slab has
+            // slots; growing it in lock-step here means `free` never
+            // reallocates on its own.
+            if self.free.capacity() < self.slab.capacity() {
+                let need = self.slab.capacity() - self.free.len();
+                self.free.reserve_exact(need);
+            }
+        }
+        let i = u32::try_from(self.slab.len()).expect("slot pool exceeds u32 indices");
+        self.slab.push(value);
+        i
+    }
+
+    /// Returns `slot` to the free list. The slot's contents stay readable
+    /// until it is re-allocated. O(1), never allocates.
+    ///
+    /// # Panics
+    /// Panics (debug builds) on an out-of-range or already-free slot.
+    pub fn free(&mut self, slot: u32) {
+        debug_assert!((slot as usize) < self.slab.len(), "free of uncarved slot");
+        debug_assert!(!self.free.contains(&slot), "double free of slot {slot}");
+        self.free.push(slot);
+    }
+
+    /// Slab capacity growth events since the last take.
+    pub fn take_alloc_events(&mut self) -> u64 {
+        std::mem::take(&mut self.allocs)
+    }
+
+    /// Free-list reuses since the last take.
+    pub fn take_recycled(&mut self) -> u64 {
+        std::mem::take(&mut self.recycled)
+    }
+
+    /// Approximate resident bytes (slab + free list).
+    pub fn memory_bytes(&self) -> usize {
+        self.slab.capacity() * std::mem::size_of::<T>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl<T> std::ops::Index<u32> for SlotPool<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, slot: u32) -> &T {
+        &self.slab[slot as usize]
+    }
+}
+
+impl<T> std::ops::IndexMut<u32> for SlotPool<T> {
+    #[inline]
+    fn index_mut(&mut self, slot: u32) -> &mut T {
+        &mut self.slab[slot as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +422,62 @@ mod tests {
         let mut a: SpanArena<u64> = SpanArena::new(4);
         a.push(2, 5);
         assert!(a.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn slot_pool_allocates_and_recycles() {
+        let mut p: SlotPool<u64> = SlotPool::new();
+        let a = p.alloc(10);
+        let b = p.alloc(20);
+        assert_eq!(p[a], 10);
+        assert_eq!(p[b], 20);
+        assert_eq!(p.live(), 2);
+        p.free(a);
+        assert_eq!(p.live(), 1);
+        // Freed contents stay readable until reallocated.
+        assert_eq!(p[a], 10);
+        let c = p.alloc(30);
+        assert_eq!(c, a, "free list is LIFO");
+        assert_eq!(p[c], 30);
+        assert_eq!(p.take_recycled(), 1);
+        p[b] = 21;
+        assert_eq!(p[b], 21);
+        assert!(p.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn slot_pool_steady_state_is_allocation_free() {
+        let mut p: SlotPool<u32> = SlotPool::new();
+        let mut slots = Vec::new();
+        for i in 0..100 {
+            slots.push(p.alloc(i));
+        }
+        p.take_alloc_events();
+        // Churn entirely within the carved capacity: no further allocs.
+        for _ in 0..50 {
+            for &s in &slots {
+                p.free(s);
+            }
+            slots.clear();
+            for i in 0..100 {
+                slots.push(p.alloc(i));
+            }
+        }
+        assert_eq!(
+            p.take_alloc_events(),
+            0,
+            "steady-state slot churn must not grow the slab"
+        );
+        assert_eq!(p.live(), 100);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn slot_pool_double_free_is_caught() {
+        let mut p: SlotPool<u8> = SlotPool::new();
+        let a = p.alloc(1);
+        p.free(a);
+        p.free(a);
     }
 }

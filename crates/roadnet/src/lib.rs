@@ -38,7 +38,7 @@ pub mod quadtree;
 pub mod sequence;
 pub mod weights;
 
-pub use arena::SpanArena;
+pub use arena::{SlotPool, SpanArena};
 pub use dijkstra::DijkstraEngine;
 pub use geometry::{Point2, Rect};
 pub use graph::{Edge, NetworkData, RoadNetwork, RoadNetworkBuilder};

@@ -8,8 +8,8 @@ use rnn_monitor::core::influence::IntervalSet;
 use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, Ovh, UpdateBatch};
 use rnn_monitor::core::{EdgeWeightUpdate, ObjectEvent, QueryEvent};
 use rnn_monitor::roadnet::{
-    generators, DijkstraEngine, EdgeId, EdgeWeights, NetPoint, ObjectId, QueryId, RoadNetwork,
-    SequenceTable,
+    generators, DijkstraEngine, EdgeId, EdgeWeights, NetPoint, NodeId, ObjectId, QueryId,
+    RoadNetwork, SequenceTable,
 };
 
 // ---------------------------------------------------------------------
@@ -494,5 +494,257 @@ proptest! {
             let total: usize = p.views().iter().map(|v| v.edges.len()).sum();
             prop_assert_eq!(total, net.num_edges());
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pooled expansion trees vs a naive hash-map reference.
+// ---------------------------------------------------------------------
+
+mod tree_pool_model {
+    use std::collections::HashMap;
+
+    /// The pre-pool layout: one owned record per node with an explicit
+    /// children vector. Slow and allocation-happy, but obviously correct —
+    /// the behavioural oracle for the arena-of-trees surgery.
+    #[derive(Clone, Debug, Default)]
+    pub struct RefTree {
+        pub nodes: HashMap<u32, RefNode>,
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct RefNode {
+        pub dist: f64,
+        pub parent: Option<(u32, u32)>,
+        pub children: Vec<(u32, u32)>,
+    }
+
+    impl RefTree {
+        pub fn insert(&mut self, n: u32, dist: f64, parent: Option<(u32, u32)>) {
+            assert!(!self.nodes.contains_key(&n));
+            if let Some((p, e)) = parent {
+                self.nodes.get_mut(&p).unwrap().children.push((n, e));
+            }
+            self.nodes.insert(
+                n,
+                RefNode {
+                    dist,
+                    parent,
+                    children: Vec::new(),
+                },
+            );
+        }
+
+        pub fn remove_subtree(&mut self, n: u32) -> usize {
+            let Some(rec) = self.nodes.get(&n) else {
+                return 0;
+            };
+            if let Some((p, _)) = rec.parent {
+                if let Some(prec) = self.nodes.get_mut(&p) {
+                    prec.children.retain(|&(c, _)| c != n);
+                }
+            }
+            let mut stack = vec![n];
+            let mut removed = 0;
+            while let Some(cur) = stack.pop() {
+                if let Some(rec) = self.nodes.remove(&cur) {
+                    removed += 1;
+                    stack.extend(rec.children.iter().map(|&(c, _)| c));
+                }
+            }
+            removed
+        }
+
+        pub fn retain_within(&mut self, theta: f64) -> usize {
+            let before = self.nodes.len();
+            self.nodes.retain(|_, t| t.dist <= theta);
+            let alive: std::collections::HashSet<u32> = self.nodes.keys().copied().collect();
+            for t in self.nodes.values_mut() {
+                t.children.retain(|&(c, _)| alive.contains(&c));
+            }
+            before - self.nodes.len()
+        }
+
+        pub fn reroot_at_subtree(&mut self, new_root: u32, shift: f64) -> usize {
+            if !self.nodes.contains_key(&new_root) {
+                let n = self.nodes.len();
+                self.nodes.clear();
+                return n;
+            }
+            let mut keep: HashMap<u32, RefNode> = HashMap::new();
+            let mut stack = vec![new_root];
+            while let Some(cur) = stack.pop() {
+                let mut rec = self.nodes.remove(&cur).unwrap();
+                stack.extend(rec.children.iter().map(|&(c, _)| c));
+                rec.dist -= shift;
+                if cur == new_root {
+                    rec.parent = None;
+                }
+                keep.insert(cur, rec);
+            }
+            let pruned = self.nodes.len();
+            self.nodes = keep;
+            pruned
+        }
+
+        pub fn clear(&mut self) -> usize {
+            let n = self.nodes.len();
+            self.nodes.clear();
+            n
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arena-of-trees model check: random surgery programs (adjacency-
+    /// driven inserts, subtree cuts, θ-prunes, re-roots, clones, clears,
+    /// release/recreate cycles) over several trees sharing one pool agree
+    /// exactly with the naive hash-map-of-Vec reference, preserve the
+    /// structural invariants, and leak no pool slots across directory
+    /// epochs.
+    #[test]
+    fn tree_pool_matches_hashmap_reference(
+        seed in 0u64..5000,
+        ops in 20usize..80,
+    ) {
+        use rnn_monitor::core::tree::{ExpansionTree, TreePool};
+        use tree_pool_model::RefTree;
+
+        let net = random_grid(seed % 17);
+        let weights = EdgeWeights::from_base(&net);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7);
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+
+        const TREES: usize = 3;
+        let mut pool = TreePool::new();
+        let mut trees: Vec<ExpansionTree> = (0..TREES).map(|_| pool.new_tree()).collect();
+        let mut refs: Vec<RefTree> = vec![RefTree::default(); TREES];
+
+        for _ in 0..ops {
+            let ti = (rng() % TREES as u64) as usize;
+            // A deterministic "random member" of the reference tree.
+            let pick_member = |r: &RefTree, roll: u64| -> Option<u32> {
+                if r.nodes.is_empty() {
+                    return None;
+                }
+                let mut keys: Vec<u32> = r.nodes.keys().copied().collect();
+                keys.sort_unstable();
+                Some(keys[(roll % keys.len() as u64) as usize])
+            };
+            match rng() % 8 {
+                // Insert: seed a root, or grow from a random member along a
+                // real adjacent edge (keeps distances weight-consistent).
+                0..=2 => match pick_member(&refs[ti], rng()) {
+                    None => {
+                        let n = NodeId((rng() % net.num_nodes() as u64) as u32);
+                        pool.insert(&mut trees[ti], n, 0.0, None);
+                        refs[ti].insert(n.0, 0.0, None);
+                    }
+                    Some(p) => {
+                        let adj = net.adjacent(NodeId(p));
+                        if !adj.is_empty() {
+                            let (e, m) = adj[(rng() % adj.len() as u64) as usize];
+                            if !refs[ti].nodes.contains_key(&m.0) {
+                                let d = refs[ti].nodes[&p].dist + weights.get(e);
+                                pool.insert(&mut trees[ti], m, d, Some((NodeId(p), e)));
+                                refs[ti].insert(m.0, d, Some((p, e.0)));
+                            }
+                        }
+                    }
+                },
+                3 => {
+                    // Cut a subtree (sometimes of an absent node: both
+                    // sides must report 0).
+                    let n = (rng() % net.num_nodes() as u64) as u32;
+                    let a = pool.remove_subtree(&mut trees[ti], NodeId(n));
+                    let b = refs[ti].remove_subtree(n);
+                    prop_assert_eq!(a, b, "remove_subtree count diverged");
+                }
+                4 => {
+                    let max = refs[ti]
+                        .nodes
+                        .values()
+                        .map(|t| t.dist)
+                        .fold(0.0f64, f64::max);
+                    let theta = max * (rng() % 100) as f64 / 100.0;
+                    let a = pool.retain_within(&mut trees[ti], theta);
+                    let b = refs[ti].retain_within(theta);
+                    prop_assert_eq!(a, b, "retain_within count diverged");
+                }
+                5 => {
+                    // Re-root at a random member, shifting by its own old
+                    // distance (the move-onto-a-verified-node case).
+                    if let Some(s) = pick_member(&refs[ti], rng()) {
+                        let shift = refs[ti].nodes[&s].dist;
+                        let a = pool.reroot_at_subtree(&mut trees[ti], NodeId(s), shift);
+                        let b = refs[ti].reroot_at_subtree(s, shift);
+                        prop_assert_eq!(a, b, "reroot count diverged");
+                    }
+                }
+                6 => {
+                    // Clone tree ti over its right neighbour (release the
+                    // old handle first — no slot may leak).
+                    let tj = (ti + 1) % TREES;
+                    let cloned = pool.clone_tree(&trees[ti]);
+                    let old = std::mem::replace(&mut trees[tj], cloned);
+                    pool.release(old);
+                    refs[tj] = refs[ti].clone();
+                }
+                _ => {
+                    // Full release + recreate: the recycled directory must
+                    // carry nothing across epochs.
+                    let old = std::mem::take(&mut trees[ti]);
+                    pool.release(old);
+                    trees[ti] = pool.new_tree();
+                    refs[ti].clear();
+                }
+            }
+
+            // Structure parity + invariants after every operation.
+            let mut owned = 0usize;
+            for (t, r) in trees.iter().zip(&refs) {
+                prop_assert_eq!(t.len(), r.nodes.len(), "length diverged");
+                owned += t.len();
+                for (&n, rec) in &r.nodes {
+                    let d = t.dist(&pool, NodeId(n));
+                    prop_assert_eq!(d, Some(rec.dist), "distance diverged at {}", n);
+                    let parent = t.parent_of(&pool, NodeId(n)).expect("member has a link");
+                    prop_assert_eq!(
+                        parent.map(|(p, e)| (p.0, e.0)),
+                        rec.parent,
+                        "parent link diverged at {}",
+                        n
+                    );
+                    let mut got = t.children_of(&pool, NodeId(n));
+                    got.sort_unstable_by_key(|&(c, _)| c.0);
+                    let mut want: Vec<_> = rec
+                        .children
+                        .iter()
+                        .map(|&(c, e)| (NodeId(c), EdgeId(e)))
+                        .collect();
+                    want.sort_unstable_by_key(|&(c, _)| c.0);
+                    prop_assert_eq!(got, want, "children diverged at {}", n);
+                }
+                prop_assert_eq!(t.iter(&pool).count(), t.len(), "iteration diverged");
+                pool.check_invariants(t, &net, &weights);
+            }
+            // Free-list integrity: every live slab slot is owned by exactly
+            // one of the live trees.
+            prop_assert_eq!(pool.live_nodes(), owned, "pool leaked or double-freed slots");
+        }
+
+        // Releasing everything must return the pool to empty — no slot
+        // survives its tree across epochs.
+        for t in trees {
+            pool.release(t);
+        }
+        prop_assert_eq!(pool.live_nodes(), 0, "slots leaked across release");
     }
 }

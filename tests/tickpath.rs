@@ -135,8 +135,12 @@ proptest! {
 
 /// The steady-state zero-allocation guarantee: once the workload's
 /// high-water marks are reached, ticks report zero alloc events on the
-/// instrumented structures (per-edge arenas + Dijkstra heap). The scenario
-/// is seeded, so this is deterministic.
+/// instrumented structures (per-edge arenas + Dijkstra heap + tree pool).
+/// The workload includes edge-weight churn, so every measured tick
+/// performs tree *surgery* — subtree cuts, θ-prunes and re-expansion
+/// inserts — and the guarantee covers it: surgery runs entirely through
+/// the pool's free list (`tree_nodes_recycled > 0`) without allocating.
+/// The scenario is seeded, so this is deterministic.
 #[test]
 fn steady_state_ticks_are_allocation_free() {
     let net = Arc::new(generators::san_francisco_like(300, 17));
@@ -146,6 +150,7 @@ fn steady_state_ticks_are_allocation_free() {
         k: 4,
         object_agility: 0.1,
         query_agility: 0.05,
+        edge_agility: 0.08,
         seed: 9,
         ..Default::default()
     };
@@ -155,8 +160,10 @@ fn steady_state_ticks_are_allocation_free() {
     scenario.install_into(&mut ima);
     scenario.install_into(&mut gma);
 
-    // Warm up until the arenas and heaps have seen their high-water marks.
-    for _ in 0..12 {
+    // Warm up until the arenas, heaps and the tree pool have seen their
+    // high-water marks (the pool's spare-directory population adapts to
+    // the tick's concurrent-expansion demand during the first ticks).
+    for _ in 0..16 {
         let batch = scenario.tick();
         ima.tick(&batch);
         gma.tick(&batch);
@@ -169,7 +176,7 @@ fn steady_state_ticks_are_allocation_free() {
     }
     assert_eq!(
         steady.alloc_events, 0,
-        "steady-state ticks allocated on the arena/heap tick path"
+        "steady-state ticks allocated on the arena/heap/tree-pool tick path"
     );
     assert!(
         steady.expansion_steps > 0,
@@ -179,4 +186,13 @@ fn steady_state_ticks_are_allocation_free() {
         steady.shared_expansions > 0,
         "GMA's endpoint expansions must serve multiple queries"
     );
+    assert!(
+        steady.tree_nodes_pruned > 0,
+        "edge churn must force tree surgery in the measured window"
+    );
+    assert!(
+        steady.tree_nodes_recycled > 0,
+        "tree surgery must recycle pooled slots, not grow the slab"
+    );
+    ima.validate_invariants();
 }
