@@ -157,7 +157,11 @@ fn main() -> ExitCode {
         // replica-maintenance bound — no single tick may resync more
         // objects than exist. CI runs these figures and fails on a
         // violation.
-        if fig.name.starts_with("engine") || fig.name == "tickpath" || fig.name == "rebalance" {
+        if fig.name.starts_with("engine")
+            || fig.name == "tickpath"
+            || fig.name == "rebalance"
+            || fig.name == "cluster"
+        {
             let path = format!("BENCH_{}.json", fig.name);
             match std::fs::write(&path, series_to_json(fig.name, &series)) {
                 Ok(()) => println!("# wrote {path}"),
@@ -271,6 +275,76 @@ fn main() -> ExitCode {
                     "#   {}: load ratio {:.3} (static) -> {:.3} (rebalanced), \
                      {} cells over {} migrations",
                     point.label, st.load_ratio, rb.load_ratio, rb.cells_migrated, rb.rebalances
+                );
+            }
+        }
+        // Cluster smoke: the loopback cluster must actually move frames,
+        // its deterministic work counters must equal the in-process
+        // engine's at the same shard count (the answer-identity claim,
+        // visible in the artifact), and a fault-free transport must stay
+        // under the pinned retry bound — more retries means the timeout
+        // policy is misfiring or replies are being lost (a retry storm).
+        if fig.name == "cluster" {
+            const RETRY_STORM_BOUND: u64 = 8;
+            for point in &series {
+                let inproc = point
+                    .results
+                    .iter()
+                    .find(|r| matches!(r.algo, rnn_bench::runner::Algo::Sharded(4)));
+                for r in point
+                    .results
+                    .iter()
+                    .filter(|r| matches!(r.algo, rnn_bench::runner::Algo::Cluster(_)))
+                {
+                    if r.frames_per_ts <= 0.0 {
+                        eprintln!(
+                            "CLUSTER REGRESSION: {} at {} moved no RPC frames — the \
+                             coordinator is not talking to its shard services",
+                            r.algo.name(),
+                            point.label
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    if r.retries > RETRY_STORM_BOUND {
+                        eprintln!(
+                            "CLUSTER REGRESSION: {} at {} retransmitted {} times on a \
+                             fault-free loopback transport (bound {RETRY_STORM_BOUND}) — \
+                             retry storm",
+                            r.algo.name(),
+                            point.label,
+                            r.retries
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    if matches!(r.algo, rnn_bench::runner::Algo::Cluster(4)) {
+                        if let Some(eng) = inproc {
+                            if r.work_per_ts != eng.work_per_ts {
+                                eprintln!(
+                                    "CLUSTER REGRESSION: at {} CLU-4 work {} != ENG-4 \
+                                     work {} — the RPC layer is no longer \
+                                     answer-identical",
+                                    point.label, r.work_per_ts, eng.work_per_ts
+                                );
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                }
+                println!(
+                    "#   {}: cluster frames/bytes per ts: {}",
+                    point.label,
+                    point
+                        .results
+                        .iter()
+                        .filter(|r| matches!(r.algo, rnn_bench::runner::Algo::Cluster(_)))
+                        .map(|r| format!(
+                            "{} {:.1}/{:.0}",
+                            r.algo.name(),
+                            r.frames_per_ts,
+                            r.bytes_per_ts
+                        ))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
             }
         }

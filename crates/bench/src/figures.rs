@@ -359,6 +359,29 @@ fn rebalance(scale: f64, seed: u64) -> Vec<(String, Params)> {
     ]
 }
 
+/// Cluster deployment (not in the paper): the in-process sharded engine
+/// against the shard-per-process loopback cluster. Work counters must
+/// line up exactly (the RPC layer is answer-identical, which the
+/// differential suite proves bit-for-bit); the CPU delta is the
+/// framing/serialisation overhead, and the frames/bytes counters size
+/// the delta protocol per tick. One defaults point and one
+/// elevated-churn point (churn grows the deltas, so it bounds the
+/// protocol under load).
+fn cluster(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    let p = base(scale, seed);
+    vec![
+        ("T2-defaults".to_string(), p.clone()),
+        (
+            "hi-churn".to_string(),
+            Params {
+                object_agility: 0.20,
+                query_agility: 0.20,
+                ..p
+            },
+        ),
+    ]
+}
+
 /// Ablation (not in the paper): IMA with vs without influence lists.
 fn ablation_influence(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.05, 0.10, 0.20]
@@ -512,6 +535,13 @@ pub fn all_figures() -> Vec<Figure> {
             memory: false,
             points: rebalance,
         },
+        Figure {
+            name: "cluster",
+            title: "Cluster: in-process ENG-4 vs shard-per-process loopback (CLU-2/CLU-4)",
+            algos: Algo::cluster_set(),
+            memory: false,
+            points: cluster,
+        },
     ]
 }
 
@@ -574,6 +604,15 @@ mod tests {
         let pts = (f.points)(0.01, 1);
         let agilities: Vec<f64> = pts.iter().map(|(_, p)| p.query_agility).collect();
         assert_eq!(agilities, vec![0.05, 0.20, 0.50]);
+    }
+
+    #[test]
+    fn cluster_figure_pairs_engine_and_cluster() {
+        let f = figure_by_name("cluster").unwrap();
+        let names: Vec<&str> = f.algos.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["ENG-4", "CLU-2", "CLU-4"]);
+        assert!(!f.memory);
+        assert_eq!((f.points)(0.01, 1).len(), 2);
     }
 
     #[test]

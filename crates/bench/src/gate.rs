@@ -70,6 +70,17 @@ pub const GATE_SPECS: &[GateSpec] = &[
         warmup: 1,
         seed: 42,
     },
+    GateSpec {
+        // The loopback cluster: frames per tick are deterministic on a
+        // fault-free transport (sequence-numbered exactly-once RPC over
+        // an in-process channel), so the gate pins the delta protocol's
+        // message volume alongside the work counters.
+        figure: "cluster",
+        scale: 0.01,
+        timestamps: 4,
+        warmup: 1,
+        seed: 42,
+    },
 ];
 
 /// The deterministic counters the gate enforces (field names as rendered
@@ -77,12 +88,16 @@ pub const GATE_SPECS: &[GateSpec] = &[
 /// guarantee (the tickpath baseline pins it at 0.000, so *any* new
 /// allocation on a surgery tick fails), `steps_per_ts` holds expansion
 /// work within 5%, and `recycled_per_ts` keeps the surgery volume routed
-/// through the pool's free list from silently growing.
+/// through the pool's free list from silently growing. `frames_per_ts`
+/// pins the cluster's RPC message volume (absent from pre-cluster
+/// baselines, where it is skipped): a frame regression means the delta
+/// protocol started shipping more messages per tick.
 const GATED_METRICS: &[&str] = &[
     "steps_per_ts",
     "resync_per_ts",
     "alloc_per_ts",
     "recycled_per_ts",
+    "frames_per_ts",
 ];
 
 /// `(label, algo) → metric → value`, scanned from one artifact.

@@ -6,7 +6,7 @@
 
 use std::time::Duration;
 
-use rnn_core::{ContinuousMonitor, Gma, Ima, MemoryUsage, OpCounters, Ovh};
+use rnn_core::{ContinuousMonitor, Gma, Ima, MemoryUsage, OpCounters, Ovh, TransportStats};
 use rnn_workload::Scenario;
 
 use crate::params::Params;
@@ -30,6 +30,11 @@ pub enum Algo {
     /// The sharded engine with dynamic load-aware re-partitioning enabled
     /// (`EngineConfig::with_rebalancing`).
     ShardedRebal(u8),
+    /// The shard-per-process cluster (`rnn-cluster`) with this many
+    /// shards over fault-free loopback RPC. Work counters are
+    /// bit-identical to `Sharded(n)`; the CPU delta is the
+    /// framing/serialisation cost of the delta protocol.
+    Cluster(u8),
 }
 
 impl Algo {
@@ -49,6 +54,11 @@ impl Algo {
             Algo::ShardedRebal(4) => "ENG-4-RB",
             Algo::ShardedRebal(8) => "ENG-8-RB",
             Algo::ShardedRebal(_) => "ENG-n-RB",
+            Algo::Cluster(1) => "CLU-1",
+            Algo::Cluster(2) => "CLU-2",
+            Algo::Cluster(4) => "CLU-4",
+            Algo::Cluster(8) => "CLU-8",
+            Algo::Cluster(_) => "CLU-n",
         }
     }
 
@@ -93,10 +103,21 @@ impl Algo {
         &[Algo::Sharded(4), Algo::ShardedRebal(4)]
     }
 
+    /// The cluster set: the in-process engine against the
+    /// shard-per-process loopback cluster, same shard count, plus a
+    /// smaller cluster for the frames-vs-shards shape.
+    pub fn cluster_set() -> &'static [Algo] {
+        &[Algo::Sharded(4), Algo::Cluster(2), Algo::Cluster(4)]
+    }
+
     /// Whether this algorithm is the sharded engine (and thus reports
-    /// replica/resync counters).
+    /// replica/resync counters). The cluster qualifies: it *is* the
+    /// sharded engine, routed over RPC.
     pub fn is_sharded(self) -> bool {
-        matches!(self, Algo::Sharded(_) | Algo::ShardedRebal(_))
+        matches!(
+            self,
+            Algo::Sharded(_) | Algo::ShardedRebal(_) | Algo::Cluster(_)
+        )
     }
 }
 
@@ -158,6 +179,19 @@ pub struct RunResult {
     pub rebalances: u64,
     /// Total partition cells migrated over the measured run.
     pub cells_migrated: u64,
+    /// Mean RPC frames moved (sent + received, all shards) per measured
+    /// timestamp — 0 for every in-process monitor. Deterministic on a
+    /// fault-free loopback transport, so the CI gate pins it: a frame
+    /// regression means the delta protocol started shipping more
+    /// messages per tick.
+    pub frames_per_ts: f64,
+    /// Mean RPC payload bytes moved (sent + received) per measured
+    /// timestamp — sizes the delta protocol itself.
+    pub bytes_per_ts: f64,
+    /// Total retransmissions over the whole run, warmup included (retry
+    /// storms cluster at startup, so the measured window must not hide
+    /// them). Must stay 0 on a fault-free transport.
+    pub retries: u64,
     /// Mean max/mean shard-load ratio across the measured ticks (1.0 =
     /// perfectly balanced; 0.0 for monitors that report none). Averaged
     /// rather than sampled at the end: under a drifting hotspot any single
@@ -204,6 +238,10 @@ pub fn make_monitor(
             net,
             rnn_engine::EngineConfig::with_rebalancing(usize::from(shards).max(1)),
         )),
+        Algo::Cluster(shards) => Box::new(rnn_cluster::ClusterEngine::loopback(
+            net,
+            rnn_engine::EngineConfig::with_shards(usize::from(shards).max(1)),
+        )),
     }
 }
 
@@ -229,7 +267,8 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                  \"alloc_per_ts\": {:.3}, \"install_alloc_per_ts\": {:.3}, \
                  \"shared_per_ts\": {:.3}, \
                  \"steps_per_ts\": {:.1}, \"recycled_per_ts\": {:.1}, \
-                 \"pruned_per_ts\": {:.1}, \"rebalances\": {}, \
+                 \"pruned_per_ts\": {:.1}, \"frames_per_ts\": {:.1}, \
+                 \"bytes_per_ts\": {:.1}, \"retries\": {}, \"rebalances\": {}, \
                  \"cells_migrated\": {}, \"load_ratio\": {:.3}}}{}\n",
                 esc(r.algo.name()),
                 r.cpu_per_ts,
@@ -245,6 +284,9 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                 r.steps_per_ts,
                 r.recycled_per_ts,
                 r.pruned_per_ts,
+                r.frames_per_ts,
+                r.bytes_per_ts,
+                r.retries,
                 r.rebalances,
                 r.cells_migrated,
                 r.load_ratio,
@@ -291,6 +333,13 @@ pub fn run_point(
     let mut max_tick_resync = vec![0u64; monitors.len()];
     let mut ratio_sum = vec![0.0f64; monitors.len()];
     let mut ratio_count = vec![0u32; monitors.len()];
+    // Transport counters at the start of the measured window: the
+    // install phase and the warmup ticks ship frames too, and the
+    // per-timestamp rates must exclude them (like the timings do).
+    let mut net_base: Vec<TransportStats> = monitors
+        .iter()
+        .map(|(_, m)| m.transport_stats().unwrap_or_default())
+        .collect();
     let measured = timestamps.saturating_sub(warmup).max(1);
     for t in 0..timestamps {
         let batch = scenario.tick();
@@ -298,6 +347,11 @@ pub fn run_point(
             let rep = m.tick(&batch);
             max_tick_resync[i] = max_tick_resync[i].max(rep.counters.resync_touched);
             total_counters[i].merge(&rep.counters);
+            if t + 1 == warmup {
+                if let Some(s) = m.transport_stats() {
+                    net_base[i] = s;
+                }
+            }
             if t >= warmup {
                 elapsed[i] += rep.elapsed;
                 counters[i].merge(&rep.counters);
@@ -313,6 +367,18 @@ pub fn run_point(
         .iter()
         .enumerate()
         .map(|(i, (a, m))| {
+            // Capture the transport delta before `memory()`, which ships
+            // its own request/reply pair per shard.
+            let (frames, bytes, retries) = match m.transport_stats() {
+                Some(s) => (
+                    (s.frames_sent + s.frames_received)
+                        .saturating_sub(net_base[i].frames_sent + net_base[i].frames_received),
+                    (s.bytes_sent + s.bytes_received)
+                        .saturating_sub(net_base[i].bytes_sent + net_base[i].bytes_received),
+                    s.retries,
+                ),
+                None => (0, 0, 0),
+            };
             let mem = m.memory();
             let active = m.active_groups();
             RunResult {
@@ -331,6 +397,9 @@ pub fn run_point(
                 steps_per_ts: counters[i].expansion_steps as f64 / measured as f64,
                 recycled_per_ts: counters[i].tree_nodes_recycled as f64 / measured as f64,
                 pruned_per_ts: counters[i].tree_nodes_pruned as f64 / measured as f64,
+                frames_per_ts: frames as f64 / measured as f64,
+                bytes_per_ts: bytes as f64 / measured as f64,
+                retries,
                 rebalances: total_counters[i].rebalance_events,
                 cells_migrated: total_counters[i].cells_migrated,
                 load_ratio: if ratio_count[i] > 0 {
@@ -526,6 +595,26 @@ mod tests {
             "a tick resynced {} of {} objects",
             eng.max_tick_resync,
             p.n_objects
+        );
+    }
+
+    #[test]
+    fn cluster_matches_in_process_work_and_moves_frames() {
+        let rs = run_point(&tiny(), &[Algo::Sharded(2), Algo::Cluster(2)], 4, 1);
+        let eng = &rs[0];
+        let clu = &rs[1];
+        assert_eq!(clu.algo.name(), "CLU-2");
+        assert_eq!(
+            clu.work_per_ts, eng.work_per_ts,
+            "the RPC layer changed the deterministic work"
+        );
+        assert_eq!(clu.resync_per_ts, eng.resync_per_ts);
+        assert!(clu.frames_per_ts > 0.0, "the cluster moved no frames");
+        assert!(clu.bytes_per_ts > 0.0);
+        assert_eq!(clu.retries, 0, "fault-free loopback must not retry");
+        assert_eq!(
+            eng.frames_per_ts, 0.0,
+            "in-process engines have no transport"
         );
     }
 

@@ -1,0 +1,284 @@
+//! The coordinator side of the RPC layer: [`RemoteShard`] speaks the
+//! engine's [`ShardLink`] protocol to one [`crate::service::ShardService`]
+//! over any [`Transport`], adding everything the in-process worker never
+//! needed — per-message timeout and retransmission, duplicate-reply
+//! filtering, corrupt-frame rejection, and crash recovery by respawning
+//! the service and replaying the full event journal against its fresh
+//! monitor (the monitors are deterministic, so a complete replay rebuilds
+//! bit-identical shard state and the engine never notices the death).
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rnn_core::{MemoryUsage, TransportStats};
+use rnn_engine::{BatchKind, Request, Response, ShardLink, TickOutcome};
+use rnn_roadnet::{WireCodec, WireReader};
+
+use crate::frame::{Frame, MsgTag};
+use crate::transport::{RecvError, Transport};
+
+/// Per-message delivery policy.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// How long to wait for a reply before retransmitting the request.
+    pub timeout: Duration,
+    /// Retransmits allowed per request before the shard is declared
+    /// unreachable (a panic — the engine has no degraded mode: a lost
+    /// shard means lost answers).
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(1),
+            max_retries: 8,
+        }
+    }
+}
+
+/// Builds a replacement transport to a *freshly spawned* service (new
+/// process / thread, new monitor) after a crash.
+pub type RespawnFn = Box<dyn FnMut() -> Box<dyn Transport> + Send>;
+
+struct Inflight {
+    bytes: Vec<u8>,
+    seq: u32,
+    tag: MsgTag,
+}
+
+struct Inner {
+    shard: usize,
+    transport: Box<dyn Transport>,
+    policy: RetryPolicy,
+    next_seq: u32,
+    inflight: Option<Inflight>,
+    /// Every event frame ever sent, in order, with its sequence number.
+    /// This is the recovery state: replayed in full against a respawned
+    /// service's fresh monitor. Memory requests are read-only and are
+    /// simply retransmitted, never journaled.
+    journal: Vec<(u32, Vec<u8>)>,
+    respawn: Option<RespawnFn>,
+    stats: TransportStats,
+}
+
+/// A [`ShardLink`] to one shard service behind a [`Transport`].
+pub struct RemoteShard {
+    inner: Mutex<Inner>,
+}
+
+impl RemoteShard {
+    /// A link with no crash recovery: the peer dying is fatal.
+    pub fn new(shard: usize, transport: Box<dyn Transport>, policy: RetryPolicy) -> Self {
+        Self::build(shard, transport, policy, None)
+    }
+
+    /// A link that, when the peer dies, calls `respawn` for a transport
+    /// to a fresh service and replays the journal into it.
+    pub fn with_respawn(
+        shard: usize,
+        transport: Box<dyn Transport>,
+        policy: RetryPolicy,
+        respawn: RespawnFn,
+    ) -> Self {
+        Self::build(shard, transport, policy, Some(respawn))
+    }
+
+    fn build(
+        shard: usize,
+        transport: Box<dyn Transport>,
+        policy: RetryPolicy,
+        respawn: Option<RespawnFn>,
+    ) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                shard,
+                transport,
+                policy,
+                next_seq: 0,
+                inflight: None,
+                journal: Vec::new(),
+                respawn,
+                stats: TransportStats::default(),
+            }),
+        }
+    }
+
+    /// Cumulative transport counters for this link.
+    pub fn stats(&self) -> TransportStats {
+        self.inner.lock().expect("link lock").stats
+    }
+}
+
+impl ShardLink for RemoteShard {
+    fn send(&self, req: Request) {
+        self.inner.lock().expect("link lock").send_req(req);
+    }
+
+    fn recv(&self) -> Response {
+        let mut g = self.inner.lock().expect("link lock");
+        let inflight = g.inflight.take().expect("a request is outstanding");
+        let frame = g.exchange(&inflight);
+        let mut r = WireReader::new(&frame.payload);
+        match frame.tag {
+            MsgTag::TickReply => {
+                Response::Tick(TickOutcome::decode(&mut r).expect("checksummed reply decodes"))
+            }
+            MsgTag::MemoryReply => {
+                Response::Memory(MemoryUsage::decode(&mut r).expect("checksummed reply decodes"))
+            }
+            other => panic!("shard {}: unexpected reply tag {other:?}", g.shard),
+        }
+    }
+}
+
+impl Drop for RemoteShard {
+    fn drop(&mut self) {
+        if let Ok(mut g) = self.inner.lock() {
+            // Sent twice deliberately: with injected faults one shutdown
+            // frame can be corrupted or held back by a reordering
+            // transport, and the second send flushes/replaces it. The
+            // service exits on the first intact copy; a duplicate
+            // arriving after exit is dropped with the connection.
+            g.send_req(Request::Shutdown);
+            g.send_req(Request::Shutdown);
+        }
+    }
+}
+
+impl Inner {
+    fn send_req(&mut self, req: Request) {
+        let mut payload = Vec::new();
+        let tag = match req {
+            Request::Tick(delta) => {
+                delta.encode(&mut payload);
+                match delta.kind {
+                    BatchKind::Tick => MsgTag::TickEvents,
+                    BatchKind::Resync => MsgTag::ResyncEvents,
+                    BatchKind::Migration => MsgTag::MigrationEvents,
+                }
+            }
+            Request::Memory => MsgTag::MemoryRequest,
+            Request::Shutdown => MsgTag::Shutdown,
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bytes = Frame { tag, seq, payload }.to_bytes();
+        if tag.is_events() {
+            self.journal.push((seq, bytes.clone()));
+        }
+        self.transmit(&bytes);
+        if tag != MsgTag::Shutdown {
+            self.inflight = Some(Inflight { bytes, seq, tag });
+        }
+    }
+
+    fn transmit(&mut self, bytes: &[u8]) {
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        // A send to a dead peer is fine: the failure surfaces on recv,
+        // where the crash-recovery path owns it.
+        let _ = self.transport.send(bytes);
+    }
+
+    /// Waits out the reply to `inflight`, driving retransmits, stale- and
+    /// corrupt-frame filtering, and crash recovery.
+    fn exchange(&mut self, inflight: &Inflight) -> Frame {
+        let mut attempts = 0u32;
+        loop {
+            match self.transport.recv_timeout(self.policy.timeout) {
+                Ok(bytes) => {
+                    self.stats.frames_received += 1;
+                    self.stats.bytes_received += bytes.len() as u64;
+                    match Frame::from_bytes(&bytes) {
+                        Ok(f) if f.seq == inflight.seq => return f,
+                        // A reply to an older request: a retransmission
+                        // echo we stopped waiting for. Drop it.
+                        Ok(_) => continue,
+                        Err(_) => {
+                            self.stats.corrupt_frames += 1;
+                            self.retransmit(inflight, &mut attempts);
+                        }
+                    }
+                }
+                Err(RecvError::Timeout) => self.retransmit(inflight, &mut attempts),
+                Err(RecvError::Closed) | Err(RecvError::Io) => self.recover(inflight),
+            }
+        }
+    }
+
+    fn retransmit(&mut self, inflight: &Inflight, attempts: &mut u32) {
+        *attempts += 1;
+        assert!(
+            *attempts <= self.policy.max_retries,
+            "shard {}: no reply to seq {} after {} retransmits",
+            self.shard,
+            inflight.seq,
+            self.policy.max_retries
+        );
+        self.stats.retries += 1;
+        let bytes = inflight.bytes.clone();
+        self.transmit(&bytes);
+    }
+
+    /// The peer is gone: respawn a fresh service and rebuild its monitor
+    /// by replaying the whole event journal (deterministic monitors make
+    /// the result bit-identical to the lost state). The journal's last
+    /// entry is the inflight request itself when that request is an event
+    /// batch — its reply is left for [`Self::exchange`] to consume.
+    fn recover(&mut self, inflight: &Inflight) {
+        let Some(respawn) = self.respawn.as_mut() else {
+            panic!("shard {} died and no respawn policy is set", self.shard);
+        };
+        self.stats.crash_recoveries += 1;
+        self.transport = respawn();
+        let journal = std::mem::take(&mut self.journal);
+        for (seq, bytes) in &journal {
+            self.stats.frames_sent += 1;
+            self.stats.bytes_sent += bytes.len() as u64;
+            let _ = self.transport.send(bytes);
+            if *seq == inflight.seq {
+                break; // exchange() consumes this reply
+            }
+            self.drain_replay_reply(*seq, bytes);
+        }
+        self.journal = journal;
+        if !inflight.tag.is_events() {
+            // A read-only request (Memory) was in flight: retransmit it
+            // now that the rebuilt shard is caught up.
+            let bytes = inflight.bytes.clone();
+            self.transmit(&bytes);
+        }
+    }
+
+    /// Consumes (and discards) the reply to one replayed journal frame.
+    fn drain_replay_reply(&mut self, seq: u32, bytes: &[u8]) {
+        let mut attempts = 0u32;
+        loop {
+            match self.transport.recv_timeout(self.policy.timeout) {
+                Ok(reply) => {
+                    self.stats.frames_received += 1;
+                    self.stats.bytes_received += reply.len() as u64;
+                    match Frame::from_bytes(&reply) {
+                        Ok(f) if f.seq == seq => return,
+                        Ok(_) => continue,
+                        Err(_) => self.stats.corrupt_frames += 1,
+                    }
+                }
+                Err(RecvError::Timeout) => {
+                    attempts += 1;
+                    assert!(
+                        attempts <= self.policy.max_retries,
+                        "shard {}: replay stalled at seq {seq}",
+                        self.shard
+                    );
+                    self.stats.retries += 1;
+                    self.stats.frames_sent += 1;
+                    self.stats.bytes_sent += bytes.len() as u64;
+                    let _ = self.transport.send(bytes);
+                }
+                Err(_) => panic!("shard {} died again during journal replay", self.shard),
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The cluster coordinator: a [`ShardedEngine`] whose shards live behind
+//! RPC links instead of in-process threads.
+//!
+//! [`ClusterEngine`] reuses the engine's routing/absorption machinery
+//! wholesale — partitioning, halo replication, reconcile rounds,
+//! migration — by instantiating `ShardedEngine<RemoteShard>`. The only
+//! cluster-specific surface is construction (wiring a transport per
+//! shard) and the transport counters.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rnn_core::{ContinuousMonitor, MemoryUsage, Neighbor, TickReport, TransportStats, UpdateBatch};
+use rnn_engine::{EngineConfig, ShardedEngine};
+use rnn_roadnet::{EdgeId, NetPoint, ObjectId, QueryId, RoadNetwork};
+
+use crate::client::{RemoteShard, RespawnFn, RetryPolicy};
+use crate::service::ShardService;
+use crate::transport::{loopback_pair, FaultPlan, LoopbackPeer, StreamTransport, Transport};
+
+/// A sharded continuous-monitoring engine whose shard monitors run
+/// behind RPC links (loopback threads, Unix-socket processes, or TCP
+/// peers), answer-identical to the in-process [`ShardedEngine`].
+pub struct ClusterEngine {
+    engine: ShardedEngine<RemoteShard>,
+}
+
+fn spawn_loopback_service(
+    shard: usize,
+    peer: LoopbackPeer,
+    monitor: Box<dyn ContinuousMonitor>,
+    attribute_cells: bool,
+) {
+    std::thread::Builder::new()
+        .name(format!("rnn-cluster-shard-{shard}"))
+        .spawn(move || ShardService::new(peer, monitor, attribute_cells).run())
+        .expect("spawn shard service");
+}
+
+impl ClusterEngine {
+    /// A fault-free loopback cluster: one service thread per shard,
+    /// in-process channel transports, default retry policy.
+    pub fn loopback(net: Arc<RoadNetwork>, cfg: EngineConfig) -> Self {
+        Self::loopback_with_faults(net, cfg, &[FaultPlan::default()], RetryPolicy::default())
+    }
+
+    /// A loopback cluster with fault injection: shard `s` gets
+    /// `plans[s % plans.len()]` (pass one plan to apply it everywhere).
+    /// Crashed services are respawned with a fresh, fault-free transport
+    /// and rebuilt by journal replay.
+    pub fn loopback_with_faults(
+        net: Arc<RoadNetwork>,
+        cfg: EngineConfig,
+        plans: &[FaultPlan],
+        policy: RetryPolicy,
+    ) -> Self {
+        assert!(!plans.is_empty(), "at least one fault plan");
+        let attribute_cells = cfg.attribute_cells();
+        let links = (0..cfg.num_shards)
+            .map(|s| {
+                let plan = plans[s % plans.len()];
+                let (co, peer) = loopback_pair(plan);
+                spawn_loopback_service(s, peer, cfg.make_monitor(net.clone()), attribute_cells);
+                let net2 = net.clone();
+                let respawn: RespawnFn = Box::new(move || {
+                    let (co2, peer2) = loopback_pair(FaultPlan::default());
+                    spawn_loopback_service(
+                        s,
+                        peer2,
+                        cfg.make_monitor(net2.clone()),
+                        attribute_cells,
+                    );
+                    Box::new(co2)
+                });
+                RemoteShard::with_respawn(s, Box::new(co), policy, respawn)
+            })
+            .collect();
+        let engine = ShardedEngine::with_links(net, cfg, links).unwrap_or_else(|e| panic!("{e}"));
+        Self { engine }
+    }
+
+    /// Connects to one already-listening Unix-socket shard service per
+    /// path (see [`crate::service::serve_unix`]), retrying each connect
+    /// for a few seconds so freshly spawned shard processes have time to
+    /// bind. No respawn policy: a shard process dying is fatal.
+    pub fn connect_unix(
+        net: Arc<RoadNetwork>,
+        cfg: EngineConfig,
+        paths: &[impl AsRef<Path>],
+        policy: RetryPolicy,
+    ) -> std::io::Result<Self> {
+        let links = paths
+            .iter()
+            .enumerate()
+            .map(|(s, path)| {
+                let stream = connect_with_retry(|| std::os::unix::net::UnixStream::connect(path))?;
+                let t: Box<dyn Transport> = Box::new(StreamTransport::new(stream));
+                Ok(RemoteShard::new(s, t, policy))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Self::from_links(net, cfg, links)
+    }
+
+    /// Like [`Self::connect_unix`] over TCP.
+    pub fn connect_tcp(
+        net: Arc<RoadNetwork>,
+        cfg: EngineConfig,
+        addrs: &[std::net::SocketAddr],
+        policy: RetryPolicy,
+    ) -> std::io::Result<Self> {
+        let links = addrs
+            .iter()
+            .enumerate()
+            .map(|(s, addr)| {
+                let stream = connect_with_retry(|| std::net::TcpStream::connect(addr))?;
+                let t: Box<dyn Transport> = Box::new(StreamTransport::new(stream));
+                Ok(RemoteShard::new(s, t, policy))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Self::from_links(net, cfg, links)
+    }
+
+    fn from_links(
+        net: Arc<RoadNetwork>,
+        cfg: EngineConfig,
+        links: Vec<RemoteShard>,
+    ) -> std::io::Result<Self> {
+        ShardedEngine::with_links(net, cfg, links)
+            .map(|engine| Self { engine })
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))
+    }
+
+    /// The underlying routing engine (halo radii, partition, worker
+    /// reports — everything the in-process engine exposes).
+    pub fn engine(&self) -> &ShardedEngine<RemoteShard> {
+        &self.engine
+    }
+
+    /// Per-shard transport counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<TransportStats> {
+        self.engine.links().iter().map(|l| l.stats()).collect()
+    }
+
+    /// Transport counters summed over all shards.
+    pub fn stats(&self) -> TransportStats {
+        let mut total = TransportStats::default();
+        for s in self.shard_stats() {
+            total.merge(&s);
+        }
+        total
+    }
+}
+
+/// Retries `connect` with a short backoff for up to ~5 s (shard
+/// processes bind their sockets asynchronously).
+fn connect_with_retry<S>(mut connect: impl FnMut() -> std::io::Result<S>) -> std::io::Result<S> {
+    let mut last;
+    let mut wait = Duration::from_millis(10);
+    let mut budget = Duration::from_secs(5);
+    loop {
+        match connect() {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e,
+        }
+        if budget.is_zero() {
+            return Err(last);
+        }
+        let step = wait.min(budget);
+        std::thread::sleep(step);
+        budget = budget.saturating_sub(step);
+        wait = (wait * 2).min(Duration::from_millis(250));
+    }
+}
+
+impl ContinuousMonitor for ClusterEngine {
+    fn name(&self) -> &'static str {
+        "CLUSTER"
+    }
+
+    fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
+        self.engine.insert_object(id, at);
+    }
+
+    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
+        self.engine.install_query(id, k, at);
+    }
+
+    fn remove_query(&mut self, id: QueryId) {
+        self.engine.remove_query(id);
+    }
+
+    fn tick(&mut self, batch: &UpdateBatch) -> TickReport {
+        self.engine.tick(batch)
+    }
+
+    fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.engine.result(id)
+    }
+
+    fn knn_dist(&self, id: QueryId) -> Option<f64> {
+        self.engine.knn_dist(id)
+    }
+
+    fn query_ids(&self) -> Vec<QueryId> {
+        self.engine.query_ids()
+    }
+
+    fn memory(&self) -> MemoryUsage {
+        self.engine.memory()
+    }
+
+    fn active_groups(&self) -> Option<usize> {
+        self.engine.active_groups()
+    }
+
+    fn shard_load_ratio(&self) -> Option<f64> {
+        self.engine.shard_load_ratio()
+    }
+
+    fn drain_cell_charges(&mut self, into: &mut Vec<(EdgeId, u64)>) {
+        self.engine.drain_cell_charges(into);
+    }
+
+    fn transport_stats(&self) -> Option<TransportStats> {
+        Some(self.stats())
+    }
+}

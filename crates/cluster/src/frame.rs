@@ -1,0 +1,201 @@
+//! The cluster's wire framing: a length-prefixed envelope around the
+//! engine↔shard protocol payloads.
+//!
+//! Layout of one frame on the wire (all integers little-endian):
+//!
+//! ```text
+//! ┌──────────┬─────────┬─────────┬─────────┬───────────────┐
+//! │ len: u32 │ tag:u16 │ seq:u32 │ crc:u32 │ payload bytes │
+//! └──────────┴─────────┴─────────┴─────────┴───────────────┘
+//! ```
+//!
+//! `len` counts everything after itself (`tag` + `seq` + `crc` +
+//! payload), so a stream reader knows exactly how many bytes to pull
+//! before attempting a decode. `crc` is the FNV-1a checksum
+//! ([`rnn_roadnet::wire::checksum`]) over `tag`, `seq`, and the payload;
+//! a mismatch means the frame was corrupted in flight and the decoder
+//! reports [`WireError::Checksum`] instead of handing garbage to the
+//! payload codecs. `seq` is the coordinator-assigned request sequence
+//! number; replies echo the sequence of the request they answer, which is
+//! what makes retransmission and duplicate-detection possible.
+
+use rnn_roadnet::wire::{checksum, put_u16, put_u32};
+use rnn_roadnet::{WireError, WireReader};
+
+/// Frame header bytes after the length prefix: tag + seq + crc.
+pub const HEADER_LEN: usize = 2 + 4 + 4;
+
+/// Wire message tags. One tag per protocol message so the receiver can
+/// decode the payload without sniffing; the three request kinds that
+/// carry a [`rnn_engine::DeltaBatch`] are distinguished so the engine's
+/// phases (tick / halo resync / migration hand-off) are explicit on the
+/// wire and in packet captures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum MsgTag {
+    /// Request: a regular tick's delta batch.
+    TickEvents = 1,
+    /// Request: a halo-resync round's delta batch.
+    ResyncEvents = 2,
+    /// Request: a rebalance migration hand-off's delta batch.
+    MigrationEvents = 3,
+    /// Request: report resident memory.
+    MemoryRequest = 4,
+    /// Request: exit the service loop.
+    Shutdown = 5,
+    /// Reply to any of the three event requests: a `TickOutcome`.
+    TickReply = 6,
+    /// Reply to [`MsgTag::MemoryRequest`]: a `MemoryUsage`.
+    MemoryReply = 7,
+}
+
+impl MsgTag {
+    fn from_u16(v: u16) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => MsgTag::TickEvents,
+            2 => MsgTag::ResyncEvents,
+            3 => MsgTag::MigrationEvents,
+            4 => MsgTag::MemoryRequest,
+            5 => MsgTag::Shutdown,
+            6 => MsgTag::TickReply,
+            7 => MsgTag::MemoryReply,
+            _ => return Err(WireError::Invalid("unknown message tag")),
+        })
+    }
+
+    /// Whether this tag is one of the three delta-batch requests.
+    pub fn is_events(self) -> bool {
+        matches!(
+            self,
+            MsgTag::TickEvents | MsgTag::ResyncEvents | MsgTag::MigrationEvents
+        )
+    }
+}
+
+/// One decoded frame: the envelope fields plus the raw payload bytes
+/// (decoded separately by the protocol codecs, so transport code never
+/// depends on message internals).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Message type.
+    pub tag: MsgTag,
+    /// Request sequence number (replies echo their request's).
+    pub seq: u32,
+    /// Message payload, still encoded.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Encodes the frame as one length-prefixed byte string ready for a
+    /// single `send`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + HEADER_LEN + self.payload.len());
+        put_u32(&mut out, (HEADER_LEN + self.payload.len()) as u32);
+        put_u16(&mut out, self.tag as u16);
+        put_u32(&mut out, self.seq);
+        // Checksum covers tag + seq + payload; computed over a scratch
+        // assembly of exactly those bytes.
+        let mut covered = Vec::with_capacity(6 + self.payload.len());
+        put_u16(&mut covered, self.tag as u16);
+        put_u32(&mut covered, self.seq);
+        covered.extend_from_slice(&self.payload);
+        put_u32(&mut out, checksum(&covered));
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes one frame from `bytes`, which must be the complete frame
+    /// *including* its length prefix (exactly what [`Self::to_bytes`]
+    /// produced and a transport's recv returned). Never panics: short
+    /// input is [`WireError::Truncated`], a length prefix that disagrees
+    /// with the buffer is [`WireError::Invalid`], and any corruption of
+    /// the covered bytes is caught as [`WireError::Checksum`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let len = r.u32()? as usize;
+        if len != r.remaining() {
+            return Err(WireError::Invalid("frame length prefix mismatch"));
+        }
+        if len < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let tag_raw = r.u16()?;
+        let seq = r.u32()?;
+        let crc = r.u32()?;
+        let payload = r.bytes(r.remaining())?;
+        let mut covered = Vec::with_capacity(6 + payload.len());
+        put_u16(&mut covered, tag_raw);
+        put_u32(&mut covered, seq);
+        covered.extend_from_slice(payload);
+        if checksum(&covered) != crc {
+            return Err(WireError::Checksum);
+        }
+        let tag = MsgTag::from_u16(tag_raw)?;
+        Ok(Frame {
+            tag,
+            seq,
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        for tag in [
+            MsgTag::TickEvents,
+            MsgTag::ResyncEvents,
+            MsgTag::MigrationEvents,
+            MsgTag::MemoryRequest,
+            MsgTag::Shutdown,
+            MsgTag::TickReply,
+            MsgTag::MemoryReply,
+        ] {
+            let f = Frame {
+                tag,
+                seq: 0xDEAD_BEEF,
+                payload: vec![1, 2, 3, 4, 5],
+            };
+            let bytes = f.to_bytes();
+            assert_eq!(Frame::from_bytes(&bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let f = Frame {
+            tag: MsgTag::TickEvents,
+            seq: 7,
+            payload: b"delta batch bytes".to_vec(),
+        };
+        let bytes = f.to_bytes();
+        // Flip each bit past the length prefix (corrupting the prefix
+        // itself is a framing error, reported as Invalid/Truncated).
+        for byte in 4..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    Frame::from_bytes(&bad).is_err(),
+                    "bit {bit} of byte {byte} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic() {
+        let bytes = Frame {
+            tag: MsgTag::TickReply,
+            seq: 1,
+            payload: vec![9; 32],
+        }
+        .to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Frame::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

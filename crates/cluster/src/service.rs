@@ -1,0 +1,153 @@
+//! The shard side of the RPC layer: a [`ShardService`] owns one monitor
+//! and serves the engine's delta protocol over any [`Transport`].
+//!
+//! The service is deliberately dumb — all retry/timeout/replay policy
+//! lives at the coordinator ([`crate::client::RemoteShard`]). Its one
+//! responsibility beyond "decode, tick, reply" is **duplicate
+//! suppression**: requests carry a strictly increasing sequence number,
+//! and the service caches its last encoded reply so a retransmitted
+//! request is answered from the cache instead of being applied twice
+//! (which would corrupt monitor state). Frames older than the last
+//! processed sequence are dropped outright — they are retransmission
+//! echoes the coordinator has already stopped waiting for. Corrupt
+//! frames (checksum mismatch) are silently dropped; the coordinator's
+//! timeout drives the retransmit.
+
+use std::path::Path;
+use std::time::Duration;
+
+use rnn_core::ContinuousMonitor;
+use rnn_engine::{DeltaBatch, ShardTickState};
+use rnn_roadnet::{WireCodec, WireReader};
+
+use crate::frame::{Frame, MsgTag};
+use crate::transport::{RecvError, StreamTransport, Transport};
+
+/// How long one service poll waits before re-polling. Purely a liveness
+/// knob (lets the loop notice a closed transport); correctness never
+/// depends on it.
+const POLL: Duration = Duration::from_millis(250);
+
+/// One shard's server: a monitor plus the shard-side half of the delta
+/// protocol, driven by frames from a single coordinator connection.
+pub struct ShardService<T: Transport> {
+    transport: T,
+    monitor: Box<dyn ContinuousMonitor>,
+    state: ShardTickState,
+    attribute_cells: bool,
+    /// Highest request sequence processed, and the encoded reply frame it
+    /// produced (re-sent verbatim on a duplicate).
+    last: Option<(u32, Vec<u8>)>,
+}
+
+impl<T: Transport> ShardService<T> {
+    /// Wraps `monitor` behind `transport`. `attribute_cells` mirrors the
+    /// in-process worker's flag: when set, per-cell expansion charges are
+    /// drained into every reply for the engine's rebalance planner.
+    pub fn new(transport: T, monitor: Box<dyn ContinuousMonitor>, attribute_cells: bool) -> Self {
+        Self {
+            transport,
+            monitor,
+            state: ShardTickState::new(),
+            attribute_cells,
+            last: None,
+        }
+    }
+
+    /// Serves requests until a shutdown frame arrives or the transport
+    /// reports the coordinator gone.
+    pub fn run(mut self) {
+        loop {
+            let bytes = match self.transport.recv_timeout(POLL) {
+                Ok(bytes) => bytes,
+                Err(RecvError::Timeout) => continue,
+                Err(RecvError::Closed) | Err(RecvError::Io) => return,
+            };
+            // Undecodable frames (corruption, truncation) are dropped;
+            // the coordinator's timeout handles recovery.
+            let Ok(frame) = Frame::from_bytes(&bytes) else {
+                continue;
+            };
+            match &self.last {
+                Some((seq, reply)) if frame.seq == *seq => {
+                    // Retransmitted request: resend the cached reply, do
+                    // NOT reprocess (ticks are not idempotent).
+                    let _ = self.transport.send(reply);
+                    continue;
+                }
+                Some((seq, _)) if frame.seq < *seq => continue, // stale echo
+                _ => {}
+            }
+            if matches!(frame.tag, MsgTag::TickReply | MsgTag::MemoryReply) {
+                // A reply tag arriving at the service is a stray echo of
+                // our own output; drop it.
+                continue;
+            }
+            let payload = match self.process(&frame) {
+                Some(payload) => payload,
+                None => return, // shutdown
+            };
+            let reply_tag = match frame.tag {
+                MsgTag::MemoryRequest => MsgTag::MemoryReply,
+                _ => MsgTag::TickReply,
+            };
+            let reply = Frame {
+                tag: reply_tag,
+                seq: frame.seq,
+                payload,
+            }
+            .to_bytes();
+            let _ = self.transport.send(&reply);
+            self.last = Some((frame.seq, reply));
+        }
+    }
+
+    /// Executes one fresh request; `None` means shutdown.
+    fn process(&mut self, frame: &Frame) -> Option<Vec<u8>> {
+        let mut payload = Vec::new();
+        match frame.tag {
+            MsgTag::TickEvents | MsgTag::ResyncEvents | MsgTag::MigrationEvents => {
+                let mut r = WireReader::new(&frame.payload);
+                // The checksum already vouched for these bytes; a decode
+                // failure here would be a codec bug, not line noise.
+                let delta = DeltaBatch::decode(&mut r).expect("checksummed batch decodes");
+                let outcome = self
+                    .state
+                    .run_tick(&mut *self.monitor, delta, self.attribute_cells);
+                outcome.encode(&mut payload);
+            }
+            MsgTag::MemoryRequest => self.monitor.memory().encode(&mut payload),
+            MsgTag::Shutdown => return None,
+            // Reply tags are filtered out by `run` before this point.
+            MsgTag::TickReply | MsgTag::MemoryReply => unreachable!("reply tag reached process()"),
+        }
+        Some(payload)
+    }
+}
+
+/// Binds `path`, accepts exactly one coordinator connection, and serves
+/// `monitor` on it until shutdown. This is the entry point a shard
+/// *process* calls (see `examples/cluster_city.rs`).
+pub fn serve_unix(
+    path: &Path,
+    monitor: Box<dyn ContinuousMonitor>,
+    attribute_cells: bool,
+) -> std::io::Result<()> {
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    let (stream, _) = listener.accept()?;
+    ShardService::new(StreamTransport::new(stream), monitor, attribute_cells).run();
+    Ok(())
+}
+
+/// Like [`serve_unix`] over TCP: binds `addr`, accepts one coordinator,
+/// serves until shutdown.
+pub fn serve_tcp(
+    addr: std::net::SocketAddr,
+    monitor: Box<dyn ContinuousMonitor>,
+    attribute_cells: bool,
+) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    let (stream, _) = listener.accept()?;
+    ShardService::new(StreamTransport::new(stream), monitor, attribute_cells).run();
+    Ok(())
+}

@@ -1,0 +1,330 @@
+//! Byte transports under the RPC layer.
+//!
+//! A [`Transport`] moves *complete encoded frames* (the byte strings
+//! produced by [`crate::frame::Frame::to_bytes`]) between a coordinator
+//! and one shard service. Three implementations:
+//!
+//! * [`LoopbackTransport`] — in-process channel pairs, used by the tests
+//!   and the benchmark harness. Its coordinator side takes a
+//!   [`FaultPlan`] that can delay, reorder, or corrupt frames and crash
+//!   the remote service on cue, so the retry/timeout/replay machinery is
+//!   exercised deterministically without real sockets.
+//! * [`StreamTransport`] over a Unix domain socket.
+//! * [`StreamTransport`] over TCP.
+//!
+//! Stream transports do their own length-prefix reassembly: `recv`
+//! returns exactly one frame's bytes (prefix included) however the bytes
+//! arrived, and a partial frame survives an intervening timeout.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Why a `recv` produced no frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// No frame arrived within the deadline; the caller may retransmit.
+    Timeout,
+    /// The peer is gone (socket closed, channel dropped, process dead).
+    Closed,
+    /// An I/O error other than a timeout.
+    Io,
+}
+
+/// A bidirectional frame pipe to one peer.
+pub trait Transport: Send {
+    /// Queues one encoded frame for the peer.
+    fn send(&mut self, frame: &[u8]) -> std::io::Result<()>;
+    /// Receives the next frame's bytes, waiting at most `timeout`.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, RecvError>;
+}
+
+/// Fault injection for the coordinator side of a loopback pair. All
+/// counters are "every Nth send", making runs deterministic; `0`
+/// disables that fault.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Added latency on the coordinator's receive path (slept before each
+    /// poll). Delivery stays in order and no frame is lost; this only
+    /// stretches wall-clock, verifying that answers are latency-invariant.
+    pub delay: Duration,
+    /// Hold back every Nth outbound frame and release it *after* the
+    /// following send — real reordering as seen by the service, which the
+    /// retry protocol must absorb.
+    pub reorder_every: u32,
+    /// Flip one byte (past the length prefix) of every Nth outbound
+    /// frame. The service's checksum check must reject it, forcing a
+    /// coordinator retransmit.
+    pub corrupt_every: u32,
+    /// After this many frames have been delivered to the service, make
+    /// its next `recv` report [`RecvError::Closed`] — the service exits
+    /// as if its process died, and the coordinator must respawn + replay.
+    /// `0` disables.
+    pub crash_after_frames: u32,
+}
+
+/// Coordinator end of an in-process loopback pair.
+pub struct LoopbackTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    plan: FaultPlan,
+    sent: u32,
+    held: Option<Vec<u8>>,
+}
+
+/// Service end of an in-process loopback pair.
+pub struct LoopbackPeer {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    /// Frames this peer may still receive before it simulates a process
+    /// crash (`None` = never).
+    crash_budget: Option<u32>,
+}
+
+/// Creates a connected loopback pair: the coordinator side applies
+/// `plan`'s faults to its outbound frames, the peer side is handed to a
+/// [`crate::service::ShardService`].
+pub fn loopback_pair(plan: FaultPlan) -> (LoopbackTransport, LoopbackPeer) {
+    let (c2s_tx, c2s_rx) = std::sync::mpsc::channel();
+    let (s2c_tx, s2c_rx) = std::sync::mpsc::channel();
+    (
+        LoopbackTransport {
+            tx: c2s_tx,
+            rx: s2c_rx,
+            plan,
+            sent: 0,
+            held: None,
+        },
+        LoopbackPeer {
+            tx: s2c_tx,
+            rx: c2s_rx,
+            crash_budget: (plan.crash_after_frames > 0).then_some(plan.crash_after_frames),
+        },
+    )
+}
+
+impl LoopbackTransport {
+    fn deliver(&mut self, frame: Vec<u8>) {
+        // A send after the peer crashed just drops the frame; the
+        // coordinator discovers the death through recv and respawns.
+        let _ = self.tx.send(frame);
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        self.sent += 1;
+        let mut out = frame.to_vec();
+        if self.plan.corrupt_every > 0 && self.sent % self.plan.corrupt_every == 0 && out.len() > 4
+        {
+            // Flip a payload-region byte; the length prefix stays intact
+            // so the damage is the checksum's to catch.
+            let idx = 4 + (self.sent as usize) % (out.len() - 4);
+            out[idx] ^= 0x40;
+        }
+        if self.plan.reorder_every > 0 && self.sent % self.plan.reorder_every == 0 {
+            // Hold this frame; it goes out after the *next* one.
+            if let Some(prev) = self.held.replace(out) {
+                self.deliver(prev);
+            }
+            return Ok(());
+        }
+        self.deliver(out);
+        if let Some(held) = self.held.take() {
+            self.deliver(held);
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, RecvError> {
+        if !self.plan.delay.is_zero() {
+            std::thread::sleep(self.plan.delay);
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
+}
+
+impl Transport for LoopbackPeer {
+    fn send(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        let _ = self.tx.send(frame.to_vec());
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, RecvError> {
+        if let Some(budget) = &mut self.crash_budget {
+            if *budget == 0 {
+                // Simulated process death: every subsequent recv fails,
+                // and dropping the service drops `tx`, which the
+                // coordinator observes as Closed.
+                return Err(RecvError::Closed);
+            }
+        }
+        let frame = match self.rx.recv_timeout(timeout) {
+            Ok(frame) => frame,
+            Err(RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Closed),
+        };
+        if let Some(budget) = &mut self.crash_budget {
+            *budget -= 1;
+        }
+        Ok(frame)
+    }
+}
+
+/// A frame transport over any byte stream (Unix domain socket, TCP).
+/// Handles its own reassembly: partially received frames are buffered
+/// across calls, so a timeout mid-frame loses nothing.
+pub struct StreamTransport<S> {
+    stream: S,
+    buf: Vec<u8>,
+}
+
+impl<S: ReadWriteStream> StreamTransport<S> {
+    /// Wraps a connected stream.
+    pub fn new(stream: S) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The complete first frame in `buf`, if any.
+    fn take_frame(&mut self) -> Option<Vec<u8>> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        let total = 4 + len;
+        if self.buf.len() < total {
+            return None;
+        }
+        let rest = self.buf.split_off(total);
+        Some(std::mem::replace(&mut self.buf, rest))
+    }
+}
+
+impl<S: ReadWriteStream> Transport for StreamTransport<S> {
+    fn send(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(frame)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, RecvError> {
+        if let Some(frame) = self.take_frame() {
+            return Ok(frame);
+        }
+        self.stream
+            .set_timeout(Some(timeout))
+            .map_err(|_| RecvError::Io)?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(RecvError::Closed),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    if let Some(frame) = self.take_frame() {
+                        return Ok(frame);
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(RecvError::Timeout)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(RecvError::Io),
+            }
+        }
+    }
+}
+
+/// The slice of stream behaviour [`StreamTransport`] needs, implemented
+/// for [`UnixStream`] and [`TcpStream`] (whose read-timeout setters are
+/// inherent methods, not a trait).
+pub trait ReadWriteStream: Read + Write + Send {
+    /// Sets the read timeout (`None` = block forever).
+    fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl ReadWriteStream for UnixStream {
+    fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+impl ReadWriteStream for TcpStream {
+    fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn loopback_delivers_in_order_without_faults() {
+        let (mut co, mut svc) = loopback_pair(FaultPlan::default());
+        co.send(b"one").unwrap();
+        co.send(b"two").unwrap();
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"one");
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"two");
+        svc.send(b"ack").unwrap();
+        assert_eq!(co.recv_timeout(T).unwrap(), b"ack");
+    }
+
+    #[test]
+    fn reorder_swaps_the_held_frame_behind_the_next() {
+        let (mut co, mut svc) = loopback_pair(FaultPlan {
+            reorder_every: 2,
+            ..Default::default()
+        });
+        co.send(b"a").unwrap(); // 1st: delivered
+        co.send(b"b").unwrap(); // 2nd: held
+        co.send(b"c").unwrap(); // 3rd: delivered, then releases b
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"a");
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"c");
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"b");
+    }
+
+    #[test]
+    fn crash_budget_kills_the_peer_after_n_frames() {
+        let (mut co, mut svc) = loopback_pair(FaultPlan {
+            crash_after_frames: 1,
+            ..Default::default()
+        });
+        co.send(b"first").unwrap();
+        co.send(b"second").unwrap();
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"first");
+        assert_eq!(svc.recv_timeout(T).unwrap_err(), RecvError::Closed);
+    }
+
+    #[test]
+    fn unix_stream_transport_reassembles_split_frames() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut co = StreamTransport::new(a);
+        let mut svc = StreamTransport::new(b);
+        // Two length-prefixed frames sent as one write: recv must split.
+        let mut bytes = Vec::new();
+        for payload in [&b"hello"[..], &b"worlds!"[..]] {
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(payload);
+        }
+        co.send(&bytes).unwrap();
+        let f1 = svc.recv_timeout(T).unwrap();
+        let f2 = svc.recv_timeout(T).unwrap();
+        assert_eq!(&f1[4..], b"hello");
+        assert_eq!(&f2[4..], b"worlds!");
+        drop(co);
+        assert_eq!(svc.recv_timeout(T).unwrap_err(), RecvError::Closed);
+    }
+}

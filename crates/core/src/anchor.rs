@@ -162,6 +162,17 @@ impl AnchorSet {
         c.tree_nodes_recycled += self.pool.take_recycled();
     }
 
+    /// Pre-provisions the shared tree pool for `trees` concurrent
+    /// expansion trees of about `nodes_per_tree` verified nodes each —
+    /// construction-time warm-up that does **not** count as alloc events
+    /// (see [`TreePool::prewarm`]). Called by monitors built with a
+    /// tree-pool sizing hint so the spare-directory population is in
+    /// place before the first install instead of adapting via one-time
+    /// allocations during the first ticks.
+    pub fn prewarm_trees(&mut self, trees: usize, nodes_per_tree: usize) {
+        self.pool.prewarm(trees, nodes_per_tree);
+    }
+
     /// Drops the accumulated per-cell expansion charges (called by the
     /// owning monitor at the start of each tick so the buffer holds
     /// exactly one tick of attribution).

@@ -1,0 +1,293 @@
+//! Wire codecs ([`rnn_roadnet::wire`]) for the core value types.
+//!
+//! These are the payloads the cluster RPC layer ships between the
+//! coordinator and shard processes: the per-tick event types, the result
+//! entries, and the deterministic counter/report structs. Encodings are
+//! hand-rolled little-endian dumps (enum variants as one `u8` tag,
+//! `f64` as raw bits) so round-trips are bit-identical and decoding never
+//! allocates beyond the decoded values themselves.
+
+use std::time::Duration;
+
+use rnn_roadnet::wire::{put_f64, put_u32, put_u64, put_u8, WireCodec, WireError, WireReader};
+use rnn_roadnet::{NetPoint, ObjectId, QueryId};
+
+use crate::counters::{MemoryUsage, OpCounters, TickReport};
+use crate::types::{EdgeWeightUpdate, Neighbor, ObjectEvent, QueryEvent};
+
+impl WireCodec for Neighbor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.object.encode(out);
+        put_f64(out, self.dist);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Neighbor {
+            object: ObjectId::decode(r)?,
+            dist: r.f64()?,
+        })
+    }
+}
+
+impl WireCodec for ObjectEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ObjectEvent::Move { id, to } => {
+                put_u8(out, 0);
+                id.encode(out);
+                to.encode(out);
+            }
+            ObjectEvent::Insert { id, at } => {
+                put_u8(out, 1);
+                id.encode(out);
+                at.encode(out);
+            }
+            ObjectEvent::Delete { id } => {
+                put_u8(out, 2);
+                id.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(ObjectEvent::Move {
+                id: ObjectId::decode(r)?,
+                to: NetPoint::decode(r)?,
+            }),
+            1 => Ok(ObjectEvent::Insert {
+                id: ObjectId::decode(r)?,
+                at: NetPoint::decode(r)?,
+            }),
+            2 => Ok(ObjectEvent::Delete {
+                id: ObjectId::decode(r)?,
+            }),
+            _ => Err(WireError::Invalid("ObjectEvent variant tag")),
+        }
+    }
+}
+
+impl WireCodec for QueryEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            QueryEvent::Move { id, to } => {
+                put_u8(out, 0);
+                id.encode(out);
+                to.encode(out);
+            }
+            QueryEvent::Install { id, k, at } => {
+                put_u8(out, 1);
+                id.encode(out);
+                put_u64(out, *k as u64);
+                at.encode(out);
+            }
+            QueryEvent::Remove { id } => {
+                put_u8(out, 2);
+                id.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(QueryEvent::Move {
+                id: QueryId::decode(r)?,
+                to: NetPoint::decode(r)?,
+            }),
+            1 => Ok(QueryEvent::Install {
+                id: QueryId::decode(r)?,
+                k: r.u64()? as usize,
+                at: NetPoint::decode(r)?,
+            }),
+            2 => Ok(QueryEvent::Remove {
+                id: QueryId::decode(r)?,
+            }),
+            _ => Err(WireError::Invalid("QueryEvent variant tag")),
+        }
+    }
+}
+
+impl WireCodec for EdgeWeightUpdate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.edge.encode(out);
+        put_f64(out, self.new_weight);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(EdgeWeightUpdate {
+            edge: rnn_roadnet::EdgeId::decode(r)?,
+            new_weight: r.f64()?,
+        })
+    }
+}
+
+impl WireCodec for OpCounters {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Field order is the struct declaration order; adding a counter
+        // extends the wire form at the end (the codec round-trip proptest
+        // in tests/properties.rs pins the layout).
+        for v in [
+            self.nodes_settled,
+            self.edges_scanned,
+            self.objects_considered,
+            self.relaxations,
+            self.updates_ignored,
+            self.reevaluations,
+            self.tree_nodes_pruned,
+            self.resync_touched,
+            self.replica_evictions,
+            self.alloc_events,
+            self.install_alloc_events,
+            self.expansion_steps,
+            self.shared_expansions,
+            self.tree_nodes_recycled,
+            self.rebalance_events,
+            self.cells_migrated,
+        ] {
+            put_u64(out, v);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(OpCounters {
+            nodes_settled: r.u64()?,
+            edges_scanned: r.u64()?,
+            objects_considered: r.u64()?,
+            relaxations: r.u64()?,
+            updates_ignored: r.u64()?,
+            reevaluations: r.u64()?,
+            tree_nodes_pruned: r.u64()?,
+            resync_touched: r.u64()?,
+            replica_evictions: r.u64()?,
+            alloc_events: r.u64()?,
+            install_alloc_events: r.u64()?,
+            expansion_steps: r.u64()?,
+            shared_expansions: r.u64()?,
+            tree_nodes_recycled: r.u64()?,
+            rebalance_events: r.u64()?,
+            cells_migrated: r.u64()?,
+        })
+    }
+}
+
+impl WireCodec for TickReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.elapsed.as_secs());
+        put_u32(out, self.elapsed.subsec_nanos());
+        put_u64(out, self.results_changed as u64);
+        self.counters.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let secs = r.u64()?;
+        let nanos = r.u32()?;
+        if nanos >= 1_000_000_000 {
+            return Err(WireError::Invalid("TickReport subsecond nanos"));
+        }
+        Ok(TickReport {
+            elapsed: Duration::new(secs, nanos),
+            results_changed: r.u64()? as usize,
+            counters: OpCounters::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for MemoryUsage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.edge_table,
+            self.query_table,
+            self.expansion_trees,
+            self.influence_lists,
+            self.auxiliary,
+        ] {
+            put_u64(out, v as u64);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(MemoryUsage {
+            edge_table: r.u64()? as usize,
+            query_table: r.u64()? as usize,
+            expansion_trees: r.u64()? as usize,
+            influence_lists: r.u64()? as usize,
+            auxiliary: r.u64()? as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_roadnet::wire::{decode_seq, encode_seq};
+    use rnn_roadnet::EdgeId;
+
+    fn round_trip<T: WireCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(T::decode(&mut r).unwrap(), v);
+        assert_eq!(r.remaining(), 0, "decode must consume the full encoding");
+    }
+
+    #[test]
+    fn events_round_trip() {
+        round_trip(ObjectEvent::Move {
+            id: ObjectId(7),
+            to: NetPoint::new(EdgeId(3), 0.25),
+        });
+        round_trip(ObjectEvent::Insert {
+            id: ObjectId(0),
+            at: NetPoint::new(EdgeId(0), 0.0),
+        });
+        round_trip(ObjectEvent::Delete { id: ObjectId(42) });
+        round_trip(QueryEvent::Install {
+            id: QueryId(9),
+            k: 16,
+            at: NetPoint::new(EdgeId(1), 1.0),
+        });
+        round_trip(QueryEvent::Remove { id: QueryId(9) });
+        round_trip(EdgeWeightUpdate {
+            edge: EdgeId(11),
+            new_weight: 3.5,
+        });
+    }
+
+    #[test]
+    fn infinite_knn_dist_survives_the_wire() {
+        round_trip(Neighbor {
+            object: ObjectId(1),
+            dist: f64::INFINITY,
+        });
+    }
+
+    #[test]
+    fn counters_round_trip() {
+        let c = OpCounters {
+            nodes_settled: 1,
+            cells_migrated: u64::MAX,
+            install_alloc_events: 77,
+            ..Default::default()
+        };
+        round_trip(c);
+    }
+
+    #[test]
+    fn event_sequences_round_trip() {
+        let evs = vec![
+            ObjectEvent::Delete { id: ObjectId(1) },
+            ObjectEvent::Move {
+                id: ObjectId(2),
+                to: NetPoint::new(EdgeId(5), 0.75),
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_seq(&evs, &mut buf);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(decode_seq::<ObjectEvent>(&mut r).unwrap(), evs);
+    }
+
+    #[test]
+    fn bad_variant_tag_is_rejected() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 9);
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            ObjectEvent::decode(&mut r),
+            Err(WireError::Invalid(_))
+        ));
+    }
+}

@@ -101,7 +101,7 @@ impl OpCounters {
 }
 
 /// What happened while processing one timestamp.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TickReport {
     /// Wall-clock processing time for the tick.
     pub elapsed: Duration,
@@ -123,7 +123,7 @@ impl TickReport {
 }
 
 /// Breakdown of a monitor's resident memory (Fig. 18 reports KBytes).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemoryUsage {
     /// Edge table: per-edge object lists and weights.
     pub edge_table: usize,

@@ -16,6 +16,7 @@ use crate::anchor::{AnchorKey, AnchorSet};
 use crate::counters::{MemoryUsage, OpCounters, TickReport};
 use crate::monitor::ContinuousMonitor;
 use crate::state::NetworkState;
+use crate::tree::TreePool;
 use crate::types::{Neighbor, RootPos, UpdateBatch};
 
 /// The incremental monitoring algorithm.
@@ -39,6 +40,18 @@ impl Ima {
             by_query: FxHashMap::default(),
             by_anchor: FxHashMap::default(),
         }
+    }
+
+    /// Like [`Self::new`], with the expansion-tree pool pre-provisioned
+    /// for about `hint` concurrent trees (one per expected query) of
+    /// [`crate::tree::TreePool::PREWARM_NODES_PER_TREE`] nodes each. A
+    /// hint of 0 is exactly `new` (the pool then adapts during the first
+    /// ticks via one-time counted allocations).
+    pub fn with_tree_pool_hint(net: Arc<RoadNetwork>, hint: usize) -> Self {
+        let mut m = Self::new(net);
+        m.anchors
+            .prewarm_trees(hint, TreePool::PREWARM_NODES_PER_TREE);
+        m
     }
 
     /// Disables influence lists (ablation): every update is delivered to

@@ -52,6 +52,7 @@
 #![deny(unsafe_code)]
 
 pub mod anchor;
+pub mod codec;
 pub mod counters;
 pub mod crnn;
 pub mod gma;
@@ -67,6 +68,6 @@ pub mod types;
 pub use counters::{MemoryUsage, OpCounters, TickReport};
 pub use gma::Gma;
 pub use ima::Ima;
-pub use monitor::ContinuousMonitor;
+pub use monitor::{ContinuousMonitor, TransportStats};
 pub use ovh::Ovh;
 pub use types::{EdgeWeightUpdate, Neighbor, ObjectEvent, QueryEvent, RootPos, UpdateBatch};

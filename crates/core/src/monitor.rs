@@ -74,4 +74,46 @@ pub trait ContinuousMonitor: Send {
     fn drain_cell_charges(&mut self, into: &mut Vec<(EdgeId, u64)>) {
         let _ = into;
     }
+
+    /// For distributed monitors, the cumulative transport-level counters
+    /// of the links to their shard processes. `None` for in-process
+    /// monitors. The benchmark harness reports these for the cluster
+    /// figure (frames/bytes per tick, retries).
+    fn transport_stats(&self) -> Option<TransportStats> {
+        None
+    }
+}
+
+/// Cumulative counters of a coordinator↔shard transport link (or the sum
+/// over all of a cluster's links). All counts are since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames written to the wire (including retransmissions and replay).
+    pub frames_sent: u64,
+    /// Frames read off the wire (including duplicates and stale replies).
+    pub frames_received: u64,
+    /// Bytes written to the wire.
+    pub bytes_sent: u64,
+    /// Bytes read off the wire.
+    pub bytes_received: u64,
+    /// Request retransmissions after a timeout or a corrupt/stale reply.
+    pub retries: u64,
+    /// Received frames dropped because their checksum (or framing) was
+    /// invalid.
+    pub corrupt_frames: u64,
+    /// Shard processes respawned and replayed after a detected crash.
+    pub crash_recoveries: u64,
+}
+
+impl TransportStats {
+    /// Adds `other` into `self` (per-link stats → cluster totals).
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.retries += other.retries;
+        self.corrupt_frames += other.corrupt_frames;
+        self.crash_recoveries += other.crash_recoveries;
+    }
 }

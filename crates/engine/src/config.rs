@@ -73,6 +73,15 @@ pub struct EngineConfig {
     /// detector's hysteresis: a hotspot must persist, and a migration must
     /// settle, before cells move again.
     pub rebalance_cooldown: u32,
+    /// Expected number of concurrent expansion trees per shard (roughly:
+    /// queries per shard, or active intersection nodes for GMA). When
+    /// non-zero, each shard monitor pre-provisions its
+    /// [`rnn_core::tree::TreePool`] with that many spare directories at
+    /// construction, so the first tick's tree builds recycle warm buffers
+    /// instead of paying counted `install_alloc_events`. `0` (the
+    /// default) skips the warm-up entirely and is bit-identical to
+    /// earlier releases.
+    pub tree_pool_hint: usize,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +94,7 @@ impl Default for EngineConfig {
             halo_shrink_ticks: 2,
             rebalance_trigger: 0.0,
             rebalance_cooldown: 8,
+            tree_pool_hint: 0,
         }
     }
 }
@@ -108,6 +118,29 @@ impl EngineConfig {
             rebalance_trigger: 1.25,
             rebalance_cooldown: 4,
             ..Self::default()
+        }
+    }
+
+    /// Whether shard monitors must attribute per-tick load to partition
+    /// cells. The charge hand-off only feeds the rebalance planner, so it
+    /// is skipped entirely when rebalancing is disabled or there is
+    /// nothing to migrate between.
+    pub fn attribute_cells(&self) -> bool {
+        self.rebalance_trigger >= 1.0 && self.num_shards >= 2
+    }
+
+    /// Instantiates one shard monitor per this config, honouring
+    /// [`Self::tree_pool_hint`]. With a zero hint this is exactly the
+    /// plain constructor path (no warm-up, bit-identical counters).
+    pub fn make_monitor(&self, net: Arc<RoadNetwork>) -> Box<dyn ContinuousMonitor> {
+        if self.tree_pool_hint == 0 {
+            return self.algo.make(net);
+        }
+        let hint = self.tree_pool_hint;
+        match self.algo {
+            ShardAlgo::Ovh => Box::new(Ovh::with_tree_pool_hint(net, hint)),
+            ShardAlgo::Ima => Box::new(Ima::with_tree_pool_hint(net, hint)),
+            ShardAlgo::Gma => Box::new(Gma::with_tree_pool_hint(net, hint)),
         }
     }
 }

@@ -74,7 +74,49 @@ use rnn_roadnet::{
 };
 
 use crate::config::EngineConfig;
-use crate::worker::{DeltaBatch, Request, Response, ShardWorker};
+use crate::protocol::{BatchKind, DeltaBatch, Request, Response, ShardLink};
+use crate::worker::ShardWorker;
+
+/// Why a sharded engine could not be constructed. The typed form (rather
+/// than a panic) lets the cluster coordinator surface configuration
+/// mistakes over RPC instead of tearing down the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// `EngineConfig::num_shards` was outside the accepted `1..=64` range
+    /// (shard visibility is tracked in a 64-bit mask per edge, and a
+    /// partition needs at least one shard).
+    InvalidShardCount {
+        /// The rejected shard count.
+        got: usize,
+    },
+    /// The number of pre-built shard links handed to
+    /// [`ShardedEngine::with_links`] did not match `cfg.num_shards`.
+    LinkCountMismatch {
+        /// Links provided.
+        links: usize,
+        /// Shards configured.
+        shards: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidShardCount { got } => write!(
+                f,
+                "EngineConfig::num_shards must be in 1..=64, got {got} \
+                 (shard visibility is a 64-bit mask per edge)"
+            ),
+            EngineError::LinkCountMismatch { links, shards } => write!(
+                f,
+                "ShardedEngine::with_links needs exactly one link per shard: \
+                 got {links} links for {shards} shards"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 struct ObjRec {
     pos: NetPoint,
@@ -133,7 +175,13 @@ impl HaloRing {
 /// Implements [`ContinuousMonitor`] itself, so it drops into every place a
 /// single-threaded monitor fits (scenario drivers, the bench harness, the
 /// differential tests).
-pub struct ShardedEngine {
+///
+/// The engine is generic over its shard channel: the default
+/// [`ShardWorker`] runs each monitor on an in-process thread, while the
+/// cluster crate plugs in RPC links to out-of-process shards through
+/// [`ShardedEngine::with_links`]. All routing, halo, and rebalance logic
+/// is identical across link kinds.
+pub struct ShardedEngine<L: ShardLink = ShardWorker> {
     cfg: EngineConfig,
     partition: NetworkPartition,
     net: Arc<RoadNetwork>,
@@ -147,7 +195,7 @@ pub struct ShardedEngine {
     diam_cache: f64,
     diam_dirty: bool,
     scratch: DijkstraEngine,
-    workers: Vec<ShardWorker>,
+    workers: Vec<L>,
     /// Current halo radius per shard. Grows eagerly on demand, shrinks
     /// lazily with hysteresis (see module docs).
     halo_r: Vec<f64>,
@@ -235,28 +283,66 @@ const LOAD_SMOOTHING: f64 = 0.5;
 /// cells at once — migrations stay incremental even under extreme skew.
 const MAX_MIGRATION_FRACTION: f64 = 0.25;
 
-impl ShardedEngine {
+impl ShardedEngine<ShardWorker> {
     /// Partitions `net` and spawns one monitor worker per shard.
     ///
     /// # Panics
     /// Panics if `cfg.num_shards` is outside `1..=64` — shard visibility is
     /// tracked in a 64-bit mask per edge, and a partition needs at least
-    /// one shard.
+    /// one shard. Use [`Self::try_new`] for a recoverable error instead.
     pub fn new(net: Arc<RoadNetwork>, cfg: EngineConfig) -> Self {
-        assert!(
-            (1..=64).contains(&cfg.num_shards),
-            "EngineConfig::num_shards must be in 1..=64, got {} \
-             (shard visibility is a 64-bit mask per edge)",
-            cfg.num_shards
-        );
-        let partition = NetworkPartition::build(&net, cfg.num_shards);
+        Self::try_new(net, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible construction: partitions `net` and spawns one monitor
+    /// worker per shard, or reports why the configuration is unusable
+    /// (so a coordinator can surface the error over RPC rather than
+    /// panicking).
+    pub fn try_new(net: Arc<RoadNetwork>, cfg: EngineConfig) -> Result<Self, EngineError> {
+        if !(1..=64).contains(&cfg.num_shards) {
+            return Err(EngineError::InvalidShardCount {
+                got: cfg.num_shards,
+            });
+        }
         // Per-cell load attribution only feeds the rebalance planner, so
         // workers skip the per-tick charge hand-off entirely when
         // rebalancing is disabled (the default).
-        let attribute_cells = cfg.rebalance_trigger >= 1.0 && cfg.num_shards >= 2;
+        let attribute_cells = cfg.attribute_cells();
         let workers = (0..cfg.num_shards)
-            .map(|s| ShardWorker::spawn(s, cfg.algo.make(net.clone()), attribute_cells))
+            .map(|s| ShardWorker::spawn(s, cfg.make_monitor(net.clone()), attribute_cells))
             .collect();
+        Ok(Self::from_parts(net, cfg, workers))
+    }
+}
+
+impl<L: ShardLink> ShardedEngine<L> {
+    /// Builds the engine over pre-established shard links — one per shard,
+    /// in shard order. This is how the cluster coordinator reuses the
+    /// engine's routing/halo/rebalance logic over RPC links: each link's
+    /// far end must run a fresh monitor speaking the
+    /// [`crate::protocol`] request/response discipline.
+    pub fn with_links(
+        net: Arc<RoadNetwork>,
+        cfg: EngineConfig,
+        links: Vec<L>,
+    ) -> Result<Self, EngineError> {
+        if !(1..=64).contains(&cfg.num_shards) {
+            return Err(EngineError::InvalidShardCount {
+                got: cfg.num_shards,
+            });
+        }
+        if links.len() != cfg.num_shards {
+            return Err(EngineError::LinkCountMismatch {
+                links: links.len(),
+                shards: cfg.num_shards,
+            });
+        }
+        Ok(Self::from_parts(net, cfg, links))
+    }
+
+    /// Shared constructor body (`cfg.num_shards` already validated).
+    fn from_parts(net: Arc<RoadNetwork>, cfg: EngineConfig, workers: Vec<L>) -> Self {
+        let partition = NetworkPartition::build(&net, cfg.num_shards);
         let edge_mask = net
             .edge_ids()
             .map(|e| 1u64 << partition.shard_of_edge(e))
@@ -314,6 +400,13 @@ impl ShardedEngine {
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.cfg.num_shards
+    }
+
+    /// The per-shard links, in shard order (exposed so link-specific
+    /// state — e.g. a remote link's transport counters — stays reachable
+    /// behind the engine).
+    pub fn links(&self) -> &[L] {
+        &self.workers
     }
 
     /// Current halo radius of shard `s`.
@@ -760,7 +853,7 @@ impl ShardedEngine {
         // Ship the hand-off and grow halos until every re-homed query's
         // result is covered again — the same loop that makes installs
         // answer-identical makes migrations answer-identical.
-        self.dispatch_pending();
+        self.dispatch_pending(BatchKind::Migration);
         self.reconcile();
     }
 
@@ -768,9 +861,11 @@ impl ShardedEngine {
 
     /// Ships every non-empty pending delta to its shard (the tick's edge
     /// updates ride along as one shared arena), waits for all outcomes, and
-    /// folds them into the engine's caches. Returns `true` if anything was
-    /// sent.
-    fn dispatch_pending(&mut self) -> bool {
+    /// folds them into the engine's caches. `kind` names the engine phase
+    /// dispatching (tick / resync / migration) — shard processing is
+    /// identical, but RPC links give each phase its own typed frame.
+    /// Returns `true` if anything was sent.
+    fn dispatch_pending(&mut self, kind: BatchKind) -> bool {
         let arena = if self.pending_edges.is_empty() {
             self.empty_arena.clone()
         } else {
@@ -790,6 +885,7 @@ impl ShardedEngine {
                 objects: std::mem::take(&mut own.objects),
                 queries: std::mem::take(&mut own.queries),
                 shared_edges: arena.clone(),
+                kind,
             };
             self.workers[s].send(Request::Tick(delta));
             *flag = true;
@@ -868,7 +964,7 @@ impl ShardedEngine {
             if !changed.is_empty() {
                 self.resync_changed(&changed);
             }
-            if !self.dispatch_pending() {
+            if !self.dispatch_pending(BatchKind::Resync) {
                 return needed;
             }
         }
@@ -902,7 +998,7 @@ impl ShardedEngine {
         }
         if !changed.is_empty() {
             self.resync_changed(&changed);
-            self.dispatch_pending();
+            self.dispatch_pending(BatchKind::Resync);
         }
     }
 
@@ -1044,7 +1140,7 @@ impl ShardedEngine {
     }
 }
 
-impl ContinuousMonitor for ShardedEngine {
+impl<L: ShardLink> ContinuousMonitor for ShardedEngine<L> {
     fn name(&self) -> &'static str {
         "SHARDED"
     }
@@ -1056,7 +1152,7 @@ impl ContinuousMonitor for ShardedEngine {
         // must be visible immediately, like in the single monitors.
         if !self.queries.is_empty() {
             self.resync_seen.clear();
-            self.dispatch_pending();
+            self.dispatch_pending(BatchKind::Tick);
             self.reconcile();
         }
     }
@@ -1064,13 +1160,13 @@ impl ContinuousMonitor for ShardedEngine {
     fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
         self.route_query_event(&QueryEvent::Install { id, k, at });
         self.resync_seen.clear();
-        self.dispatch_pending();
+        self.dispatch_pending(BatchKind::Tick);
         self.reconcile();
     }
 
     fn remove_query(&mut self, id: QueryId) {
         self.route_query_event(&QueryEvent::Remove { id });
-        self.dispatch_pending();
+        self.dispatch_pending(BatchKind::Tick);
         // The freed halo radius decays on subsequent ticks (hysteresis),
         // not here: eager shrinking would thrash on remove+reinstall.
     }
@@ -1124,7 +1220,7 @@ impl ContinuousMonitor for ShardedEngine {
 
         // 4. Fan out, grow halos until every result is covered, then let
         //    oversized halos decay.
-        self.dispatch_pending();
+        self.dispatch_pending(BatchKind::Tick);
         let needed = self.reconcile();
         self.maybe_shrink_halos(&needed);
 

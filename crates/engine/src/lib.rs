@@ -53,7 +53,11 @@
 
 pub mod config;
 pub mod engine;
-mod worker;
+pub mod protocol;
+pub mod worker;
 
 pub use config::{EngineConfig, ShardAlgo};
-pub use engine::ShardedEngine;
+pub use engine::{EngineError, ShardedEngine};
+pub use protocol::{
+    BatchKind, DeltaBatch, QuerySnapshot, Request, Response, ShardLink, ShardTickState, TickOutcome,
+};

@@ -1,0 +1,339 @@
+//! The engine↔shard protocol, factored out of the worker threads so that
+//! any kind of shard — an in-process thread ([`crate::worker::ShardWorker`])
+//! or a remote process behind an RPC link (`rnn-cluster`) — can speak it.
+//!
+//! The protocol is a strict one-outstanding request/response exchange per
+//! shard: every [`Request::Tick`] and [`Request::Memory`] is answered by
+//! exactly one [`Response`], and the engine drains all outstanding
+//! responses before issuing new requests. Hand-off is **delta encoded**
+//! ([`DeltaBatch`]): per-shard object and query event slices are moved
+//! (never cloned) out of the router's pending buffers, the tick's
+//! edge-weight updates travel as one shared `Arc` arena, and shards reply
+//! with [`QuerySnapshot`] deltas — queries whose state changed since the
+//! shard's previous response.
+//!
+//! [`ShardTickState`] is the shard-side half of that delta discipline
+//! (the shipped-snapshot cache and scratch buffers), shared verbatim by
+//! the worker thread loop and the cluster's `ShardService` so both kinds
+//! of shard produce bit-identical responses.
+
+use std::sync::Arc;
+
+use rnn_core::{
+    ContinuousMonitor, EdgeWeightUpdate, MemoryUsage, Neighbor, ObjectEvent, QueryEvent,
+    TickReport, UpdateBatch,
+};
+use rnn_roadnet::wire::{decode_seq, encode_seq, put_f64, put_u32, put_u64, put_u8};
+use rnn_roadnet::{EdgeId, FxHashMap, FxHashSet, QueryId, WireCodec, WireError, WireReader};
+
+/// Why a [`DeltaBatch`] was dispatched. The in-process worker ignores the
+/// kind (the shard-side processing is identical); the cluster transport
+/// uses it to give each phase of the engine's protocol — regular ticks,
+/// halo-resync rounds, migration hand-off — its own typed wire frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchKind {
+    /// A regular tick's routed events.
+    Tick,
+    /// A reconcile round: halo resync inserts/evictions after radii moved.
+    Resync,
+    /// A rebalance migration hand-off: entity removals on the source
+    /// shard, installs on the destination shard.
+    Migration,
+}
+
+/// The events of one dispatch destined for a single shard: its own object
+/// and query slices (moved from the router, append-only while pending)
+/// plus a reference-counted view of the tick's shared edge-update arena.
+#[derive(Clone, Debug)]
+pub struct DeltaBatch {
+    /// Object events routed to this shard (owned, moved — never cloned).
+    pub objects: Vec<ObjectEvent>,
+    /// Query events routed to this shard (owned, moved — never cloned).
+    pub queries: Vec<QueryEvent>,
+    /// The tick's edge-weight updates, shared by every shard through one
+    /// arena allocation (empty `Arc` on reconcile rounds).
+    pub shared_edges: Arc<Vec<EdgeWeightUpdate>>,
+    /// Which engine phase dispatched this batch (tick / resync /
+    /// migration). Does not change shard-side processing; selects the wire
+    /// frame tag on RPC links.
+    pub kind: BatchKind,
+}
+
+/// What the engine asks a shard to do.
+pub enum Request {
+    /// Process one (sub-)batch and report back.
+    Tick(DeltaBatch),
+    /// Report the monitor's resident memory.
+    Memory,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// A shard's answer.
+pub enum Response {
+    /// Outcome of a [`Request::Tick`].
+    Tick(TickOutcome),
+    /// Answer to [`Request::Memory`].
+    Memory(MemoryUsage),
+}
+
+/// The state of one query after a shard processed a batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuerySnapshot {
+    /// The query.
+    pub id: QueryId,
+    /// Its `kNN_dist` (∞ while underfull).
+    pub knn_dist: f64,
+    /// Its current result, sorted by `(dist, id)`.
+    pub result: Vec<Neighbor>,
+}
+
+/// Everything the engine needs back from one shard tick.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TickOutcome {
+    /// The monitor's own report (op counters, worker wall-clock).
+    pub report: TickReport,
+    /// Queries whose state changed since the shard's last response (plus
+    /// every query installed by this batch). Absence means "unchanged" —
+    /// the engine keeps its cached result.
+    pub snapshots: Vec<QuerySnapshot>,
+    /// The monitor's grouping-unit count (GMA active nodes), if any.
+    pub active_groups: Option<usize>,
+    /// Expansion work attributed to partition cells: `(cell edge of the
+    /// expansion root, Dijkstra steps)` per expansion the monitor ran this
+    /// batch. Feeds the engine's per-cell load estimates (the rebalance
+    /// planner's true-cost ranking).
+    pub cell_charges: Vec<(EdgeId, u64)>,
+}
+
+/// A channel to one shard, whatever its locality. The engine only ever
+/// needs the strict request/response pair; implementations are the
+/// in-process [`crate::worker::ShardWorker`] (mpsc channels to a thread)
+/// and the cluster's `RemoteShard` (framed RPC with retry/timeout).
+pub trait ShardLink: Send {
+    /// Sends a request. Must not block on the shard's processing.
+    fn send(&self, req: Request);
+    /// Blocks for the next response to an outstanding request.
+    fn recv(&self) -> Response;
+}
+
+/// The shard-side half of the delta protocol: the cache of what this
+/// shard last shipped per query, and the reusable scratch buffers that
+/// keep steady-state ticks free of per-tick allocation. Both the worker
+/// thread and the cluster's `ShardService` drive their monitor through
+/// one of these, so every kind of shard produces identical
+/// [`TickOutcome`]s for identical request streams.
+#[derive(Default)]
+pub struct ShardTickState {
+    // Last state shipped to the engine, per query: snapshots are sent as
+    // deltas against this, so steady-state ticks move no result vectors.
+    shipped: FxHashMap<QueryId, (f64, Vec<Neighbor>)>,
+    // Monitor-facing batch, reassembled from each delta (the edge copy
+    // out of the shared arena runs on the shard, off the router's
+    // critical path) and reused across ticks.
+    batch: UpdateBatch,
+    installed: FxHashSet<QueryId>,
+    live: FxHashSet<QueryId>,
+}
+
+impl ShardTickState {
+    /// Fresh state (empty snapshot cache — the first response ships every
+    /// query).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one delta batch to `monitor` and assembles the outcome,
+    /// shipping only queries whose state changed since the last call.
+    /// With `attribute_cells` the monitor's per-cell expansion charges are
+    /// drained into the outcome; pass `false` when nothing consumes them
+    /// (the rebalancer disabled) so the hand-off stays free.
+    pub fn run_tick(
+        &mut self,
+        monitor: &mut dyn ContinuousMonitor,
+        delta: DeltaBatch,
+        attribute_cells: bool,
+    ) -> TickOutcome {
+        self.batch.edges.clear();
+        self.batch.edges.extend_from_slice(&delta.shared_edges);
+        self.batch.objects = delta.objects;
+        self.batch.queries = delta.queries;
+        // Freshly installed queries must always ship: the engine just
+        // created an empty record for them, even when the monitor
+        // reproduces a result this cache already saw (remove + reinstall
+        // of the same id).
+        self.installed.clear();
+        self.installed
+            .extend(self.batch.queries.iter().filter_map(|ev| match ev {
+                QueryEvent::Install { id, .. } => Some(*id),
+                _ => None,
+            }));
+        let report = monitor.tick(&self.batch);
+        let ids = monitor.query_ids();
+        self.live.clear();
+        self.live.extend(ids.iter().copied());
+        let live = &self.live;
+        self.shipped.retain(|id, _| live.contains(id));
+        let mut snapshots = Vec::new();
+        for id in ids {
+            let knn_dist = monitor.knn_dist(id).unwrap_or(f64::INFINITY);
+            let result = monitor.result(id).unwrap_or_default();
+            let unchanged = !self.installed.contains(&id)
+                && self
+                    .shipped
+                    .get(&id)
+                    .is_some_and(|(k, r)| *k == knn_dist && r.as_slice() == result);
+            if unchanged {
+                continue;
+            }
+            let owned = result.to_vec();
+            self.shipped.insert(id, (knn_dist, owned.clone()));
+            snapshots.push(QuerySnapshot {
+                id,
+                knn_dist,
+                result: owned,
+            });
+        }
+        // Drained only when the rebalance planner consumes the charges;
+        // otherwise the monitors' per-tick buffers are simply cleared on
+        // their next tick.
+        let mut cell_charges = Vec::new();
+        if attribute_cells {
+            monitor.drain_cell_charges(&mut cell_charges);
+        }
+        TickOutcome {
+            report,
+            snapshots,
+            active_groups: monitor.active_groups(),
+            cell_charges,
+        }
+    }
+}
+
+impl WireCodec for DeltaBatch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_seq(&self.objects, out);
+        encode_seq(&self.queries, out);
+        encode_seq(&self.shared_edges, out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DeltaBatch {
+            objects: decode_seq(r)?,
+            queries: decode_seq(r)?,
+            shared_edges: Arc::new(decode_seq(r)?),
+            // The kind is carried by the frame tag, not the payload; the
+            // shard side never branches on it.
+            kind: BatchKind::Tick,
+        })
+    }
+}
+
+impl WireCodec for QuerySnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        put_f64(out, self.knn_dist);
+        encode_seq(&self.result, out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(QuerySnapshot {
+            id: QueryId::decode(r)?,
+            knn_dist: r.f64()?,
+            result: decode_seq(r)?,
+        })
+    }
+}
+
+impl WireCodec for TickOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.report.encode(out);
+        encode_seq(&self.snapshots, out);
+        match self.active_groups {
+            None => put_u8(out, 0),
+            Some(n) => {
+                put_u8(out, 1);
+                put_u64(out, n as u64);
+            }
+        }
+        put_u32(out, self.cell_charges.len() as u32);
+        for (edge, steps) in &self.cell_charges {
+            edge.encode(out);
+            put_u64(out, *steps);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let report = TickReport::decode(r)?;
+        let snapshots = decode_seq(r)?;
+        let active_groups = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()? as usize),
+            _ => return Err(WireError::Invalid("TickOutcome active_groups flag")),
+        };
+        let n = r.u32()? as usize;
+        if n > r.remaining() {
+            return Err(WireError::Invalid("cell-charge count exceeds frame size"));
+        }
+        let mut cell_charges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let edge = EdgeId::decode(r)?;
+            let steps = r.u64()?;
+            cell_charges.push((edge, steps));
+        }
+        Ok(TickOutcome {
+            report,
+            snapshots,
+            active_groups,
+            cell_charges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_roadnet::{NetPoint, ObjectId};
+
+    #[test]
+    fn delta_batch_round_trips_bit_identically() {
+        let batch = DeltaBatch {
+            objects: vec![ObjectEvent::Move {
+                id: ObjectId(3),
+                to: NetPoint::new(EdgeId(1), 0.5),
+            }],
+            queries: vec![QueryEvent::Install {
+                id: QueryId(8),
+                k: 4,
+                at: NetPoint::new(EdgeId(2), 0.125),
+            }],
+            shared_edges: Arc::new(vec![EdgeWeightUpdate {
+                edge: EdgeId(9),
+                new_weight: 1.75,
+            }]),
+            kind: BatchKind::Resync,
+        };
+        let mut buf = Vec::new();
+        batch.encode(&mut buf);
+        let back = DeltaBatch::decode(&mut WireReader::new(&buf)).unwrap();
+        assert_eq!(back.objects, batch.objects);
+        assert_eq!(back.queries, batch.queries);
+        assert_eq!(*back.shared_edges, *batch.shared_edges);
+    }
+
+    #[test]
+    fn tick_outcome_round_trips_including_infinity() {
+        let outcome = TickOutcome {
+            report: TickReport::default(),
+            snapshots: vec![QuerySnapshot {
+                id: QueryId(1),
+                knn_dist: f64::INFINITY,
+                result: vec![],
+            }],
+            active_groups: Some(17),
+            cell_charges: vec![(EdgeId(4), 99)],
+        };
+        let mut buf = Vec::new();
+        outcome.encode(&mut buf);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(TickOutcome::decode(&mut r).unwrap(), outcome);
+        assert_eq!(r.remaining(), 0);
+    }
+}

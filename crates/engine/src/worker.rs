@@ -1,90 +1,22 @@
-//! Per-shard worker threads.
+//! Per-shard worker threads: the in-process [`crate::protocol::ShardLink`].
 //!
 //! Each shard owns one [`ContinuousMonitor`] living on a dedicated thread.
-//! The engine talks to it over a pair of mpsc channels with a strict
-//! request/response discipline: every [`Request::Tick`] and
-//! [`Request::Memory`] is answered by exactly one [`Response`], and the
-//! engine always drains all outstanding responses before issuing new
-//! requests, so the channels never hold more than one message per worker.
-//!
-//! Hand-off is **delta encoded** ([`DeltaBatch`]): the per-shard object and
-//! query event slices are moved (never cloned) out of the router's pending
-//! buffers, and the tick's edge-weight updates — which every shard must
-//! see — travel as one shared `Arc` arena instead of `S` per-shard copies.
-//! Each worker materialises its monitor-facing [`UpdateBatch`] into a
-//! reusable scratch buffer on its own thread, so the router's critical
-//! path does no per-shard event copying at all.
+//! The engine talks to it over a pair of mpsc channels with the strict
+//! request/response discipline of the [`crate::protocol`] module, so the
+//! channels never hold more than one message per worker. The per-tick
+//! shard logic itself (delta reassembly, the shipped-snapshot cache)
+//! lives in [`ShardTickState`], shared with the cluster's out-of-process
+//! shard service.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use rnn_core::{
-    ContinuousMonitor, EdgeWeightUpdate, MemoryUsage, Neighbor, ObjectEvent, QueryEvent,
-    TickReport, UpdateBatch,
-};
-use rnn_roadnet::{EdgeId, FxHashMap, FxHashSet, QueryId};
+use rnn_core::ContinuousMonitor;
 
-/// The events of one tick destined for a single shard: its own object and
-/// query slices (moved from the router, append-only while pending) plus a
-/// reference-counted view of the tick's shared edge-update arena.
-pub(crate) struct DeltaBatch {
-    /// Object events routed to this shard (owned, moved — never cloned).
-    pub objects: Vec<ObjectEvent>,
-    /// Query events routed to this shard (owned, moved — never cloned).
-    pub queries: Vec<QueryEvent>,
-    /// The tick's edge-weight updates, shared by every shard through one
-    /// arena allocation (empty `Arc` on reconcile rounds).
-    pub shared_edges: Arc<Vec<EdgeWeightUpdate>>,
-}
-
-/// What the engine asks a shard to do.
-pub(crate) enum Request {
-    /// Process one (sub-)batch and report back.
-    Tick(DeltaBatch),
-    /// Report the monitor's resident memory.
-    Memory,
-    /// Exit the worker loop.
-    Shutdown,
-}
-
-/// A shard's answer.
-pub(crate) enum Response {
-    /// Outcome of a [`Request::Tick`].
-    Tick(TickOutcome),
-    /// Answer to [`Request::Memory`].
-    Memory(MemoryUsage),
-}
-
-/// The state of one query after a worker processed a batch.
-pub(crate) struct QuerySnapshot {
-    /// The query.
-    pub id: QueryId,
-    /// Its `kNN_dist` (∞ while underfull).
-    pub knn_dist: f64,
-    /// Its current result, sorted by `(dist, id)`.
-    pub result: Vec<Neighbor>,
-}
-
-/// Everything the engine needs back from one shard tick.
-pub(crate) struct TickOutcome {
-    /// The monitor's own report (op counters, worker wall-clock).
-    pub report: TickReport,
-    /// Queries whose state changed since the worker's last response (plus
-    /// every query installed by this batch). Absence means "unchanged" —
-    /// the engine keeps its cached result.
-    pub snapshots: Vec<QuerySnapshot>,
-    /// The monitor's grouping-unit count (GMA active nodes), if any.
-    pub active_groups: Option<usize>,
-    /// Expansion work attributed to partition cells: `(cell edge of the
-    /// expansion root, Dijkstra steps)` per expansion the monitor ran this
-    /// batch. Feeds the engine's per-cell load estimates (the rebalance
-    /// planner's true-cost ranking).
-    pub cell_charges: Vec<(EdgeId, u64)>,
-}
+use crate::protocol::{Request, Response, ShardLink, ShardTickState};
 
 /// Handle to one shard thread.
-pub(crate) struct ShardWorker {
+pub struct ShardWorker {
     tx: Sender<Request>,
     rx: Receiver<Response>,
     handle: Option<JoinHandle<()>>,
@@ -108,14 +40,16 @@ impl ShardWorker {
             handle: Some(handle),
         }
     }
+}
 
+impl ShardLink for ShardWorker {
     /// Sends a request (never blocks).
-    pub fn send(&self, req: Request) {
+    fn send(&self, req: Request) {
         self.tx.send(req).expect("shard worker thread is gone");
     }
 
     /// Blocks for the next response.
-    pub fn recv(&self) -> Response {
+    fn recv(&self) -> Response {
         self.rx.recv().expect("shard worker thread panicked")
     }
 }
@@ -137,70 +71,11 @@ fn worker_loop(
     tx: Sender<Response>,
     attribute_cells: bool,
 ) {
-    // Last state shipped to the engine, per query: snapshots are sent as
-    // deltas against this, so steady-state ticks move no result vectors.
-    let mut shipped: FxHashMap<QueryId, (f64, Vec<Neighbor>)> = FxHashMap::default();
-    // Monitor-facing batch, reassembled from each delta on this thread
-    // (the edge copy out of the shared arena runs on S workers in
-    // parallel, off the router's critical path) and reused across ticks,
-    // like the per-tick scratch sets below — steady-state ticks run in
-    // capacity the worker already owns.
-    let mut batch = UpdateBatch::default();
-    let mut installed: FxHashSet<QueryId> = FxHashSet::default();
-    let mut live: FxHashSet<QueryId> = FxHashSet::default();
+    let mut state = ShardTickState::new();
     while let Ok(req) = rx.recv() {
         match req {
             Request::Tick(delta) => {
-                batch.edges.clear();
-                batch.edges.extend_from_slice(&delta.shared_edges);
-                batch.objects = delta.objects;
-                batch.queries = delta.queries;
-                // Freshly installed queries must always ship: the engine
-                // just created an empty record for them, even when the
-                // monitor reproduces a result this cache already saw
-                // (remove + reinstall of the same id).
-                installed.clear();
-                installed.extend(batch.queries.iter().filter_map(|ev| match ev {
-                    QueryEvent::Install { id, .. } => Some(*id),
-                    _ => None,
-                }));
-                let report = monitor.tick(&batch);
-                let ids = monitor.query_ids();
-                live.clear();
-                live.extend(ids.iter().copied());
-                shipped.retain(|id, _| live.contains(id));
-                let mut snapshots = Vec::new();
-                for id in ids {
-                    let knn_dist = monitor.knn_dist(id).unwrap_or(f64::INFINITY);
-                    let result = monitor.result(id).unwrap_or_default();
-                    let unchanged = !installed.contains(&id)
-                        && shipped
-                            .get(&id)
-                            .is_some_and(|(k, r)| *k == knn_dist && r.as_slice() == result);
-                    if unchanged {
-                        continue;
-                    }
-                    let owned = result.to_vec();
-                    shipped.insert(id, (knn_dist, owned.clone()));
-                    snapshots.push(QuerySnapshot {
-                        id,
-                        knn_dist,
-                        result: owned,
-                    });
-                }
-                // Drained only when the rebalance planner consumes the
-                // charges; otherwise the monitors' per-tick buffers are
-                // simply cleared on their next tick.
-                let mut cell_charges = Vec::new();
-                if attribute_cells {
-                    monitor.drain_cell_charges(&mut cell_charges);
-                }
-                let outcome = TickOutcome {
-                    report,
-                    snapshots,
-                    active_groups: monitor.active_groups(),
-                    cell_charges,
-                };
+                let outcome = state.run_tick(&mut *monitor, delta, attribute_cells);
                 if tx.send(Response::Tick(outcome)).is_err() {
                     break; // engine dropped mid-flight
                 }

@@ -291,6 +291,21 @@ impl<T> SlotPool<T> {
         i
     }
 
+    /// Pre-provisions slab (and free-list) capacity for at least
+    /// `total_slots` slots **without** counting an alloc event: this is
+    /// deliberate warm-up at construction time (e.g. a monitor built with
+    /// a tree-pool sizing hint), not adaptive growth on the tick path, so
+    /// it must not trip the zero-alloc steady-state accounting.
+    pub fn reserve(&mut self, total_slots: usize) {
+        if self.slab.capacity() < total_slots {
+            self.slab.reserve_exact(total_slots - self.slab.len());
+        }
+        if self.free.capacity() < self.slab.capacity() {
+            let need = self.slab.capacity() - self.free.len();
+            self.free.reserve_exact(need);
+        }
+    }
+
     /// Returns `slot` to the free list. The slot's contents stay readable
     /// until it is re-allocated. O(1), never allocates.
     ///

@@ -37,6 +37,7 @@ pub mod partition;
 pub mod quadtree;
 pub mod sequence;
 pub mod weights;
+pub mod wire;
 
 pub use arena::{SlotPool, SpanArena};
 pub use dijkstra::DijkstraEngine;
@@ -50,3 +51,4 @@ pub use partition::{NetworkPartition, ShardView};
 pub use quadtree::PmrQuadtree;
 pub use sequence::{Sequence, SequenceTable};
 pub use weights::EdgeWeights;
+pub use wire::{WireCodec, WireError, WireReader};

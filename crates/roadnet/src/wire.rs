@@ -1,0 +1,297 @@
+//! Byte-level wire codecs for the cluster RPC layer.
+//!
+//! The sharded engine's worker hand-off is already a delta protocol over
+//! dense, offset-addressed values (`u32` ids, `f64` distances, flat event
+//! slices). This module gives those values an explicit little-endian byte
+//! form so they can cross a process boundary: fixed-width primitive
+//! put/get helpers, a bounds-checked [`WireReader`], an FNV-1a frame
+//! [`checksum`], and the [`WireCodec`] trait the higher layers (core event
+//! types, engine protocol messages, cluster frames) implement by hand —
+//! no serde, no reflection, near-verbatim dumps of the in-memory layout.
+//!
+//! Floats travel as their raw IEEE-754 bits ([`f64::to_bits`]), so
+//! round-trips are bit-identical — including `INFINITY`, which the
+//! monitors use for underfull `kNN_dist` values.
+
+use crate::ids::{EdgeId, NodeId, ObjectId, QueryId};
+use crate::netpoint::NetPoint;
+
+/// Why a decode failed. Decoders never panic on hostile bytes: a short
+/// buffer is [`WireError::Truncated`], an out-of-range discriminant is
+/// [`WireError::Invalid`], and a frame whose checksum does not match its
+/// contents is [`WireError::Checksum`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// A discriminant or length field held an impossible value.
+    Invalid(&'static str),
+    /// The frame checksum did not match the frame contents.
+    Checksum,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire frame truncated"),
+            WireError::Invalid(what) => write!(f, "invalid wire value: {what}"),
+            WireError::Checksum => write!(f, "wire frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a over `bytes`, folded to 32 bits. Cheap, endian-stable, and
+/// sensitive to single-byte flips anywhere in the frame — exactly what the
+/// per-frame corruption check needs (this is an integrity check against
+/// transport bugs and injected faults, not a cryptographic MAC).
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash ^ (hash >> 32)) as u32
+}
+
+/// Appends a `u8`.
+#[inline]
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u16`.
+#[inline]
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its raw IEEE-754 bits (bit-identical round-trip).
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// A bounds-checked cursor over a received byte buffer. Every accessor
+/// returns [`WireError::Truncated`] instead of panicking when the buffer
+/// runs out, so corrupt length fields surface as decode errors.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its raw IEEE-754 bits.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// A value with a hand-rolled byte form. Encoding appends to a caller
+/// buffer (one allocation per frame, not per value); decoding reads from a
+/// shared [`WireReader`] and must consume exactly what encoding produced.
+pub trait WireCodec: Sized {
+    /// Appends the wire form of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Parses one value from the reader.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a slice as a `u32` count followed by each element.
+pub fn encode_seq<T: WireCodec>(items: &[T], out: &mut Vec<u8>) {
+    put_u32(out, items.len() as u32);
+    for it in items {
+        it.encode(out);
+    }
+}
+
+/// Decodes a `u32`-counted sequence. The count is sanity-bounded by the
+/// bytes remaining so a corrupt length cannot trigger a huge allocation.
+pub fn decode_seq<T: WireCodec>(r: &mut WireReader<'_>) -> Result<Vec<T>, WireError> {
+    let n = r.u32()? as usize;
+    // Every element costs at least one byte on the wire; a count beyond
+    // the remaining bytes is corruption, not a large message.
+    if n > r.remaining() {
+        return Err(WireError::Invalid("sequence count exceeds frame size"));
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(T::decode(r)?);
+    }
+    Ok(v)
+}
+
+macro_rules! id_codec {
+    ($($t:ty),*) => {$(
+        impl WireCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                put_u32(out, self.0);
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(Self(r.u32()?))
+            }
+        }
+    )*};
+}
+
+id_codec!(EdgeId, NodeId, ObjectId, QueryId);
+
+impl WireCodec for NetPoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.edge.encode(out);
+        put_f64(out, self.frac);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let edge = EdgeId::decode(r)?;
+        let frac = r.f64()?;
+        if !(0.0..=1.0).contains(&frac) {
+            return Err(WireError::Invalid("NetPoint fraction outside [0, 1]"));
+        }
+        Ok(NetPoint { edge, frac })
+    }
+}
+
+impl WireCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_f64(&mut buf, f64::INFINITY);
+        put_f64(&mut buf, -0.0);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let buf = [1u8, 2, 3];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert_eq!(r.u32(), Err(WireError::Truncated));
+        // The failed read consumed nothing usable; u8 still works.
+        assert_eq!(r.u8().unwrap(), 3);
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let frame = b"tick-events:shard-3:seq-42".to_vec();
+        let base = checksum(&frame);
+        for i in 0..frame.len() {
+            for bit in 0..8 {
+                let mut flipped = frame.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(checksum(&flipped), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_round_trip_and_reject_corrupt_counts() {
+        let ids = vec![EdgeId(0), EdgeId(42), EdgeId(u32::MAX)];
+        let mut buf = Vec::new();
+        encode_seq(&ids, &mut buf);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(decode_seq::<EdgeId>(&mut r).unwrap(), ids);
+
+        // A count claiming more elements than bytes remain is rejected
+        // before any allocation happens.
+        let mut bad = Vec::new();
+        put_u32(&mut bad, u32::MAX);
+        let mut r = WireReader::new(&bad);
+        assert!(matches!(
+            decode_seq::<EdgeId>(&mut r),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn netpoint_rejects_out_of_range_fraction() {
+        let mut buf = Vec::new();
+        EdgeId(5).encode(&mut buf);
+        put_f64(&mut buf, 1.5);
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            NetPoint::decode(&mut r),
+            Err(WireError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,158 @@
+//! The sharded-city scenario, deployed as a real multi-process cluster:
+//! the parent re-executes itself four times as shard servers, each child
+//! binds a Unix domain socket and serves one GMA monitor, and the
+//! coordinator drives the same workload as `sharded_city` over the RPC
+//! layer — then prints the per-shard frame/byte traffic the delta
+//! protocol generated.
+//!
+//! Run with: `cargo run --release --example cluster_city`
+//!
+//! The shard servers rebuild the road network from the same generator
+//! seed instead of receiving it over the wire: network topology is
+//! static, so shipping it would only bloat the bootstrap.
+
+use std::process::{Child, Command};
+use std::sync::Arc;
+
+use rnn_monitor::cluster::serve_unix;
+use rnn_monitor::engine::{EngineConfig, ShardAlgo};
+use rnn_monitor::roadnet::{generators, RoadNetwork};
+use rnn_monitor::workload::{Scenario, ScenarioConfig};
+use rnn_monitor::{ClusterEngine, ContinuousMonitor, Gma, RetryPolicy};
+
+const NUM_SHARDS: usize = 4;
+
+fn city() -> Arc<RoadNetwork> {
+    Arc::new(generators::san_francisco_like(1_500, 7))
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        num_shards: NUM_SHARDS,
+        algo: ShardAlgo::Gma,
+        halo_slack: 0.25,
+        ..EngineConfig::default()
+    }
+}
+
+/// Child mode: `cluster_city shard-server <socket-path>` — build the
+/// same network the coordinator holds, then serve one shard monitor on
+/// the socket until the coordinator sends the shutdown frame.
+fn shard_server(path: &str) {
+    let cfg = engine_config();
+    let monitor = cfg.make_monitor(city());
+    serve_unix(std::path::Path::new(path), monitor, cfg.attribute_cells())
+        .expect("shard server failed");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "shard-server" {
+        shard_server(&args[2]);
+        return;
+    }
+
+    let net = city();
+    println!(
+        "network: {} nodes, {} edges",
+        net.num_nodes(),
+        net.num_edges()
+    );
+
+    // One socket per shard in a throwaway directory; each child serves
+    // exactly one coordinator connection.
+    let dir = std::env::temp_dir().join(format!("rnn-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create socket dir");
+    let paths: Vec<std::path::PathBuf> = (0..NUM_SHARDS)
+        .map(|s| dir.join(format!("shard-{s}.sock")))
+        .collect();
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut children: Vec<Child> = paths
+        .iter()
+        .map(|p| {
+            Command::new(&exe)
+                .arg("shard-server")
+                .arg(p)
+                .spawn()
+                .expect("spawn shard server")
+        })
+        .collect();
+    println!(
+        "spawned {} shard processes: {:?}",
+        children.len(),
+        children.iter().map(|c| c.id()).collect::<Vec<_>>()
+    );
+
+    // The coordinator retries each connect while the children bind.
+    let mut cluster =
+        ClusterEngine::connect_unix(net.clone(), engine_config(), &paths, RetryPolicy::default())
+            .expect("connect to shard servers");
+
+    // Same workload and oracle as the in-process `sharded_city` example.
+    let cfg = ScenarioConfig {
+        num_objects: 3_000,
+        num_queries: 120,
+        k: 8,
+        seed: 2024,
+        ..Default::default()
+    };
+    let mut reference = Gma::new(net.clone());
+    let scenario = Scenario::new(net.clone(), cfg.clone());
+    scenario.install_into(&mut reference);
+    let mut scenario = Scenario::new(net.clone(), cfg);
+    scenario.install_into(&mut cluster);
+
+    println!("\ndriving 10 timestamps over the socket cluster...");
+    for t in 1..=10 {
+        let batch = scenario.tick();
+        reference.tick(&batch);
+        let rep = cluster.tick(&batch);
+
+        let mut ids = cluster.query_ids();
+        ids.sort();
+        let mut worst: f64 = 0.0;
+        for &q in &ids {
+            let a = reference.knn_dist(q).unwrap();
+            let b = cluster.knn_dist(q).unwrap();
+            if a.is_finite() && b.is_finite() {
+                worst = worst.max((a - b).abs() / a.max(1.0));
+            }
+        }
+        println!(
+            "  t={t:2}: {:3} results changed, max kNN_dist divergence {worst:.2e}",
+            rep.results_changed
+        );
+        assert!(worst < 1e-9, "cluster diverged from the oracle");
+    }
+
+    println!("\nper-shard transport counters after 10 ticks:");
+    for (s, st) in cluster.shard_stats().iter().enumerate() {
+        println!(
+            "  shard {s}: {:4} frames out / {:4} in, {:8} bytes out / {:8} in, \
+             {} retries, {} corrupt",
+            st.frames_sent,
+            st.frames_received,
+            st.bytes_sent,
+            st.bytes_received,
+            st.retries,
+            st.corrupt_frames
+        );
+    }
+    let total = cluster.stats();
+    println!(
+        "  total: {} frames, {} KiB on the wire",
+        total.frames_sent + total.frames_received,
+        (total.bytes_sent + total.bytes_received) / 1024
+    );
+
+    // Dropping the engine ships the shutdown frames; the children exit.
+    drop(cluster);
+    for c in &mut children {
+        let status = c.wait().expect("wait for shard server");
+        assert!(status.success(), "a shard server exited with {status}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "\nOK: answers identical to the single-process oracle; all shard processes exited cleanly."
+    );
+}

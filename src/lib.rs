@@ -11,7 +11,10 @@
 //! * [`workload`] — placement distributions, movement models, and the
 //!   per-timestamp update-stream simulator of the paper's §6 evaluation,
 //! * [`engine`] — the sharded multi-threaded monitoring engine that runs
-//!   one monitor per network region with halo replication at the borders.
+//!   one monitor per network region with halo replication at the borders,
+//! * [`cluster`] — the shard-per-process deployment of that engine: the
+//!   same route/absorb loop over a length-prefixed RPC layer (loopback /
+//!   Unix socket / TCP) with a fault-injectable transport.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the experiment harness that regenerates every figure
@@ -19,11 +22,13 @@
 
 #![warn(missing_docs)]
 
+pub use rnn_cluster as cluster;
 pub use rnn_core as core;
 pub use rnn_engine as engine;
 pub use rnn_roadnet as roadnet;
 pub use rnn_workload as workload;
 
+pub use rnn_cluster::{ClusterEngine, FaultPlan, RetryPolicy};
 pub use rnn_core::{ContinuousMonitor, Gma, Ima, Neighbor, Ovh, UpdateBatch};
 pub use rnn_engine::{EngineConfig, ShardAlgo, ShardedEngine};
 pub use rnn_roadnet::{EdgeId, NetPoint, NodeId, ObjectId, QueryId, RoadNetwork};

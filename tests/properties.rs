@@ -748,3 +748,272 @@ proptest! {
         prop_assert_eq!(pool.live_nodes(), 0, "slots leaked across release");
     }
 }
+
+// ---------------------------------------------------------------------
+// Cluster wire protocol: every message type round-trips bit-exactly
+// through its frame, and damaged frames are rejected, never applied and
+// never panicking.
+// ---------------------------------------------------------------------
+
+use rnn_monitor::cluster::{Frame, MsgTag};
+use rnn_monitor::core::{MemoryUsage, Neighbor, OpCounters, TickReport};
+use rnn_monitor::engine::{BatchKind, DeltaBatch, QuerySnapshot, TickOutcome};
+use rnn_monitor::roadnet::{WireCodec, WireReader};
+
+fn netpoint_strategy() -> impl Strategy<Value = NetPoint> {
+    (any::<u16>(), 0.0f64..1.0).prop_map(|(e, frac)| NetPoint::new(EdgeId(e as u32), frac))
+}
+
+fn object_event_strategy() -> impl Strategy<Value = ObjectEvent> {
+    prop_oneof![
+        (any::<u32>(), netpoint_strategy()).prop_map(|(id, to)| ObjectEvent::Move {
+            id: ObjectId(id),
+            to
+        }),
+        (any::<u32>(), netpoint_strategy()).prop_map(|(id, at)| ObjectEvent::Insert {
+            id: ObjectId(id),
+            at
+        }),
+        any::<u32>().prop_map(|id| ObjectEvent::Delete { id: ObjectId(id) }),
+    ]
+}
+
+fn query_event_strategy() -> impl Strategy<Value = QueryEvent> {
+    prop_oneof![
+        (any::<u32>(), netpoint_strategy()).prop_map(|(id, to)| QueryEvent::Move {
+            id: QueryId(id),
+            to
+        }),
+        (any::<u32>(), 1usize..32, netpoint_strategy()).prop_map(|(id, k, at)| {
+            QueryEvent::Install {
+                id: QueryId(id),
+                k,
+                at,
+            }
+        }),
+        any::<u32>().prop_map(|id| QueryEvent::Remove { id: QueryId(id) }),
+    ]
+}
+
+fn edge_update_strategy() -> impl Strategy<Value = EdgeWeightUpdate> {
+    (any::<u16>(), 0.01f64..100.0).prop_map(|(e, w)| EdgeWeightUpdate {
+        edge: EdgeId(e as u32),
+        new_weight: w,
+    })
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = QuerySnapshot> {
+    (
+        any::<u32>(),
+        prop_oneof![
+            (0.0f64..1e9).prop_map(|d| d),
+            (0u8..1).prop_map(|_| f64::INFINITY)
+        ],
+        prop::collection::vec(
+            (any::<u32>(), 0.0f64..1e9).prop_map(|(o, d)| Neighbor {
+                object: ObjectId(o),
+                dist: d,
+            }),
+            0..6,
+        ),
+    )
+        .prop_map(|(id, knn_dist, result)| QuerySnapshot {
+            id: QueryId(id),
+            knn_dist,
+            result,
+        })
+}
+
+/// Arbitrary counters: all 16 fields filled from one seed via a splitmix
+/// step, so every field exercises large values.
+fn counters_from_seed(seed: u64) -> OpCounters {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z ^ (z >> 27)
+    };
+    OpCounters {
+        nodes_settled: next(),
+        edges_scanned: next(),
+        objects_considered: next(),
+        relaxations: next(),
+        updates_ignored: next(),
+        reevaluations: next(),
+        tree_nodes_pruned: next(),
+        resync_touched: next(),
+        replica_evictions: next(),
+        alloc_events: next(),
+        install_alloc_events: next(),
+        expansion_steps: next(),
+        shared_expansions: next(),
+        tree_nodes_recycled: next(),
+        rebalance_events: next(),
+        cells_migrated: next(),
+    }
+}
+
+fn tick_outcome_strategy() -> impl Strategy<Value = TickOutcome> {
+    (
+        (
+            any::<u64>(),
+            any::<u32>(),
+            0u32..1_000_000_000,
+            any::<u64>(),
+        ),
+        prop::collection::vec(snapshot_strategy(), 0..5),
+        prop_oneof![(0u8..1).prop_map(|_| None), (0usize..10_000).prop_map(Some)],
+        prop::collection::vec((any::<u16>(), any::<u64>()), 0..5),
+    )
+        .prop_map(
+            |((seed, secs, nanos, changed), snapshots, active_groups, charges)| {
+                let report = TickReport {
+                    counters: counters_from_seed(seed),
+                    elapsed: std::time::Duration::new(secs as u64 % 1_000_000, nanos),
+                    results_changed: changed as usize,
+                };
+                TickOutcome {
+                    report,
+                    snapshots,
+                    active_groups,
+                    cell_charges: charges
+                        .into_iter()
+                        .map(|(e, s)| (EdgeId(e as u32), s))
+                        .collect(),
+                }
+            },
+        )
+}
+
+fn delta_batch_strategy() -> impl Strategy<Value = DeltaBatch> {
+    (
+        prop::collection::vec(object_event_strategy(), 0..6),
+        prop::collection::vec(query_event_strategy(), 0..6),
+        prop::collection::vec(edge_update_strategy(), 0..6),
+        0u8..3,
+    )
+        .prop_map(|(objects, queries, edges, kind)| DeltaBatch {
+            objects,
+            queries,
+            shared_edges: Arc::new(edges),
+            kind: match kind {
+                0 => BatchKind::Tick,
+                1 => BatchKind::Resync,
+                _ => BatchKind::Migration,
+            },
+        })
+}
+
+const ALL_TAGS: [MsgTag; 7] = [
+    MsgTag::TickEvents,
+    MsgTag::ResyncEvents,
+    MsgTag::MigrationEvents,
+    MsgTag::MemoryRequest,
+    MsgTag::Shutdown,
+    MsgTag::TickReply,
+    MsgTag::MemoryReply,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The frame envelope round-trips any tag/seq/payload bit-exactly.
+    #[test]
+    fn frame_envelope_round_trips(
+        tag_idx in 0usize..7,
+        seq in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let f = Frame { tag: ALL_TAGS[tag_idx], seq, payload };
+        let bytes = f.to_bytes();
+        prop_assert_eq!(Frame::from_bytes(&bytes).unwrap(), f);
+    }
+
+    /// Every request message type round-trips through its typed frame:
+    /// delta batches (tick / resync / migration) survive bit-exactly.
+    #[test]
+    fn delta_batches_round_trip_through_frames(
+        batch in delta_batch_strategy(),
+        seq in any::<u32>(),
+    ) {
+        let mut payload = Vec::new();
+        batch.encode(&mut payload);
+        let tag = match batch.kind {
+            BatchKind::Tick => MsgTag::TickEvents,
+            BatchKind::Resync => MsgTag::ResyncEvents,
+            BatchKind::Migration => MsgTag::MigrationEvents,
+        };
+        let bytes = Frame { tag, seq, payload }.to_bytes();
+        let back = Frame::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.tag, tag);
+        let decoded = DeltaBatch::decode(&mut WireReader::new(&back.payload)).unwrap();
+        prop_assert_eq!(&decoded.objects, &batch.objects);
+        prop_assert_eq!(&decoded.queries, &batch.queries);
+        prop_assert_eq!(&*decoded.shared_edges, &*batch.shared_edges);
+    }
+
+    /// Every reply message type round-trips: tick outcomes (reports,
+    /// snapshot deltas incl. ∞ distances, cell charges) and memory
+    /// breakdowns.
+    #[test]
+    fn replies_round_trip_through_frames(
+        outcome in tick_outcome_strategy(),
+        mem_seed in any::<u64>(),
+        seq in any::<u32>(),
+    ) {
+        let mut payload = Vec::new();
+        outcome.encode(&mut payload);
+        let bytes = Frame { tag: MsgTag::TickReply, seq, payload }.to_bytes();
+        let back = Frame::from_bytes(&bytes).unwrap();
+        let decoded = TickOutcome::decode(&mut WireReader::new(&back.payload)).unwrap();
+        // Work counters, snapshots and charges must survive bit-exactly;
+        // wall-clock rides along and must too (it is plain u64/u32 data).
+        prop_assert_eq!(decoded, outcome);
+
+        let mut s = mem_seed;
+        let mut next = move || { s = s.wrapping_mul(6364136223846793005).wrapping_add(17); (s >> 13) as usize };
+        let mem = MemoryUsage {
+            edge_table: next(),
+            query_table: next(),
+            expansion_trees: next(),
+            influence_lists: next(),
+            auxiliary: next(),
+        };
+        let mut payload = Vec::new();
+        mem.encode(&mut payload);
+        let bytes = Frame { tag: MsgTag::MemoryReply, seq, payload }.to_bytes();
+        let back = Frame::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(MemoryUsage::decode(&mut WireReader::new(&back.payload)).unwrap(), mem);
+    }
+
+    /// Truncating a frame anywhere yields a decode error — never a panic,
+    /// never a bogus success.
+    #[test]
+    fn truncated_frames_error_not_panic(
+        batch in delta_batch_strategy(),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut payload = Vec::new();
+        batch.encode(&mut payload);
+        let bytes = Frame { tag: MsgTag::TickEvents, seq: 3, payload }.to_bytes();
+        let cut = (cut_seed as usize) % bytes.len();
+        prop_assert!(Frame::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Flipping any single bit past the length prefix is caught (checksum
+    /// or framing), so a corrupted frame can never be applied.
+    #[test]
+    fn corrupted_frames_are_rejected(
+        batch in delta_batch_strategy(),
+        byte_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut payload = Vec::new();
+        batch.encode(&mut payload);
+        let mut bytes = Frame { tag: MsgTag::MigrationEvents, seq: 9, payload }.to_bytes();
+        let idx = 4 + (byte_seed as usize) % (bytes.len() - 4);
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(Frame::from_bytes(&bytes).is_err());
+    }
+}
