@@ -1,0 +1,15 @@
+//! Every way an escape itself can be wrong.
+
+pub fn tick() -> Vec<u32> {
+    // lint: allow(hot-path-alloc):
+    let malformed_justification = vec![1, 2, 3];
+
+    // lint: allow(hot-path-alloc): nothing below trips the rule, so this is stale
+    let unused = malformed_justification.len();
+
+    // lint: allow(no-such-rule): the rule name does not exist
+    let unknown = unused + 1;
+
+    let _ = unknown;
+    malformed_justification
+}

@@ -1,0 +1,5 @@
+pub struct OpCounters {
+    pub steps: u64,
+    pub dropped: u64,
+    pub orphan: u64,
+}

@@ -1,0 +1,1 @@
+pub const GATED_METRICS: &[&str] = &["steps_per_ts", "ghost_per_ts"];

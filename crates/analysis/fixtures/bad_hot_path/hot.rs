@@ -1,0 +1,11 @@
+//! Hot module that allocates per tick — every construct the rule names.
+
+pub fn tick(ids: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    out.extend(ids.iter().map(|x| x + 1));
+    let label = format!("tick:{}", out.len());
+    let copy = ids.to_vec();
+    let boxed = Box::new(label);
+    drop((copy, boxed));
+    out.iter().copied().collect()
+}

@@ -1,0 +1,5 @@
+//! Crate root missing the attribute (deny is not forbid: a submodule
+//! could override it with `#[allow]`).
+#![deny(unsafe_code)]
+
+pub fn nope() {}

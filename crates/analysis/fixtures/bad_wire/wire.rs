@@ -1,0 +1,13 @@
+//! Decode path that panics on hostile input.
+
+pub fn decode_u16(b: &[u8]) -> u16 {
+    assert!(b.len() >= 2);
+    u16::from_le_bytes(b[..2].try_into().unwrap())
+}
+
+pub fn first_byte(b: &[u8]) -> u8 {
+    if b.is_empty() {
+        panic!("empty frame");
+    }
+    b[0]
+}

@@ -1,0 +1,5 @@
+pub struct OpCounters {
+    pub steps: u64,
+    pub allocs: u64,
+    pub hidden: u64,
+}

@@ -1,0 +1,4 @@
+//! Crate root carrying the required attribute.
+#![forbid(unsafe_code)]
+
+pub fn ok() {}

@@ -1,0 +1,3 @@
+pub fn to_json(steps: f64, allocs: f64) -> String {
+    format!("{{\"steps_per_ts\": {steps:.1}, \"alloc_per_ts\": {allocs:.3}}}")
+}

@@ -1,0 +1,10 @@
+//! Decode path with typed errors only.
+
+pub enum WireError {
+    Truncated,
+}
+
+pub fn decode_u16(b: &[u8]) -> Result<u16, WireError> {
+    let pair: [u8; 2] = b.get(..2).ok_or(WireError::Truncated)?.try_into().map_err(|_| WireError::Truncated)?;
+    Ok(u16::from_le_bytes(pair))
+}

@@ -1,0 +1,130 @@
+//! Diagnostics and the inline-allow suppression pass.
+
+use crate::lexer::AllowDirective;
+
+/// One finding, printed as `file:line: [rule] message`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the checked root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (`hot-path-alloc`, ...).
+    pub rule: &'static str,
+    /// Human message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule name for the meta-diagnostics about the escape syntax itself.
+pub const LINT_ALLOW_RULE: &str = "lint-allow";
+
+/// Applies the inline escapes of one file to its diagnostics:
+///
+/// * a diagnostic is suppressed when a directive for its rule sits on the
+///   same line (trailing comment) or on the line directly above;
+/// * a directive that suppressed nothing becomes an `unused lint allow`
+///   diagnostic — stale escapes must not linger as false documentation;
+/// * malformed directives (empty justification) become diagnostics too.
+///
+/// Directives naming unknown rules are reported by the caller, which
+/// knows the rule set.
+pub fn apply_allows(
+    file: &str,
+    allows: &[AllowDirective],
+    malformed: &[u32],
+    diags: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut used = vec![false; allows.len()];
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for d in diags {
+        let hit = allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line));
+        match hit {
+            Some((i, _)) => used[i] = true,
+            None => out.push(d),
+        }
+    }
+    for (i, a) in allows.iter().enumerate() {
+        if !used[i] {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: a.line,
+                rule: LINT_ALLOW_RULE,
+                message: format!(
+                    "unused `lint: allow({})` — nothing on this or the next line trips the rule; \
+                     remove the stale escape",
+                    a.rule
+                ),
+            });
+        }
+    }
+    for &line in malformed {
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: LINT_ALLOW_RULE,
+            message: "malformed lint escape — the required form is \
+                      `// lint: allow(<rule>): <non-empty justification>`"
+                .to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(line: u32, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            file: "f.rs".into(),
+            line,
+            rule,
+            message: "m".into(),
+        }
+    }
+
+    fn allow(line: u32, rule: &str) -> AllowDirective {
+        AllowDirective {
+            line,
+            rule: rule.into(),
+            justification: "because".into(),
+        }
+    }
+
+    #[test]
+    fn same_line_and_line_above_suppress() {
+        let allows = vec![allow(5, "r"), allow(9, "r")];
+        let out = apply_allows("f.rs", &allows, &[], vec![diag(5, "r"), diag(10, "r")]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn wrong_rule_or_far_line_does_not_suppress_and_unused_is_reported() {
+        let allows = vec![allow(5, "other")];
+        let out = apply_allows("f.rs", &allows, &[], vec![diag(5, "r")]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|d| d.rule == "r"));
+        assert!(out.iter().any(|d| d.rule == LINT_ALLOW_RULE));
+    }
+
+    #[test]
+    fn malformed_directives_surface() {
+        let out = apply_allows("f.rs", &[], &[3], vec![]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[0].rule, LINT_ALLOW_RULE);
+    }
+}

@@ -1,0 +1,78 @@
+//! CLI: `cargo run -p rnn-analysis -- check [--root <dir>]`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 the pass itself failed to run
+//! (missing/malformed manifest, unreadable scoped file).
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rnn_analysis::{check_workspace, MANIFEST_NAME};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rnn-analysis check [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut cmd: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" if cmd.is_none() => cmd = Some("check"),
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if cmd != Some("check") {
+        return usage();
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "rnn-analysis: no {MANIFEST_NAME} found here or in any parent directory \
+                 (pass --root <dir>)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match check_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("rnn-analysis: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("rnn-analysis: {} finding(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("rnn-analysis: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Upward search from the current directory for the manifest, so the
+/// pass works from any workspace subdirectory.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join(MANIFEST_NAME).is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

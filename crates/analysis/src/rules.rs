@@ -1,0 +1,779 @@
+//! The four project rules, each a pure function over lexed token streams.
+//!
+//! * [`hot_path_alloc`] — no heap-allocating constructs in the manifest's
+//!   hot modules (static complement of the runtime `alloc_events` gate);
+//! * [`panic_free_wire`] — no panicking constructs or bare indexing in the
+//!   wire/codec decode paths (network input must never panic);
+//! * [`has_forbid_unsafe`] — every crate root carries
+//!   `#![forbid(unsafe_code)]`;
+//! * [`counter_schema_sync`] — every `OpCounters` field reaches the bench
+//!   JSON schema and the CI gate (or is explicitly allow-listed).
+//!
+//! Rules see token streams with `#[cfg(test)]` / `#[test]` items already
+//! stripped ([`strip_test_code`]): test code asserts and unwraps freely.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+/// Names of the four rules, as used in manifests and allow escapes.
+pub const RULE_HOT_PATH: &str = "hot-path-alloc";
+/// See [`RULE_HOT_PATH`].
+pub const RULE_WIRE: &str = "panic-free-wire";
+/// See [`RULE_HOT_PATH`].
+pub const RULE_UNSAFE: &str = "forbid-unsafe-everywhere";
+/// See [`RULE_HOT_PATH`].
+pub const RULE_COUNTER: &str = "counter-schema-sync";
+
+fn ident(t: &Tok) -> Option<&str> {
+    match &t.kind {
+        TokKind::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &Tok, c: char) -> bool {
+    t.kind == TokKind::Punct(c)
+}
+
+/// Removes items guarded by `#[cfg(test)]` (or any `cfg(...)` mentioning
+/// `test`) and `#[test]` functions: the attribute, any stacked attributes
+/// after it, and the item body up to its balanced closing brace (or
+/// terminating semicolon).
+pub fn strip_test_code(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_punct(&toks[i], '#') && i + 1 < toks.len() && is_punct(&toks[i + 1], '[') {
+            let close = match matching(toks, i + 1, '[', ']') {
+                Some(c) => c,
+                None => {
+                    out.extend_from_slice(&toks[i..]);
+                    break;
+                }
+            };
+            if attr_is_test(&toks[i + 2..close]) {
+                i = skip_attrs_and_item(toks, close + 1);
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Whether attribute tokens (inside `#[...]`) gate on test builds.
+fn attr_is_test(inner: &[Tok]) -> bool {
+    match inner.first().and_then(ident) {
+        Some("test") => true,
+        Some("cfg") => inner.iter().skip(1).any(|t| ident(t) == Some("test")),
+        _ => false,
+    }
+}
+
+/// Index of the token closing the group opened at `open` (which holds
+/// `open_c`), honouring nesting; `None` when unbalanced.
+fn matching(toks: &[Tok], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if is_punct(t, open_c) {
+            depth += 1;
+        } else if is_punct(t, close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Skips any further stacked attributes, then one item: everything up to
+/// the first top-level `{` (consumed with its balanced body) or `;`.
+fn skip_attrs_and_item(toks: &[Tok], mut i: usize) -> usize {
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') && is_punct(&toks[i + 1], '[') {
+        match matching(toks, i + 1, '[', ']') {
+            Some(c) => i = c + 1,
+            None => return toks.len(),
+        }
+    }
+    while i < toks.len() {
+        if is_punct(&toks[i], ';') {
+            return i + 1;
+        }
+        if is_punct(&toks[i], '{') {
+            return match matching(toks, i, '{', '}') {
+                Some(c) => c + 1,
+                None => toks.len(),
+            };
+        }
+        i += 1;
+    }
+    i
+}
+
+// ---------------------------------------------------------------------
+// hot-path-alloc
+// ---------------------------------------------------------------------
+
+const MAP_TYPES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "FxHashMap",
+    "FxHashSet",
+];
+
+/// Flags heap-allocating constructs in a hot module's (non-test) code:
+/// `Vec::new`, `vec![`, `Box::new`, `format!`, `.to_vec()`, `.collect()`,
+/// `.to_string()`, `String::from`, and map/set `new`/`default`
+/// constructors. Cold or amortized sites carry a justified
+/// `// lint: allow(hot-path-alloc)` escape.
+pub fn hot_path_alloc(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut push = |line: u32, what: &str| {
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: RULE_HOT_PATH,
+            message: format!(
+                "`{what}` allocates inside a hot module — steady-state ticks must run in \
+                 reused capacity; move the allocation to install/startup or justify it with \
+                 `// lint: allow(hot-path-alloc): <why this site is cold or amortized>`"
+            ),
+        });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        match ident(t) {
+            Some("vec") if next_is(toks, i, '!') => push(t.line, "vec![..]"),
+            Some("format") if next_is(toks, i, '!') => push(t.line, "format!"),
+            Some(head @ ("Vec" | "Box" | "String")) if path_sep(toks, i) => {
+                if let Some(m) = ident(&toks[i + 3]) {
+                    let hit = matches!(
+                        (head, m),
+                        ("Vec", "new") | ("Box", "new") | ("String", "from")
+                    );
+                    if hit {
+                        push(t.line, &format!("{head}::{m}"));
+                    }
+                }
+            }
+            Some(head) if MAP_TYPES.contains(&head) && path_sep(toks, i) => {
+                if let Some(m @ ("new" | "default")) = ident(&toks[i + 3]) {
+                    push(t.line, &format!("{head}::{m}"));
+                }
+            }
+            Some(m @ ("to_vec" | "collect" | "to_string"))
+                if i > 0 && is_punct(&toks[i - 1], '.') =>
+            {
+                push(t.line, &format!(".{m}()"));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn next_is(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i + 1).is_some_and(|t| is_punct(t, c))
+}
+
+/// Whether `toks[i]` is followed by `::` (a path segment separator).
+fn path_sep(toks: &[Tok], i: usize) -> bool {
+    i + 3 < toks.len() && next_is(toks, i, ':') && is_punct(&toks[i + 2], ':')
+}
+
+// ---------------------------------------------------------------------
+// panic-free-wire
+// ---------------------------------------------------------------------
+
+/// Identifiers that may legitimately precede `[` without it being an
+/// indexing expression (slice patterns, array types, generic bounds).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "while", "match", "return", "mut", "ref", "as", "move", "static",
+    "const", "use", "pub", "fn", "where", "impl", "for", "loop", "break", "continue", "dyn",
+    "enum", "struct", "trait", "type", "unsafe", "mod", "crate", "box", "yield", "await",
+];
+
+/// Flags panicking constructs and bare indexing in wire/codec decode
+/// paths: `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`,
+/// `unimplemented!`, `assert!`/`assert_eq!`/`assert_ne!`, and `expr[...]`
+/// indexing (which panics on hostile offsets). Network input must surface
+/// as typed `WireError` values, never as a panic.
+pub fn panic_free_wire(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut push = |line: u32, what: &str, hint: &str| {
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: RULE_WIRE,
+            message: format!(
+                "`{what}` can panic on hostile or corrupt input — {hint}; if this site is \
+                 provably unreachable from network input, justify it with \
+                 `// lint: allow(panic-free-wire): <why>`"
+            ),
+        });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        match ident(t) {
+            Some(m @ ("unwrap" | "expect" | "unwrap_err" | "expect_err"))
+                if i > 0 && is_punct(&toks[i - 1], '.') && next_is(toks, i, '(') =>
+            {
+                push(
+                    t.line,
+                    &format!(".{m}()"),
+                    "return a typed `WireError` instead",
+                );
+            }
+            Some(
+                m @ ("panic" | "unreachable" | "todo" | "unimplemented" | "assert" | "assert_eq"
+                | "assert_ne"),
+            ) if next_is(toks, i, '!') => {
+                push(
+                    t.line,
+                    &format!("{m}!"),
+                    "decode errors must be values, not aborts",
+                );
+            }
+            _ => {}
+        }
+        if is_punct(t, '[') && i > 0 {
+            let prev = &toks[i - 1];
+            let indexing = match &prev.kind {
+                TokKind::Ident(s) => !NON_INDEX_KEYWORDS.contains(&s.as_str()),
+                TokKind::Punct(')') | TokKind::Punct(']') => true,
+                _ => false,
+            };
+            if indexing {
+                push(
+                    t.line,
+                    "expr[..]",
+                    "bare indexing aborts on out-of-range offsets; use `get`/`try_into` and \
+                     propagate `WireError::Truncated`",
+                );
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// forbid-unsafe-everywhere
+// ---------------------------------------------------------------------
+
+/// Whether a crate root's token stream carries the inner attribute
+/// `#![forbid(unsafe_code)]`.
+pub fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(7).any(|w| {
+        is_punct(&w[0], '#')
+            && is_punct(&w[1], '!')
+            && is_punct(&w[2], '[')
+            && ident(&w[3]) == Some("forbid")
+            && is_punct(&w[4], '(')
+            && ident(&w[5]) == Some("unsafe_code")
+            && is_punct(&w[6], ')')
+    })
+}
+
+// ---------------------------------------------------------------------
+// counter-schema-sync
+// ---------------------------------------------------------------------
+
+/// Inputs to [`counter_schema_sync`], resolved by the engine from the
+/// manifest's `[counter-schema-sync]` section.
+pub struct CounterSyncInput<'a> {
+    /// Lexed tokens of the file defining the counters struct.
+    pub counters_toks: &'a [Tok],
+    /// Name of the counters struct (`OpCounters`).
+    pub struct_name: &'a str,
+    /// Relative path of the counters file (for diagnostics).
+    pub counters_file: &'a str,
+    /// Lexed tokens of the bench runner (JSON serializer).
+    pub runner_toks: &'a [Tok],
+    /// Relative path of the runner file.
+    pub runner_file: &'a str,
+    /// Lexed tokens of the CI gate.
+    pub gate_toks: &'a [Tok],
+    /// Relative path of the gate file.
+    pub gate_file: &'a str,
+    /// Name of the gated-metrics const in the gate file.
+    pub gated_const: &'a str,
+    /// `counter field → JSON column` mapping from the manifest.
+    pub columns: &'a [(String, String)],
+    /// `counter field → justification` for fields intentionally absent
+    /// from the JSON schema.
+    pub unserialized: &'a [(String, String)],
+    /// `JSON column → justification` for columns intentionally not gated.
+    pub ungated: &'a [(String, String)],
+}
+
+/// Collects `pub <name>:` field names of `struct <name> { ... }`, with the
+/// line each is declared on.
+pub fn struct_fields(toks: &[Tok], struct_name: &str) -> Vec<(String, u32)> {
+    let mut fields = Vec::new();
+    let Some(pos) = toks
+        .windows(2)
+        .position(|w| ident(&w[0]) == Some("struct") && ident(&w[1]) == Some(struct_name))
+    else {
+        return fields;
+    };
+    let Some(open) = toks.iter().skip(pos).position(|t| is_punct(t, '{')) else {
+        return fields;
+    };
+    let open = pos + open;
+    let Some(close) = matching(toks, open, '{', '}') else {
+        return fields;
+    };
+    let body = &toks[open + 1..close];
+    for w in body.windows(3) {
+        if ident(&w[0]) == Some("pub") && is_punct(&w[2], ':') {
+            if let Some(name) = ident(&w[1]) {
+                fields.push((name.to_string(), w[1].line));
+            }
+        }
+    }
+    fields
+}
+
+/// The string-literal entries of `const <name> ... = &[ "a", "b" ];`.
+pub fn const_str_list(toks: &[Tok], name: &str) -> Vec<String> {
+    let Some(pos) = toks.iter().position(|t| ident(t) == Some(name)) else {
+        return Vec::new();
+    };
+    // Skip the type annotation (`: &[&str]`) — the list lives after `=`.
+    let Some(eq_rel) = toks.iter().skip(pos).position(|t| is_punct(t, '=')) else {
+        return Vec::new();
+    };
+    let eq = pos + eq_rel;
+    let Some(open_rel) = toks.iter().skip(eq).position(|t| is_punct(t, '[')) else {
+        return Vec::new();
+    };
+    let open = eq + open_rel;
+    let Some(close) = matching(toks, open, '[', ']') else {
+        return Vec::new();
+    };
+    toks[open + 1..close]
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokKind::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Whether any string literal in `toks` quotes `key` as a JSON column
+/// (`\"key\":` inside the serializer's format string).
+fn serializes_column(toks: &[Tok], key: &str) -> bool {
+    let pat = format!("\\\"{key}\\\":");
+    toks.iter().any(|t| match &t.kind {
+        TokKind::Str(s) => s.contains(&pat),
+        _ => false,
+    })
+}
+
+/// Checks that every counter field flows into the bench JSON schema and
+/// the CI gate, or is explicitly allow-listed with a justification. Also
+/// flags stale manifest entries (mappings for fields that no longer
+/// exist, allow-list rows for unknown columns) so the manifest cannot rot.
+pub fn counter_schema_sync(input: &CounterSyncInput<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let fields = struct_fields(input.counters_toks, input.struct_name);
+    if fields.is_empty() {
+        out.push(Diagnostic {
+            file: input.counters_file.to_string(),
+            line: 1,
+            rule: RULE_COUNTER,
+            message: format!(
+                "struct `{}` not found — fix the [counter-schema-sync] manifest section",
+                input.struct_name
+            ),
+        });
+        return out;
+    }
+    let gated = const_str_list(input.gate_toks, input.gated_const);
+    if gated.is_empty() {
+        out.push(Diagnostic {
+            file: input.gate_file.to_string(),
+            line: 1,
+            rule: RULE_COUNTER,
+            message: format!(
+                "gated-metrics const `{}` not found or empty in the gate file",
+                input.gated_const
+            ),
+        });
+    }
+    let lookup = |table: &[(String, String)], key: &str| -> Option<String> {
+        table.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+
+    // 1. Every struct field is mapped to a column or justified as
+    //    unserialized.
+    for (field, line) in &fields {
+        let mapped = lookup(input.columns, field);
+        let excused = lookup(input.unserialized, field);
+        match (&mapped, &excused) {
+            (None, None) => out.push(Diagnostic {
+                file: input.counters_file.to_string(),
+                line: *line,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "counter `{field}` reaches neither the bench JSON schema nor the \
+                     unserialized allow-list — map it to a column in \
+                     [counter-schema-sync.columns] and serialize it in the runner, or \
+                     justify its absence in [counter-schema-sync.unserialized]"
+                ),
+            }),
+            (Some(_), Some(_)) => out.push(Diagnostic {
+                file: input.counters_file.to_string(),
+                line: *line,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "counter `{field}` is both mapped to a column and allow-listed as \
+                     unserialized — pick one"
+                ),
+            }),
+            _ => {}
+        }
+    }
+
+    // 2. Every mapped column is actually rendered by the runner's JSON
+    //    serializer, and is either gated or justified as ungated.
+    let mut seen_cols: Vec<&str> = Vec::new();
+    for (field, col) in input.columns {
+        if !fields.iter().any(|(f, _)| f == field) {
+            out.push(Diagnostic {
+                file: input.counters_file.to_string(),
+                line: 1,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "[counter-schema-sync.columns] maps unknown counter `{field}` — stale \
+                     manifest entry"
+                ),
+            });
+        }
+        if seen_cols.contains(&col.as_str()) {
+            continue;
+        }
+        seen_cols.push(col);
+        if !serializes_column(input.runner_toks, col) {
+            out.push(Diagnostic {
+                file: input.runner_file.to_string(),
+                line: 1,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "JSON column `{col}` (mapped from `{field}`) is not rendered by the \
+                     runner's serializer — the counter silently dropped out of BENCH_*.json"
+                ),
+            });
+        }
+        let is_gated = gated.iter().any(|g| g == col);
+        let excused = lookup(input.ungated, col);
+        if !is_gated && excused.is_none() {
+            out.push(Diagnostic {
+                file: input.gate_file.to_string(),
+                line: 1,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "JSON column `{col}` (mapped from `{field}`) is not in `{}` and not \
+                     allow-listed in [counter-schema-sync.ungated] — gate it or justify it",
+                    input.gated_const
+                ),
+            });
+        }
+        if is_gated && excused.is_some() {
+            out.push(Diagnostic {
+                file: input.gate_file.to_string(),
+                line: 1,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "JSON column `{col}` is gated *and* allow-listed as ungated — remove the \
+                     stale [counter-schema-sync.ungated] row"
+                ),
+            });
+        }
+    }
+
+    // 3. Allow-list hygiene: unserialized rows must name real fields,
+    //    ungated rows must name mapped columns, and justifications must be
+    //    non-empty prose.
+    for (field, just) in input.unserialized {
+        if !fields.iter().any(|(f, _)| f == field) {
+            out.push(Diagnostic {
+                file: input.counters_file.to_string(),
+                line: 1,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "[counter-schema-sync.unserialized] excuses unknown counter `{field}` — \
+                     stale manifest entry"
+                ),
+            });
+        }
+        if just.trim().is_empty() {
+            out.push(Diagnostic {
+                file: input.counters_file.to_string(),
+                line: 1,
+                rule: RULE_COUNTER,
+                message: format!("empty justification for unserialized counter `{field}`"),
+            });
+        }
+    }
+    for (col, just) in input.ungated {
+        if !input.columns.iter().any(|(_, c)| c == col) {
+            out.push(Diagnostic {
+                file: input.gate_file.to_string(),
+                line: 1,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "[counter-schema-sync.ungated] excuses unknown column `{col}` — stale \
+                     manifest entry"
+                ),
+            });
+        }
+        if just.trim().is_empty() {
+            out.push(Diagnostic {
+                file: input.gate_file.to_string(),
+                line: 1,
+                rule: RULE_COUNTER,
+                message: format!("empty justification for ungated column `{col}`"),
+            });
+        }
+    }
+
+    // 4. Every gated metric must be a real serialized column (catches
+    //    typos in the gate's own list).
+    for g in &gated {
+        if !serializes_column(input.runner_toks, g) {
+            out.push(Diagnostic {
+                file: input.gate_file.to_string(),
+                line: 1,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "gated metric `{g}` is not rendered by the runner's serializer — the \
+                     gate would silently skip it on every artifact"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn test_items_are_stripped() {
+        let src = "
+            fn hot() { work(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { data.unwrap(); }
+            }
+            #[test]
+            fn one() { x.unwrap(); }
+            #[cfg(all(test, feature = \"x\"))]
+            fn gated() { y.unwrap(); }
+            fn also_hot() {}
+        ";
+        let toks = strip_test_code(&lex(src).tokens);
+        let ids: Vec<_> = toks.iter().filter_map(ident).collect();
+        assert!(ids.contains(&"hot"));
+        assert!(ids.contains(&"also_hot"));
+        assert!(!ids.contains(&"unwrap"), "{ids:?}");
+        assert!(!ids.contains(&"helper"));
+    }
+
+    #[test]
+    fn non_test_attrs_survive_stripping() {
+        let src = "#[derive(Debug)] struct S { a: u32 } #[inline] fn f() {}";
+        let toks = strip_test_code(&lex(src).tokens);
+        let ids: Vec<_> = toks.iter().filter_map(ident).collect();
+        assert!(ids.contains(&"derive"));
+        assert!(ids.contains(&"inline"));
+        assert!(ids.contains(&"f"));
+    }
+
+    #[test]
+    fn hot_path_alloc_catches_each_family() {
+        let src = r#"
+            fn f() {
+                let a = Vec::new();
+                let b = vec![1, 2];
+                let c = Box::new(7);
+                let d = format!("x{}", 1);
+                let e = s.to_vec();
+                let g: Vec<u32> = it.collect();
+                let h = String::from("y");
+                let i = FxHashMap::default();
+                let j = BTreeMap::new();
+                let k = s.to_string();
+            }
+        "#;
+        let diags = hot_path_alloc("f.rs", &lex(src).tokens);
+        assert_eq!(diags.len(), 10, "{diags:#?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_ignores_lookalikes() {
+        let src = "
+            fn f() {
+                let a = Vec::with_capacity(4); // growth is explicit, not denied
+                let b = pool.new_node();
+                let c = collect_stats();
+                let d = self.format_mode;
+            }
+        ";
+        assert!(hot_path_alloc("f.rs", &lex(src).tokens).is_empty());
+    }
+
+    #[test]
+    fn wire_rule_catches_panics_and_indexing() {
+        let src = r#"
+            fn decode(b: &[u8]) -> u8 {
+                let x = r.u32().unwrap();
+                let y = r.u16().expect("hdr");
+                if bad { panic!("no") }
+                assert!(b.len() > 4);
+                b[0]
+            }
+        "#;
+        let diags = panic_free_wire("w.rs", &lex(src).tokens);
+        assert_eq!(diags.len(), 5, "{diags:#?}");
+    }
+
+    #[test]
+    fn wire_rule_ignores_types_patterns_and_attrs() {
+        let src = "
+            #[derive(Debug)]
+            struct S { buf: [u8; 4] }
+            fn f(chunk: [u8; 16]) -> Option<u8> {
+                let [a, b] = pair;
+                let ok = buf.get(0)?;
+                let arr = [1, 2, 3];
+                Some(*ok)
+            }
+        ";
+        let diags = panic_free_wire("w.rs", &lex(src).tokens);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn wire_rule_flags_chained_and_nested_indexing() {
+        let src = "fn f() { m[0]; g()[1]; rows[i][j]; }";
+        let diags = panic_free_wire("w.rs", &lex(src).tokens);
+        assert_eq!(diags.len(), 4, "{diags:#?}");
+    }
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        assert!(has_forbid_unsafe(
+            &lex("//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}").tokens
+        ));
+        assert!(!has_forbid_unsafe(
+            &lex("#![deny(unsafe_code)]\npub fn f() {}").tokens
+        ));
+        assert!(!has_forbid_unsafe(&lex("pub fn f() {}").tokens));
+    }
+
+    const COUNTERS: &str = "
+        pub struct OpCounters {
+            pub steps: u64,
+            pub allocs: u64,
+            pub silent: u64,
+        }
+    ";
+    const RUNNER: &str = r#"
+        fn json() -> String {
+            format!("{{\"steps_per_ts\": {:.1}, \"alloc_per_ts\": {:.3}}}", a, b)
+        }
+    "#;
+    const GATE: &str = r#"
+        const GATED_METRICS: &[&str] = &["steps_per_ts"];
+    "#;
+
+    fn run_sync(
+        columns: &[(String, String)],
+        unserialized: &[(String, String)],
+        ungated: &[(String, String)],
+    ) -> Vec<Diagnostic> {
+        let c = lex(COUNTERS);
+        let r = lex(RUNNER);
+        let g = lex(GATE);
+        counter_schema_sync(&CounterSyncInput {
+            counters_toks: &c.tokens,
+            struct_name: "OpCounters",
+            counters_file: "counters.rs",
+            runner_toks: &r.tokens,
+            runner_file: "runner.rs",
+            gate_toks: &g.tokens,
+            gate_file: "gate.rs",
+            gated_const: "GATED_METRICS",
+            columns,
+            unserialized,
+            ungated,
+        })
+    }
+
+    fn pairs(v: &[(&str, &str)]) -> Vec<(String, String)> {
+        v.iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn counter_sync_passes_a_complete_mapping() {
+        let diags = run_sync(
+            &pairs(&[("steps", "steps_per_ts"), ("allocs", "alloc_per_ts")]),
+            &pairs(&[("silent", "debug-only counter, never reported")]),
+            &pairs(&[("alloc_per_ts", "gated transitively via the tickpath assert")]),
+        );
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn counter_sync_catches_unmapped_field_missing_column_and_ungated() {
+        // `silent` unmapped; `allocs` maps to a column the runner does not
+        // render; `steps_per_ts` is gated but `ghost_per_ts` is not.
+        let diags = run_sync(
+            &pairs(&[("steps", "steps_per_ts"), ("allocs", "ghost_per_ts")]),
+            &[],
+            &[],
+        );
+        let msgs: Vec<_> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("`silent`")), "{msgs:#?}");
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`ghost_per_ts`") && m.contains("not rendered")),
+            "{msgs:#?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`ghost_per_ts`") && m.contains("not in `GATED_METRICS`")),
+            "{msgs:#?}"
+        );
+    }
+
+    #[test]
+    fn counter_sync_catches_stale_manifest_rows_and_empty_justifications() {
+        let diags = run_sync(
+            &pairs(&[
+                ("steps", "steps_per_ts"),
+                ("allocs", "alloc_per_ts"),
+                ("gone", "gone_per_ts"),
+            ]),
+            &pairs(&[("silent", "   "), ("ghost", "never existed")]),
+            &pairs(&[
+                ("alloc_per_ts", "ok"),
+                ("gone_per_ts", "ok"),
+                ("mystery", "x"),
+            ]),
+        );
+        let msgs: Vec<_> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("unknown counter `gone`")));
+        assert!(msgs.iter().any(|m| m.contains("unknown counter `ghost`")));
+        assert!(msgs.iter().any(|m| m.contains("unknown column `mystery`")));
+        assert!(msgs.iter().any(|m| m.contains("empty justification")));
+    }
+}

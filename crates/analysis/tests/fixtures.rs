@@ -1,0 +1,97 @@
+//! The committed fixture corpus: one known-good tree and one
+//! known-bad tree per rule (plus one for the escape syntax itself).
+//! Each bad fixture must produce findings — these are the trees the CLI
+//! is required to exit non-zero on — and the good tree must be clean.
+
+use std::path::PathBuf;
+
+use rnn_analysis::check_workspace;
+use rnn_analysis::diag::Diagnostic;
+
+fn check_fixture(name: &str) -> Vec<Diagnostic> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    check_workspace(&root).unwrap_or_else(|e| panic!("fixture {name}: pass failed to run: {e}"))
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let diags = check_fixture("good");
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn bad_hot_path_finds_every_alloc_family() {
+    let diags = check_fixture("bad_hot_path");
+    assert_eq!(diags.len(), 5, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "hot-path-alloc"));
+    for needle in ["Vec::new", "format!", ".to_vec()", "Box::new", ".collect()"] {
+        assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "no finding for {needle}: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn bad_wire_finds_panics_and_indexing() {
+    let diags = check_fixture("bad_wire");
+    assert_eq!(diags.len(), 5, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "panic-free-wire"));
+    for needle in ["assert!", ".unwrap()", "panic!", "expr[..]"] {
+        assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "no finding for {needle}: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn bad_unsafe_demands_forbid_not_deny() {
+    let diags = check_fixture("bad_unsafe");
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, "forbid-unsafe-everywhere");
+    assert!(diags[0].file.ends_with("crate/src/lib.rs"));
+}
+
+#[test]
+fn bad_counter_sync_finds_each_kind_of_drift() {
+    let diags = check_fixture("bad_counter_sync");
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    // Unmapped counter, mapped-but-unrendered column (which is also
+    // ungated without a justification), and a gated metric that the
+    // runner never renders.
+    assert!(msgs.iter().any(|m| m.contains("`orphan`")), "{msgs:#?}");
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`dropped_per_ts`") && m.contains("not rendered")),
+        "{msgs:#?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`ghost_per_ts`") && m.contains("gate would silently skip")),
+        "{msgs:#?}"
+    );
+}
+
+#[test]
+fn bad_allow_reports_malformed_unused_and_unknown_escapes() {
+    let diags = check_fixture("bad_allow");
+    assert_eq!(diags.len(), 4, "{diags:#?}");
+    // The escape with the empty justification does NOT suppress the
+    // allocation below it.
+    assert!(diags.iter().any(|d| d.rule == "hot-path-alloc"));
+    let meta: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "lint-allow").collect();
+    assert_eq!(meta.len(), 3, "{diags:#?}");
+    assert!(meta.iter().any(|d| d.message.contains("malformed")));
+    assert!(meta.iter().any(|d| d.message.contains("unused")));
+    assert!(meta.iter().any(|d| d.message.contains("unknown rule")));
+}
+
+#[test]
+fn missing_manifest_is_a_hard_error_not_a_clean_pass() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let err = check_workspace(&root).unwrap_err();
+    assert!(err.contains("lint.toml"), "{err}");
+}

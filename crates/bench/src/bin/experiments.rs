@@ -13,6 +13,7 @@
 //! experiments ci-gate --update             # regenerate those baselines
 //! ```
 
+#![forbid(unsafe_code)]
 use std::env;
 use std::process::ExitCode;
 

@@ -15,6 +15,7 @@
 //!   mapping a swept parameter to a list of runs.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod figures;
 pub mod gate;

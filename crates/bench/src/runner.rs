@@ -139,6 +139,9 @@ pub struct RunResult {
     pub active_nodes: Option<usize>,
     /// Mean updates ignored per timestamp.
     pub ignored_per_ts: f64,
+    /// Mean query reevaluations per timestamp (NN recomputations forced
+    /// by object or edge updates hitting a query's influence region).
+    pub reevals_per_ts: f64,
     /// Mean objects touched by replica resync per timestamp (sharded
     /// engine only; 0 for single monitors).
     pub resync_per_ts: f64,
@@ -262,7 +265,8 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
         for (j, r) in p.results.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"algo\": \"{}\", \"cpu_per_ts\": {:.9}, \"work_per_ts\": {:.1}, \
-                 \"memory_kb\": {:.1}, \"ignored_per_ts\": {:.1}, \"resync_per_ts\": {:.1}, \
+                 \"memory_kb\": {:.1}, \"ignored_per_ts\": {:.1}, \
+                 \"reevals_per_ts\": {:.1}, \"resync_per_ts\": {:.1}, \
                  \"evictions_per_ts\": {:.1}, \"max_tick_resync\": {}, \
                  \"alloc_per_ts\": {:.3}, \"install_alloc_per_ts\": {:.3}, \
                  \"shared_per_ts\": {:.3}, \
@@ -275,6 +279,7 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                 r.work_per_ts,
                 r.memory_kb,
                 r.ignored_per_ts,
+                r.reevals_per_ts,
                 r.resync_per_ts,
                 r.evictions_per_ts,
                 r.max_tick_resync,
@@ -388,6 +393,7 @@ pub fn run_point(
                 memory_kb: algo_memory(&mem),
                 active_nodes: active,
                 ignored_per_ts: counters[i].updates_ignored as f64 / measured as f64,
+                reevals_per_ts: counters[i].reevaluations as f64 / measured as f64,
                 resync_per_ts: counters[i].resync_touched as f64 / measured as f64,
                 evictions_per_ts: counters[i].replica_evictions as f64 / measured as f64,
                 max_tick_resync: max_tick_resync[i],

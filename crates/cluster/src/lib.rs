@@ -35,7 +35,8 @@
 //! differential suite checks under every injected fault.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod client;
 pub mod engine;

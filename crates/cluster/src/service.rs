@@ -78,14 +78,10 @@ impl<T: Transport> ShardService<T> {
                 Some((seq, _)) if frame.seq < *seq => continue, // stale echo
                 _ => {}
             }
-            if matches!(frame.tag, MsgTag::TickReply | MsgTag::MemoryReply) {
-                // A reply tag arriving at the service is a stray echo of
-                // our own output; drop it.
-                continue;
-            }
             let payload = match self.process(&frame) {
-                Some(payload) => payload,
-                None => return, // shutdown
+                Processed::Reply(payload) => payload,
+                Processed::Drop => continue,
+                Processed::Shutdown => return,
             };
             let reply_tag = match frame.tag {
                 MsgTag::MemoryRequest => MsgTag::MemoryReply,
@@ -102,27 +98,43 @@ impl<T: Transport> ShardService<T> {
         }
     }
 
-    /// Executes one fresh request; `None` means shutdown.
-    fn process(&mut self, frame: &Frame) -> Option<Vec<u8>> {
+    /// Executes one fresh request.
+    fn process(&mut self, frame: &Frame) -> Processed {
         let mut payload = Vec::new();
         match frame.tag {
             MsgTag::TickEvents | MsgTag::ResyncEvents | MsgTag::MigrationEvents => {
                 let mut r = WireReader::new(&frame.payload);
-                // The checksum already vouched for these bytes; a decode
-                // failure here would be a codec bug, not line noise.
-                let delta = DeltaBatch::decode(&mut r).expect("checksummed batch decodes");
+                // The checksum vouched for these bytes, so a failure here
+                // is a codec-version mismatch rather than line noise —
+                // but either way the shard must not die on a frame: drop
+                // it and let the coordinator's timeout retransmit.
+                let Ok(delta) = DeltaBatch::decode(&mut r) else {
+                    return Processed::Drop;
+                };
                 let outcome = self
                     .state
                     .run_tick(&mut *self.monitor, delta, self.attribute_cells);
                 outcome.encode(&mut payload);
             }
             MsgTag::MemoryRequest => self.monitor.memory().encode(&mut payload),
-            MsgTag::Shutdown => return None,
-            // Reply tags are filtered out by `run` before this point.
-            MsgTag::TickReply | MsgTag::MemoryReply => unreachable!("reply tag reached process()"),
+            MsgTag::Shutdown => return Processed::Shutdown,
+            // A reply tag arriving at the service is a stray echo of our
+            // own output; drop it.
+            MsgTag::TickReply | MsgTag::MemoryReply => return Processed::Drop,
         }
-        Some(payload)
+        Processed::Reply(payload)
     }
+}
+
+/// Outcome of handling one fresh (non-duplicate) request frame.
+enum Processed {
+    /// Send this payload back under the matching reply tag.
+    Reply(Vec<u8>),
+    /// Ignore the frame entirely (undecodable payload or stray echo); the
+    /// coordinator's timeout owns recovery.
+    Drop,
+    /// Stop serving.
+    Shutdown,
 }
 
 /// Binds `path`, accepts exactly one coordinator connection, and serves

@@ -122,7 +122,9 @@ impl Transport for LoopbackTransport {
             // Flip a payload-region byte; the length prefix stays intact
             // so the damage is the checksum's to catch.
             let idx = 4 + (self.sent as usize) % (out.len() - 4);
-            out[idx] ^= 0x40;
+            if let Some(b) = out.get_mut(idx) {
+                *b ^= 0x40;
+            }
         }
         if self.plan.reorder_every > 0 && self.sent % self.plan.reorder_every == 0 {
             // Hold this frame; it goes out after the *next* one.
@@ -196,10 +198,8 @@ impl<S: ReadWriteStream> StreamTransport<S> {
 
     /// The complete first frame in `buf`, if any.
     fn take_frame(&mut self) -> Option<Vec<u8>> {
-        if self.buf.len() < 4 {
-            return None;
-        }
-        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        let header: [u8; 4] = self.buf.get(..4)?.try_into().ok()?;
+        let len = u32::from_le_bytes(header) as usize;
         let total = 4 + len;
         if self.buf.len() < total {
             return None;
@@ -226,7 +226,10 @@ impl<S: ReadWriteStream> Transport for StreamTransport<S> {
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Err(RecvError::Closed),
                 Ok(n) => {
-                    self.buf.extend_from_slice(&chunk[..n]);
+                    // A `read` returning n > chunk.len() would violate the
+                    // Read contract; treat it as an I/O fault, not a panic.
+                    let read = chunk.get(..n).ok_or(RecvError::Io)?;
+                    self.buf.extend_from_slice(read);
                     if let Some(frame) = self.take_frame() {
                         return Ok(frame);
                     }

@@ -49,6 +49,7 @@ impl Ovh {
         Self {
             net,
             state,
+            // lint: allow(hot-path-alloc): allocation at construction/install time; steady-state ticks only reuse this capacity (runtime gate pins alloc_events at 0)
             queries: FxHashMap::default(),
             engine,
             best: BestK::default(),
@@ -112,6 +113,7 @@ impl ContinuousMonitor for Ovh {
             OvhQuery {
                 k,
                 pos: at,
+                // lint: allow(hot-path-alloc): query installation is the declared install path; its allocations are tracked separately as install_alloc_events
                 result: Vec::new(),
                 knn_dist: f64::INFINITY,
             },
@@ -136,6 +138,7 @@ impl ContinuousMonitor for Ovh {
                     let entry = self.queries.entry(d.id).or_insert(OvhQuery {
                         k,
                         pos: at,
+                        // lint: allow(hot-path-alloc): the OVH baseline recomputes from scratch every tick by definition; its allocations are the cost the paper's figures measure against
                         result: Vec::new(),
                         knn_dist: f64::INFINITY,
                     });
@@ -150,6 +153,7 @@ impl ContinuousMonitor for Ovh {
         }
         // Recompute everything from scratch.
         let ids: Vec<QueryId> = {
+            // lint: allow(hot-path-alloc): the OVH baseline recomputes from scratch every tick by definition; its allocations are the cost the paper's figures measure against
             let mut v: Vec<QueryId> = self.queries.keys().copied().collect();
             v.sort();
             v
@@ -182,6 +186,7 @@ impl ContinuousMonitor for Ovh {
     }
 
     fn query_ids(&self) -> Vec<QueryId> {
+        // lint: allow(hot-path-alloc): introspection helper for tests and benches, not called from the tick path
         self.queries.keys().copied().collect()
     }
 
@@ -212,6 +217,7 @@ impl Ovh {
     /// Applies a single query event outside a tick (used in tests).
     pub fn apply_query_event(&mut self, ev: QueryEvent) {
         let batch = UpdateBatch {
+            // lint: allow(hot-path-alloc): query installation is the declared install path; its allocations are tracked separately as install_alloc_events
             queries: vec![ev],
             ..Default::default()
         };

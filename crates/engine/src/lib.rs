@@ -49,7 +49,7 @@
 //! harness, the differential tests — drives the sharded fleet unchanged.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod config;
 pub mod engine;

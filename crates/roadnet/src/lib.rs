@@ -22,7 +22,7 @@
 //! structures stay small and hashing stays cheap ([`hash`]).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod arena;
 pub mod dijkstra;

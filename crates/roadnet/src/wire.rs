@@ -106,37 +106,42 @@ impl<'a> WireReader<'a> {
 
     /// Takes the next `n` raw bytes.
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
     /// Reads a `u8`.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.bytes(1)?[0])
+        self.bytes(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, WireError> {
-        let b = self.bytes(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        let b = self
+            .bytes(2)?
+            .try_into()
+            .map_err(|_| WireError::Truncated)?;
+        Ok(u16::from_le_bytes(b))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        let b = self.bytes(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b = self
+            .bytes(4)?
+            .try_into()
+            .map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        let b = self.bytes(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b = self
+            .bytes(8)?
+            .try_into()
+            .map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Reads an `f64` from its raw IEEE-754 bits.

@@ -17,7 +17,7 @@
 //!   substitution #2).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod brinkhoff;
 pub mod distribution;

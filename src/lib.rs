@@ -21,6 +21,7 @@
 //! of the paper.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use rnn_cluster as cluster;
 pub use rnn_core as core;

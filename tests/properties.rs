@@ -1017,3 +1017,56 @@ proptest! {
         prop_assert!(Frame::from_bytes(&bytes).is_err());
     }
 }
+
+// ---------------------------------------------------------------------
+// Static-analysis lexer properties: the lint pass runs over every source
+// file in the workspace, so its lexer must terminate, never panic, and
+// keep line numbers sane on arbitrary input — including bytes that are
+// not valid Rust (unterminated strings, stray quotes, lone backslashes).
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Lexing arbitrary bytes (lossily decoded) terminates without
+    /// panicking, and every reported line number is within the input.
+    #[test]
+    fn lexer_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let lines = src.lines().count().max(1) as u32;
+        let out = rnn_analysis::lexer::lex(&src);
+        for t in &out.tokens {
+            prop_assert!(t.line >= 1 && t.line <= lines);
+        }
+        for a in &out.allows {
+            prop_assert!(!a.rule.is_empty());
+            prop_assert!(a.line >= 1 && a.line <= lines);
+        }
+    }
+
+    /// Token lines are nondecreasing: the stream preserves source order.
+    #[test]
+    fn lexer_lines_are_monotone(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let toks = rnn_analysis::lexer::lex(&src).tokens;
+        for w in toks.windows(2) {
+            prop_assert!(w[0].line <= w[1].line);
+        }
+    }
+
+    /// Quote-heavy input — the worst case for string/char/lifetime
+    /// disambiguation — still terminates and stays in bounds.
+    #[test]
+    fn lexer_survives_quote_soup(
+        picks in proptest::collection::vec(0usize..12, 0..200),
+    ) {
+        const PIECES: [&str; 12] = [
+            "\"", "'", "r#\"", "\"#", "//", "/*", "*/", "\\", "\n",
+            "lint: allow(", "b'", "r##",
+        ];
+        let src: String = picks.iter().map(|&i| PIECES[i]).collect();
+        let out = rnn_analysis::lexer::lex(&src);
+        let lines = src.lines().count().max(1) as u32;
+        for t in &out.tokens {
+            prop_assert!(t.line >= 1 && t.line <= lines);
+        }
+    }
+}

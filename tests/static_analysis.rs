@@ -1,0 +1,24 @@
+//! The static-analysis pass runs as part of `cargo test`: the workspace
+//! must be clean under every rule in `lint.toml`. CI runs the same check
+//! as a dedicated job (`cargo run -p rnn-analysis -- check`); this test
+//! makes the invariant local — a plain `cargo test` catches a hot-path
+//! allocation or a panicking decode path before a PR is even pushed.
+
+use std::path::Path;
+
+use rnn_analysis::check_workspace;
+
+#[test]
+fn workspace_is_clean_under_all_lint_rules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = check_workspace(root).expect("lint pass must be able to run");
+    assert!(
+        diags.is_empty(),
+        "rnn-analysis findings (fix them or add a justified `// lint: allow(...)`):\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

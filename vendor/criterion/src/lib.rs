@@ -9,7 +9,7 @@
 //! prints honest numbers offline. Swapping the real crate back in is a
 //! one-line Cargo change per crate.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::hint;

@@ -9,7 +9,7 @@
 //! case index and generated arguments are printed instead. Swapping the
 //! real crate back in is a one-line Cargo change.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 use std::ops::Range;
 use std::rc::Rc;

@@ -11,7 +11,7 @@
 //! the specific stream, so the swap is behavior-preserving for this
 //! workspace. Swapping the real crate back in is a one-line Cargo change.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 

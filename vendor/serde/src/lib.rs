@@ -8,7 +8,7 @@
 //! upstream crates back in is a one-line Cargo change per crate and the
 //! annotations are already in place.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -7,6 +7,8 @@
 //! is generic, and supporting them would mean reimplementing real parsing
 //! for no behavioral gain.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{TokenStream, TokenTree};
 
 /// Name of the type an item token stream defines, or a compile error if it
