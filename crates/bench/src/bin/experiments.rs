@@ -162,6 +162,7 @@ fn main() -> ExitCode {
             || fig.name == "tickpath"
             || fig.name == "rebalance"
             || fig.name == "cluster"
+            || fig.name == "recovery"
         {
             let path = format!("BENCH_{}.json", fig.name);
             match std::fs::write(&path, series_to_json(fig.name, &series)) {
@@ -347,6 +348,74 @@ fn main() -> ExitCode {
                         .collect::<Vec<_>>()
                         .join(", ")
                 );
+            }
+        }
+        // Recovery smoke: every durable run crashes its first shard at a
+        // pinned delivered-frame budget, so each CLU-n-D row must record
+        // at least one recovery and at least one snapshot; each recovery
+        // must have replayed only the journal *suffix* behind the latest
+        // snapshot (O(snapshot cadence), never O(run length)); and the
+        // truncation guarantee must hold — the summed per-shard journals
+        // stay under shards x cadence, proving truncate-behind-snapshot
+        // fired instead of letting the journal grow with the run.
+        if fig.name == "recovery" {
+            use rnn_bench::runner::DURABLE_SNAPSHOT_EVERY;
+            for point in &series {
+                for r in &point.results {
+                    let rnn_bench::runner::Algo::ClusterDurable(shards) = r.algo else {
+                        continue;
+                    };
+                    if r.recoveries == 0 || r.snapshots == 0 {
+                        eprintln!(
+                            "RECOVERY REGRESSION: {} at {} recorded {} recoveries and \
+                             {} snapshots — the fault plan stopped crashing shards or \
+                             the snapshot cadence stopped firing",
+                            r.algo.name(),
+                            point.label,
+                            r.recoveries,
+                            r.snapshots
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    let replay_bound = f64::from(DURABLE_SNAPSHOT_EVERY) + 2.0;
+                    if r.replayed_per_recovery > replay_bound {
+                        eprintln!(
+                            "RECOVERY REGRESSION: {} at {} replayed {:.1} frames per \
+                             recovery (bound {:.0}) — respawn is replaying history a \
+                             snapshot should have absorbed",
+                            r.algo.name(),
+                            point.label,
+                            r.replayed_per_recovery,
+                            replay_bound
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    let journal_bound = u64::from(shards) * u64::from(DURABLE_SNAPSHOT_EVERY);
+                    if r.journal_len >= journal_bound {
+                        eprintln!(
+                            "RECOVERY REGRESSION: {} at {} ended with {} journaled \
+                             frames across {} shards (bound {}) — the journal is no \
+                             longer truncated behind durable snapshots",
+                            r.algo.name(),
+                            point.label,
+                            r.journal_len,
+                            shards,
+                            journal_bound
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    println!(
+                        "#   {}: {} recovered {}x, {:.1} frames replayed/recovery, \
+                         {} snapshots ({:.1} KB), {} journaled frames at end",
+                        point.label,
+                        r.algo.name(),
+                        r.recoveries,
+                        r.replayed_per_recovery,
+                        r.snapshots,
+                        r.snapshot_kb,
+                        r.journal_len
+                    );
+                }
             }
         }
         // GMA's active-node count, where applicable.

@@ -382,6 +382,18 @@ fn cluster(scale: f64, seed: u64) -> Vec<(String, Params)> {
     ]
 }
 
+/// Durability (not in the paper): the fault-free loopback cluster
+/// against durable clusters whose first shard is crashed once mid-run
+/// (delivered-frame budget) and rebuilt from monitor-state snapshot +
+/// journal-suffix replay. The artifact sizes the durability plane
+/// (snapshot KB, journal length) and pins the recovery bound: frames
+/// replayed per recovery must track the snapshot cadence, not the run
+/// length. Same sweep as the cluster figure, so the CLU-2 column
+/// doubles as the no-durability control.
+fn recovery(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    cluster(scale, seed)
+}
+
 /// Ablation (not in the paper): IMA with vs without influence lists.
 fn ablation_influence(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.05, 0.10, 0.20]
@@ -541,6 +553,13 @@ pub fn all_figures() -> Vec<Figure> {
             algos: Algo::cluster_set(),
             memory: false,
             points: cluster,
+        },
+        Figure {
+            name: "recovery",
+            title: "Recovery: crash each shard mid-run, rebuild from snapshot + journal suffix",
+            algos: Algo::recovery_set(),
+            memory: false,
+            points: recovery,
         },
     ]
 }

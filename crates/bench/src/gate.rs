@@ -81,6 +81,20 @@ pub const GATE_SPECS: &[GateSpec] = &[
         warmup: 1,
         seed: 42,
     },
+    GateSpec {
+        // Durable shards with the first shard crashed at a pinned
+        // delivered-frame budget: the crash tick, the snapshot a respawn
+        // restores from, and the journal suffix it replays are all
+        // deterministic, so
+        // `replayed_per_recovery` is an exact number the gate can hold to
+        // the O(WAL-suffix) bound — a regression means recovery started
+        // replaying history a snapshot should have absorbed.
+        figure: "recovery",
+        scale: 0.01,
+        timestamps: 6,
+        warmup: 1,
+        seed: 42,
+    },
 ];
 
 /// The deterministic counters the gate enforces (field names as rendered
@@ -92,12 +106,17 @@ pub const GATE_SPECS: &[GateSpec] = &[
 /// pins the cluster's RPC message volume (absent from pre-cluster
 /// baselines, where it is skipped): a frame regression means the delta
 /// protocol started shipping more messages per tick.
+/// `replayed_per_recovery` pins crash recovery's replay volume (recovery
+/// figure only): it must stay O(WAL suffix) — bounded by the snapshot
+/// cadence — never O(full journal), so a regression means a respawn
+/// stopped restoring from the latest durable snapshot.
 const GATED_METRICS: &[&str] = &[
     "steps_per_ts",
     "resync_per_ts",
     "alloc_per_ts",
     "recycled_per_ts",
     "frames_per_ts",
+    "replayed_per_recovery",
 ];
 
 /// `(label, algo) → metric → value`, scanned from one artifact.

@@ -35,7 +35,26 @@ pub enum Algo {
     /// bit-identical to `Sharded(n)`; the CPU delta is the
     /// framing/serialisation cost of the delta protocol.
     Cluster(u8),
+    /// The cluster with the durability plane on and a crash injected:
+    /// every shard snapshots its monitor state each
+    /// [`DURABLE_SNAPSHOT_EVERY`] journaled event frames, its transport
+    /// kills the service after [`DURABLE_CRASH_AFTER_FRAMES`] delivered
+    /// frames, and recovery rebuilds from snapshot + journal suffix.
+    /// Sizes crash recovery: recoveries, frames replayed per recovery
+    /// (the O(WAL-suffix) bound the CI gate pins), snapshot bytes.
+    ClusterDurable(u8),
 }
+
+/// Snapshot cadence of [`Algo::ClusterDurable`], in journaled event
+/// frames. Pinned so the recovery artifact is deterministic; the
+/// replayed-per-recovery bound asserted by the recovery smoke is this
+/// plus the in-flight frame.
+pub const DURABLE_SNAPSHOT_EVERY: u32 = 8;
+
+/// Delivered-frame budget after which each [`Algo::ClusterDurable`]
+/// shard's transport kills its service, forcing exactly one crash and
+/// snapshot+suffix recovery per shard mid-run.
+pub const DURABLE_CRASH_AFTER_FRAMES: u32 = 30;
 
 impl Algo {
     /// Display name.
@@ -59,6 +78,11 @@ impl Algo {
             Algo::Cluster(4) => "CLU-4",
             Algo::Cluster(8) => "CLU-8",
             Algo::Cluster(_) => "CLU-n",
+            Algo::ClusterDurable(1) => "CLU-1-D",
+            Algo::ClusterDurable(2) => "CLU-2-D",
+            Algo::ClusterDurable(4) => "CLU-4-D",
+            Algo::ClusterDurable(8) => "CLU-8-D",
+            Algo::ClusterDurable(_) => "CLU-n-D",
         }
     }
 
@@ -110,13 +134,25 @@ impl Algo {
         &[Algo::Sharded(4), Algo::Cluster(2), Algo::Cluster(4)]
     }
 
+    /// The recovery set: the fault-free loopback cluster against the
+    /// durable cluster with a crash injected per shard, so the artifact
+    /// shows what durability costs (snapshots, WAL) and what recovery
+    /// replays (the O(WAL-suffix) bound).
+    pub fn recovery_set() -> &'static [Algo] {
+        &[
+            Algo::Cluster(2),
+            Algo::ClusterDurable(2),
+            Algo::ClusterDurable(4),
+        ]
+    }
+
     /// Whether this algorithm is the sharded engine (and thus reports
     /// replica/resync counters). The cluster qualifies: it *is* the
     /// sharded engine, routed over RPC.
     pub fn is_sharded(self) -> bool {
         matches!(
             self,
-            Algo::Sharded(_) | Algo::ShardedRebal(_) | Algo::Cluster(_)
+            Algo::Sharded(_) | Algo::ShardedRebal(_) | Algo::Cluster(_) | Algo::ClusterDurable(_)
         )
     }
 }
@@ -201,6 +237,25 @@ pub struct RunResult {
     /// tick catches the rebalancer mid-adaptation, while the mean captures
     /// the sustained balance the migration buys.
     pub load_ratio: f64,
+    /// Total crash recoveries over the whole run, warmup included
+    /// (injected crashes fire on delivered-frame budgets, often during
+    /// installation). 0 for fault-free and in-process monitors.
+    pub recoveries: u64,
+    /// Mean event frames replayed per crash recovery (0 when nothing
+    /// crashed). With snapshots on, this is bounded by the journal
+    /// suffix since the last snapshot — the O(WAL-suffix) recovery
+    /// bound the CI gate pins; full-history replay would blow it up.
+    pub replayed_per_recovery: f64,
+    /// Total monitor-state snapshots taken over the run.
+    pub snapshots: u64,
+    /// Size of the latest durable monitor-state snapshot, KBytes summed
+    /// over shards (sizes the snapshot plane against `memory_kb`).
+    pub snapshot_kb: f64,
+    /// Final coordinator journal length in event frames, summed over
+    /// shards. With snapshots every E frames this must stay < E per
+    /// shard — the journal-truncation guarantee (it grew without bound
+    /// before the durability plane).
+    pub journal_len: u64,
 }
 
 /// A labelled point of a figure series.
@@ -245,6 +300,16 @@ pub fn make_monitor(
             net,
             rnn_engine::EngineConfig::with_shards(usize::from(shards).max(1)),
         )),
+        Algo::ClusterDurable(shards) => Box::new(rnn_cluster::ClusterEngine::loopback_durable(
+            net,
+            rnn_engine::EngineConfig::with_shards(usize::from(shards).max(1)),
+            &[rnn_cluster::FaultPlan {
+                crash_after_frames: DURABLE_CRASH_AFTER_FRAMES,
+                ..Default::default()
+            }],
+            rnn_cluster::RetryPolicy::default(),
+            rnn_cluster::DurabilityConfig::in_memory(DURABLE_SNAPSHOT_EVERY),
+        )),
     }
 }
 
@@ -273,7 +338,10 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                  \"steps_per_ts\": {:.1}, \"recycled_per_ts\": {:.1}, \
                  \"pruned_per_ts\": {:.1}, \"frames_per_ts\": {:.1}, \
                  \"bytes_per_ts\": {:.1}, \"retries\": {}, \"rebalances\": {}, \
-                 \"cells_migrated\": {}, \"load_ratio\": {:.3}}}{}\n",
+                 \"cells_migrated\": {}, \"load_ratio\": {:.3}, \
+                 \"recoveries\": {}, \"replayed_per_recovery\": {:.1}, \
+                 \"snapshots\": {}, \"snapshot_kb\": {:.1}, \
+                 \"journal_len\": {}}}{}\n",
                 esc(r.algo.name()),
                 r.cpu_per_ts,
                 r.work_per_ts,
@@ -295,6 +363,11 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                 r.rebalances,
                 r.cells_migrated,
                 r.load_ratio,
+                r.recoveries,
+                r.replayed_per_recovery,
+                r.snapshots,
+                r.snapshot_kb,
+                r.journal_len,
                 if j + 1 < p.results.len() { "," } else { "" },
             ));
         }
@@ -374,7 +447,8 @@ pub fn run_point(
         .map(|(i, (a, m))| {
             // Capture the transport delta before `memory()`, which ships
             // its own request/reply pair per shard.
-            let (frames, bytes, retries) = match m.transport_stats() {
+            let final_stats = m.transport_stats();
+            let (frames, bytes, retries) = match &final_stats {
                 Some(s) => (
                     (s.frames_sent + s.frames_received)
                         .saturating_sub(net_base[i].frames_sent + net_base[i].frames_received),
@@ -384,6 +458,9 @@ pub fn run_point(
                 ),
                 None => (0, 0, 0),
             };
+            // Durability totals are whole-run (crashes fire on delivered-
+            // frame budgets, usually before the measured window opens).
+            let dur = final_stats.unwrap_or_default();
             let mem = m.memory();
             let active = m.active_groups();
             RunResult {
@@ -413,6 +490,15 @@ pub fn run_point(
                 } else {
                     0.0
                 },
+                recoveries: dur.crash_recoveries,
+                replayed_per_recovery: if dur.crash_recoveries > 0 {
+                    dur.frames_replayed as f64 / dur.crash_recoveries as f64
+                } else {
+                    0.0
+                },
+                snapshots: dur.snapshots,
+                snapshot_kb: dur.snapshot_bytes as f64 / 1024.0,
+                journal_len: dur.journal_len,
             }
         })
         .collect()

@@ -3,19 +3,48 @@
 //! over any [`Transport`], adding everything the in-process worker never
 //! needed — per-message timeout and retransmission, duplicate-reply
 //! filtering, corrupt-frame rejection, and crash recovery by respawning
-//! the service and replaying the full event journal against its fresh
-//! monitor (the monitors are deterministic, so a complete replay rebuilds
-//! bit-identical shard state and the engine never notices the death).
+//! the service and rebuilding its monitor.
+//!
+//! # Recovery, bounded
+//!
+//! Without durability (the default) the rebuild replays the **full**
+//! event journal against the respawned service's fresh monitor; the
+//! monitors are deterministic, so a complete replay reconstructs
+//! bit-identical shard state and the engine never notices the death.
+//! With a [`DurabilityConfig`] the link additionally runs a periodic
+//! snapshot cycle: every `snapshot_every` journaled event frames it
+//! pulls the monitor's answer-relevant state (`rnn_core::MonitorState`)
+//! over a [`MsgTag::SnapshotRequest`] round trip, then truncates the
+//! journal (and the on-disk [`Wal`], when a directory is configured)
+//! behind it. Recovery then costs one snapshot install plus a replay of
+//! only the journal **suffix** — O(events since the last snapshot), not
+//! O(run length) — which is what makes crash recovery bounded-time.
+//!
+//! # Liveness
+//!
+//! The client never panics on peer behaviour. A peer unreachable past
+//! the retry budget, dead with no respawn hook, or dying repeatedly
+//! through `recovery_retries` full recovery attempts turns the link
+//! **dead**: the failure is recorded as a typed [`ClusterError`], the
+//! current and every subsequent `recv` answers `Response::Down`, and
+//! sends become no-ops. What happens next is the engine's policy call
+//! (`rnn_engine::EngineConfig::takeover`): panic, or hand the corpse's
+//! cells to surviving shards.
 
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use rnn_core::{MemoryUsage, TransportStats};
+use rnn_core::{MemoryUsage, MonitorState, TransportStats};
 use rnn_engine::{BatchKind, Request, Response, ShardLink, TickOutcome};
 use rnn_roadnet::{WireCodec, WireReader};
 
+use crate::error::ClusterError;
 use crate::frame::{Frame, MsgTag};
 use crate::transport::{RecvError, Transport};
+use crate::wal::Wal;
 
 /// Per-message delivery policy.
 #[derive(Clone, Copy, Debug)]
@@ -23,8 +52,8 @@ pub struct RetryPolicy {
     /// How long to wait for a reply before retransmitting the request.
     pub timeout: Duration,
     /// Retransmits allowed per request before the shard is declared
-    /// unreachable (a panic — the engine has no degraded mode: a lost
-    /// shard means lost answers).
+    /// permanently unreachable (the link goes dead and reports
+    /// `Response::Down`; the engine decides whether that is fatal).
     pub max_retries: u32,
 }
 
@@ -33,6 +62,57 @@ impl Default for RetryPolicy {
         Self {
             timeout: Duration::from_secs(1),
             max_retries: 8,
+        }
+    }
+}
+
+/// The durability plane of one shard link. The default (`snapshot_every
+/// = 0`, no directory) disables all of it and keeps the historical
+/// full-journal behaviour bit-for-bit.
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityConfig {
+    /// Run a snapshot cycle once the journal holds this many event
+    /// frames: capture the monitor's state over RPC, then truncate the
+    /// journal (and WAL) behind it, bounding recovery replay to the
+    /// suffix. `0` disables snapshots entirely.
+    pub snapshot_every: u32,
+    /// Directory for the on-disk durability artifacts — `events.wal`
+    /// (the event journal, torn-tail tolerant; see [`crate::wal`]) and
+    /// `snapshot.bin` (the latest snapshot, written tmp+fsync+rename).
+    /// `None` keeps the journal and snapshot in memory only: shard-crash
+    /// recovery still works (the coordinator survives), but nothing
+    /// outlives the coordinator process.
+    pub dir: Option<PathBuf>,
+    /// WAL fsync batching: sync the log once per this many appends
+    /// (0 is treated as 1 — sync every append).
+    pub fsync_every: u32,
+    /// Extra full recovery attempts (respawn + snapshot install +
+    /// suffix replay) after the first one fails before the link is
+    /// declared dead.
+    pub recovery_retries: u32,
+}
+
+impl DurabilityConfig {
+    /// Snapshots every `snapshot_every` events, in-memory only, with two
+    /// recovery retries — the configuration the tests and benchmarks use
+    /// unless they need the on-disk artifacts.
+    pub fn in_memory(snapshot_every: u32) -> Self {
+        Self {
+            snapshot_every,
+            dir: None,
+            fsync_every: 1,
+            recovery_retries: 2,
+        }
+    }
+
+    /// Like [`Self::in_memory`] but persisting the WAL and snapshots
+    /// under `dir`.
+    pub fn on_disk(snapshot_every: u32, dir: PathBuf) -> Self {
+        Self {
+            snapshot_every,
+            dir: Some(dir),
+            fsync_every: 1,
+            recovery_retries: 2,
         }
     }
 }
@@ -47,17 +127,41 @@ struct Inflight {
     tag: MsgTag,
 }
 
+/// Why one rebuild attempt against a respawned service did not finish.
+enum RebuildError {
+    /// The fresh peer died too; another respawn may still succeed.
+    PeerDied,
+    /// A failure retrying cannot fix (snapshot install rejected).
+    Fatal(ClusterError),
+}
+
 struct Inner {
     shard: usize,
     transport: Box<dyn Transport>,
     policy: RetryPolicy,
+    durability: DurabilityConfig,
     next_seq: u32,
     inflight: Option<Inflight>,
-    /// Every event frame ever sent, in order, with its sequence number.
-    /// This is the recovery state: replayed in full against a respawned
-    /// service's fresh monitor. Memory requests are read-only and are
-    /// simply retransmitted, never journaled.
+    /// Event frames sent since the last durable snapshot, in order, with
+    /// their sequence numbers. This is the recovery suffix: replayed
+    /// against a respawned service after its snapshot install (or in
+    /// full, from seq 0, when snapshots are disabled). Memory requests
+    /// are read-only and are simply retransmitted, never journaled.
     journal: Vec<(u32, Vec<u8>)>,
+    /// Disk image of the journal (present when `durability.dir` is set).
+    wal: Option<Wal>,
+    /// Latest monitor-state snapshot: the sequence number it covers and
+    /// the encoded `MonitorState` payload.
+    snapshot: Option<(u32, Vec<u8>)>,
+    /// Cleared when the shard's monitor answers a snapshot request with
+    /// an empty payload (snapshots unsupported) — the cycle then stays
+    /// off and recovery falls back to full replay.
+    snapshots_supported: bool,
+    /// Set once the link has given up on its peer; `recv` then answers
+    /// `Response::Down` forever and sends are dropped.
+    dead: bool,
+    /// The typed failure that killed the link.
+    last_error: Option<ClusterError>,
     respawn: Option<RespawnFn>,
     stats: TransportStats,
 }
@@ -68,20 +172,81 @@ pub struct RemoteShard {
 }
 
 impl RemoteShard {
-    /// A link with no crash recovery: the peer dying is fatal.
+    /// A link with no crash recovery: the peer dying kills the link.
     pub fn new(shard: usize, transport: Box<dyn Transport>, policy: RetryPolicy) -> Self {
-        Self::build(shard, transport, policy, None)
+        Self::build(shard, transport, policy, None, DurabilityConfig::default())
     }
 
     /// A link that, when the peer dies, calls `respawn` for a transport
-    /// to a fresh service and replays the journal into it.
+    /// to a fresh service and rebuilds it by journal replay.
     pub fn with_respawn(
         shard: usize,
         transport: Box<dyn Transport>,
         policy: RetryPolicy,
         respawn: RespawnFn,
     ) -> Self {
-        Self::build(shard, transport, policy, Some(respawn))
+        Self::build(
+            shard,
+            transport,
+            policy,
+            Some(respawn),
+            DurabilityConfig::default(),
+        )
+    }
+
+    /// A link with the full durability plane: periodic snapshots with
+    /// journal/WAL truncation, bounded-suffix recovery, and (when
+    /// `durability.dir` is set) on-disk artifacts that seed the journal
+    /// and snapshot back in on construction — a restarted coordinator
+    /// resumes from what was durable, minus any torn WAL tail.
+    pub fn with_durability(
+        shard: usize,
+        transport: Box<dyn Transport>,
+        policy: RetryPolicy,
+        respawn: Option<RespawnFn>,
+        durability: DurabilityConfig,
+    ) -> std::io::Result<Self> {
+        let mut snapshot = None;
+        let mut journal = Vec::new();
+        let mut wal = None;
+        if let Some(dir) = &durability.dir {
+            std::fs::create_dir_all(dir)?;
+            snapshot = load_snapshot(&dir.join("snapshot.bin"));
+            let (log, recovered) = Wal::open(&dir.join("events.wal"), durability.fsync_every)?;
+            // A crash between snapshot rename and WAL reset can leave
+            // already-covered records in the log; recovery must replay
+            // only the suffix past the snapshot.
+            let covered = snapshot.as_ref().map(|(seq, _)| *seq);
+            journal = recovered
+                .into_iter()
+                .filter(|(seq, _)| !covered.is_some_and(|c| *seq <= c))
+                .collect();
+            wal = Some(log);
+        }
+        let next_seq = journal
+            .iter()
+            .map(|(seq, _)| *seq)
+            .chain(snapshot.iter().map(|(seq, _)| *seq))
+            .max()
+            .map_or(0, |m| m + 1);
+        Ok(Self {
+            inner: Mutex::new(Inner {
+                shard,
+                transport,
+                policy,
+                durability,
+                next_seq,
+                inflight: None,
+                journal,
+                wal,
+                snapshot,
+                snapshots_supported: true,
+                dead: false,
+                last_error: None,
+                respawn,
+                stats: TransportStats::default(),
+            }),
+        })
     }
 
     fn build(
@@ -89,37 +254,61 @@ impl RemoteShard {
         transport: Box<dyn Transport>,
         policy: RetryPolicy,
         respawn: Option<RespawnFn>,
+        durability: DurabilityConfig,
     ) -> Self {
-        Self {
-            inner: Mutex::new(Inner {
-                shard,
-                transport,
-                policy,
-                next_seq: 0,
-                inflight: None,
-                journal: Vec::new(),
-                respawn,
-                stats: TransportStats::default(),
-            }),
+        debug_assert!(durability.dir.is_none());
+        match Self::with_durability(shard, transport, policy, respawn, durability) {
+            Ok(link) => link,
+            // lint: allow(panic-free-wire): unreachable — without a durability dir no I/O runs, so construction cannot fail
+            Err(e) => panic!("shard {shard}: link construction failed without disk I/O: {e}"),
         }
     }
 
-    /// Cumulative transport counters for this link.
+    /// Cumulative transport counters for this link. The durability
+    /// gauges (`journal_len`, `wal_bytes`, `snapshot_bytes`) are
+    /// computed from the live state at call time.
     pub fn stats(&self) -> TransportStats {
         // lint: allow(panic-free-wire): lock poisoning is a local crash already in progress, not network input
-        self.inner.lock().expect("link lock").stats
+        let g = self.inner.lock().expect("link lock");
+        let mut stats = g.stats;
+        stats.journal_len = g.journal.len() as u64;
+        stats.wal_bytes = g.wal.as_ref().map_or(0, Wal::bytes);
+        stats.snapshot_bytes = g.snapshot.as_ref().map_or(0, |(_, p)| p.len() as u64);
+        stats
     }
+
+    /// The typed failure that killed this link, if it is dead.
+    pub fn last_error(&self) -> Option<ClusterError> {
+        // lint: allow(panic-free-wire): lock poisoning is a local crash already in progress, not network input
+        self.inner.lock().expect("link lock").last_error
+    }
+}
+
+/// Reads and validates a persisted snapshot file (one encoded
+/// [`MsgTag::SnapshotReply`] frame): `(covered_seq, state_payload)`.
+/// Any unreadable, torn, or mistagged file is treated as absent.
+fn load_snapshot(path: &std::path::Path) -> Option<(u32, Vec<u8>)> {
+    let bytes = std::fs::read(path).ok()?;
+    let frame = Frame::from_bytes(&bytes).ok()?;
+    (frame.tag == MsgTag::SnapshotReply).then_some((frame.seq, frame.payload))
 }
 
 impl ShardLink for RemoteShard {
     fn send(&self, req: Request) {
         // lint: allow(panic-free-wire): lock poisoning is a local crash already in progress, not network input
-        self.inner.lock().expect("link lock").send_req(req);
+        let mut g = self.inner.lock().expect("link lock");
+        if g.dead {
+            return; // a corpse accepts nothing; recv answers Down
+        }
+        g.send_req(req);
     }
 
     fn recv(&self) -> Response {
         // lint: allow(panic-free-wire): lock poisoning is a local crash already in progress, not network input
         let mut g = self.inner.lock().expect("link lock");
+        if g.dead {
+            return Response::Down;
+        }
         // lint: allow(panic-free-wire): ShardLink contract violation by the local engine (recv without send), not network input
         let inflight = g.inflight.take().expect("a request is outstanding");
         g.exchange(&inflight)
@@ -129,6 +318,9 @@ impl ShardLink for RemoteShard {
 impl Drop for RemoteShard {
     fn drop(&mut self) {
         if let Ok(mut g) = self.inner.lock() {
+            if g.dead {
+                return;
+            }
             // Sent twice deliberately: with injected faults one shutdown
             // frame can be corrupted or held back by a reordering
             // transport, and the second send flushes/replaces it. The
@@ -153,6 +345,11 @@ impl Inner {
                 }
             }
             Request::Memory => MsgTag::MemoryRequest,
+            Request::Snapshot => MsgTag::SnapshotRequest,
+            Request::Restore(state) => {
+                payload = state.to_bytes();
+                MsgTag::SnapshotInstall
+            }
             Request::Shutdown => MsgTag::Shutdown,
         };
         let seq = self.next_seq;
@@ -160,6 +357,12 @@ impl Inner {
         let bytes = Frame { tag, seq, payload }.to_bytes();
         if tag.is_events() {
             self.journal.push((seq, bytes.clone()));
+            if let Some(wal) = &mut self.wal {
+                // An append failure (disk full, dead mount) degrades
+                // durability, not correctness: the in-memory journal
+                // still covers shard-crash recovery.
+                let _ = wal.append(&bytes);
+            }
         }
         self.transmit(&bytes);
         if tag != MsgTag::Shutdown {
@@ -175,14 +378,30 @@ impl Inner {
         let _ = self.transport.send(bytes);
     }
 
-    /// Waits out the reply to `inflight`, driving retransmits, stale- and
-    /// corrupt-frame filtering, and crash recovery, and decodes the
-    /// matching reply's payload. A frame whose checksum passes but whose
-    /// payload fails to decode (or whose tag makes no sense as a reply) is
-    /// treated exactly like a corrupt frame: counted, dropped, and the
-    /// request retransmitted — the service answers a retransmit from its
-    /// cached-reply store, so a healthy peer converges in one round trip.
+    /// Waits out the reply to `inflight` and decodes it; on an
+    /// unrecoverable liveness failure the link goes dead and the engine
+    /// sees `Response::Down`.
     fn exchange(&mut self, inflight: &Inflight) -> Response {
+        match self.exchange_inner(inflight) {
+            Ok(resp) => resp,
+            Err(err) => {
+                self.dead = true;
+                self.last_error = Some(err);
+                self.inflight = None;
+                Response::Down
+            }
+        }
+    }
+
+    /// Drives retransmits, stale- and corrupt-frame filtering, and crash
+    /// recovery until the matching reply decodes. A frame whose checksum
+    /// passes but whose payload fails to decode (or whose tag makes no
+    /// sense as a reply) is treated exactly like a corrupt frame:
+    /// counted, dropped, and the request retransmitted — the service
+    /// answers a retransmit from its cached-reply store, so a healthy
+    /// peer converges in one round trip. After an acknowledged event
+    /// frame the snapshot cycle may run (see the module docs).
+    fn exchange_inner(&mut self, inflight: &Inflight) -> Result<Response, ClusterError> {
         let mut attempts = 0u32;
         loop {
             match self.transport.recv_timeout(self.policy.timeout) {
@@ -191,10 +410,15 @@ impl Inner {
                     self.stats.bytes_received += bytes.len() as u64;
                     match Frame::from_bytes(&bytes) {
                         Ok(f) if f.seq == inflight.seq => match decode_reply(&f) {
-                            Some(resp) => return resp,
+                            Some(resp) => {
+                                if inflight.tag.is_events() {
+                                    self.maybe_snapshot(inflight.seq);
+                                }
+                                return Ok(resp);
+                            }
                             None => {
                                 self.stats.corrupt_frames += 1;
-                                self.retransmit(inflight, &mut attempts);
+                                self.retransmit(inflight, &mut attempts)?;
                             }
                         },
                         // A reply to an older request: a retransmission
@@ -202,64 +426,266 @@ impl Inner {
                         Ok(_) => continue,
                         Err(_) => {
                             self.stats.corrupt_frames += 1;
-                            self.retransmit(inflight, &mut attempts);
+                            self.retransmit(inflight, &mut attempts)?;
                         }
                     }
                 }
-                Err(RecvError::Timeout) => self.retransmit(inflight, &mut attempts),
-                Err(RecvError::Closed) | Err(RecvError::Io) => self.recover(inflight),
+                Err(RecvError::Timeout) => self.retransmit(inflight, &mut attempts)?,
+                Err(RecvError::Closed) | Err(RecvError::Io) => self.recover(inflight)?,
             }
         }
     }
 
-    fn retransmit(&mut self, inflight: &Inflight, attempts: &mut u32) {
+    fn retransmit(&mut self, inflight: &Inflight, attempts: &mut u32) -> Result<(), ClusterError> {
         *attempts += 1;
-        // lint: allow(panic-free-wire): declared liveness policy — a shard unreachable past the retry budget is fatal by design (RetryPolicy docs)
-        assert!(
-            *attempts <= self.policy.max_retries,
-            "shard {}: no reply to seq {} after {} retransmits",
-            self.shard,
-            inflight.seq,
-            self.policy.max_retries
-        );
+        if *attempts > self.policy.max_retries {
+            // Declared liveness policy: a shard unreachable past the
+            // retry budget is down (RetryPolicy docs). Typed, not a
+            // panic — the engine owns the fatality decision.
+            return Err(ClusterError::Unreachable {
+                shard: self.shard,
+                seq: inflight.seq,
+                retries: self.policy.max_retries,
+            });
+        }
         self.stats.retries += 1;
         let bytes = inflight.bytes.clone();
         self.transmit(&bytes);
+        Ok(())
     }
 
-    /// The peer is gone: respawn a fresh service and rebuild its monitor
-    /// by replaying the whole event journal (deterministic monitors make
-    /// the result bit-identical to the lost state). The journal's last
-    /// entry is the inflight request itself when that request is an event
-    /// batch — its reply is left for [`Self::exchange`] to consume.
-    fn recover(&mut self, inflight: &Inflight) {
-        let Some(respawn) = self.respawn.as_mut() else {
-            // lint: allow(panic-free-wire): declared liveness policy — without a respawn hook a dead shard means lost answers, which is fatal by design
-            panic!("shard {} died and no respawn policy is set", self.shard);
+    // --- Snapshot cycle ---------------------------------------------------
+
+    /// After an acknowledged event frame: if the journal has reached the
+    /// snapshot threshold, pull the monitor's state and truncate the
+    /// journal/WAL behind it. Strictly best-effort — any failure leaves
+    /// the journal intact (recovery still replays everything it needs)
+    /// and the next acknowledged event retries.
+    fn maybe_snapshot(&mut self, covered_seq: u32) {
+        if self.durability.snapshot_every == 0
+            || !self.snapshots_supported
+            || (self.journal.len() as u32) < self.durability.snapshot_every
+        {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let request = Frame {
+            tag: MsgTag::SnapshotRequest,
+            seq,
+            payload: Vec::new(),
+        }
+        .to_bytes();
+        self.transmit(&request);
+        let Some(payload) = self.await_snapshot_reply(seq, &request) else {
+            return;
         };
-        self.stats.crash_recoveries += 1;
-        self.transport = respawn();
+        if payload.is_empty() {
+            // The monitor cannot snapshot (no `snapshot_state` impl):
+            // stop asking; recovery falls back to full journal replay.
+            self.snapshots_supported = false;
+            return;
+        }
+        // Durable order: snapshot first, truncate after. If persistence
+        // fails the journal is kept, so the on-disk artifacts never get
+        // ahead of what recovery can actually replay.
+        if self.persist_snapshot(covered_seq, &payload).is_err() {
+            return;
+        }
+        self.stats.snapshots += 1;
+        self.snapshot = Some((covered_seq, payload));
+        self.journal.clear();
+        if let Some(wal) = &mut self.wal {
+            let _ = wal.reset();
+        }
+    }
+
+    /// Waits out the reply to one snapshot request. `None` on any
+    /// failure (timeout budget spent, peer closed): the cycle is
+    /// abandoned and a real death surfaces on the next event exchange,
+    /// where the recovery path owns it.
+    fn await_snapshot_reply(&mut self, seq: u32, request: &[u8]) -> Option<Vec<u8>> {
+        let mut attempts = 0u32;
+        loop {
+            match self.transport.recv_timeout(self.policy.timeout) {
+                Ok(bytes) => {
+                    self.stats.frames_received += 1;
+                    self.stats.bytes_received += bytes.len() as u64;
+                    match Frame::from_bytes(&bytes) {
+                        Ok(f) if f.seq == seq && f.tag == MsgTag::SnapshotReply => {
+                            return Some(f.payload)
+                        }
+                        Ok(f) if f.seq == seq => {
+                            // Right seq, wrong tag: treat as corruption.
+                            self.stats.corrupt_frames += 1;
+                            attempts += 1;
+                            if attempts > self.policy.max_retries {
+                                return None;
+                            }
+                            self.stats.retries += 1;
+                            let req = request.to_vec();
+                            self.transmit(&req);
+                        }
+                        Ok(_) => continue, // stale echo
+                        Err(_) => {
+                            self.stats.corrupt_frames += 1;
+                            attempts += 1;
+                            if attempts > self.policy.max_retries {
+                                return None;
+                            }
+                            self.stats.retries += 1;
+                            let req = request.to_vec();
+                            self.transmit(&req);
+                        }
+                    }
+                }
+                Err(RecvError::Timeout) => {
+                    attempts += 1;
+                    if attempts > self.policy.max_retries {
+                        return None;
+                    }
+                    self.stats.retries += 1;
+                    let req = request.to_vec();
+                    self.transmit(&req);
+                }
+                Err(RecvError::Closed) | Err(RecvError::Io) => return None,
+            }
+        }
+    }
+
+    /// Persists the snapshot as one self-checksummed frame, written to a
+    /// temp file, synced, and renamed into place — a crash leaves either
+    /// the old snapshot or the new one, never a torn file.
+    fn persist_snapshot(&mut self, covered_seq: u32, payload: &[u8]) -> std::io::Result<()> {
+        let Some(dir) = &self.durability.dir else {
+            return Ok(());
+        };
+        let bytes = Frame {
+            tag: MsgTag::SnapshotReply,
+            seq: covered_seq,
+            payload: payload.to_vec(),
+        }
+        .to_bytes();
+        let tmp = dir.join("snapshot.tmp");
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+        drop(f);
+        std::fs::rename(&tmp, dir.join("snapshot.bin"))
+    }
+
+    // --- Crash recovery ---------------------------------------------------
+
+    /// The peer is gone: respawn a fresh service and rebuild its monitor
+    /// — snapshot install (when one is held) plus a replay of the
+    /// journal suffix; deterministic monitors make the result
+    /// bit-identical to the lost state. The whole rebuild is retried up
+    /// to `1 + recovery_retries` times against fresh respawns before the
+    /// link gives up.
+    fn recover(&mut self, inflight: &Inflight) -> Result<(), ClusterError> {
+        if self.respawn.is_none() {
+            return Err(ClusterError::NoRespawn { shard: self.shard });
+        }
+        let budget = 1 + self.durability.recovery_retries;
+        for _attempt in 0..budget {
+            self.stats.crash_recoveries += 1;
+            if let Some(respawn) = self.respawn.as_mut() {
+                self.transport = respawn();
+            }
+            match self.rebuild(inflight) {
+                Ok(()) => return Ok(()),
+                Err(RebuildError::Fatal(e)) => return Err(e),
+                Err(RebuildError::PeerDied) => continue,
+            }
+        }
+        Err(ClusterError::RecoveryFailed {
+            shard: self.shard,
+            attempts: budget,
+        })
+    }
+
+    /// One rebuild attempt against a freshly respawned service. The
+    /// journal's last entry is the inflight request itself when that
+    /// request is an event batch — its reply is left for
+    /// [`Self::exchange_inner`] to consume.
+    fn rebuild(&mut self, inflight: &Inflight) -> Result<(), RebuildError> {
+        if let Some((covered_seq, state)) = self.snapshot.clone() {
+            // The install carries the *covered* sequence number, so the
+            // service's duplicate filter accepts exactly the suffix
+            // (seq > covered_seq) replayed after it.
+            let install = Frame {
+                tag: MsgTag::SnapshotInstall,
+                seq: covered_seq,
+                payload: state,
+            }
+            .to_bytes();
+            self.transmit(&install);
+            if !self.await_restore_reply(covered_seq, &install)? {
+                return Err(RebuildError::Fatal(ClusterError::RestoreRejected {
+                    shard: self.shard,
+                }));
+            }
+        }
         let journal = std::mem::take(&mut self.journal);
+        let mut outcome = Ok(());
         for (seq, bytes) in &journal {
             self.stats.frames_sent += 1;
             self.stats.bytes_sent += bytes.len() as u64;
+            self.stats.frames_replayed += 1;
             let _ = self.transport.send(bytes);
             if *seq == inflight.seq {
-                break; // exchange() consumes this reply
+                break; // exchange consumes this reply
             }
-            self.drain_replay_reply(*seq, bytes);
+            if let Err(e) = self.drain_replay_reply(*seq, bytes) {
+                outcome = Err(e);
+                break;
+            }
         }
         self.journal = journal;
+        outcome?;
         if !inflight.tag.is_events() {
             // A read-only request (Memory) was in flight: retransmit it
             // now that the rebuilt shard is caught up.
             let bytes = inflight.bytes.clone();
             self.transmit(&bytes);
         }
+        Ok(())
+    }
+
+    /// Waits out the reply to a snapshot install: `Ok(true)` on `[1]`,
+    /// `Ok(false)` on an explicit rejection, `PeerDied` if the fresh
+    /// peer stalls past the retry budget or closes.
+    fn await_restore_reply(&mut self, seq: u32, install: &[u8]) -> Result<bool, RebuildError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.transport.recv_timeout(self.policy.timeout) {
+                Ok(bytes) => {
+                    self.stats.frames_received += 1;
+                    self.stats.bytes_received += bytes.len() as u64;
+                    match Frame::from_bytes(&bytes) {
+                        Ok(f) if f.seq == seq && f.tag == MsgTag::RestoreReply => {
+                            return Ok(f.payload == [1]);
+                        }
+                        Ok(f) if f.seq == seq => {
+                            // A stale pre-crash reply can carry this seq
+                            // (it was an event seq once); drop it.
+                            continue;
+                        }
+                        Ok(_) => continue,
+                        Err(_) => {
+                            self.stats.corrupt_frames += 1;
+                            self.resend_or_die(install, &mut attempts)?;
+                        }
+                    }
+                }
+                Err(RecvError::Timeout) => self.resend_or_die(install, &mut attempts)?,
+                Err(RecvError::Closed) | Err(RecvError::Io) => return Err(RebuildError::PeerDied),
+            }
+        }
     }
 
     /// Consumes (and discards) the reply to one replayed journal frame.
-    fn drain_replay_reply(&mut self, seq: u32, bytes: &[u8]) {
+    fn drain_replay_reply(&mut self, seq: u32, bytes: &[u8]) -> Result<(), RebuildError> {
         let mut attempts = 0u32;
         loop {
             match self.transport.recv_timeout(self.policy.timeout) {
@@ -267,28 +693,32 @@ impl Inner {
                     self.stats.frames_received += 1;
                     self.stats.bytes_received += reply.len() as u64;
                     match Frame::from_bytes(&reply) {
-                        Ok(f) if f.seq == seq => return,
+                        Ok(f) if f.seq == seq => return Ok(()),
                         Ok(_) => continue,
                         Err(_) => self.stats.corrupt_frames += 1,
                     }
                 }
-                Err(RecvError::Timeout) => {
-                    attempts += 1;
-                    // lint: allow(panic-free-wire): declared liveness policy — a replay stalled past the retry budget is fatal by design
-                    assert!(
-                        attempts <= self.policy.max_retries,
-                        "shard {}: replay stalled at seq {seq}",
-                        self.shard
-                    );
-                    self.stats.retries += 1;
-                    self.stats.frames_sent += 1;
-                    self.stats.bytes_sent += bytes.len() as u64;
-                    let _ = self.transport.send(bytes);
-                }
-                // lint: allow(panic-free-wire): declared liveness policy — a second death mid-replay exhausts the recovery story and is fatal by design
-                Err(_) => panic!("shard {} died again during journal replay", self.shard),
+                Err(RecvError::Timeout) => self.resend_or_die(bytes, &mut attempts)?,
+                // The fresh peer died mid-replay: this attempt is spent;
+                // the recovery loop decides whether another respawn is
+                // in budget.
+                Err(RecvError::Closed) | Err(RecvError::Io) => return Err(RebuildError::PeerDied),
             }
         }
+    }
+
+    /// Shared retransmit-with-budget step of the rebuild paths: resends
+    /// `bytes`, or reports the fresh peer as dead once the per-message
+    /// retry budget is spent.
+    fn resend_or_die(&mut self, bytes: &[u8], attempts: &mut u32) -> Result<(), RebuildError> {
+        *attempts += 1;
+        if *attempts > self.policy.max_retries {
+            return Err(RebuildError::PeerDied);
+        }
+        self.stats.retries += 1;
+        let copy = bytes.to_vec();
+        self.transmit(&copy);
+        Ok(())
     }
 }
 
@@ -300,6 +730,20 @@ fn decode_reply(frame: &Frame) -> Option<Response> {
     match frame.tag {
         MsgTag::TickReply => TickOutcome::decode(&mut r).ok().map(Response::Tick),
         MsgTag::MemoryReply => MemoryUsage::decode(&mut r).ok().map(Response::Memory),
+        MsgTag::RestoreReply => match frame.payload.as_slice() {
+            [1] => Some(Response::Restored(true)),
+            [0] => Some(Response::Restored(false)),
+            _ => None,
+        },
+        MsgTag::SnapshotReply => {
+            if frame.payload.is_empty() {
+                Some(Response::Snapshot(None))
+            } else {
+                MonitorState::from_bytes(&frame.payload)
+                    .ok()
+                    .map(|s| Response::Snapshot(Some(Box::new(s))))
+            }
+        }
         _ => None,
     }
 }

@@ -15,7 +15,7 @@ use rnn_core::{ContinuousMonitor, MemoryUsage, Neighbor, TickReport, TransportSt
 use rnn_engine::{EngineConfig, ShardedEngine};
 use rnn_roadnet::{EdgeId, NetPoint, ObjectId, QueryId, RoadNetwork};
 
-use crate::client::{RemoteShard, RespawnFn, RetryPolicy};
+use crate::client::{DurabilityConfig, RemoteShard, RespawnFn, RetryPolicy};
 use crate::service::ShardService;
 use crate::transport::{loopback_pair, FaultPlan, LoopbackPeer, StreamTransport, Transport};
 
@@ -48,12 +48,30 @@ impl ClusterEngine {
     /// A loopback cluster with fault injection: shard `s` gets
     /// `plans[s % plans.len()]` (pass one plan to apply it everywhere).
     /// Crashed services are respawned with a fresh, fault-free transport
-    /// and rebuilt by journal replay.
+    /// and rebuilt by journal replay (unless the plan marks respawns
+    /// stillborn — see [`FaultPlan::respawn_dead`]).
     pub fn loopback_with_faults(
         net: Arc<RoadNetwork>,
         cfg: EngineConfig,
         plans: &[FaultPlan],
         policy: RetryPolicy,
+    ) -> Self {
+        Self::loopback_durable(net, cfg, plans, policy, DurabilityConfig::default())
+    }
+
+    /// A loopback cluster with fault injection **and** the per-shard
+    /// durability plane: each link snapshots its shard every
+    /// `durability.snapshot_every` journaled event frames and recovers
+    /// crashes from snapshot + journal suffix. When `durability.dir` is
+    /// set, shard `s` persists its WAL and snapshots under
+    /// `dir/shard-<s>/`. The default `DurabilityConfig` (snapshots off)
+    /// makes this exactly [`Self::loopback_with_faults`].
+    pub fn loopback_durable(
+        net: Arc<RoadNetwork>,
+        cfg: EngineConfig,
+        plans: &[FaultPlan],
+        policy: RetryPolicy,
+        durability: DurabilityConfig,
     ) -> Self {
         assert!(!plans.is_empty(), "at least one fault plan");
         let attribute_cells = cfg.attribute_cells();
@@ -65,15 +83,33 @@ impl ClusterEngine {
                 let net2 = net.clone();
                 let respawn: RespawnFn = Box::new(move || {
                     let (co2, peer2) = loopback_pair(FaultPlan::default());
-                    spawn_loopback_service(
-                        s,
-                        peer2,
-                        cfg.make_monitor(net2.clone()),
-                        attribute_cells,
-                    );
+                    if plan.respawn_dead {
+                        // Stillborn respawn: no service ever serves this
+                        // transport, so the next recv observes Closed and
+                        // the recovery budget burns down deterministically.
+                        drop(peer2);
+                    } else {
+                        spawn_loopback_service(
+                            s,
+                            peer2,
+                            cfg.make_monitor(net2.clone()),
+                            attribute_cells,
+                        );
+                    }
                     Box::new(co2)
                 });
-                RemoteShard::with_respawn(s, Box::new(co), policy, respawn)
+                let mut link_durability = durability.clone();
+                if let Some(root) = &durability.dir {
+                    link_durability.dir = Some(root.join(format!("shard-{s}")));
+                }
+                RemoteShard::with_durability(
+                    s,
+                    Box::new(co),
+                    policy,
+                    Some(respawn),
+                    link_durability,
+                )
+                .unwrap_or_else(|e| panic!("shard {s}: durability dir unusable: {e}"))
             })
             .collect();
         let engine = ShardedEngine::with_links(net, cfg, links).unwrap_or_else(|e| panic!("{e}"));

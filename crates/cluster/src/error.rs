@@ -1,0 +1,77 @@
+//! Typed liveness failures of a coordinator↔shard link.
+//!
+//! Historically every unrecoverable transport condition was a panic in
+//! the client. The panics are now confined to the *engine*'s policy
+//! decision ([`rnn_engine::EngineConfig::takeover`] disabled): the link
+//! itself reports the failure as a [`ClusterError`], marks itself dead,
+//! and answers every subsequent request with `Response::Down`, so the
+//! coordinator can hand the shard's cells to survivors instead of
+//! tearing the process down.
+
+/// Why a shard link declared its peer permanently down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The peer never answered a request within the retry budget
+    /// ([`crate::client::RetryPolicy::max_retries`] retransmits, each
+    /// waited out for the policy timeout).
+    Unreachable {
+        /// The shard index.
+        shard: usize,
+        /// The sequence number of the unanswered request.
+        seq: u32,
+        /// Retransmits attempted before giving up.
+        retries: u32,
+    },
+    /// The transport reported the peer gone and no respawn hook was
+    /// configured, so nothing can be rebuilt.
+    NoRespawn {
+        /// The shard index.
+        shard: usize,
+    },
+    /// The transport reported the peer gone and every bounded recovery
+    /// attempt (respawn + snapshot install + journal replay) also failed —
+    /// e.g. the respawned service died again mid-replay.
+    RecoveryFailed {
+        /// The shard index.
+        shard: usize,
+        /// Full recovery attempts made (1 + `recovery_retries`).
+        attempts: u32,
+    },
+    /// A respawned service refused the snapshot install — its fresh
+    /// monitor could not reproduce the recorded results. This indicates
+    /// a determinism bug, not line noise, and is never retried past the
+    /// recovery budget.
+    RestoreRejected {
+        /// The shard index.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Unreachable {
+                shard,
+                seq,
+                retries,
+            } => write!(
+                f,
+                "shard {shard}: no reply to seq {seq} after {retries} retransmits"
+            ),
+            ClusterError::NoRespawn { shard } => {
+                write!(f, "shard {shard} died and no respawn policy is set")
+            }
+            ClusterError::RecoveryFailed { shard, attempts } => write!(
+                f,
+                "shard {shard}: recovery failed after {attempts} attempts \
+                 (peer kept dying during snapshot install / journal replay)"
+            ),
+            ClusterError::RestoreRejected { shard } => write!(
+                f,
+                "shard {shard}: respawned service rejected the snapshot install"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

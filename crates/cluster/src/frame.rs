@@ -47,6 +47,22 @@ pub enum MsgTag {
     TickReply = 6,
     /// Reply to [`MsgTag::MemoryRequest`]: a `MemoryUsage`.
     MemoryReply = 7,
+    /// Request: capture the monitor's answer-relevant state
+    /// (`rnn_core::MonitorState`). Empty payload.
+    SnapshotRequest = 8,
+    /// Reply to [`MsgTag::SnapshotRequest`]: the encoded state, or an
+    /// **empty** payload when the monitor does not support snapshots
+    /// (the coordinator then disables the snapshot cycle for this link).
+    SnapshotReply = 9,
+    /// Request: restore the carried `rnn_core::MonitorState` into the
+    /// (fresh) monitor. Sent during crash recovery **with the sequence
+    /// number the snapshot covers**, so the service's duplicate filter
+    /// accepts exactly the journal suffix (`seq > covered_seq`) replayed
+    /// after it.
+    SnapshotInstall = 10,
+    /// Reply to [`MsgTag::SnapshotInstall`]: payload `[1]` on success,
+    /// `[0]` if the restore was rejected.
+    RestoreReply = 11,
 }
 
 impl MsgTag {
@@ -59,6 +75,10 @@ impl MsgTag {
             5 => MsgTag::Shutdown,
             6 => MsgTag::TickReply,
             7 => MsgTag::MemoryReply,
+            8 => MsgTag::SnapshotRequest,
+            9 => MsgTag::SnapshotReply,
+            10 => MsgTag::SnapshotInstall,
+            11 => MsgTag::RestoreReply,
             _ => return Err(WireError::Invalid("unknown message tag")),
         })
     }
@@ -153,6 +173,10 @@ mod tests {
             MsgTag::Shutdown,
             MsgTag::TickReply,
             MsgTag::MemoryReply,
+            MsgTag::SnapshotRequest,
+            MsgTag::SnapshotReply,
+            MsgTag::SnapshotInstall,
+            MsgTag::RestoreReply,
         ] {
             let f = Frame {
                 tag,

@@ -23,7 +23,14 @@
 //!   sequence number.
 //! * [`client`] — the coordinator side: per-message timeout and
 //!   retransmit, corrupt/stale reply filtering, and crash recovery by
-//!   respawning the service and replaying the full event journal.
+//!   respawning the service and rebuilding it from the latest
+//!   monitor-state snapshot plus a replay of the event-journal suffix
+//!   (or the full journal when snapshots are disabled). Unrecoverable
+//!   links report typed [`ClusterError`]s and go `Down` instead of
+//!   panicking.
+//! * [`wal`] — the per-shard write-ahead log backing the journal on
+//!   disk: verbatim frame records, batched fsync, torn-tail-tolerant
+//!   reopen.
 //! * [`engine`] — [`ClusterEngine`], gluing a `ShardedEngine<RemoteShard>`
 //!   to constructed transports and aggregating
 //!   [`rnn_core::TransportStats`].
@@ -40,12 +47,16 @@
 
 pub mod client;
 pub mod engine;
+pub mod error;
 pub mod frame;
 pub mod service;
 pub mod transport;
+pub mod wal;
 
-pub use client::{RemoteShard, RetryPolicy};
+pub use client::{DurabilityConfig, RemoteShard, RetryPolicy};
 pub use engine::ClusterEngine;
+pub use error::ClusterError;
 pub use frame::{Frame, MsgTag};
 pub use service::{serve_tcp, serve_unix, ShardService};
 pub use transport::{loopback_pair, FaultPlan, LoopbackTransport, RecvError, Transport};
+pub use wal::Wal;

@@ -85,6 +85,8 @@ impl<T: Transport> ShardService<T> {
             };
             let reply_tag = match frame.tag {
                 MsgTag::MemoryRequest => MsgTag::MemoryReply,
+                MsgTag::SnapshotRequest => MsgTag::SnapshotReply,
+                MsgTag::SnapshotInstall => MsgTag::RestoreReply,
                 _ => MsgTag::TickReply,
             };
             let reply = Frame {
@@ -117,10 +119,37 @@ impl<T: Transport> ShardService<T> {
                 outcome.encode(&mut payload);
             }
             MsgTag::MemoryRequest => self.monitor.memory().encode(&mut payload),
+            MsgTag::SnapshotRequest => {
+                // An empty payload tells the coordinator this monitor
+                // cannot snapshot; it then disables the cycle.
+                if let Some(state) = self.monitor.snapshot_state() {
+                    payload = state.to_bytes();
+                }
+            }
+            MsgTag::SnapshotInstall => {
+                let ok = match rnn_core::MonitorState::from_bytes(&frame.payload) {
+                    Ok(state) => {
+                        let restored = state.restore_into(&mut *self.monitor).is_ok();
+                        if restored {
+                            // Seed the shipped-result cache from the
+                            // restored results, so post-restore replies
+                            // (and `results_changed`) are bit-identical
+                            // to an uncrashed shard's.
+                            self.state.prime(&state.queries);
+                        }
+                        restored
+                    }
+                    Err(_) => false,
+                };
+                payload.push(u8::from(ok));
+            }
             MsgTag::Shutdown => return Processed::Shutdown,
             // A reply tag arriving at the service is a stray echo of our
             // own output; drop it.
-            MsgTag::TickReply | MsgTag::MemoryReply => return Processed::Drop,
+            MsgTag::TickReply
+            | MsgTag::MemoryReply
+            | MsgTag::SnapshotReply
+            | MsgTag::RestoreReply => return Processed::Drop,
         }
         Processed::Reply(payload)
     }

@@ -63,6 +63,12 @@ pub struct FaultPlan {
     /// as if its process died, and the coordinator must respawn + replay.
     /// `0` disables.
     pub crash_after_frames: u32,
+    /// Make every *respawn* of this shard stillborn: the replacement
+    /// transport connects to nothing, so each recovery attempt observes
+    /// `Closed` immediately. With a crash injected this deterministically
+    /// exhausts the client's bounded recovery budget and drives the link
+    /// dead — the path that exercises engine takeover.
+    pub respawn_dead: bool,
 }
 
 /// Coordinator end of an in-process loopback pair.

@@ -98,6 +98,56 @@ impl OpCounters {
     pub fn work(&self) -> u64 {
         self.nodes_settled + self.edges_scanned + self.objects_considered + self.relaxations
     }
+
+    /// The allocator-independent view: this report with the memory-pool
+    /// counters (`alloc_events`, `install_alloc_events`,
+    /// `tree_nodes_recycled`) zeroed. Those three describe *capacity
+    /// history* — how much slab headroom and free-list content a monitor
+    /// accumulated — not the algorithm's work, so they are the one part of
+    /// a tick report a snapshot-restored monitor may legitimately differ
+    /// in during its first post-restore ticks (its pools were warmed by
+    /// the restore, not by the full run). Every other counter is a pure
+    /// function of the answer-relevant state and must match bit-for-bit,
+    /// which the crash-recovery differential asserts through this view.
+    pub fn algorithmic(&self) -> OpCounters {
+        OpCounters {
+            alloc_events: 0,
+            install_alloc_events: 0,
+            tree_nodes_recycled: 0,
+            ..*self
+        }
+    }
+
+    /// The view a **snapshot-restored shard** must still match: the
+    /// [`Self::algorithmic`] mask plus every *tree-shape-coupled*
+    /// counter zeroed.
+    ///
+    /// A restore rebuilds expansion trees from scratch for the restored
+    /// query set (sorted by id) instead of replaying the exact install
+    /// interleaving, so the recovered trees are *equivalent* — same
+    /// answers, same monitored coverage — but not node-for-node
+    /// identical to incrementally maintained ones: a maintained tree
+    /// carries stale branches a fresh recompute never grows, and tree
+    /// shape steers every expansion, scan, reevaluation, and prune that
+    /// follows. What must (and does) stay bit-identical through
+    /// recovery: every answer and `knn_dist`, `results_changed`, and
+    /// the counters this view keeps, which depend only on replica
+    /// content and the coordinator's event stream — `updates_ignored`,
+    /// `resync_touched`, `replica_evictions`, `rebalance_events`,
+    /// `cells_migrated`.
+    pub fn restore_stable(&self) -> OpCounters {
+        OpCounters {
+            nodes_settled: 0,
+            edges_scanned: 0,
+            objects_considered: 0,
+            relaxations: 0,
+            reevaluations: 0,
+            tree_nodes_pruned: 0,
+            expansion_steps: 0,
+            shared_expansions: 0,
+            ..self.algorithmic()
+        }
+    }
 }
 
 /// What happened while processing one timestamp.

@@ -219,6 +219,22 @@ impl ContinuousMonitor for Ima {
     fn drain_cell_charges(&mut self, into: &mut Vec<(rnn_roadnet::EdgeId, u64)>) {
         self.anchors.drain_cell_charges(into);
     }
+
+    fn snapshot_state(&self) -> Option<crate::snapshot::MonitorState> {
+        let net = self.anchors.network().clone();
+        Some(crate::snapshot::MonitorState::capture(
+            &net,
+            &self.state,
+            |q| {
+                let key = self.by_query.get(&q).and_then(|k| self.anchors.get(*k));
+                match key {
+                    Some(rec) => (rec.knn_dist, rec.result.clone()),
+                    // lint: allow(hot-path-alloc): snapshot capture is maintenance-path, not a steady-state tick
+                    None => (f64::INFINITY, Vec::new()),
+                }
+            },
+        ))
+    }
 }
 
 #[cfg(test)]

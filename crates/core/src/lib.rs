@@ -61,6 +61,7 @@ pub mod influence;
 pub mod monitor;
 pub mod ovh;
 pub mod search;
+pub mod snapshot;
 pub mod state;
 pub mod tree;
 pub mod types;
@@ -70,4 +71,5 @@ pub use gma::Gma;
 pub use ima::Ima;
 pub use monitor::{ContinuousMonitor, TransportStats};
 pub use ovh::Ovh;
+pub use snapshot::{MonitorState, RestoreError};
 pub use types::{EdgeWeightUpdate, Neighbor, ObjectEvent, QueryEvent, RootPos, UpdateBatch};

@@ -82,6 +82,15 @@ pub trait ContinuousMonitor: Send {
     fn transport_stats(&self) -> Option<TransportStats> {
         None
     }
+
+    /// Captures the monitor's answer-relevant state for durability
+    /// (weights, objects, query book, current results — see
+    /// [`crate::snapshot::MonitorState`]). `None` for monitors without
+    /// snapshot support (the cluster then falls back to full journal
+    /// replay for that shard).
+    fn snapshot_state(&self) -> Option<crate::snapshot::MonitorState> {
+        None
+    }
 }
 
 /// Cumulative counters of a coordinator↔shard transport link (or the sum
@@ -103,6 +112,21 @@ pub struct TransportStats {
     pub corrupt_frames: u64,
     /// Shard processes respawned and replayed after a detected crash.
     pub crash_recoveries: u64,
+    /// Event frames currently retained in the coordinator's in-memory
+    /// journal (a gauge; truncated behind each acknowledged snapshot).
+    pub journal_len: u64,
+    /// Bytes currently held in the shard's on-disk write-ahead log (a
+    /// gauge; 0 when durability is disabled or disk-less).
+    pub wal_bytes: u64,
+    /// Size of the latest monitor-state snapshot payload in bytes (a
+    /// gauge; 0 before the first snapshot).
+    pub snapshot_bytes: u64,
+    /// Monitor-state snapshots taken since construction.
+    pub snapshots: u64,
+    /// Journaled event frames replayed into respawned shards across all
+    /// crash recoveries. With snapshots enabled this is bounded by the
+    /// WAL suffix since the last snapshot, not the run length.
+    pub frames_replayed: u64,
 }
 
 impl TransportStats {
@@ -115,5 +139,10 @@ impl TransportStats {
         self.retries += other.retries;
         self.corrupt_frames += other.corrupt_frames;
         self.crash_recoveries += other.crash_recoveries;
+        self.journal_len += other.journal_len;
+        self.wal_bytes += other.wal_bytes;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.snapshots += other.snapshots;
+        self.frames_replayed += other.frames_replayed;
     }
 }

@@ -209,6 +209,18 @@ impl ContinuousMonitor for Ovh {
                 + self.pool.memory_bytes(),
         }
     }
+
+    fn snapshot_state(&self) -> Option<crate::snapshot::MonitorState> {
+        Some(crate::snapshot::MonitorState::capture(
+            &self.net,
+            &self.state,
+            |q| match self.queries.get(&q) {
+                Some(rec) => (rec.knn_dist, rec.result.clone()),
+                // lint: allow(hot-path-alloc): snapshot capture is maintenance-path, not a steady-state tick
+                None => (f64::INFINITY, Vec::new()),
+            },
+        ))
+    }
 }
 
 /// Convenience: batches often install queries mid-stream; OVH accepts them

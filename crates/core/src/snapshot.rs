@@ -1,0 +1,409 @@
+//! Durable monitor-state snapshots.
+//!
+//! [`MonitorState`] is the answer-relevant state of a continuous monitor,
+//! serialized with the [`rnn_roadnet::wire`] discipline so the cluster's
+//! durability plane can persist it and ship it over RPC frames: the
+//! dynamic edge weights (as diffs against the network's base weights),
+//! the object index, and the query book with each query's current result.
+//! Expansion trees and influence lists are deliberately **not**
+//! serialized — they are a deterministic function of this state and are
+//! recomputed on restore (install-time expansion), which keeps snapshots
+//! small and the format independent of the tree-pool memory layout.
+//!
+//! Restore validation: the stored per-query results are compared
+//! bit-for-bit against what the freshly restored monitor computes. A
+//! mismatch means the snapshot does not describe a reachable monitor
+//! state (corruption the CRC missed, or a version skew) and restoring
+//! fails with a typed error instead of silently serving wrong answers.
+
+use rnn_roadnet::wire::{
+    decode_seq, encode_seq, put_f64, put_u64, WireCodec, WireError, WireReader,
+};
+use rnn_roadnet::{NetPoint, ObjectId, QueryId, RoadNetwork};
+
+use crate::monitor::ContinuousMonitor;
+use crate::state::NetworkState;
+use crate::types::{EdgeWeightUpdate, Neighbor, UpdateBatch};
+
+/// One query's entry in a snapshot: identity, parameters, position, and
+/// the current result (used to validate the restore and to prime the
+/// shard's shipped-result cache so post-restore replies are identical to
+/// an uncrashed shard's).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuerySnapshotState {
+    /// Query id.
+    pub id: QueryId,
+    /// Number of neighbors monitored.
+    pub k: usize,
+    /// Current position.
+    pub pos: NetPoint,
+    /// Current `kNN_dist` (`∞` while underfull).
+    pub knn_dist: f64,
+    /// Current result, in canonical `(dist, id)` order.
+    pub result: Vec<Neighbor>,
+}
+
+impl WireCodec for QuerySnapshotState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        put_u64(out, self.k as u64);
+        self.pos.encode(out);
+        put_f64(out, self.knn_dist);
+        encode_seq(&self.result, out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(QuerySnapshotState {
+            id: QueryId::decode(r)?,
+            k: r.u64()? as usize,
+            pos: NetPoint::decode(r)?,
+            knn_dist: r.f64()?,
+            result: decode_seq(r)?,
+        })
+    }
+}
+
+/// The answer-relevant state of a continuous monitor at one instant.
+///
+/// Captured via [`ContinuousMonitor::snapshot_state`], serialized with
+/// [`MonitorState::to_bytes`], restored into a **fresh** monitor with
+/// [`MonitorState::restore_into`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MonitorState {
+    /// Edge weights that differ from the network's base weights, sorted
+    /// by edge id. Absolute values, not deltas.
+    pub weight_diffs: Vec<EdgeWeightUpdate>,
+    /// All registered objects, sorted by id.
+    pub objects: Vec<(ObjectId, NetPoint)>,
+    /// All registered queries, sorted by id.
+    pub queries: Vec<QuerySnapshotState>,
+}
+
+/// Why a [`MonitorState::restore_into`] was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The restored monitor computed a different result than the snapshot
+    /// recorded for this query — the snapshot does not describe a
+    /// reachable state of this monitor over this network.
+    ResultMismatch(QueryId),
+    /// The target monitor already holds state; snapshots restore only
+    /// into fresh monitors.
+    TargetNotFresh,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::ResultMismatch(q) => {
+                write!(f, "restored result diverges from snapshot for query {q}")
+            }
+            RestoreError::TargetNotFresh => {
+                write!(f, "snapshot restore requires a fresh monitor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl MonitorState {
+    /// Captures the monitor state backing `state`, reading each query's
+    /// current result through `result_of` (which the owning monitor
+    /// provides; results are copied, not recomputed).
+    pub fn capture<F>(net: &RoadNetwork, state: &NetworkState, mut result_of: F) -> Self
+    where
+        F: FnMut(QueryId) -> (f64, Vec<Neighbor>),
+    {
+        let mut weight_diffs = Vec::new();
+        for e in net.edge_ids() {
+            let w = state.weights.get(e);
+            if w != net.edge(e).base_weight {
+                weight_diffs.push(EdgeWeightUpdate {
+                    edge: e,
+                    new_weight: w,
+                });
+            }
+        }
+        let mut objects: Vec<(ObjectId, NetPoint)> = state.objects.iter().collect();
+        objects.sort_by_key(|(id, _)| *id);
+        let mut queries: Vec<QuerySnapshotState> = state
+            .queries
+            .iter()
+            .map(|(&id, &(k, pos))| {
+                let (knn_dist, result) = result_of(id);
+                QuerySnapshotState {
+                    id,
+                    k,
+                    pos,
+                    knn_dist,
+                    result,
+                }
+            })
+            .collect();
+        queries.sort_by_key(|q| q.id);
+        MonitorState {
+            weight_diffs,
+            objects,
+            queries,
+        }
+    }
+
+    /// Restores this state into a **fresh** monitor: applies the weight
+    /// diffs as one edge-update tick, registers every object, reinstalls
+    /// every query (in id order — installation recomputes results and
+    /// expansion state from scratch), then validates that each recomputed
+    /// result bit-matches the stored one.
+    pub fn restore_into(&self, monitor: &mut dyn ContinuousMonitor) -> Result<(), RestoreError> {
+        if !monitor.query_ids().is_empty() {
+            return Err(RestoreError::TargetNotFresh);
+        }
+        if !self.weight_diffs.is_empty() {
+            let batch = UpdateBatch {
+                edges: self.weight_diffs.clone(),
+                ..UpdateBatch::default()
+            };
+            monitor.tick(&batch);
+        }
+        for &(id, at) in &self.objects {
+            monitor.insert_object(id, at);
+        }
+        for q in &self.queries {
+            monitor.install_query(q.id, q.k, q.pos);
+        }
+        for q in &self.queries {
+            let got = monitor.result(q.id).unwrap_or(&[]);
+            let dist = monitor.knn_dist(q.id).unwrap_or(f64::INFINITY);
+            if got.len() != q.result.len()
+                || dist.to_bits() != q.knn_dist.to_bits()
+                || got
+                    .iter()
+                    .zip(&q.result)
+                    .any(|(a, b)| a.object != b.object || a.dist.to_bits() != b.dist.to_bits())
+            {
+                return Err(RestoreError::ResultMismatch(q.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the wire form (no framing; callers wrap the bytes in
+    /// whatever envelope they need — the cluster uses its CRC'd frame).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Deserializes a snapshot produced by [`Self::to_bytes`]. Never
+    /// panics on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let s = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::Invalid("trailing bytes after MonitorState"));
+        }
+        Ok(s)
+    }
+
+    /// Total registered entities (sizing/reporting).
+    pub fn entity_count(&self) -> usize {
+        self.objects.len() + self.queries.len()
+    }
+}
+
+impl WireCodec for MonitorState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_seq(&self.weight_diffs, out);
+        put_u64(out, self.objects.len() as u64);
+        for (id, at) in &self.objects {
+            id.encode(out);
+            at.encode(out);
+        }
+        encode_seq(&self.queries, out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let weight_diffs = decode_seq(r)?;
+        let n = r.u64()?;
+        if n > r.remaining() as u64 {
+            return Err(WireError::Invalid("object count exceeds payload"));
+        }
+        let mut objects = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            objects.push((ObjectId::decode(r)?, NetPoint::decode(r)?));
+        }
+        Ok(MonitorState {
+            weight_diffs,
+            objects,
+            queries: decode_seq(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gma, Ima, Ovh};
+    use rnn_roadnet::{generators, EdgeId};
+    use std::sync::Arc;
+
+    fn net() -> Arc<RoadNetwork> {
+        Arc::new(generators::grid_city(&generators::GridCityConfig {
+            nx: 6,
+            ny: 6,
+            seed: 9,
+            ..Default::default()
+        }))
+    }
+
+    fn populate(m: &mut dyn ContinuousMonitor, net: &RoadNetwork) {
+        for (i, e) in net.edge_ids().enumerate().step_by(3) {
+            m.insert_object(ObjectId(i as u32), NetPoint::new(e, 0.4));
+        }
+        for q in 0..6u32 {
+            m.install_query(QueryId(q), 3, NetPoint::new(EdgeId(q * 5), 0.25));
+        }
+        // Churn a few ticks so weights diverge from base and results move.
+        for t in 0..4u32 {
+            let mut batch = UpdateBatch::default();
+            batch.edges.push(EdgeWeightUpdate {
+                edge: EdgeId(t * 2),
+                new_weight: 2.5 + f64::from(t),
+            });
+            batch.objects.push(crate::types::ObjectEvent::Move {
+                id: ObjectId(0),
+                to: NetPoint::new(EdgeId(t * 3 + 1), 0.7),
+            });
+            m.tick(&batch);
+        }
+    }
+
+    fn round_trip_restores(
+        mut orig: Box<dyn ContinuousMonitor>,
+        fresh: &mut dyn ContinuousMonitor,
+    ) {
+        let n = net();
+        populate(orig.as_mut(), &n);
+        let snap = orig.snapshot_state().expect("monitor must snapshot");
+        let decoded = MonitorState::from_bytes(&snap.to_bytes()).expect("round trip");
+        assert_eq!(decoded, snap);
+        decoded.restore_into(fresh).expect("restore must validate");
+        let mut ids = orig.query_ids();
+        ids.sort();
+        for q in ids {
+            assert_eq!(orig.result(q).unwrap(), fresh.result(q).unwrap());
+            assert_eq!(
+                orig.knn_dist(q).unwrap().to_bits(),
+                fresh.knn_dist(q).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn ima_snapshot_round_trips() {
+        let n = net();
+        round_trip_restores(Box::new(Ima::new(n.clone())), &mut Ima::new(n));
+    }
+
+    #[test]
+    fn gma_snapshot_round_trips() {
+        let n = net();
+        round_trip_restores(Box::new(Gma::new(n.clone())), &mut Gma::new(n));
+    }
+
+    #[test]
+    fn ovh_snapshot_round_trips() {
+        let n = net();
+        round_trip_restores(Box::new(Ovh::new(n.clone())), &mut Ovh::new(n));
+    }
+
+    #[test]
+    fn restore_preserves_future_tick_behavior() {
+        // The recovered monitor must be algorithmically indistinguishable
+        // going forward: identical answers AND identical algorithmic work
+        // counters on every subsequent tick (the cluster's crash
+        // differential relies on this). Only the allocator-history
+        // counters ([`OpCounters::algorithmic`] masks them) may differ
+        // while the restored monitor's pools warm up.
+        let n = net();
+        let mut orig = Gma::new(n.clone());
+        populate(&mut orig, &n);
+        let snap = orig.snapshot_state().unwrap();
+        let mut restored = Gma::new(n.clone());
+        snap.restore_into(&mut restored).unwrap();
+        for t in 0..5u32 {
+            let mut batch = UpdateBatch::default();
+            batch.edges.push(EdgeWeightUpdate {
+                edge: EdgeId(t * 4 + 1),
+                new_weight: 1.5,
+            });
+            batch.objects.push(crate::types::ObjectEvent::Move {
+                id: ObjectId(3),
+                to: NetPoint::new(EdgeId(t * 5 + 2), 0.3),
+            });
+            batch.queries.push(crate::types::QueryEvent::Move {
+                id: QueryId(1),
+                to: NetPoint::new(EdgeId(t * 7 + 3), 0.6),
+            });
+            let ra = orig.tick(&batch);
+            let rb = restored.tick(&batch);
+            assert_eq!(
+                ra.counters.algorithmic(),
+                rb.counters.algorithmic(),
+                "tick {t}: algorithmic counters diverge"
+            );
+            assert_eq!(ra.counters.work(), rb.counters.work(), "tick {t}");
+            assert_eq!(ra.results_changed, rb.results_changed, "tick {t}");
+            for q in 0..6u32 {
+                assert_eq!(orig.result(QueryId(q)), restored.result(QueryId(q)));
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_non_fresh_target() {
+        let n = net();
+        let mut orig = Ima::new(n.clone());
+        populate(&mut orig, &n);
+        let snap = orig.snapshot_state().unwrap();
+        let mut busy = Ima::new(n);
+        busy.install_query(QueryId(99), 2, NetPoint::new(EdgeId(0), 0.5));
+        assert_eq!(
+            snap.restore_into(&mut busy),
+            Err(RestoreError::TargetNotFresh)
+        );
+    }
+
+    #[test]
+    fn restore_rejects_tampered_results() {
+        let n = net();
+        let mut orig = Ima::new(n.clone());
+        populate(&mut orig, &n);
+        let mut snap = orig.snapshot_state().unwrap();
+        snap.queries[0].knn_dist += 1.0;
+        let mut fresh = Ima::new(n);
+        assert_eq!(
+            snap.restore_into(&mut fresh),
+            Err(RestoreError::ResultMismatch(snap.queries[0].id))
+        );
+    }
+
+    #[test]
+    fn truncated_snapshot_bytes_never_panic() {
+        let n = net();
+        let mut orig = Gma::new(n.clone());
+        populate(&mut orig, &n);
+        let bytes = orig.snapshot_state().unwrap().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                MonitorState::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_state_round_trips() {
+        let s = MonitorState::default();
+        assert_eq!(MonitorState::from_bytes(&s.to_bytes()).unwrap(), s);
+        assert_eq!(s.entity_count(), 0);
+    }
+}

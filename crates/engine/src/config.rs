@@ -82,6 +82,15 @@ pub struct EngineConfig {
     /// default) skips the warm-up entirely and is bit-identical to
     /// earlier releases.
     pub tree_pool_hint: usize,
+    /// What to do when a shard link reports itself permanently down
+    /// (`Response::Down`: its transport died and recovery exhausted every
+    /// retry). `false` (the default) keeps the historical contract — a
+    /// lost shard is fatal and the engine panics. `true` lets surviving
+    /// shards adopt the corpse's cells through the migration planner
+    /// ("recovery is rebalance away from a corpse"): ownership reassigns,
+    /// objects resync from the coordinator's registry, and queries
+    /// re-home with freshly computed results.
+    pub takeover: bool,
 }
 
 impl Default for EngineConfig {
@@ -95,6 +104,7 @@ impl Default for EngineConfig {
             rebalance_trigger: 0.0,
             rebalance_cooldown: 8,
             tree_pool_hint: 0,
+            takeover: false,
         }
     }
 }

@@ -271,6 +271,16 @@ pub struct ShardedEngine<L: ShardLink = ShardWorker> {
     tick_rebalances: u64,
     total_cells_migrated: u64,
     tick_cells_migrated: u64,
+    /// Shards declared permanently down (`Response::Down`: the link's
+    /// transport died and recovery exhausted every retry). A dead shard
+    /// owns no cells, holds no halo, and is excluded from every dispatch
+    /// and from the rebalance planner; with [`EngineConfig::takeover`] its
+    /// former cells were adopted by survivors.
+    dead: Vec<bool>,
+    /// Lifetime count of dead-shard takeovers executed (each one
+    /// [`Self::adopt_dead_shard`] run: the corpse's cells, replicas and
+    /// queries re-homed onto survivors).
+    total_takeovers: u64,
 }
 
 /// Weight of the exponential load smoothing: each tick contributes half,
@@ -387,6 +397,8 @@ impl<L: ShardLink> ShardedEngine<L> {
             tick_rebalances: 0,
             total_cells_migrated: 0,
             tick_cells_migrated: 0,
+            dead: vec![false; cfg.num_shards],
+            total_takeovers: 0,
             net,
             cfg,
         }
@@ -473,6 +485,25 @@ impl<L: ShardLink> ShardedEngine<L> {
     /// averaged across ticks).
     pub fn shard_loads(&self) -> &[f64] {
         &self.load
+    }
+
+    /// Lifetime count of dead-shard takeovers executed: each one is a full
+    /// [`Self::adopt_dead_shard`] run, re-homing a permanently-down shard's
+    /// cells, replicas and queries onto survivors through the migration
+    /// machinery. Stays 0 unless [`EngineConfig::takeover`] is enabled and
+    /// a shard actually died.
+    pub fn takeovers(&self) -> u64 {
+        self.total_takeovers
+    }
+
+    /// Whether shard `s` has been declared permanently down.
+    pub fn is_shard_dead(&self, s: usize) -> bool {
+        self.dead[s]
+    }
+
+    /// Number of shards still alive.
+    pub fn live_shards(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
     }
 
     /// The smoothed expansion cost attributed to one partition cell (the
@@ -697,7 +728,7 @@ impl<L: ShardLink> ShardedEngine<L> {
     /// `max > mean × trigger`, one migration of boundary cells runs from
     /// the most loaded shard to an underloaded neighbour.
     fn maybe_rebalance(&mut self) {
-        if self.cfg.rebalance_trigger < 1.0 || self.cfg.num_shards < 2 {
+        if self.cfg.rebalance_trigger < 1.0 || self.live_shards() < 2 {
             return;
         }
         self.ticks_since_rebalance = self.ticks_since_rebalance.saturating_add(1);
@@ -708,10 +739,15 @@ impl<L: ShardLink> ShardedEngine<L> {
         if total <= 0.0 {
             return;
         }
-        let mean = total / self.cfg.num_shards as f64;
-        let mut hot = 0usize;
-        for s in 1..self.cfg.num_shards {
-            if self.load[s] > self.load[hot] {
+        // Dead shards carry no load (zeroed at takeover), so summing over
+        // all of them is fine — but the mean must be over survivors only.
+        let mean = total / self.live_shards() as f64;
+        let mut hot = usize::MAX;
+        for s in 0..self.cfg.num_shards {
+            if self.dead[s] {
+                continue;
+            }
+            if hot == usize::MAX || self.load[s] > self.load[hot] {
                 hot = s; // strict: ties resolve to the lowest shard id
             }
         }
@@ -737,7 +773,9 @@ impl<L: ShardLink> ShardedEngine<L> {
     /// rebalance stays incremental. Fully deterministic: driven by the
     /// deterministic load estimates and sorted by `(weight desc, id)`.
     fn plan_migration(&self, hot: usize) -> Option<(usize, Vec<EdgeId>)> {
-        let mut targets: Vec<usize> = (0..self.cfg.num_shards).filter(|&s| s != hot).collect();
+        let mut targets: Vec<usize> = (0..self.cfg.num_shards)
+            .filter(|&s| s != hot && !self.dead[s])
+            .collect();
         targets.sort_by(|&a, &b| self.load[a].total_cmp(&self.load[b]).then(a.cmp(&b)));
         for cold in targets {
             if self.load[cold] >= self.load[hot] {
@@ -857,6 +895,126 @@ impl<L: ShardLink> ShardedEngine<L> {
         self.reconcile();
     }
 
+    // --- Dead-shard takeover ----------------------------------------------
+
+    /// Recovery is rebalance away from a corpse: every cell the dead shard
+    /// owned is reassigned to survivors through the same partition /
+    /// mask-transfer / resync machinery as a planned migration
+    /// ([`Self::migrate_cells`]), and the dead shard's queries re-home with
+    /// freshly computed results on their adopters. Cells peel off along
+    /// shared borders to the least-loaded adjacent survivor (keeping
+    /// regions as connected as the planner would), with a bulk hand-off to
+    /// the least-loaded survivor as the fallback for any remainder that
+    /// borders no survivor.
+    ///
+    /// Answer-identity: objects resync from the coordinator's registry
+    /// (the engine is the authority for positions), queries re-install and
+    /// recompute from scratch on their adopter, and reconcile then grows
+    /// adopter halos until every re-homed result is covered — the same
+    /// loop that makes installs and migrations answer-identical.
+    fn adopt_dead_shard(&mut self, dead: usize) {
+        self.dead[dead] = true;
+        self.total_takeovers += 1;
+        let survivors: Vec<usize> = (0..self.cfg.num_shards)
+            .filter(|&s| !self.dead[s])
+            .collect();
+        assert!(
+            !survivors.is_empty(),
+            "every shard is dead — no survivor can adopt shard {dead}'s cells"
+        );
+        // The corpse neither receives nor reports anything any more.
+        self.pending[dead] = PendingEvents::default();
+        self.active[dead] = None;
+        self.load[dead] = 0.0;
+        self.tick_load[dead] = 0;
+        self.halo_r[dead] = 0.0;
+        self.shrink_streak[dead] = 0;
+
+        let dead_bit = 1u64 << dead;
+        let mut changed = FxHashSet::default();
+        // Its halo replicas die with it: clear the ring and the mask bit of
+        // every member edge, so resync queues the (discarded) deletes and
+        // the masks stay the invariant `ownership + live halos`.
+        let ring = std::mem::take(&mut self.halo_edges[dead]);
+        for &e in ring.dist.keys() {
+            self.edge_mask[e.index()] &= !dead_bit;
+            changed.insert(e);
+        }
+        // Peel the corpse's cells to survivors, border by border.
+        let mut adopters = FxHashSet::default();
+        while !self.partition.view(dead).edges.is_empty() {
+            let mut targets = survivors.clone();
+            targets.sort_by(|&a, &b| self.load[a].total_cmp(&self.load[b]).then(a.cmp(&b)));
+            let mut batch: Option<(usize, Vec<EdgeId>)> = None;
+            for &cold in &targets {
+                let cells =
+                    self.partition
+                        .boundary_cells_between(&self.net, dead as u32, cold as u32);
+                if !cells.is_empty() {
+                    batch = Some((cold, cells));
+                    break;
+                }
+            }
+            // No survivor borders what is left (the remainder is an island
+            // of the corpse's region): bulk-assign it to the least loaded.
+            let (cold, cells) =
+                batch.unwrap_or_else(|| (targets[0], self.partition.view(dead).edges.clone()));
+            let moves: Vec<(EdgeId, u32)> = cells.iter().map(|&e| (e, cold as u32)).collect();
+            self.partition.reassign(&self.net, &moves);
+            let cold_bit = 1u64 << cold;
+            for &e in &cells {
+                // Same ring discipline as migrate_cells: an adopted cell may
+                // sit in its adopter's halo ring; it is now owned.
+                let ring = &mut self.halo_edges[cold];
+                if ring.dist.remove(&e).is_some() {
+                    ring.by_dist.retain(|&(_, re)| re != e);
+                }
+                self.edge_mask[e.index()] = (self.edge_mask[e.index()] & !dead_bit) | cold_bit;
+                changed.insert(e);
+            }
+            adopters.insert(cold);
+        }
+        // Adopters' borders moved; other survivors' halo sets stay exactly
+        // valid (an adopted cell was foreign to them before and after).
+        let mut adopters: Vec<usize> = adopters.into_iter().collect();
+        adopters.sort_unstable();
+        for s in adopters {
+            if self.halo_r[s] > 0.0 {
+                self.recompute_halo(s, &mut changed);
+            }
+        }
+        // Hand off every resident object whose mask toggled. Deletes
+        // queued at the corpse are discarded by dispatch; inserts flow to
+        // the adopters from the coordinator's registry.
+        self.resync_changed(&changed);
+        // Re-home the corpse's queries: Install on the new owner only — no
+        // Remove is sent to a shard that cannot acknowledge it. The adopter
+        // computes the result from scratch; the coordinator's cached result
+        // is kept and must be re-confirmed bit-identical by the installed
+        // query's first snapshot.
+        let mut orphans: Vec<QueryId> = self
+            .queries
+            .iter()
+            .filter(|(_, rec)| rec.shard == dead as u32)
+            .map(|(&id, _)| id)
+            .collect();
+        orphans.sort_unstable();
+        for id in orphans {
+            let rec = self.queries.get_mut(&id).expect("orphan query registered");
+            let shard = self.partition.shard_of_edge(rec.pos.edge);
+            debug_assert!(!self.dead[shard as usize], "cells adopted by a corpse");
+            rec.shard = shard;
+            let (k, at) = (rec.k, rec.pos);
+            self.pending[shard as usize]
+                .queries
+                .push(QueryEvent::Install { id, k, at });
+        }
+        // Ship it all and close the halo-coverage loop, exactly as a
+        // planned migration does.
+        self.dispatch_pending(BatchKind::Migration);
+        self.reconcile();
+    }
+
     // --- Dispatch ---------------------------------------------------------
 
     /// Ships every non-empty pending delta to its shard (the tick's edge
@@ -875,6 +1033,14 @@ impl<L: ShardLink> ShardedEngine<L> {
         let mut any = false;
         for (s, flag) in sent.iter_mut().enumerate() {
             let own = &mut self.pending[s];
+            if self.dead[s] {
+                // A corpse acknowledges nothing: anything still routed at it
+                // (e.g. the Delete events resync queues while clearing its
+                // replica bits) is discarded unsent.
+                own.objects.clear();
+                own.queries.clear();
+                continue;
+            }
             if own.objects.is_empty() && own.queries.is_empty() && arena.is_empty() {
                 continue;
             }
@@ -894,6 +1060,7 @@ impl<L: ShardLink> ShardedEngine<L> {
         // Workers in one round run in parallel, so their reports fold with
         // max-elapsed semantics; successive rounds are sequential and add.
         let mut round = TickReport::default();
+        let mut died: Vec<usize> = Vec::new();
         for (s, &was_sent) in sent.iter().enumerate() {
             if !was_sent {
                 continue;
@@ -922,12 +1089,44 @@ impl<L: ShardLink> ShardedEngine<L> {
                         }
                     }
                 }
-                Response::Memory(_) => unreachable!("memory response to a tick request"),
+                Response::Down => {
+                    // The link's transport died and its bounded recovery
+                    // exhausted every retry. The shard's tick (including
+                    // whatever we just sent it) is lost; survivors take
+                    // over below, or the engine refuses to run degraded.
+                    self.active[s] = None;
+                    died.push(s);
+                }
+                Response::Memory(_) | Response::Snapshot(_) | Response::Restored(_) => {
+                    unreachable!("non-tick response to a tick request")
+                }
             }
         }
         self.workers_report.elapsed += round.elapsed;
         self.workers_report.counters.merge(&round.counters);
+        for s in died {
+            self.handle_dead_shard(s);
+        }
         any
+    }
+
+    /// Reacts to a shard link reporting itself permanently down. Without
+    /// [`EngineConfig::takeover`] this keeps the historical contract — a
+    /// lost shard is fatal. With it, survivors adopt the corpse's cells.
+    ///
+    /// # Panics
+    /// Panics when takeover is disabled, or when no live shard remains to
+    /// adopt the corpse's cells.
+    fn handle_dead_shard(&mut self, s: usize) {
+        if self.dead[s] {
+            return; // already buried (a late Down from a nested dispatch)
+        }
+        assert!(
+            self.cfg.takeover,
+            "shard {s} is permanently down (transport dead, recovery retries exhausted) \
+             and EngineConfig::takeover is disabled"
+        );
+        self.adopt_dead_shard(s);
     }
 
     /// Grows halos until every query's `kNN_dist` is covered by its
@@ -1288,10 +1487,15 @@ impl<L: ShardLink> ContinuousMonitor for ShardedEngine<L> {
 
     fn memory(&self) -> MemoryUsage {
         let mut total = MemoryUsage::default();
-        for w in &self.workers {
-            w.send(Request::Memory);
+        for (s, w) in self.workers.iter().enumerate() {
+            if !self.dead[s] {
+                w.send(Request::Memory);
+            }
         }
-        for w in &self.workers {
+        for (s, w) in self.workers.iter().enumerate() {
+            if self.dead[s] {
+                continue;
+            }
             match w.recv() {
                 Response::Memory(m) => {
                     total.edge_table += m.edge_table;
@@ -1300,7 +1504,13 @@ impl<L: ShardLink> ContinuousMonitor for ShardedEngine<L> {
                     total.influence_lists += m.influence_lists;
                     total.auxiliary += m.auxiliary;
                 }
-                Response::Tick(_) => unreachable!("tick response to a memory request"),
+                // A shard can die between ticks too; `memory` takes `&self`
+                // so the burial waits for the next dispatch to observe the
+                // Down — here the shard simply contributes nothing.
+                Response::Down => {}
+                Response::Tick(_) | Response::Snapshot(_) | Response::Restored(_) => {
+                    unreachable!("unexpected response to a memory request")
+                }
             }
         }
         // Router state: registries, masks, halo sets, edge→object index.
@@ -1336,14 +1546,16 @@ impl<L: ShardLink> ContinuousMonitor for ShardedEngine<L> {
     }
 
     fn shard_load_ratio(&self) -> Option<f64> {
-        if self.cfg.num_shards < 2 {
+        let live = self.live_shards();
+        if live < 2 {
             return None;
         }
         let total: f64 = self.load.iter().sum();
         if total <= 0.0 {
             return None;
         }
-        let mean = total / self.cfg.num_shards as f64;
+        // Dead shards carry zero load; the mean is over survivors.
+        let mean = total / live as f64;
         let max = self.load.iter().fold(0.0f64, |a, &b| a.max(b));
         Some(max / mean)
     }

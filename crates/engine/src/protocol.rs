@@ -65,6 +65,12 @@ pub enum Request {
     Tick(DeltaBatch),
     /// Report the monitor's resident memory.
     Memory,
+    /// Capture the monitor's answer-relevant state (the durability
+    /// plane's snapshot; see [`rnn_core::MonitorState`]).
+    Snapshot,
+    /// Install a previously captured state into a fresh monitor (crash
+    /// recovery before WAL-suffix replay).
+    Restore(Box<rnn_core::MonitorState>),
     /// Exit the worker loop.
     Shutdown,
 }
@@ -75,6 +81,18 @@ pub enum Response {
     Tick(TickOutcome),
     /// Answer to [`Request::Memory`].
     Memory(MemoryUsage),
+    /// Answer to [`Request::Snapshot`] (`None` when the monitor has no
+    /// snapshot support).
+    Snapshot(Option<Box<rnn_core::MonitorState>>),
+    /// Answer to [`Request::Restore`]: whether the state installed and
+    /// validated cleanly.
+    Restored(bool),
+    /// The link to this shard is gone for good: the transport died and
+    /// recovery (respawn + snapshot + replay) stayed exhausted past its
+    /// retry budget. In-process workers never produce this; RPC links do.
+    /// The engine either panics (default — a lost shard is fatal) or,
+    /// with takeover enabled, rebalances the dead shard's cells away.
+    Down,
 }
 
 /// The state of one query after a shard processed a batch.
@@ -141,6 +159,17 @@ impl ShardTickState {
     /// query).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Seeds the shipped-snapshot cache from a restored monitor state, so
+    /// the first post-restore tick ships exactly the deltas an uncrashed
+    /// shard would have shipped (the coordinator's `results_changed`
+    /// bookkeeping depends on unchanged queries *not* reshipping).
+    pub fn prime(&mut self, queries: &[rnn_core::snapshot::QuerySnapshotState]) {
+        self.shipped.clear();
+        for q in queries {
+            self.shipped.insert(q.id, (q.knn_dist, q.result.clone()));
+        }
     }
 
     /// Applies one delta batch to `monitor` and assembles the outcome,

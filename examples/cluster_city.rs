@@ -5,6 +5,12 @@
 //! layer — then prints the per-shard frame/byte traffic the delta
 //! protocol generated.
 //!
+//! Halfway through the run one shard process is killed with SIGKILL.
+//! The coordinator observes the dead socket, declares the shard down,
+//! and — because `EngineConfig::takeover` is on — hands its partition
+//! cells to the surviving shards through the migration planner. The
+//! remaining ticks still match the single-process oracle bit-for-bit.
+//!
 //! Run with: `cargo run --release --example cluster_city`
 //!
 //! The shard servers rebuild the road network from the same generator
@@ -26,11 +32,17 @@ fn city() -> Arc<RoadNetwork> {
     Arc::new(generators::san_francisco_like(1_500, 7))
 }
 
+/// The shard that gets SIGKILLed mid-run to demonstrate fail-over.
+const KILLED_SHARD: usize = 3;
+/// The timestamp after which the kill happens.
+const KILL_AT: usize = 5;
+
 fn engine_config() -> EngineConfig {
     EngineConfig {
         num_shards: NUM_SHARDS,
         algo: ShardAlgo::Gma,
         halo_slack: 0.25,
+        takeover: true,
         ..EngineConfig::default()
     }
 }
@@ -104,6 +116,13 @@ fn main() {
 
     println!("\ndriving 10 timestamps over the socket cluster...");
     for t in 1..=10 {
+        if t == KILL_AT + 1 {
+            // SIGKILL one shard server between ticks: no shutdown frame,
+            // no flush — the coordinator just finds the socket dead.
+            children[KILLED_SHARD].kill().expect("kill shard server");
+            children[KILLED_SHARD].wait().expect("reap shard server");
+            println!("  -- killed shard {KILLED_SHARD}'s process (SIGKILL, no warning)");
+        }
         let batch = scenario.tick();
         reference.tick(&batch);
         let rep = cluster.tick(&batch);
@@ -145,14 +164,32 @@ fn main() {
         (total.bytes_sent + total.bytes_received) / 1024
     );
 
-    // Dropping the engine ships the shutdown frames; the children exit.
+    let engine = cluster.engine();
+    println!("\nfail-over after the SIGKILL:");
+    println!(
+        "  shard {KILLED_SHARD} dead: {}, live shards: {}/{}, takeovers executed: {}",
+        engine.is_shard_dead(KILLED_SHARD),
+        engine.live_shards(),
+        NUM_SHARDS,
+        engine.takeovers()
+    );
+    assert!(engine.is_shard_dead(KILLED_SHARD), "dead shard undetected");
+    assert_eq!(engine.live_shards(), NUM_SHARDS - 1);
+    assert!(engine.takeovers() >= 1, "no takeover executed");
+
+    // Dropping the engine ships the shutdown frames; the surviving
+    // children exit cleanly (the killed one was reaped at kill time).
     drop(cluster);
-    for c in &mut children {
+    for (s, c) in children.iter_mut().enumerate() {
+        if s == KILLED_SHARD {
+            continue;
+        }
         let status = c.wait().expect("wait for shard server");
         assert!(status.success(), "a shard server exited with {status}");
     }
     let _ = std::fs::remove_dir_all(&dir);
     println!(
-        "\nOK: answers identical to the single-process oracle; all shard processes exited cleanly."
+        "\nOK: answers identical to the single-process oracle through the kill; \
+         the survivors adopted shard {KILLED_SHARD}'s cells and exited cleanly."
     );
 }

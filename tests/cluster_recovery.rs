@@ -1,0 +1,422 @@
+//! Crash-recovery differentials for the durability plane: a cluster
+//! whose shards snapshot their monitor state and journal every event
+//! frame must survive mid-run crashes by **snapshot install + journal
+//! suffix replay** — answer-identical to an uncrashed in-process twin —
+//! and, when a shard stays dead past its recovery budget, survivors
+//! must **take over** its cells through the migration planner.
+//!
+//! Counter discipline: a restored monitor answers identically but its
+//! allocator-history counters (pools warmed by restore, not the full
+//! run) and tree-shape-history counters (expansion trees recomputed on
+//! load, not replayed install-by-install) legitimately diverge, so the
+//! snapshot-recovery differentials compare the
+//! [`OpCounters::restore_stable`] projection — answers, result churn,
+//! and pure expansion work stay bit-identical. The snapshot-free full
+//! journal replay path stays *exactly* bit-identical, every counter
+//! included, and is covered by `cluster_differential.rs`.
+
+use std::sync::Arc;
+
+use rnn_monitor::cluster::{wal, ClusterEngine, DurabilityConfig, FaultPlan, RetryPolicy};
+use rnn_monitor::core::{ContinuousMonitor, TickReport};
+use rnn_monitor::engine::{EngineConfig, ShardAlgo, ShardedEngine};
+use rnn_monitor::roadnet::{generators, RoadNetwork};
+use rnn_monitor::workload::{Scenario, ScenarioConfig};
+
+fn grid(nx: usize, ny: usize, seed: u64) -> Arc<RoadNetwork> {
+    Arc::new(generators::grid_city(&generators::GridCityConfig {
+        nx,
+        ny,
+        seed,
+        ..Default::default()
+    }))
+}
+
+fn base_cfg(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        num_objects: 80,
+        num_queries: 12,
+        k: 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Answers must bit-match; work counters compare through the
+/// restore-stable projection (see module docs).
+fn assert_answers_identical(
+    inproc: &ShardedEngine,
+    cluster: &ClusterEngine,
+    reports: Option<(&TickReport, &TickReport)>,
+    ctx: &str,
+) {
+    let mut ids = inproc.query_ids();
+    ids.sort();
+    let mut cids = cluster.query_ids();
+    cids.sort();
+    assert_eq!(ids, cids, "{ctx}: query sets diverge");
+    for &qid in &ids {
+        assert_eq!(
+            inproc.result(qid).unwrap(),
+            cluster.result(qid).unwrap(),
+            "{ctx}, query {qid}: results diverge"
+        );
+        assert_eq!(
+            inproc.knn_dist(qid).unwrap().to_bits(),
+            cluster.knn_dist(qid).unwrap().to_bits(),
+            "{ctx}, query {qid}: kNN_dist bits diverge"
+        );
+    }
+    if let Some((ri, rc)) = reports {
+        assert_eq!(
+            ri.counters.restore_stable(),
+            rc.counters.restore_stable(),
+            "{ctx}: restore-stable work counters diverge"
+        );
+        assert_eq!(
+            ri.results_changed, rc.results_changed,
+            "{ctx}: results_changed diverges"
+        );
+    }
+}
+
+/// xorshift64*, so crash points are seeded but spread across the run.
+fn seeded_crash_frame(seed: u64, shard: usize) -> u32 {
+    let mut x = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1));
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33;
+    // Spread across install and tick phases, but low enough that every
+    // shard's budget is reached even at S=4 (each shard sees ~20+
+    // delivered frames over a 12-tick run).
+    6 + (r % 10) as u32
+}
+
+/// Crashes shard 0 mid-run with snapshots every `snapshot_every` event
+/// frames; recovery must install the latest snapshot and replay only
+/// the journal suffix.
+fn run_snapshot_recovery_differential(snapshot_every: u32, crash_after_frames: u32) {
+    let net = grid(8, 8, 1);
+    let cfg = base_cfg(11);
+    for shards in [2usize, 4] {
+        let ecfg = EngineConfig {
+            num_shards: shards,
+            algo: ShardAlgo::Gma,
+            ..EngineConfig::default()
+        };
+        let mut inproc = ShardedEngine::new(net.clone(), ecfg);
+        let mut plans = vec![FaultPlan::default(); shards];
+        plans[0] = FaultPlan {
+            crash_after_frames,
+            ..Default::default()
+        };
+        let mut cluster = ClusterEngine::loopback_durable(
+            net.clone(),
+            ecfg,
+            &plans,
+            RetryPolicy::default(),
+            DurabilityConfig::in_memory(snapshot_every),
+        );
+        let mut scenario = Scenario::new(net.clone(), cfg.clone());
+        scenario.install_into(&mut inproc);
+        scenario.install_into(&mut cluster);
+        for t in 1..=12usize {
+            let batch = scenario.tick();
+            let ri = inproc.tick(&batch);
+            let rc = cluster.tick(&batch);
+            assert_answers_identical(
+                &inproc,
+                &cluster,
+                Some((&ri, &rc)),
+                &format!(
+                    "S={shards}, every={snapshot_every}, crash={crash_after_frames}, tick {t}"
+                ),
+            );
+        }
+        let s0 = &cluster.shard_stats()[0];
+        assert!(
+            s0.snapshots > 0,
+            "S={shards}: snapshot cycle never fired (stats: {s0:?})"
+        );
+        assert!(
+            s0.crash_recoveries >= 1,
+            "S={shards}: the planned crash must have fired (stats: {s0:?})"
+        );
+        // Bounded-time recovery: each rebuild replays at most the journal
+        // suffix accumulated since the last snapshot (plus the in-flight
+        // frame), never the whole history.
+        let per_recovery_bound = u64::from(snapshot_every) + 2;
+        assert!(
+            s0.frames_replayed <= s0.crash_recoveries * per_recovery_bound,
+            "S={shards}: replay not bounded by the WAL suffix: {} frames over {} recoveries \
+             (snapshot_every={snapshot_every})",
+            s0.frames_replayed,
+            s0.crash_recoveries,
+        );
+        // The satellite fix: the coordinator journal is truncated behind
+        // every durable snapshot instead of growing without bound.
+        for (s, st) in cluster.shard_stats().iter().enumerate() {
+            assert!(
+                st.journal_len < u64::from(snapshot_every),
+                "shard {s}: journal not truncated behind snapshots (stats: {st:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_recovers_from_snapshot_plus_journal_suffix() {
+    run_snapshot_recovery_differential(3, 14);
+}
+
+#[test]
+fn cluster_recovers_with_sparse_snapshots() {
+    run_snapshot_recovery_differential(8, 12);
+}
+
+#[test]
+fn cluster_recovers_from_seeded_random_crash_ticks() {
+    // Every shard gets its own seeded crash point; each must recover
+    // from its snapshot + suffix with answers indistinguishable from
+    // the uncrashed twin.
+    let net = grid(7, 9, 2);
+    let cfg = base_cfg(22);
+    for (seed, shards) in [(41u64, 2usize), (42, 4), (43, 4)] {
+        let ecfg = EngineConfig {
+            num_shards: shards,
+            algo: ShardAlgo::Ima,
+            ..EngineConfig::default()
+        };
+        let mut inproc = ShardedEngine::new(net.clone(), ecfg);
+        let plans: Vec<FaultPlan> = (0..shards)
+            .map(|s| FaultPlan {
+                crash_after_frames: seeded_crash_frame(seed, s),
+                ..Default::default()
+            })
+            .collect();
+        let mut cluster = ClusterEngine::loopback_durable(
+            net.clone(),
+            ecfg,
+            &plans,
+            RetryPolicy::default(),
+            DurabilityConfig::in_memory(4),
+        );
+        let mut scenario = Scenario::new(net.clone(), cfg.clone());
+        scenario.install_into(&mut inproc);
+        scenario.install_into(&mut cluster);
+        for t in 1..=12usize {
+            let batch = scenario.tick();
+            let ri = inproc.tick(&batch);
+            let rc = cluster.tick(&batch);
+            assert_answers_identical(
+                &inproc,
+                &cluster,
+                Some((&ri, &rc)),
+                &format!("seed={seed}, S={shards}, tick {t}"),
+            );
+        }
+        let stats = cluster.stats();
+        assert!(
+            stats.crash_recoveries >= shards as u64,
+            "seed={seed}, S={shards}: every shard was scheduled to crash (stats: {stats:?})"
+        );
+        assert!(stats.snapshots > 0, "seed={seed}: no snapshots taken");
+    }
+}
+
+#[test]
+fn on_disk_durability_persists_snapshot_and_torn_tail_safe_wal() {
+    let root =
+        std::env::temp_dir().join(format!("rnn-recovery-{}-{}", std::process::id(), line!()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let net = grid(8, 8, 3);
+    let shards = 2usize;
+    let ecfg = EngineConfig {
+        num_shards: shards,
+        algo: ShardAlgo::Gma,
+        ..EngineConfig::default()
+    };
+    let mut inproc = ShardedEngine::new(net.clone(), ecfg);
+    let mut plans = vec![FaultPlan::default(); shards];
+    plans[0] = FaultPlan {
+        crash_after_frames: 14,
+        ..Default::default()
+    };
+    let mut cluster = ClusterEngine::loopback_durable(
+        net.clone(),
+        ecfg,
+        &plans,
+        RetryPolicy::default(),
+        DurabilityConfig::on_disk(4, root.clone()),
+    );
+    let mut scenario = Scenario::new(net.clone(), base_cfg(33));
+    scenario.install_into(&mut inproc);
+    scenario.install_into(&mut cluster);
+    for t in 1..=10usize {
+        let batch = scenario.tick();
+        let ri = inproc.tick(&batch);
+        let rc = cluster.tick(&batch);
+        assert_answers_identical(
+            &inproc,
+            &cluster,
+            Some((&ri, &rc)),
+            &format!("disk, tick {t}"),
+        );
+    }
+    let stats = cluster.stats();
+    assert!(stats.snapshots > 0 && stats.crash_recoveries >= 1);
+    assert!(
+        stats.snapshot_bytes > 0,
+        "durable snapshot missing (stats: {stats:?})"
+    );
+
+    for s in 0..shards {
+        let dir = root.join(format!("shard-{s}"));
+        let snap = dir.join("snapshot.bin");
+        assert!(snap.exists(), "shard {s}: no snapshot file at {snap:?}");
+        // The on-disk WAL must be a clean prefix of verbatim frame
+        // records: scanning it back yields no torn tail to discard.
+        let bytes = std::fs::read(dir.join("events.wal")).expect("WAL file readable");
+        let (records, valid) = wal::scan(&bytes);
+        assert_eq!(
+            valid,
+            bytes.len(),
+            "shard {s}: WAL has a torn tail after clean shutdown-free run"
+        );
+        assert_eq!(
+            records.len() as u64,
+            cluster.shard_stats()[s].journal_len,
+            "shard {s}: WAL records diverge from the in-memory journal"
+        );
+    }
+
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn takeover_hands_dead_shard_cells_to_survivors() {
+    // Shard 0 crashes and every respawn is stillborn, so the recovery
+    // budget exhausts and the link goes Down. With `takeover` enabled
+    // the engine must adopt its cells via the migration planner and keep
+    // answering — answer-identical to the in-process twin (work counters
+    // legitimately diverge: survivors re-install the orphaned queries).
+    let net = grid(8, 8, 4);
+    let cfg = base_cfg(44);
+    for (shards, crash_after_frames) in [(2usize, 16u32), (4, 12)] {
+        let ecfg = EngineConfig {
+            num_shards: shards,
+            algo: ShardAlgo::Gma,
+            takeover: true,
+            ..EngineConfig::default()
+        };
+        let mut inproc = ShardedEngine::new(net.clone(), ecfg);
+        let mut plans = vec![FaultPlan::default(); shards];
+        plans[0] = FaultPlan {
+            crash_after_frames,
+            respawn_dead: true,
+            ..Default::default()
+        };
+        let mut cluster = ClusterEngine::loopback_durable(
+            net.clone(),
+            ecfg,
+            &plans,
+            RetryPolicy::default(),
+            DurabilityConfig::in_memory(4),
+        );
+        let mut scenario = Scenario::new(net.clone(), cfg.clone());
+        scenario.install_into(&mut inproc);
+        scenario.install_into(&mut cluster);
+        for t in 1..=12usize {
+            let batch = scenario.tick();
+            inproc.tick(&batch);
+            cluster.tick(&batch);
+            assert_answers_identical(
+                &inproc,
+                &cluster,
+                None,
+                &format!("S={shards}, takeover run, tick {t}"),
+            );
+            cluster
+                .engine()
+                .validate_replication()
+                .expect("replication invariants hold through takeover");
+        }
+        let engine = cluster.engine();
+        assert!(
+            engine.takeovers() >= 1,
+            "S={shards}: the dead shard was never taken over"
+        );
+        assert!(
+            engine.is_shard_dead(0),
+            "S={shards}: shard 0 should be dead"
+        );
+        assert_eq!(
+            engine.live_shards(),
+            shards - 1,
+            "S={shards}: exactly one shard should have died"
+        );
+        // The corpse's recovery failure surfaced as a typed error, not a
+        // panic (the pre-durability code killed the whole coordinator
+        // here).
+        let err = cluster.engine().links()[0].last_error();
+        assert!(
+            err.is_some(),
+            "S={shards}: dead link must report a ClusterError"
+        );
+    }
+}
+
+#[test]
+fn takeover_survives_repeated_deaths_down_to_one_shard() {
+    // Kill three of four shards at staggered points; the single survivor
+    // ends up owning the whole network and must still answer correctly.
+    let net = grid(6, 6, 5);
+    let shards = 4usize;
+    let ecfg = EngineConfig {
+        num_shards: shards,
+        algo: ShardAlgo::Gma,
+        takeover: true,
+        ..EngineConfig::default()
+    };
+    let mut inproc = ShardedEngine::new(net.clone(), ecfg);
+    let plans: Vec<FaultPlan> = (0..shards)
+        .map(|s| {
+            if s == 3 {
+                FaultPlan::default()
+            } else {
+                FaultPlan {
+                    crash_after_frames: 8 + 4 * s as u32,
+                    respawn_dead: true,
+                    ..Default::default()
+                }
+            }
+        })
+        .collect();
+    let mut cluster = ClusterEngine::loopback_durable(
+        net.clone(),
+        ecfg,
+        &plans,
+        RetryPolicy::default(),
+        DurabilityConfig::default(),
+    );
+    let mut scenario = Scenario::new(net.clone(), base_cfg(55));
+    scenario.install_into(&mut inproc);
+    scenario.install_into(&mut cluster);
+    for t in 1..=14usize {
+        let batch = scenario.tick();
+        inproc.tick(&batch);
+        cluster.tick(&batch);
+        assert_answers_identical(&inproc, &cluster, None, &format!("cascade, tick {t}"));
+        cluster
+            .engine()
+            .validate_replication()
+            .expect("replication invariants hold through cascading takeovers");
+    }
+    let engine = cluster.engine();
+    assert_eq!(engine.takeovers(), 3, "three shards were scheduled to die");
+    assert_eq!(engine.live_shards(), 1, "only shard 3 survives");
+    assert!(!engine.is_shard_dead(3));
+}

@@ -4,8 +4,9 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use rnn_monitor::cluster::wal as cluster_wal;
 use rnn_monitor::core::influence::IntervalSet;
-use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, Ovh, UpdateBatch};
+use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, MonitorState, Ovh, UpdateBatch};
 use rnn_monitor::core::{EdgeWeightUpdate, ObjectEvent, QueryEvent};
 use rnn_monitor::roadnet::{
     generators, DijkstraEngine, EdgeId, EdgeWeights, NetPoint, NodeId, ObjectId, QueryId,
@@ -905,7 +906,7 @@ fn delta_batch_strategy() -> impl Strategy<Value = DeltaBatch> {
         })
 }
 
-const ALL_TAGS: [MsgTag; 7] = [
+const ALL_TAGS: [MsgTag; 11] = [
     MsgTag::TickEvents,
     MsgTag::ResyncEvents,
     MsgTag::MigrationEvents,
@@ -913,6 +914,10 @@ const ALL_TAGS: [MsgTag; 7] = [
     MsgTag::Shutdown,
     MsgTag::TickReply,
     MsgTag::MemoryReply,
+    MsgTag::SnapshotRequest,
+    MsgTag::SnapshotReply,
+    MsgTag::SnapshotInstall,
+    MsgTag::RestoreReply,
 ];
 
 proptest! {
@@ -921,7 +926,7 @@ proptest! {
     /// The frame envelope round-trips any tag/seq/payload bit-exactly.
     #[test]
     fn frame_envelope_round_trips(
-        tag_idx in 0usize..7,
+        tag_idx in 0usize..ALL_TAGS.len(),
         seq in any::<u32>(),
         payload in prop::collection::vec(any::<u8>(), 0..200),
     ) {
@@ -1068,5 +1073,130 @@ proptest! {
         for t in &out.tokens {
             prop_assert!(t.line >= 1 && t.line <= lines);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Durability plane: monitor-state snapshots must round-trip to an
+// answer-equivalent monitor for every algorithm on random networks and
+// workloads, their decoder must be total on mutilated bytes, and the
+// WAL scan must recover exactly the untorn record prefix wherever the
+// tail is cut.
+// ---------------------------------------------------------------------
+
+/// Installs a seed-derived population and runs a few ticks, leaving the
+/// monitor in a non-trivial steady state worth snapshotting.
+fn populate_for_snapshot(m: &mut dyn ContinuousMonitor, net: &RoadNetwork, seed: u64) {
+    let n = net.num_edges() as u64;
+    for i in 0..20u64 {
+        let e = EdgeId(((seed.wrapping_mul(31) + i * 7) % n) as u32);
+        let frac = 0.05 + 0.9 * ((i as f64 * 0.37 + seed as f64 * 0.11) % 1.0);
+        m.insert_object(ObjectId(i as u32), NetPoint::new(e, frac));
+    }
+    for q in 0..6u64 {
+        let e = EdgeId(((seed.wrapping_mul(17) + q * 13) % n) as u32);
+        m.install_query(
+            QueryId(q as u32),
+            1 + (q as usize % 4),
+            NetPoint::new(e, 0.5),
+        );
+    }
+    for t in 0..3u64 {
+        let mut batch = UpdateBatch::default();
+        batch.objects.push(ObjectEvent::Move {
+            id: ObjectId(((seed + t) % 20) as u32),
+            to: NetPoint::new(EdgeId(((seed + 3 * t) % n) as u32), 0.4),
+        });
+        batch.edges.push(EdgeWeightUpdate {
+            edge: EdgeId(((seed + 5 * t) % n) as u32),
+            new_weight: 1.0 + (t as f64) * 0.25,
+        });
+        m.tick(&batch);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// capture → encode → decode → restore yields a monitor with
+    /// bit-identical answers, for each algorithm on random populated
+    /// networks.
+    #[test]
+    fn snapshot_round_trip_is_answer_equivalent(seed in 0u64..120, algo in 0usize..3) {
+        let net = Arc::new(random_grid(seed));
+        let (mut orig, mut fresh): (Box<dyn ContinuousMonitor>, Box<dyn ContinuousMonitor>) =
+            match algo {
+                0 => (Box::new(Gma::new(net.clone())), Box::new(Gma::new(net.clone()))),
+                1 => (Box::new(Ima::new(net.clone())), Box::new(Ima::new(net.clone()))),
+                _ => (Box::new(Ovh::new(net.clone())), Box::new(Ovh::new(net.clone()))),
+            };
+        populate_for_snapshot(orig.as_mut(), &net, seed);
+        let snap = orig.snapshot_state().expect("all three algorithms snapshot");
+        let bytes = snap.to_bytes();
+        let decoded = MonitorState::from_bytes(&bytes);
+        prop_assert_eq!(decoded.as_ref().ok(), Some(&snap), "decode must invert encode");
+        prop_assert!(decoded.unwrap().restore_into(fresh.as_mut()).is_ok());
+        let mut ids = orig.query_ids();
+        ids.sort();
+        for q in ids {
+            prop_assert_eq!(orig.result(q).unwrap(), fresh.result(q).unwrap());
+            prop_assert_eq!(
+                orig.knn_dist(q).unwrap().to_bits(),
+                fresh.knn_dist(q).unwrap().to_bits()
+            );
+        }
+    }
+
+    /// The snapshot decoder is total: truncating a valid encoding at any
+    /// proportional cut is rejected as an error, never a panic.
+    #[test]
+    fn snapshot_decode_rejects_truncation(seed in 0u64..60, cut in 0.0f64..1.0) {
+        let net = Arc::new(random_grid(seed));
+        let mut m = Gma::new(net.clone());
+        populate_for_snapshot(&mut m, &net, seed);
+        let bytes = m.snapshot_state().expect("gma snapshots").to_bytes();
+        let at = ((bytes.len() as f64) * cut) as usize;
+        if at < bytes.len() {
+            prop_assert!(MonitorState::from_bytes(&bytes[..at]).is_err());
+        }
+    }
+
+    /// Cutting a WAL image at an arbitrary byte offset never panics and
+    /// recovers exactly the records that fit before the cut.
+    #[test]
+    fn wal_scan_recovers_untorn_prefix(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 1..8),
+        cut in 0.0f64..1.0,
+    ) {
+        let mut image = Vec::new();
+        let mut ends = Vec::new();
+        for (i, p) in payloads.iter().enumerate() {
+            let frame = Frame { tag: MsgTag::TickEvents, seq: i as u32, payload: p.clone() };
+            image.extend_from_slice(&frame.to_bytes());
+            ends.push(image.len());
+        }
+        let at = ((image.len() as f64) * cut) as usize;
+        let (records, valid) = cluster_wal::scan(&image[..at]);
+        // The valid prefix is exactly the full records that fit in the cut.
+        let want = ends.iter().take_while(|&&e| e <= at).count();
+        prop_assert_eq!(records.len(), want, "cut at {} of {}", at, image.len());
+        prop_assert_eq!(valid, if want == 0 { 0 } else { ends[want - 1] });
+        for (i, (seq, bytes)) in records.iter().enumerate() {
+            prop_assert_eq!(*seq, i as u32);
+            let start = if i == 0 { 0 } else { ends[i - 1] };
+            prop_assert_eq!(bytes.as_slice(), &image[start..ends[i]]);
+        }
+    }
+
+    /// Scanning arbitrary garbage is total and returns a consistent
+    /// (records, valid-prefix) pair.
+    #[test]
+    fn wal_scan_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let (records, valid) = cluster_wal::scan(&bytes);
+        prop_assert!(valid <= bytes.len());
+        let (again, valid2) = cluster_wal::scan(&bytes[..valid]);
+        prop_assert_eq!(valid2, valid, "valid prefix must be a fixpoint");
+        prop_assert_eq!(again.len(), records.len());
     }
 }
