@@ -1,0 +1,15 @@
+//// Module docs that lost their doc status: rustdoc renders nothing.
+pub struct Config;
+
+/// Builds the thing.
+// this middle line lost a slash and silently fell out of the docs
+/// Returns a configured instance.
+pub fn build() -> Config {
+    Config
+}
+
+/// A deliberate plain note inside a block is excusable:
+// lint: allow(doc-comment-shape): prose note intentionally hidden from rustdoc
+// maintainers-only detail that should stay out of the rendered docs
+/// ...but this fixture also keeps the unexcused tear above.
+pub fn other() {}

@@ -4,10 +4,11 @@
 //! Generic linters cannot see this project's invariants: that the
 //! steady-state tick path must not allocate (the runtime `alloc_events`
 //! gate only catches what a benchmark happens to execute), that the wire
-//! decode paths must never panic on hostile bytes, and that every work
-//! counter must flow into the bench JSON schema and the CI gate. This
-//! crate encodes those invariants as four rules over a hand-rolled Rust
-//! lexer and runs them at review time:
+//! decode paths must never panic on hostile bytes, that every work
+//! counter must flow into the bench JSON schema and the CI gate, and
+//! that the API surface's doc comments stay mechanically well-formed.
+//! This crate encodes those invariants as five rules over a hand-rolled
+//! Rust lexer and runs them at review time:
 //!
 //! ```text
 //! cargo run -p rnn-analysis -- check
@@ -30,8 +31,9 @@ use diag::{apply_allows, Diagnostic, LINT_ALLOW_RULE};
 use lexer::{lex, AllowDirective};
 use manifest::{Manifest, ManifestExt, Value};
 use rules::{
-    counter_schema_sync, has_forbid_unsafe, hot_path_alloc, panic_free_wire, strip_test_code,
-    CounterSyncInput, RULE_COUNTER, RULE_HOT_PATH, RULE_UNSAFE, RULE_WIRE,
+    counter_schema_sync, doc_comment_shape, has_forbid_unsafe, hot_path_alloc, panic_free_wire,
+    strip_test_code, CounterSyncInput, RULE_COUNTER, RULE_DOC, RULE_HOT_PATH, RULE_UNSAFE,
+    RULE_WIRE,
 };
 
 /// The manifest file the pass is configured by.
@@ -63,15 +65,16 @@ fn read_scoped(root: &Path, rel: &str) -> Result<String, String> {
         .map_err(|e| format!("{MANIFEST_NAME} scopes `{rel}` but it cannot be read: {e}"))
 }
 
-/// Runs the per-file token rules (`hot-path-alloc`, `panic-free-wire`)
-/// over their manifest scopes. A file scoped by several rules is lexed
-/// once and its escapes are resolved across all of them, so an allow for
-/// one rule is never misreported as unused just because another rule also
-/// covers the file.
+/// Runs the per-file rules (`hot-path-alloc`, `panic-free-wire`,
+/// `doc-comment-shape`) over their manifest scopes. A file scoped by
+/// several rules is lexed once and its escapes are resolved across all
+/// of them, so an allow for one rule is never misreported as unused just
+/// because another rule also covers the file.
 fn check_token_rules(root: &Path, m: &Manifest, out: &mut Vec<Diagnostic>) -> Result<(), String> {
     let hot = m.list(RULE_HOT_PATH, "files").unwrap_or_default();
     let wire = m.list(RULE_WIRE, "files").unwrap_or_default();
-    let mut files: Vec<&String> = hot.iter().chain(wire.iter()).collect();
+    let docs = m.list(RULE_DOC, "files").unwrap_or_default();
+    let mut files: Vec<&String> = hot.iter().chain(wire.iter()).chain(docs.iter()).collect();
     files.sort();
     files.dedup();
 
@@ -86,9 +89,21 @@ fn check_token_rules(root: &Path, m: &Manifest, out: &mut Vec<Diagnostic>) -> Re
         if wire.contains(rel) {
             diags.extend(panic_free_wire(rel, &toks));
         }
+        if docs.contains(rel) {
+            // The lexer strips comments, so the doc rule reads the raw
+            // source instead of the token stream.
+            diags.extend(doc_comment_shape(rel, &src));
+        }
         let (known, unknown): (Vec<AllowDirective>, Vec<AllowDirective>) =
             lexed.allows.into_iter().partition(|a| {
-                [RULE_HOT_PATH, RULE_WIRE, RULE_UNSAFE, RULE_COUNTER].contains(&a.rule.as_str())
+                [
+                    RULE_HOT_PATH,
+                    RULE_WIRE,
+                    RULE_UNSAFE,
+                    RULE_COUNTER,
+                    RULE_DOC,
+                ]
+                .contains(&a.rule.as_str())
             });
         for a in unknown {
             out.push(Diagnostic {

@@ -76,6 +76,19 @@ fn bad_counter_sync_finds_each_kind_of_drift() {
 }
 
 #[test]
+fn bad_doc_comment_finds_four_slash_openers_and_torn_blocks() {
+    let diags = check_fixture("bad_doc_comment");
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "doc-comment-shape"));
+    assert_eq!(diags[0].line, 1);
+    assert!(diags[0].message.contains("////"));
+    assert_eq!(diags[1].line, 5);
+    assert!(diags[1].message.contains("interrupts a doc-comment block"));
+    // The fixture's third tear carries a justified escape, which both
+    // suppresses the finding and counts as used (no lint-allow diag).
+}
+
+#[test]
 fn bad_allow_reports_malformed_unused_and_unknown_escapes() {
     let diags = check_fixture("bad_allow");
     assert_eq!(diags.len(), 4, "{diags:#?}");

@@ -27,6 +27,7 @@ struct Options {
     timestamps: usize,
     warmup: usize,
     seed: u64,
+    objects: Option<usize>,
     parallel: bool,
     update_baselines: bool,
 }
@@ -38,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
         timestamps: 10,
         warmup: 2,
         seed: 42,
+        objects: None,
         parallel: false,
         update_baselines: false,
     };
@@ -73,6 +75,20 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--objects" => {
+                // Accepts scientific notation ("1e6") so the million-object
+                // ingest scenario reads the way the docs spell it.
+                let raw = args.next().ok_or("--objects needs a value")?;
+                let n = raw
+                    .parse::<usize>()
+                    .map(|n| n as f64)
+                    .or_else(|_| raw.parse::<f64>())
+                    .map_err(|e| format!("bad --objects: {e}"))?;
+                if !n.is_finite() || n < 1.0 {
+                    return Err(format!("bad --objects: {raw}"));
+                }
+                opts.objects = Some(n.round() as usize);
+            }
             "--parallel" => opts.parallel = true,
             "--update" => opts.update_baselines = true,
             "--help" | "-h" => return Err(usage()),
@@ -91,7 +107,11 @@ fn parse_args() -> Result<Options, String> {
 fn usage() -> String {
     let mut u = String::from(
         "usage: experiments <figure...|all|table2|ci-gate> [--scale F] [--paper-scale] \
-         [--ts N] [--warmup N] [--seed S] [--parallel] [--update]\n\n\
+         [--ts N] [--warmup N] [--seed S] [--objects N] [--parallel] [--update]\n\n\
+         --objects overrides the object cardinality N at every sweep point \
+         (accepts 1e6-style scientific notation) — e.g. \
+         `experiments ingest --objects 1e6` runs the million-object ingest \
+         scenario.\n\
          ci-gate re-runs the gated figures at pinned settings and fails if a \
          deterministic counter regressed >5% vs the committed BENCH_*.json \
          baselines; --update regenerates those baselines instead.\n\nknown figures:\n",
@@ -143,7 +163,12 @@ fn main() -> ExitCode {
             eprintln!("unknown figure: {name}\n{}", usage());
             return ExitCode::FAILURE;
         };
-        let points = (fig.points)(opts.scale, opts.seed);
+        let mut points = (fig.points)(opts.scale, opts.seed);
+        if let Some(n) = opts.objects {
+            for (_, p) in &mut points {
+                p.n_objects = n;
+            }
+        }
         let series = run_series(
             &points,
             fig.algos,
@@ -163,6 +188,7 @@ fn main() -> ExitCode {
             || fig.name == "rebalance"
             || fig.name == "cluster"
             || fig.name == "recovery"
+            || fig.name == "ingest"
         {
             let path = format!("BENCH_{}.json", fig.name);
             match std::fs::write(&path, series_to_json(fig.name, &series)) {
@@ -416,6 +442,82 @@ fn main() -> ExitCode {
                         r.journal_len
                     );
                 }
+            }
+        }
+        // Ingest smoke: the lossless ingest-fed engine must actually fold
+        // redundant firehose reports (every feed shape oversamples, so a
+        // zero means §4.5 coalescing stopped firing), must never shed
+        // (blocking admission with lanes sized above the feed rate), and
+        // its post-warmup drains must run allocation-free — the swap-and-
+        // merge drain's zero-copy guarantee, measured as a window total so
+        // a single stray allocation fails. The tight-laned ING-SHED column
+        // must demonstrably shed, or the admission-control demonstration
+        // is dead weight in the artifact.
+        if fig.name == "ingest" {
+            for point in &series {
+                for r in &point.results {
+                    match r.algo {
+                        rnn_bench::runner::Algo::Ingest(_) => {
+                            if r.coalesced_per_ts <= 0.0 {
+                                eprintln!(
+                                    "INGEST REGRESSION: {} at {} coalesced nothing — the \
+                                     drain stopped folding superseded reports",
+                                    r.algo.name(),
+                                    point.label
+                                );
+                                return ExitCode::FAILURE;
+                            }
+                            if r.shed_events > 0 {
+                                eprintln!(
+                                    "INGEST REGRESSION: {} at {} shed {} events under \
+                                     blocking admission — lossless lanes dropped data",
+                                    r.algo.name(),
+                                    point.label,
+                                    r.shed_events
+                                );
+                                return ExitCode::FAILURE;
+                            }
+                            if r.drain_alloc_events > 0 {
+                                eprintln!(
+                                    "INGEST REGRESSION: {} at {} allocated {} times in \
+                                     post-warmup drains — the swap-and-merge drain is no \
+                                     longer allocation-free at steady state",
+                                    r.algo.name(),
+                                    point.label,
+                                    r.drain_alloc_events
+                                );
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                        rnn_bench::runner::Algo::IngestShed(_) if r.shed_events == 0 => {
+                            eprintln!(
+                                "INGEST REGRESSION: {} at {} never shed — the tight \
+                                 ShedOldest lanes stopped exercising admission control",
+                                r.algo.name(),
+                                point.label
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                        _ => {}
+                    }
+                }
+                println!(
+                    "#   {}: {}",
+                    point.label,
+                    point
+                        .results
+                        .iter()
+                        .filter(|r| r.algo.is_ingest())
+                        .map(|r| format!(
+                            "{} coalesced/ts {:.1}, shed {}, drain allocs {}",
+                            r.algo.name(),
+                            r.coalesced_per_ts,
+                            r.shed_events,
+                            r.drain_alloc_events
+                        ))
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                );
             }
         }
         // GMA's active-node count, where applicable.

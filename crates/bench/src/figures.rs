@@ -5,7 +5,7 @@
 //! cardinalities (see [`Params::scaled`]); `scale = 1.0` reproduces the
 //! paper's setup verbatim.
 
-use rnn_workload::{Distribution, MovementModel};
+use rnn_workload::{Distribution, FirehosePattern, MovementModel};
 
 use crate::params::Params;
 use crate::runner::Algo;
@@ -394,6 +394,31 @@ fn recovery(scale: f64, seed: u64) -> Vec<(String, Params)> {
     cluster(scale, seed)
 }
 
+/// Ingest front-end (not in the paper): the batch-fed engine against
+/// the same engine fed the raw oversampled firehose stream through the
+/// MPSC ingest stage, one point per feed shape. The lossless ING column
+/// shows what coalescing folds away (`coalesced_per_ts`) at zero
+/// steady-state drain allocations; the ING-SHED column shows what
+/// tight `ShedOldest` admission drops (`shed_events`).
+fn ingest(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    [
+        FirehosePattern::FlashCrowd,
+        FirehosePattern::CommuteWave,
+        FirehosePattern::IncidentResponse,
+    ]
+    .into_iter()
+    .map(|pattern| {
+        (
+            pattern.name().to_string(),
+            Params {
+                firehose: Some(pattern),
+                ..base(scale, seed)
+            },
+        )
+    })
+    .collect()
+}
+
 /// Ablation (not in the paper): IMA with vs without influence lists.
 fn ablation_influence(scale: f64, seed: u64) -> Vec<(String, Params)> {
     [0.05, 0.10, 0.20]
@@ -561,6 +586,13 @@ pub fn all_figures() -> Vec<Figure> {
             memory: false,
             points: recovery,
         },
+        Figure {
+            name: "ingest",
+            title: "Ingest: batch-fed ENG-4 vs firehose-fed ING-4 (coalescing) / ING-4-SHED",
+            algos: Algo::ingest_set(),
+            memory: false,
+            points: ingest,
+        },
     ]
 }
 
@@ -623,6 +655,22 @@ mod tests {
         let pts = (f.points)(0.01, 1);
         let agilities: Vec<f64> = pts.iter().map(|(_, p)| p.query_agility).collect();
         assert_eq!(agilities, vec![0.05, 0.20, 0.50]);
+    }
+
+    #[test]
+    fn ingest_figure_sweeps_feed_shapes() {
+        let f = figure_by_name("ingest").unwrap();
+        let names: Vec<&str> = f.algos.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["ENG-4", "ING-4", "ING-4-SHED"]);
+        let pts = (f.points)(0.01, 1);
+        let labels: Vec<&str> = pts.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["flash-crowd", "commute-wave", "incident-response"]
+        );
+        for (_, p) in &pts {
+            assert!(p.firehose.is_some());
+        }
     }
 
     #[test]

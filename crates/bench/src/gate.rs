@@ -95,6 +95,19 @@ pub const GATE_SPECS: &[GateSpec] = &[
         warmup: 1,
         seed: 42,
     },
+    GateSpec {
+        // The ingest front-end over the three firehose shapes: the
+        // coalescing fold (`coalesced_per_ts`) is deterministic for a
+        // pinned firehose seed, and the baseline pins the ING rows'
+        // `drain_alloc_events` window-total at exactly 0 — the two-tick
+        // warmup absorbs the lane/merge high-water growth, after which
+        // the swap-and-merge drain must run allocation-free.
+        figure: "ingest",
+        scale: 0.01,
+        timestamps: 6,
+        warmup: 2,
+        seed: 42,
+    },
 ];
 
 /// The deterministic counters the gate enforces (field names as rendered
@@ -110,6 +123,12 @@ pub const GATE_SPECS: &[GateSpec] = &[
 /// figure only): it must stay O(WAL suffix) — bounded by the snapshot
 /// cadence — never O(full journal), so a regression means a respawn
 /// stopped restoring from the latest durable snapshot.
+/// `coalesced_per_ts` pins the ingest drain's coalescing volume for the
+/// pinned firehose streams (growth means the fold started double-counting;
+/// the ingest smoke separately asserts it stays nonzero), and
+/// `drain_alloc_events` is a window-total the ingest baseline holds at
+/// exactly 0 — any post-warmup allocation on the swap-and-merge drain
+/// fails the gate.
 const GATED_METRICS: &[&str] = &[
     "steps_per_ts",
     "resync_per_ts",
@@ -117,6 +136,8 @@ const GATED_METRICS: &[&str] = &[
     "recycled_per_ts",
     "frames_per_ts",
     "replayed_per_recovery",
+    "coalesced_per_ts",
+    "drain_alloc_events",
 ];
 
 /// `(label, algo) → metric → value`, scanned from one artifact.

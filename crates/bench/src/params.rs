@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use rnn_roadnet::{generators, RoadNetwork};
-use rnn_workload::{Distribution, HotspotConfig, MovementModel, ScenarioConfig};
+use rnn_workload::{Distribution, FirehosePattern, HotspotConfig, MovementModel, ScenarioConfig};
 
 /// One experiment configuration (Table 2 + the network).
 #[derive(Clone, Debug)]
@@ -55,6 +55,12 @@ pub struct Params {
     /// Layer a drifting load hotspot over the movement stream (the
     /// rebalance figure's skewed workload; not in the paper).
     pub hotspot: bool,
+    /// Oversample the update stream through a
+    /// [`rnn_workload::Firehose`] with this feed shape (the ingest
+    /// figure's workload; not in the paper). Ingest-driven algorithms
+    /// consume the raw oversampled stream; everything else consumes the
+    /// effective one-event-per-entity batch.
+    pub firehose: Option<FirehosePattern>,
     /// RNG seed (drives both map generation and the update stream).
     pub seed: u64,
 }
@@ -77,6 +83,7 @@ impl Default for Params {
             movement: MovementModel::RandomWalk,
             oldenburg: false,
             hotspot: false,
+            firehose: None,
             seed: 42,
         }
     }

@@ -6,8 +6,11 @@
 
 use std::time::Duration;
 
-use rnn_core::{ContinuousMonitor, Gma, Ima, MemoryUsage, OpCounters, Ovh, TransportStats};
-use rnn_workload::Scenario;
+use rnn_core::{
+    ContinuousMonitor, Gma, Ima, MemoryUsage, OpCounters, Ovh, TickReport, TransportStats,
+    UpdateBatch, UpdateEvent,
+};
+use rnn_workload::{Firehose, FirehoseConfig, FirehosePattern, Scenario};
 
 use crate::params::Params;
 
@@ -43,6 +46,17 @@ pub enum Algo {
     /// Sizes crash recovery: recoveries, frames replayed per recovery
     /// (the O(WAL-suffix) bound the CI gate pins), snapshot bytes.
     ClusterDurable(u8),
+    /// The sharded engine fed through the MPSC ingest stage
+    /// (`rnn_engine::ingest`) instead of pre-built batches: the raw
+    /// oversampled firehose stream is submitted event-by-event and
+    /// coalesced at the tick-boundary drain (blocking admission, lanes
+    /// sized so nothing sheds). Requires a [`Params::firehose`] pattern.
+    Ingest(u8),
+    /// The ingest-fed engine under deliberately tight admission:
+    /// per-lane buffers sized well below the firehose rate with
+    /// [`rnn_engine::AdmissionPolicy::ShedOldest`], so the shed counter
+    /// shows what bounded-queue backpressure drops.
+    IngestShed(u8),
 }
 
 /// Snapshot cadence of [`Algo::ClusterDurable`], in journaled event
@@ -83,6 +97,13 @@ impl Algo {
             Algo::ClusterDurable(4) => "CLU-4-D",
             Algo::ClusterDurable(8) => "CLU-8-D",
             Algo::ClusterDurable(_) => "CLU-n-D",
+            Algo::Ingest(1) => "ING-1",
+            Algo::Ingest(2) => "ING-2",
+            Algo::Ingest(4) => "ING-4",
+            Algo::Ingest(8) => "ING-8",
+            Algo::Ingest(_) => "ING-n",
+            Algo::IngestShed(4) => "ING-4-SHED",
+            Algo::IngestShed(_) => "ING-n-SHED",
         }
     }
 
@@ -146,14 +167,32 @@ impl Algo {
         ]
     }
 
+    /// The ingest set: the batch-fed engine as the oracle column, the
+    /// ingest-fed engine (lossless, blocking admission), and the
+    /// shedding engine (tight buffers), all at the same shard count.
+    pub fn ingest_set() -> &'static [Algo] {
+        &[Algo::Sharded(4), Algo::Ingest(4), Algo::IngestShed(4)]
+    }
+
     /// Whether this algorithm is the sharded engine (and thus reports
     /// replica/resync counters). The cluster qualifies: it *is* the
-    /// sharded engine, routed over RPC.
+    /// sharded engine, routed over RPC; so do the ingest-fed engines.
     pub fn is_sharded(self) -> bool {
         matches!(
             self,
-            Algo::Sharded(_) | Algo::ShardedRebal(_) | Algo::Cluster(_) | Algo::ClusterDurable(_)
+            Algo::Sharded(_)
+                | Algo::ShardedRebal(_)
+                | Algo::Cluster(_)
+                | Algo::ClusterDurable(_)
+                | Algo::Ingest(_)
+                | Algo::IngestShed(_)
         )
+    }
+
+    /// Whether this algorithm consumes the raw firehose stream through
+    /// the ingest stage rather than pre-built effective batches.
+    pub fn is_ingest(self) -> bool {
+        matches!(self, Algo::Ingest(_) | Algo::IngestShed(_))
     }
 }
 
@@ -256,6 +295,21 @@ pub struct RunResult {
     /// shard — the journal-truncation guarantee (it grew without bound
     /// before the durability plane).
     pub journal_len: u64,
+    /// Mean superseded submissions folded away by ingest coalescing per
+    /// measured timestamp (ingest-fed engines only; 0 elsewhere).
+    /// Deterministic for a pinned firehose seed, so the CI gate pins its
+    /// ceiling (growth = the fold double-counting) while the ingest
+    /// smoke asserts it stays nonzero (a zero = coalescing stopped).
+    pub coalesced_per_ts: f64,
+    /// Total submissions dropped by `ShedOldest` admission over the
+    /// measured window (ingest-fed engines with tight buffers only).
+    pub shed_events: u64,
+    /// Total ingest-drain allocation events over the measured window —
+    /// lane-buffer growth, merge-scratch growth, coalesce-table rehash.
+    /// Window-total (not a rate) so the gate holds it at exactly zero:
+    /// warmup absorbs the one-off high-water growth, after which the
+    /// swap-and-merge drain must run allocation-free.
+    pub drain_alloc_events: u64,
 }
 
 /// A labelled point of a figure series.
@@ -300,6 +354,15 @@ pub fn make_monitor(
             net,
             rnn_engine::EngineConfig::with_shards(usize::from(shards).max(1)),
         )),
+        // Batch-fed fallback: without the ingest drive loop of
+        // `run_point` an ingest algo degenerates to the plain sharded
+        // engine (same monitor, nothing submitted out-of-band).
+        Algo::Ingest(shards) | Algo::IngestShed(shards) => {
+            Box::new(rnn_engine::ShardedEngine::new(
+                net,
+                rnn_engine::EngineConfig::with_shards(usize::from(shards).max(1)),
+            ))
+        }
         Algo::ClusterDurable(shards) => Box::new(rnn_cluster::ClusterEngine::loopback_durable(
             net,
             rnn_engine::EngineConfig::with_shards(usize::from(shards).max(1)),
@@ -310,6 +373,138 @@ pub fn make_monitor(
             rnn_cluster::RetryPolicy::default(),
             rnn_cluster::DurabilityConfig::in_memory(DURABLE_SNAPSHOT_EVERY),
         )),
+    }
+}
+
+/// A monitor plus the way its update stream reaches it: pre-built
+/// batches straight into `tick`, or raw submissions through the MPSC
+/// ingest stage drained at tick boundaries.
+enum Driven {
+    /// Ticked with the effective one-event-per-entity batch.
+    Plain(Box<dyn ContinuousMonitor>),
+    /// Fed the raw firehose stream through an [`rnn_engine::IngestHandle`]
+    /// and ticked with `tick_ingest` (drain + coalesce + tick).
+    Ingest {
+        engine: Box<rnn_engine::ShardedEngine>,
+        handle: rnn_engine::IngestHandle,
+    },
+}
+
+impl Driven {
+    fn monitor(&self) -> &dyn ContinuousMonitor {
+        match self {
+            Driven::Plain(m) => m.as_ref(),
+            Driven::Ingest { engine, .. } => engine.as_ref(),
+        }
+    }
+
+    fn monitor_mut(&mut self) -> &mut dyn ContinuousMonitor {
+        match self {
+            Driven::Plain(m) => m.as_mut(),
+            Driven::Ingest { engine, .. } => engine.as_mut(),
+        }
+    }
+
+    fn tick(&mut self, raw: &[UpdateEvent], effective: &UpdateBatch) -> TickReport {
+        match self {
+            Driven::Plain(m) => m.tick(effective),
+            Driven::Ingest { engine, handle } => {
+                for &ev in raw {
+                    // Block never errors (the bench sizes lanes above the
+                    // firehose rate) and ShedOldest absorbs overflow; only
+                    // Reject returns Err, and the bench never uses it.
+                    handle.submit(ev).expect("bench ingest submission");
+                }
+                engine.tick_ingest()
+            }
+        }
+    }
+}
+
+/// Instantiates the drive path for `algo`: ingest-fed engines get their
+/// admission config sized from the workload cardinality (lossless lanes
+/// for [`Algo::Ingest`], deliberately tight shedding lanes for
+/// [`Algo::IngestShed`]); everything else goes through [`make_monitor`].
+fn make_driven(algo: Algo, net: std::sync::Arc<rnn_roadnet::RoadNetwork>, p: &Params) -> Driven {
+    let build = |shards: u8, capacity: usize, policy: rnn_engine::AdmissionPolicy| {
+        let cfg = rnn_engine::EngineConfig::builder()
+            .shards(usize::from(shards).max(1))
+            .ingest_capacity(capacity)
+            .admission(policy)
+            .build()
+            .expect("bench ingest config");
+        let engine = Box::new(rnn_engine::ShardedEngine::new(net.clone(), cfg));
+        let handle = engine.ingest_handle();
+        Driven::Ingest { engine, handle }
+    };
+    match algo {
+        // Lossless: per-lane capacity far above the per-tick firehose
+        // rate, so blocking admission never actually parks the producer.
+        Algo::Ingest(shards) => build(
+            shards,
+            p.n_objects.max(4096),
+            rnn_engine::AdmissionPolicy::Block,
+        ),
+        // Lossy: per-lane capacity well below the firehose rate, so the
+        // drain window overflows every tick and ShedOldest drops the
+        // stalest fixes — the shed_events column is the point.
+        Algo::IngestShed(shards) => build(
+            shards,
+            (p.n_objects / 32).max(16),
+            rnn_engine::AdmissionPolicy::ShedOldest,
+        ),
+        _ => Driven::Plain(make_monitor(algo, net)),
+    }
+}
+
+/// The update feed of one run: the plain per-tick scenario, or the
+/// firehose oversampler around it when the point (or an ingest-fed
+/// algorithm) asks for raw submissions.
+enum Feed {
+    Plain(Box<Scenario>, UpdateBatch),
+    Fire(Box<Firehose>),
+}
+
+impl Feed {
+    fn new(net: std::sync::Arc<rnn_roadnet::RoadNetwork>, params: &Params, ingest: bool) -> Self {
+        match (params.firehose, ingest) {
+            (Some(pattern), _) => Feed::Fire(Box::new(Firehose::new(
+                net,
+                FirehoseConfig::new(pattern, params.scenario_config()),
+            ))),
+            // Ingest algos on a non-firehose point still need a raw
+            // stream; the commute wave is the least exotic default.
+            (None, true) => Feed::Fire(Box::new(Firehose::new(
+                net,
+                FirehoseConfig::new(FirehosePattern::CommuteWave, params.scenario_config()),
+            ))),
+            (None, false) => Feed::Plain(
+                Box::new(Scenario::new(net, params.scenario_config())),
+                UpdateBatch::default(),
+            ),
+        }
+    }
+
+    fn install_into(&self, monitor: &mut dyn ContinuousMonitor) {
+        match self {
+            Feed::Plain(s, _) => s.install_into(monitor),
+            Feed::Fire(f) => f.install_into(monitor),
+        }
+    }
+
+    /// Advances one timestamp; returns `(raw, effective)`. The raw view
+    /// is empty for plain feeds (no ingest consumer asked for one).
+    fn tick(&mut self) -> (&[UpdateEvent], &UpdateBatch) {
+        match self {
+            Feed::Plain(s, slot) => {
+                *slot = s.tick();
+                (&[], slot)
+            }
+            Feed::Fire(f) => {
+                let t = f.tick();
+                (t.raw, t.effective)
+            }
+        }
     }
 }
 
@@ -341,7 +536,8 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                  \"cells_migrated\": {}, \"load_ratio\": {:.3}, \
                  \"recoveries\": {}, \"replayed_per_recovery\": {:.1}, \
                  \"snapshots\": {}, \"snapshot_kb\": {:.1}, \
-                 \"journal_len\": {}}}{}\n",
+                 \"journal_len\": {}, \"coalesced_per_ts\": {:.3}, \
+                 \"shed_events\": {}, \"drain_alloc_events\": {}}}{}\n",
                 esc(r.algo.name()),
                 r.cpu_per_ts,
                 r.work_per_ts,
@@ -368,6 +564,9 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                 r.snapshots,
                 r.snapshot_kb,
                 r.journal_len,
+                r.coalesced_per_ts,
+                r.shed_events,
+                r.drain_alloc_events,
                 if j + 1 < p.results.len() { "," } else { "" },
             ));
         }
@@ -393,14 +592,15 @@ pub fn run_point(
     warmup: usize,
 ) -> Vec<RunResult> {
     let net = params.build_network();
-    let mut scenario = Scenario::new(net.clone(), params.scenario_config());
+    let any_ingest = algos.iter().any(|a| a.is_ingest());
+    let mut feed = Feed::new(net.clone(), params, any_ingest);
 
-    let mut monitors: Vec<(Algo, Box<dyn ContinuousMonitor>)> = algos
+    let mut monitors: Vec<(Algo, Driven)> = algos
         .iter()
-        .map(|&a| (a, make_monitor(a, net.clone())))
+        .map(|&a| (a, make_driven(a, net.clone(), params)))
         .collect();
     for (_, m) in &mut monitors {
-        scenario.install_into(m.as_mut());
+        feed.install_into(m.monitor_mut());
     }
 
     let mut elapsed = vec![Duration::ZERO; monitors.len()];
@@ -416,24 +616,24 @@ pub fn run_point(
     // per-timestamp rates must exclude them (like the timings do).
     let mut net_base: Vec<TransportStats> = monitors
         .iter()
-        .map(|(_, m)| m.transport_stats().unwrap_or_default())
+        .map(|(_, m)| m.monitor().transport_stats().unwrap_or_default())
         .collect();
     let measured = timestamps.saturating_sub(warmup).max(1);
     for t in 0..timestamps {
-        let batch = scenario.tick();
+        let (raw, effective) = feed.tick();
         for (i, (_, m)) in monitors.iter_mut().enumerate() {
-            let rep = m.tick(&batch);
+            let rep = m.tick(raw, effective);
             max_tick_resync[i] = max_tick_resync[i].max(rep.counters.resync_touched);
             total_counters[i].merge(&rep.counters);
             if t + 1 == warmup {
-                if let Some(s) = m.transport_stats() {
+                if let Some(s) = m.monitor().transport_stats() {
                     net_base[i] = s;
                 }
             }
             if t >= warmup {
                 elapsed[i] += rep.elapsed;
                 counters[i].merge(&rep.counters);
-                if let Some(r) = m.shard_load_ratio() {
+                if let Some(r) = m.monitor().shard_load_ratio() {
                     ratio_sum[i] += r;
                     ratio_count[i] += 1;
                 }
@@ -445,6 +645,7 @@ pub fn run_point(
         .iter()
         .enumerate()
         .map(|(i, (a, m))| {
+            let m = m.monitor();
             // Capture the transport delta before `memory()`, which ships
             // its own request/reply pair per shard.
             let final_stats = m.transport_stats();
@@ -499,6 +700,9 @@ pub fn run_point(
                 snapshots: dur.snapshots,
                 snapshot_kb: dur.snapshot_bytes as f64 / 1024.0,
                 journal_len: dur.journal_len,
+                coalesced_per_ts: counters[i].coalesced_superseded as f64 / measured as f64,
+                shed_events: counters[i].shed_events,
+                drain_alloc_events: counters[i].drain_alloc_events,
             }
         })
         .collect()
@@ -708,6 +912,37 @@ mod tests {
             eng.frames_per_ts, 0.0,
             "in-process engines have no transport"
         );
+    }
+
+    #[test]
+    fn ingest_fed_engine_coalesces_and_sheds() {
+        let p = Params {
+            firehose: Some(FirehosePattern::FlashCrowd),
+            // Enough movers that the tight ING-4-SHED lanes overflow
+            // every tick regardless of how the id hash splits them.
+            object_agility: 0.5,
+            ..tiny()
+        };
+        let rs = run_point(&p, Algo::ingest_set(), 5, 2);
+        let by = |name: &str| rs.iter().find(|r| r.algo.name() == name).unwrap();
+        let eng = by("ENG-4");
+        let ing = by("ING-4");
+        let shed = by("ING-4-SHED");
+        assert_eq!(
+            eng.coalesced_per_ts, 0.0,
+            "batch-fed engines never coalesce"
+        );
+        assert_eq!(eng.shed_events, 0);
+        assert!(
+            ing.coalesced_per_ts > 0.0,
+            "the flash crowd's redundant fixes must be folded at the drain"
+        );
+        assert_eq!(ing.shed_events, 0, "lossless lanes must not shed");
+        assert!(
+            shed.shed_events > 0,
+            "tight ShedOldest lanes must drop submissions"
+        );
+        assert!(ing.work_per_ts > 0.0);
     }
 
     #[test]

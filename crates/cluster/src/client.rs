@@ -115,6 +115,85 @@ impl DurabilityConfig {
             recovery_retries: 2,
         }
     }
+
+    /// A validating builder (mirroring `EngineConfig::builder`): knob
+    /// mistakes surface as a typed [`DurabilityConfigError`] at
+    /// [`DurabilityConfigBuilder::build`] instead of being silently
+    /// papered over (a literal `fsync_every: 0` is quietly treated as 1).
+    pub fn builder() -> DurabilityConfigBuilder {
+        DurabilityConfigBuilder {
+            cfg: Self {
+                fsync_every: 1,
+                recovery_retries: 2,
+                ..Self::default()
+            },
+        }
+    }
+}
+
+/// Why a [`DurabilityConfig::builder`] configuration was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DurabilityConfigError {
+    /// `fsync_every` was 0. The raw struct treats 0 as "sync every
+    /// append" for backwards compatibility; the builder rejects it so a
+    /// miscomputed batch size fails loudly instead of silently running
+    /// at the slowest possible setting.
+    ZeroFsyncBatch,
+}
+
+impl std::fmt::Display for DurabilityConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityConfigError::ZeroFsyncBatch => write!(
+                f,
+                "DurabilityConfig::fsync_every must be at least 1 \
+                 (1 = sync every append)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityConfigError {}
+
+/// Builder for [`DurabilityConfig`]; see [`DurabilityConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct DurabilityConfigBuilder {
+    cfg: DurabilityConfig,
+}
+
+impl DurabilityConfigBuilder {
+    /// Sets the snapshot cadence, in journaled event frames (0 disables
+    /// snapshots).
+    pub fn snapshot_every(mut self, frames: u32) -> Self {
+        self.cfg.snapshot_every = frames;
+        self
+    }
+
+    /// Persists the WAL and snapshots under `dir`.
+    pub fn dir(mut self, dir: PathBuf) -> Self {
+        self.cfg.dir = Some(dir);
+        self
+    }
+
+    /// Sets the WAL fsync batch size (validated to `>= 1` at build).
+    pub fn fsync_every(mut self, appends: u32) -> Self {
+        self.cfg.fsync_every = appends;
+        self
+    }
+
+    /// Sets the extra full recovery attempts after the first failure.
+    pub fn recovery_retries(mut self, retries: u32) -> Self {
+        self.cfg.recovery_retries = retries;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<DurabilityConfig, DurabilityConfigError> {
+        if self.cfg.fsync_every == 0 {
+            return Err(DurabilityConfigError::ZeroFsyncBatch);
+        }
+        Ok(self.cfg)
+    }
 }
 
 /// Builds a replacement transport to a *freshly spawned* service (new

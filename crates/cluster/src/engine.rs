@@ -11,9 +11,11 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-use rnn_core::{ContinuousMonitor, MemoryUsage, Neighbor, TickReport, TransportStats, UpdateBatch};
+use rnn_core::{
+    ContinuousMonitor, MemoryUsage, Neighbor, TickReport, TransportStats, UpdateBatch, UpdateEvent,
+};
 use rnn_engine::{EngineConfig, ShardedEngine};
-use rnn_roadnet::{EdgeId, NetPoint, ObjectId, QueryId, RoadNetwork};
+use rnn_roadnet::{EdgeId, QueryId, RoadNetwork};
 
 use crate::client::{DurabilityConfig, RemoteShard, RespawnFn, RetryPolicy};
 use crate::service::ShardService;
@@ -173,6 +175,19 @@ impl ClusterEngine {
         &self.engine
     }
 
+    /// A producer handle onto the coordinator's ingest stage (see
+    /// `rnn_engine::ingest`) — submissions queue coordinator-side and
+    /// ship to the shard services at the next [`Self::tick_ingest`].
+    pub fn ingest_handle(&self) -> rnn_engine::IngestHandle {
+        self.engine.ingest_handle()
+    }
+
+    /// Drains the ingest stage and runs one tick over the result (see
+    /// `ShardedEngine::tick_ingest`).
+    pub fn tick_ingest(&mut self) -> TickReport {
+        self.engine.tick_ingest()
+    }
+
     /// Per-shard transport counters, in shard order.
     pub fn shard_stats(&self) -> Vec<TransportStats> {
         self.engine.links().iter().map(|l| l.stats()).collect()
@@ -214,16 +229,8 @@ impl ContinuousMonitor for ClusterEngine {
         "CLUSTER"
     }
 
-    fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
-        self.engine.insert_object(id, at);
-    }
-
-    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
-        self.engine.install_query(id, k, at);
-    }
-
-    fn remove_query(&mut self, id: QueryId) {
-        self.engine.remove_query(id);
+    fn apply(&mut self, event: UpdateEvent) -> TickReport {
+        self.engine.apply(event)
     }
 
     fn tick(&mut self, batch: &UpdateBatch) -> TickReport {

@@ -53,7 +53,9 @@ pub mod service;
 pub mod transport;
 pub mod wal;
 
-pub use client::{DurabilityConfig, RemoteShard, RetryPolicy};
+pub use client::{
+    DurabilityConfig, DurabilityConfigBuilder, DurabilityConfigError, RemoteShard, RetryPolicy,
+};
 pub use engine::ClusterEngine;
 pub use error::ClusterError;
 pub use frame::{Frame, MsgTag};

@@ -139,6 +139,9 @@ impl WireCodec for OpCounters {
             self.tree_nodes_recycled,
             self.rebalance_events,
             self.cells_migrated,
+            self.coalesced_superseded,
+            self.shed_events,
+            self.drain_alloc_events,
         ] {
             put_u64(out, v);
         }
@@ -161,6 +164,9 @@ impl WireCodec for OpCounters {
             tree_nodes_recycled: r.u64()?,
             rebalance_events: r.u64()?,
             cells_migrated: r.u64()?,
+            coalesced_superseded: r.u64()?,
+            shed_events: r.u64()?,
+            drain_alloc_events: r.u64()?,
         })
     }
 }

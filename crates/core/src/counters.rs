@@ -70,6 +70,22 @@ pub struct OpCounters {
     /// Partition cells (edges) whose ownership moved to another shard
     /// during rebalancing this tick (sharded engine only).
     pub cells_migrated: u64,
+    /// Submitted events dropped by the ingest stage because a later
+    /// submission for the same entity superseded them within the tick
+    /// window (last-write-wins coalescing, §4.5 generalized to the
+    /// out-of-band ingest path). Each count is one event the monitor
+    /// never had to process.
+    pub coalesced_superseded: u64,
+    /// Submitted events dropped by the ingest stage's
+    /// `AdmissionPolicy::ShedOldest` load shedding because a bounded lane
+    /// was full. Unlike `coalesced_superseded`, shed events are *lost* —
+    /// answers may lag until a fresher submission arrives.
+    pub shed_events: u64,
+    /// Heap-allocation events on the ingest drain path: lane buffer
+    /// growth, drain scratch growth, and coalescing-directory growth.
+    /// Zero on a steady-state tick — the drain runs entirely in reused
+    /// capacity, like the monitors' own `alloc_events` guarantee.
+    pub drain_alloc_events: u64,
 }
 
 impl OpCounters {
@@ -91,6 +107,9 @@ impl OpCounters {
         self.tree_nodes_recycled += other.tree_nodes_recycled;
         self.rebalance_events += other.rebalance_events;
         self.cells_migrated += other.cells_migrated;
+        self.coalesced_superseded += other.coalesced_superseded;
+        self.shed_events += other.shed_events;
+        self.drain_alloc_events += other.drain_alloc_events;
     }
 
     /// A single scalar proxy for CPU work (used by tests that assert one
@@ -101,19 +120,21 @@ impl OpCounters {
 
     /// The allocator-independent view: this report with the memory-pool
     /// counters (`alloc_events`, `install_alloc_events`,
-    /// `tree_nodes_recycled`) zeroed. Those three describe *capacity
-    /// history* — how much slab headroom and free-list content a monitor
-    /// accumulated — not the algorithm's work, so they are the one part of
-    /// a tick report a snapshot-restored monitor may legitimately differ
-    /// in during its first post-restore ticks (its pools were warmed by
-    /// the restore, not by the full run). Every other counter is a pure
-    /// function of the answer-relevant state and must match bit-for-bit,
-    /// which the crash-recovery differential asserts through this view.
+    /// `tree_nodes_recycled`, `drain_alloc_events`) zeroed. Those describe
+    /// *capacity history* — how much slab headroom and free-list content a
+    /// monitor accumulated — not the algorithm's work, so they are the one
+    /// part of a tick report a snapshot-restored monitor may legitimately
+    /// differ in during its first post-restore ticks (its pools were
+    /// warmed by the restore, not by the full run). Every other counter is
+    /// a pure function of the answer-relevant state and must match
+    /// bit-for-bit, which the crash-recovery differential asserts through
+    /// this view.
     pub fn algorithmic(&self) -> OpCounters {
         OpCounters {
             alloc_events: 0,
             install_alloc_events: 0,
             tree_nodes_recycled: 0,
+            drain_alloc_events: 0,
             ..*self
         }
     }
@@ -228,6 +249,9 @@ mod tests {
             tree_nodes_recycled: 8,
             rebalance_events: 1,
             cells_migrated: 5,
+            coalesced_superseded: 13,
+            shed_events: 2,
+            drain_alloc_events: 3,
             ..Default::default()
         };
         a.merge(&b);
@@ -244,6 +268,9 @@ mod tests {
         assert_eq!(a.tree_nodes_recycled, 8);
         assert_eq!(a.rebalance_events, 1);
         assert_eq!(a.cells_migrated, 5);
+        assert_eq!(a.coalesced_superseded, 13);
+        assert_eq!(a.shed_events, 2);
+        assert_eq!(a.drain_alloc_events, 3);
         assert_eq!(a.work(), 11 + 2 + 5);
     }
 

@@ -30,8 +30,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rnn_roadnet::{
-    EdgeId, FxHashMap, FxHashSet, NetPoint, NodeId, ObjectId, QueryId, RoadNetwork, SeqId,
-    Sequence, SequenceTable,
+    EdgeId, FxHashMap, FxHashSet, NetPoint, NodeId, QueryId, RoadNetwork, SeqId, Sequence,
+    SequenceTable,
 };
 
 use crate::anchor::{AnchorKey, AnchorSet};
@@ -41,7 +41,7 @@ use crate::monitor::ContinuousMonitor;
 use crate::search::BestK;
 use crate::state::NetworkState;
 use crate::tree::TreePool;
-use crate::types::{Neighbor, RootPos, UpdateBatch};
+use crate::types::{Neighbor, ObjectEvent, QueryEvent, RootPos, UpdateBatch, UpdateEvent};
 
 struct GmaQuery {
     k: usize,
@@ -470,51 +470,61 @@ impl ContinuousMonitor for Gma {
         "GMA"
     }
 
-    fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
-        self.state.objects.insert(id, at);
-    }
-
-    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
-        assert!(
-            !self.queries.contains_key(&id),
-            "query {id:?} already installed"
-        );
-        self.state.queries.insert(id, (k, at));
-        let seq = self.seqs.seq_of_edge(at.edge);
-        self.queries.insert(
-            id,
-            GmaQuery {
-                k,
-                pos: at,
-                seq,
-                // lint: allow(hot-path-alloc): query installation is the declared install path; its allocations are tracked separately as install_alloc_events
-                result: Vec::new(),
-                knn_dist: f64::INFINITY,
-                d_ends: (f64::INFINITY, f64::INFINITY),
-                // lint: allow(hot-path-alloc): query installation is the declared install path; its allocations are tracked separately as install_alloc_events
-                influenced: Vec::new(),
-            },
-        );
-        let mut c = OpCounters::default();
-        let touched = self.register_query_demand(seq, id, k);
-        for n in touched {
-            self.sync_node(n, &mut c);
-        }
-        self.eval_query(id, &mut c);
-    }
-
-    fn remove_query(&mut self, id: QueryId) {
-        let Some(mut q) = self.queries.remove(&id) else {
-            return;
-        };
-        self.state.queries.remove(&id);
-        for e in q.influenced.drain(..) {
-            self.qil.remove(e, id);
-        }
-        let mut c = OpCounters::default();
-        let touched = self.unregister_query_demand(q.seq, id, q.k);
-        for n in touched {
-            self.sync_node(n, &mut c);
+    fn apply(&mut self, event: UpdateEvent) -> TickReport {
+        match event {
+            UpdateEvent::Object(ObjectEvent::Insert { id, at }) => {
+                self.state.objects.insert(id, at);
+                TickReport::default()
+            }
+            UpdateEvent::Query(QueryEvent::Install { id, k, at }) => {
+                assert!(
+                    !self.queries.contains_key(&id),
+                    "query {id:?} already installed"
+                );
+                self.state.queries.insert(id, (k, at));
+                let seq = self.seqs.seq_of_edge(at.edge);
+                self.queries.insert(
+                    id,
+                    GmaQuery {
+                        k,
+                        pos: at,
+                        seq,
+                        // lint: allow(hot-path-alloc): query installation is the declared install path; its allocations are tracked separately as install_alloc_events
+                        result: Vec::new(),
+                        knn_dist: f64::INFINITY,
+                        d_ends: (f64::INFINITY, f64::INFINITY),
+                        // lint: allow(hot-path-alloc): query installation is the declared install path; its allocations are tracked separately as install_alloc_events
+                        influenced: Vec::new(),
+                    },
+                );
+                let mut c = OpCounters::default();
+                let touched = self.register_query_demand(seq, id, k);
+                for n in touched {
+                    self.sync_node(n, &mut c);
+                }
+                self.eval_query(id, &mut c);
+                TickReport::default()
+            }
+            UpdateEvent::Query(QueryEvent::Remove { id }) => {
+                let Some(mut q) = self.queries.remove(&id) else {
+                    return TickReport::default();
+                };
+                self.state.queries.remove(&id);
+                for e in q.influenced.drain(..) {
+                    self.qil.remove(e, id);
+                }
+                let mut c = OpCounters::default();
+                let touched = self.unregister_query_demand(q.seq, id, q.k);
+                for n in touched {
+                    self.sync_node(n, &mut c);
+                }
+                TickReport::default()
+            }
+            other => {
+                let mut batch = UpdateBatch::default();
+                batch.push(other);
+                self.tick(&batch)
+            }
         }
     }
 
@@ -766,14 +776,17 @@ impl ContinuousMonitor for Gma {
 mod tests {
     use super::*;
     use crate::types::{EdgeWeightUpdate, ObjectEvent, QueryEvent};
-    use rnn_roadnet::generators;
+    use rnn_roadnet::{generators, ObjectId};
 
     /// Line of 6 nodes: one sequence, endpoints degree 1 → no active nodes.
     fn line_setup() -> Gma {
         let net = Arc::new(generators::line_network(6, 1.0));
         let mut gma = Gma::new(net.clone());
         for e in net.edge_ids() {
-            gma.insert_object(ObjectId(e.0), NetPoint::new(e, 0.5));
+            gma.apply(UpdateEvent::insert_object(
+                ObjectId(e.0),
+                NetPoint::new(e, 0.5),
+            ));
         }
         gma
     }
@@ -815,7 +828,11 @@ mod tests {
     #[test]
     fn line_has_no_active_nodes() {
         let mut gma = line_setup();
-        gma.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
+        gma.apply(UpdateEvent::install_query(
+            QueryId(1),
+            2,
+            NetPoint::new(EdgeId(2), 0.5),
+        ));
         assert_eq!(
             gma.active_node_count(),
             0,
@@ -832,12 +849,28 @@ mod tests {
     fn cross_activates_center() {
         let (_, mut gma) = cross_setup();
         // One object per ray tip edge.
-        gma.insert_object(ObjectId(0), NetPoint::new(EdgeId(1), 0.5)); // east, x=1.5
-        gma.insert_object(ObjectId(1), NetPoint::new(EdgeId(3), 0.5)); // north
-        gma.insert_object(ObjectId(2), NetPoint::new(EdgeId(5), 0.5)); // south
-        gma.insert_object(ObjectId(3), NetPoint::new(EdgeId(7), 0.5)); // west
-                                                                       // Query on the east ray at x=0.5 (edge e0 frac 0.5).
-        gma.install_query(QueryId(1), 2, NetPoint::new(EdgeId(0), 0.5));
+        gma.apply(UpdateEvent::insert_object(
+            ObjectId(0),
+            NetPoint::new(EdgeId(1), 0.5),
+        )); // east, x=1.5
+        gma.apply(UpdateEvent::insert_object(
+            ObjectId(1),
+            NetPoint::new(EdgeId(3), 0.5),
+        )); // north
+        gma.apply(UpdateEvent::insert_object(
+            ObjectId(2),
+            NetPoint::new(EdgeId(5), 0.5),
+        )); // south
+        gma.apply(UpdateEvent::insert_object(
+            ObjectId(3),
+            NetPoint::new(EdgeId(7), 0.5),
+        )); // west
+            // Query on the east ray at x=0.5 (edge e0 frac 0.5).
+        gma.apply(UpdateEvent::install_query(
+            QueryId(1),
+            2,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         // Only the center (node 0) can be active; the east sequence runs
         // from node 0 to terminal node 2.
         assert_eq!(gma.active_node_count(), 1);
@@ -851,9 +884,19 @@ mod tests {
     #[test]
     fn endpoint_change_propagates_to_query() {
         let (_, mut gma) = cross_setup();
-        gma.insert_object(ObjectId(0), NetPoint::new(EdgeId(1), 0.9)); // east far
-        gma.insert_object(ObjectId(1), NetPoint::new(EdgeId(3), 0.5)); // north
-        gma.install_query(QueryId(1), 1, NetPoint::new(EdgeId(0), 0.5));
+        gma.apply(UpdateEvent::insert_object(
+            ObjectId(0),
+            NetPoint::new(EdgeId(1), 0.9),
+        )); // east far
+        gma.apply(UpdateEvent::insert_object(
+            ObjectId(1),
+            NetPoint::new(EdgeId(3), 0.5),
+        )); // north
+        gma.apply(UpdateEvent::install_query(
+            QueryId(1),
+            1,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         // NN is o0 at 1.4.
         assert_eq!(gma.result(QueryId(1)).unwrap()[0].object, ObjectId(0));
         // o1 moves close to the center on the north ray: d(q, o1) becomes
@@ -874,9 +917,19 @@ mod tests {
     #[test]
     fn irrelevant_updates_ignored() {
         let (_, mut gma) = cross_setup();
-        gma.insert_object(ObjectId(0), NetPoint::new(EdgeId(0), 0.6));
-        gma.insert_object(ObjectId(9), NetPoint::new(EdgeId(7), 0.9));
-        gma.install_query(QueryId(1), 1, NetPoint::new(EdgeId(0), 0.5));
+        gma.apply(UpdateEvent::insert_object(
+            ObjectId(0),
+            NetPoint::new(EdgeId(0), 0.6),
+        ));
+        gma.apply(UpdateEvent::insert_object(
+            ObjectId(9),
+            NetPoint::new(EdgeId(7), 0.9),
+        ));
+        gma.apply(UpdateEvent::install_query(
+            QueryId(1),
+            1,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         let before = gma.result(QueryId(1)).unwrap().to_vec();
         // Far-west object wiggles far outside everything.
         let rep = gma.tick(&UpdateBatch {
@@ -893,9 +946,19 @@ mod tests {
     #[test]
     fn query_move_across_sequences() {
         let (_, mut gma) = cross_setup();
-        gma.insert_object(ObjectId(0), NetPoint::new(EdgeId(1), 0.5));
-        gma.insert_object(ObjectId(1), NetPoint::new(EdgeId(3), 0.5));
-        gma.install_query(QueryId(1), 1, NetPoint::new(EdgeId(0), 0.5));
+        gma.apply(UpdateEvent::insert_object(
+            ObjectId(0),
+            NetPoint::new(EdgeId(1), 0.5),
+        ));
+        gma.apply(UpdateEvent::insert_object(
+            ObjectId(1),
+            NetPoint::new(EdgeId(3), 0.5),
+        ));
+        gma.apply(UpdateEvent::install_query(
+            QueryId(1),
+            1,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         assert_eq!(gma.result(QueryId(1)).unwrap()[0].object, ObjectId(0));
         // Move to the north ray.
         gma.tick(&UpdateBatch {
@@ -907,14 +970,18 @@ mod tests {
         });
         assert_eq!(gma.result(QueryId(1)).unwrap()[0].object, ObjectId(1));
         // Remove the query: center deactivates.
-        gma.remove_query(QueryId(1));
+        gma.apply(UpdateEvent::remove_query(QueryId(1)));
         assert_eq!(gma.active_node_count(), 0);
     }
 
     #[test]
     fn edge_update_within_sequence() {
         let mut gma = line_setup();
-        gma.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
+        gma.apply(UpdateEvent::install_query(
+            QueryId(1),
+            2,
+            NetPoint::new(EdgeId(2), 0.5),
+        ));
         let rep = gma.tick(&UpdateBatch {
             edges: vec![EdgeWeightUpdate {
                 edge: EdgeId(1),
@@ -935,9 +1002,16 @@ mod tests {
         let net = Arc::new(generators::ring_network(8, 4.0));
         let mut gma = Gma::new(net.clone());
         for e in net.edge_ids() {
-            gma.insert_object(ObjectId(e.0), NetPoint::new(e, 0.5));
+            gma.apply(UpdateEvent::insert_object(
+                ObjectId(e.0),
+                NetPoint::new(e, 0.5),
+            ));
         }
-        gma.install_query(QueryId(1), 3, NetPoint::new(EdgeId(0), 0.5));
+        gma.apply(UpdateEvent::install_query(
+            QueryId(1),
+            3,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         assert_eq!(gma.active_node_count(), 0);
         let r = gma.result(QueryId(1)).unwrap();
         assert_eq!(r.len(), 3);
@@ -951,17 +1025,28 @@ mod tests {
     fn max_k_demand_drives_node_k() {
         let (_, mut gma) = cross_setup();
         for i in 0..8u32 {
-            gma.insert_object(ObjectId(i), NetPoint::new(EdgeId(i % 8), 0.4));
+            gma.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId(i % 8), 0.4),
+            ));
         }
-        gma.install_query(QueryId(1), 1, NetPoint::new(EdgeId(0), 0.5));
-        gma.install_query(QueryId(2), 5, NetPoint::new(EdgeId(1), 0.5));
+        gma.apply(UpdateEvent::install_query(
+            QueryId(1),
+            1,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
+        gma.apply(UpdateEvent::install_query(
+            QueryId(2),
+            5,
+            NetPoint::new(EdgeId(1), 0.5),
+        ));
         // Center node must monitor max(1, 5) = 5 NNs.
         let key = gma.node_anchor[&NodeId(0)];
         assert_eq!(gma.nodes.get(key).unwrap().k, 5);
         // The 5-NN query's result is complete.
         assert_eq!(gma.result(QueryId(2)).unwrap().len(), 5);
         // Removing the 5-NN query shrinks the node demand.
-        gma.remove_query(QueryId(2));
+        gma.apply(UpdateEvent::remove_query(QueryId(2)));
         let key = gma.node_anchor[&NodeId(0)];
         assert_eq!(gma.nodes.get(key).unwrap().k, 1);
     }

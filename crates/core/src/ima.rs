@@ -10,14 +10,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rnn_roadnet::{FxHashMap, NetPoint, ObjectId, QueryId, RoadNetwork};
+use rnn_roadnet::{FxHashMap, QueryId, RoadNetwork};
 
 use crate::anchor::{AnchorKey, AnchorSet};
 use crate::counters::{MemoryUsage, OpCounters, TickReport};
 use crate::monitor::ContinuousMonitor;
 use crate::state::NetworkState;
 use crate::tree::TreePool;
-use crate::types::{Neighbor, RootPos, UpdateBatch};
+use crate::types::{Neighbor, ObjectEvent, QueryEvent, RootPos, UpdateBatch, UpdateEvent};
 
 /// The incremental monitoring algorithm.
 pub struct Ima {
@@ -101,27 +101,37 @@ impl ContinuousMonitor for Ima {
         "IMA"
     }
 
-    fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
-        self.state.objects.insert(id, at);
-    }
-
-    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
-        assert!(
-            !self.by_query.contains_key(&id),
-            "query {id:?} already installed"
-        );
-        self.state.queries.insert(id, (k, at));
-        let mut c = OpCounters::default();
-        let key = self.anchors.add(&self.state, RootPos::Point(at), k, &mut c);
-        self.by_query.insert(id, key);
-        self.by_anchor.insert(key, id);
-    }
-
-    fn remove_query(&mut self, id: QueryId) {
-        if let Some(key) = self.by_query.remove(&id) {
-            self.anchors.remove(key);
-            self.by_anchor.remove(&key);
-            self.state.queries.remove(&id);
+    fn apply(&mut self, event: UpdateEvent) -> TickReport {
+        match event {
+            UpdateEvent::Object(ObjectEvent::Insert { id, at }) => {
+                self.state.objects.insert(id, at);
+                TickReport::default()
+            }
+            UpdateEvent::Query(QueryEvent::Install { id, k, at }) => {
+                assert!(
+                    !self.by_query.contains_key(&id),
+                    "query {id:?} already installed"
+                );
+                self.state.queries.insert(id, (k, at));
+                let mut c = OpCounters::default();
+                let key = self.anchors.add(&self.state, RootPos::Point(at), k, &mut c);
+                self.by_query.insert(id, key);
+                self.by_anchor.insert(key, id);
+                TickReport::default()
+            }
+            UpdateEvent::Query(QueryEvent::Remove { id }) => {
+                if let Some(key) = self.by_query.remove(&id) {
+                    self.anchors.remove(key);
+                    self.by_anchor.remove(&key);
+                    self.state.queries.remove(&id);
+                }
+                TickReport::default()
+            }
+            other => {
+                let mut batch = UpdateBatch::default();
+                batch.push(other);
+                self.tick(&batch)
+            }
         }
     }
 
@@ -241,13 +251,16 @@ impl ContinuousMonitor for Ima {
 mod tests {
     use super::*;
     use crate::types::{EdgeWeightUpdate, ObjectEvent, QueryEvent};
-    use rnn_roadnet::{generators, EdgeId};
+    use rnn_roadnet::{generators, EdgeId, NetPoint, ObjectId};
 
     fn setup() -> Ima {
         let net = Arc::new(generators::line_network(6, 1.0));
         let mut ima = Ima::new(net.clone());
         for e in net.edge_ids() {
-            ima.insert_object(ObjectId(e.0), NetPoint::new(e, 0.5));
+            ima.apply(UpdateEvent::insert_object(
+                ObjectId(e.0),
+                NetPoint::new(e, 0.5),
+            ));
         }
         ima
     }
@@ -255,10 +268,14 @@ mod tests {
     #[test]
     fn lifecycle() {
         let mut ima = setup();
-        ima.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
+        ima.apply(UpdateEvent::install_query(
+            QueryId(1),
+            2,
+            NetPoint::new(EdgeId(2), 0.5),
+        ));
         assert_eq!(ima.result(QueryId(1)).unwrap().len(), 2);
         assert_eq!(ima.query_ids(), vec![QueryId(1)]);
-        ima.remove_query(QueryId(1));
+        ima.apply(UpdateEvent::remove_query(QueryId(1)));
         assert!(ima.result(QueryId(1)).is_none());
         assert!(ima.query_ids().is_empty());
     }
@@ -266,7 +283,11 @@ mod tests {
     #[test]
     fn empty_tick_is_cheap_and_stable() {
         let mut ima = setup();
-        ima.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
+        ima.apply(UpdateEvent::install_query(
+            QueryId(1),
+            2,
+            NetPoint::new(EdgeId(2), 0.5),
+        ));
         let before = ima.result(QueryId(1)).unwrap().to_vec();
         let rep = ima.tick(&UpdateBatch::default());
         assert_eq!(rep.results_changed, 0);
@@ -307,7 +328,11 @@ mod tests {
     #[test]
     fn mixed_updates_in_one_tick() {
         let mut ima = setup();
-        ima.install_query(QueryId(1), 2, NetPoint::new(EdgeId(1), 0.5));
+        ima.apply(UpdateEvent::install_query(
+            QueryId(1),
+            2,
+            NetPoint::new(EdgeId(1), 0.5),
+        ));
         // Simultaneously: weight change near the query, an object leaves,
         // another arrives.
         let rep = ima.tick(&UpdateBatch {
@@ -338,13 +363,21 @@ mod tests {
     #[test]
     fn covering_queries_resolves_through_reverse_map() {
         let mut ima = setup();
-        ima.install_query(QueryId(1), 1, NetPoint::new(EdgeId(0), 0.5));
-        ima.install_query(QueryId(2), 1, NetPoint::new(EdgeId(4), 0.5));
+        ima.apply(UpdateEvent::install_query(
+            QueryId(1),
+            1,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
+        ima.apply(UpdateEvent::install_query(
+            QueryId(2),
+            1,
+            NetPoint::new(EdgeId(4), 0.5),
+        ));
         // Each query's own position is covered by exactly that query.
         assert_eq!(ima.covering_queries(EdgeId(0), 0.5), vec![QueryId(1)]);
         assert_eq!(ima.covering_queries(EdgeId(4), 0.5), vec![QueryId(2)]);
         // Removal (including via a batch) keeps the reverse map in sync.
-        ima.remove_query(QueryId(1));
+        ima.apply(UpdateEvent::remove_query(QueryId(1)));
         assert!(ima.covering_queries(EdgeId(0), 0.5).is_empty());
         ima.tick(&UpdateBatch {
             queries: vec![QueryEvent::Remove { id: QueryId(2) }],
@@ -356,7 +389,11 @@ mod tests {
     #[test]
     fn cell_charges_name_the_root_cell() {
         let mut ima = setup();
-        ima.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
+        ima.apply(UpdateEvent::install_query(
+            QueryId(1),
+            2,
+            NetPoint::new(EdgeId(2), 0.5),
+        ));
         let mut charges = Vec::new();
         ima.drain_cell_charges(&mut charges);
         assert!(
@@ -385,7 +422,11 @@ mod tests {
     #[test]
     fn memory_reports_trees_and_influence() {
         let mut ima = setup();
-        ima.install_query(QueryId(1), 3, NetPoint::new(EdgeId(2), 0.5));
+        ima.apply(UpdateEvent::install_query(
+            QueryId(1),
+            3,
+            NetPoint::new(EdgeId(2), 0.5),
+        ));
         let m = ima.memory();
         assert!(m.expansion_trees > 0, "IMA stores expansion trees");
         assert!(m.influence_lists > 0, "IMA stores influence lists");
@@ -394,7 +435,11 @@ mod tests {
     #[test]
     fn k_change_via_reinstall() {
         let mut ima = setup();
-        ima.install_query(QueryId(1), 1, NetPoint::new(EdgeId(2), 0.5));
+        ima.apply(UpdateEvent::install_query(
+            QueryId(1),
+            1,
+            NetPoint::new(EdgeId(2), 0.5),
+        ));
         // Install event for an existing query with different k acts as a
         // k-change.
         ima.tick(&UpdateBatch {

@@ -28,7 +28,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use rnn_core::{ContinuousMonitor, Ima, UpdateBatch};
+//! use rnn_core::{ContinuousMonitor, Ima, UpdateBatch, UpdateEvent};
 //! use rnn_roadnet::{generators, EdgeId, NetPoint, ObjectId, QueryId};
 //! use std::sync::Arc;
 //!
@@ -38,10 +38,10 @@
 //! let mut ima = Ima::new(net.clone());
 //! // Populate: one object per fifth edge.
 //! for (i, e) in net.edge_ids().enumerate().step_by(5) {
-//!     ima.insert_object(ObjectId(i as u32), NetPoint::new(e, 0.5));
+//!     ima.apply(UpdateEvent::insert_object(ObjectId(i as u32), NetPoint::new(e, 0.5)));
 //! }
 //! // Install a 3-NN query and read its result.
-//! ima.install_query(QueryId(0), 3, NetPoint::new(EdgeId(0), 0.25));
+//! ima.apply(UpdateEvent::install_query(QueryId(0), 3, NetPoint::new(EdgeId(0), 0.25)));
 //! let result = ima.result(QueryId(0)).unwrap();
 //! assert_eq!(result.len(), 3);
 //! // Advance one (empty) timestamp.
@@ -72,4 +72,6 @@ pub use ima::Ima;
 pub use monitor::{ContinuousMonitor, TransportStats};
 pub use ovh::Ovh;
 pub use snapshot::{MonitorState, RestoreError};
-pub use types::{EdgeWeightUpdate, Neighbor, ObjectEvent, QueryEvent, RootPos, UpdateBatch};
+pub use types::{
+    EdgeWeightUpdate, Neighbor, ObjectEvent, QueryEvent, RootPos, UpdateBatch, UpdateEvent,
+};

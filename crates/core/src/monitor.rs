@@ -3,7 +3,7 @@
 use rnn_roadnet::{EdgeId, NetPoint, ObjectId, QueryId};
 
 use crate::counters::{MemoryUsage, TickReport};
-use crate::types::{Neighbor, UpdateBatch};
+use crate::types::{Neighbor, ObjectEvent, QueryEvent, UpdateBatch, UpdateEvent};
 
 /// A continuous k-NN monitoring server (§1: "a central server that monitors
 /// the positions of CkNN queries and objects, as well as the current edge
@@ -20,14 +20,52 @@ pub trait ContinuousMonitor: Send {
     /// Algorithm name (for experiment reports).
     fn name(&self) -> &'static str;
 
+    /// Applies one out-of-band [`UpdateEvent`] immediately — the single
+    /// submission entry point that replaced the historical
+    /// `insert_object` / `install_query` / `remove_query` trio.
+    ///
+    /// The default implementation wraps the event into a singleton
+    /// [`UpdateBatch`] and runs [`Self::tick`]; monitors with cheaper
+    /// out-of-band paths (e.g. an install that skips full-tick
+    /// bookkeeping) override it. High-volume producers should not call
+    /// this per event in steady state: batch through an ingest stage (see
+    /// `rnn_engine::ingest`) or build an [`UpdateBatch`] and [`Self::tick`]
+    /// once per timestamp.
+    fn apply(&mut self, event: UpdateEvent) -> TickReport {
+        let mut batch = UpdateBatch::default();
+        batch.push(event);
+        self.tick(&batch)
+    }
+
     /// Registers a data object at its initial position.
-    fn insert_object(&mut self, id: ObjectId, at: NetPoint);
+    #[deprecated(
+        since = "0.9.0",
+        note = "submit `UpdateEvent::Object(ObjectEvent::Insert { .. })` via `apply` \
+                (or an `UpdateBatch` via `tick`) instead"
+    )]
+    fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
+        self.apply(UpdateEvent::Object(ObjectEvent::Insert { id, at }));
+    }
 
     /// Installs a continuous `k`-NN query and computes its initial result.
-    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint);
+    #[deprecated(
+        since = "0.9.0",
+        note = "submit `UpdateEvent::Query(QueryEvent::Install { .. })` via `apply` \
+                (or an `UpdateBatch` via `tick`) instead"
+    )]
+    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
+        self.apply(UpdateEvent::Query(QueryEvent::Install { id, k, at }));
+    }
 
     /// Terminates a query.
-    fn remove_query(&mut self, id: QueryId);
+    #[deprecated(
+        since = "0.9.0",
+        note = "submit `UpdateEvent::Query(QueryEvent::Remove { .. })` via `apply` \
+                (or an `UpdateBatch` via `tick`) instead"
+    )]
+    fn remove_query(&mut self, id: QueryId) {
+        self.apply(UpdateEvent::Query(QueryEvent::Remove { id }));
+    }
 
     /// Processes one timestamp of updates and refreshes all affected
     /// results.

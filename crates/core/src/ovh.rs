@@ -11,14 +11,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rnn_roadnet::{DijkstraEngine, FxHashMap, NetPoint, ObjectId, QueryId, RoadNetwork};
+use rnn_roadnet::{DijkstraEngine, FxHashMap, NetPoint, QueryId, RoadNetwork};
 
 use crate::counters::{MemoryUsage, OpCounters, TickReport};
 use crate::monitor::ContinuousMonitor;
 use crate::search::{knn_search, BestK, SearchContext};
 use crate::state::NetworkState;
 use crate::tree::TreePool;
-use crate::types::{Neighbor, QueryEvent, RootPos, UpdateBatch};
+use crate::types::{Neighbor, ObjectEvent, QueryEvent, RootPos, UpdateBatch, UpdateEvent};
 
 struct OvhQuery {
     k: usize,
@@ -102,29 +102,39 @@ impl ContinuousMonitor for Ovh {
         "OVH"
     }
 
-    fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
-        self.state.objects.insert(id, at);
-    }
-
-    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
-        self.state.queries.insert(id, (k, at));
-        self.queries.insert(
-            id,
-            OvhQuery {
-                k,
-                pos: at,
-                // lint: allow(hot-path-alloc): query installation is the declared install path; its allocations are tracked separately as install_alloc_events
-                result: Vec::new(),
-                knn_dist: f64::INFINITY,
-            },
-        );
-        let mut c = OpCounters::default();
-        self.recompute(id, &mut c);
-    }
-
-    fn remove_query(&mut self, id: QueryId) {
-        self.state.queries.remove(&id);
-        self.queries.remove(&id);
+    fn apply(&mut self, event: UpdateEvent) -> TickReport {
+        match event {
+            UpdateEvent::Object(ObjectEvent::Insert { id, at }) => {
+                self.state.objects.insert(id, at);
+                TickReport::default()
+            }
+            UpdateEvent::Query(QueryEvent::Install { id, k, at }) => {
+                self.state.queries.insert(id, (k, at));
+                self.queries.insert(
+                    id,
+                    OvhQuery {
+                        k,
+                        pos: at,
+                        // lint: allow(hot-path-alloc): query installation is the declared install path; its allocations are tracked separately as install_alloc_events
+                        result: Vec::new(),
+                        knn_dist: f64::INFINITY,
+                    },
+                );
+                let mut c = OpCounters::default();
+                self.recompute(id, &mut c);
+                TickReport::default()
+            }
+            UpdateEvent::Query(QueryEvent::Remove { id }) => {
+                self.state.queries.remove(&id);
+                self.queries.remove(&id);
+                TickReport::default()
+            }
+            other => {
+                let mut batch = UpdateBatch::default();
+                batch.push(other);
+                self.tick(&batch)
+            }
+        }
     }
 
     fn tick(&mut self, batch: &UpdateBatch) -> TickReport {
@@ -241,13 +251,16 @@ impl Ovh {
 mod tests {
     use super::*;
     use crate::types::{EdgeWeightUpdate, ObjectEvent};
-    use rnn_roadnet::{generators, EdgeId};
+    use rnn_roadnet::{generators, EdgeId, ObjectId};
 
     fn setup() -> Ovh {
         let net = Arc::new(generators::line_network(6, 1.0));
         let mut ovh = Ovh::new(net.clone());
         for e in net.edge_ids() {
-            ovh.insert_object(ObjectId(e.0), NetPoint::new(e, 0.5));
+            ovh.apply(UpdateEvent::insert_object(
+                ObjectId(e.0),
+                NetPoint::new(e, 0.5),
+            ));
         }
         ovh
     }
@@ -255,7 +268,11 @@ mod tests {
     #[test]
     fn initial_result_and_queries() {
         let mut ovh = setup();
-        ovh.install_query(QueryId(1), 2, NetPoint::new(EdgeId(2), 0.5));
+        ovh.apply(UpdateEvent::install_query(
+            QueryId(1),
+            2,
+            NetPoint::new(EdgeId(2), 0.5),
+        ));
         let r = ovh.result(QueryId(1)).unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].object, ObjectId(2));
@@ -266,7 +283,11 @@ mod tests {
     #[test]
     fn recomputes_every_tick() {
         let mut ovh = setup();
-        ovh.install_query(QueryId(1), 1, NetPoint::new(EdgeId(0), 0.5));
+        ovh.apply(UpdateEvent::install_query(
+            QueryId(1),
+            1,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         let rep = ovh.tick(&UpdateBatch::default());
         // Even an empty tick recomputes (that is the point of the baseline).
         assert_eq!(rep.counters.reevaluations, 1);
@@ -276,7 +297,11 @@ mod tests {
     #[test]
     fn reflects_object_and_edge_updates() {
         let mut ovh = setup();
-        ovh.install_query(QueryId(1), 1, NetPoint::new(EdgeId(0), 0.25));
+        ovh.apply(UpdateEvent::install_query(
+            QueryId(1),
+            1,
+            NetPoint::new(EdgeId(0), 0.25),
+        ));
         assert_eq!(ovh.result(QueryId(1)).unwrap()[0].object, ObjectId(0));
         let rep = ovh.tick(&UpdateBatch {
             objects: vec![ObjectEvent::Delete { id: ObjectId(0) }],

@@ -23,7 +23,7 @@ use rnn_roadnet::{NetPoint, ObjectId, QueryId, RoadNetwork};
 
 use crate::monitor::ContinuousMonitor;
 use crate::state::NetworkState;
-use crate::types::{EdgeWeightUpdate, Neighbor, UpdateBatch};
+use crate::types::{EdgeWeightUpdate, Neighbor, UpdateBatch, UpdateEvent};
 
 /// One query's entry in a snapshot: identity, parameters, position, and
 /// the current result (used to validate the restore and to prime the
@@ -164,10 +164,10 @@ impl MonitorState {
             monitor.tick(&batch);
         }
         for &(id, at) in &self.objects {
-            monitor.insert_object(id, at);
+            monitor.apply(UpdateEvent::insert_object(id, at));
         }
         for q in &self.queries {
-            monitor.install_query(q.id, q.k, q.pos);
+            monitor.apply(UpdateEvent::install_query(q.id, q.k, q.pos));
         }
         for q in &self.queries {
             let got = monitor.result(q.id).unwrap_or(&[]);
@@ -256,10 +256,17 @@ mod tests {
 
     fn populate(m: &mut dyn ContinuousMonitor, net: &RoadNetwork) {
         for (i, e) in net.edge_ids().enumerate().step_by(3) {
-            m.insert_object(ObjectId(i as u32), NetPoint::new(e, 0.4));
+            m.apply(UpdateEvent::insert_object(
+                ObjectId(i as u32),
+                NetPoint::new(e, 0.4),
+            ));
         }
         for q in 0..6u32 {
-            m.install_query(QueryId(q), 3, NetPoint::new(EdgeId(q * 5), 0.25));
+            m.apply(UpdateEvent::install_query(
+                QueryId(q),
+                3,
+                NetPoint::new(EdgeId(q * 5), 0.25),
+            ));
         }
         // Churn a few ticks so weights diverge from base and results move.
         for t in 0..4u32 {
@@ -365,7 +372,11 @@ mod tests {
         populate(&mut orig, &n);
         let snap = orig.snapshot_state().unwrap();
         let mut busy = Ima::new(n);
-        busy.install_query(QueryId(99), 2, NetPoint::new(EdgeId(0), 0.5));
+        busy.apply(UpdateEvent::install_query(
+            QueryId(99),
+            2,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         assert_eq!(
             snap.restore_into(&mut busy),
             Err(RestoreError::TargetNotFresh)

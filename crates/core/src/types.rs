@@ -90,11 +90,9 @@ pub enum ObjectEvent {
     },
 }
 
-/// A query event: movement of a registered continuous query. Installation
-/// and termination of queries go through
-/// [`crate::monitor::ContinuousMonitor::install_query`] /
-/// [`remove_query`](crate::monitor::ContinuousMonitor::remove_query), or may
-/// be batched here.
+/// A query event: movement, installation, or termination of a continuous
+/// query, submitted via [`crate::monitor::ContinuousMonitor::apply`] or
+/// batched through [`UpdateBatch`].
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum QueryEvent {
     /// Query moved to a new network position.
@@ -129,12 +127,88 @@ pub struct EdgeWeightUpdate {
     pub new_weight: f64,
 }
 
+/// One submission to a monitor, unifying the three event planes. This is
+/// the currency of [`crate::monitor::ContinuousMonitor::apply`] and of the
+/// ingest front-end: producers hand the server single events out-of-band,
+/// and a batching stage (or the monitor itself) folds them into per-tick
+/// [`UpdateBatch`]es.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum UpdateEvent {
+    /// A data-object event.
+    Object(ObjectEvent),
+    /// A query event.
+    Query(QueryEvent),
+    /// An edge-weight change.
+    Edge(EdgeWeightUpdate),
+}
+
+impl UpdateEvent {
+    /// A new object appearing at `at`.
+    pub fn insert_object(id: ObjectId, at: NetPoint) -> Self {
+        UpdateEvent::Object(ObjectEvent::Insert { id, at })
+    }
+
+    /// An existing object moving to `to`.
+    pub fn move_object(id: ObjectId, to: NetPoint) -> Self {
+        UpdateEvent::Object(ObjectEvent::Move { id, to })
+    }
+
+    /// An object leaving the system.
+    pub fn delete_object(id: ObjectId) -> Self {
+        UpdateEvent::Object(ObjectEvent::Delete { id })
+    }
+
+    /// A new continuous `k`-NN query installed at `at`.
+    pub fn install_query(id: QueryId, k: usize, at: NetPoint) -> Self {
+        UpdateEvent::Query(QueryEvent::Install { id, k, at })
+    }
+
+    /// A registered query moving to `to`.
+    pub fn move_query(id: QueryId, to: NetPoint) -> Self {
+        UpdateEvent::Query(QueryEvent::Move { id, to })
+    }
+
+    /// A registered query terminating.
+    pub fn remove_query(id: QueryId) -> Self {
+        UpdateEvent::Query(QueryEvent::Remove { id })
+    }
+
+    /// An edge-weight change to an absolute `new_weight`.
+    pub fn edge(edge: EdgeId, new_weight: f64) -> Self {
+        UpdateEvent::Edge(EdgeWeightUpdate { edge, new_weight })
+    }
+
+    /// The id of the entity this event concerns, for per-entity routing
+    /// and coalescing: object and query ids in their own planes, edge ids
+    /// in theirs.
+    pub fn lane_key(&self) -> u64 {
+        match self {
+            UpdateEvent::Object(
+                ObjectEvent::Insert { id, .. }
+                | ObjectEvent::Move { id, .. }
+                | ObjectEvent::Delete { id },
+            ) => id.0 as u64,
+            UpdateEvent::Query(
+                QueryEvent::Install { id, .. }
+                | QueryEvent::Move { id, .. }
+                | QueryEvent::Remove { id },
+            ) => id.0 as u64,
+            UpdateEvent::Edge(EdgeWeightUpdate { edge, .. }) => edge.0 as u64,
+        }
+    }
+}
+
 /// Everything that happens in one timestamp.
 ///
 /// §4.5: if an entity issues several updates in one timestamp they are
 /// coalesced (first old value, last new value) before processing; the
 /// monitors perform that preprocessing internally, so batches may contain
 /// multiple events per entity.
+///
+/// The event `Vec`s are public for zero-copy construction by the engine's
+/// drain paths, but producers should prefer the [`Self::push_object`] /
+/// [`Self::push_query`] / [`Self::push_edge`] / [`Self::push`]
+/// constructors over reaching into the fields directly.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct UpdateBatch {
     /// Object movements / appearances / disappearances.
@@ -154,6 +228,38 @@ impl UpdateBatch {
     /// Total number of events.
     pub fn len(&self) -> usize {
         self.objects.len() + self.queries.len() + self.edges.len()
+    }
+
+    /// Appends an object event.
+    pub fn push_object(&mut self, ev: ObjectEvent) {
+        self.objects.push(ev);
+    }
+
+    /// Appends a query event.
+    pub fn push_query(&mut self, ev: QueryEvent) {
+        self.queries.push(ev);
+    }
+
+    /// Appends an edge-weight update.
+    pub fn push_edge(&mut self, ev: EdgeWeightUpdate) {
+        self.edges.push(ev);
+    }
+
+    /// Appends one [`UpdateEvent`] to the matching event plane.
+    pub fn push(&mut self, ev: UpdateEvent) {
+        match ev {
+            UpdateEvent::Object(e) => self.objects.push(e),
+            UpdateEvent::Query(e) => self.queries.push(e),
+            UpdateEvent::Edge(e) => self.edges.push(e),
+        }
+    }
+
+    /// Empties the batch while keeping the allocated capacity, so a
+    /// per-tick batch can be reused without reallocating.
+    pub fn clear(&mut self) {
+        self.objects.clear();
+        self.queries.clear();
+        self.edges.clear();
     }
 }
 
@@ -187,13 +293,42 @@ mod tests {
     fn batch_len_and_emptiness() {
         let mut b = UpdateBatch::default();
         assert!(b.is_empty());
-        b.objects.push(ObjectEvent::Delete { id: ObjectId(1) });
-        b.edges.push(EdgeWeightUpdate {
+        b.push_object(ObjectEvent::Delete { id: ObjectId(1) });
+        b.push_edge(EdgeWeightUpdate {
             edge: EdgeId(0),
             new_weight: 2.0,
         });
         assert!(!b.is_empty());
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn push_routes_update_events_to_the_matching_plane() {
+        let mut b = UpdateBatch::default();
+        b.push(UpdateEvent::Object(ObjectEvent::Delete { id: ObjectId(7) }));
+        b.push(UpdateEvent::Query(QueryEvent::Remove { id: QueryId(3) }));
+        b.push(UpdateEvent::Edge(EdgeWeightUpdate {
+            edge: EdgeId(2),
+            new_weight: 1.5,
+        }));
+        assert_eq!(b.objects.len(), 1);
+        assert_eq!(b.queries.len(), 1);
+        assert_eq!(b.edges.len(), 1);
+        let cap = (
+            b.objects.capacity(),
+            b.queries.capacity(),
+            b.edges.capacity(),
+        );
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(
+            cap,
+            (
+                b.objects.capacity(),
+                b.queries.capacity(),
+                b.edges.capacity()
+            )
+        );
     }
 
     #[test]

@@ -5,6 +5,9 @@ use std::sync::Arc;
 use rnn_core::{ContinuousMonitor, Gma, Ima, Ovh};
 use rnn_roadnet::RoadNetwork;
 
+use crate::engine::EngineError;
+use crate::ingest::{AdmissionPolicy, IngestConfig, IngestHub};
+
 /// Which of the paper's monitors runs inside each shard.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ShardAlgo {
@@ -91,6 +94,12 @@ pub struct EngineConfig {
     /// objects resync from the coordinator's registry, and queries
     /// re-home with freshly computed results.
     pub takeover: bool,
+    /// The out-of-band ingest stage in front of the tick loop: lane
+    /// count, per-lane bound, and admission policy (see
+    /// [`crate::ingest`]). The default (4 lanes × 4096 events,
+    /// `Block`) costs nothing unless [`crate::ShardedEngine::ingest_handle`]
+    /// is actually used.
+    pub ingest: IngestConfig,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +114,7 @@ impl Default for EngineConfig {
             rebalance_cooldown: 8,
             tree_pool_hint: 0,
             takeover: false,
+            ingest: IngestConfig::default(),
         }
     }
 }
@@ -152,5 +162,147 @@ impl EngineConfig {
             ShardAlgo::Ima => Box::new(Ima::with_tree_pool_hint(net, hint)),
             ShardAlgo::Gma => Box::new(Gma::with_tree_pool_hint(net, hint)),
         }
+    }
+
+    /// A validating builder. Prefer this over struct-literal construction
+    /// when any knob comes from user input: [`EngineConfigBuilder::build`]
+    /// reports the first invalid knob as a typed [`EngineError`] instead
+    /// of deferring to a constructor panic (or to silent misbehaviour —
+    /// struct literals accept a NaN `halo_slack` without complaint).
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// Validates every knob, returning the first violation. This is the
+    /// single source of truth the builder and the constructors share.
+    pub(crate) fn validate(&self) -> Result<(), EngineError> {
+        if !(1..=64).contains(&self.num_shards) {
+            return Err(EngineError::InvalidShardCount {
+                got: self.num_shards,
+            });
+        }
+        let finite_ratio = |field: &'static str, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(EngineError::InvalidKnob {
+                    field,
+                    requirement: "a finite, non-negative ratio",
+                })
+            }
+        };
+        finite_ratio("halo_slack", self.halo_slack)?;
+        finite_ratio("halo_shrink_trigger", self.halo_shrink_trigger)?;
+        finite_ratio("rebalance_trigger", self.rebalance_trigger)?;
+        if !(1..=IngestHub::MAX_LANES).contains(&self.ingest.lanes) {
+            return Err(EngineError::InvalidKnob {
+                field: "ingest.lanes",
+                requirement: "in 1..=64 (the merge scans lanes linearly)",
+            });
+        }
+        if self.ingest.capacity == 0 {
+            return Err(EngineError::InvalidKnob {
+                field: "ingest.capacity",
+                requirement: "at least 1 event per lane",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`EngineConfig`] with validation at [`Self::build`]. See
+/// [`EngineConfig::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the shard count (validated to `1..=64` at build).
+    pub fn shards(mut self, num_shards: usize) -> Self {
+        self.cfg.num_shards = num_shards;
+        self
+    }
+
+    /// Sets the per-shard monitor algorithm.
+    pub fn algo(mut self, algo: ShardAlgo) -> Self {
+        self.cfg.algo = algo;
+        self
+    }
+
+    /// Sets the halo growth slack ratio.
+    pub fn halo_slack(mut self, slack: f64) -> Self {
+        self.cfg.halo_slack = slack;
+        self
+    }
+
+    /// Sets the halo shrink hysteresis threshold.
+    pub fn halo_shrink_trigger(mut self, trigger: f64) -> Self {
+        self.cfg.halo_shrink_trigger = trigger;
+        self
+    }
+
+    /// Sets the halo shrink streak length, in ticks.
+    pub fn halo_shrink_ticks(mut self, ticks: u32) -> Self {
+        self.cfg.halo_shrink_ticks = ticks;
+        self
+    }
+
+    /// Sets the load-imbalance rebalance trigger (values below 1 disable
+    /// rebalancing).
+    pub fn rebalance_trigger(mut self, trigger: f64) -> Self {
+        self.cfg.rebalance_trigger = trigger;
+        self
+    }
+
+    /// Sets the minimum ticks between rebalances.
+    pub fn rebalance_cooldown(mut self, ticks: u32) -> Self {
+        self.cfg.rebalance_cooldown = ticks;
+        self
+    }
+
+    /// Sets the per-shard tree-pool warm-up hint.
+    pub fn tree_pool_hint(mut self, hint: usize) -> Self {
+        self.cfg.tree_pool_hint = hint;
+        self
+    }
+
+    /// Enables (or disables) dead-shard takeover.
+    pub fn takeover(mut self, enabled: bool) -> Self {
+        self.cfg.takeover = enabled;
+        self
+    }
+
+    /// Replaces the whole ingest configuration.
+    pub fn ingest(mut self, ingest: IngestConfig) -> Self {
+        self.cfg.ingest = ingest;
+        self
+    }
+
+    /// Sets the ingest lane count (validated to `1..=64` at build).
+    pub fn ingest_lanes(mut self, lanes: usize) -> Self {
+        self.cfg.ingest.lanes = lanes;
+        self
+    }
+
+    /// Sets the per-lane ingest bound (validated to `>= 1` at build).
+    pub fn ingest_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.ingest.capacity = capacity;
+        self
+    }
+
+    /// Sets what a full ingest lane does.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.cfg.ingest.policy = policy;
+        self
+    }
+
+    /// Validates and returns the configuration. The first invalid knob
+    /// comes back as a typed [`EngineError`]; nothing panics.
+    pub fn build(self) -> Result<EngineConfig, EngineError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }

@@ -67,6 +67,7 @@ use std::time::Instant;
 
 use rnn_core::{
     ContinuousMonitor, MemoryUsage, Neighbor, ObjectEvent, QueryEvent, TickReport, UpdateBatch,
+    UpdateEvent,
 };
 use rnn_roadnet::{
     DijkstraEngine, EdgeId, EdgeObjectIndex, EdgeWeights, FxHashMap, FxHashSet, NetPoint,
@@ -74,6 +75,7 @@ use rnn_roadnet::{
 };
 
 use crate::config::EngineConfig;
+use crate::ingest::{IngestHandle, IngestHub};
 use crate::protocol::{BatchKind, DeltaBatch, Request, Response, ShardLink};
 use crate::worker::ShardWorker;
 
@@ -97,6 +99,14 @@ pub enum EngineError {
         /// Shards configured.
         shards: usize,
     },
+    /// A tuning knob failed [`crate::EngineConfigBuilder::build`]
+    /// validation (non-finite ratio, zero ingest capacity, …).
+    InvalidKnob {
+        /// The offending field, as named on [`crate::EngineConfig`].
+        field: &'static str,
+        /// What the field must satisfy.
+        requirement: &'static str,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -112,6 +122,9 @@ impl std::fmt::Display for EngineError {
                 "ShardedEngine::with_links needs exactly one link per shard: \
                  got {links} links for {shards} shards"
             ),
+            EngineError::InvalidKnob { field, requirement } => {
+                write!(f, "EngineConfig::{field} must be {requirement}")
+            }
         }
     }
 }
@@ -281,6 +294,14 @@ pub struct ShardedEngine<L: ShardLink = ShardWorker> {
     /// [`Self::adopt_dead_shard`] run: the corpse's cells, replicas and
     /// queries re-homed onto survivors).
     total_takeovers: u64,
+    /// The out-of-band ingest stage ([`crate::ingest`]): producers
+    /// submit through [`Self::ingest_handle`] clones, and
+    /// [`Self::tick_ingest`] drains at tick boundaries.
+    ingest: IngestHub,
+    /// Reused drain target for [`Self::tick_ingest`] — cleared, refilled
+    /// by the hub, and handed to [`ContinuousMonitor::tick`] without
+    /// cloning event slices.
+    ingest_batch: UpdateBatch,
 }
 
 /// Weight of the exponential load smoothing: each tick contributes half,
@@ -309,11 +330,7 @@ impl ShardedEngine<ShardWorker> {
     /// (so a coordinator can surface the error over RPC rather than
     /// panicking).
     pub fn try_new(net: Arc<RoadNetwork>, cfg: EngineConfig) -> Result<Self, EngineError> {
-        if !(1..=64).contains(&cfg.num_shards) {
-            return Err(EngineError::InvalidShardCount {
-                got: cfg.num_shards,
-            });
-        }
+        cfg.validate()?;
         // Per-cell load attribution only feeds the rebalance planner, so
         // workers skip the per-tick charge hand-off entirely when
         // rebalancing is disabled (the default).
@@ -336,11 +353,7 @@ impl<L: ShardLink> ShardedEngine<L> {
         cfg: EngineConfig,
         links: Vec<L>,
     ) -> Result<Self, EngineError> {
-        if !(1..=64).contains(&cfg.num_shards) {
-            return Err(EngineError::InvalidShardCount {
-                got: cfg.num_shards,
-            });
-        }
+        cfg.validate()?;
         if links.len() != cfg.num_shards {
             return Err(EngineError::LinkCountMismatch {
                 links: links.len(),
@@ -399,6 +412,8 @@ impl<L: ShardLink> ShardedEngine<L> {
             tick_cells_migrated: 0,
             dead: vec![false; cfg.num_shards],
             total_takeovers: 0,
+            ingest: IngestHub::new(cfg.ingest),
+            ingest_batch: UpdateBatch::default(),
             net,
             cfg,
         }
@@ -494,6 +509,35 @@ impl<L: ShardLink> ShardedEngine<L> {
     /// a shard actually died.
     pub fn takeovers(&self) -> u64 {
         self.total_takeovers
+    }
+
+    /// A producer handle onto the engine's ingest stage. Clone freely
+    /// and hand to feed threads; events queue (under
+    /// [`EngineConfig::ingest`]'s bounds and admission policy) until the
+    /// driver calls [`Self::tick_ingest`].
+    pub fn ingest_handle(&self) -> IngestHandle {
+        self.ingest.handle()
+    }
+
+    /// Drains everything submitted since the last drain — coalescing
+    /// multiple reports per entity to the final position (§4.5) — and
+    /// runs one tick over the result. The drain's accounting
+    /// (`coalesced_superseded`, `shed_events`, `drain_alloc_events`)
+    /// is folded into the returned report's counters.
+    ///
+    /// With no coalescing triggered, this is bit-identical to building
+    /// the same [`UpdateBatch`] by hand in submission order and calling
+    /// [`ContinuousMonitor::tick`].
+    pub fn tick_ingest(&mut self) -> TickReport {
+        let mut batch = std::mem::take(&mut self.ingest_batch);
+        batch.clear();
+        let stats = self.ingest.drain_into(&mut batch);
+        let mut report = self.tick(&batch);
+        report.counters.coalesced_superseded += stats.coalesced_superseded;
+        report.counters.shed_events += stats.shed_events;
+        report.counters.drain_alloc_events += stats.drain_alloc_events;
+        self.ingest_batch = batch;
+        report
     }
 
     /// Whether shard `s` has been declared permanently down.
@@ -1344,30 +1388,42 @@ impl<L: ShardLink> ContinuousMonitor for ShardedEngine<L> {
         "SHARDED"
     }
 
-    fn insert_object(&mut self, id: ObjectId, at: NetPoint) {
-        self.route_object_event(&ObjectEvent::Insert { id, at });
-        // During bulk loading (no queries yet) the events stay buffered and
-        // ship with the next install/tick. With live queries the insert
-        // must be visible immediately, like in the single monitors.
-        if !self.queries.is_empty() {
-            self.resync_seen.clear();
-            self.dispatch_pending(BatchKind::Tick);
-            self.reconcile();
+    fn apply(&mut self, event: UpdateEvent) -> TickReport {
+        match event {
+            UpdateEvent::Object(ObjectEvent::Insert { id, at }) => {
+                self.route_object_event(&ObjectEvent::Insert { id, at });
+                // During bulk loading (no queries yet) the events stay
+                // buffered and ship with the next install/tick. With live
+                // queries the insert must be visible immediately, like in
+                // the single monitors.
+                if !self.queries.is_empty() {
+                    self.resync_seen.clear();
+                    self.dispatch_pending(BatchKind::Tick);
+                    self.reconcile();
+                }
+                TickReport::default()
+            }
+            UpdateEvent::Query(QueryEvent::Install { id, k, at }) => {
+                self.route_query_event(&QueryEvent::Install { id, k, at });
+                self.resync_seen.clear();
+                self.dispatch_pending(BatchKind::Tick);
+                self.reconcile();
+                TickReport::default()
+            }
+            UpdateEvent::Query(QueryEvent::Remove { id }) => {
+                self.route_query_event(&QueryEvent::Remove { id });
+                self.dispatch_pending(BatchKind::Tick);
+                // The freed halo radius decays on subsequent ticks
+                // (hysteresis), not here: eager shrinking would thrash on
+                // remove+reinstall.
+                TickReport::default()
+            }
+            other => {
+                let mut batch = UpdateBatch::default();
+                batch.push(other);
+                self.tick(&batch)
+            }
         }
-    }
-
-    fn install_query(&mut self, id: QueryId, k: usize, at: NetPoint) {
-        self.route_query_event(&QueryEvent::Install { id, k, at });
-        self.resync_seen.clear();
-        self.dispatch_pending(BatchKind::Tick);
-        self.reconcile();
-    }
-
-    fn remove_query(&mut self, id: QueryId) {
-        self.route_query_event(&QueryEvent::Remove { id });
-        self.dispatch_pending(BatchKind::Tick);
-        // The freed halo radius decays on subsequent ticks (hysteresis),
-        // not here: eager shrinking would thrash on remove+reinstall.
     }
 
     fn tick(&mut self, batch: &UpdateBatch) -> TickReport {
@@ -1616,9 +1672,16 @@ mod tests {
         let mut eng = engine(4);
         let n = eng.net.num_edges() as u32;
         for i in 0..20u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 3) % n), 0.4));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 3) % n), 0.4),
+            ));
         }
-        eng.install_query(QueryId(0), 5, NetPoint::new(EdgeId(0), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            5,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         let r = eng.result(QueryId(0)).unwrap();
         assert_eq!(r.len(), 5);
         for w in r.windows(2) {
@@ -1634,9 +1697,16 @@ mod tests {
         let mut eng = engine(4);
         let n = eng.net.num_edges() as u32;
         for i in 0..6u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 11) % n), 0.3));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 11) % n), 0.3),
+            ));
         }
-        eng.install_query(QueryId(1), 4, NetPoint::new(EdgeId(2), 0.1));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(1),
+            4,
+            NetPoint::new(EdgeId(2), 0.1),
+        ));
         let q = &eng.queries[&QueryId(1)];
         let s = q.shard as usize;
         assert!(
@@ -1652,9 +1722,16 @@ mod tests {
         let mut eng = engine(1);
         let n = eng.net.num_edges() as u32;
         for i in 0..10u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 7) % n), 0.6));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 7) % n), 0.6),
+            ));
         }
-        eng.install_query(QueryId(0), 3, NetPoint::new(EdgeId(1), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            3,
+            NetPoint::new(EdgeId(1), 0.5),
+        ));
         assert_eq!(eng.replica_count(), 0);
         assert_eq!(eng.result(QueryId(0)).unwrap().len(), 3);
     }
@@ -1664,9 +1741,16 @@ mod tests {
         let mut eng = engine(2);
         let n = eng.net.num_edges() as u32;
         for i in 0..10u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 7) % n), 0.6));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 7) % n), 0.6),
+            ));
         }
-        eng.install_query(QueryId(0), 3, NetPoint::new(EdgeId(1), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            3,
+            NetPoint::new(EdgeId(1), 0.5),
+        ));
         let before = eng.result(QueryId(0)).unwrap().to_vec();
         let rep = eng.tick(&UpdateBatch::default());
         assert_eq!(rep.results_changed, 0);
@@ -1678,9 +1762,16 @@ mod tests {
         let mut eng = engine(4);
         let n = eng.net.num_edges() as u32;
         for i in 0..30u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 5) % n), 0.5));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 5) % n), 0.5),
+            ));
         }
-        eng.install_query(QueryId(0), 3, NetPoint::new(EdgeId(0), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            3,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         let home = eng.queries[&QueryId(0)].shard;
         // Find an edge owned by a different shard and move the query there.
         let target = eng
@@ -1703,11 +1794,18 @@ mod tests {
         let mut eng = engine(2);
         let n = eng.net.num_edges() as u32;
         for i in 0..10u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 7) % n), 0.6));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 7) % n), 0.6),
+            ));
         }
-        eng.install_query(QueryId(3), 2, NetPoint::new(EdgeId(4), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(3),
+            2,
+            NetPoint::new(EdgeId(4), 0.5),
+        ));
         assert!(eng.result(QueryId(3)).is_some());
-        eng.remove_query(QueryId(3));
+        eng.apply(UpdateEvent::remove_query(QueryId(3)));
         assert!(eng.result(QueryId(3)).is_none());
         assert!(eng.query_ids().is_empty());
     }
@@ -1717,9 +1815,16 @@ mod tests {
         let mut eng = engine(4);
         let n = eng.net.num_edges() as u32;
         for i in 0..20u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 3) % n), 0.4));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 3) % n), 0.4),
+            ));
         }
-        eng.install_query(QueryId(0), 5, NetPoint::new(EdgeId(0), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            5,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         let m = eng.memory();
         assert!(m.total_bytes() > 0);
         assert!(m.auxiliary > 0);
@@ -1772,9 +1877,16 @@ mod tests {
         );
         let n = big.num_edges() as u32;
         for i in 0..30u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 7) % n), 0.5));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 7) % n), 0.5),
+            ));
         }
-        eng.install_query(QueryId(0), 3, NetPoint::new(EdgeId(0), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            3,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         assert_eq!(eng.result(QueryId(0)).unwrap().len(), 3);
         eng.validate_replication().unwrap();
     }
@@ -1791,7 +1903,10 @@ mod tests {
         let mut eng = engine(4);
         let n = eng.net.num_edges();
         for (i, e) in (0..n).enumerate() {
-            eng.insert_object(ObjectId(i as u32), NetPoint::new(EdgeId(e as u32), 0.5));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i as u32),
+                NetPoint::new(EdgeId(e as u32), 0.5),
+            ));
         }
         assert_eq!(eng.resync_touched(), 0, "no halo yet, no resync");
         let border = eng
@@ -1808,7 +1923,11 @@ mod tests {
                 })
             })
             .expect("a 4-way split has boundary edges");
-        eng.install_query(QueryId(0), 4, NetPoint::new(border, 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            4,
+            NetPoint::new(border, 0.5),
+        ));
         let touched = eng.resync_touched();
         assert!(touched > 0, "halo growth must resync the edges that joined");
         assert!(
@@ -1846,11 +1965,18 @@ mod tests {
         let mut eng = engine(4);
         let n = eng.net.num_edges() as u32;
         for i in 0..40u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 3) % n), 0.4));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 3) % n), 0.4),
+            ));
         }
-        eng.install_query(QueryId(0), 8, NetPoint::new(EdgeId(2), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            8,
+            NetPoint::new(EdgeId(2), 0.5),
+        ));
         assert!(eng.replica_count() > 0, "k=8 must replicate across borders");
-        eng.remove_query(QueryId(0));
+        eng.apply(UpdateEvent::remove_query(QueryId(0)));
         // Demand is gone; the hysteresis lets the halo decay within
         // halo_shrink_ticks quiet ticks.
         for _ in 0..eng.cfg.halo_shrink_ticks + 1 {
@@ -1871,9 +1997,16 @@ mod tests {
         // bound (and still see every object).
         let mut eng = engine(4);
         for i in 0..3u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId(i * 13), 0.5));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId(i * 13), 0.5),
+            ));
         }
-        eng.install_query(QueryId(0), 10, NetPoint::new(EdgeId(0), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            10,
+            NetPoint::new(EdgeId(0), 0.5),
+        ));
         assert_eq!(eng.result(QueryId(0)).unwrap().len(), 3);
         assert_eq!(eng.knn_dist(QueryId(0)).unwrap(), f64::INFINITY);
         let s = eng.queries[&QueryId(0)].shard as usize;
@@ -1893,7 +2026,10 @@ mod tests {
     fn hotspot_setup(eng: &mut ShardedEngine) -> Vec<(QueryId, EdgeId)> {
         let n = eng.net.num_edges();
         for (i, e) in (0..n).enumerate() {
-            eng.insert_object(ObjectId(i as u32), NetPoint::new(EdgeId(e as u32), 0.5));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i as u32),
+                NetPoint::new(EdgeId(e as u32), 0.5),
+            ));
         }
         let hot = eng.partition.shard_of_edge(EdgeId(0));
         let cluster: Vec<EdgeId> = eng
@@ -1904,7 +2040,11 @@ mod tests {
             .collect();
         let mut placed = Vec::new();
         for (q, &e) in cluster.iter().enumerate() {
-            eng.install_query(QueryId(q as u32), 4, NetPoint::new(e, 0.25));
+            eng.apply(UpdateEvent::install_query(
+                QueryId(q as u32),
+                4,
+                NetPoint::new(e, 0.25),
+            ));
             placed.push((QueryId(q as u32), e));
         }
         placed
@@ -2041,9 +2181,16 @@ mod tests {
         );
         let n = eng.net.num_edges() as u32;
         for i in 0..30u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 5) % n), 0.4));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 5) % n), 0.4),
+            ));
         }
-        eng.install_query(QueryId(0), 4, NetPoint::new(EdgeId(3), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            4,
+            NetPoint::new(EdgeId(3), 0.5),
+        ));
         // Churn the query so its shard re-expands every tick; the worker
         // attributes those expansions to the query's cell and the engine
         // folds them into the smoothed per-cell estimate.
@@ -2072,7 +2219,10 @@ mod tests {
         assert!(cells.len() >= 2, "2-way split has a multi-cell border");
         let (a, b) = (cells[0], cells[1]);
         for i in 0..40u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(b, 0.3 + f64::from(i % 4) * 0.1));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(b, 0.3 + f64::from(i % 4) * 0.1),
+            ));
         }
         eng.load = vec![10_000.0, 1.0];
         eng.cell_load.insert(a, 5_000.0);
@@ -2089,9 +2239,16 @@ mod tests {
         let mut eng = engine(4);
         let n = eng.net.num_edges() as u32;
         for i in 0..30u32 {
-            eng.insert_object(ObjectId(i), NetPoint::new(EdgeId((i * 3) % n), 0.4));
+            eng.apply(UpdateEvent::insert_object(
+                ObjectId(i),
+                NetPoint::new(EdgeId((i * 3) % n), 0.4),
+            ));
         }
-        eng.install_query(QueryId(0), 4, NetPoint::new(EdgeId(1), 0.5));
+        eng.apply(UpdateEvent::install_query(
+            QueryId(0),
+            4,
+            NetPoint::new(EdgeId(1), 0.5),
+        ));
         // Let any post-install shrink settle first.
         for _ in 0..eng.cfg.halo_shrink_ticks + 1 {
             eng.tick(&UpdateBatch::default());

@@ -1,0 +1,790 @@
+//! Out-of-band ingest: a sharded MPSC submission stage in front of the
+//! tick loop.
+//!
+//! The paper's protocol is synchronous — at every timestamp the server is
+//! handed one [`UpdateBatch`] containing everything that happened. Real
+//! feeds are not so polite: GPS probes, query installs, and congestion
+//! sensors arrive continuously from many threads, and several reports for
+//! the *same* entity routinely land inside one tick window. This module
+//! is the stage between the two worlds:
+//!
+//! * **Sharded MPSC lanes.** An [`IngestHub`] owns `lanes` bounded
+//!   queues; any number of cloned [`IngestHandle`]s submit concurrently.
+//!   Every event is routed to lane `entity_id % lanes`, so contention
+//!   spreads across lanes while *per-entity submission order is
+//!   preserved* — the property §4.5 coalescing relies on.
+//! * **Global ordering.** Each admitted event takes a ticket from one
+//!   shared sequence counter (drawn while holding its lane lock, so each
+//!   lane's queue is seq-sorted). The drain merges lanes by ticket,
+//!   reconstructing the exact global submission order; with no
+//!   coalescing triggered, the drained batch is **bit-identical** to one
+//!   built by hand in submission order.
+//! * **Tick-window coalescing** (§4.5: "if an entity issues several
+//!   updates in one timestamp, they are coalesced"). Within one drain,
+//!   later position reports overwrite earlier ones *in place* —
+//!   `Install`+`Move` folds to `Install` at the final position
+//!   (generalizing the install-then-move contract), `Move`+`Move` keeps
+//!   the last position, and edge reports keep the last weight. `Delete` /
+//!   `Remove` are never folded across: they close the entity's window,
+//!   and later events start a fresh one. Every event superseded this way
+//!   counts in [`DrainStats::coalesced_superseded`] — the answer is
+//!   identical, the work is not done twice.
+//! * **Admission control.** Lanes are bounded (`capacity`); a full lane
+//!   applies its [`AdmissionPolicy`]: `Block` parks the producer until
+//!   the next drain (lossless backpressure), `ShedOldest` drops the
+//!   oldest queued event (counted in [`DrainStats::shed_events`] — the
+//!   monitor lags but never stalls), `Reject` refuses the submission
+//!   with a typed [`IngestError`] so the producer decides.
+//!
+//! The drain path is allocation-free in steady state: lane queues are
+//! swapped against hub-owned ping-pong buffers (events *move*, event
+//! slices are never cloned), and the merge scratch — the coalesce map
+//! and the ordered event list — is epoch-stamped and reused across
+//! ticks. Capacity growth anywhere on that path is counted in
+//! [`DrainStats::drain_alloc_events`], which the benchmark gate pins to
+//! zero once warm.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use rnn_core::{ObjectEvent, QueryEvent, UpdateBatch, UpdateEvent};
+
+/// What a full lane does to a new submission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Park the producer until the consumer drains the lane: lossless
+    /// backpressure, the default. Producers slow to the tick rate.
+    #[default]
+    Block,
+    /// Drop the *oldest* queued event in the lane to admit the new one.
+    /// The monitor may serve answers that lag reality (shed moves are
+    /// simply never seen), but producers never stall. Every drop counts
+    /// in [`DrainStats::shed_events`].
+    ShedOldest,
+    /// Refuse the submission with [`IngestError::LaneFull`], leaving the
+    /// queue untouched. Loss is explicit at the producer, never silent.
+    Reject,
+}
+
+/// Tuning knobs of the ingest stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Number of submission lanes. Events route by `entity_id % lanes`,
+    /// so per-entity order holds regardless of the producer count.
+    /// Clamped to at least 1 (and at most [`IngestHub::MAX_LANES`]) at
+    /// hub construction; [`crate::EngineConfig::builder`] rejects
+    /// out-of-range values with a typed error instead.
+    pub lanes: usize,
+    /// Per-lane bound, in events. A lane at capacity applies `policy`.
+    /// Clamped to at least 1 at hub construction.
+    pub capacity: usize,
+    /// What a full lane does (see [`AdmissionPolicy`]).
+    pub policy: AdmissionPolicy,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            lanes: 4,
+            capacity: 4096,
+            policy: AdmissionPolicy::Block,
+        }
+    }
+}
+
+/// Why a submission was refused. Only [`AdmissionPolicy::Reject`]
+/// surfaces errors; the other policies always admit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// The event's lane is at capacity and the hub runs
+    /// [`AdmissionPolicy::Reject`].
+    LaneFull {
+        /// The full lane's index.
+        lane: usize,
+        /// The configured per-lane bound.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::LaneFull { lane, capacity } => write!(
+                f,
+                "ingest lane {lane} is at capacity ({capacity} events) under \
+                 AdmissionPolicy::Reject — drain the hub or resubmit later"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// What one [`IngestHub::drain_into`] call did. The engine folds these
+/// into the tick's `OpCounters`; standalone hub users fold them into
+/// whatever accounting they keep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Events handed to the batch (after coalescing).
+    pub drained: u64,
+    /// Events superseded by a later report for the same entity within
+    /// this tick window (last-write-wins).
+    pub coalesced_superseded: u64,
+    /// Events dropped at admission by [`AdmissionPolicy::ShedOldest`]
+    /// since the previous drain. These are *lost*, not folded.
+    pub shed_events: u64,
+    /// Capacity-growth events on the drain path (lane buffers, merge
+    /// scratch, coalesce map). Zero once the hub is warm.
+    pub drain_alloc_events: u64,
+}
+
+/// One bounded MPSC lane: a seq-stamped queue plus the condvar `Block`ed
+/// producers park on.
+struct Lane {
+    queue: Mutex<VecDeque<(u64, UpdateEvent)>>,
+    space: Condvar,
+}
+
+/// State shared between the hub (consumer) and its handles (producers).
+struct HubShared {
+    lanes: Vec<Lane>,
+    /// The global submission ticket counter. Drawn under a lane lock, so
+    /// every lane's queue is sorted by ticket and a k-way merge by
+    /// ticket reconstructs the global submission order exactly.
+    seq: AtomicU64,
+    /// Events dropped by `ShedOldest` since the last drain.
+    shed: AtomicU64,
+    capacity: usize,
+    policy: AdmissionPolicy,
+}
+
+fn lock_lane(lane: &Lane) -> MutexGuard<'_, VecDeque<(u64, UpdateEvent)>> {
+    // A producer panicking mid-push cannot leave the deque in a broken
+    // state (push_back is atomic with respect to panics), so poisoning
+    // carries no information here — keep the hub serving.
+    lane.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl HubShared {
+    fn submit(&self, event: UpdateEvent) -> Result<(), IngestError> {
+        let idx = (event.lane_key() % self.lanes.len() as u64) as usize;
+        let lane = &self.lanes[idx];
+        let mut q = lock_lane(lane);
+        if q.len() >= self.capacity {
+            match self.policy {
+                AdmissionPolicy::Block => {
+                    while q.len() >= self.capacity {
+                        q = lane.space.wait(q).unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+                AdmissionPolicy::ShedOldest => {
+                    q.pop_front();
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                AdmissionPolicy::Reject => {
+                    return Err(IngestError::LaneFull {
+                        lane: idx,
+                        capacity: self.capacity,
+                    });
+                }
+            }
+        }
+        let ticket = self.seq.fetch_add(1, Ordering::Relaxed);
+        q.push_back((ticket, event));
+        Ok(())
+    }
+}
+
+/// A cloneable producer handle. Cheap to clone (one `Arc`), safe to move
+/// across threads; any number may submit concurrently.
+#[derive(Clone)]
+pub struct IngestHandle {
+    shared: Arc<HubShared>,
+}
+
+impl IngestHandle {
+    /// Submits one event. Per-entity order is the submission order of
+    /// whichever producer carries that entity; cross-entity order is the
+    /// global ticket order. Fails only under [`AdmissionPolicy::Reject`]
+    /// on a full lane; under [`AdmissionPolicy::Block`] this call parks
+    /// until the consumer drains.
+    pub fn submit(&self, event: UpdateEvent) -> Result<(), IngestError> {
+        self.shared.submit(event)
+    }
+
+    /// Events currently queued across all lanes (a racy snapshot — other
+    /// producers and the consumer move concurrently).
+    pub fn pending(&self) -> usize {
+        self.shared.lanes.iter().map(|l| lock_lane(l).len()).sum()
+    }
+}
+
+/// Epoch-stamped open-addressing map: entity key → index of that
+/// entity's latest coalescible event in the merge scratch. Clearing is
+/// O(1) (bump the epoch); the table only reallocates when a drain sees
+/// more distinct entities than ever before.
+struct CoalesceMap {
+    keys: Vec<u64>,
+    /// Index into the merge scratch, or `TOMBSTONE` when the entity's
+    /// window was closed by a `Delete`/`Remove` (the key stays in the
+    /// probe chain; the slot just stops being a coalesce target).
+    vals: Vec<u32>,
+    stamps: Vec<u64>,
+    epoch: u64,
+    /// Live entries this epoch, to trigger growth before the load factor
+    /// degrades probing.
+    len: usize,
+}
+
+const TOMBSTONE: u32 = u32::MAX;
+
+impl CoalesceMap {
+    fn new() -> Self {
+        Self {
+            // lint: allow(hot-path-alloc): empty vecs; the table is sized on first use and grows only on new high-water entity counts (counted in drain_alloc_events)
+            keys: Vec::new(),
+            vals: Vec::new(), // lint: allow(hot-path-alloc): sized on first use
+            stamps: Vec::new(),
+            epoch: 0,
+            len: 0,
+        }
+    }
+
+    /// Starts a fresh tick window. Returns 1 if the table grew (an
+    /// allocation event), 0 otherwise.
+    fn begin(&mut self, expected: usize) -> u64 {
+        self.epoch += 1;
+        self.len = 0;
+        let needed = (expected.max(8) * 2).next_power_of_two();
+        if needed > self.keys.len() {
+            // lint: allow(hot-path-alloc): table growth on a new high-water mark only; steady state reuses the epoch-stamped slots (drain_alloc_events pins this at zero once warm)
+            self.keys = vec![0; needed];
+            self.vals = vec![0; needed]; // lint: allow(hot-path-alloc): same high-water growth
+            self.stamps = vec![0; needed];
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The slot for `key` this epoch: `Some(index)` of an existing entry
+    /// (which may hold `TOMBSTONE`), or `None` with the probe position
+    /// left in `self.insert_at`-free form — callers use [`Self::set`].
+    fn slot_of(&self, key: u64) -> usize {
+        debug_assert!(self.keys.len().is_power_of_two());
+        let mask = self.keys.len() - 1;
+        // Fibonacci-style scramble; entity ids are dense small integers.
+        let mut i = (key.wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize & mask;
+        loop {
+            if self.stamps[i] != self.epoch || self.keys[i] == key {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Current value for `key`, if the entity has a live (non-tombstone)
+    /// entry this epoch.
+    fn get(&self, key: u64) -> Option<u32> {
+        let i = self.slot_of(key);
+        if self.stamps[i] == self.epoch && self.vals[i] != TOMBSTONE {
+            Some(self.vals[i])
+        } else {
+            None
+        }
+    }
+
+    /// Points `key` at `val` (or closes its window with `TOMBSTONE`).
+    fn set(&mut self, key: u64, val: u32) {
+        let i = self.slot_of(key);
+        if self.stamps[i] != self.epoch {
+            self.len += 1;
+        }
+        self.stamps[i] = self.epoch;
+        self.keys[i] = key;
+        self.vals[i] = val;
+    }
+
+    /// Whether the table must grow before admitting more entities (kept
+    /// at load factor ≤ 1/2 so probe chains stay short).
+    fn needs_growth(&self) -> bool {
+        self.keys.is_empty() || self.len * 2 >= self.keys.len()
+    }
+
+    /// Grows the table mid-window, re-inserting this epoch's entries.
+    fn grow(&mut self) {
+        let new_cap = (self.keys.len().max(8) * 2).next_power_of_two();
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_vals = std::mem::take(&mut self.vals);
+        let old_stamps = std::mem::take(&mut self.stamps);
+        let old_epoch = self.epoch;
+        // lint: allow(hot-path-alloc): mid-window growth happens only on a new high-water entity count and is counted in drain_alloc_events
+        self.keys = vec![0; new_cap];
+        self.vals = vec![0; new_cap]; // lint: allow(hot-path-alloc): same high-water growth
+        self.stamps = vec![0; new_cap];
+        self.len = 0;
+        for i in 0..old_keys.len() {
+            if old_stamps[i] == old_epoch {
+                self.set(old_keys[i], old_vals[i]);
+            }
+        }
+    }
+}
+
+/// Entity key with the plane disambiguated in the high bits (object,
+/// query, and edge ids are all dense `u32`s).
+fn coalesce_key(event: &UpdateEvent) -> u64 {
+    let plane = match event {
+        UpdateEvent::Object(_) => 1u64,
+        UpdateEvent::Query(_) => 2u64,
+        UpdateEvent::Edge(_) => 3u64,
+    };
+    (plane << 32) | event.lane_key()
+}
+
+/// The ingest hub: owns the lanes, hands out producer handles, and
+/// drains into an [`UpdateBatch`] at tick boundaries. Single consumer —
+/// [`Self::drain_into`] takes `&mut self`.
+pub struct IngestHub {
+    shared: Arc<HubShared>,
+    /// Ping-pong partners for the lane queues: each drain swaps a lane's
+    /// queue against its (emptied) partner from the previous drain, so
+    /// events move without per-drain allocation.
+    swapped: Vec<VecDeque<(u64, UpdateEvent)>>,
+    /// High-water capacity seen per lane buffer, to count growth.
+    lane_cap_seen: Vec<usize>,
+    /// The merged, coalesced event list in global submission order.
+    merged: Vec<UpdateEvent>,
+    map: CoalesceMap,
+}
+
+impl IngestHub {
+    /// Lanes above this count would not help: the engine caps at 64
+    /// shards, and the merge is a linear scan over lanes per event.
+    pub const MAX_LANES: usize = 64;
+
+    /// Creates a hub with `cfg`'s lane count, bound, and policy (lanes
+    /// and capacity silently clamped to at least 1; use
+    /// [`crate::EngineConfig::builder`] for validated construction).
+    pub fn new(cfg: IngestConfig) -> Self {
+        let lanes = cfg.lanes.clamp(1, Self::MAX_LANES);
+        let capacity = cfg.capacity.max(1);
+        let shared = Arc::new(HubShared {
+            lanes: (0..lanes)
+                .map(|_| Lane {
+                    queue: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+                    space: Condvar::new(),
+                })
+                // lint: allow(hot-path-alloc): hub construction, not the drain path
+                .collect(),
+            seq: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            capacity,
+            policy: cfg.policy,
+        });
+        Self {
+            shared,
+            swapped: (0..lanes)
+                .map(|_| VecDeque::with_capacity(capacity.min(1024)))
+                // lint: allow(hot-path-alloc): hub construction, not the drain path
+                .collect(),
+            lane_cap_seen: vec![0; lanes], // lint: allow(hot-path-alloc): hub construction
+            // lint: allow(hot-path-alloc): hub construction, not the drain path
+            merged: Vec::new(),
+            map: CoalesceMap::new(),
+        }
+    }
+
+    /// A new producer handle. Clone freely; handles stay valid for the
+    /// hub's lifetime.
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The effective configuration (after clamping).
+    pub fn config(&self) -> IngestConfig {
+        IngestConfig {
+            lanes: self.shared.lanes.len(),
+            capacity: self.shared.capacity,
+            policy: self.shared.policy,
+        }
+    }
+
+    /// Drains everything submitted so far into `batch`, coalescing per
+    /// entity, and wakes producers parked on full lanes. Events are
+    /// appended in global submission order (the batch is *not* cleared —
+    /// callers owning the buffer clear between ticks). Returns what
+    /// happened; see [`DrainStats`].
+    pub fn drain_into(&mut self, batch: &mut UpdateBatch) -> DrainStats {
+        let mut stats = DrainStats {
+            shed_events: self.shared.shed.swap(0, Ordering::Relaxed),
+            ..DrainStats::default()
+        };
+
+        // Swap every lane's queue against its ping-pong partner. After
+        // this loop producers write into fresh (reused) buffers and the
+        // drain owns the submitted events without having cloned them.
+        let mut total = 0usize;
+        for (i, lane) in self.shared.lanes.iter().enumerate() {
+            debug_assert!(self.swapped[i].is_empty());
+            {
+                let mut q = lock_lane(lane);
+                std::mem::swap(&mut *q, &mut self.swapped[i]);
+            }
+            lane.space.notify_all();
+            let cap = self.swapped[i].capacity();
+            if cap > self.lane_cap_seen[i] {
+                if self.lane_cap_seen[i] != 0 {
+                    stats.drain_alloc_events += 1;
+                }
+                self.lane_cap_seen[i] = cap;
+            }
+            total += self.swapped[i].len();
+        }
+        if total == 0 {
+            return stats;
+        }
+
+        // Merge lanes by ticket (k-way min-scan: the lane count is small
+        // and fixed, so a heap would cost more than it saves), coalescing
+        // into the scratch list as we go.
+        self.merged.clear();
+        let merged_cap = self.merged.capacity();
+        stats.drain_alloc_events += self.map.begin(total);
+        for _ in 0..total {
+            let mut best: Option<usize> = None;
+            let mut best_seq = u64::MAX;
+            for (i, q) in self.swapped.iter().enumerate() {
+                if let Some(&(seq, _)) = q.front() {
+                    if seq < best_seq {
+                        best_seq = seq;
+                        best = Some(i);
+                    }
+                }
+            }
+            let lane = best.expect("total counted a non-empty lane");
+            let (_, event) = self.swapped[lane]
+                .pop_front()
+                .expect("front observed above");
+            stats.coalesced_superseded += self.coalesce(event);
+        }
+        if self.merged.capacity() > merged_cap && merged_cap != 0 {
+            stats.drain_alloc_events += 1;
+        }
+
+        stats.drained = self.merged.len() as u64;
+        for &event in &self.merged {
+            batch.push(event);
+        }
+        stats
+    }
+
+    /// Folds one event into the merge scratch. Returns 1 if it superseded
+    /// an earlier event (overwritten in place), 0 if it was appended.
+    fn coalesce(&mut self, event: UpdateEvent) -> u64 {
+        let key = coalesce_key(&event);
+        match event {
+            // Window-closing events: append, stop coalescing across.
+            UpdateEvent::Object(ObjectEvent::Delete { .. })
+            | UpdateEvent::Query(QueryEvent::Remove { .. }) => {
+                self.append(key, event, TOMBSTONE);
+                0
+            }
+            // Position reports fold into the entity's open window:
+            // first kind wins, last position wins.
+            UpdateEvent::Object(ObjectEvent::Move { to, .. }) => match self.map.get(key) {
+                Some(idx) => {
+                    let slot = &mut self.merged[idx as usize];
+                    *slot = match *slot {
+                        UpdateEvent::Object(ObjectEvent::Insert { id, .. }) => {
+                            UpdateEvent::Object(ObjectEvent::Insert { id, at: to })
+                        }
+                        UpdateEvent::Object(ObjectEvent::Move { id, .. }) => {
+                            UpdateEvent::Object(ObjectEvent::Move { id, to })
+                        }
+                        other => other,
+                    };
+                    1
+                }
+                None => {
+                    let at = self.merged.len() as u32;
+                    self.append(key, event, at);
+                    0
+                }
+            },
+            UpdateEvent::Query(QueryEvent::Move { to, .. }) => match self.map.get(key) {
+                Some(idx) => {
+                    let slot = &mut self.merged[idx as usize];
+                    *slot = match *slot {
+                        UpdateEvent::Query(QueryEvent::Install { id, k, .. }) => {
+                            UpdateEvent::Query(QueryEvent::Install { id, k, at: to })
+                        }
+                        UpdateEvent::Query(QueryEvent::Move { id, .. }) => {
+                            UpdateEvent::Query(QueryEvent::Move { id, to })
+                        }
+                        other => other,
+                    };
+                    1
+                }
+                None => {
+                    let at = self.merged.len() as u32;
+                    self.append(key, event, at);
+                    0
+                }
+            },
+            // Edge reports: last weight wins outright.
+            UpdateEvent::Edge(_) => match self.map.get(key) {
+                Some(idx) => {
+                    self.merged[idx as usize] = event;
+                    1
+                }
+                None => {
+                    let at = self.merged.len() as u32;
+                    self.append(key, event, at);
+                    0
+                }
+            },
+            // Window-opening events (Insert / Install): always appended —
+            // a later Insert never rewrites an earlier Move in place —
+            // and the window repoints here so later moves fold into it.
+            UpdateEvent::Object(ObjectEvent::Insert { .. })
+            | UpdateEvent::Query(QueryEvent::Install { .. }) => {
+                let at = self.merged.len() as u32;
+                self.append(key, event, at);
+                0
+            }
+        }
+    }
+
+    fn append(&mut self, key: u64, event: UpdateEvent, val: u32) {
+        if self.map.needs_growth() {
+            self.map.grow();
+        }
+        self.merged.push(event);
+        self.map.set(key, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_core::EdgeWeightUpdate;
+    use rnn_roadnet::{EdgeId, NetPoint, ObjectId, QueryId};
+
+    fn pt(e: u32, f: f64) -> NetPoint {
+        NetPoint::new(EdgeId(e), f)
+    }
+
+    fn drain(hub: &mut IngestHub) -> (UpdateBatch, DrainStats) {
+        let mut batch = UpdateBatch::default();
+        let stats = hub.drain_into(&mut batch);
+        (batch, stats)
+    }
+
+    #[test]
+    fn preserves_global_submission_order_across_lanes() {
+        let mut hub = IngestHub::new(IngestConfig {
+            lanes: 3,
+            ..IngestConfig::default()
+        });
+        let h = hub.handle();
+        // Ids 0,1,2 land in different lanes; order must survive the merge.
+        for i in 0..9u32 {
+            h.submit(UpdateEvent::insert_object(ObjectId(i), pt(i, 0.5)))
+                .unwrap();
+        }
+        let (batch, stats) = drain(&mut hub);
+        assert_eq!(stats.drained, 9);
+        assert_eq!(stats.coalesced_superseded, 0);
+        let ids: Vec<u32> = batch
+            .objects
+            .iter()
+            .map(|e| match e {
+                ObjectEvent::Insert { id, .. } => id.0,
+                _ => unreachable!("only inserts submitted"),
+            })
+            .collect();
+        assert_eq!(ids, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn coalesces_moves_last_write_wins() {
+        let mut hub = IngestHub::new(IngestConfig::default());
+        let h = hub.handle();
+        h.submit(UpdateEvent::move_object(ObjectId(7), pt(0, 0.1)))
+            .unwrap();
+        h.submit(UpdateEvent::move_object(ObjectId(7), pt(1, 0.2)))
+            .unwrap();
+        h.submit(UpdateEvent::move_object(ObjectId(7), pt(2, 0.9)))
+            .unwrap();
+        let (batch, stats) = drain(&mut hub);
+        assert_eq!(stats.drained, 1);
+        assert_eq!(stats.coalesced_superseded, 2);
+        assert_eq!(
+            batch.objects,
+            vec![ObjectEvent::Move {
+                id: ObjectId(7),
+                to: pt(2, 0.9)
+            }]
+        );
+    }
+
+    #[test]
+    fn install_plus_move_folds_to_install_at_final_position() {
+        let mut hub = IngestHub::new(IngestConfig::default());
+        let h = hub.handle();
+        h.submit(UpdateEvent::install_query(QueryId(3), 2, pt(0, 0.5)))
+            .unwrap();
+        h.submit(UpdateEvent::move_query(QueryId(3), pt(4, 0.25)))
+            .unwrap();
+        let (batch, stats) = drain(&mut hub);
+        assert_eq!(stats.coalesced_superseded, 1);
+        assert_eq!(
+            batch.queries,
+            vec![QueryEvent::Install {
+                id: QueryId(3),
+                k: 2,
+                at: pt(4, 0.25)
+            }]
+        );
+    }
+
+    #[test]
+    fn delete_closes_the_window() {
+        let mut hub = IngestHub::new(IngestConfig::default());
+        let h = hub.handle();
+        h.submit(UpdateEvent::move_object(ObjectId(1), pt(0, 0.1)))
+            .unwrap();
+        h.submit(UpdateEvent::delete_object(ObjectId(1))).unwrap();
+        h.submit(UpdateEvent::move_object(ObjectId(1), pt(2, 0.2)))
+            .unwrap();
+        let (batch, stats) = drain(&mut hub);
+        // Nothing folds across the Delete: all three events survive.
+        assert_eq!(stats.coalesced_superseded, 0);
+        assert_eq!(batch.objects.len(), 3);
+        assert_eq!(batch.objects[1], ObjectEvent::Delete { id: ObjectId(1) },);
+    }
+
+    #[test]
+    fn edge_reports_keep_last_weight() {
+        let mut hub = IngestHub::new(IngestConfig::default());
+        let h = hub.handle();
+        h.submit(UpdateEvent::edge(EdgeId(5), 2.0)).unwrap();
+        h.submit(UpdateEvent::edge(EdgeId(5), 3.5)).unwrap();
+        h.submit(UpdateEvent::edge(EdgeId(6), 1.0)).unwrap();
+        let (batch, stats) = drain(&mut hub);
+        assert_eq!(stats.coalesced_superseded, 1);
+        assert_eq!(
+            batch.edges,
+            vec![
+                EdgeWeightUpdate {
+                    edge: EdgeId(5),
+                    new_weight: 3.5
+                },
+                EdgeWeightUpdate {
+                    edge: EdgeId(6),
+                    new_weight: 1.0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn reject_policy_surfaces_typed_error() {
+        let mut hub = IngestHub::new(IngestConfig {
+            lanes: 1,
+            capacity: 2,
+            policy: AdmissionPolicy::Reject,
+        });
+        let h = hub.handle();
+        h.submit(UpdateEvent::edge(EdgeId(0), 1.0)).unwrap();
+        h.submit(UpdateEvent::edge(EdgeId(1), 1.0)).unwrap();
+        let err = h.submit(UpdateEvent::edge(EdgeId(2), 1.0)).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::LaneFull {
+                lane: 0,
+                capacity: 2
+            }
+        );
+        // Draining frees the lane; the producer can resubmit.
+        let (_, stats) = drain(&mut hub);
+        assert_eq!(stats.drained, 2);
+        h.submit(UpdateEvent::edge(EdgeId(2), 1.0)).unwrap();
+    }
+
+    #[test]
+    fn shed_oldest_drops_head_and_counts() {
+        let mut hub = IngestHub::new(IngestConfig {
+            lanes: 1,
+            capacity: 2,
+            policy: AdmissionPolicy::ShedOldest,
+        });
+        let h = hub.handle();
+        h.submit(UpdateEvent::edge(EdgeId(0), 1.0)).unwrap();
+        h.submit(UpdateEvent::edge(EdgeId(1), 1.0)).unwrap();
+        h.submit(UpdateEvent::edge(EdgeId(2), 1.0)).unwrap();
+        let (batch, stats) = drain(&mut hub);
+        assert_eq!(stats.shed_events, 1);
+        assert_eq!(stats.drained, 2);
+        assert_eq!(batch.edges[0].edge, EdgeId(1), "oldest event was shed");
+    }
+
+    #[test]
+    fn blocked_producer_resumes_after_drain() {
+        let mut hub = IngestHub::new(IngestConfig {
+            lanes: 1,
+            capacity: 1,
+            policy: AdmissionPolicy::Block,
+        });
+        let h = hub.handle();
+        h.submit(UpdateEvent::edge(EdgeId(0), 1.0)).unwrap();
+        let h2 = hub.handle();
+        let producer = std::thread::spawn(move || {
+            // Parks until the main thread drains, then lands.
+            h2.submit(UpdateEvent::edge(EdgeId(1), 2.0)).unwrap();
+        });
+        // Wait until the producer is actually parked on the full lane,
+        // then drain to release it.
+        while !producer.is_finished() {
+            let (batch, _) = drain(&mut hub);
+            if batch.edges.iter().any(|e| e.edge == EdgeId(1)) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn steady_state_drain_is_allocation_free() {
+        let mut hub = IngestHub::new(IngestConfig::default());
+        let h = hub.handle();
+        let mut batch = UpdateBatch::default();
+        let mut warm = 0u64;
+        for round in 0..50u32 {
+            for i in 0..40u32 {
+                h.submit(UpdateEvent::move_object(ObjectId(i), pt(i % 7, 0.5)))
+                    .unwrap();
+                h.submit(UpdateEvent::move_object(ObjectId(i), pt(i % 5, 0.25)))
+                    .unwrap();
+            }
+            batch.clear();
+            let stats = hub.drain_into(&mut batch);
+            assert_eq!(stats.coalesced_superseded, 40);
+            if round < 3 {
+                warm += stats.drain_alloc_events;
+            } else {
+                assert_eq!(
+                    stats.drain_alloc_events, 0,
+                    "drain must reuse capacity once warm (round {round})"
+                );
+            }
+        }
+        // The warm-up itself must have been bounded.
+        assert!(warm < 32, "warm-up allocation events: {warm}");
+    }
+}

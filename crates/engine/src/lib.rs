@@ -28,7 +28,7 @@
 //! O(changed-edges) maintenance cost observable.
 //!
 //! ```
-//! use rnn_core::ContinuousMonitor;
+//! use rnn_core::{ContinuousMonitor, UpdateEvent};
 //! use rnn_engine::{EngineConfig, ShardedEngine};
 //! use rnn_roadnet::{generators, EdgeId, NetPoint, ObjectId, QueryId};
 //! use std::sync::Arc;
@@ -38,9 +38,9 @@
 //! }));
 //! let mut engine = ShardedEngine::new(net.clone(), EngineConfig::with_shards(4));
 //! for (i, e) in net.edge_ids().enumerate().step_by(5) {
-//!     engine.insert_object(ObjectId(i as u32), NetPoint::new(e, 0.5));
+//!     engine.apply(UpdateEvent::insert_object(ObjectId(i as u32), NetPoint::new(e, 0.5)));
 //! }
-//! engine.install_query(QueryId(0), 3, NetPoint::new(EdgeId(0), 0.25));
+//! engine.apply(UpdateEvent::install_query(QueryId(0), 3, NetPoint::new(EdgeId(0), 0.25)));
 //! assert_eq!(engine.result(QueryId(0)).unwrap().len(), 3);
 //! ```
 //!
@@ -53,11 +53,13 @@
 
 pub mod config;
 pub mod engine;
+pub mod ingest;
 pub mod protocol;
 pub mod worker;
 
-pub use config::{EngineConfig, ShardAlgo};
+pub use config::{EngineConfig, EngineConfigBuilder, ShardAlgo};
 pub use engine::{EngineError, ShardedEngine};
+pub use ingest::{AdmissionPolicy, DrainStats, IngestConfig, IngestError, IngestHandle, IngestHub};
 pub use protocol::{
     BatchKind, DeltaBatch, QuerySnapshot, Request, Response, ShardLink, ShardTickState, TickOutcome,
 };

@@ -21,8 +21,10 @@
 
 pub mod brinkhoff;
 pub mod distribution;
+pub mod firehose;
 pub mod movement;
 pub mod scenario;
 
 pub use distribution::Distribution;
+pub use firehose::{Firehose, FirehoseConfig, FirehosePattern, FirehoseTick};
 pub use scenario::{DriveReport, HotspotConfig, MovementModel, Scenario, ScenarioConfig};

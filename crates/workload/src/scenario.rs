@@ -19,7 +19,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use rnn_core::{ContinuousMonitor, EdgeWeightUpdate, ObjectEvent, QueryEvent, UpdateBatch};
+use rnn_core::{
+    ContinuousMonitor, EdgeWeightUpdate, ObjectEvent, QueryEvent, UpdateBatch, UpdateEvent,
+};
 use rnn_roadnet::{
     DijkstraEngine, EdgeId, EdgeWeights, NetPoint, ObjectId, PmrQuadtree, QueryId, RoadNetwork,
 };
@@ -280,10 +282,10 @@ impl Scenario {
     /// Installs all objects and queries into a monitor.
     pub fn install_into(&self, monitor: &mut dyn ContinuousMonitor) {
         for (id, pos) in self.initial_objects() {
-            monitor.insert_object(id, pos);
+            monitor.apply(UpdateEvent::insert_object(id, pos));
         }
         for (id, k, pos) in self.initial_queries() {
-            monitor.install_query(id, k, pos);
+            monitor.apply(UpdateEvent::install_query(id, k, pos));
         }
     }
 

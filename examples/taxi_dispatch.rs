@@ -16,7 +16,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rnn_monitor::core::crnn::Crnn;
-use rnn_monitor::core::{ContinuousMonitor, Gma, ObjectEvent, QueryEvent, UpdateBatch};
+use rnn_monitor::core::{
+    ContinuousMonitor, Gma, ObjectEvent, QueryEvent, UpdateBatch, UpdateEvent,
+};
 use rnn_monitor::roadnet::generators::{grid_city, GridCityConfig};
 use rnn_monitor::roadnet::{NetPoint, PmrQuadtree};
 use rnn_monitor::workload::movement::RandomWalker;
@@ -54,14 +56,14 @@ fn main() {
     let mut client_walkers = Vec::new();
     for c in 0..NUM_CLIENTS {
         let pos = random_pos(&mut rng);
-        dispatch.insert_object(ObjectId(c), pos);
+        dispatch.apply(UpdateEvent::insert_object(ObjectId(c), pos));
         claims.insert_object(ObjectId(c), pos);
         client_walkers.push(RandomWalker::new(&net, pos, &mut rng));
     }
     let mut taxi_walkers = Vec::new();
     for t in 0..NUM_TAXIS {
         let pos = random_pos(&mut rng);
-        dispatch.install_query(QueryId(t), 3, pos);
+        dispatch.apply(UpdateEvent::install_query(QueryId(t), 3, pos));
         claims.insert_query(QueryId(t), pos);
         taxi_walkers.push(RandomWalker::new(&net, pos, &mut rng));
     }

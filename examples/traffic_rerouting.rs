@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use rnn_monitor::core::{ContinuousMonitor, EdgeWeightUpdate, Ima, UpdateBatch};
+use rnn_monitor::core::{ContinuousMonitor, EdgeWeightUpdate, Ima, UpdateBatch, UpdateEvent};
 use rnn_monitor::roadnet::generators::{grid_city, GridCityConfig};
 use rnn_monitor::roadnet::NetPoint;
 use rnn_monitor::{EdgeId, ObjectId, QueryId};
@@ -32,12 +32,16 @@ fn main() {
     let mut hospitals = Vec::new();
     for (i, e) in net.edge_ids().enumerate().step_by(15) {
         let id = ObjectId(i as u32);
-        server.insert_object(id, NetPoint::new(e, 0.5));
+        server.apply(UpdateEvent::insert_object(id, NetPoint::new(e, 0.5)));
         hospitals.push(id);
     }
     // An ambulance dispatcher monitoring the 2 closest hospitals.
     let q = QueryId(0);
-    server.install_query(q, 2, NetPoint::new(EdgeId(0), 0.25));
+    server.apply(UpdateEvent::install_query(
+        q,
+        2,
+        NetPoint::new(EdgeId(0), 0.25),
+    ));
     println!(
         "{} hospitals on a {}-edge map",
         hospitals.len(),

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rnn_monitor::cluster::{ClusterEngine, FaultPlan, RetryPolicy};
-use rnn_monitor::core::{ContinuousMonitor, QueryEvent, TickReport, UpdateBatch};
+use rnn_monitor::core::{ContinuousMonitor, QueryEvent, TickReport, UpdateBatch, UpdateEvent};
 use rnn_monitor::engine::{EngineConfig, ShardAlgo, ShardedEngine};
 use rnn_monitor::roadnet::{generators, EdgeId, NetPoint, ObjectId, QueryId, RoadNetwork};
 use rnn_monitor::workload::{MovementModel, Scenario, ScenarioConfig};
@@ -482,14 +482,14 @@ fn cluster_identical_under_forced_migrations() {
         let mut cluster = ClusterEngine::loopback(net.clone(), ecfg);
         for i in 0..n {
             let at = NetPoint::new(EdgeId(i), 0.45);
-            inproc.insert_object(ObjectId(i), at);
-            cluster.insert_object(ObjectId(i), at);
+            inproc.apply(UpdateEvent::insert_object(ObjectId(i), at));
+            cluster.apply(UpdateEvent::insert_object(ObjectId(i), at));
         }
         const Q: u32 = 8;
         for q in 0..Q {
             let at = NetPoint::new(EdgeId(q % 4), 0.3);
-            inproc.install_query(QueryId(q), 5, at);
-            cluster.install_query(QueryId(q), 5, at);
+            inproc.apply(UpdateEvent::install_query(QueryId(q), 5, at));
+            cluster.apply(UpdateEvent::install_query(QueryId(q), 5, at));
         }
         for t in 0..24u32 {
             let mut batch = UpdateBatch::default();

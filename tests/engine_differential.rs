@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, QueryEvent, UpdateBatch};
+use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, QueryEvent, UpdateBatch, UpdateEvent};
 use rnn_monitor::engine::{EngineConfig, ShardAlgo, ShardedEngine};
 use rnn_monitor::roadnet::{generators, NetPoint, QueryId, RoadNetwork};
 use rnn_monitor::workload::{MovementModel, Scenario, ScenarioConfig};
@@ -339,12 +339,26 @@ fn engine_duplicate_install_same_shard_then_move() {
     let mut eng = ShardedEngine::new(net.clone(), EngineConfig::with_shards(4));
     for i in 0..40u32 {
         let at = NetPoint::new(rnn_monitor::roadnet::EdgeId((i * 7) % n), 0.35);
-        gma.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
-        eng.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+        gma.apply(UpdateEvent::insert_object(
+            rnn_monitor::roadnet::ObjectId(i),
+            at,
+        ));
+        eng.apply(UpdateEvent::insert_object(
+            rnn_monitor::roadnet::ObjectId(i),
+            at,
+        ));
     }
     let e0 = rnn_monitor::roadnet::EdgeId(0);
-    gma.install_query(QueryId(9), 4, NetPoint::new(e0, 0.5));
-    eng.install_query(QueryId(9), 4, NetPoint::new(e0, 0.5));
+    gma.apply(UpdateEvent::install_query(
+        QueryId(9),
+        4,
+        NetPoint::new(e0, 0.5),
+    ));
+    eng.apply(UpdateEvent::install_query(
+        QueryId(9),
+        4,
+        NetPoint::new(e0, 0.5),
+    ));
     compare_monitors(&gma, &[&eng], 0);
 
     let home = eng.partition().shard_of_edge(e0);
@@ -435,16 +449,22 @@ fn engine_heavy_churn_replicas_decay_to_steady_state() {
 
     for i in 0..70u32 {
         let at = NetPoint::new(rnn_monitor::roadnet::EdgeId((i * 13) % n), 0.35);
-        gma.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+        gma.apply(UpdateEvent::insert_object(
+            rnn_monitor::roadnet::ObjectId(i),
+            at,
+        ));
         for e in &mut engines {
-            e.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+            e.apply(UpdateEvent::insert_object(
+                rnn_monitor::roadnet::ObjectId(i),
+                at,
+            ));
         }
     }
     for q in 0..6u32 {
         let at = NetPoint::new(rnn_monitor::roadnet::EdgeId((q * 29 + 3) % n), 0.6);
-        gma.install_query(QueryId(q), 4, at);
+        gma.apply(UpdateEvent::install_query(QueryId(q), 4, at));
         for e in &mut engines {
-            e.install_query(QueryId(q), 4, at);
+            e.apply(UpdateEvent::install_query(QueryId(q), 4, at));
         }
     }
     // Let post-install halos settle into steady state.
@@ -561,9 +581,15 @@ fn engine_rebalances_under_hotspot_and_stays_identical() {
 
     for i in 0..n {
         let at = NetPoint::new(rnn_monitor::roadnet::EdgeId(i), 0.45);
-        gma.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+        gma.apply(UpdateEvent::insert_object(
+            rnn_monitor::roadnet::ObjectId(i),
+            at,
+        ));
         for e in &mut engines {
-            e.insert_object(rnn_monitor::roadnet::ObjectId(i), at);
+            e.apply(UpdateEvent::insert_object(
+                rnn_monitor::roadnet::ObjectId(i),
+                at,
+            ));
         }
     }
     // A tight cluster of queries that drifts across the network edge by
@@ -571,9 +597,9 @@ fn engine_rebalances_under_hotspot_and_stays_identical() {
     const Q: u32 = 8;
     for q in 0..Q {
         let at = NetPoint::new(rnn_monitor::roadnet::EdgeId(q % 4), 0.3);
-        gma.install_query(QueryId(q), 5, at);
+        gma.apply(UpdateEvent::install_query(QueryId(q), 5, at));
         for e in &mut engines {
-            e.install_query(QueryId(q), 5, at);
+            e.apply(UpdateEvent::install_query(QueryId(q), 5, at));
         }
     }
 

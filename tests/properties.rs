@@ -6,7 +6,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use rnn_monitor::cluster::wal as cluster_wal;
 use rnn_monitor::core::influence::IntervalSet;
-use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, MonitorState, Ovh, UpdateBatch};
+use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, MonitorState, Ovh, UpdateBatch, UpdateEvent};
 use rnn_monitor::core::{EdgeWeightUpdate, ObjectEvent, QueryEvent};
 use rnn_monitor::roadnet::{
     generators, DijkstraEngine, EdgeId, EdgeWeights, NetPoint, NodeId, ObjectId, QueryId,
@@ -184,16 +184,16 @@ proptest! {
         for i in 0..12u32 {
             let e = EdgeId((i * 5) % ne as u32);
             let p = NetPoint::new(e, 0.3 + 0.05 * i as f64 % 0.6);
-            ovh.insert_object(ObjectId(i), p);
-            ima.insert_object(ObjectId(i), p);
-            gma.insert_object(ObjectId(i), p);
+            ovh.apply(UpdateEvent::insert_object(ObjectId(i), p));
+            ima.apply(UpdateEvent::insert_object(ObjectId(i), p));
+            gma.apply(UpdateEvent::insert_object(ObjectId(i), p));
         }
         for i in 0..4u32 {
             let e = EdgeId((i * 11 + 3) % ne as u32);
             let p = NetPoint::new(e, 0.5);
-            ovh.install_query(QueryId(i), k, p);
-            ima.install_query(QueryId(i), k, p);
-            gma.install_query(QueryId(i), k, p);
+            ovh.apply(UpdateEvent::install_query(QueryId(i), k, p));
+            ima.apply(UpdateEvent::install_query(QueryId(i), k, p));
+            gma.apply(UpdateEvent::install_query(QueryId(i), k, p));
         }
 
         let mut weights = EdgeWeights::from_base(&net);
@@ -266,12 +266,12 @@ proptest! {
         let net = Arc::new(random_grid(seed));
         let mut ima = Ima::new(net.clone());
         for i in 0..10u32 {
-            ima.insert_object(
+            ima.apply(UpdateEvent::insert_object(
                 ObjectId(i),
                 NetPoint::new(EdgeId((i * 7) % net.num_edges() as u32), 0.25),
-            );
+            ));
         }
-        ima.install_query(QueryId(0), k, NetPoint::new(EdgeId(0), 0.5));
+        ima.apply(UpdateEvent::install_query(QueryId(0), k, NetPoint::new(EdgeId(0), 0.5)));
         let r = ima.result(QueryId(0)).unwrap();
         prop_assert!(r.len() <= k);
         prop_assert_eq!(r.len(), k.min(10));
@@ -380,13 +380,13 @@ proptest! {
         for i in 0..12u32 {
             let e = EdgeId((i * 5) % u32::from(ne));
             let p = NetPoint::new(e, 0.3 + 0.05 * i as f64 % 0.6);
-            gma.insert_object(ObjectId(i), p);
-            eng.insert_object(ObjectId(i), p);
+            gma.apply(UpdateEvent::insert_object(ObjectId(i), p));
+            eng.apply(UpdateEvent::insert_object(ObjectId(i), p));
         }
         for i in 0..3u32 {
             let p = NetPoint::new(EdgeId((i * 11 + 3) % u32::from(ne)), 0.5);
-            gma.install_query(QueryId(i), 3, p);
-            eng.install_query(QueryId(i), 3, p);
+            gma.apply(UpdateEvent::install_query(QueryId(i), 3, p));
+            eng.apply(UpdateEvent::install_query(QueryId(i), 3, p));
         }
 
         let mut weights = EdgeWeights::from_base(&net);
@@ -825,7 +825,7 @@ fn snapshot_strategy() -> impl Strategy<Value = QuerySnapshot> {
         })
 }
 
-/// Arbitrary counters: all 16 fields filled from one seed via a splitmix
+/// Arbitrary counters: all 19 fields filled from one seed via a splitmix
 /// step, so every field exercises large values.
 fn counters_from_seed(seed: u64) -> OpCounters {
     let mut s = seed;
@@ -852,6 +852,9 @@ fn counters_from_seed(seed: u64) -> OpCounters {
         tree_nodes_recycled: next(),
         rebalance_events: next(),
         cells_migrated: next(),
+        coalesced_superseded: next(),
+        shed_events: next(),
+        drain_alloc_events: next(),
     }
 }
 
@@ -1091,15 +1094,18 @@ fn populate_for_snapshot(m: &mut dyn ContinuousMonitor, net: &RoadNetwork, seed:
     for i in 0..20u64 {
         let e = EdgeId(((seed.wrapping_mul(31) + i * 7) % n) as u32);
         let frac = 0.05 + 0.9 * ((i as f64 * 0.37 + seed as f64 * 0.11) % 1.0);
-        m.insert_object(ObjectId(i as u32), NetPoint::new(e, frac));
+        m.apply(UpdateEvent::insert_object(
+            ObjectId(i as u32),
+            NetPoint::new(e, frac),
+        ));
     }
     for q in 0..6u64 {
         let e = EdgeId(((seed.wrapping_mul(17) + q * 13) % n) as u32);
-        m.install_query(
+        m.apply(UpdateEvent::install_query(
             QueryId(q as u32),
             1 + (q as usize % 4),
             NetPoint::new(e, 0.5),
-        );
+        ));
     }
     for t in 0..3u64 {
         let mut batch = UpdateBatch::default();

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, OpCounters, UpdateBatch};
+use rnn_monitor::core::{ContinuousMonitor, Gma, Ima, OpCounters, UpdateBatch, UpdateEvent};
 use rnn_monitor::core::{ObjectEvent, QueryEvent};
 use rnn_monitor::roadnet::{generators, EdgeId, NetPoint, ObjectId, QueryId, RoadNetwork};
 use rnn_monitor::workload::{Scenario, ScenarioConfig};
@@ -65,18 +65,18 @@ proptest! {
         for i in 0..n_objects {
             let at = NetPoint::new(EdgeId(rng.next() as u32 % edges), rng.frac());
             let id = ObjectId(i as u32);
-            shared_ima.insert_object(id, at);
-            shared_gma.insert_object(id, at);
+            shared_ima.apply(UpdateEvent::insert_object(id, at));
+            shared_gma.apply(UpdateEvent::insert_object(id, at));
             for m in &mut solo {
-                m.insert_object(id, at);
+                m.apply(UpdateEvent::insert_object(id, at));
             }
         }
         let q0 = NetPoint::new(EdgeId(rng.next() as u32 % edges), rng.frac());
         for (i, m) in solo.iter_mut().enumerate() {
             let k = 1 + i % 3;
-            shared_ima.install_query(QueryId(i as u32), k, q0);
-            shared_gma.install_query(QueryId(i as u32), k, q0);
-            m.install_query(QueryId(i as u32), k, q0);
+            shared_ima.apply(UpdateEvent::install_query(QueryId(i as u32), k, q0));
+            shared_gma.apply(UpdateEvent::install_query(QueryId(i as u32), k, q0));
+            m.apply(UpdateEvent::install_query(QueryId(i as u32), k, q0));
         }
 
         let mut shared_seen = 0u64;
@@ -225,8 +225,8 @@ fn tree_pool_hint_cuts_first_tick_install_allocs() {
     let mut rng = Lcg(41);
     for i in 0..cfg.num_objects {
         let at = NetPoint::new(EdgeId(rng.next() as u32 % edges), rng.frac());
-        cold.insert_object(ObjectId(i as u32), at);
-        warm.insert_object(ObjectId(i as u32), at);
+        cold.apply(UpdateEvent::insert_object(ObjectId(i as u32), at));
+        warm.apply(UpdateEvent::insert_object(ObjectId(i as u32), at));
     }
     let mut batch = UpdateBatch::default();
     for q in 0..cfg.num_queries {
