@@ -1,0 +1,14 @@
+//! Replication plane that panics on follower input: the ack status is
+//! read by bare indexing and a fenced epoch kills the leader outright
+//! instead of surfacing a typed error.
+
+pub fn ack_status(frame: &[u8]) -> u8 {
+    frame[0]
+}
+
+pub fn check_epoch(ours: u32, theirs: &[u8]) {
+    let t = u32::from_le_bytes(theirs[..4].try_into().unwrap());
+    if t > ours {
+        panic!("fenced: follower is at epoch {t}");
+    }
+}

@@ -48,6 +48,19 @@ fn bad_wire_finds_panics_and_indexing() {
 }
 
 #[test]
+fn bad_replog_finds_the_panicking_fencing_path() {
+    let diags = check_fixture("bad_replog");
+    assert_eq!(diags.len(), 4, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "panic-free-wire"));
+    for needle in [".unwrap()", "panic!", "expr[..]"] {
+        assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "no finding for {needle}: {diags:#?}"
+        );
+    }
+}
+
+#[test]
 fn bad_unsafe_demands_forbid_not_deny() {
     let diags = check_fixture("bad_unsafe");
     assert_eq!(diags.len(), 1, "{diags:#?}");

@@ -188,6 +188,7 @@ fn main() -> ExitCode {
             || fig.name == "rebalance"
             || fig.name == "cluster"
             || fig.name == "recovery"
+            || fig.name == "replication"
             || fig.name == "ingest"
         {
             let path = format!("BENCH_{}.json", fig.name);
@@ -440,6 +441,100 @@ fn main() -> ExitCode {
                         r.snapshots,
                         r.snapshot_kb,
                         r.journal_len
+                    );
+                }
+            }
+        }
+        // Replication smoke: every CLU-n-R shard's leader is killed at a
+        // pinned delivered-frame budget with stillborn respawns, so each
+        // row must record one follower promotion per shard — a zero
+        // means the kill stopped firing or recovery found another path,
+        // and the failover machinery went unexercised. Served answers
+        // must stay answer-identical through promotion (work counters
+        // equal to ENG-n at the same shard count), nothing may be
+        // fenced in a healthy run, and the replication plane must have
+        // actually shipped bytes to the followers. Divergence is judged
+        // on the restore-stable counter columns: resync/evictions per
+        // ts must be exact, while `ignored_per_ts` gets a 1% band —
+        // snapshot restore recomputes expansion trees, and a recomputed
+        // tree's θ-extent can flip a borderline update in or out of an
+        // influence region (the CLU-n-D recovery path wobbles the same
+        // way). Tree-shape-coupled work counters are not compared.
+        if fig.name == "replication" {
+            for point in &series {
+                for r in point.results.iter() {
+                    let rnn_bench::runner::Algo::ClusterReplicated(shards) = r.algo else {
+                        continue;
+                    };
+                    if r.failovers < u64::from(shards) {
+                        eprintln!(
+                            "REPLICATION REGRESSION: {} at {} promoted {} followers \
+                             (expected one per shard, {shards}) — the leader kills \
+                             stopped driving failover",
+                            r.algo.name(),
+                            point.label,
+                            r.failovers
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    if r.fenced_appends > 0 {
+                        eprintln!(
+                            "REPLICATION REGRESSION: {} at {} rejected {} appends as \
+                             stale — a healthy run must never fence its own leader",
+                            r.algo.name(),
+                            point.label,
+                            r.fenced_appends
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    if r.replica_bytes == 0 || r.commit_lag_frames <= 0.0 {
+                        eprintln!(
+                            "REPLICATION REGRESSION: {} at {} shipped {} replica bytes \
+                             with commit lag {:.3} — the quorum pipeline never ran",
+                            r.algo.name(),
+                            point.label,
+                            r.replica_bytes,
+                            r.commit_lag_frames
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    let oracle = point.results.iter().find(
+                        |o| matches!(o.algo, rnn_bench::runner::Algo::Sharded(n) if n == shards),
+                    );
+                    if let Some(eng) = oracle {
+                        let exact = (r.resync_per_ts, r.evictions_per_ts)
+                            == (eng.resync_per_ts, eng.evictions_per_ts);
+                        let ignored_ok = (r.ignored_per_ts - eng.ignored_per_ts).abs()
+                            <= eng.ignored_per_ts * 0.01;
+                        if !exact || !ignored_ok {
+                            eprintln!(
+                                "REPLICATION REGRESSION: at {} {} restore-stable \
+                                 counters (ignored {:.3}, resync {:.3}, evictions \
+                                 {:.3}) diverged from {} ({:.3}, {:.3}, {:.3}) — \
+                                 the cluster no longer matches the in-process \
+                                 engine through follower promotion",
+                                point.label,
+                                r.algo.name(),
+                                r.ignored_per_ts,
+                                r.resync_per_ts,
+                                r.evictions_per_ts,
+                                eng.algo.name(),
+                                eng.ignored_per_ts,
+                                eng.resync_per_ts,
+                                eng.evictions_per_ts
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    println!(
+                        "#   {}: {} failed over {}x, commit lag/ts {:.1}, \
+                         {} replica bytes, {} fenced",
+                        point.label,
+                        r.algo.name(),
+                        r.failovers,
+                        r.commit_lag_frames,
+                        r.replica_bytes,
+                        r.fenced_appends
                     );
                 }
             }

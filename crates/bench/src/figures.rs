@@ -394,6 +394,19 @@ fn recovery(scale: f64, seed: u64) -> Vec<(String, Params)> {
     cluster(scale, seed)
 }
 
+/// Replication (not in the paper): the in-process engines against
+/// quorum-replicated clusters whose every shard leader is killed
+/// mid-run with stillborn respawns, forcing a follower promotion per
+/// shard. The artifact proves answer-identity *through failover* (the
+/// CLU-n-R work columns must equal ENG-n's) and sizes the replication
+/// plane: commit lag per tick (pinned by the CI gate — the synchronous
+/// quorum pipeline holds it at one outstanding frame per replicated
+/// event), replica bytes, and the failover/fencing counters. Same sweep
+/// as the cluster figure so the protocol overhead is comparable.
+fn replication(scale: f64, seed: u64) -> Vec<(String, Params)> {
+    cluster(scale, seed)
+}
+
 /// Ingest front-end (not in the paper): the batch-fed engine against
 /// the same engine fed the raw oversampled firehose stream through the
 /// MPSC ingest stage, one point per feed shape. The lossless ING column
@@ -587,6 +600,13 @@ pub fn all_figures() -> Vec<Figure> {
             points: recovery,
         },
         Figure {
+            name: "replication",
+            title: "Replication: quorum-replicated CLU-n-R with leader kills vs ENG-n",
+            algos: Algo::replication_set(),
+            memory: false,
+            points: replication,
+        },
+        Figure {
             name: "ingest",
             title: "Ingest: batch-fed ENG-4 vs firehose-fed ING-4 (coalescing) / ING-4-SHED",
             algos: Algo::ingest_set(),
@@ -678,6 +698,15 @@ mod tests {
         let f = figure_by_name("cluster").unwrap();
         let names: Vec<&str> = f.algos.iter().map(|a| a.name()).collect();
         assert_eq!(names, vec!["ENG-4", "CLU-2", "CLU-4"]);
+        assert!(!f.memory);
+        assert_eq!((f.points)(0.01, 1).len(), 2);
+    }
+
+    #[test]
+    fn replication_figure_pairs_engines_with_replicated_clusters() {
+        let f = figure_by_name("replication").unwrap();
+        let names: Vec<&str> = f.algos.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["ENG-2", "ENG-4", "CLU-2-R", "CLU-4-R"]);
         assert!(!f.memory);
         assert_eq!((f.points)(0.01, 1).len(), 2);
     }

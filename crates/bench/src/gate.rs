@@ -96,6 +96,20 @@ pub const GATE_SPECS: &[GateSpec] = &[
         seed: 42,
     },
     GateSpec {
+        // Quorum-replicated shards with every leader killed at a pinned
+        // delivered-frame budget (stillborn respawns, so promotion —
+        // not replay — restores service): the synchronous append
+        // pipeline commits each replicated event with exactly one frame
+        // outstanding, making `commit_lag_frames` a deterministic rate
+        // the gate pins. Growth means the leader started racing ahead
+        // of its quorum — committing events followers have not acked.
+        figure: "replication",
+        scale: 0.01,
+        timestamps: 6,
+        warmup: 1,
+        seed: 42,
+    },
+    GateSpec {
         // The ingest front-end over the three firehose shapes: the
         // coalescing fold (`coalesced_per_ts`) is deterministic for a
         // pinned firehose seed, and the baseline pins the ING rows'
@@ -129,6 +143,11 @@ pub const GATE_SPECS: &[GateSpec] = &[
 /// `drain_alloc_events` is a window-total the ingest baseline holds at
 /// exactly 0 — any post-warmup allocation on the swap-and-merge drain
 /// fails the gate.
+/// `commit_lag_frames` pins the replication plane's commit discipline
+/// (replication figure only): the synchronous quorum pipeline commits
+/// every replicated event frame with exactly one frame outstanding, so
+/// growth means the leader started batching uncommitted appends —
+/// events the WAL could truncate before any follower held them.
 const GATED_METRICS: &[&str] = &[
     "steps_per_ts",
     "resync_per_ts",
@@ -138,6 +157,7 @@ const GATED_METRICS: &[&str] = &[
     "replayed_per_recovery",
     "coalesced_per_ts",
     "drain_alloc_events",
+    "commit_lag_frames",
 ];
 
 /// `(label, algo) → metric → value`, scanned from one artifact.

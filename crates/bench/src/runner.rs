@@ -46,6 +46,16 @@ pub enum Algo {
     /// Sizes crash recovery: recoveries, frames replayed per recovery
     /// (the O(WAL-suffix) bound the CI gate pins), snapshot bytes.
     ClusterDurable(u8),
+    /// The durable cluster with quorum replication on and a leader kill
+    /// injected: every shard streams its event frames to
+    /// [`REPLICATION_FACTOR`] follower replicas (majority quorum), its
+    /// transport kills the service after
+    /// [`REPLICATED_CRASH_AFTER_FRAMES`] delivered frames, and respawns
+    /// are stillborn — so the recovery budget burns down and a follower
+    /// is *promoted*, serving the back half of the run. Work counters
+    /// stay bit-identical to `Sharded(n)` through the failover; the
+    /// commit-lag and replica-byte columns size the replication plane.
+    ClusterReplicated(u8),
     /// The sharded engine fed through the MPSC ingest stage
     /// (`rnn_engine::ingest`) instead of pre-built batches: the raw
     /// oversampled firehose stream is submitted event-by-event and
@@ -69,6 +79,21 @@ pub const DURABLE_SNAPSHOT_EVERY: u32 = 8;
 /// shard's transport kills its service, forcing exactly one crash and
 /// snapshot+suffix recovery per shard mid-run.
 pub const DURABLE_CRASH_AFTER_FRAMES: u32 = 30;
+
+/// Follower replicas per shard for [`Algo::ClusterReplicated`]
+/// (majority quorum via `ReplicationConfig::with_replicas`). Two, so
+/// the log still has a live follower after one is promoted.
+pub const REPLICATION_FACTOR: u32 = 2;
+
+/// Delivered-frame budget after which each [`Algo::ClusterReplicated`]
+/// shard's transport kills its service. The fault plan marks respawns
+/// stillborn, so snapshot+replay recovery is exhausted and the link
+/// must promote a follower — exactly one failover per shard per run.
+/// Lower than [`DURABLE_CRASH_AFTER_FRAMES`] so even the smallest
+/// gated sweep point kills *every* shard's leader (at 4 shards the
+/// install stream splits four ways, and the replication smoke asserts
+/// one promotion per shard).
+pub const REPLICATED_CRASH_AFTER_FRAMES: u32 = 12;
 
 impl Algo {
     /// Display name.
@@ -97,6 +122,10 @@ impl Algo {
             Algo::ClusterDurable(4) => "CLU-4-D",
             Algo::ClusterDurable(8) => "CLU-8-D",
             Algo::ClusterDurable(_) => "CLU-n-D",
+            Algo::ClusterReplicated(2) => "CLU-2-R",
+            Algo::ClusterReplicated(4) => "CLU-4-R",
+            Algo::ClusterReplicated(8) => "CLU-8-R",
+            Algo::ClusterReplicated(_) => "CLU-n-R",
             Algo::Ingest(1) => "ING-1",
             Algo::Ingest(2) => "ING-2",
             Algo::Ingest(4) => "ING-4",
@@ -167,6 +196,21 @@ impl Algo {
         ]
     }
 
+    /// The replication set: the in-process engines as the oracle
+    /// columns against quorum-replicated clusters at the same shard
+    /// counts. Every replicated shard's leader is killed mid-run with
+    /// stillborn respawns, so each CLU-n-R answer column is served by a
+    /// promoted follower for the back half of the run — and must still
+    /// match ENG-n's work counters exactly.
+    pub fn replication_set() -> &'static [Algo] {
+        &[
+            Algo::Sharded(2),
+            Algo::Sharded(4),
+            Algo::ClusterReplicated(2),
+            Algo::ClusterReplicated(4),
+        ]
+    }
+
     /// The ingest set: the batch-fed engine as the oracle column, the
     /// ingest-fed engine (lossless, blocking admission), and the
     /// shedding engine (tight buffers), all at the same shard count.
@@ -184,6 +228,7 @@ impl Algo {
                 | Algo::ShardedRebal(_)
                 | Algo::Cluster(_)
                 | Algo::ClusterDurable(_)
+                | Algo::ClusterReplicated(_)
                 | Algo::Ingest(_)
                 | Algo::IngestShed(_)
         )
@@ -295,6 +340,24 @@ pub struct RunResult {
     /// shard — the journal-truncation guarantee (it grew without bound
     /// before the durability plane).
     pub journal_len: u64,
+    /// Mean frames outstanding-at-commit per measured timestamp on the
+    /// replication plane (0 when replication is off). The synchronous
+    /// append pipeline commits every replicated event frame with exactly
+    /// one frame outstanding, so the rate is a deterministic constant
+    /// the CI gate pins: growth means the leader started racing ahead
+    /// of its quorum (uncommitted appends piling up behind acks).
+    pub commit_lag_frames: f64,
+    /// Total follower-to-leader promotions over the whole run, warmup
+    /// included (leader kills fire on delivered-frame budgets, often
+    /// before the measured window opens).
+    pub failovers: u64,
+    /// Total replication frames rejected by a replica for carrying a
+    /// stale leadership epoch (the fencing path; 0 in a healthy run).
+    pub fenced_appends: u64,
+    /// Total bytes shipped to follower replicas over the whole run —
+    /// append, heartbeat, promote, and snapshot-offer traffic. Sizes
+    /// the replication plane against the coordinator's `bytes_per_ts`.
+    pub replica_bytes: u64,
     /// Mean superseded submissions folded away by ingest coalescing per
     /// measured timestamp (ingest-fed engines only; 0 elsewhere).
     /// Deterministic for a pinned firehose seed, so the CI gate pins its
@@ -373,6 +436,23 @@ pub fn make_monitor(
             rnn_cluster::RetryPolicy::default(),
             rnn_cluster::DurabilityConfig::in_memory(DURABLE_SNAPSHOT_EVERY),
         )),
+        Algo::ClusterReplicated(shards) => {
+            let cfg = rnn_engine::EngineConfig {
+                replication: rnn_engine::ReplicationConfig::with_replicas(REPLICATION_FACTOR),
+                ..rnn_engine::EngineConfig::with_shards(usize::from(shards).max(1))
+            };
+            Box::new(rnn_cluster::ClusterEngine::loopback_durable(
+                net,
+                cfg,
+                &[rnn_cluster::FaultPlan {
+                    crash_after_frames: REPLICATED_CRASH_AFTER_FRAMES,
+                    respawn_dead: true,
+                    ..Default::default()
+                }],
+                rnn_cluster::RetryPolicy::default(),
+                rnn_cluster::DurabilityConfig::in_memory(DURABLE_SNAPSHOT_EVERY),
+            ))
+        }
     }
 }
 
@@ -536,7 +616,9 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                  \"cells_migrated\": {}, \"load_ratio\": {:.3}, \
                  \"recoveries\": {}, \"replayed_per_recovery\": {:.1}, \
                  \"snapshots\": {}, \"snapshot_kb\": {:.1}, \
-                 \"journal_len\": {}, \"coalesced_per_ts\": {:.3}, \
+                 \"journal_len\": {}, \"commit_lag_frames\": {:.3}, \
+                 \"failovers\": {}, \"fenced_appends\": {}, \
+                 \"replica_bytes\": {}, \"coalesced_per_ts\": {:.3}, \
                  \"shed_events\": {}, \"drain_alloc_events\": {}}}{}\n",
                 esc(r.algo.name()),
                 r.cpu_per_ts,
@@ -564,6 +646,10 @@ pub fn series_to_json(figure: &str, series: &[SeriesPoint]) -> String {
                 r.snapshots,
                 r.snapshot_kb,
                 r.journal_len,
+                r.commit_lag_frames,
+                r.failovers,
+                r.fenced_appends,
+                r.replica_bytes,
                 r.coalesced_per_ts,
                 r.shed_events,
                 r.drain_alloc_events,
@@ -700,6 +786,14 @@ pub fn run_point(
                 snapshots: dur.snapshots,
                 snapshot_kb: dur.snapshot_bytes as f64 / 1024.0,
                 journal_len: dur.journal_len,
+                commit_lag_frames: dur
+                    .commit_lag_frames
+                    .saturating_sub(net_base[i].commit_lag_frames)
+                    as f64
+                    / measured as f64,
+                failovers: dur.failovers,
+                fenced_appends: dur.fenced_appends,
+                replica_bytes: dur.replica_bytes,
                 coalesced_per_ts: counters[i].coalesced_superseded as f64 / measured as f64,
                 shed_events: counters[i].shed_events,
                 drain_alloc_events: counters[i].drain_alloc_events,
@@ -912,6 +1006,45 @@ mod tests {
             eng.frames_per_ts, 0.0,
             "in-process engines have no transport"
         );
+    }
+
+    #[test]
+    fn replicated_cluster_fails_over_and_matches_engine_work() {
+        // Enough timestamps that every shard's delivered-frame budget
+        // ([`REPLICATED_CRASH_AFTER_FRAMES`]) is exhausted mid-run, so
+        // each CLU-2-R shard is served by a promoted follower at the
+        // end — and the event-coupled counter columns still match the
+        // in-process engine. Tree-shape-coupled work counters may
+        // legitimately differ after a snapshot restore, and
+        // `updates_ignored` inherits a borderline-θ wobble from the
+        // recomputed expansion trees (same as the CLU-n-D recovery
+        // path), so it gets a 1% band while resync/evictions are exact.
+        let rs = run_point(
+            &tiny(),
+            &[Algo::Sharded(2), Algo::ClusterReplicated(2)],
+            40,
+            2,
+        );
+        let eng = &rs[0];
+        let clu = &rs[1];
+        assert_eq!(clu.algo.name(), "CLU-2-R");
+        assert_eq!(
+            (clu.resync_per_ts, clu.evictions_per_ts),
+            (eng.resync_per_ts, eng.evictions_per_ts),
+            "failover changed a restore-stable counter"
+        );
+        assert!(
+            (clu.ignored_per_ts - eng.ignored_per_ts).abs() <= eng.ignored_per_ts * 0.01,
+            "ignored drifted past the borderline-θ band: {} vs {}",
+            clu.ignored_per_ts,
+            eng.ignored_per_ts
+        );
+        assert!(clu.failovers >= 1, "no leader kill fired: {clu:?}");
+        assert_eq!(clu.fenced_appends, 0, "healthy run must not fence");
+        assert!(clu.replica_bytes > 0, "no bytes reached the followers");
+        assert!(clu.commit_lag_frames > 0.0, "no append ever committed");
+        assert_eq!(eng.failovers, 0);
+        assert_eq!(eng.replica_bytes, 0);
     }
 
     #[test]

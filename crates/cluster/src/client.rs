@@ -20,14 +20,30 @@
 //! only the journal **suffix** — O(events since the last snapshot), not
 //! O(run length) — which is what makes crash recovery bounded-time.
 //!
+//! # Replication
+//!
+//! With a [`ReplicatedLog`] attached ([`RemoteShard::attach_replog`])
+//! the link is the **leader** of its shard's journal: every event frame
+//! is streamed to the follower replicas and only *commits* — becomes
+//! eligible for WAL truncation and is dispatched to the shard monitor —
+//! once a quorum has acked (see [`crate::replog`]). Every frame carries
+//! the leader's epoch; a fenced append (a replica at a newer epoch)
+//! kills the link immediately, because a newer leader owns the shard.
+//! When the shard itself dies past the retry **and** recovery budgets,
+//! the link promotes a live follower instead of going dead: the
+//! follower rebuilds from its own replicated log, the link adopts its
+//! transport, and the in-flight request is retransmitted under the new
+//! epoch — the engine never notices.
+//!
 //! # Liveness
 //!
 //! The client never panics on peer behaviour. A peer unreachable past
 //! the retry budget, dead with no respawn hook, or dying repeatedly
-//! through `recovery_retries` full recovery attempts turns the link
-//! **dead**: the failure is recorded as a typed [`ClusterError`], the
-//! current and every subsequent `recv` answers `Response::Down`, and
-//! sends become no-ops. What happens next is the engine's policy call
+//! through `recovery_retries` full recovery attempts — with no live
+//! follower left to promote — turns the link **dead**: the failure is
+//! recorded as a typed [`ClusterError`], the current and every
+//! subsequent `recv` answers `Response::Down`, and sends become no-ops.
+//! What happens next is the engine's policy call
 //! (`rnn_engine::EngineConfig::takeover`): panic, or hand the corpse's
 //! cells to surviving shards.
 
@@ -43,6 +59,7 @@ use rnn_roadnet::{WireCodec, WireReader};
 
 use crate::error::ClusterError;
 use crate::frame::{Frame, MsgTag};
+use crate::replog::{ReplicatedLog, REPLAY_ALL};
 use crate::transport::{RecvError, Transport};
 use crate::wal::Wal;
 
@@ -242,6 +259,11 @@ struct Inner {
     /// The typed failure that killed the link.
     last_error: Option<ClusterError>,
     respawn: Option<RespawnFn>,
+    /// Leadership epoch stamped into every outbound frame. 0 until a
+    /// [`ReplicatedLog`] is attached; bumped by each failover.
+    epoch: u32,
+    /// The shard's replicated journal, when replication is enabled.
+    replog: Option<ReplicatedLog>,
     stats: TransportStats,
 }
 
@@ -323,6 +345,8 @@ impl RemoteShard {
                 dead: false,
                 last_error: None,
                 respawn,
+                epoch: 0,
+                replog: None,
                 stats: TransportStats::default(),
             }),
         })
@@ -361,6 +385,24 @@ impl RemoteShard {
         // lint: allow(panic-free-wire): lock poisoning is a local crash already in progress, not network input
         self.inner.lock().expect("link lock").last_error
     }
+
+    /// Attaches the shard's replicated journal, making this link its
+    /// leader: subsequent event frames are quorum-committed to the
+    /// log's followers before dispatch, and a dead shard promotes a
+    /// follower instead of killing the link. The link adopts the log's
+    /// epoch (a restarted coordinator resumes its persisted term).
+    pub fn attach_replog(&self, log: ReplicatedLog) {
+        // lint: allow(panic-free-wire): lock poisoning is a local crash already in progress, not network input
+        let mut g = self.inner.lock().expect("link lock");
+        g.epoch = log.epoch();
+        g.replog = Some(log);
+    }
+
+    /// The link's current leadership epoch (0 without replication).
+    pub fn epoch(&self) -> u32 {
+        // lint: allow(panic-free-wire): lock poisoning is a local crash already in progress, not network input
+        self.inner.lock().expect("link lock").epoch
+    }
 }
 
 /// Reads and validates a persisted snapshot file (one encoded
@@ -389,8 +431,8 @@ impl ShardLink for RemoteShard {
             return Response::Down;
         }
         // lint: allow(panic-free-wire): ShardLink contract violation by the local engine (recv without send), not network input
-        let inflight = g.inflight.take().expect("a request is outstanding");
-        g.exchange(&inflight)
+        let mut inflight = g.inflight.take().expect("a request is outstanding");
+        g.exchange(&mut inflight)
     }
 }
 
@@ -433,7 +475,13 @@ impl Inner {
         };
         let seq = self.next_seq;
         self.next_seq += 1;
-        let bytes = Frame { tag, seq, payload }.to_bytes();
+        let bytes = Frame {
+            tag,
+            seq,
+            epoch: self.epoch,
+            payload,
+        }
+        .to_bytes();
         if tag.is_events() {
             self.journal.push((seq, bytes.clone()));
             if let Some(wal) = &mut self.wal {
@@ -441,6 +489,17 @@ impl Inner {
                 // durability, not correctness: the in-memory journal
                 // still covers shard-crash recovery.
                 let _ = wal.append(&bytes);
+            }
+            // Commit-before-dispatch: the event must be quorum-acked by
+            // the follower replicas before it feeds the shard monitor.
+            // A fenced append means a newer leader owns this shard —
+            // the link dies instead of merging stale writes.
+            if let Some(log) = &mut self.replog {
+                if let Err(e) = log.append(seq, &bytes, &mut self.stats) {
+                    self.dead = true;
+                    self.last_error = Some(e);
+                    return;
+                }
             }
         }
         self.transmit(&bytes);
@@ -459,8 +518,9 @@ impl Inner {
 
     /// Waits out the reply to `inflight` and decodes it; on an
     /// unrecoverable liveness failure the link goes dead and the engine
-    /// sees `Response::Down`.
-    fn exchange(&mut self, inflight: &Inflight) -> Response {
+    /// sees `Response::Down`. (`inflight` is mutable because a failover
+    /// re-stamps its bytes with the new leadership epoch.)
+    fn exchange(&mut self, inflight: &mut Inflight) -> Response {
         match self.exchange_inner(inflight) {
             Ok(resp) => resp,
             Err(err) => {
@@ -480,7 +540,7 @@ impl Inner {
     /// answers a retransmit from its cached-reply store, so a healthy
     /// peer converges in one round trip. After an acknowledged event
     /// frame the snapshot cycle may run (see the module docs).
-    fn exchange_inner(&mut self, inflight: &Inflight) -> Result<Response, ClusterError> {
+    fn exchange_inner(&mut self, inflight: &mut Inflight) -> Result<Response, ClusterError> {
         let mut attempts = 0u32;
         loop {
             match self.transport.recv_timeout(self.policy.timeout) {
@@ -515,17 +575,28 @@ impl Inner {
         }
     }
 
-    fn retransmit(&mut self, inflight: &Inflight, attempts: &mut u32) -> Result<(), ClusterError> {
+    fn retransmit(
+        &mut self,
+        inflight: &mut Inflight,
+        attempts: &mut u32,
+    ) -> Result<(), ClusterError> {
         *attempts += 1;
         if *attempts > self.policy.max_retries {
             // Declared liveness policy: a shard unreachable past the
-            // retry budget is down (RetryPolicy docs). Typed, not a
-            // panic — the engine owns the fatality decision.
-            return Err(ClusterError::Unreachable {
+            // retry budget is down (RetryPolicy docs). With replication
+            // this is also the failure detector's asymmetric-failure
+            // signal (e.g. a one-way partition: requests black-holed,
+            // nothing reads as closed), so failover gets a shot at
+            // promoting a follower before the typed error surfaces —
+            // the engine owns the fatality decision after that.
+            let err = ClusterError::Unreachable {
                 shard: self.shard,
                 seq: inflight.seq,
                 retries: self.policy.max_retries,
-            });
+            };
+            self.failover(inflight, err)?;
+            *attempts = 0; // the promoted follower gets a fresh budget
+            return Ok(());
         }
         self.stats.retries += 1;
         let bytes = inflight.bytes.clone();
@@ -552,6 +623,7 @@ impl Inner {
         let request = Frame {
             tag: MsgTag::SnapshotRequest,
             seq,
+            epoch: self.epoch,
             payload: Vec::new(),
         }
         .to_bytes();
@@ -565,11 +637,29 @@ impl Inner {
             self.snapshots_supported = false;
             return;
         }
+        // Truncate-behind-commit: with replication attached, the WAL
+        // may only drop events a quorum of followers has acked — else a
+        // promoted follower could need history nobody holds any more.
+        // The synchronous append pipeline makes the commit index cover
+        // `covered_seq` by construction; this guard keeps the invariant
+        // explicit (and load-bearing if the pipeline ever loosens).
+        if let Some(log) = &self.replog {
+            let committed =
+                log.commit_seq().is_some_and(|c| c >= covered_seq) || log.live_followers() == 0;
+            if !committed {
+                return;
+            }
+        }
         // Durable order: snapshot first, truncate after. If persistence
         // fails the journal is kept, so the on-disk artifacts never get
         // ahead of what recovery can actually replay.
         if self.persist_snapshot(covered_seq, &payload).is_err() {
             return;
+        }
+        // Followers truncate their own logs behind the same snapshot,
+        // keeping replica memory bounded by the snapshot cadence too.
+        if let Some(log) = &mut self.replog {
+            log.offer_snapshot(covered_seq, &payload, &mut self.stats);
         }
         self.stats.snapshots += 1;
         self.snapshot = Some((covered_seq, payload));
@@ -642,6 +732,7 @@ impl Inner {
         let bytes = Frame {
             tag: MsgTag::SnapshotReply,
             seq: covered_seq,
+            epoch: self.epoch,
             payload: payload.to_vec(),
         }
         .to_bytes();
@@ -655,13 +746,24 @@ impl Inner {
 
     // --- Crash recovery ---------------------------------------------------
 
-    /// The peer is gone: respawn a fresh service and rebuild its monitor
-    /// — snapshot install (when one is held) plus a replay of the
-    /// journal suffix; deterministic monitors make the result
-    /// bit-identical to the lost state. The whole rebuild is retried up
-    /// to `1 + recovery_retries` times against fresh respawns before the
-    /// link gives up.
-    fn recover(&mut self, inflight: &Inflight) -> Result<(), ClusterError> {
+    /// The peer is gone: first try the PR-8 respawn path (fresh service,
+    /// snapshot install + journal replay), and if that is unavailable or
+    /// exhausted, promote a follower replica ([`Self::failover`]). Only
+    /// when both fail does the typed error surface and the link die —
+    /// at which point the engine's planner takeover is the last resort.
+    fn recover(&mut self, inflight: &mut Inflight) -> Result<(), ClusterError> {
+        match self.recover_by_respawn(inflight) {
+            Ok(()) => Ok(()),
+            Err(e) => self.failover(inflight, e),
+        }
+    }
+
+    /// Respawns a fresh service and rebuilds its monitor — snapshot
+    /// install (when one is held) plus a replay of the journal suffix;
+    /// deterministic monitors make the result bit-identical to the lost
+    /// state. The whole rebuild is retried up to `1 + recovery_retries`
+    /// times against fresh respawns before giving up.
+    fn recover_by_respawn(&mut self, inflight: &Inflight) -> Result<(), ClusterError> {
         if self.respawn.is_none() {
             return Err(ClusterError::NoRespawn { shard: self.shard });
         }
@@ -683,6 +785,55 @@ impl Inner {
         })
     }
 
+    /// Promotes a live follower replica to serving leader for this
+    /// shard. The follower rebuilds shard state from its *own*
+    /// replicated log (snapshot + committed suffix, replayed locally —
+    /// see [`crate::replica`]); the link then adopts the follower's
+    /// transport, re-stamps the in-flight request with the bumped epoch
+    /// (so the promoted service does not fence its own coordinator),
+    /// and retransmits it. Without a replog — or with no live follower
+    /// — the original failure `fallback` passes through; a fenced
+    /// promotion (another leader already took over) supersedes it.
+    fn failover(
+        &mut self,
+        inflight: &mut Inflight,
+        fallback: ClusterError,
+    ) -> Result<(), ClusterError> {
+        let Some(log) = self.replog.as_mut() else {
+            return Err(fallback);
+        };
+        if log.live_followers() == 0 {
+            return Err(fallback);
+        }
+        // The in-flight event frame is already in every follower's log,
+        // but it must NOT be replayed during promotion: the coordinator
+        // still owns its delivery and retransmits it afterwards, so the
+        // promoted service processes it exactly once, fresh.
+        let boundary = if inflight.tag.is_events() {
+            inflight.seq
+        } else {
+            REPLAY_ALL
+        };
+        let transport = log
+            .promote(boundary, &mut self.stats)
+            .map_err(|e| match e {
+                fenced @ ClusterError::Fenced { .. } => fenced,
+                _ => fallback,
+            })?;
+        self.transport = transport;
+        self.epoch = self
+            .replog
+            .as_ref()
+            .map_or(self.epoch, ReplicatedLog::epoch);
+        if let Ok(mut frame) = Frame::from_bytes(&inflight.bytes) {
+            frame.epoch = self.epoch;
+            inflight.bytes = frame.to_bytes();
+        }
+        let bytes = inflight.bytes.clone();
+        self.transmit(&bytes);
+        Ok(())
+    }
+
     /// One rebuild attempt against a freshly respawned service. The
     /// journal's last entry is the inflight request itself when that
     /// request is an event batch — its reply is left for
@@ -695,6 +846,7 @@ impl Inner {
             let install = Frame {
                 tag: MsgTag::SnapshotInstall,
                 seq: covered_seq,
+                epoch: self.epoch,
                 payload: state,
             }
             .to_bytes();

@@ -18,6 +18,8 @@ use rnn_engine::{EngineConfig, ShardedEngine};
 use rnn_roadnet::{EdgeId, QueryId, RoadNetwork};
 
 use crate::client::{DurabilityConfig, RemoteShard, RespawnFn, RetryPolicy};
+use crate::replica::{MonitorFactory, ReplicaNode};
+use crate::replog::ReplicatedLog;
 use crate::service::ShardService;
 use crate::transport::{loopback_pair, FaultPlan, LoopbackPeer, StreamTransport, Transport};
 
@@ -38,6 +40,49 @@ fn spawn_loopback_service(
         .name(format!("rnn-cluster-shard-{shard}"))
         .spawn(move || ShardService::new(peer, monitor, attribute_cells).run())
         .expect("spawn shard service");
+}
+
+/// Builds the replicated-journal plane for one shard, per
+/// `cfg.replication`: spawns each follower as a [`ReplicaNode`] thread
+/// over a fault-free loopback pair (replicas ride in the coordinator
+/// process; faults are injected on the *shard* link, which is the one
+/// that fails over) and returns the leader-side log for the link to
+/// adopt. `None` when replication is disabled.
+fn spawn_replicas(
+    shard: usize,
+    net: &Arc<RoadNetwork>,
+    cfg: &EngineConfig,
+    epoch_dir: Option<std::path::PathBuf>,
+) -> Option<ReplicatedLog> {
+    let rep = cfg.replication;
+    if rep.replicas == 0 {
+        return None;
+    }
+    let attribute_cells = cfg.attribute_cells();
+    let transports = (0..rep.replicas)
+        .map(|r| {
+            let (leader, peer) = loopback_pair(FaultPlan::default());
+            let net2 = net.clone();
+            let cfg2 = *cfg;
+            let make: MonitorFactory = Box::new(move || cfg2.make_monitor(net2));
+            std::thread::Builder::new()
+                .name(format!("rnn-replica-{shard}-{r}"))
+                .spawn(move || ReplicaNode::new(peer, make, attribute_cells).run())
+                .expect("spawn replica node");
+            Box::new(leader) as Box<dyn Transport>
+        })
+        .collect();
+    // A restarted coordinator resumes from its persisted term so a
+    // pre-restart stale leader stays fenced.
+    let epoch = epoch_dir.as_deref().map_or(0, crate::wal::load_epoch);
+    Some(ReplicatedLog::new(
+        shard,
+        transports,
+        rep.quorum,
+        rep.heartbeat_every,
+        epoch,
+        epoch_dir,
+    ))
 }
 
 impl ClusterEngine {
@@ -104,14 +149,19 @@ impl ClusterEngine {
                 if let Some(root) = &durability.dir {
                     link_durability.dir = Some(root.join(format!("shard-{s}")));
                 }
-                RemoteShard::with_durability(
+                let epoch_dir = link_durability.dir.clone();
+                let link = RemoteShard::with_durability(
                     s,
                     Box::new(co),
                     policy,
                     Some(respawn),
                     link_durability,
                 )
-                .unwrap_or_else(|e| panic!("shard {s}: durability dir unusable: {e}"))
+                .unwrap_or_else(|e| panic!("shard {s}: durability dir unusable: {e}"));
+                if let Some(log) = spawn_replicas(s, &net, &cfg, epoch_dir) {
+                    link.attach_replog(log);
+                }
+                link
             })
             .collect();
         let engine = ShardedEngine::with_links(net, cfg, links).unwrap_or_else(|e| panic!("{e}"));
@@ -121,7 +171,9 @@ impl ClusterEngine {
     /// Connects to one already-listening Unix-socket shard service per
     /// path (see [`crate::service::serve_unix`]), retrying each connect
     /// for a few seconds so freshly spawned shard processes have time to
-    /// bind. No respawn policy: a shard process dying is fatal.
+    /// bind. No respawn policy: a shard process dying is survivable only
+    /// through follower promotion (replication on) or, failing that,
+    /// planner takeover — there is nothing to respawn.
     pub fn connect_unix(
         net: Arc<RoadNetwork>,
         cfg: EngineConfig,
@@ -134,7 +186,13 @@ impl ClusterEngine {
             .map(|(s, path)| {
                 let stream = connect_with_retry(|| std::os::unix::net::UnixStream::connect(path))?;
                 let t: Box<dyn Transport> = Box::new(StreamTransport::new(stream));
-                Ok(RemoteShard::new(s, t, policy))
+                let link = RemoteShard::new(s, t, policy);
+                // Replicas ride in the coordinator process: the shard
+                // *process* dying is what failover survives.
+                if let Some(log) = spawn_replicas(s, &net, &cfg, None) {
+                    link.attach_replog(log);
+                }
+                Ok(link)
             })
             .collect::<std::io::Result<Vec<_>>>()?;
         Self::from_links(net, cfg, links)
@@ -153,7 +211,11 @@ impl ClusterEngine {
             .map(|(s, addr)| {
                 let stream = connect_with_retry(|| std::net::TcpStream::connect(addr))?;
                 let t: Box<dyn Transport> = Box::new(StreamTransport::new(stream));
-                Ok(RemoteShard::new(s, t, policy))
+                let link = RemoteShard::new(s, t, policy);
+                if let Some(log) = spawn_replicas(s, &net, &cfg, None) {
+                    link.attach_replog(log);
+                }
+                Ok(link)
             })
             .collect::<std::io::Result<Vec<_>>>()?;
         Self::from_links(net, cfg, links)

@@ -45,6 +45,27 @@ pub enum ClusterError {
         /// The shard index.
         shard: usize,
     },
+    /// A replica rejected this leader's frame because it has already
+    /// seen a newer leadership epoch: this coordinator is a **stale
+    /// leader** (e.g. restarted from a stale epoch file, or on the
+    /// wrong side of a partition while a follower was promoted). Its
+    /// appends are fenced — rejected, never silently merged — and the
+    /// link must stop writing.
+    Fenced {
+        /// The shard index.
+        shard: usize,
+        /// This (stale) leader's epoch.
+        epoch: u32,
+        /// The newer epoch the replica reported.
+        newer: u32,
+    },
+    /// The peer died and every follower replica was also dead (or
+    /// refused promotion), so no hot standby could take over. The
+    /// engine's planner takeover is the last-resort path from here.
+    FailoverFailed {
+        /// The shard index.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -69,6 +90,20 @@ impl std::fmt::Display for ClusterError {
             ClusterError::RestoreRejected { shard } => write!(
                 f,
                 "shard {shard}: respawned service rejected the snapshot install"
+            ),
+            ClusterError::Fenced {
+                shard,
+                epoch,
+                newer,
+            } => write!(
+                f,
+                "shard {shard}: fenced — this leader's epoch {epoch} is stale \
+                 (a replica reported epoch {newer}); appends rejected"
+            ),
+            ClusterError::FailoverFailed { shard } => write!(
+                f,
+                "shard {shard}: failover failed — no live follower replica \
+                 accepted promotion"
             ),
         }
     }

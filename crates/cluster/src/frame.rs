@@ -4,26 +4,30 @@
 //! Layout of one frame on the wire (all integers little-endian):
 //!
 //! ```text
-//! ┌──────────┬─────────┬─────────┬─────────┬───────────────┐
-//! │ len: u32 │ tag:u16 │ seq:u32 │ crc:u32 │ payload bytes │
-//! └──────────┴─────────┴─────────┴─────────┴───────────────┘
+//! ┌──────────┬─────────┬─────────┬───────────┬─────────┬───────────────┐
+//! │ len: u32 │ tag:u16 │ seq:u32 │ epoch:u32 │ crc:u32 │ payload bytes │
+//! └──────────┴─────────┴─────────┴───────────┴─────────┴───────────────┘
 //! ```
 //!
-//! `len` counts everything after itself (`tag` + `seq` + `crc` +
-//! payload), so a stream reader knows exactly how many bytes to pull
-//! before attempting a decode. `crc` is the FNV-1a checksum
-//! ([`rnn_roadnet::wire::checksum`]) over `tag`, `seq`, and the payload;
-//! a mismatch means the frame was corrupted in flight and the decoder
-//! reports [`WireError::Checksum`] instead of handing garbage to the
-//! payload codecs. `seq` is the coordinator-assigned request sequence
-//! number; replies echo the sequence of the request they answer, which is
-//! what makes retransmission and duplicate-detection possible.
+//! `len` counts everything after itself (`tag` + `seq` + `epoch` +
+//! `crc` + payload), so a stream reader knows exactly how many bytes to
+//! pull before attempting a decode. `crc` is the FNV-1a checksum
+//! ([`rnn_roadnet::wire::checksum`]) over `tag`, `seq`, `epoch`, and the
+//! payload; a mismatch means the frame was corrupted in flight and the
+//! decoder reports [`WireError::Checksum`] instead of handing garbage to
+//! the payload codecs. `seq` is the coordinator-assigned request
+//! sequence number; replies echo the sequence of the request they
+//! answer, which is what makes retransmission and duplicate-detection
+//! possible. `epoch` is the shard log's leadership term: every frame a
+//! leader sends is stamped with its current epoch, replicas and promoted
+//! services reject frames from older epochs (fencing), and all
+//! non-replicated traffic simply carries epoch 0.
 
 use rnn_roadnet::wire::{checksum, put_u16, put_u32};
 use rnn_roadnet::{WireError, WireReader};
 
-/// Frame header bytes after the length prefix: tag + seq + crc.
-pub const HEADER_LEN: usize = 2 + 4 + 4;
+/// Frame header bytes after the length prefix: tag + seq + epoch + crc.
+pub const HEADER_LEN: usize = 2 + 4 + 4 + 4;
 
 /// Wire message tags. One tag per protocol message so the receiver can
 /// decode the payload without sniffing; the three request kinds that
@@ -63,7 +67,44 @@ pub enum MsgTag {
     /// Reply to [`MsgTag::SnapshotInstall`]: payload `[1]` on success,
     /// `[0]` if the restore was rejected.
     RestoreReply = 11,
+    /// Replication request: append one journaled event frame (the
+    /// payload is the *original* event frame's full wire bytes) to a
+    /// follower replica's log. Carries the leader's epoch; a replica at
+    /// a newer epoch rejects it as fenced.
+    Append = 12,
+    /// Replication reply: acknowledges [`MsgTag::Append`],
+    /// [`MsgTag::Heartbeat`], [`MsgTag::SnapshotOffer`], and
+    /// [`MsgTag::Promote`]. Payload byte 0 is the status
+    /// ([`ACK_OK`] / [`ACK_FENCED`]); the frame's `epoch` echoes the
+    /// replica's current epoch so a fenced leader learns how stale it is.
+    AppendAck = 13,
+    /// Replication request: leader liveness probe. The payload carries
+    /// the leader's commit index (`u32`) so followers may truncate their
+    /// own logs behind it; acked with [`MsgTag::AppendAck`].
+    Heartbeat = 14,
+    /// Replication request: promote this follower to serving leader for
+    /// its shard. Payload: the new epoch is the frame's `epoch`; the
+    /// payload carries the replay boundary sequence (`u32`, exclusive —
+    /// `u32::MAX` replays everything) so an in-flight request is *not*
+    /// replayed from the replica log but retransmitted by the
+    /// coordinator after promotion.
+    Promote = 15,
+    /// Replication request: hand the follower the leader's latest
+    /// durable snapshot (payload: covered seq `u32` + encoded
+    /// `SnapshotReply` payload bytes) so the replica can truncate its
+    /// log behind it; acked with [`MsgTag::AppendAck`].
+    SnapshotOffer = 16,
 }
+
+/// [`MsgTag::AppendAck`] status byte: the request was accepted.
+pub const ACK_OK: u8 = 1;
+/// [`MsgTag::AppendAck`] status byte: the request came from a stale
+/// epoch and was rejected (fenced), not applied.
+pub const ACK_FENCED: u8 = 0;
+/// [`MsgTag::AppendAck`] status byte: the replica refused a promotion
+/// (malformed request, or its snapshot failed to restore). The leader
+/// treats this follower as unusable and tries the next one.
+pub const ACK_REFUSED: u8 = 2;
 
 impl MsgTag {
     fn from_u16(v: u16) -> Result<Self, WireError> {
@@ -79,6 +120,11 @@ impl MsgTag {
             9 => MsgTag::SnapshotReply,
             10 => MsgTag::SnapshotInstall,
             11 => MsgTag::RestoreReply,
+            12 => MsgTag::Append,
+            13 => MsgTag::AppendAck,
+            14 => MsgTag::Heartbeat,
+            15 => MsgTag::Promote,
+            16 => MsgTag::SnapshotOffer,
             _ => return Err(WireError::Invalid("unknown message tag")),
         })
     }
@@ -101,6 +147,9 @@ pub struct Frame {
     pub tag: MsgTag,
     /// Request sequence number (replies echo their request's).
     pub seq: u32,
+    /// Leadership term of the sending shard log; 0 on every
+    /// non-replicated path.
+    pub epoch: u32,
     /// Message payload, still encoded.
     pub payload: Vec<u8>,
 }
@@ -113,11 +162,13 @@ impl Frame {
         put_u32(&mut out, (HEADER_LEN + self.payload.len()) as u32);
         put_u16(&mut out, self.tag as u16);
         put_u32(&mut out, self.seq);
-        // Checksum covers tag + seq + payload; computed over a scratch
-        // assembly of exactly those bytes.
-        let mut covered = Vec::with_capacity(6 + self.payload.len());
+        put_u32(&mut out, self.epoch);
+        // Checksum covers tag + seq + epoch + payload; computed over a
+        // scratch assembly of exactly those bytes.
+        let mut covered = Vec::with_capacity(10 + self.payload.len());
         put_u16(&mut covered, self.tag as u16);
         put_u32(&mut covered, self.seq);
+        put_u32(&mut covered, self.epoch);
         covered.extend_from_slice(&self.payload);
         put_u32(&mut out, checksum(&covered));
         out.extend_from_slice(&self.payload);
@@ -141,11 +192,13 @@ impl Frame {
         }
         let tag_raw = r.u16()?;
         let seq = r.u32()?;
+        let epoch = r.u32()?;
         let crc = r.u32()?;
         let payload = r.bytes(r.remaining())?;
-        let mut covered = Vec::with_capacity(6 + payload.len());
+        let mut covered = Vec::with_capacity(10 + payload.len());
         put_u16(&mut covered, tag_raw);
         put_u32(&mut covered, seq);
+        put_u32(&mut covered, epoch);
         covered.extend_from_slice(payload);
         if checksum(&covered) != crc {
             return Err(WireError::Checksum);
@@ -154,6 +207,7 @@ impl Frame {
         Ok(Frame {
             tag,
             seq,
+            epoch,
             payload: payload.to_vec(),
         })
     }
@@ -177,10 +231,16 @@ mod tests {
             MsgTag::SnapshotReply,
             MsgTag::SnapshotInstall,
             MsgTag::RestoreReply,
+            MsgTag::Append,
+            MsgTag::AppendAck,
+            MsgTag::Heartbeat,
+            MsgTag::Promote,
+            MsgTag::SnapshotOffer,
         ] {
             let f = Frame {
                 tag,
                 seq: 0xDEAD_BEEF,
+                epoch: 0xCAFE_F00D,
                 payload: vec![1, 2, 3, 4, 5],
             };
             let bytes = f.to_bytes();
@@ -193,6 +253,7 @@ mod tests {
         let f = Frame {
             tag: MsgTag::TickEvents,
             seq: 7,
+            epoch: 3,
             payload: b"delta batch bytes".to_vec(),
         };
         let bytes = f.to_bytes();
@@ -215,6 +276,7 @@ mod tests {
         let bytes = Frame {
             tag: MsgTag::TickReply,
             seq: 1,
+            epoch: 0,
             payload: vec![9; 32],
         }
         .to_bytes();

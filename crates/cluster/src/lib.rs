@@ -30,7 +30,13 @@
 //!   panicking.
 //! * [`wal`] — the per-shard write-ahead log backing the journal on
 //!   disk: verbatim frame records, batched fsync, torn-tail-tolerant
-//!   reopen.
+//!   reopen — plus the leader-epoch sidecar file replication fences on.
+//! * [`replog`] / [`replica`] — the replicated-journal plane: a
+//!   leader-per-shard [`replog::ReplicatedLog`] streams every routed
+//!   event frame to hot-standby [`replica::ReplicaNode`]s, commits on a
+//!   configurable quorum of acks, fences stale leaders by epoch, and
+//!   promotes a follower into the serving [`ShardService`] when the
+//!   shard dies past its retry and respawn budgets.
 //! * [`engine`] — [`ClusterEngine`], gluing a `ShardedEngine<RemoteShard>`
 //!   to constructed transports and aggregating
 //!   [`rnn_core::TransportStats`].
@@ -49,6 +55,8 @@ pub mod client;
 pub mod engine;
 pub mod error;
 pub mod frame;
+pub mod replica;
+pub mod replog;
 pub mod service;
 pub mod transport;
 pub mod wal;
@@ -59,6 +67,8 @@ pub use client::{
 pub use engine::ClusterEngine;
 pub use error::ClusterError;
 pub use frame::{Frame, MsgTag};
+pub use replica::{MonitorFactory, ReplicaNode};
+pub use replog::ReplicatedLog;
 pub use service::{serve_tcp, serve_unix, ShardService};
 pub use transport::{loopback_pair, FaultPlan, LoopbackTransport, RecvError, Transport};
 pub use wal::Wal;

@@ -38,6 +38,12 @@ pub struct ShardService<T: Transport> {
     /// Highest request sequence processed, and the encoded reply frame it
     /// produced (re-sent verbatim on a duplicate).
     last: Option<(u32, Vec<u8>)>,
+    /// Leadership epoch this service serves under. Frames stamped with
+    /// an older epoch are fenced (dropped without a reply — the stale
+    /// leader's retry budget burns out instead of its writes merging);
+    /// newer epochs are adopted. Plain services start at 0, which
+    /// accepts everything.
+    epoch: u32,
 }
 
 impl<T: Transport> ShardService<T> {
@@ -51,6 +57,30 @@ impl<T: Transport> ShardService<T> {
             state: ShardTickState::new(),
             attribute_cells,
             last: None,
+            epoch: 0,
+        }
+    }
+
+    /// Resumes service from pre-built state — the promotion path: a
+    /// [`crate::replica::ReplicaNode`] that has installed its snapshot
+    /// and replayed its log suffix hands over the monitor, the tick
+    /// state, the seeded duplicate-suppression cache, and the epoch it
+    /// was promoted under.
+    pub(crate) fn resume(
+        transport: T,
+        monitor: Box<dyn ContinuousMonitor>,
+        attribute_cells: bool,
+        state: ShardTickState,
+        last: Option<(u32, Vec<u8>)>,
+        epoch: u32,
+    ) -> Self {
+        Self {
+            transport,
+            monitor,
+            state,
+            attribute_cells,
+            last,
+            epoch,
         }
     }
 
@@ -68,6 +98,13 @@ impl<T: Transport> ShardService<T> {
             let Ok(frame) = Frame::from_bytes(&bytes) else {
                 continue;
             };
+            if frame.epoch < self.epoch {
+                // Fencing: a stale leader's frame is dropped without a
+                // reply; its timeout-driven retries exhaust against
+                // silence instead of merging stale writes.
+                continue;
+            }
+            self.epoch = frame.epoch;
             match &self.last {
                 Some((seq, reply)) if frame.seq == *seq => {
                     // Retransmitted request: resend the cached reply, do
@@ -92,6 +129,7 @@ impl<T: Transport> ShardService<T> {
             let reply = Frame {
                 tag: reply_tag,
                 seq: frame.seq,
+                epoch: self.epoch,
                 payload,
             }
             .to_bytes();
@@ -145,11 +183,17 @@ impl<T: Transport> ShardService<T> {
             }
             MsgTag::Shutdown => return Processed::Shutdown,
             // A reply tag arriving at the service is a stray echo of our
-            // own output; drop it.
+            // own output; replication-role frames belong to a
+            // `ReplicaNode`, not a serving shard. Drop both kinds.
             MsgTag::TickReply
             | MsgTag::MemoryReply
             | MsgTag::SnapshotReply
-            | MsgTag::RestoreReply => return Processed::Drop,
+            | MsgTag::RestoreReply
+            | MsgTag::Append
+            | MsgTag::AppendAck
+            | MsgTag::Heartbeat
+            | MsgTag::Promote
+            | MsgTag::SnapshotOffer => return Processed::Drop,
         }
         Processed::Reply(payload)
     }

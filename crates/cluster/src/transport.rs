@@ -58,6 +58,18 @@ pub struct FaultPlan {
     /// frame. The service's checksum check must reject it, forcing a
     /// coordinator retransmit.
     pub corrupt_every: u32,
+    /// Send every Nth outbound frame **twice**. The duplicate is
+    /// byte-identical and arrives immediately behind the original, so
+    /// the service's sequence-number dedup (and a replica's append
+    /// dedup) must absorb it without reprocessing.
+    pub duplicate_every: u32,
+    /// One-way partition: after this many outbound frames, silently
+    /// drop every further coordinator→service frame while the return
+    /// path stays open. The coordinator's requests vanish but nothing
+    /// looks "closed" — exactly the asymmetric failure that must burn
+    /// the retry budget and then drive failover/fencing rather than a
+    /// clean crash-recovery. `0` disables.
+    pub partition_after_frames: u32,
     /// After this many frames have been delivered to the service, make
     /// its next `recv` report [`RecvError::Closed`] — the service exits
     /// as if its process died, and the coordinator must respawn + replay.
@@ -122,6 +134,12 @@ impl LoopbackTransport {
 impl Transport for LoopbackTransport {
     fn send(&mut self, frame: &[u8]) -> std::io::Result<()> {
         self.sent += 1;
+        if self.plan.partition_after_frames > 0 && self.sent > self.plan.partition_after_frames {
+            // One-way partition: the outbound half is black-holed while
+            // the inbound half stays connected, so the coordinator sees
+            // only timeouts, never Closed.
+            return Ok(());
+        }
         let mut out = frame.to_vec();
         if self.plan.corrupt_every > 0 && self.sent % self.plan.corrupt_every == 0 && out.len() > 4
         {
@@ -139,7 +157,13 @@ impl Transport for LoopbackTransport {
             }
             return Ok(());
         }
+        let duplicate = (self.plan.duplicate_every > 0
+            && self.sent % self.plan.duplicate_every == 0)
+            .then(|| out.clone());
         self.deliver(out);
+        if let Some(copy) = duplicate {
+            self.deliver(copy);
+        }
         if let Some(held) = self.held.take() {
             self.deliver(held);
         }
@@ -303,6 +327,36 @@ mod tests {
         assert_eq!(svc.recv_timeout(T).unwrap(), b"a");
         assert_eq!(svc.recv_timeout(T).unwrap(), b"c");
         assert_eq!(svc.recv_timeout(T).unwrap(), b"b");
+    }
+
+    #[test]
+    fn duplicate_every_delivers_the_nth_frame_twice() {
+        let (mut co, mut svc) = loopback_pair(FaultPlan {
+            duplicate_every: 2,
+            ..Default::default()
+        });
+        co.send(b"a").unwrap(); // 1st: once
+        co.send(b"b").unwrap(); // 2nd: twice
+        co.send(b"c").unwrap(); // 3rd: once
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"a");
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"b");
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"b");
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"c");
+    }
+
+    #[test]
+    fn one_way_partition_drops_outbound_but_not_inbound() {
+        let (mut co, mut svc) = loopback_pair(FaultPlan {
+            partition_after_frames: 1,
+            ..Default::default()
+        });
+        co.send(b"through").unwrap(); // 1st: delivered
+        co.send(b"lost").unwrap(); // 2nd: black-holed
+        assert_eq!(svc.recv_timeout(T).unwrap(), b"through");
+        assert_eq!(svc.recv_timeout(T).unwrap_err(), RecvError::Timeout);
+        // The return path is unaffected by the partition.
+        svc.send(b"reply").unwrap();
+        assert_eq!(co.recv_timeout(T).unwrap(), b"reply");
     }
 
     #[test]

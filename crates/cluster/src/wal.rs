@@ -20,12 +20,63 @@
 //! recovery replays only the post-snapshot suffix (see
 //! [`crate::client`]). That bound — replay work proportional to the WAL
 //! suffix, not the run length — is what the recovery benchmark gates.
+//!
+//! With replication enabled the truncation point is additionally gated
+//! behind the replicated log's **commit index**: a snapshot (and the
+//! WAL reset it triggers) only covers events a quorum of followers has
+//! acked, so no follower can be promoted into a state the truncated log
+//! can no longer reproduce. The shard log's leadership **epoch** is
+//! persisted beside the WAL ([`store_epoch`] / [`load_epoch`]) so a
+//! restarted coordinator resumes fencing from its last known term
+//! instead of silently rejoining at epoch 0.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use rnn_roadnet::wire::{checksum, put_u32};
+
 use crate::frame::Frame;
+
+/// File name of the persisted leadership epoch, beside `events.wal`.
+const EPOCH_FILE: &str = "epoch.bin";
+
+/// Persists `epoch` under `dir` as a self-checksummed record, written
+/// tmp + fsync + rename so a crash leaves either the old epoch or the
+/// new one, never a torn file. Callers treat failures as degraded
+/// durability (the in-memory epoch still fences), not as fatal.
+pub fn store_epoch(dir: &Path, epoch: u32) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(8);
+    put_u32(&mut bytes, epoch);
+    let crc = checksum(&bytes);
+    put_u32(&mut bytes, crc);
+    let tmp = dir.join("epoch.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(&bytes)?;
+    f.sync_data()?;
+    drop(f);
+    std::fs::rename(&tmp, dir.join(EPOCH_FILE))
+}
+
+/// Reads the persisted leadership epoch under `dir`. Absent, short, or
+/// checksum-failing files read as epoch 0 — the pre-replication default
+/// — so the caller never trusts a torn record.
+pub fn load_epoch(dir: &Path) -> u32 {
+    let Ok(bytes) = std::fs::read(dir.join(EPOCH_FILE)) else {
+        return 0;
+    };
+    let (Some(value), Some(crc)) = (bytes.get(..4), bytes.get(4..8)) else {
+        return 0;
+    };
+    // lint: allow(panic-free-wire): a 4-byte slice always converts to [u8; 4]
+    let epoch = u32::from_le_bytes(value.try_into().expect("4-byte slice"));
+    // lint: allow(panic-free-wire): a 4-byte slice always converts to [u8; 4]
+    let stored = u32::from_le_bytes(crc.try_into().expect("4-byte slice"));
+    if checksum(value) != stored {
+        return 0;
+    }
+    epoch
+}
 
 /// One recovered WAL record: the frame's sequence number with its
 /// verbatim on-disk (= on-wire) bytes.
@@ -154,6 +205,7 @@ mod tests {
         Frame {
             tag: MsgTag::TickEvents,
             seq,
+            epoch: 0,
             payload: payload.to_vec(),
         }
         .to_bytes()
@@ -220,6 +272,28 @@ mod tests {
             assert_eq!(*seq, i as u32);
         }
 
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn epoch_round_trips_and_torn_files_read_as_zero() {
+        let dir = std::env::temp_dir().join(format!("rnn-epoch-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(load_epoch(&dir), 0, "absent file is epoch 0");
+        store_epoch(&dir, 7).unwrap();
+        assert_eq!(load_epoch(&dir), 7);
+        store_epoch(&dir, 8).unwrap();
+        assert_eq!(load_epoch(&dir), 8, "rename replaces atomically");
+        // Corrupt the stored value: the checksum must reject it.
+        let path = dir.join(EPOCH_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_epoch(&dir), 0, "corrupt epoch reads as 0");
+        // A short (torn) file also reads as 0.
+        std::fs::write(&path, [1, 2, 3]).unwrap();
+        assert_eq!(load_epoch(&dir), 0);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
     }

@@ -165,6 +165,26 @@ pub struct TransportStats {
     /// crash recoveries. With snapshots enabled this is bounded by the
     /// WAL suffix since the last snapshot, not the run length.
     pub frames_replayed: u64,
+    /// Event frames appended to follower replicas (one count per
+    /// follower per event; 0 when replication is disabled).
+    pub replica_appends: u64,
+    /// Bytes shipped to follower replicas over append, heartbeat, and
+    /// snapshot-offer frames.
+    pub replica_bytes: u64,
+    /// Sum over all appends of the frames outstanding (appended but not
+    /// yet quorum-acked) when each append committed. With the
+    /// synchronous append pipeline this is exactly one per replicated
+    /// event frame, which makes the per-tick rate a deterministic,
+    /// gateable constant.
+    pub commit_lag_frames: u64,
+    /// Replication frames rejected by a replica because they carried a
+    /// stale leadership epoch (the stale-leader fencing path).
+    pub fenced_appends: u64,
+    /// Follower replicas promoted to serving leader after the primary
+    /// shard died past its retry and recovery budgets.
+    pub failovers: u64,
+    /// Heartbeat probes sent to follower replicas.
+    pub heartbeats: u64,
 }
 
 impl TransportStats {
@@ -182,5 +202,11 @@ impl TransportStats {
         self.snapshot_bytes += other.snapshot_bytes;
         self.snapshots += other.snapshots;
         self.frames_replayed += other.frames_replayed;
+        self.replica_appends += other.replica_appends;
+        self.replica_bytes += other.replica_bytes;
+        self.commit_lag_frames += other.commit_lag_frames;
+        self.fenced_appends += other.fenced_appends;
+        self.failovers += other.failovers;
+        self.heartbeats += other.heartbeats;
     }
 }

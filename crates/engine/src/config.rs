@@ -39,6 +39,41 @@ impl ShardAlgo {
     }
 }
 
+/// The per-shard log-replication plane (consumed by the cluster layer;
+/// the in-process engine ignores it). The default — `replicas: 0` —
+/// disables replication entirely and is bit-identical to earlier
+/// releases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Follower replicas per shard (F). Each holds a copy of the
+    /// shard's event log and can be promoted to serving leader when the
+    /// shard dies past its retry + recovery budgets. `0` disables
+    /// replication.
+    pub replicas: u32,
+    /// Acks an appended event needs before it *commits* (becomes
+    /// eligible for WAL truncation and for feeding the shard monitor).
+    /// Must be `1..=replicas` when replication is on; clamped downward
+    /// at runtime as followers die, so losing followers degrades
+    /// redundancy rather than availability.
+    pub quorum: u32,
+    /// Send a liveness heartbeat to every follower once per this many
+    /// appends (the failure detector's probe cadence). `0` disables
+    /// heartbeats; follower death is then detected on the append path.
+    pub heartbeat_every: u32,
+}
+
+impl ReplicationConfig {
+    /// Replication with `replicas` followers and a majority quorum
+    /// (`replicas / 2 + 1`), heartbeating every 8 appends.
+    pub fn with_replicas(replicas: u32) -> Self {
+        Self {
+            replicas,
+            quorum: replicas / 2 + 1,
+            heartbeat_every: 8,
+        }
+    }
+}
+
 /// Tuning knobs of the sharded engine.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
@@ -100,6 +135,10 @@ pub struct EngineConfig {
     /// `Block`) costs nothing unless [`crate::ShardedEngine::ingest_handle`]
     /// is actually used.
     pub ingest: IngestConfig,
+    /// The per-shard replicated-journal plane (see
+    /// [`ReplicationConfig`]). Only the cluster layer consumes it; the
+    /// in-process engine ignores it entirely. Disabled by default.
+    pub replication: ReplicationConfig,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +154,7 @@ impl Default for EngineConfig {
             tree_pool_hint: 0,
             takeover: false,
             ingest: IngestConfig::default(),
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -208,6 +248,14 @@ impl EngineConfig {
                 requirement: "at least 1 event per lane",
             });
         }
+        if self.replication.replicas > 0
+            && !(1..=self.replication.replicas).contains(&self.replication.quorum)
+        {
+            return Err(EngineError::InvalidKnob {
+                field: "replication.quorum",
+                requirement: "in 1..=replicas when replication is enabled",
+            });
+        }
         Ok(())
     }
 }
@@ -278,6 +326,13 @@ impl EngineConfigBuilder {
     /// Replaces the whole ingest configuration.
     pub fn ingest(mut self, ingest: IngestConfig) -> Self {
         self.cfg.ingest = ingest;
+        self
+    }
+
+    /// Replaces the whole replication configuration (validated at
+    /// build: when `replicas > 0`, `quorum` must be in `1..=replicas`).
+    pub fn replication(mut self, replication: ReplicationConfig) -> Self {
+        self.cfg.replication = replication;
         self
     }
 

@@ -6,10 +6,14 @@
 //! protocol generated.
 //!
 //! Halfway through the run one shard process is killed with SIGKILL.
-//! The coordinator observes the dead socket, declares the shard down,
-//! and — because `EngineConfig::takeover` is on — hands its partition
-//! cells to the surviving shards through the migration planner. The
+//! Replication is on (one hot-standby follower per shard, riding in
+//! the coordinator process), so the coordinator observes the dead
+//! socket, bumps the shard's leadership epoch, and *promotes* the
+//! follower — which replays its copy of the event log and takes over
+//! serving. The shard stays live, no partition cells move, and the
 //! remaining ticks still match the single-process oracle bit-for-bit.
+//! `EngineConfig::takeover` stays on as the documented last resort,
+//! but the assertions prove it was never needed.
 //!
 //! Run with: `cargo run --release --example cluster_city`
 //!
@@ -21,7 +25,7 @@ use std::process::{Child, Command};
 use std::sync::Arc;
 
 use rnn_monitor::cluster::serve_unix;
-use rnn_monitor::engine::{EngineConfig, ShardAlgo};
+use rnn_monitor::engine::{EngineConfig, ReplicationConfig, ShardAlgo};
 use rnn_monitor::roadnet::{generators, RoadNetwork};
 use rnn_monitor::workload::{Scenario, ScenarioConfig};
 use rnn_monitor::{ClusterEngine, ContinuousMonitor, Gma, RetryPolicy};
@@ -32,7 +36,8 @@ fn city() -> Arc<RoadNetwork> {
     Arc::new(generators::san_francisco_like(1_500, 7))
 }
 
-/// The shard that gets SIGKILLed mid-run to demonstrate fail-over.
+/// The shard whose leader process gets SIGKILLed mid-run to
+/// demonstrate follower promotion.
 const KILLED_SHARD: usize = 3;
 /// The timestamp after which the kill happens.
 const KILL_AT: usize = 5;
@@ -42,6 +47,12 @@ fn engine_config() -> EngineConfig {
         num_shards: NUM_SHARDS,
         algo: ShardAlgo::Gma,
         halo_slack: 0.25,
+        // One hot-standby follower per shard; quorum 1. The follower
+        // threads live in the coordinator process, so a shard *process*
+        // dying is exactly the failure they cover.
+        replication: ReplicationConfig::with_replicas(1),
+        // Last resort only: promotion must win before the planner moves
+        // any cells (asserted below).
         takeover: true,
         ..EngineConfig::default()
     }
@@ -118,10 +129,11 @@ fn main() {
     for t in 1..=10 {
         if t == KILL_AT + 1 {
             // SIGKILL one shard server between ticks: no shutdown frame,
-            // no flush — the coordinator just finds the socket dead.
+            // no flush — the coordinator just finds the socket dead and
+            // must promote the shard's follower replica.
             children[KILLED_SHARD].kill().expect("kill shard server");
             children[KILLED_SHARD].wait().expect("reap shard server");
-            println!("  -- killed shard {KILLED_SHARD}'s process (SIGKILL, no warning)");
+            println!("  -- killed shard {KILLED_SHARD}'s leader process (SIGKILL, no warning)");
         }
         let batch = scenario.tick();
         reference.tick(&batch);
@@ -167,15 +179,30 @@ fn main() {
     let engine = cluster.engine();
     println!("\nfail-over after the SIGKILL:");
     println!(
-        "  shard {KILLED_SHARD} dead: {}, live shards: {}/{}, takeovers executed: {}",
+        "  shard {KILLED_SHARD} dead: {}, live shards: {}/{}, follower promotions: {}, \
+         takeovers executed: {}",
         engine.is_shard_dead(KILLED_SHARD),
         engine.live_shards(),
         NUM_SHARDS,
+        total.failovers,
         engine.takeovers()
     );
-    assert!(engine.is_shard_dead(KILLED_SHARD), "dead shard undetected");
-    assert_eq!(engine.live_shards(), NUM_SHARDS - 1);
-    assert!(engine.takeovers() >= 1, "no takeover executed");
+    assert!(
+        !engine.is_shard_dead(KILLED_SHARD),
+        "the promoted follower should be serving shard {KILLED_SHARD}"
+    );
+    assert_eq!(
+        engine.live_shards(),
+        NUM_SHARDS,
+        "promotion kept every shard live"
+    );
+    assert!(total.failovers >= 1, "no follower was promoted");
+    assert_eq!(total.fenced_appends, 0, "a healthy run must not fence");
+    assert_eq!(
+        engine.takeovers(),
+        0,
+        "promotion must pre-empt the takeover planner"
+    );
 
     // Dropping the engine ships the shutdown frames; the surviving
     // children exit cleanly (the killed one was reaped at kill time).
@@ -190,6 +217,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     println!(
         "\nOK: answers identical to the single-process oracle through the kill; \
-         the survivors adopted shard {KILLED_SHARD}'s cells and exited cleanly."
+         shard {KILLED_SHARD}'s follower was promoted in place — no cells moved, \
+         and the survivors exited cleanly."
     );
 }

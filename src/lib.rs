@@ -31,6 +31,6 @@ pub use rnn_workload as workload;
 
 pub use rnn_cluster::{ClusterEngine, FaultPlan, RetryPolicy};
 pub use rnn_core::{ContinuousMonitor, Gma, Ima, Neighbor, Ovh, UpdateBatch};
-pub use rnn_engine::{EngineConfig, ShardAlgo, ShardedEngine};
+pub use rnn_engine::{EngineConfig, ReplicationConfig, ShardAlgo, ShardedEngine};
 pub use rnn_roadnet::{EdgeId, NetPoint, NodeId, ObjectId, QueryId, RoadNetwork};
 pub use rnn_workload::{Scenario, ScenarioConfig};

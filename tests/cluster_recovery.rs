@@ -16,10 +16,14 @@
 //! included, and is covered by `cluster_differential.rs`.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use rnn_monitor::cluster::{wal, ClusterEngine, DurabilityConfig, FaultPlan, RetryPolicy};
-use rnn_monitor::core::{ContinuousMonitor, TickReport};
-use rnn_monitor::engine::{EngineConfig, ShardAlgo, ShardedEngine};
+use rnn_monitor::cluster::{
+    loopback_pair, wal, ClusterEngine, ClusterError, DurabilityConfig, FaultPlan, Frame, MsgTag,
+    ReplicaNode, ReplicatedLog, RetryPolicy, Transport,
+};
+use rnn_monitor::core::{ContinuousMonitor, Gma, TickReport, TransportStats};
+use rnn_monitor::engine::{EngineConfig, ReplicationConfig, ShardAlgo, ShardedEngine};
 use rnn_monitor::roadnet::{generators, RoadNetwork};
 use rnn_monitor::workload::{Scenario, ScenarioConfig};
 
@@ -294,6 +298,228 @@ fn on_disk_durability_persists_snapshot_and_torn_tail_safe_wal() {
 
     drop(cluster);
     let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn failover_promotes_follower_and_stays_answer_identical() {
+    // Shard 0 crashes at a seeded frame and every respawn is stillborn,
+    // so the PR-8 recovery budget exhausts — but with follower replicas
+    // attached the link must *fail over* instead of dying: a follower
+    // rebuilds the shard from its own replicated log (snapshot install +
+    // local suffix replay) and the run stays answer-identical to the
+    // in-process twin, with zero planner takeovers.
+    let net = grid(8, 8, 6);
+    let cfg = base_cfg(66);
+    for (shards, replicas) in [(2usize, 1u32), (2, 2), (4, 1), (4, 2)] {
+        let ecfg = EngineConfig {
+            num_shards: shards,
+            algo: ShardAlgo::Gma,
+            replication: ReplicationConfig::with_replicas(replicas),
+            ..EngineConfig::default()
+        };
+        let mut inproc = ShardedEngine::new(net.clone(), ecfg);
+        let mut plans = vec![FaultPlan::default(); shards];
+        plans[0] = FaultPlan {
+            crash_after_frames: seeded_crash_frame(60 + replicas as u64, 0),
+            respawn_dead: true,
+            ..Default::default()
+        };
+        let mut cluster = ClusterEngine::loopback_durable(
+            net.clone(),
+            ecfg,
+            &plans,
+            RetryPolicy::default(),
+            DurabilityConfig::in_memory(4),
+        );
+        let mut scenario = Scenario::new(net.clone(), cfg.clone());
+        scenario.install_into(&mut inproc);
+        scenario.install_into(&mut cluster);
+        for t in 1..=12usize {
+            let batch = scenario.tick();
+            let ri = inproc.tick(&batch);
+            let rc = cluster.tick(&batch);
+            assert_answers_identical(
+                &inproc,
+                &cluster,
+                Some((&ri, &rc)),
+                &format!("S={shards}, R={replicas}, failover run, tick {t}"),
+            );
+        }
+        let stats = cluster.stats();
+        assert!(
+            stats.failovers >= 1,
+            "S={shards}, R={replicas}: the dead shard never failed over (stats: {stats:?})"
+        );
+        assert!(
+            stats.replica_appends > 0 && stats.commit_lag_frames > 0,
+            "S={shards}, R={replicas}: events were never replicated (stats: {stats:?})"
+        );
+        assert_eq!(
+            stats.fenced_appends, 0,
+            "S={shards}, R={replicas}: no stale leader exists in this run (stats: {stats:?})"
+        );
+        let engine = cluster.engine();
+        assert_eq!(
+            engine.takeovers(),
+            0,
+            "S={shards}, R={replicas}: failover must preempt planner takeover"
+        );
+        assert_eq!(
+            engine.live_shards(),
+            shards,
+            "S={shards}, R={replicas}: the promoted follower keeps the shard alive"
+        );
+        assert!(
+            engine.links()[0].epoch() >= 1,
+            "S={shards}, R={replicas}: promotion must bump the leadership epoch"
+        );
+    }
+}
+
+#[test]
+fn seeded_chaos_schedule_survives_duplication_partition_and_crash() {
+    // One seeded chaos schedule per run: shard 0 crashes with stillborn
+    // respawns (failover via the recovery path), shard 2's link turns
+    // into a one-way partition (outbound black-hole — failover via
+    // retransmit-budget exhaustion, the asymmetric failure no Closed
+    // error ever signals), and the other shards see every Nth frame
+    // duplicated. Answers must stay bit-identical throughout and both
+    // failovers must land without a single planner takeover.
+    let net = grid(7, 9, 7);
+    let cfg = base_cfg(77);
+    for seed in [71u64, 72] {
+        let shards = 4usize;
+        let ecfg = EngineConfig {
+            num_shards: shards,
+            algo: ShardAlgo::Ima,
+            replication: ReplicationConfig::with_replicas(2),
+            ..EngineConfig::default()
+        };
+        let mut inproc = ShardedEngine::new(net.clone(), ecfg);
+        let plans = vec![
+            FaultPlan {
+                crash_after_frames: seeded_crash_frame(seed, 0),
+                respawn_dead: true,
+                ..Default::default()
+            },
+            FaultPlan {
+                duplicate_every: 3,
+                ..Default::default()
+            },
+            FaultPlan {
+                partition_after_frames: seeded_crash_frame(seed, 2),
+                ..Default::default()
+            },
+            FaultPlan {
+                duplicate_every: 5,
+                ..Default::default()
+            },
+        ];
+        // A short reply timeout keeps the partition's retransmit budget
+        // cheap; correctness never depends on the timing.
+        let policy = RetryPolicy {
+            timeout: Duration::from_millis(100),
+            max_retries: 3,
+        };
+        let mut cluster = ClusterEngine::loopback_durable(
+            net.clone(),
+            ecfg,
+            &plans,
+            policy,
+            DurabilityConfig::in_memory(4),
+        );
+        let mut scenario = Scenario::new(net.clone(), cfg.clone());
+        scenario.install_into(&mut inproc);
+        scenario.install_into(&mut cluster);
+        for t in 1..=12usize {
+            let batch = scenario.tick();
+            let ri = inproc.tick(&batch);
+            let rc = cluster.tick(&batch);
+            assert_answers_identical(
+                &inproc,
+                &cluster,
+                Some((&ri, &rc)),
+                &format!("chaos seed={seed}, tick {t}"),
+            );
+        }
+        let stats = cluster.stats();
+        assert!(
+            stats.failovers >= 2,
+            "seed={seed}: both the crashed and the partitioned shard must fail over \
+             (stats: {stats:?})"
+        );
+        let engine = cluster.engine();
+        assert_eq!(engine.takeovers(), 0, "seed={seed}: no takeover");
+        assert_eq!(engine.live_shards(), shards, "seed={seed}: all shards live");
+        assert!(
+            engine.links()[0].epoch() >= 1 && engine.links()[2].epoch() >= 1,
+            "seed={seed}: both failed-over links must carry bumped epochs"
+        );
+    }
+}
+
+#[test]
+fn stale_leader_appends_are_provably_fenced() {
+    // A real follower ([`ReplicaNode`], not a scripted ack loop) that has
+    // seen epoch 7 must refuse an append from a leader still at epoch 2:
+    // the append comes back as a typed `ClusterError::Fenced` carrying
+    // the newer term, the fenced-append counter trips, and nothing
+    // commits — a partitioned stale leader can never merge writes.
+    let (mut co, peer) = loopback_pair(FaultPlan::default());
+    let net = grid(4, 4, 8);
+    let follower = std::thread::spawn(move || {
+        ReplicaNode::new(peer, Box::new(move || Box::new(Gma::new(net))), false).run();
+    });
+
+    // The legitimate leader (epoch 7) replicates one event.
+    let event = Frame {
+        tag: MsgTag::TickEvents,
+        seq: 0,
+        epoch: 7,
+        payload: vec![0xAB; 6],
+    }
+    .to_bytes();
+    let append = Frame {
+        tag: MsgTag::Append,
+        seq: 0,
+        epoch: 7,
+        payload: event,
+    }
+    .to_bytes();
+    co.send(&append).expect("append to live follower");
+    let ack = co
+        .recv_timeout(Duration::from_secs(2))
+        .expect("follower acks the epoch-7 append");
+    let ack = Frame::from_bytes(&ack).expect("ack decodes");
+    assert_eq!((ack.tag, ack.epoch), (MsgTag::AppendAck, 7));
+
+    // A stale leader (epoch 2) adopts the same follower link and tries
+    // to append: provably rejected, never committed.
+    let mut stale = ReplicatedLog::new(3, vec![Box::new(co) as Box<dyn Transport>], 1, 0, 2, None);
+    let mut stats = TransportStats::default();
+    let stale_event = Frame {
+        tag: MsgTag::TickEvents,
+        seq: 1,
+        epoch: 2,
+        payload: vec![0xCD; 6],
+    }
+    .to_bytes();
+    let err = stale
+        .append(1, &stale_event, &mut stats)
+        .expect_err("the stale epoch must be fenced");
+    assert_eq!(
+        err,
+        ClusterError::Fenced {
+            shard: 3,
+            epoch: 2,
+            newer: 7
+        }
+    );
+    assert_eq!(stats.fenced_appends, 1, "the fence must be observable");
+    assert_eq!(stale.commit_seq(), None, "a fenced append never commits");
+
+    drop(stale); // closes the link; the follower thread exits
+    follower.join().expect("follower thread exits cleanly");
 }
 
 #[test]

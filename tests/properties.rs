@@ -909,7 +909,7 @@ fn delta_batch_strategy() -> impl Strategy<Value = DeltaBatch> {
         })
 }
 
-const ALL_TAGS: [MsgTag; 11] = [
+const ALL_TAGS: [MsgTag; 16] = [
     MsgTag::TickEvents,
     MsgTag::ResyncEvents,
     MsgTag::MigrationEvents,
@@ -921,6 +921,11 @@ const ALL_TAGS: [MsgTag; 11] = [
     MsgTag::SnapshotReply,
     MsgTag::SnapshotInstall,
     MsgTag::RestoreReply,
+    MsgTag::Append,
+    MsgTag::AppendAck,
+    MsgTag::Heartbeat,
+    MsgTag::Promote,
+    MsgTag::SnapshotOffer,
 ];
 
 proptest! {
@@ -931,9 +936,10 @@ proptest! {
     fn frame_envelope_round_trips(
         tag_idx in 0usize..ALL_TAGS.len(),
         seq in any::<u32>(),
+        epoch in any::<u32>(),
         payload in prop::collection::vec(any::<u8>(), 0..200),
     ) {
-        let f = Frame { tag: ALL_TAGS[tag_idx], seq, payload };
+        let f = Frame { tag: ALL_TAGS[tag_idx], seq, epoch, payload };
         let bytes = f.to_bytes();
         prop_assert_eq!(Frame::from_bytes(&bytes).unwrap(), f);
     }
@@ -952,7 +958,7 @@ proptest! {
             BatchKind::Resync => MsgTag::ResyncEvents,
             BatchKind::Migration => MsgTag::MigrationEvents,
         };
-        let bytes = Frame { tag, seq, payload }.to_bytes();
+        let bytes = Frame { tag, seq, epoch: 0, payload }.to_bytes();
         let back = Frame::from_bytes(&bytes).unwrap();
         prop_assert_eq!(back.tag, tag);
         let decoded = DeltaBatch::decode(&mut WireReader::new(&back.payload)).unwrap();
@@ -972,7 +978,7 @@ proptest! {
     ) {
         let mut payload = Vec::new();
         outcome.encode(&mut payload);
-        let bytes = Frame { tag: MsgTag::TickReply, seq, payload }.to_bytes();
+        let bytes = Frame { tag: MsgTag::TickReply, seq, epoch: 0, payload }.to_bytes();
         let back = Frame::from_bytes(&bytes).unwrap();
         let decoded = TickOutcome::decode(&mut WireReader::new(&back.payload)).unwrap();
         // Work counters, snapshots and charges must survive bit-exactly;
@@ -990,7 +996,7 @@ proptest! {
         };
         let mut payload = Vec::new();
         mem.encode(&mut payload);
-        let bytes = Frame { tag: MsgTag::MemoryReply, seq, payload }.to_bytes();
+        let bytes = Frame { tag: MsgTag::MemoryReply, seq, epoch: 0, payload }.to_bytes();
         let back = Frame::from_bytes(&bytes).unwrap();
         prop_assert_eq!(MemoryUsage::decode(&mut WireReader::new(&back.payload)).unwrap(), mem);
     }
@@ -1004,7 +1010,7 @@ proptest! {
     ) {
         let mut payload = Vec::new();
         batch.encode(&mut payload);
-        let bytes = Frame { tag: MsgTag::TickEvents, seq: 3, payload }.to_bytes();
+        let bytes = Frame { tag: MsgTag::TickEvents, seq: 3, epoch: 7, payload }.to_bytes();
         let cut = (cut_seed as usize) % bytes.len();
         prop_assert!(Frame::from_bytes(&bytes[..cut]).is_err());
     }
@@ -1019,7 +1025,7 @@ proptest! {
     ) {
         let mut payload = Vec::new();
         batch.encode(&mut payload);
-        let mut bytes = Frame { tag: MsgTag::MigrationEvents, seq: 9, payload }.to_bytes();
+        let mut bytes = Frame { tag: MsgTag::MigrationEvents, seq: 9, epoch: 2, payload }.to_bytes();
         let idx = 4 + (byte_seed as usize) % (bytes.len() - 4);
         bytes[idx] ^= 1 << bit;
         prop_assert!(Frame::from_bytes(&bytes).is_err());
@@ -1178,7 +1184,7 @@ proptest! {
         let mut image = Vec::new();
         let mut ends = Vec::new();
         for (i, p) in payloads.iter().enumerate() {
-            let frame = Frame { tag: MsgTag::TickEvents, seq: i as u32, payload: p.clone() };
+            let frame = Frame { tag: MsgTag::TickEvents, seq: i as u32, epoch: 0, payload: p.clone() };
             image.extend_from_slice(&frame.to_bytes());
             ends.push(image.len());
         }
@@ -1193,6 +1199,65 @@ proptest! {
             let start = if i == 0 { 0 } else { ends[i - 1] };
             prop_assert_eq!(bytes.as_slice(), &image[start..ends[i]]);
         }
+    }
+
+    /// Flipping any single bit *inside* a record (past its length
+    /// prefix) makes the scan stop exactly there: every record before
+    /// the flipped one is recovered verbatim, nothing at or after it
+    /// survives, and the valid prefix ends at the previous record's
+    /// boundary — a torn middle behaves like a torn tail, never a
+    /// silent partial apply.
+    #[test]
+    fn wal_scan_stops_at_a_mid_record_bit_flip(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 1..8),
+        pick in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut image = Vec::new();
+        let mut bounds = Vec::new();
+        for (i, p) in payloads.iter().enumerate() {
+            let start = image.len();
+            let frame = Frame { tag: MsgTag::TickEvents, seq: i as u32, epoch: 1, payload: p.clone() };
+            image.extend_from_slice(&frame.to_bytes());
+            bounds.push((start, image.len()));
+        }
+        let victim = (pick as usize) % bounds.len();
+        let (start, end) = bounds[victim];
+        // Flip past the 4-byte length prefix so framing is intact and
+        // the checksum is what must catch it.
+        let idx = start + 4 + (pick as usize / 7) % (end - start - 4);
+        image[idx] ^= 1 << bit;
+        let (records, valid) = cluster_wal::scan(&image);
+        prop_assert_eq!(records.len(), victim);
+        prop_assert_eq!(valid, bounds[victim].0);
+        for (i, (seq, bytes)) in records.iter().enumerate() {
+            prop_assert_eq!(*seq, i as u32);
+            prop_assert_eq!(bytes.as_slice(), &image[bounds[i].0..bounds[i].1]);
+        }
+    }
+
+    /// Truncating exactly *at* a record boundary is lossless up to the
+    /// cut: every record before the boundary is recovered and the valid
+    /// prefix is the boundary itself (no record is half-counted).
+    #[test]
+    fn wal_scan_is_exact_at_record_boundaries(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 1..8),
+        pick in any::<u64>(),
+    ) {
+        let mut image = Vec::new();
+        let mut ends = vec![0usize];
+        for (i, p) in payloads.iter().enumerate() {
+            let frame = Frame { tag: MsgTag::TickEvents, seq: i as u32, epoch: 1, payload: p.clone() };
+            image.extend_from_slice(&frame.to_bytes());
+            ends.push(image.len());
+        }
+        let cut_idx = (pick as usize) % ends.len();
+        let cut = ends[cut_idx];
+        let (records, valid) = cluster_wal::scan(&image[..cut]);
+        prop_assert_eq!(records.len(), cut_idx, "exactly the records before the boundary");
+        prop_assert_eq!(valid, cut, "a boundary cut leaves no torn tail");
     }
 
     /// Scanning arbitrary garbage is total and returns a consistent
